@@ -1,0 +1,324 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   A1 — constellation-size optimization on/off (fixed b vs searched b);
+//   A2 — the b-selection rule of Algorithm 2 (min ē_b vs min total PA vs
+//        min total energy);
+//   A3 — Algorithm 3's PU-selection heuristic vs picking at random;
+//   A4 — quadrature order for the ē_b expectation vs the closed form;
+//   A5 — combining scheme in the overlay testbed (EGC vs MRC vs SC);
+//   A6 — per-packet relay selection (extension);
+//   A7 — multi-PU pair splitting (extension);
+//   A8 — Algorithm 3 pairing vs null-space projection weights;
+//   A9 — genie CSI vs pilot-based channel estimation;
+//   A10 — STBC decoding sensitivity to channel-estimation error.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/common/units.h"
+#include "comimo/energy/ebbar.h"
+#include "comimo/energy/optimizer.h"
+#include "comimo/interweave/nullspace_beamformer.h"
+#include "comimo/interweave/pair_beamformer.h"
+#include "comimo/interweave/pu_selection.h"
+#include "comimo/phy/detector.h"
+#include "comimo/phy/stbc.h"
+#include "comimo/channel/awgn.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/numeric/stats.h"
+#include "comimo/testbed/experiments.h"
+#include "comimo/underlay/cooperative_hop.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== Ablations of design choices ===\n\n";
+
+  // --- A1: constellation optimization ---------------------------------
+  {
+    std::cout << "--- A1: variable-rate b search vs fixed b (2x2 link,"
+                 " 200 m, p=1e-3, B=40k) ---\n";
+    const MimoEnergyModel model;
+    const ConstellationOptimizer opt;
+    const ConstellationChoice best =
+        opt.min_mimo_tx_energy(1e-3, 2, 2, 200.0, 40e3);
+    TextTable t({"policy", "b", "tx energy [J/bit]", "vs optimized"});
+    t.add_row({"optimized", std::to_string(best.b),
+               TextTable::sci(best.value), "1.00x"});
+    for (const int b : {1, 2, 4, 8, 16}) {
+      const double e = model.tx_energy(b, 1e-3, 2, 2, 200.0, 40e3).total();
+      t.add_row({"fixed b=" + std::to_string(b), std::to_string(b),
+                 TextTable::sci(e),
+                 TextTable::fmt(e / best.value, 2) + "x"});
+    }
+    t.print(std::cout);
+  }
+
+  // --- A2: b-selection rule in Algorithm 2 ------------------------------
+  {
+    std::cout << "\n--- A2: Algorithm 2 b-selection rule (2x3 hop,"
+                 " 200 m) ---\n";
+    const UnderlayCooperativeHop planner;
+    UnderlayHopConfig cfg;
+    cfg.mt = 2;
+    cfg.mr = 3;
+    cfg.hop_distance_m = 200.0;
+    TextTable t({"rule", "b", "total PA [J/bit]", "peak PA [J/bit]",
+                 "total energy [J/bit]"});
+    const auto row = [&](const char* name, BSelectionRule rule) {
+      const UnderlayHopPlan p = planner.plan(cfg, rule);
+      t.add_row({name, std::to_string(p.b), TextTable::sci(p.total_pa()),
+                 TextTable::sci(p.peak_pa()),
+                 TextTable::sci(p.total_energy())});
+    };
+    row("min ebar (paper's stated rule)", BSelectionRule::kMinEbar);
+    row("min peak PA", BSelectionRule::kMinPeakPa);
+    row("min total PA (Fig. 7)", BSelectionRule::kMinTotalPa);
+    row("min total energy", BSelectionRule::kMinTotalEnergy);
+    t.print(std::cout);
+  }
+
+  // --- A3: PU-selection heuristic vs random -----------------------------
+  {
+    std::cout << "\n--- A3: Algorithm 3 PU selection vs random pick"
+                 " (amplitude at Sr over 200 trials) ---\n";
+    const PairGeometry geom{Vec2{0.0, 7.5}, Vec2{0.0, -7.5}};
+    const Vec2 sr{150.0, 0.0};
+    RunningStats heuristic;
+    RunningStats random_pick;
+    for (int trial = 0; trial < 200; ++trial) {
+      Rng rng(99, static_cast<std::uint64_t>(trial));
+      std::vector<Vec2> candidates;
+      for (int i = 0; i < 20; ++i) {
+        candidates.push_back(rng.point_in_disk(geom.st1, 150.0));
+      }
+      const std::size_t smart = select_pu(geom.center(), sr, candidates);
+      const std::size_t naive = rng.uniform_int(candidates.size());
+      heuristic.add(
+          NullSteeringPair(geom, 30.0, candidates[smart]).amplitude_at(sr));
+      random_pick.add(
+          NullSteeringPair(geom, 30.0, candidates[naive]).amplitude_at(sr));
+    }
+    TextTable t({"policy", "mean amplitude", "min", "max"});
+    t.add_row({"Algorithm 3 heuristic", TextTable::fmt(heuristic.mean(), 3),
+               TextTable::fmt(heuristic.min(), 3),
+               TextTable::fmt(heuristic.max(), 3)});
+    t.add_row({"random PU", TextTable::fmt(random_pick.mean(), 3),
+               TextTable::fmt(random_pick.min(), 3),
+               TextTable::fmt(random_pick.max(), 3)});
+    t.print(std::cout);
+  }
+
+  // --- A4: quadrature order vs closed form ------------------------------
+  {
+    std::cout << "\n--- A4: Gauss-Laguerre order vs closed form"
+                 " (b=4, 2x2, p=1e-3) ---\n";
+    const EbBarSolver solver;
+    const double e = solver.solve(1e-3, 4, 2, 2);
+    const double exact = solver.average_ber(e, 4, 2, 2);
+    TextTable t({"points", "BER", "relative error"});
+    for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+      const double q = solver.average_ber_quadrature(e, 4, 2, 2, n);
+      t.add_row({std::to_string(n), TextTable::sci(q, 6),
+                 TextTable::sci(std::abs(q - exact) / exact, 2)});
+    }
+    t.print(std::cout);
+  }
+
+  // --- A5: combining scheme in the overlay testbed ----------------------
+  {
+    std::cout << "\n--- A5: overlay combining scheme (Table 2 scenario,"
+                 " 50k bits) ---\n";
+    TextTable t({"combiner", "BER with cooperation"});
+    for (const auto& [name, kind] :
+         std::vector<std::pair<const char*, CombinerKind>>{
+             {"equal gain (paper)", CombinerKind::kEqualGain},
+             {"maximal ratio", CombinerKind::kMaximalRatio},
+             {"selection", CombinerKind::kSelection}}) {
+      OverlayBerConfig cfg = table2_single_relay_config(1);
+      cfg.total_bits = 50000;
+      cfg.combiner = kind;
+      const OverlayBerResult r = run_overlay_ber(cfg);
+      t.add_row({name, TextTable::pct(r.ber_cooperative)});
+    }
+    t.print(std::cout);
+  }
+  // --- A6: per-packet relay selection (extension) ------------------------
+  {
+    std::cout << "\n--- A6: relay selection, Table 3 scenario (3 relays,"
+                 " 100k bits) ---\n";
+    TextTable t({"policy", "BER with cooperation", "phase-2 transmissions"});
+    for (const unsigned k : {0u, 3u, 2u, 1u}) {
+      OverlayBerConfig cfg = table3_multi_relay_config(3, 1);
+      cfg.max_active_relays = k;
+      const OverlayBerResult r = run_overlay_ber(cfg);
+      const std::string name =
+          k == 0 ? "all relays (paper)" : "best " + std::to_string(k);
+      t.add_row({name, TextTable::pct(r.ber_cooperative),
+                 std::to_string(r.relay_transmissions)});
+    }
+    t.print(std::cout);
+    std::cout << "Selection saves phase-2 energy AND, under equal-gain\n"
+                 "combining, can even lower the BER: EGC weights weak\n"
+                 "branches as heavily as strong ones, so dropping the\n"
+                 "worst relay helps.  Best-1 also beats Table 3's fixed\n"
+                 "mid-corridor single relay.\n";
+  }
+
+  // --- A7: multi-PU protection (extension) --------------------------------
+  {
+    std::cout << "\n--- A7: 4 pairs protecting 1 vs 2 PUs"
+                 " (residual amplitudes; un-nulled field would be 8) ---\n";
+    std::vector<Vec2> nodes;
+    for (int i = 0; i < 8; ++i) {
+      nodes.push_back(Vec2{static_cast<double>(i) * 0.5,
+                           (i % 2 ? -7.5 : 7.5)});
+    }
+    const Vec2 pu_a{0.0, -5000.0};
+    const Vec2 pu_b{-5000.0, 2000.0};
+    const Vec2 sr{5000.0, 0.0};
+    const MultiPuBeamformer dedicated(nodes, 30.0, {pu_a});
+    const MultiPuBeamformer split(nodes, 30.0, {pu_a, pu_b});
+    TextTable t({"configuration", "residual at PU A", "residual at PU B",
+                 "amplitude at Sr"});
+    t.add_row({"all pairs null PU A (Algorithm 3)",
+               TextTable::sci(dedicated.residual_at(0)),
+               TextTable::fmt(dedicated.amplitude_at(pu_b), 2),
+               TextTable::fmt(dedicated.amplitude_at(sr), 2)});
+    t.add_row({"pairs split across PU A and PU B",
+               TextTable::fmt(split.residual_at(0), 3),
+               TextTable::fmt(split.residual_at(1), 3),
+               TextTable::fmt(split.amplitude_at(sr), 2)});
+    t.print(std::cout);
+    std::cout << "Splitting protects both PUs partially instead of one"
+                 " perfectly — the trade Algorithm 3 leaves open.\n";
+  }
+
+  // --- A8: the paper's pairing vs null-space weights ----------------------
+  {
+    std::cout << "\n--- A8: Algorithm 3 pairing vs null-space projection"
+                 " weights (per unit total power) ---\n";
+    const double w = 30.0;
+    std::vector<Vec2> elements;
+    for (int i = 0; i < 6; ++i) {
+      elements.push_back(Vec2{static_cast<double>(i) * 0.5,
+                              (i % 2 ? -7.5 : 7.5)});
+    }
+    const Vec2 pu_a{0.0, -5000.0};
+    const Vec2 pu_b{-5000.0, 2000.0};
+    const Vec2 sr{5000.0, 0.0};
+    const double total_power = static_cast<double>(elements.size());
+    TextTable t({"scheme", "PUs", "worst residual", "gain at Sr"});
+    {
+      const PairedBeamformer pairs(elements, w, pu_a);
+      t.add_row({"pairing (Algorithm 3)", "1",
+                 TextTable::sci(pairs.residual_at_pu() /
+                                std::sqrt(total_power)),
+                 TextTable::fmt(pairs.amplitude_at(sr) /
+                                    std::sqrt(total_power),
+                                3)});
+      const NullspaceBeamformer ns(elements, w, {pu_a}, sr);
+      t.add_row({"null-space weights", "1",
+                 TextTable::sci(ns.amplitude_at(pu_a)),
+                 TextTable::fmt(ns.amplitude_at(sr), 3)});
+    }
+    {
+      const MultiPuBeamformer pairs(elements, w, {pu_a, pu_b});
+      t.add_row({"pair splitting", "2",
+                 TextTable::sci(pairs.worst_residual() /
+                                std::sqrt(total_power)),
+                 TextTable::fmt(pairs.amplitude_at(sr) /
+                                    std::sqrt(total_power),
+                                3)});
+      const NullspaceBeamformer ns(elements, w, {pu_a, pu_b}, sr);
+      t.add_row({"null-space weights", "2",
+                 TextTable::sci(std::max(ns.amplitude_at(pu_a),
+                                         ns.amplitude_at(pu_b))),
+                 TextTable::fmt(ns.amplitude_at(sr), 3)});
+    }
+    t.print(std::cout);
+    std::cout << "The paper's pairing needs no CSI beyond geometry and"
+                 " one phase shifter per pair and\n"
+                 "matches the null-space gain in the single-PU case."
+                 "  With two protected PUs the\n"
+                 "null-space weights achieve machine-precision nulls"
+                 " but pay for them in Sr gain when\n"
+                 "a protected direction crowds the desired one —"
+                 " pair splitting keeps more gain at\n"
+                 "the cost of O(1) residuals.  Neither dominates;"
+                 " Algorithm 3 is the cheap point.\n";
+  }
+
+  // --- A9: genie CSI vs pilot-based estimation -----------------------------
+  {
+    std::cout << "\n--- A9: channel knowledge in the overlay testbed"
+                 " (Table 2 scenario, 100k bits) ---\n";
+    TextTable t({"channel knowledge", "BER with cooperation"});
+    for (const unsigned pilots : {0u, 2u, 8u, 32u}) {
+      OverlayBerConfig cfg = table2_single_relay_config(1);
+      cfg.pilot_symbols = pilots;
+      const OverlayBerResult r = run_overlay_ber(cfg);
+      const std::string name =
+          pilots == 0 ? "genie CSI (paper's assumption)"
+                      : std::to_string(pilots) + " pilots/packet";
+      t.add_row({name, TextTable::pct(r.ber_cooperative)});
+    }
+    t.print(std::cout);
+    std::cout << "A realistic preamble (tens of pilots per 1000-bit"
+                 " packet) recovers nearly all of the genie-CSI"
+                 " performance.\n";
+  }
+
+  // --- A10: channel-estimation error sensitivity --------------------------
+  {
+    std::cout << "\n--- A10: STBC decoding with imperfect H"
+                 " (H_est = H + CN(0, sigma_e^2)), Alamouti 2x2,"
+                 " QPSK at the p=1e-2 operating point ---\n";
+    const EbBarSolver solver;
+    const double ebar = solver.solve(1e-2, 2, 2, 2);
+    const double gamma_unit = ebar / solver.params().n0_w_per_hz;
+    const double sym_scale = std::sqrt(2.0 * gamma_unit);
+    const QamModulator modem(2);
+    const StbcCode code = StbcCode::alamouti();
+    const StbcDecoder decoder(code);
+    TextTable t({"estimation error var", "measured BER", "vs target 1e-2"});
+    for (const double sigma_e2 : {0.0, 0.01, 0.05, 0.2}) {
+      Rng rng(77);
+      AwgnChannel noise(1.0, Rng(78));
+      std::size_t errors = 0;
+      std::size_t bits_total = 0;
+      for (int blk = 0; blk < 30000; ++blk) {
+        const BitVec bits = random_bits(4, 500 + blk);
+        std::vector<cplx> s = modem.modulate(bits);
+        for (auto& v : s) v *= sym_scale;
+        const CMatrix h = CMatrix::random_gaussian(2, 2, rng);
+        const CMatrix c = code.encode(s);
+        CMatrix r(2, 2);
+        for (std::size_t tt = 0; tt < 2; ++tt) {
+          for (std::size_t j = 0; j < 2; ++j) {
+            cplx acc{0.0, 0.0};
+            for (std::size_t i = 0; i < 2; ++i) acc += c(tt, i) * h(j, i);
+            r(tt, j) = acc + noise.sample();
+          }
+        }
+        CMatrix h_est = h;
+        if (sigma_e2 > 0.0) {
+          for (std::size_t j = 0; j < 2; ++j) {
+            for (std::size_t i = 0; i < 2; ++i) {
+              h_est(j, i) += rng.complex_gaussian(sigma_e2);
+            }
+          }
+        }
+        auto est = decoder.decode(h_est, r);
+        for (auto& v : est) v /= sym_scale;
+        errors += count_bit_errors(bits, modem.demodulate(est));
+        bits_total += 4;
+      }
+      const double ber = static_cast<double>(errors) / bits_total;
+      t.add_row({TextTable::fmt(sigma_e2, 2), TextTable::sci(ber),
+                 TextTable::fmt(ber / 1e-2, 2) + "x"});
+    }
+    t.print(std::cout);
+    std::cout << "The \"H assumed known\" assumption of §2.3 is benign"
+                 " up to a few percent estimation-error power, after"
+                 " which the BER target erodes.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension study: network lifetime under cooperative vs heads-only
+// (non-cooperative) routing.
+//
+// The energy motivation behind cooperative MIMO (refs [9],[10]) is
+// network lifetime: splitting the long-haul PA burden across a cluster
+// should keep the first node alive far longer than burning the head's
+// battery on SISO hops.  net/lifetime.h runs repeated traffic rounds
+// with per-round head re-election (the paper's reconfiguration); this
+// bench compares the two routing modes over several fields.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/net/lifetime.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== extension: network lifetime, cooperative vs"
+               " heads-only SISO routing ===\n"
+            << "42 SUs in 14 groups, 100 kbit per traffic round, heads"
+               " re-elected each round; counts censored at 5000\n\n";
+
+  TextTable t({"routing", "seed", "rounds to first death",
+               "rounds to 25% dead"});
+  double coop_first = 0.0;
+  double siso_first = 0.0;
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    const auto nodes = clustered_field(14, 3, 6.0, 450.0, 450.0, seed,
+                                       /*battery_lo=*/150.0,
+                                       /*battery_hi=*/200.0);
+    CoMimoNetConfig net_cfg;
+    net_cfg.communication_range_m = 40.0;
+    net_cfg.cluster_diameter_m = 16.0;
+    net_cfg.link_range_m = 280.0;
+    const CoMimoNet net(nodes, net_cfg);
+
+    LifetimeConfig cfg;
+    cfg.traffic_seed = seed;
+    cfg.mode = RoutingMode::kCooperative;
+    const LifetimeReport coop = simulate_lifetime(net, SystemParams{}, cfg);
+    cfg.mode = RoutingMode::kSisoHeadsOnly;
+    const LifetimeReport siso = simulate_lifetime(net, SystemParams{}, cfg);
+    coop_first += static_cast<double>(coop.rounds_to_first_death);
+    siso_first += static_cast<double>(siso.rounds_to_first_death);
+    t.add_row({"cooperative", std::to_string(seed),
+               std::to_string(coop.rounds_to_first_death),
+               std::to_string(coop.rounds_to_death_fraction) +
+                   (coop.censored ? "+" : "")});
+    t.add_row({"heads-only SISO", std::to_string(seed),
+               std::to_string(siso.rounds_to_first_death),
+               std::to_string(siso.rounds_to_death_fraction) +
+                   (siso.censored ? "+" : "")});
+  }
+  t.print(std::cout);
+  std::cout << "\nmean first-death lifetime gain from cooperation: "
+            << TextTable::fmt(coop_first / std::max(siso_first, 1.0), 1)
+            << "x\n"
+            << "Note the crossover: cooperation spreads the PA burden,"
+               " delaying the *first* death,\n"
+            << "but the whole cohort then depletes together, while"
+               " heads-only routing (with head\n"
+            << "rotation each round) sacrifices individual heads and"
+               " keeps the rest alive longer.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Extension study: the outage view of the cooperative diversity gain.
+//
+// The paper designs for *average* BER (eqs. (5)–(6)); link engineers
+// usually budget for *outage* — the probability the instantaneous SNR
+// drops below a decodability threshold.  Both views expose the same
+// diversity order mt·mr; this bench prints the outage curves and the
+// outage-constrained energy requirements next to the average-BER ones.
+#include <iostream>
+#include <vector>
+
+#include "comimo/common/table.h"
+#include "comimo/common/units.h"
+#include "comimo/energy/ebbar.h"
+#include "comimo/energy/outage.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== extension: outage analysis of cooperative links ===\n\n";
+
+  const OutageAnalyzer oa;
+
+  // --- outage curves ----------------------------------------------------
+  std::cout << "--- P_out vs mean branch SNR (threshold 5 dB) ---\n";
+  const double th = db_to_linear(5.0);
+  std::vector<double> snr_db;
+  for (double s = 5.0; s <= 30.0 + 1e-9; s += 2.5) snr_db.push_back(s);
+  SeriesChart chart("mean SNR [dB]", snr_db);
+  for (const auto& [mt, mr] :
+       std::vector<std::pair<unsigned, unsigned>>{{1, 1}, {2, 1}, {2, 2},
+                                                  {2, 3}}) {
+    std::vector<double> pout;
+    for (const double s : snr_db) {
+      pout.push_back(oa.outage_probability(db_to_linear(s), th, mt, mr));
+    }
+    chart.add_series(std::to_string(mt) + "x" + std::to_string(mr),
+                     std::move(pout));
+  }
+  chart.print(std::cout, /*log_y=*/true);
+
+  // --- diversity order ----------------------------------------------------
+  std::cout << "\n--- empirical diversity order (slope of the outage"
+               " curve) ---\n";
+  TextTable orders({"link", "order (expected mt*mr)"});
+  for (const auto& [mt, mr] :
+       std::vector<std::pair<unsigned, unsigned>>{{1, 1}, {2, 1}, {2, 2},
+                                                  {2, 3}, {3, 3}}) {
+    orders.add_row({std::to_string(mt) + "x" + std::to_string(mr),
+                    TextTable::fmt(oa.empirical_diversity_order(th, mt, mr),
+                                   2)});
+  }
+  orders.print(std::cout);
+
+  // --- energy: outage-constrained vs average-BER ---------------------------
+  std::cout << "\n--- received energy per bit: 1% outage @ 7 dB threshold"
+               " vs average BER 1e-3 ---\n";
+  const EbBarSolver solver;
+  TextTable energies({"link", "ebar (avg BER 1e-3) [J]",
+                      "e_out (1% @ 7 dB) [J]", "ratio"});
+  for (const auto& [mt, mr] :
+       std::vector<std::pair<unsigned, unsigned>>{{1, 1}, {2, 1}, {1, 2},
+                                                  {2, 2}, {2, 3}}) {
+    const double ebar = solver.solve(1e-3, 2, mt, mr);
+    const double eout =
+        oa.required_energy(0.01, db_to_linear(7.0), mt, mr);
+    energies.add_row({std::to_string(mt) + "x" + std::to_string(mr),
+                      TextTable::sci(ebar), TextTable::sci(eout),
+                      TextTable::fmt(eout / ebar, 2)});
+  }
+  energies.print(std::cout);
+  std::cout << "\nBoth budgets collapse at the same mt*mr rate — the"
+               " diversity gain the cooperative paradigms monetize.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension study (beyond the paper's figures): the sensing dimension
+// of the interweave mode.
+//
+// The paper's interweave paradigm removes the *angular* interference
+// with beamforming; the time dimension still needs spectrum sensing.
+// This bench maps (i) the detector ROC at several SNRs and window
+// lengths, and (ii) the listen-before-talk frontier — idle-spectrum
+// utilization vs interference to the PU — as sensing quality varies.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/common/units.h"
+#include "comimo/sensing/energy_detector.h"
+#include "comimo/sensing/pu_activity.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== extension: sensing trade-offs for interweave ===\n\n";
+
+  // --- ROC sweep ------------------------------------------------------
+  std::cout << "--- energy-detector ROC (theory) ---\n";
+  const std::vector<double> pfa_grid{0.01, 0.05, 0.1, 0.2};
+  TextTable roc({"SNR [dB]", "N", "Pd@Pfa=0.01", "Pd@0.05", "Pd@0.1",
+                 "Pd@0.2"});
+  for (const double snr_db : {-15.0, -12.0, -9.0}) {
+    for (const std::size_t n : {500u, 2000u}) {
+      const auto points =
+          energy_detector_roc(db_to_linear(snr_db), n, pfa_grid);
+      roc.add_row({TextTable::fmt(snr_db, 0), std::to_string(n),
+                   TextTable::fmt(points[0].pd, 3),
+                   TextTable::fmt(points[1].pd, 3),
+                   TextTable::fmt(points[2].pd, 3),
+                   TextTable::fmt(points[3].pd, 3)});
+    }
+  }
+  roc.print(std::cout);
+
+  // --- sensing-time dimensioning ---------------------------------------
+  std::cout << "\n--- window length for (Pfa, Pd) = (0.05, 0.95) ---\n";
+  TextTable dim({"PU SNR [dB]", "required samples"});
+  for (const double snr_db : {-6.0, -10.0, -14.0, -18.0}) {
+    dim.add_row({TextTable::fmt(snr_db, 0),
+                 std::to_string(required_samples(db_to_linear(snr_db),
+                                                 0.05, 0.95))});
+  }
+  dim.print(std::cout);
+
+  // --- utilization vs interference frontier ------------------------------
+  std::cout << "\n--- listen-before-talk frontier (PU 0.5 s busy /"
+               " 1.0 s idle) ---\n";
+  TextTable frontier({"Pd", "Pfa", "idle utilization", "interference",
+                      "collisions"});
+  struct Quality {
+    double pd;
+    double pfa;
+  };
+  for (const Quality q : {Quality{0.999, 0.01}, Quality{0.95, 0.05},
+                          Quality{0.9, 0.1}, Quality{0.7, 0.3}}) {
+    OpportunisticAccessConfig cfg;
+    cfg.detection_probability = q.pd;
+    cfg.false_alarm_probability = q.pfa;
+    cfg.duration_s = 500.0;
+    cfg.seed = 5;
+    const auto r = simulate_opportunistic_access(cfg);
+    frontier.add_row({TextTable::fmt(q.pd, 3), TextTable::fmt(q.pfa, 2),
+                      TextTable::pct(r.idle_utilization),
+                      TextTable::pct(r.interference_fraction),
+                      TextTable::pct(r.collision_fraction)});
+  }
+  frontier.print(std::cout);
+  std::cout << "\nBetter sensing buys both more holes used and less"
+               " interference; the beamformer of Fig. 8 removes what"
+               " remains in the angular domain.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig. 6 reproduction — "Distance that SUs can be away from primary
+// transmitter Pt (a) and primary receiver Pr (b)".
+//
+// Sweep: D1 from 150 m to 350 m; m ∈ {2, 3}; B ∈ {20 kHz, 40 kHz};
+// primary BER 0.005, relayed BER 0.0005 (10× better), equal energy.
+// Paper anchor: D1 = 250 m, m = 3, B = 40 kHz → ≈ 235 m from Pt and
+// ≈ 406 m from Pr, with D3/D2 = √m.
+//
+// The paper's anchors are only consistent with solving ē_b *without*
+// the 1/mt split of the literal eq. (5) (see EXPERIMENTS.md), so the
+// main series use EbBarConvention::kTotalEnergy; the literal-equation
+// result is printed afterwards for comparison.
+#include <iostream>
+#include <vector>
+
+#include "comimo/common/table.h"
+#include "comimo/overlay/distance_planner.h"
+
+namespace {
+
+using namespace comimo;
+
+void run_sweep(const OverlayDistancePlanner& planner, const char* title) {
+  std::vector<double> d1;
+  for (double d = 150.0; d <= 350.0 + 1e-9; d += 25.0) d1.push_back(d);
+
+  struct Case {
+    unsigned m;
+    double bw;
+  };
+  const std::vector<Case> cases{{2, 20e3}, {3, 20e3}, {2, 40e3}, {3, 40e3}};
+
+  SeriesChart chart_pt("D1 [m]", d1);
+  SeriesChart chart_pr("D1 [m]", d1);
+  for (const auto& c : cases) {
+    OverlayDistanceQuery base;
+    base.num_relays = c.m;
+    base.bandwidth_hz = c.bw;
+    const auto results = planner.sweep_d1(d1, base);
+    std::vector<double> to_pt;
+    std::vector<double> to_pr;
+    for (const auto& r : results) {
+      to_pt.push_back(r.d2_m);
+      to_pr.push_back(r.d3_m);
+    }
+    const std::string label =
+        "m=" + std::to_string(c.m) + ",B=" +
+        std::to_string(static_cast<int>(c.bw / 1e3)) + "k";
+    chart_pt.add_series(label, to_pt);
+    chart_pr.add_series(label, to_pr);
+  }
+
+  std::cout << "--- Fig. 6(a) [" << title
+            << "]: largest distance from Pt ---\n";
+  chart_pt.print(std::cout);
+  std::cout << "\n--- Fig. 6(b) [" << title
+            << "]: largest distance from Pr ---\n";
+  chart_pr.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 6: overlay relay distances ===\n"
+            << "x: D1 = distance(Pt, Pr) [m]; y: largest SU distance [m]\n"
+            << "BER: primary 0.005, relayed 0.0005; equal energy budget\n\n";
+
+  const OverlayDistancePlanner paper_convention(
+      SystemParams{}, EbBarConvention::kTotalEnergy);
+  run_sweep(paper_convention, "paper convention, total-energy ebar");
+
+  // §6: "the bandwidth B varies from 10k to 100k" — the full B sweep at
+  // the anchor point.
+  std::cout << "\n--- bandwidth sweep at D1 = 250 m, m = 3 ---\n";
+  TextTable bw_table({"B [kHz]", "dist from Pt [m]", "dist from Pr [m]"});
+  for (double bw = 10e3; bw <= 100e3 + 1e-6; bw += 15e3) {
+    OverlayDistanceQuery bq;
+    bq.d1_m = 250.0;
+    bq.num_relays = 3;
+    bq.bandwidth_hz = bw;
+    const auto br = paper_convention.plan(bq);
+    bw_table.add_row({TextTable::fmt(bw / 1e3, 0),
+                      TextTable::fmt(br.d2_m, 1),
+                      TextTable::fmt(br.d3_m, 1)});
+  }
+  bw_table.print(std::cout);
+
+  // The paper's worked example under both conventions.
+  OverlayDistanceQuery q;
+  q.d1_m = 250.0;
+  q.num_relays = 3;
+  q.bandwidth_hz = 40e3;
+  const auto r_paper = paper_convention.plan(q);
+  const OverlayDistancePlanner literal(SystemParams{},
+                                       EbBarConvention::kPerAntennaSplit);
+  const auto r_literal = literal.plan(q);
+  std::cout
+      << "\nPaper anchor (D1=250 m, m=3, B=40k): ~235 m from Pt / ~406 m"
+         " from Pr, ratio sqrt(3)=1.73.\n"
+      << "Measured (total-energy ebar):    "
+      << TextTable::fmt(r_paper.d2_m, 1) << " / "
+      << TextTable::fmt(r_paper.d3_m, 1)
+      << " m, ratio " << TextTable::fmt(r_paper.d3_m / r_paper.d2_m, 2)
+      << " (ordering D3 > D2 and the sqrt(m) ratio reproduce; absolute"
+         " scale runs larger than the paper's MATLAB)\n"
+      << "Measured (literal eq. (5)):      "
+      << TextTable::fmt(r_literal.d2_m, 1) << " / "
+      << TextTable::fmt(r_literal.d3_m, 1)
+      << " m, ratio " << TextTable::fmt(r_literal.d3_m / r_literal.d2_m, 2)
+      << " (the 1/mt split cancels the MISO advantage)\n";
+  return 0;
+}

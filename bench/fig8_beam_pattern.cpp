@@ -1,0 +1,54 @@
+// Fig. 8 reproduction — "Performance of the cooperative beamformer for
+// interweave system".
+//
+// Two transmit elements a half wavelength apart form a null at 120°;
+// the receiver sweeps a 2 m-diameter semicircle in 20° steps.  Three
+// curves, as in the paper: the designed (simulated) radiation pattern,
+// the measured beamformer amplitude through the multipath channel, and
+// the measured SISO reference.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/testbed/experiments.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== Figure 8: cooperative beamformer pattern ===\n"
+            << "null designed at 120 deg; receiver on a 2 m-diameter"
+               " semicircle, 20 deg steps\n\n";
+
+  BeamPatternConfig cfg;
+  cfg.null_angle_deg = 120.0;
+  cfg.bits_per_point = 4000;
+  const BeamPatternResult r = run_beam_pattern(cfg);
+
+  SeriesChart chart("angle [deg]", r.angles_deg);
+  chart.add_series("designed pattern", r.ideal);
+  chart.add_series("measured w/ beamformer", r.measured_coop);
+  chart.add_series("measured SISO", r.measured_siso);
+  chart.print(std::cout);
+
+  std::cout << "\nObservations (paper / measured):\n";
+  std::cout << "  - null direction: 120 deg / minimum at ";
+  double best_angle = r.angles_deg.front();
+  double best = r.measured_coop.front();
+  for (std::size_t i = 0; i < r.angles_deg.size(); ++i) {
+    if (r.measured_coop[i] < best) {
+      best = r.measured_coop[i];
+      best_angle = r.angles_deg[i];
+    }
+  }
+  std::cout << TextTable::fmt(best_angle, 0) << " deg\n";
+  std::cout << "  - null not zero indoors (multipath): residual "
+            << TextTable::fmt(r.null_residual(), 3) << "\n";
+  std::size_t beats = 0;
+  std::size_t eligible = 0;
+  for (std::size_t i = 0; i < r.angles_deg.size(); ++i) {
+    if (std::abs(r.angles_deg[i] - cfg.null_angle_deg) <= 20.0) continue;
+    ++eligible;
+    if (r.measured_coop[i] > r.measured_siso[i]) ++beats;
+  }
+  std::cout << "  - beamformer beats SISO outside 20 deg of the null at "
+            << beats << "/" << eligible << " measured angles\n";
+  return 0;
+}

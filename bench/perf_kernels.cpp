@@ -1,0 +1,192 @@
+// Kernel micro-benchmarks (google-benchmark): the hot paths a planner
+// or simulator spends its time in — the ē_b solve, STBC encode/decode,
+// GMSK modulation, the CSMA/CA event loop and the framing layer.
+#include <benchmark/benchmark.h>
+
+#include "comimo/energy/ebbar.h"
+#include "comimo/energy/ebbar_table.h"
+#include "comimo/net/csma_ca.h"
+#include "comimo/net/spatial_csma.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/phy/detector.h"
+#include "comimo/phy/gmsk.h"
+#include "comimo/phy/link_adaptation.h"
+#include "comimo/phy/stbc.h"
+#include "comimo/testbed/coop_hop_sim.h"
+#include "comimo/testbed/framing.h"
+
+namespace {
+
+using namespace comimo;
+
+void BM_EbBarSolve(benchmark::State& state) {
+  const EbBarSolver solver;
+  const auto mt = static_cast<unsigned>(state.range(0));
+  const auto mr = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(1e-3, 4, mt, mr));
+  }
+}
+BENCHMARK(BM_EbBarSolve)->Args({1, 1})->Args({2, 2})->Args({4, 4});
+
+void BM_EbBarQuadrature(benchmark::State& state) {
+  const EbBarSolver solver;
+  const double e = solver.solve(1e-3, 4, 2, 2);
+  const auto points = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.average_ber_quadrature(e, 4, 2, 2, points));
+  }
+}
+BENCHMARK(BM_EbBarQuadrature)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_EbBarTableBuild(benchmark::State& state) {
+  const EbBarSolver solver;
+  EbBarTable::Spec spec;
+  spec.ber_targets = {1e-2, 1e-3};
+  spec.b_max = static_cast<int>(state.range(0));
+  spec.m_max = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EbBarTable::build(solver, spec));
+  }
+}
+BENCHMARK(BM_EbBarTableBuild)->Arg(4)->Arg(16);
+
+void BM_StbcEncodeDecode(benchmark::State& state) {
+  const auto mt = static_cast<std::size_t>(state.range(0));
+  const StbcCode code = StbcCode::for_antennas(mt);
+  const StbcDecoder decoder(code);
+  Rng rng(1);
+  std::vector<cplx> s(code.symbols_per_block());
+  for (auto& v : s) v = rng.complex_gaussian();
+  const CMatrix h = CMatrix::random_gaussian(2, mt, rng);
+  std::size_t symbols = 0;
+  for (auto _ : state) {
+    const CMatrix c = code.encode(s);
+    CMatrix r(code.block_length(), 2);
+    for (std::size_t t = 0; t < code.block_length(); ++t) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t i = 0; i < mt; ++i) acc += c(t, i) * h(j, i);
+        r(t, j) = acc;
+      }
+    }
+    benchmark::DoNotOptimize(decoder.decode(h, r));
+    symbols += code.symbols_per_block();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(symbols));
+}
+BENCHMARK(BM_StbcEncodeDecode)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_GmskModulate(benchmark::State& state) {
+  const GmskModem modem;
+  const BitVec bits = random_bits(static_cast<std::size_t>(state.range(0)), 3);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(modem.modulate(bits));
+    total += bits.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_GmskModulate)->Arg(1000)->Arg(12000);
+
+void BM_GmskDemodulate(benchmark::State& state) {
+  const GmskModem modem;
+  const BitVec bits = random_bits(static_cast<std::size_t>(state.range(0)), 4);
+  const auto samples = modem.modulate(bits);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(modem.demodulate(samples, bits.size()));
+    total += bits.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_GmskDemodulate)->Arg(1000)->Arg(12000);
+
+void BM_CsmaCaSimulation(benchmark::State& state) {
+  const auto stations_n = static_cast<std::size_t>(state.range(0));
+  std::vector<CsmaStation> stations;
+  for (std::size_t i = 0; i < stations_n; ++i) {
+    stations.push_back({static_cast<NodeId>(i), 20.0, 12000});
+  }
+  for (auto _ : state) {
+    CsmaCaConfig cfg;
+    cfg.seed = 1;
+    CsmaCaSimulator sim(cfg, stations);
+    benchmark::DoNotOptimize(sim.run(2.0));
+  }
+}
+BENCHMARK(BM_CsmaCaSimulation)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  const Framer framer;
+  Packet p;
+  p.sequence = 42;
+  p.payload.assign(static_cast<std::size_t>(state.range(0)), 0xA5);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const BitVec bits = framer.frame(p);
+    benchmark::DoNotOptimize(framer.parse(bits));
+    bytes += p.payload.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_FrameRoundTrip)->Arg(64)->Arg(1500);
+
+void BM_CoopHopWaveform(benchmark::State& state) {
+  const auto mt = static_cast<unsigned>(state.range(0));
+  const UnderlayCooperativeHop planner;
+  UnderlayHopConfig cfg;
+  cfg.mt = mt;
+  cfg.mr = 2;
+  cfg.ber = 1e-2;
+  CoopHopSimConfig sim;
+  sim.plan = planner.plan(cfg, BSelectionRule::kMinTotalPa);
+  sim.bits = 2000;
+  std::size_t bits = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_cooperative_hop(sim));
+    bits += sim.bits;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(bits));
+}
+BENCHMARK(BM_CoopHopWaveform)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SpatialCsma(benchmark::State& state) {
+  const auto stations_n = static_cast<std::size_t>(state.range(0));
+  std::vector<SpatialStation> stations;
+  Rng rng(7);
+  for (std::size_t i = 0; i < stations_n; ++i) {
+    SpatialStation s;
+    s.id = static_cast<NodeId>(i);
+    s.position = rng.point_in_disk(Vec2{250.0, 250.0}, 240.0);
+    s.destination = rng.point_in_disk(s.position, 50.0);
+    s.arrival_rate_fps = 10.0;
+    stations.push_back(s);
+  }
+  for (auto _ : state) {
+    SpatialCsmaConfig cfg;
+    cfg.seed = 1;
+    SpatialCsmaSimulator sim(cfg, stations);
+    benchmark::DoNotOptimize(sim.run(1.0));
+  }
+}
+BENCHMARK(BM_SpatialCsma)->Arg(4)->Arg(16);
+
+void BM_AdaptiveLink(benchmark::State& state) {
+  LinkAdaptationConfig cfg;
+  AdaptiveLinkScenario sc;
+  sc.blocks = 200;
+  std::size_t bits = 0;
+  for (auto _ : state) {
+    const AdaptationRun run = simulate_adaptive_link(cfg, sc);
+    benchmark::DoNotOptimize(run.ber);
+    bits += run.bits;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(bits));
+}
+BENCHMARK(BM_AdaptiveLink);
+
+}  // namespace
+
+BENCHMARK_MAIN();

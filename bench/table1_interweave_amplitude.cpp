@@ -1,0 +1,70 @@
+// Table 1 reproduction — "Amplitude of signal waves from two cooperative
+// SUs in Interweave System".
+//
+// The paper's simulation (§6.3): St1, St2 sit on the vertical axis 15 m
+// apart (r = w/2, w = 30 m); 20 candidate primary receivers are placed
+// uniformly at random in a 300 m-diameter circle centered at St1; the
+// pair picks the PU per Algorithm 3 (far + least collinear with the
+// St→Sr direction), imposes δ, and the amplitude of the superposed wave
+// at the secondary receiver Sr is recorded.  10 trials; the paper
+// reports 1.87–1.89 vs a SISO reference of 1.0.
+//
+// The paper does not state Sr's position.  We place Sr 150 m away at
+// 76.6° from the array axis — 13.4° off broadside — the one free
+// parameter; the broadside-ish placement is what Algorithm 3's
+// perpendicularity heuristic drives toward (see DESIGN.md §4).
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/common/units.h"
+#include "comimo/interweave/pair_beamformer.h"
+#include "comimo/interweave/pu_selection.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/numeric/stats.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== Table 1: interweave pair amplitude at Sr ===\n"
+            << "r = 15 m, w = 2r = 30 m, 20 random PU candidates in a"
+               " 300 m circle, 10 trials\n\n";
+
+  const PairGeometry geom{Vec2{0.0, 7.5}, Vec2{0.0, -7.5}};
+  const double wavelength = 30.0;
+  const double sr_angle = deg_to_rad(76.6);  // from the array axis
+  const Vec2 axis = (geom.st2 - geom.st1).normalized();
+  const Vec2 perp{-axis.y, axis.x};
+  const Vec2 sr = geom.center() +
+                  (axis * std::cos(sr_angle) + perp * std::sin(sr_angle)) *
+                      150.0;
+
+  TextTable table({"Test Number", "Location of Picked Pr", "Amplitude",
+                   "Residual at Pr"});
+  RunningStats amplitude_stats;
+  for (int trial = 1; trial <= 10; ++trial) {
+    Rng rng(2013, static_cast<std::uint64_t>(trial));
+    std::vector<Vec2> candidates;
+    for (int i = 0; i < 20; ++i) {
+      candidates.push_back(rng.point_in_disk(geom.st1, 150.0));
+    }
+    // Weighting chosen to mirror the paper's picks, which hug the
+    // array axis (perpendicular to St→Sr): the angle term dominates.
+    const PuSelectionWeights weights{0.25, 2.0};
+    const std::size_t pick = select_pu(geom.center(), sr, candidates, weights);
+    const Vec2 pu = candidates[pick];
+    const NullSteeringPair pair(geom, wavelength, pu);
+    const double amp = pair.amplitude_at(sr);
+    amplitude_stats.add(amp);
+    table.add_row({std::to_string(trial),
+                   "(" + TextTable::fmt(pu.x, 0) + ", " +
+                       TextTable::fmt(pu.y, 0) + ")",
+                   TextTable::fmt(amp, 2),
+                   TextTable::fmt(pair.residual_at_pu(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAverage amplitude at Sr: "
+            << TextTable::fmt(amplitude_stats.mean(), 2)
+            << "x the SISO reference (paper: 1.87, range 1.87-1.89)\n"
+            << "Range: [" << TextTable::fmt(amplitude_stats.min(), 2)
+            << ", " << TextTable::fmt(amplitude_stats.max(), 2) << "]\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 3 reproduction — "BER results for multi-relay overlay system".
+//
+// Transmitter and receiver two labs (>30 ft, concrete walls) apart;
+// one vs three uniformly spaced corridor relays vs no cooperation.
+// 100 000 BPSK bits, three experiments averaged, as in the paper.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/testbed/experiments.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== Table 3: multi-relay overlay BER ===\n"
+            << "100000 bits/run, BPSK, EGC; average of 3 experiments\n\n";
+
+  double multi = 0.0;
+  double single = 0.0;
+  double none = 0.0;
+  const int runs = 3;
+  for (int run = 1; run <= runs; ++run) {
+    const auto seed = static_cast<std::uint64_t>(run);
+    const OverlayBerResult three =
+        run_overlay_ber(table3_multi_relay_config(3, seed));
+    const OverlayBerResult one =
+        run_overlay_ber(table3_multi_relay_config(1, seed));
+    multi += three.ber_cooperative;
+    single += one.ber_cooperative;
+    none += one.ber_direct;  // the shared no-cooperation baseline
+  }
+  multi /= runs;
+  single /= runs;
+  none /= runs;
+
+  TextTable table({"Multi-relay", "Single-relay", "without cooperation"});
+  table.add_row({TextTable::pct(multi), TextTable::pct(single),
+                 TextTable::pct(none)});
+  table.print(std::cout);
+  std::cout << "\nPaper: 2.93% / 10.57% / 22.74%.\n"
+            << "Orderings to preserve: multi < single < none — "
+            << (multi < single && single < none ? "holds" : "VIOLATED")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 4 reproduction — "PER results for underlay system".
+//
+// A 474-packet × 1500-byte image is transmitted with GMSK at 250 kbps
+// by two cooperating co-located SU transmitters (or one, for the
+// baseline) at transmit amplitudes 800/600/400; packet error rate is
+// counted at the secondary receiver via CRC, exactly as the testbed
+// counted it.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/testbed/experiments.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== Table 4: underlay image-transfer PER ===\n"
+            << "474 packets x 1500 B, GMSK; CRC-checked at the receiver\n\n";
+
+  TextTable table({"Amplitude", "with cooperation", "without cooperation",
+                   "image (coop)"});
+  double coop_sum = 0.0;
+  double solo_sum = 0.0;
+  const std::vector<double> amplitudes{800.0, 600.0, 400.0};
+  for (const double amp : amplitudes) {
+    UnderlayPerConfig cfg;
+    cfg.amplitude = amp;
+    cfg.seed = 7;
+    cfg.cooperative = true;
+    const UnderlayPerResult coop = run_underlay_per(cfg);
+    cfg.cooperative = false;
+    const UnderlayPerResult solo = run_underlay_per(cfg);
+    coop_sum += coop.per;
+    solo_sum += solo.per;
+    table.add_row(
+        {TextTable::fmt(amp, 0), TextTable::pct(coop.per),
+         TextTable::pct(solo.per),
+         coop.reassembly.recoverable()
+             ? (coop.per == 0.0 ? "perfect" : "recovered w/ distortion")
+             : "unrecoverable"});
+  }
+  table.add_row({"Average",
+                 TextTable::pct(coop_sum / amplitudes.size()),
+                 TextTable::pct(solo_sum / amplitudes.size()), ""});
+  table.print(std::cout);
+  std::cout << "\nPaper: coop 0 / 6.12% / 13.72% (avg 6.61%); solo 24.85%"
+               " / 70.28% / 97.1% (avg 64.08%).\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Model-validation harness: does the closed-form energy model deliver
+// what it promises when actual waveforms fly?
+//
+// For every (mt, mr) in the Fig. 7 grid, plan an underlay hop at a
+// target BER, then execute the full three-step Algorithm-2 hop at the
+// sample level (DF broadcast, STBC over Rayleigh H at exactly the
+// planned ē_b, analog forwarding to the head) and compare the measured
+// end-to-end BER with the plan's target.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/testbed/coop_hop_sim.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== validation: planned vs measured hop BER ===\n"
+            << "200 m hop, target BER 1e-2, 200k bits per cell\n\n";
+
+  const UnderlayCooperativeHop planner;
+  TextTable table({"mt x mr", "b", "ebar [J]", "target BER",
+                   "measured BER", "ratio", "intra DF errors"});
+  for (unsigned mt = 1; mt <= 3; ++mt) {
+    for (unsigned mr = 1; mr <= 3; ++mr) {
+      UnderlayHopConfig cfg;
+      cfg.mt = mt;
+      cfg.mr = mr;
+      cfg.hop_distance_m = 200.0;
+      cfg.ber = 1e-2;
+      CoopHopSimConfig sim;
+      sim.plan = planner.plan(cfg, BSelectionRule::kMinTotalPa);
+      sim.bits = 200000;
+      sim.seed = 11;
+      const CoopHopSimResult r = simulate_cooperative_hop(sim);
+      table.add_row({std::to_string(mt) + "x" + std::to_string(mr),
+                     std::to_string(sim.plan.b),
+                     TextTable::sci(sim.plan.ebar),
+                     TextTable::sci(r.target_ber), TextTable::sci(r.ber),
+                     TextTable::fmt(r.ber / r.target_ber, 2),
+                     TextTable::sci(r.intra_error_rate)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nA ratio near 1.0 means the eq. (5) inversion is"
+               " faithful; mild optimism (<1) reflects the MQAM"
+               " union-bound style approximation, mild pessimism (>1)"
+               " the DF/forwarding impairments the closed form"
+               " ignores.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Example: interweave spectrum sharing with pairwise null-steering
+// beamforming (§5 / Algorithm 3).
+//
+// A cluster of 6 secondary transmitters wants to reuse a primary
+// channel while a primary receiver is active nearby.  The head scores
+// the sensed primary receivers, picks the one Algorithm 3 prefers,
+// forms ⌊mt/2⌋ null-steered pairs, and this program reports the
+// residual interference at the PU, the diversity amplitude at the
+// secondary receiver, and the pattern around the compass.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/common/units.h"
+#include "comimo/interweave/pattern.h"
+#include "comimo/interweave/pu_selection.h"
+#include "comimo/numeric/rng.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== interweave null-steering beamformer ===\n\n";
+
+  const double wavelength = 0.1224;  // 2.45 GHz
+  // Six SU transmitters in a tight cluster (λ/2-ish spacing), paired in
+  // order; the secondary receiver sits 40 m east.
+  std::vector<Vec2> su;
+  for (int i = 0; i < 6; ++i) {
+    su.push_back(Vec2{0.0, (i - 2.5) * wavelength / 2.0});
+  }
+  const Vec2 st_center{0.0, 0.0};
+  const Vec2 sr{40.0, 0.0};
+
+  // Sensed primary receivers around the cluster.
+  Rng rng(17);
+  std::vector<Vec2> pus;
+  for (int i = 0; i < 6; ++i) {
+    pus.push_back(rng.point_in_disk(st_center, 120.0));
+  }
+
+  const auto scores = score_pu_candidates(st_center, sr, pus);
+  TextTable cand({"rank", "PU position", "distance [m]",
+                  "angle vs Sr [deg]", "score"});
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const auto& s = scores[i];
+    cand.add_row({std::to_string(i + 1),
+                  "(" + TextTable::fmt(pus[s.index].x, 0) + ", " +
+                      TextTable::fmt(pus[s.index].y, 0) + ")",
+                  TextTable::fmt(s.distance_m, 1),
+                  TextTable::fmt(rad_to_deg(s.angle_rad), 1),
+                  TextTable::fmt(s.score, 3)});
+  }
+  std::cout << "Algorithm 3 step 1 — PU candidates, best first:\n";
+  cand.print(std::cout);
+
+  const Vec2 chosen = pus[scores.front().index];
+  const PairedBeamformer bf(su, wavelength, chosen);
+  std::cout << "\nformed " << bf.num_pairs()
+            << " null-steered pairs toward PU at ("
+            << TextTable::fmt(chosen.x, 0) << ", "
+            << TextTable::fmt(chosen.y, 0) << ")\n"
+            << "residual at PU: " << TextTable::sci(bf.residual_at_pu())
+            << "  (a single un-steered element would deliver 1.0)\n"
+            << "amplitude at Sr: " << TextTable::fmt(bf.amplitude_at(sr), 2)
+            << "  (SISO reference 1.0, ideal maximum "
+            << 2 * bf.num_pairs() << ")\n\n";
+
+  // Compass sweep of one pair, ideal and with indoor multipath.
+  const NullSteeringPair& pair = bf.pairs().front();
+  const RadiationPattern ideal = ideal_pattern(pair, 20.0);
+  const RadiationPattern indoor =
+      measured_pattern(pair, 30.0, 20.0, 0.15, 0.15, 100, 3);
+  SeriesChart chart("angle from array axis [deg]", ideal.angles_deg);
+  chart.add_series("ideal pair pattern", ideal.amplitudes);
+  chart.add_series("with indoor multipath", indoor.amplitudes);
+  chart.print(std::cout);
+  std::cout << "\nideal null depth " << TextTable::sci(ideal.null_depth())
+            << " at " << TextTable::fmt(ideal.null_angle_deg(), 0)
+            << " deg; multipath floor "
+            << TextTable::fmt(indoor.null_depth(), 3) << "\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Example: the cognitive loop around the cooperative paradigms —
+// sensing the primary, grabbing spectrum holes, and adapting the rate.
+//
+// 1. Dimension an energy detector for a -12 dB PU at (P_fa, P_d) =
+//    (0.05, 0.95) and verify it on simulated windows.
+// 2. Run listen-before-talk against a bursty PU and show how the
+//    sensing cadence trades secondary utilization against interference.
+// 3. Inside the grabbed holes, adapt the constellation to the fading
+//    channel and compare against fixed rates.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/common/units.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/phy/link_adaptation.h"
+#include "comimo/sensing/energy_detector.h"
+#include "comimo/sensing/pu_activity.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== the cognitive loop: sense, seize, adapt ===\n\n";
+
+  // --- 1. detector dimensioning -------------------------------------------
+  const double snr = db_to_linear(-12.0);
+  const std::size_t n = required_samples(snr, 0.05, 0.95);
+  const EnergyDetector detector(n, 1.0, 0.05);
+  std::cout << "detecting a -12 dB PU at (Pfa, Pd) = (0.05, 0.95) needs "
+            << n << " samples per window\n";
+  Rng rng(1);
+  std::size_t hits = 0;
+  std::vector<cplx> window(n);
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    for (auto& s : window) {
+      s = rng.complex_gaussian(1.0) + rng.complex_gaussian(snr);
+    }
+    hits += detector.sense(window).pu_present;
+  }
+  std::cout << "measured Pd over " << trials << " busy windows: "
+            << TextTable::pct(static_cast<double>(hits) / trials) << "\n\n";
+
+  // --- 2. opportunistic access --------------------------------------------
+  std::cout << "listen-before-talk vs a PU with 0.5 s busy / 1.0 s idle"
+               " bursts (Pd 0.95, Pfa 0.05):\n";
+  TextTable access({"sensing period [ms]", "frames sent",
+                    "collision fraction", "idle utilization",
+                    "interference"});
+  for (const double period_ms : {5.0, 20.0, 80.0}) {
+    OpportunisticAccessConfig cfg;
+    cfg.sensing_period_s = period_ms / 1e3;
+    cfg.duration_s = 300.0;
+    cfg.seed = 3;
+    const auto r = simulate_opportunistic_access(cfg);
+    access.add_row({TextTable::fmt(period_ms, 0),
+                    std::to_string(r.frames_sent),
+                    TextTable::pct(r.collision_fraction),
+                    TextTable::pct(r.idle_utilization),
+                    TextTable::pct(r.interference_fraction)});
+  }
+  access.print(std::cout);
+
+  // --- 3. rate adaptation in the holes -------------------------------------
+  std::cout << "\nadaptive MQAM inside the holes (Rayleigh, 18 dB mean,"
+               " target BER 1e-3):\n";
+  LinkAdaptationConfig la;
+  AdaptiveLinkScenario sc;
+  sc.mean_snr_db = 18.0;
+  sc.blocks = 1500;
+  TextTable rates({"policy", "bits/symbol", "measured BER"});
+  const AdaptationRun adaptive = simulate_adaptive_link(la, sc);
+  rates.add_row({"adaptive",
+                 TextTable::fmt(adaptive.mean_bits_per_symbol, 2),
+                 TextTable::sci(adaptive.ber)});
+  for (const int b : {2, 4, 6}) {
+    AdaptiveLinkScenario fixed = sc;
+    fixed.fixed_b = b;
+    const AdaptationRun run = simulate_adaptive_link(la, fixed);
+    rates.add_row({"fixed b=" + std::to_string(b),
+                   TextTable::fmt(run.mean_bits_per_symbol, 2),
+                   TextTable::sci(run.ber)});
+  }
+  rates.print(std::cout);
+  std::cout << "\nadaptation rides the fading: highest rate that still"
+               " honors the BER target, block by block.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Example: the underlay image-transfer experiment end to end (§6.4).
+//
+// Reproduces the paper's demo in miniature: a synthetic grayscale image
+// is split into 1500-byte packets, framed with CRC-32, GMSK-modulated
+// and sent over the simulated indoor channel, with and without a second
+// cooperating transmitter, at decreasing transmit amplitudes.  The
+// recovered images are rendered as ASCII art so the "recovered with
+// some distortions" / "cannot be recovered" observations are visible.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/testbed/experiments.h"
+
+namespace {
+
+// Coarse ASCII rendering: averages blocks of pixels to a 64x16 grid.
+void render(const comimo::SyntheticImage& img, std::ostream& os) {
+  const std::size_t cols = 64;
+  const std::size_t rows = 16;
+  static const char kRamp[] = " .:-=+*#%@";
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << "    ";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t y0 = r * img.height / rows;
+      const std::size_t y1 = (r + 1) * img.height / rows;
+      const std::size_t x0 = c * img.width / cols;
+      const std::size_t x1 = (c + 1) * img.width / cols;
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::size_t y = y0; y < y1; ++y) {
+        for (std::size_t x = x0; x < x1; ++x) {
+          const std::size_t idx = y * img.width + x;
+          if (idx < img.pixels.size()) {
+            sum += img.pixels[idx];
+            ++n;
+          }
+        }
+      }
+      const double v = n ? sum / n : 0.0;
+      os << kRamp[static_cast<std::size_t>(v / 256.0 * 9.999)];
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== testbed image transfer (GMSK underlay) ===\n"
+            << "60 packets x 1500 B per run (paper: 474), CRC-checked\n\n";
+
+  TextTable summary({"amplitude", "mode", "PER", "mean |pixel err|",
+                     "verdict"});
+  for (const double amp : {800.0, 400.0}) {
+    for (const bool coop : {true, false}) {
+      UnderlayPerConfig cfg;
+      cfg.num_packets = 60;
+      cfg.amplitude = amp;
+      cfg.cooperative = coop;
+      cfg.seed = 11;
+      const UnderlayPerResult r = run_underlay_per(cfg);
+      summary.add_row(
+          {TextTable::fmt(amp, 0), coop ? "cooperative" : "solo",
+           TextTable::pct(r.per),
+           TextTable::fmt(r.reassembly.mean_abs_error, 1),
+           r.reassembly.recoverable()
+               ? (r.per == 0.0 ? "perfect" : "recovered w/ distortion")
+               : "unrecoverable"});
+      if ((amp == 800.0 && coop) || (amp == 400.0 && !coop)) {
+        std::cout << "received image (amplitude " << amp << ", "
+                  << (coop ? "cooperative" : "solo") << ", PER "
+                  << TextTable::pct(r.per) << "):\n";
+        render(r.reassembly.image, std::cout);
+        std::cout << "\n";
+      }
+    }
+  }
+  std::cout << "summary:\n";
+  summary.print(std::cout);
+  std::cout << "\noriginal for comparison:\n";
+  render(make_test_image(60, 1500), std::cout);
+  return 0;
+}

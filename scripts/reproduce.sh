@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Full reproduction: build, test, and regenerate every table/figure.
+# Usage: scripts/reproduce.sh [build-dir]
+set -eu
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== reproduction harness =="
+for b in "$BUILD_DIR"/bench/*; do
+  echo "---- $b ----"
+  "$b"
+done
+
+echo "== examples =="
+for e in "$BUILD_DIR"/examples/example_*; do
+  echo "---- $e ----"
+  "$e"
+done

@@ -1,0 +1,39 @@
+#include "comimo/channel/fading.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+RayleighBlockFading::RayleighBlockFading(std::size_t mt, std::size_t mr,
+                                         Rng rng)
+    : mt_(mt), mr_(mr), rng_(rng) {
+  COMIMO_CHECK(mt >= 1 && mr >= 1, "fading needs at least 1x1");
+}
+
+CMatrix RayleighBlockFading::next_block() {
+  return CMatrix::random_gaussian(mr_, mt_, rng_, 1.0);
+}
+
+cplx RayleighBlockFading::next_coefficient() {
+  return rng_.complex_gaussian(1.0);
+}
+
+CorrelatedFadingTrack::CorrelatedFadingTrack(double rho, Rng rng)
+    : rho_(rho),
+      innovation_scale_(std::sqrt(1.0 - rho * rho)),
+      state_(0.0, 0.0),
+      rng_(rng) {
+  COMIMO_CHECK(rho >= 0.0 && rho < 1.0, "rho must be in [0,1)");
+  // Start from the stationary distribution so the first samples are
+  // already Rayleigh.
+  state_ = rng_.complex_gaussian(1.0);
+}
+
+cplx CorrelatedFadingTrack::next() {
+  state_ = state_ * rho_ + rng_.complex_gaussian(1.0) * innovation_scale_;
+  return state_;
+}
+
+}  // namespace comimo

@@ -1,0 +1,58 @@
+// Flat Rayleigh block fading.
+//
+// §2.3: "the MIMO systems are referring to the ones coded with space-time
+// block codes (such as Alamouti code) and a flat Rayleigh fading channel".
+// The channel matrix H has i.i.d. CN(0,1) entries, constant over one STBC
+// block and independent across blocks (block fading).  ‖H‖²_F is then
+// Gamma(mt·mr, 1) distributed — the statistic behind the ē_b solver.
+#pragma once
+
+#include <cstddef>
+
+#include "comimo/numeric/cmatrix.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+class RayleighBlockFading {
+ public:
+  /// mt transmit branches × mr receive branches; `unit_power` entries
+  /// are CN(0, 1).
+  RayleighBlockFading(std::size_t mt, std::size_t mr, Rng rng);
+
+  /// Draws the channel matrix H (mr × mt: rows are receive antennas) for
+  /// the next block.
+  [[nodiscard]] CMatrix next_block();
+
+  /// Scalar Rayleigh coefficient for SISO use.
+  [[nodiscard]] cplx next_coefficient();
+
+  [[nodiscard]] std::size_t mt() const noexcept { return mt_; }
+  [[nodiscard]] std::size_t mr() const noexcept { return mr_; }
+
+ private:
+  std::size_t mt_;
+  std::size_t mr_;
+  Rng rng_;
+};
+
+/// First-order autoregressive (Jakes-approximation) fading track for the
+/// testbed: h[k+1] = ρ h[k] + √(1-ρ²) w[k], keeping |h| Rayleigh while
+/// introducing the temporal correlation of a slowly moving indoor channel.
+class CorrelatedFadingTrack {
+ public:
+  /// `rho` in [0, 1): per-step correlation (1 ⇒ static channel).
+  CorrelatedFadingTrack(double rho, Rng rng);
+
+  [[nodiscard]] cplx next();
+
+  [[nodiscard]] double rho() const noexcept { return rho_; }
+
+ private:
+  double rho_;
+  double innovation_scale_;
+  cplx state_;
+  Rng rng_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,40 @@
+#include "comimo/channel/indoor.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+
+namespace comimo {
+
+IndoorLink::IndoorLink(const IndoorLinkConfig& config, Rng rng)
+    : config_(config),
+      amplitude_gain_(std::pow(
+          10.0, (config.gain_db - config.obstacle_loss_db) / 20.0)),
+      phase_rotation_(std::cos(config.phase_offset_rad),
+                      std::sin(config.phase_offset_rad)),
+      tdl_(config.multipath, rng) {}
+
+void IndoorLink::redraw_fading() { tdl_.redraw(); }
+
+std::vector<cplx> IndoorLink::propagate(std::span<const cplx> samples) {
+  std::vector<cplx> out = tdl_.apply(samples);
+  const cplx scale = phase_rotation_ * amplitude_gain_;
+  for (auto& s : out) s *= scale;
+  return out;
+}
+
+std::vector<cplx> superpose(const std::vector<std::vector<cplx>>& streams) {
+  COMIMO_CHECK(!streams.empty(), "superpose needs at least one stream");
+  const std::size_t n = streams.front().size();
+  for (const auto& s : streams) {
+    COMIMO_CHECK(s.size() == n, "superpose needs equal-length streams");
+  }
+  std::vector<cplx> out(n, cplx{0.0, 0.0});
+  for (const auto& s : streams) {
+    for (std::size_t i = 0; i < n; ++i) out[i] += s[i];
+  }
+  return out;
+}
+
+}  // namespace comimo

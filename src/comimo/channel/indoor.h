@@ -1,0 +1,70 @@
+// Composite indoor link: path gain + obstacle loss + multipath fading.
+//
+// This is the channel the simulated USRP testbed (src/testbed) runs over.
+// Each transmitter→receiver pair owns one IndoorLink; the receiver sums
+// the propagated signals of all simultaneous transmitters and adds a
+// single AWGN realization, mirroring how superposition works at a real
+// antenna.  Noise is therefore *not* added here — see AwgnChannel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comimo/channel/multipath.h"
+#include "comimo/numeric/cmatrix.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+struct IndoorLinkConfig {
+  /// Mean link gain in dB applied to the signal amplitude (typically
+  /// negative; includes distance loss relative to the reference SNR
+  /// budget of the experiment).
+  double gain_db = 0.0;
+  /// Additional obstruction loss in dB (thick board, concrete walls).
+  double obstacle_loss_db = 0.0;
+  /// Small-scale fading profile.
+  MultipathProfile multipath{};
+  /// Extra carrier phase rotation of this path [rad] — used by the
+  /// beamforming experiments where two transmitters differ by an imposed
+  /// phase delay plus geometric path difference.
+  double phase_offset_rad = 0.0;
+};
+
+class IndoorLink {
+ public:
+  IndoorLink(const IndoorLinkConfig& config, Rng rng);
+
+  /// Redraws the small-scale fading (call once per packet for block
+  /// fading).
+  void redraw_fading();
+
+  /// Propagates samples through gain, obstruction, phase offset and
+  /// multipath; no noise is added.
+  [[nodiscard]] std::vector<cplx> propagate(std::span<const cplx> samples);
+
+  /// Mean amplitude gain (linear) without the fading realization.
+  [[nodiscard]] double mean_amplitude_gain() const noexcept {
+    return amplitude_gain_;
+  }
+  [[nodiscard]] const IndoorLinkConfig& config() const noexcept {
+    return config_;
+  }
+  /// Instantaneous fading power of the current realization.
+  [[nodiscard]] double fading_power() const noexcept {
+    return tdl_.channel_power();
+  }
+
+ private:
+  IndoorLinkConfig config_;
+  double amplitude_gain_;
+  cplx phase_rotation_;
+  TappedDelayLine tdl_;
+};
+
+/// Element-wise sum of equally long sample streams (superposition at the
+/// receive antenna).
+[[nodiscard]] std::vector<cplx> superpose(
+    const std::vector<std::vector<cplx>>& streams);
+
+}  // namespace comimo

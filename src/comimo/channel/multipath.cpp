@@ -1,0 +1,64 @@
+#include "comimo/channel/multipath.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+
+namespace comimo {
+
+TappedDelayLine::TappedDelayLine(const MultipathProfile& profile, Rng rng)
+    : profile_(profile), rng_(rng) {
+  COMIMO_CHECK(profile.num_taps >= 1, "need at least one tap");
+  COMIMO_CHECK(profile.tap_decay_db >= 0.0, "tap decay must be >= 0 dB");
+  COMIMO_CHECK(profile.k_factor >= 0.0, "K-factor must be >= 0");
+  tap_scales_.resize(profile.num_taps);
+  double total = 0.0;
+  for (std::size_t i = 0; i < profile.num_taps; ++i) {
+    const double p =
+        db_to_linear(-profile.tap_decay_db * static_cast<double>(i));
+    tap_scales_[i] = p;
+    total += p;
+  }
+  if (profile.normalize_power && total > 0.0) {
+    for (auto& p : tap_scales_) p /= total;
+  }
+  redraw();
+}
+
+void TappedDelayLine::redraw() {
+  taps_.assign(profile_.num_taps, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < profile_.num_taps; ++i) {
+    const double power = tap_scales_[i];
+    if (i == 0 && profile_.k_factor > 0.0) {
+      // Rician first tap: fixed LOS component plus scattered part.
+      const double k = profile_.k_factor;
+      const double los = std::sqrt(power * k / (k + 1.0));
+      const cplx nlos = rng_.complex_gaussian(power / (k + 1.0));
+      taps_[i] = cplx{los, 0.0} + nlos;
+    } else {
+      taps_[i] = rng_.complex_gaussian(power);
+    }
+  }
+}
+
+std::vector<cplx> TappedDelayLine::apply(std::span<const cplx> samples) {
+  std::vector<cplx> out(samples.size(), cplx{0.0, 0.0});
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    cplx acc{0.0, 0.0};
+    const std::size_t kmax = std::min(taps_.size() - 1, n);
+    for (std::size_t k = 0; k <= kmax; ++k) {
+      acc += taps_[k] * samples[n - k];
+    }
+    out[n] = acc;
+  }
+  return out;
+}
+
+double TappedDelayLine::channel_power() const noexcept {
+  double p = 0.0;
+  for (const auto& h : taps_) p += std::norm(h);
+  return p;
+}
+
+}  // namespace comimo

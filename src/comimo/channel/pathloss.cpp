@@ -1,0 +1,49 @@
+#include "comimo/channel/pathloss.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+
+namespace comimo {
+
+double PathLossModel::attenuation_db(double distance_m) const {
+  return linear_to_db(attenuation(distance_m));
+}
+
+PowerLawPathLoss::PowerLawPathLoss(double g1, double kappa, double link_margin)
+    : g1_(g1), kappa_(kappa), link_margin_(link_margin) {
+  COMIMO_CHECK(g1 > 0.0 && kappa > 0.0 && link_margin > 0.0,
+               "path-loss parameters must be positive");
+}
+
+PowerLawPathLoss::PowerLawPathLoss(const SystemParams& params)
+    : PowerLawPathLoss(params.g1, params.kappa, params.link_margin) {}
+
+double PowerLawPathLoss::attenuation(double distance_m) const {
+  COMIMO_CHECK(distance_m >= 0.0, "negative distance");
+  return g1_ * std::pow(distance_m, kappa_) * link_margin_;
+}
+
+FreeSpacePathLoss::FreeSpacePathLoss(const SystemParams& params)
+    : params_(params) {}
+
+double FreeSpacePathLoss::attenuation(double distance_m) const {
+  COMIMO_CHECK(distance_m >= 0.0, "negative distance");
+  return params_.long_haul_attenuation(distance_m);
+}
+
+ObstructedPathLoss::ObstructedPathLoss(
+    std::shared_ptr<const PathLossModel> base, double obstacle_loss_db)
+    : base_(std::move(base)),
+      obstacle_loss_db_(obstacle_loss_db),
+      obstacle_loss_linear_(db_to_linear(obstacle_loss_db)) {
+  COMIMO_CHECK(base_ != nullptr, "null base path-loss model");
+  COMIMO_CHECK(obstacle_loss_db >= 0.0, "obstacle loss must be >= 0 dB");
+}
+
+double ObstructedPathLoss::attenuation(double distance_m) const {
+  return base_->attenuation(distance_m) * obstacle_loss_linear_;
+}
+
+}  // namespace comimo

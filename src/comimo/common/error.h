@@ -1,0 +1,63 @@
+// Error handling policy.
+//
+// Following the C++ Core Guidelines (E.2/E.3) the library throws exceptions
+// for contract violations and unrecoverable numeric failures; hot loops use
+// COMIMO_DCHECK which compiles away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace comimo {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a numeric routine fails to converge or produces a
+/// non-finite result.
+class NumericError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a requested configuration is physically infeasible (for
+/// example an energy budget smaller than the circuit floor).
+class InfeasibleError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace comimo
+
+/// Always-on precondition check; throws comimo::InvalidArgument.
+#define COMIMO_CHECK(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::comimo::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                            (msg));                     \
+    }                                                                    \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define COMIMO_DCHECK(expr, msg) \
+  do {                           \
+  } while (false)
+#else
+#define COMIMO_DCHECK(expr, msg) COMIMO_CHECK(expr, msg)
+#endif

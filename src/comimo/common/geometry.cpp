@@ -1,0 +1,14 @@
+#include "comimo/common/geometry.h"
+
+#include <algorithm>
+
+namespace comimo {
+
+double angle_at(const Vec2& at, const Vec2& p, const Vec2& q) {
+  const Vec2 u = (p - at).normalized();
+  const Vec2 v = (q - at).normalized();
+  const double c = std::clamp(u.dot(v), -1.0, 1.0);
+  return std::acos(c);
+}
+
+}  // namespace comimo

@@ -1,0 +1,52 @@
+// Minimal 2-D geometry used by the network and interweave modules.
+#pragma once
+
+#include <cmath>
+
+namespace comimo {
+
+/// A point / displacement in the plane, in meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2& o) const = default;
+
+  [[nodiscard]] constexpr double dot(const Vec2& o) const {
+    return x * o.x + y * o.y;
+  }
+  /// z-component of the 3-D cross product; sign gives orientation.
+  [[nodiscard]] constexpr double cross(const Vec2& o) const {
+    return x * o.y - y * o.x;
+  }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Polar angle atan2(y, x) in radians.
+  [[nodiscard]] double angle() const { return std::atan2(y, x); }
+};
+
+[[nodiscard]] inline double distance(const Vec2& a, const Vec2& b) {
+  return (a - b).norm();
+}
+
+/// Interior angle at vertex `at` between rays at→p and at→q, in [0, π].
+[[nodiscard]] double angle_at(const Vec2& at, const Vec2& p, const Vec2& q);
+
+/// Point on the unit circle at `theta` radians.
+[[nodiscard]] inline Vec2 unit_vec(double theta) {
+  return {std::cos(theta), std::sin(theta)};
+}
+
+}  // namespace comimo

@@ -1,0 +1,40 @@
+// Tiny leveled logger.  Benches and examples use it for progress output;
+// the library itself only logs at kDebug, so tests run silent by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace comimo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace comimo
+
+#define COMIMO_LOG(level) ::comimo::detail::LogStream(::comimo::LogLevel::level)

@@ -1,0 +1,128 @@
+#include "comimo/common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  COMIMO_CHECK(job != nullptr, "null job");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    COMIMO_CHECK(!stopping_, "submit on stopped pool");
+    jobs_.push(std::move(job));
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_job_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (stopping_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+      ++in_flight_;
+    }
+    job();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (jobs_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(n, 1, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void parallel_for_chunks(
+    std::size_t n, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  min_chunk = std::max<std::size_t>(1, min_chunk);
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t workers = pool.size();
+  // One chunk per worker unless min_chunk forces fewer; a serial fallback
+  // avoids pool overhead for tiny ranges or single-core machines.
+  const std::size_t chunks =
+      std::min({workers, (n + min_chunk - 1) / min_chunk});
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t begin = 0;
+  std::atomic<std::size_t> remaining{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    pool.submit([&, begin, end] {
+      try {
+        if (!failed.load(std::memory_order_relaxed)) body(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+    begin = end;
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (failed.load() && first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace comimo

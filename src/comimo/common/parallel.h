@@ -1,0 +1,63 @@
+// Explicit, deterministic parallelism for Monte-Carlo sweeps.
+//
+// Following the HPC guides' discipline (all parallelism explicit, results
+// independent of the worker count), parallel_for hands out *index ranges*
+// and callers derive any randomness from the index via counter-based
+// seeding (see numeric/rng.h), so a sweep produces bit-identical results
+// on 1 or N threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace comimo {
+
+/// A fixed-size pool of worker threads executing enqueued jobs.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; jobs may not themselves call submit on this pool.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the shared pool.  `body` must be
+/// safe to call concurrently for distinct indices.  Exceptions thrown by
+/// `body` are rethrown (the first one) after all iterations settle.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// Chunked variant: body(begin, end) over a partition of [0, n).
+void parallel_for_chunks(
+    std::size_t n, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace comimo

@@ -1,0 +1,149 @@
+#include "comimo/common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  COMIMO_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  COMIMO_CHECK(cells.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << (fraction * 100.0)
+     << "%";
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto rule = [&] {
+    os << "+";
+    for (const auto w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << "\n";
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+SeriesChart::SeriesChart(std::string x_label, std::vector<double> x)
+    : x_label_(std::move(x_label)), x_(std::move(x)) {
+  COMIMO_CHECK(!x_.empty(), "chart needs a non-empty x axis");
+}
+
+void SeriesChart::add_series(std::string name, std::vector<double> y) {
+  COMIMO_CHECK(y.size() == x_.size(), "series length must match x axis");
+  series_.emplace_back(std::move(name), std::move(y));
+}
+
+void SeriesChart::print(std::ostream& os, bool log_y, int width,
+                        int height) const {
+  COMIMO_CHECK(!series_.empty(), "chart needs at least one series");
+  // --- data table ------------------------------------------------------
+  std::vector<std::string> header{x_label_};
+  for (const auto& [name, y] : series_) header.push_back(name);
+  TextTable table(std::move(header));
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    std::vector<std::string> row{TextTable::fmt(x_[i], 1)};
+    for (const auto& [name, y] : series_) {
+      row.push_back(log_y ? TextTable::sci(y[i]) : TextTable::fmt(y[i], 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+
+  // --- ASCII chart -------------------------------------------------------
+  const auto transform = [log_y](double v) {
+    return log_y ? std::log10(std::max(v, std::numeric_limits<double>::min()))
+                 : v;
+  };
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& [name, y] : series_) {
+    for (const double v : y) {
+      const double t = transform(v);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  }
+  if (!(hi > lo)) hi = lo + 1.0;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  const double x_lo = x_.front();
+  const double x_hi = x_.back() > x_lo ? x_.back() : x_lo + 1.0;
+  static const char kMarks[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const char mark = kMarks[s % sizeof(kMarks)];
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+      const double tx = (x_[i] - x_lo) / (x_hi - x_lo);
+      const double ty = (transform(series_[s].second[i]) - lo) / (hi - lo);
+      const int cx = std::clamp(static_cast<int>(std::lround(tx * (width - 1))),
+                                0, width - 1);
+      const int cy = std::clamp(
+          static_cast<int>(std::lround((1.0 - ty) * (height - 1))), 0,
+          height - 1);
+      canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = mark;
+    }
+  }
+  os << "\n";
+  os << (log_y ? "log10(y)" : "y") << " in ["
+     << (log_y ? TextTable::sci(std::pow(10.0, lo)) : TextTable::fmt(lo, 3))
+     << ", "
+     << (log_y ? TextTable::sci(std::pow(10.0, hi)) : TextTable::fmt(hi, 3))
+     << "]\n";
+  for (const auto& row : canvas) os << "  |" << row << "\n";
+  os << "  +" << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  os << "   " << x_label_ << " in [" << TextTable::fmt(x_lo, 1) << ", "
+     << TextTable::fmt(x_hi, 1) << "]   legend:";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    os << "  " << kMarks[s % sizeof(kMarks)] << "=" << series_[s].first;
+  }
+  os << "\n";
+}
+
+}  // namespace comimo

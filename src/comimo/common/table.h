@@ -1,0 +1,52 @@
+// ASCII table / series printers used by the bench harness to emit the
+// paper's tables and figures as text.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace comimo {
+
+/// Accumulates rows of strings and renders them with aligned columns,
+/// in the style of the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  /// Scientific notation, for energies.
+  static std::string sci(double v, int precision = 3);
+  /// Percentage with two decimals ("6.12%").
+  static std::string pct(double fraction, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders one or more named series sharing an x-axis as a column table
+/// plus a coarse ASCII line chart (log-y optional) — the text stand-in for
+/// the paper's figures.
+class SeriesChart {
+ public:
+  SeriesChart(std::string x_label, std::vector<double> x);
+
+  void add_series(std::string name, std::vector<double> y);
+
+  /// Prints the data table, then an ASCII chart `width` x `height`.
+  void print(std::ostream& os, bool log_y = false, int width = 72,
+             int height = 20) const;
+
+ private:
+  std::string x_label_;
+  std::vector<double> x_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,16 @@
+#include "comimo/common/units.h"
+
+namespace comimo {
+
+double wrap_angle(double rad) noexcept {
+  const double two_pi = 2.0 * kPi;
+  double wrapped = std::fmod(rad, two_pi);
+  if (wrapped <= -kPi) {
+    wrapped += two_pi;
+  } else if (wrapped > kPi) {
+    wrapped -= two_pi;
+  }
+  return wrapped;
+}
+
+}  // namespace comimo

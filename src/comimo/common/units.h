@@ -1,0 +1,56 @@
+// Unit conversions used throughout the library.
+//
+// The paper (§2.3) quotes its system constants in a mixture of linear and
+// logarithmic units (mW, dB, dBm/Hz); everything inside the library is kept
+// in SI (watts, joules, meters, seconds, hertz) and converted at the
+// boundary with the helpers below.
+#pragma once
+
+#include <cmath>
+
+namespace comimo {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 2.99792458e8;
+
+/// Converts a power ratio expressed in decibels to a linear ratio.
+[[nodiscard]] inline double db_to_linear(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Converts a linear power ratio to decibels.
+[[nodiscard]] inline double linear_to_db(double linear) noexcept {
+  return 10.0 * std::log10(linear);
+}
+
+/// Converts an absolute power in dBm to watts.
+[[nodiscard]] inline double dbm_to_watts(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0) * 1e-3;
+}
+
+/// Converts an absolute power in watts to dBm.
+[[nodiscard]] inline double watts_to_dbm(double watts) noexcept {
+  return 10.0 * std::log10(watts / 1e-3);
+}
+
+/// Converts a spectral density quoted in dBm/Hz to W/Hz.
+[[nodiscard]] inline double dbm_per_hz_to_w_per_hz(double dbm_per_hz) noexcept {
+  return dbm_to_watts(dbm_per_hz);
+}
+
+/// Converts degrees to radians.
+[[nodiscard]] inline double deg_to_rad(double deg) noexcept {
+  return deg * kPi / 180.0;
+}
+
+/// Converts radians to degrees.
+[[nodiscard]] inline double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / kPi;
+}
+
+/// Wraps an angle to (-pi, pi].
+[[nodiscard]] double wrap_angle(double rad) noexcept;
+
+}  // namespace comimo

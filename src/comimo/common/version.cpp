@@ -1,0 +1,7 @@
+#include "comimo/common/version.h"
+
+namespace comimo {
+
+const char* version_string() noexcept { return "1.0.0"; }
+
+}  // namespace comimo

@@ -1,0 +1,18 @@
+// Library version.
+#pragma once
+
+namespace comimo {
+
+struct Version {
+  int major = 1;
+  int minor = 0;
+  int patch = 0;
+};
+
+/// The library's semantic version.
+[[nodiscard]] constexpr Version version() noexcept { return Version{}; }
+
+/// "major.minor.patch".
+[[nodiscard]] const char* version_string() noexcept;
+
+}  // namespace comimo

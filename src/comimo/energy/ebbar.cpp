@@ -1,0 +1,106 @@
+#include "comimo/energy/ebbar.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/cmatrix.h"
+#include "comimo/numeric/quadrature.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/numeric/roots.h"
+#include "comimo/numeric/special.h"
+#include "comimo/phy/ber.h"
+
+namespace comimo {
+
+EbBarSolver::EbBarSolver(const SystemParams& params,
+                         EbBarConvention convention)
+    : params_(params), convention_(convention) {
+  COMIMO_CHECK(params.n0_w_per_hz > 0.0, "N0 must be positive");
+}
+
+double EbBarSolver::gamma_unit(double ebar, unsigned mt) const noexcept {
+  const double split =
+      convention_ == EbBarConvention::kPerAntennaSplit
+          ? static_cast<double>(mt)
+          : 1.0;
+  return ebar / (params_.n0_w_per_hz * split);
+}
+
+double EbBarSolver::average_ber(double ebar, int b, unsigned mt,
+                                unsigned mr) const {
+  COMIMO_CHECK(ebar >= 0.0, "ebar must be >= 0");
+  COMIMO_CHECK(b >= 1, "b must be >= 1");
+  COMIMO_CHECK(mt >= 1 && mr >= 1, "antenna counts must be >= 1");
+  // γ_b per unit ‖H‖²_F, under the configured transmit-energy
+  // convention (see EbBarConvention).
+  return ber_mqam_rayleigh_mimo(b, gamma_unit(ebar, mt), mt, mr);
+}
+
+double EbBarSolver::average_ber_quadrature(double ebar, int b, unsigned mt,
+                                           unsigned mr,
+                                           std::size_t points) const {
+  const double gamma = gamma_unit(ebar, mt);
+  const double a_coef = mqam_coefficient(b);
+  // Write the integrand as Q(√(2·g·x)) with g = B(b)·γ/2; substituting
+  // y = (1+g)·x concentrates the quadrature where the mass is and the
+  // exponentials cancel analytically:
+  //   E[Q(√(2gx))] = (1+g)^{-k} · E_y[ ½·erfcx(√(g·y/(1+g))) ]
+  // with y ~ Gamma(k, 1) — a smooth, bounded integrand that the
+  // Gamma-weighted Gauss–Laguerre rule resolves at any SNR.
+  const double g = mqam_snr_factor(b) * gamma / 2.0;
+  const double shape = static_cast<double>(mt) * mr;
+  const double scale = 1.0 + g;
+  const double inner = gamma_expectation(
+      [&](double y) { return 0.5 * erfcx(std::sqrt(g * y / scale)); },
+      shape, points);
+  const double p = a_coef * std::pow(scale, -shape) * inner;
+  return p > 1.0 ? 1.0 : p;
+}
+
+double EbBarSolver::average_ber_monte_carlo(double ebar, int b, unsigned mt,
+                                            unsigned mr, std::size_t trials,
+                                            std::uint64_t seed) const {
+  COMIMO_CHECK(trials > 0, "need at least one trial");
+  Rng rng(seed);
+  const double gamma = gamma_unit(ebar, mt);
+  const double a_coef = mqam_coefficient(b);
+  const double snr_factor = mqam_snr_factor(b);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const CMatrix h = CMatrix::random_gaussian(mr, mt, rng);
+    const double x = h.frobenius_norm2();
+    sum += a_coef * q_function(std::sqrt(snr_factor * gamma * x));
+  }
+  const double p = sum / static_cast<double>(trials);
+  return p > 1.0 ? 1.0 : p;
+}
+
+double EbBarSolver::solve(double p, int b, unsigned mt, unsigned mr) const {
+  COMIMO_CHECK(p > 0.0 && p < 1.0, "target BER must be in (0,1)");
+  const double p_max = average_ber(0.0, b, mt, mr);
+  if (p >= p_max) {
+    // Zero energy already meets (or any energy exceeds) the target.
+    throw NumericError("target BER not binding: p >= BER at zero energy");
+  }
+  // Bracket on a log-energy grid: BER is strictly decreasing in ē_b.
+  const double lo = 1e-27;
+  double hi = 1e-21;
+  hi = expand_bracket(
+      [&](double e) { return average_ber(e, b, mt, mr) - p; }, lo, hi, 60);
+  RootOptions opts;
+  opts.x_tol = 0.0;
+  opts.f_tol = p * 1e-10;
+  // Brent on log-energy for uniform relative resolution.
+  const double log_root = brent(
+      [&](double le) {
+        return average_ber(std::exp(le), b, mt, mr) - p;
+      },
+      std::log(lo), std::log(hi), opts);
+  const double ebar = std::exp(log_root);
+  if (!std::isfinite(ebar) || ebar <= 0.0) {
+    throw NumericError("ebbar solve produced a non-finite result");
+  }
+  return ebar;
+}
+
+}  // namespace comimo

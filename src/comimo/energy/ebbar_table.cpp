@@ -1,0 +1,137 @@
+#include "comimo/energy/ebbar_table.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "comimo/common/error.h"
+#include "comimo/common/parallel.h"
+
+namespace comimo {
+
+std::size_t EbBarTable::index_of(std::size_t pi, int b, unsigned mt,
+                                 unsigned mr) const noexcept {
+  const auto nb = static_cast<std::size_t>(spec_.b_max - spec_.b_min + 1);
+  const std::size_t nm = spec_.m_max;
+  const auto bi = static_cast<std::size_t>(b - spec_.b_min);
+  return ((pi * nb + bi) * nm + (mt - 1)) * nm + (mr - 1);
+}
+
+EbBarTable EbBarTable::build(const EbBarSolver& solver) {
+  return build(solver, Spec{});
+}
+
+EbBarTable EbBarTable::build(const EbBarSolver& solver, const Spec& spec) {
+  COMIMO_CHECK(!spec.ber_targets.empty(), "table needs BER targets");
+  COMIMO_CHECK(spec.b_min >= 1 && spec.b_max >= spec.b_min,
+               "invalid constellation range");
+  COMIMO_CHECK(spec.m_max >= 1, "invalid antenna range");
+  EbBarTable table;
+  table.spec_ = spec;
+  const auto nb = static_cast<std::size_t>(spec.b_max - spec.b_min + 1);
+  const std::size_t nm = spec.m_max;
+  const std::size_t total = spec.ber_targets.size() * nb * nm * nm;
+  table.entries_.resize(total);
+
+  parallel_for(total, [&](std::size_t idx) {
+    // Invert index_of's mixed radix: idx = ((pi*nb + bi)*nm + mt-1)*nm + mr-1.
+    const std::size_t mr = idx % nm + 1;
+    std::size_t rest = idx / nm;
+    const std::size_t mt = rest % nm + 1;
+    rest /= nm;
+    const int b = static_cast<int>(rest % nb) + spec.b_min;
+    const std::size_t pi = rest / nb;
+    EbBarEntry& e = table.entries_[idx];
+    e.p = spec.ber_targets[pi];
+    e.b = b;
+    e.mt = static_cast<unsigned>(mt);
+    e.mr = static_cast<unsigned>(mr);
+    e.ebar = solver.solve(e.p, b, e.mt, e.mr);
+  });
+  return table;
+}
+
+std::optional<double> EbBarTable::lookup(double p, int b, unsigned mt,
+                                         unsigned mr) const {
+  if (b < spec_.b_min || b > spec_.b_max || mt < 1 || mt > spec_.m_max ||
+      mr < 1 || mr > spec_.m_max) {
+    return std::nullopt;
+  }
+  for (std::size_t pi = 0; pi < spec_.ber_targets.size(); ++pi) {
+    if (spec_.ber_targets[pi] == p) {
+      return entries_[index_of(pi, b, mt, mr)].ebar;
+    }
+  }
+  return std::nullopt;
+}
+
+double EbBarTable::lookup_nearest(double p, int b, unsigned mt,
+                                  unsigned mr) const {
+  COMIMO_CHECK(p > 0.0, "BER must be positive");
+  COMIMO_CHECK(b >= spec_.b_min && b <= spec_.b_max, "b outside table");
+  COMIMO_CHECK(mt >= 1 && mt <= spec_.m_max && mr >= 1 && mr <= spec_.m_max,
+               "antenna count outside table");
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t pi = 0; pi < spec_.ber_targets.size(); ++pi) {
+    const double d = std::abs(std::log(spec_.ber_targets[pi]) - std::log(p));
+    if (d < best_d) {
+      best_d = d;
+      best = pi;
+    }
+  }
+  return entries_[index_of(best, b, mt, mr)].ebar;
+}
+
+EbBarEntry EbBarTable::min_ebar_constellation(double p, unsigned mt,
+                                              unsigned mr) const {
+  EbBarEntry best;
+  best.ebar = std::numeric_limits<double>::infinity();
+  for (int b = spec_.b_min; b <= spec_.b_max; ++b) {
+    const double e = lookup_nearest(p, b, mt, mr);
+    if (e < best.ebar) {
+      best = EbBarEntry{p, b, mt, mr, e};
+    }
+  }
+  return best;
+}
+
+void EbBarTable::save(std::ostream& os) const {
+  os << "# comimo ebbar table v1\n";
+  os << spec_.b_min << " " << spec_.b_max << " " << spec_.m_max << " "
+     << spec_.ber_targets.size() << "\n";
+  os.precision(17);
+  for (const double p : spec_.ber_targets) os << p << " ";
+  os << "\n";
+  for (const auto& e : entries_) {
+    os << e.p << " " << e.b << " " << e.mt << " " << e.mr << " " << e.ebar
+       << "\n";
+  }
+}
+
+EbBarTable EbBarTable::load(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  COMIMO_CHECK(header == "# comimo ebbar table v1",
+               "unrecognized ebbar table format");
+  EbBarTable table;
+  std::size_t num_targets = 0;
+  is >> table.spec_.b_min >> table.spec_.b_max >> table.spec_.m_max >>
+      num_targets;
+  COMIMO_CHECK(is.good(), "truncated ebbar table header");
+  table.spec_.ber_targets.resize(num_targets);
+  for (auto& p : table.spec_.ber_targets) is >> p;
+  const auto nb =
+      static_cast<std::size_t>(table.spec_.b_max - table.spec_.b_min + 1);
+  const std::size_t nm = table.spec_.m_max;
+  const std::size_t total = num_targets * nb * nm * nm;
+  table.entries_.resize(total);
+  for (auto& e : table.entries_) {
+    is >> e.p >> e.b >> e.mt >> e.mr >> e.ebar;
+    COMIMO_CHECK(!is.fail(), "truncated ebbar table body");
+  }
+  return table;
+}
+
+}  // namespace comimo

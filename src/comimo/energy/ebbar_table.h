@@ -1,0 +1,76 @@
+// Precomputed ē_b table.
+//
+// Algorithms 1 and 2 begin with: "Preprocessing — Calculate the value of
+// ē_b(p, b, mt, mr) for a set of p, b, mt, and mr.  Load the table of ē_b
+// in each SU node."  This class is that table: built once (in parallel),
+// serializable to a plain-text format an SU node could carry, and
+// queried during planning to pick the constellation size minimizing ē_b.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comimo/energy/ebbar.h"
+
+namespace comimo {
+
+struct EbBarEntry {
+  double p = 0.0;   ///< target BER
+  int b = 0;        ///< constellation bits
+  unsigned mt = 0;  ///< transmit branches
+  unsigned mr = 0;  ///< receive branches
+  double ebar = 0.0;  ///< required received energy/bit [J]
+};
+
+class EbBarTable {
+ public:
+  /// Grid specification; defaults cover the paper's sweeps.
+  struct Spec {
+    std::vector<double> ber_targets{1e-1, 5e-2, 1e-2, 5e-3, 1e-3, 5e-4, 1e-4};
+    int b_min = 1;
+    int b_max = 16;
+    unsigned m_max = 4;  ///< mt, mr in 1..m_max
+  };
+
+  /// Builds the full grid with the given solver (parallelized over
+  /// entries; deterministic).
+  [[nodiscard]] static EbBarTable build(const EbBarSolver& solver,
+                                        const Spec& spec);
+  /// Builds with the default Spec.
+  [[nodiscard]] static EbBarTable build(const EbBarSolver& solver);
+
+  /// Exact lookup; nullopt when (p,b,mt,mr) is not a grid point.
+  [[nodiscard]] std::optional<double> lookup(double p, int b, unsigned mt,
+                                             unsigned mr) const;
+
+  /// ē_b at the grid point with the *closest* log-BER to p (the paper's
+  /// SU nodes quantize the target to the table).
+  [[nodiscard]] double lookup_nearest(double p, int b, unsigned mt,
+                                      unsigned mr) const;
+
+  /// Constellation size minimizing ē_b for the given (p, mt, mr) — the
+  /// selection rule stated in Algorithms 1–2.
+  [[nodiscard]] EbBarEntry min_ebar_constellation(double p, unsigned mt,
+                                                  unsigned mr) const;
+
+  [[nodiscard]] const std::vector<EbBarEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const Spec& spec() const noexcept { return spec_; }
+
+  /// Plain-text serialization ("p b mt mr ebar" per line).
+  void save(std::ostream& os) const;
+  [[nodiscard]] static EbBarTable load(std::istream& is);
+
+ private:
+  EbBarTable() = default;
+  [[nodiscard]] std::size_t index_of(std::size_t pi, int b, unsigned mt,
+                                     unsigned mr) const noexcept;
+
+  Spec spec_;
+  std::vector<EbBarEntry> entries_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,47 @@
+#include "comimo/energy/local_energy.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+LocalEnergyModel::LocalEnergyModel(const SystemParams& params)
+    : params_(params) {}
+
+double LocalEnergyModel::pa_energy(int b, double p, double d_m) const {
+  COMIMO_CHECK(b >= 1, "b must be >= 1");
+  COMIMO_CHECK(p > 0.0 && p < 1.0, "BER must be in (0,1)");
+  COMIMO_CHECK(d_m >= 0.0, "distance must be >= 0");
+  const double bd = static_cast<double>(b);
+  const double alpha = params_.pa_overhead(b);
+  const double mterm = (std::pow(2.0, bd) - 1.0) / bd;
+  const double log_arg = 4.0 * (1.0 - std::pow(2.0, -bd / 2.0)) / (bd * p);
+  COMIMO_CHECK(log_arg > 1.0,
+               "BER target too loose for eq. (1)'s log term");
+  return 4.0 / 3.0 * (1.0 + alpha) * mterm * std::log(log_arg) *
+         params_.local_gain(d_m) * params_.noise_figure *
+         params_.sigma2_w_per_hz;
+}
+
+double LocalEnergyModel::tx_circuit_energy(int b, double bw_hz) const {
+  COMIMO_CHECK(b >= 1 && bw_hz > 0.0, "invalid rate parameters");
+  return params_.p_ct_w / (static_cast<double>(b) * bw_hz) +
+         params_.p_syn_w * params_.t_tr_s / params_.n_bits;
+}
+
+double LocalEnergyModel::rx_energy(int b, double bw_hz) const {
+  COMIMO_CHECK(b >= 1 && bw_hz > 0.0, "invalid rate parameters");
+  return params_.p_cr_w / (static_cast<double>(b) * bw_hz) +
+         params_.p_syn_w * params_.t_tr_s / params_.n_bits;
+}
+
+EnergyBreakdown LocalEnergyModel::tx_energy(int b, double p, double d_m,
+                                            double bw_hz) const {
+  EnergyBreakdown e;
+  e.pa = pa_energy(b, p, d_m);
+  e.circuit = tx_circuit_energy(b, bw_hz);
+  return e;
+}
+
+}  // namespace comimo

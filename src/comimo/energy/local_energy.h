@@ -1,0 +1,48 @@
+// Local (intra-cluster) energy per bit — paper eqs. (1)–(2).
+//
+//   e^Lt = e^Lt_PA + e^Lt_C
+//   e^Lt_PA = (4/3)(1+α)·((2^b−1)/b)·ln(4(1−2^{−b/2})/(b·p))·G_d·N_f·σ²
+//   e^Lt_C  = P_ct/(b·B) + P_syn·T_tr/n
+//   e^Lr    = P_cr/(b·B) + P_syn·T_tr/n
+//
+// with G_d = G_1·d^κ·M_l the κ-power path gain over the cluster
+// diameter d.  These are the AWGN (no fading) MQAM energy bounds of
+// Cui et al. [12].
+#pragma once
+
+#include "comimo/common/constants.h"
+
+namespace comimo {
+
+/// Per-bit energy split into power-amplifier and circuit shares.
+struct EnergyBreakdown {
+  double pa = 0.0;       ///< power-amplifier energy per bit [J]
+  double circuit = 0.0;  ///< circuit energy per bit [J]
+  [[nodiscard]] double total() const noexcept { return pa + circuit; }
+};
+
+class LocalEnergyModel {
+ public:
+  explicit LocalEnergyModel(const SystemParams& params = {});
+
+  /// PA energy per bit e^Lt_PA for constellation b, target BER p, over
+  /// cluster diameter d [m].
+  [[nodiscard]] double pa_energy(int b, double p, double d_m) const;
+
+  /// Transmit circuit energy per bit e^Lt_C at bandwidth bw [Hz].
+  [[nodiscard]] double tx_circuit_energy(int b, double bw_hz) const;
+
+  /// Receive energy per bit e^Lr (circuit only, eq. (2)).
+  [[nodiscard]] double rx_energy(int b, double bw_hz) const;
+
+  /// Full transmit energy per bit e^Lt (eq. (1)).
+  [[nodiscard]] EnergyBreakdown tx_energy(int b, double p, double d_m,
+                                          double bw_hz) const;
+
+  [[nodiscard]] const SystemParams& params() const noexcept { return params_; }
+
+ private:
+  SystemParams params_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,62 @@
+// Long-haul cooperative MIMO link energy per bit — paper eqs. (3)–(4).
+//
+//   e^MIMOt(mt, mr) = e^MIMOt_PA + e^MIMOt_C
+//   e^MIMOt_PA = (1/mt)(1+α)·ē_b(p,b,mt,mr)·(4πD)²/(GtGr·λ²)·M_l·N_f
+//   e^MIMOt_C  = (P_ct + P_syn)/(b·B)
+//   e^MIMOr    = (P_cr + P_syn)/(b·B)
+//
+// ē_b comes from the EbBarSolver (or a preloaded EbBarTable via the
+// overload taking an explicit ē_b).
+#pragma once
+
+#include "comimo/common/constants.h"
+#include "comimo/energy/ebbar.h"
+#include "comimo/energy/local_energy.h"
+
+namespace comimo {
+
+class MimoEnergyModel {
+ public:
+  explicit MimoEnergyModel(
+      const SystemParams& params = {},
+      EbBarConvention convention = EbBarConvention::kPerAntennaSplit);
+
+  /// PA energy per bit at each transmitting node, eq. (3), with ē_b
+  /// solved internally.
+  [[nodiscard]] double pa_energy(int b, double p, unsigned mt, unsigned mr,
+                                 double distance_m) const;
+
+  /// PA energy per bit with a caller-provided ē_b (table-driven path —
+  /// what the SU nodes do after Preprocessing).
+  [[nodiscard]] double pa_energy_with_ebar(int b, double ebar,
+                                           unsigned mt,
+                                           double distance_m) const;
+
+  /// Transmit circuit energy per bit e^MIMOt_C.
+  [[nodiscard]] double tx_circuit_energy(int b, double bw_hz) const;
+
+  /// Receive energy per bit e^MIMOr, eq. (4).
+  [[nodiscard]] double rx_energy(int b, double bw_hz) const;
+
+  /// Full per-node transmit energy e^MIMOt(mt, mr), eq. (3).
+  [[nodiscard]] EnergyBreakdown tx_energy(int b, double p, unsigned mt,
+                                          unsigned mr, double distance_m,
+                                          double bw_hz) const;
+
+  /// Inverts eq. (3) for distance: the D at which the per-node transmit
+  /// energy equals `energy_per_bit` (given b, p, mt, mr, B).  Throws
+  /// InfeasibleError when the budget doesn't even cover the circuit
+  /// energy.
+  [[nodiscard]] double distance_for_energy(double energy_per_bit, int b,
+                                           double p, unsigned mt, unsigned mr,
+                                           double bw_hz) const;
+
+  [[nodiscard]] const SystemParams& params() const noexcept { return params_; }
+  [[nodiscard]] const EbBarSolver& solver() const noexcept { return solver_; }
+
+ private:
+  SystemParams params_;
+  EbBarSolver solver_;
+};
+
+}  // namespace comimo

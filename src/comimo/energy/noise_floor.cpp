@@ -1,0 +1,40 @@
+#include "comimo/energy/noise_floor.h"
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+
+namespace comimo {
+
+NoiseFloorAnalyzer::NoiseFloorAnalyzer(const SystemParams& params)
+    : params_(params) {}
+
+double NoiseFloorAnalyzer::noise_floor_w_per_hz() const noexcept {
+  return params_.sigma2_w_per_hz * params_.noise_figure;
+}
+
+NoiseFloorReport NoiseFloorAnalyzer::analyze(double e_pa_per_bit, int b,
+                                             double bw_hz,
+                                             double pu_distance_m) const {
+  COMIMO_CHECK(e_pa_per_bit >= 0.0, "negative PA energy");
+  COMIMO_CHECK(b >= 1 && bw_hz > 0.0, "invalid rate parameters");
+  COMIMO_CHECK(pu_distance_m > 0.0, "PU distance must be positive");
+  NoiseFloorReport rpt;
+  const double alpha = params_.pa_overhead(b);
+  // e_PA includes the PA drain overhead (1+α); the radiated share is
+  // e_PA/(1+α) per bit at b·B bits per second.
+  rpt.radiated_power_w =
+      e_pa_per_bit / (1.0 + alpha) * static_cast<double>(b) * bw_hz;
+  // Free-space long-haul attenuation without the SU link margin/noise
+  // figure (those are receiver-design margins, not propagation):
+  const double four_pi_d = 4.0 * kPi * pu_distance_m;
+  const double attenuation =
+      four_pi_d * four_pi_d / (params_.gt_gr * params_.lambda_m *
+                               params_.lambda_m);
+  rpt.received_psd_w_hz = rpt.radiated_power_w / attenuation / bw_hz;
+  rpt.noise_floor_w_hz = noise_floor_w_per_hz();
+  rpt.margin_db = linear_to_db(rpt.noise_floor_w_hz /
+                               std::max(rpt.received_psd_w_hz, 1e-300));
+  return rpt;
+}
+
+}  // namespace comimo

@@ -1,0 +1,41 @@
+// Noise-floor compliance for underlay operation.
+//
+// The underlay constraint (§1, §4): "the transmitted spectral density of
+// the SUs falls below the noise floor at the primary receivers."  Given a
+// PA energy per bit, the radiated power is P = e_PA·(b·B)/(1+α) (the α
+// overhead is drain inefficiency, not radiated), the received PSD at a
+// primary receiver distance D is P/(L(D)·B), and the floor is the thermal
+// density σ² scaled by the PU receiver's noise figure.
+#pragma once
+
+#include "comimo/common/constants.h"
+
+namespace comimo {
+
+struct NoiseFloorReport {
+  double radiated_power_w = 0.0;   ///< transmit power at the SU antenna
+  double received_psd_w_hz = 0.0;  ///< PSD at the primary receiver
+  double noise_floor_w_hz = 0.0;   ///< thermal floor at the PU
+  double margin_db = 0.0;          ///< floor/PSD in dB (positive = compliant)
+  [[nodiscard]] bool compliant() const noexcept { return margin_db >= 0.0; }
+};
+
+class NoiseFloorAnalyzer {
+ public:
+  explicit NoiseFloorAnalyzer(const SystemParams& params = {});
+
+  /// Evaluates the constraint for an SU transmitting with PA energy/bit
+  /// `e_pa_per_bit` at constellation b and bandwidth bw, with the primary
+  /// receiver `pu_distance_m` away (free-space long-haul loss).
+  [[nodiscard]] NoiseFloorReport analyze(double e_pa_per_bit, int b,
+                                         double bw_hz,
+                                         double pu_distance_m) const;
+
+  /// Thermal noise floor PSD at the primary receiver [W/Hz].
+  [[nodiscard]] double noise_floor_w_per_hz() const noexcept;
+
+ private:
+  SystemParams params_;
+};
+
+}  // namespace comimo

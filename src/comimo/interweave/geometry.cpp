@@ -1,0 +1,36 @@
+#include "comimo/interweave/geometry.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+
+namespace comimo {
+
+double null_steering_phase_delay(const PairGeometry& geom, double wavelength,
+                                 const Vec2& pu) {
+  COMIMO_CHECK(wavelength > 0.0, "wavelength must be positive");
+  const double r = geom.separation();
+  COMIMO_CHECK(r > 0.0, "pair nodes must be distinct");
+  const double alpha = geom.alpha_to(pu);
+  return kPi * (2.0 * r * std::cos(alpha) / wavelength - 1.0);
+}
+
+double relative_phase_at(const PairGeometry& geom, double wavelength,
+                         double delta, const Vec2& x) {
+  COMIMO_CHECK(wavelength > 0.0, "wavelength must be positive");
+  const double k = 2.0 * kPi / wavelength;
+  const double d1 = distance(geom.st1, x);
+  const double d2 = distance(geom.st2, x);
+  return delta - k * (d1 - d2);
+}
+
+double relative_phase_far_field(double separation, double wavelength,
+                                double delta, double theta_rad) {
+  COMIMO_CHECK(wavelength > 0.0 && separation > 0.0,
+               "invalid array parameters");
+  const double k = 2.0 * kPi / wavelength;
+  return delta - k * separation * std::cos(theta_rad);
+}
+
+}  // namespace comimo

@@ -1,0 +1,58 @@
+// Geometry of the §5 null-steering pair.
+//
+// A pair (St1, St2) of secondary transmitters; St1 is imposed the phase
+// delay  δ = π(2r·cosα/w − 1)  where r = |St1−St2|, w the wavelength and
+// α = ∠Pr·St1·St2, so the two waves cancel along the direction to the
+// primary receiver Pr (far-field condition).
+#pragma once
+
+#include "comimo/common/geometry.h"
+
+namespace comimo {
+
+struct PairGeometry {
+  Vec2 st1;
+  Vec2 st2;
+
+  /// Pair separation r.
+  [[nodiscard]] double separation() const { return distance(st1, st2); }
+
+  /// α = ∠(target, St1, St2): the angle at St1 between the rays to the
+  /// target and to St2.
+  [[nodiscard]] double alpha_to(const Vec2& target) const {
+    return angle_at(st1, target, st2);
+  }
+
+  /// Midpoint of the pair (array phase center).
+  [[nodiscard]] Vec2 center() const { return (st1 + st2) / 2.0; }
+
+  /// Angle between the array axis (St1→St2) and the direction from St1
+  /// to `target`, in [0, π] — the far-field pattern variable.
+  [[nodiscard]] double axis_angle_to(const Vec2& target) const {
+    return angle_at(st1, target, st2);
+  }
+};
+
+/// The paper's phase delay  δ = π(2r·cosα/w − 1)  imposed on St1 to null
+/// the pair's radiation toward `pu` (wavelength w).
+[[nodiscard]] double null_steering_phase_delay(const PairGeometry& geom,
+                                               double wavelength,
+                                               const Vec2& pu);
+
+/// Exact relative phase (St1's wave minus St2's wave) observed at point
+/// `x` when St1 carries the extra delay `delta`:  Δφ = δ − k(|St1−x| −
+/// |St2−x|), k = 2π/w.  No far-field approximation.
+[[nodiscard]] double relative_phase_at(const PairGeometry& geom,
+                                       double wavelength, double delta,
+                                       const Vec2& x);
+
+/// Far-field relative phase toward a direction making angle θ with the
+/// array axis St1→St2: Δφ = δ − k·r·cosθ  (the limit of
+/// relative_phase_at as the observation distance grows; at θ = α it
+/// equals −π by construction of the paper's δ — the null).
+[[nodiscard]] double relative_phase_far_field(double separation,
+                                              double wavelength,
+                                              double delta,
+                                              double theta_rad);
+
+}  // namespace comimo

@@ -1,0 +1,87 @@
+#include "comimo/interweave/nullspace_beamformer.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+
+namespace comimo {
+
+NullspaceBeamformer::NullspaceBeamformer(std::vector<Vec2> elements,
+                                         double wavelength,
+                                         const std::vector<Vec2>& pus,
+                                         const Vec2& sr)
+    : elements_(std::move(elements)), wavelength_(wavelength) {
+  COMIMO_CHECK(wavelength > 0.0, "wavelength must be positive");
+  COMIMO_CHECK(elements_.size() >= 2, "need at least two elements");
+  COMIMO_CHECK(!pus.empty(), "need at least one protected PU");
+  COMIMO_CHECK(pus.size() < elements_.size(),
+               "need more elements than protected directions");
+
+  const std::size_t n = elements_.size();
+  const std::size_t m = pus.size();
+
+  // The field at x is Σ_i w_i·s_i(x) = s(x)ᵀw, so the null constraint
+  // s(PU)ᵀw = 0 is an inner-product constraint against conj(s(PU)):
+  // build the constraint columns (and the desired vector, which phase-
+  // conjugation beamforming maximizes) from conjugated steering
+  // vectors.
+  CMatrix a(n, m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::vector<cplx> s = steering(pus[k]);
+    for (std::size_t i = 0; i < n; ++i) a(i, k) = std::conj(s[i]);
+  }
+  std::vector<cplx> desired = steering(sr);
+  for (auto& v : desired) v = std::conj(v);
+
+  // w = d − A (AᴴA)⁻¹ Aᴴ d.
+  const CMatrix ah = a.hermitian();
+  const CMatrix gram = ah * a;  // m×m
+  std::vector<cplx> ahd(m, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < m; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += std::conj(a(i, k)) * desired[i];
+    }
+    ahd[k] = acc;
+  }
+  const std::vector<cplx> coeffs = gram.solve(ahd);
+  weights_.assign(n, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx projection{0.0, 0.0};
+    for (std::size_t k = 0; k < m; ++k) {
+      projection += a(i, k) * coeffs[k];
+    }
+    weights_[i] = desired[i] - projection;
+  }
+  // Normalize total radiated power to 1.
+  double power = 0.0;
+  for (const auto& w : weights_) power += std::norm(w);
+  COMIMO_CHECK(power > 1e-20,
+               "desired direction lies in the protected span");
+  const double inv = 1.0 / std::sqrt(power);
+  for (auto& w : weights_) w *= inv;
+}
+
+std::vector<cplx> NullspaceBeamformer::steering(const Vec2& x) const {
+  const double k = 2.0 * kPi / wavelength_;
+  std::vector<cplx> s(elements_.size());
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const double phase = -k * distance(elements_[i], x);
+    s[i] = cplx{std::cos(phase), std::sin(phase)};
+  }
+  return s;
+}
+
+double NullspaceBeamformer::amplitude_at(const Vec2& x) const {
+  const std::vector<cplx> s = steering(x);
+  cplx field{0.0, 0.0};
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    // Element i radiates weight w_i; the wave accrues the propagation
+    // phase encoded in the steering vector.
+    field += weights_[i] * s[i];
+  }
+  return std::abs(field);
+}
+
+}  // namespace comimo

@@ -1,0 +1,111 @@
+#include "comimo/interweave/pair_beamformer.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+
+namespace comimo {
+
+double pair_amplitude(double delta_phase, double gamma1, double gamma2) {
+  COMIMO_CHECK(gamma1 >= 0.0 && gamma2 >= 0.0, "amplitudes must be >= 0");
+  const double g2 = gamma1 * gamma1 + gamma2 * gamma2 +
+                    2.0 * gamma1 * gamma2 * std::cos(delta_phase);
+  return std::sqrt(std::max(0.0, g2));
+}
+
+NullSteeringPair::NullSteeringPair(const PairGeometry& geom,
+                                   double wavelength, const Vec2& pu)
+    : geom_(geom),
+      wavelength_(wavelength),
+      pu_(pu),
+      delta_(null_steering_phase_delay(geom, wavelength, pu)) {}
+
+double NullSteeringPair::amplitude_at(const Vec2& x, double gamma1,
+                                      double gamma2) const {
+  const double dphi = relative_phase_at(geom_, wavelength_, delta_, x);
+  return pair_amplitude(dphi, gamma1, gamma2);
+}
+
+cplx NullSteeringPair::field_at(const Vec2& x) const {
+  const double dphi = relative_phase_at(geom_, wavelength_, delta_, x);
+  // St2 contributes phase 0 (reference), St1 contributes dphi.
+  return cplx{1.0, 0.0} + cplx{std::cos(dphi), std::sin(dphi)};
+}
+
+double NullSteeringPair::far_field_amplitude(double theta_rad) const {
+  const double dphi = relative_phase_far_field(geom_.separation(),
+                                               wavelength_, delta_,
+                                               theta_rad);
+  return pair_amplitude(dphi);
+}
+
+double NullSteeringPair::residual_at_pu() const { return amplitude_at(pu_); }
+
+PairedBeamformer::PairedBeamformer(std::vector<Vec2> nodes, double wavelength,
+                                   const Vec2& pu) {
+  COMIMO_CHECK(nodes.size() >= 2, "beamformer needs at least one pair");
+  const std::size_t num_pairs = nodes.size() / 2;
+  pairs_.reserve(num_pairs);
+  for (std::size_t i = 0; i < num_pairs; ++i) {
+    const PairGeometry geom{nodes[2 * i], nodes[2 * i + 1]};
+    pairs_.emplace_back(geom, wavelength, pu);
+  }
+}
+
+double PairedBeamformer::amplitude_at(const Vec2& x) const {
+  cplx field{0.0, 0.0};
+  for (const auto& p : pairs_) field += p.field_at(x);
+  return std::abs(field);
+}
+
+double PairedBeamformer::residual_at_pu() const {
+  cplx field{0.0, 0.0};
+  for (const auto& p : pairs_) field += p.field_at(p.pu());
+  return std::abs(field);
+}
+
+MultiPuBeamformer::MultiPuBeamformer(std::vector<Vec2> nodes,
+                                     double wavelength,
+                                     std::vector<Vec2> pus)
+    : pus_(std::move(pus)) {
+  COMIMO_CHECK(nodes.size() >= 2, "beamformer needs at least one pair");
+  COMIMO_CHECK(!pus_.empty(), "need at least one protected PU");
+  const std::size_t num_pairs = nodes.size() / 2;
+  pairs_.reserve(num_pairs);
+  assignment_.reserve(num_pairs);
+  for (std::size_t i = 0; i < num_pairs; ++i) {
+    const std::size_t pu = i % pus_.size();
+    const PairGeometry geom{nodes[2 * i], nodes[2 * i + 1]};
+    pairs_.emplace_back(geom, wavelength, pus_[pu]);
+    assignment_.push_back(pu);
+  }
+}
+
+std::size_t MultiPuBeamformer::assignment(std::size_t pair_index) const {
+  COMIMO_CHECK(pair_index < assignment_.size(), "pair index out of range");
+  return assignment_[pair_index];
+}
+
+double MultiPuBeamformer::amplitude_at(const Vec2& x) const {
+  cplx field{0.0, 0.0};
+  for (const auto& p : pairs_) field += p.field_at(x);
+  return std::abs(field);
+}
+
+double MultiPuBeamformer::residual_at(std::size_t pu_index) const {
+  COMIMO_CHECK(pu_index < pus_.size(), "pu index out of range");
+  cplx field{0.0, 0.0};
+  for (const auto& p : pairs_) field += p.field_at(pus_[pu_index]);
+  return std::abs(field);
+}
+
+double MultiPuBeamformer::worst_residual() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pus_.size(); ++i) {
+    worst = std::max(worst, residual_at(i));
+  }
+  return worst;
+}
+
+}  // namespace comimo

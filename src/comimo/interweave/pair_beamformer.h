@@ -1,0 +1,119 @@
+// The §5 null-steering pair beamformer and its ⌊mt/2⌋-pair extension.
+//
+// Amplitude of the superposed wave (paper):
+//   γ² = γ1² + γ2² + 2·γ1·γ2·cos Δ
+// where Δ is the relative phase of the two waves at the observation
+// point.  A NullSteeringPair fixes δ from the chosen primary receiver;
+// PairedBeamformer aggregates several pairs (Algorithm 3 forms ⌊mt/2⌋
+// pairs that all take the same action).
+#pragma once
+
+#include <vector>
+
+#include "comimo/common/geometry.h"
+#include "comimo/interweave/geometry.h"
+#include "comimo/numeric/cmatrix.h"
+
+namespace comimo {
+
+/// Two-wave amplitude for relative phase `delta_phase` and per-wave
+/// amplitudes γ1, γ2 — the paper's γ formula.
+[[nodiscard]] double pair_amplitude(double delta_phase, double gamma1 = 1.0,
+                                    double gamma2 = 1.0);
+
+class NullSteeringPair {
+ public:
+  /// Builds the pair with δ chosen to null toward `pu`.
+  NullSteeringPair(const PairGeometry& geom, double wavelength,
+                   const Vec2& pu);
+
+  /// Exact (near-field) amplitude of the pair's field at `x`, unit
+  /// per-element amplitudes unless overridden.
+  [[nodiscard]] double amplitude_at(const Vec2& x, double gamma1 = 1.0,
+                                    double gamma2 = 1.0) const;
+
+  /// Complex field at `x` (phase referenced to St2's wave).
+  [[nodiscard]] cplx field_at(const Vec2& x) const;
+
+  /// Far-field amplitude toward angle θ from the array axis.
+  [[nodiscard]] double far_field_amplitude(double theta_rad) const;
+
+  /// Residual amplitude at the protected PU (≈ 0 in far field).
+  [[nodiscard]] double residual_at_pu() const;
+
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+  [[nodiscard]] const PairGeometry& geometry() const noexcept {
+    return geom_;
+  }
+  [[nodiscard]] double wavelength() const noexcept { return wavelength_; }
+  [[nodiscard]] const Vec2& pu() const noexcept { return pu_; }
+
+ private:
+  PairGeometry geom_;
+  double wavelength_;
+  Vec2 pu_;
+  double delta_;
+};
+
+/// Algorithm 3's transmit side: ⌊mt/2⌋ pairs, all nulled toward the same
+/// PU.  An odd transmitter is left idle (the paper pairs nodes and
+/// ignores the remainder).
+class PairedBeamformer {
+ public:
+  /// `nodes`: positions of the mt transmitters; consecutive nodes are
+  /// paired in order.
+  PairedBeamformer(std::vector<Vec2> nodes, double wavelength,
+                   const Vec2& pu);
+
+  [[nodiscard]] std::size_t num_pairs() const noexcept {
+    return pairs_.size();
+  }
+  [[nodiscard]] const std::vector<NullSteeringPair>& pairs() const noexcept {
+    return pairs_;
+  }
+
+  /// Total field amplitude at `x` (coherent sum over pairs).
+  [[nodiscard]] double amplitude_at(const Vec2& x) const;
+
+  /// Residual amplitude at the protected PU.
+  [[nodiscard]] double residual_at_pu() const;
+
+ private:
+  std::vector<NullSteeringPair> pairs_;
+};
+
+/// Extension beyond Algorithm 3 (whose pairs all null the *same* PU):
+/// with several primary receivers active, the ⌊mt/2⌋ pairs are assigned
+/// round-robin across them.  Each PU is perfectly nulled by its own
+/// pairs but sees residual field from the pairs protecting the others —
+/// the cost the ablation bench quantifies.
+class MultiPuBeamformer {
+ public:
+  /// `nodes`: the mt transmitter positions, paired in order;
+  /// `pus`: the protected primary receivers (≥ 1).
+  MultiPuBeamformer(std::vector<Vec2> nodes, double wavelength,
+                    std::vector<Vec2> pus);
+
+  [[nodiscard]] std::size_t num_pairs() const noexcept {
+    return pairs_.size();
+  }
+  [[nodiscard]] std::size_t num_pus() const noexcept { return pus_.size(); }
+  /// Which PU index pair `p` protects.
+  [[nodiscard]] std::size_t assignment(std::size_t pair_index) const;
+
+  /// Total field amplitude at an arbitrary point.
+  [[nodiscard]] double amplitude_at(const Vec2& x) const;
+
+  /// Residual amplitude at protected PU `pu_index` (contributions from
+  /// the pairs nulling *other* PUs).
+  [[nodiscard]] double residual_at(std::size_t pu_index) const;
+  /// Worst residual across all protected PUs.
+  [[nodiscard]] double worst_residual() const;
+
+ private:
+  std::vector<NullSteeringPair> pairs_;
+  std::vector<Vec2> pus_;
+  std::vector<std::size_t> assignment_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,123 @@
+#include "comimo/interweave/pattern.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+namespace {
+// The SISO reference: one element of unit amplitude, so a two-element
+// pattern value of 2 means full (2×) diversity amplitude.
+constexpr double kSisoReference = 1.0;
+
+std::vector<double> angle_grid(double step_deg) {
+  COMIMO_CHECK(step_deg > 0.0, "step must be positive");
+  std::vector<double> angles;
+  for (double a = 0.0; a <= 180.0 + 1e-9; a += step_deg) {
+    angles.push_back(a);
+  }
+  return angles;
+}
+}  // namespace
+
+double RadiationPattern::null_angle_deg() const {
+  COMIMO_CHECK(!amplitudes.empty(), "empty pattern");
+  const auto it = std::min_element(amplitudes.begin(), amplitudes.end());
+  return angles_deg[static_cast<std::size_t>(
+      std::distance(amplitudes.begin(), it))];
+}
+
+double RadiationPattern::null_depth() const {
+  COMIMO_CHECK(!amplitudes.empty(), "empty pattern");
+  return *std::min_element(amplitudes.begin(), amplitudes.end());
+}
+
+double RadiationPattern::peak_amplitude() const {
+  COMIMO_CHECK(!amplitudes.empty(), "empty pattern");
+  return *std::max_element(amplitudes.begin(), amplitudes.end());
+}
+
+RadiationPattern ideal_pattern(const NullSteeringPair& pair,
+                               double step_deg) {
+  RadiationPattern p;
+  p.angles_deg = angle_grid(step_deg);
+  p.amplitudes.reserve(p.angles_deg.size());
+  for (const double a : p.angles_deg) {
+    p.amplitudes.push_back(pair.far_field_amplitude(deg_to_rad(a)) /
+                           kSisoReference);
+  }
+  return p;
+}
+
+RadiationPattern semicircle_pattern(const NullSteeringPair& pair,
+                                    double radius_m, double step_deg) {
+  COMIMO_CHECK(radius_m > 0.0, "radius must be positive");
+  RadiationPattern p;
+  p.angles_deg = angle_grid(step_deg);
+  p.amplitudes.reserve(p.angles_deg.size());
+  const Vec2 center = pair.geometry().center();
+  const Vec2 axis =
+      (pair.geometry().st2 - pair.geometry().st1).normalized();
+  // Perpendicular completing a right-handed frame; angle 0 = along axis.
+  const Vec2 perp{-axis.y, axis.x};
+  for (const double a : p.angles_deg) {
+    const double t = deg_to_rad(a);
+    const Vec2 x = center + (axis * std::cos(t) + perp * std::sin(t)) *
+                                radius_m;
+    p.amplitudes.push_back(pair.amplitude_at(x) / kSisoReference);
+  }
+  return p;
+}
+
+RadiationPattern measured_pattern(const NullSteeringPair& pair,
+                                  double radius_m, double step_deg,
+                                  double amplitude_jitter,
+                                  double phase_jitter_rad, unsigned trials,
+                                  std::uint64_t seed) {
+  COMIMO_CHECK(radius_m > 0.0, "radius must be positive");
+  COMIMO_CHECK(trials >= 1, "need at least one trial");
+  COMIMO_CHECK(amplitude_jitter >= 0.0 && phase_jitter_rad >= 0.0,
+               "jitters must be >= 0");
+  RadiationPattern p;
+  p.angles_deg = angle_grid(step_deg);
+  p.amplitudes.reserve(p.angles_deg.size());
+  const Vec2 center = pair.geometry().center();
+  const Vec2 axis =
+      (pair.geometry().st2 - pair.geometry().st1).normalized();
+  const Vec2 perp{-axis.y, axis.x};
+  const double k = 2.0 * kPi / pair.wavelength();
+
+  std::size_t angle_idx = 0;
+  for (const double a : p.angles_deg) {
+    // Deterministic per-angle stream keeps the pattern independent of
+    // the evaluation order.
+    Rng rng(seed, angle_idx++);
+    const double t = deg_to_rad(a);
+    const Vec2 x =
+        center + (axis * std::cos(t) + perp * std::sin(t)) * radius_m;
+    double sum = 0.0;
+    for (unsigned trial = 0; trial < trials; ++trial) {
+      // Each element's wave: nominal phase (imposed delay + propagation)
+      // plus a multipath perturbation of amplitude and phase.
+      const double phi1 = pair.delta() - k * distance(pair.geometry().st1, x);
+      const double phi2 = -k * distance(pair.geometry().st2, x);
+      const double g1 =
+          std::max(0.0, 1.0 + amplitude_jitter * rng.gaussian());
+      const double g2 =
+          std::max(0.0, 1.0 + amplitude_jitter * rng.gaussian());
+      const double p1 = phi1 + phase_jitter_rad * rng.gaussian();
+      const double p2 = phi2 + phase_jitter_rad * rng.gaussian();
+      const cplx field = cplx{g1 * std::cos(p1), g1 * std::sin(p1)} +
+                         cplx{g2 * std::cos(p2), g2 * std::sin(p2)};
+      sum += std::abs(field);
+    }
+    p.amplitudes.push_back(sum / trials / kSisoReference);
+  }
+  return p;
+}
+
+}  // namespace comimo

@@ -1,0 +1,48 @@
+// Radiation-pattern evaluation (Fig. 8).
+//
+// Samples the pair beamformer's amplitude on a circle of receivers,
+// either ideal (line-of-sight, the "simulated radiation pattern" curve)
+// or through independent multipath realizations per element (the
+// "measured" curve whose null is non-zero).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comimo/interweave/pair_beamformer.h"
+
+namespace comimo {
+
+struct RadiationPattern {
+  std::vector<double> angles_deg;
+  std::vector<double> amplitudes;  ///< normalized to the SISO reference 1.0
+
+  /// Angle (deg) of the minimum amplitude.
+  [[nodiscard]] double null_angle_deg() const;
+  /// Minimum amplitude (null depth).
+  [[nodiscard]] double null_depth() const;
+  /// Maximum amplitude.
+  [[nodiscard]] double peak_amplitude() const;
+};
+
+/// Ideal far-field pattern of `pair` over [0°, 180°], `step_deg` apart;
+/// θ is measured from the array axis.
+[[nodiscard]] RadiationPattern ideal_pattern(const NullSteeringPair& pair,
+                                             double step_deg = 1.0);
+
+/// Near-field pattern on a semicircle of radius `radius_m` centered at
+/// the pair midpoint (the paper's 2 m-diameter receiver track).  Angles
+/// are measured from the array axis.
+[[nodiscard]] RadiationPattern semicircle_pattern(
+    const NullSteeringPair& pair, double radius_m, double step_deg = 20.0);
+
+/// Like semicircle_pattern but each element's wave takes an independent
+/// multipath-perturbed path: amplitude and phase of each element get a
+/// random perturbation of the given strengths (Rician-like scatter),
+/// averaged over `trials` packets — the measured Fig. 8 curve.
+[[nodiscard]] RadiationPattern measured_pattern(
+    const NullSteeringPair& pair, double radius_m, double step_deg,
+    double amplitude_jitter, double phase_jitter_rad, unsigned trials,
+    std::uint64_t seed);
+
+}  // namespace comimo

@@ -1,0 +1,46 @@
+#include "comimo/interweave/pu_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+std::vector<PuCandidateScore> score_pu_candidates(
+    const Vec2& st, const Vec2& sr, const std::vector<Vec2>& candidates,
+    const PuSelectionWeights& weights) {
+  COMIMO_CHECK(!candidates.empty(), "no PU candidates");
+  double max_dist = 0.0;
+  for (const auto& c : candidates) {
+    max_dist = std::max(max_dist, distance(st, c));
+  }
+  if (max_dist <= 0.0) max_dist = 1.0;
+
+  std::vector<PuCandidateScore> scores;
+  scores.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    PuCandidateScore s;
+    s.index = i;
+    s.distance_m = distance(st, candidates[i]);
+    s.angle_rad = angle_at(st, candidates[i], sr);
+    // sin(angle) is 1 when Pr⊥Sr as seen from St (best) and 0 when
+    // collinear (worst, either direction).
+    s.score = weights.distance_weight * (s.distance_m / max_dist) +
+              weights.angle_weight * std::sin(s.angle_rad);
+    scores.push_back(s);
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const PuCandidateScore& a, const PuCandidateScore& b) {
+              return a.score > b.score;
+            });
+  return scores;
+}
+
+std::size_t select_pu(const Vec2& st, const Vec2& sr,
+                      const std::vector<Vec2>& candidates,
+                      const PuSelectionWeights& weights) {
+  return score_pu_candidates(st, sr, candidates, weights).front().index;
+}
+
+}  // namespace comimo

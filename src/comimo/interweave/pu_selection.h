@@ -1,0 +1,42 @@
+// Algorithm 3 step 1 — choosing which PU's frequency to share.
+//
+// "the head can pick the PU such that it is as far as possible from C-St
+// and/or the line segments of C-St·Pr and C-St·C-Sr are not as collinear
+// as possible."  The score combines normalized distance with the sine of
+// the angle between the Pr and Sr directions (1 = perpendicular = full
+// diversity at Sr, 0 = collinear = the null also kills Sr).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comimo/common/geometry.h"
+
+namespace comimo {
+
+struct PuSelectionWeights {
+  double distance_weight = 0.5;
+  double angle_weight = 1.0;
+};
+
+struct PuCandidateScore {
+  std::size_t index = 0;
+  double distance_m = 0.0;
+  double angle_rad = 0.0;  ///< ∠(Pr, St, Sr)
+  double score = 0.0;
+};
+
+/// Scores every candidate PU as seen from the transmit-cluster position
+/// `st` with the intended secondary receiver at `sr`; highest score
+/// first.
+[[nodiscard]] std::vector<PuCandidateScore> score_pu_candidates(
+    const Vec2& st, const Vec2& sr, const std::vector<Vec2>& candidates,
+    const PuSelectionWeights& weights = {});
+
+/// Index of the best candidate (Algorithm 3's pick).  Throws
+/// InvalidArgument on an empty candidate list.
+[[nodiscard]] std::size_t select_pu(const Vec2& st, const Vec2& sr,
+                                    const std::vector<Vec2>& candidates,
+                                    const PuSelectionWeights& weights = {});
+
+}  // namespace comimo

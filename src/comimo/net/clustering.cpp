@@ -1,0 +1,106 @@
+#include "comimo/net/clustering.h"
+
+#include <algorithm>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+std::vector<Cluster> d_clustering(const std::vector<SuNode>& nodes,
+                                  double d) {
+  COMIMO_CHECK(d > 0.0, "cluster diameter must be positive");
+  std::vector<bool> assigned(nodes.size(), false);
+  std::vector<Cluster> clusters;
+  for (std::size_t seed = 0; seed < nodes.size(); ++seed) {
+    if (assigned[seed]) continue;
+    Cluster c;
+    c.id = static_cast<std::uint32_t>(clusters.size());
+    c.members.push_back(nodes[seed].id);
+    assigned[seed] = true;
+    for (std::size_t j = seed + 1; j < nodes.size(); ++j) {
+      if (assigned[j]) continue;
+      if (distance(nodes[seed].position, nodes[j].position) <= d / 2.0) {
+        c.members.push_back(nodes[j].id);
+        assigned[j] = true;
+      }
+    }
+    clusters.push_back(std::move(c));
+  }
+  elect_heads(nodes, clusters);
+  return clusters;
+}
+
+namespace {
+std::size_t index_of(const std::vector<SuNode>& nodes, NodeId id) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].id == id) return i;
+  }
+  throw InvalidArgument("unknown node id in cluster");
+}
+}  // namespace
+
+bool validate_clustering(const std::vector<SuNode>& nodes,
+                         const std::vector<Cluster>& clusters, double d) {
+  std::vector<int> seen(nodes.size(), 0);
+  for (const auto& c : clusters) {
+    if (c.members.empty()) return false;
+    for (std::size_t i = 0; i < c.members.size(); ++i) {
+      const std::size_t ni = index_of(nodes, c.members[i]);
+      ++seen[ni];
+      for (std::size_t j = i + 1; j < c.members.size(); ++j) {
+        const std::size_t nj = index_of(nodes, c.members[j]);
+        if (distance(nodes[ni].position, nodes[nj].position) > d) {
+          return false;
+        }
+      }
+    }
+  }
+  // Disjoint cover: every node in exactly one cluster.
+  return std::all_of(seen.begin(), seen.end(),
+                     [](int count) { return count == 1; });
+}
+
+void elect_heads(const std::vector<SuNode>& nodes,
+                 std::vector<Cluster>& clusters) {
+  for (auto& c : clusters) {
+    COMIMO_CHECK(!c.members.empty(), "empty cluster");
+    NodeId best = c.members.front();
+    double best_battery = nodes[index_of(nodes, best)].battery_j;
+    for (const NodeId m : c.members) {
+      const double battery = nodes[index_of(nodes, m)].battery_j;
+      if (battery > best_battery ||
+          (battery == best_battery && m < best)) {
+        best = m;
+        best_battery = battery;
+      }
+    }
+    c.head = best;
+  }
+}
+
+double cluster_gap(const std::vector<SuNode>& nodes, const Cluster& a,
+                   const Cluster& b) {
+  double gap = 0.0;
+  for (const NodeId ma : a.members) {
+    const auto& pa = nodes[index_of(nodes, ma)].position;
+    for (const NodeId mb : b.members) {
+      const auto& pb = nodes[index_of(nodes, mb)].position;
+      gap = std::max(gap, distance(pa, pb));
+    }
+  }
+  return gap;
+}
+
+double cluster_diameter(const std::vector<SuNode>& nodes, const Cluster& c) {
+  double diam = 0.0;
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    const auto& pi = nodes[index_of(nodes, c.members[i])].position;
+    for (std::size_t j = i + 1; j < c.members.size(); ++j) {
+      const auto& pj = nodes[index_of(nodes, c.members[j])].position;
+      diam = std::max(diam, distance(pi, pj));
+    }
+  }
+  return diam;
+}
+
+}  // namespace comimo

@@ -1,0 +1,37 @@
+// d-clustering (§2.1): a node-disjoint division of V where any two nodes
+// of a cluster are at most d apart (d ≤ r, the communication range).
+#pragma once
+
+#include <vector>
+
+#include "comimo/net/node.h"
+
+namespace comimo {
+
+/// Greedy seed-based d-clustering: repeatedly seeds a new cluster at the
+/// lowest-id unassigned node and absorbs unassigned nodes within d/2 of
+/// the seed (which bounds every pairwise distance by d).  Deterministic.
+[[nodiscard]] std::vector<Cluster> d_clustering(
+    const std::vector<SuNode>& nodes, double d);
+
+/// Verifies the d-clustering invariants: disjoint cover of all nodes,
+/// pairwise member distance ≤ d.
+[[nodiscard]] bool validate_clustering(const std::vector<SuNode>& nodes,
+                                       const std::vector<Cluster>& clusters,
+                                       double d);
+
+/// Elects the highest-battery member as head of each cluster (ties break
+/// to the lower node id); mutates the clusters in place.
+void elect_heads(const std::vector<SuNode>& nodes,
+                 std::vector<Cluster>& clusters);
+
+/// Largest pairwise distance between members of cluster a and cluster b
+/// (the D of a cooperative link, §2.1).
+[[nodiscard]] double cluster_gap(const std::vector<SuNode>& nodes,
+                                 const Cluster& a, const Cluster& b);
+
+/// Cluster diameter: largest pairwise member distance.
+[[nodiscard]] double cluster_diameter(const std::vector<SuNode>& nodes,
+                                      const Cluster& c);
+
+}  // namespace comimo

@@ -1,0 +1,164 @@
+#include "comimo/net/comimonet.h"
+
+#include <algorithm>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+CoMimoNet::CoMimoNet(std::vector<SuNode> nodes, const CoMimoNetConfig& config)
+    : nodes_(std::move(nodes)), config_(config) {
+  COMIMO_CHECK(!nodes_.empty(), "network needs at least one node");
+  COMIMO_CHECK(config.cluster_diameter_m <= config.communication_range_m,
+               "d must be <= communication range r (§2.1)");
+  // Node-id index.
+  NodeId max_id = 0;
+  for (const auto& n : nodes_) max_id = std::max(max_id, n.id);
+  node_index_.assign(static_cast<std::size_t>(max_id) + 1, ~std::size_t{0});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    COMIMO_CHECK(node_index_[nodes_[i].id] == ~std::size_t{0},
+                 "duplicate node id");
+    node_index_[nodes_[i].id] = i;
+  }
+
+  clusters_ = d_clustering(nodes_, config.cluster_diameter_m);
+  node_cluster_.assign(nodes_.size(), 0);
+  for (const auto& c : clusters_) {
+    for (const NodeId m : c.members) {
+      node_cluster_[node_index_[m]] = c.id;
+    }
+  }
+
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    for (std::size_t j = i + 1; j < clusters_.size(); ++j) {
+      const double gap = cluster_gap(nodes_, clusters_[i], clusters_[j]);
+      if (gap <= config.link_range_m) {
+        links_.push_back(CoopLink{clusters_[i].id, clusters_[j].id, gap});
+      }
+    }
+  }
+}
+
+std::vector<ClusterId> CoMimoNet::neighbors(ClusterId c) const {
+  std::vector<ClusterId> out;
+  for (const auto& l : links_) {
+    if (l.a == c) out.push_back(l.b);
+    if (l.b == c) out.push_back(l.a);
+  }
+  return out;
+}
+
+const CoopLink* CoMimoNet::link_between(ClusterId a, ClusterId b) const {
+  for (const auto& l : links_) {
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return &l;
+  }
+  return nullptr;
+}
+
+CoopLink::Kind CoMimoNet::link_kind(ClusterId a, ClusterId b) const {
+  COMIMO_CHECK(a < clusters_.size() && b < clusters_.size(),
+               "cluster id out of range");
+  const std::size_t mt = clusters_[a].size();
+  const std::size_t mr = clusters_[b].size();
+  if (mt == 1 && mr == 1) return CoopLink::Kind::kSiso;
+  if (mt == 1) return CoopLink::Kind::kSimo;
+  if (mr == 1) return CoopLink::Kind::kMiso;
+  return CoopLink::Kind::kMimo;
+}
+
+ClusterId CoMimoNet::cluster_of(NodeId id) const {
+  COMIMO_CHECK(id < node_index_.size() &&
+                   node_index_[id] != ~std::size_t{0},
+               "unknown node id");
+  return node_cluster_[node_index_[id]];
+}
+
+const SuNode& CoMimoNet::node(NodeId id) const {
+  COMIMO_CHECK(id < node_index_.size() &&
+                   node_index_[id] != ~std::size_t{0},
+               "unknown node id");
+  return nodes_[node_index_[id]];
+}
+
+SuNode& CoMimoNet::mutable_node(NodeId id) {
+  COMIMO_CHECK(id < node_index_.size() &&
+                   node_index_[id] != ~std::size_t{0},
+               "unknown node id");
+  return nodes_[node_index_[id]];
+}
+
+std::size_t CoMimoNet::reelect_heads() {
+  std::vector<NodeId> before;
+  before.reserve(clusters_.size());
+  for (const auto& c : clusters_) before.push_back(c.head);
+  elect_heads(nodes_, clusters_);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (clusters_[i].head != before[i]) ++changed;
+  }
+  return changed;
+}
+
+bool CoMimoNet::validate() const {
+  if (!validate_clustering(nodes_, clusters_, config_.cluster_diameter_m)) {
+    return false;
+  }
+  for (const auto& l : links_) {
+    if (l.length_m > config_.link_range_m) return false;
+  }
+  for (const auto& c : clusters_) {
+    if (c.head == kInvalidNode) return false;
+    if (std::find(c.members.begin(), c.members.end(), c.head) ==
+        c.members.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<SuNode> clustered_field(std::size_t groups,
+                                    std::size_t nodes_per_group,
+                                    double spread_m, double width_m,
+                                    double height_m, std::uint64_t seed,
+                                    double battery_lo, double battery_hi) {
+  COMIMO_CHECK(groups >= 1 && nodes_per_group >= 1, "empty field request");
+  COMIMO_CHECK(spread_m >= 0.0 && width_m > 0.0 && height_m > 0.0,
+               "invalid field geometry");
+  Rng rng(seed);
+  std::vector<SuNode> nodes;
+  nodes.reserve(groups * nodes_per_group);
+  NodeId id = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const Vec2 anchor{rng.uniform(spread_m, width_m - spread_m),
+                      rng.uniform(spread_m, height_m - spread_m)};
+    for (std::size_t k = 0; k < nodes_per_group; ++k) {
+      SuNode node;
+      node.id = id++;
+      node.position = rng.point_in_disk(anchor, spread_m);
+      node.battery_j = rng.uniform(battery_lo, battery_hi);
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+std::vector<SuNode> random_field(std::size_t n, double width_m,
+                                 double height_m, std::uint64_t seed,
+                                 double battery_lo, double battery_hi) {
+  COMIMO_CHECK(n >= 1, "need at least one node");
+  COMIMO_CHECK(width_m > 0.0 && height_m > 0.0, "field must be non-empty");
+  Rng rng(seed);
+  std::vector<SuNode> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SuNode node;
+    node.id = static_cast<NodeId>(i);
+    node.position = Vec2{rng.uniform(0.0, width_m), rng.uniform(0.0, height_m)};
+    node.battery_j = rng.uniform(battery_lo, battery_hi);
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+}  // namespace comimo

@@ -1,0 +1,104 @@
+// The CoMIMONet (§2.1): node graph G = (V, E), its d-clustering, and the
+// cluster graph G_MIMO whose edges are cooperative MIMO links.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comimo/net/clustering.h"
+#include "comimo/net/node.h"
+
+namespace comimo {
+
+using ClusterId = std::uint32_t;
+
+struct CoMimoNetConfig {
+  double communication_range_m = 60.0;  ///< r
+  double cluster_diameter_m = 10.0;     ///< d (d ≤ r)
+  double link_range_m = 250.0;          ///< max cooperative-link length D
+};
+
+/// One cooperative link of G_MIMO.
+struct CoopLink {
+  ClusterId a = 0;
+  ClusterId b = 0;
+  double length_m = 0.0;  ///< the link's D (largest member gap)
+
+  /// SISO/SIMO/MISO/MIMO classification by endpoint sizes (§2.1).
+  enum class Kind { kSiso, kSimo, kMiso, kMimo };
+};
+
+class CoMimoNet {
+ public:
+  /// Builds the network: d-clusters the nodes, elects heads, and adds a
+  /// cooperative link between every cluster pair whose largest member
+  /// gap is at most link_range_m.
+  CoMimoNet(std::vector<SuNode> nodes, const CoMimoNetConfig& config);
+
+  [[nodiscard]] const std::vector<SuNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<Cluster>& clusters() const noexcept {
+    return clusters_;
+  }
+  [[nodiscard]] const std::vector<CoopLink>& links() const noexcept {
+    return links_;
+  }
+  [[nodiscard]] const CoMimoNetConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Clusters adjacent to `c` in G_MIMO.
+  [[nodiscard]] std::vector<ClusterId> neighbors(ClusterId c) const;
+
+  /// Link between two clusters, or nullptr when absent.
+  [[nodiscard]] const CoopLink* link_between(ClusterId a, ClusterId b) const;
+
+  /// Kind of a directed transmission a→b by endpoint sizes.
+  [[nodiscard]] CoopLink::Kind link_kind(ClusterId a, ClusterId b) const;
+
+  /// Cluster containing node `id`.
+  [[nodiscard]] ClusterId cluster_of(NodeId id) const;
+
+  /// Node lookup by id.
+  [[nodiscard]] const SuNode& node(NodeId id) const;
+  /// Mutable access for battery accounting.
+  [[nodiscard]] SuNode& mutable_node(NodeId id);
+
+  /// Re-elects cluster heads from the current battery levels — the
+  /// §2.1 reconfiguration hook ("the clusters and the routing backbone
+  /// are reconfigurable") run after traffic depletes batteries.
+  /// Returns the number of clusters whose head changed.
+  std::size_t reelect_heads();
+
+  /// True when every node pair within a cluster is inside communication
+  /// range and every link respects link_range_m — the §2.1 invariants.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  std::vector<SuNode> nodes_;
+  CoMimoNetConfig config_;
+  std::vector<Cluster> clusters_;
+  std::vector<CoopLink> links_;
+  std::vector<ClusterId> node_cluster_;   // node index -> cluster id
+  std::vector<std::size_t> node_index_;   // node id -> index in nodes_
+};
+
+/// Generates `n` nodes uniformly in a w×h field with batteries uniform
+/// in [battery_lo, battery_hi] (deterministic in the seed).
+[[nodiscard]] std::vector<SuNode> random_field(std::size_t n, double width_m,
+                                               double height_m,
+                                               std::uint64_t seed,
+                                               double battery_lo = 0.5,
+                                               double battery_hi = 1.0);
+
+/// Generates `groups` anchor points uniformly in the field and scatters
+/// `nodes_per_group` nodes within `spread_m` of each anchor — the
+/// grouped deployments the cooperative schemes assume (SUs close enough
+/// to form d-clusters, clusters far apart).
+[[nodiscard]] std::vector<SuNode> clustered_field(
+    std::size_t groups, std::size_t nodes_per_group, double spread_m,
+    double width_m, double height_m, std::uint64_t seed,
+    double battery_lo = 0.5, double battery_hi = 1.0);
+
+}  // namespace comimo

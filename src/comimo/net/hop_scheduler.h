@@ -1,0 +1,58 @@
+// TDMA schedule for one cooperative hop (§2.2's three-step schemes).
+//
+// Materializes the MIMO/MISO/SIMO schemes into timed transmissions:
+//   step 1 — the head broadcasts locally (one slot, mt > 1 only);
+//   step 2 — the STBC long-haul block, all mt transmitters simultaneous;
+//   step 3 — each non-head receiver forwards to the head in its own slot
+//            (mr − 1 slots, mr > 1 only).
+// Slot durations follow the variable-rate system (bits / (b·B)), with
+// the long-haul slot stretched by the STBC rate (G3/G4 are rate ½).
+#pragma once
+
+#include <vector>
+
+#include "comimo/net/node.h"
+#include "comimo/phy/stbc.h"
+#include "comimo/underlay/cooperative_hop.h"
+
+namespace comimo {
+
+struct ScheduledTransmission {
+  enum class Step { kIntraSource, kLongHaul, kIntraSink };
+  Step step = Step::kLongHaul;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  std::vector<NodeId> transmitters;
+  std::vector<NodeId> receivers;
+  /// PA + circuit energy spent per *transmitting* node over this slot [J].
+  double tx_energy_j = 0.0;
+};
+
+struct HopSchedule {
+  std::vector<ScheduledTransmission> slots;
+  double makespan_s = 0.0;
+  /// Payload bits this schedule moves head-to-head.
+  double payload_bits = 0.0;
+  /// True when no two intra-cluster slots overlap and the long-haul slot
+  /// does not overlap intra slots (the §2.2 sequencing).
+  [[nodiscard]] bool is_sequential() const;
+  /// Head-to-head goodput [bit/s]: payload over makespan.  The §2.3
+  /// "bB bits per second" raw rate is paid once per step, so multi-step
+  /// cooperative hops trade goodput for energy/diversity.
+  [[nodiscard]] double goodput_bps() const {
+    return makespan_s > 0.0 ? payload_bits / makespan_s : 0.0;
+  }
+};
+
+class HopScheduler {
+ public:
+  /// Schedules `bits` of payload through the hop described by `plan`
+  /// between the member lists of the two clusters (the first entry of
+  /// each list is the head).
+  [[nodiscard]] HopSchedule schedule(const UnderlayHopPlan& plan,
+                                     const std::vector<NodeId>& tx_members,
+                                     const std::vector<NodeId>& rx_members,
+                                     double bits) const;
+};
+
+}  // namespace comimo

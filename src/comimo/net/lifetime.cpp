@@ -1,0 +1,58 @@
+#include "comimo/net/lifetime.h"
+
+#include <algorithm>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+LifetimeReport simulate_lifetime(const CoMimoNet& net,
+                                 const SystemParams& params,
+                                 const LifetimeConfig& config) {
+  COMIMO_CHECK(config.bits_per_round > 0.0, "bits per round must be > 0");
+  COMIMO_CHECK(config.death_fraction > 0.0 && config.death_fraction <= 1.0,
+               "death fraction in (0, 1]");
+  COMIMO_CHECK(config.round_cap >= 1, "round cap must be >= 1");
+
+  CoMimoNet world = net;  // drained copy; the caller's net is untouched
+  const std::size_t total = world.nodes().size();
+  Rng traffic(config.traffic_seed, 0x7AFF1C);
+
+  LifetimeReport report;
+  for (std::size_t round = 1; round <= config.round_cap; ++round) {
+    // The router re-plans against current heads each round.
+    const CooperativeRouter router(world, params, config.ber,
+                                   config.bandwidth_hz, config.mode);
+    const NodeId src = static_cast<NodeId>(traffic.uniform_int(total));
+    const NodeId dst = static_cast<NodeId>(traffic.uniform_int(total));
+    if (router.backbone().connected(world.cluster_of(src),
+                                    world.cluster_of(dst))) {
+      const RouteReport route = router.route(src, dst);
+      router.apply_battery_drain(world, route, config.bits_per_round);
+      world.reelect_heads();
+    }
+
+    std::size_t dead = 0;
+    double min_battery = std::numeric_limits<double>::infinity();
+    for (const auto& n : world.nodes()) {
+      if (n.battery_j <= 0.0) ++dead;
+      min_battery = std::min(min_battery, n.battery_j);
+    }
+    report.dead_nodes = dead;
+    report.min_battery_j = min_battery;
+    if (dead >= 1 && report.rounds_to_first_death == 0) {
+      report.rounds_to_first_death = round;
+    }
+    if (static_cast<double>(dead) >=
+        config.death_fraction * static_cast<double>(total)) {
+      report.rounds_to_death_fraction = round;
+      return report;
+    }
+  }
+  report.rounds_to_death_fraction = config.round_cap;
+  report.censored = true;
+  return report;
+}
+
+}  // namespace comimo

@@ -1,0 +1,43 @@
+// Network-lifetime simulation.
+//
+// The energy case for cooperative MIMO (refs [9],[10]) is ultimately a
+// lifetime case: how long until batteries die under traffic?  This
+// module runs repeated random-pair traffic rounds over a CoMIMONet,
+// draining batteries through the router's ledger and re-electing heads
+// after every round (§2.1's reconfiguration), and reports when the
+// first node dies and when a configurable fraction of the network is
+// gone.  The ext_network_lifetime bench compares cooperative vs
+// heads-only routing with it.
+#pragma once
+
+#include <cstdint>
+
+#include "comimo/net/routing.h"
+
+namespace comimo {
+
+struct LifetimeConfig {
+  RoutingMode mode = RoutingMode::kCooperative;
+  double bits_per_round = 1e5;
+  double ber = 1e-3;
+  double bandwidth_hz = 40e3;
+  /// Stop when this fraction of nodes is dead (battery ≤ 0).
+  double death_fraction = 0.25;
+  std::size_t round_cap = 5000;
+  std::uint64_t traffic_seed = 1;
+};
+
+struct LifetimeReport {
+  std::size_t rounds_to_first_death = 0;   ///< 0 = none within the cap
+  std::size_t rounds_to_death_fraction = 0;  ///< capped at round_cap
+  bool censored = false;  ///< true when the cap ended the run
+  double min_battery_j = 0.0;
+  std::size_t dead_nodes = 0;
+};
+
+/// Runs the traffic loop on a copy of `net` (the input is untouched).
+[[nodiscard]] LifetimeReport simulate_lifetime(const CoMimoNet& net,
+                                               const SystemParams& params,
+                                               const LifetimeConfig& config);
+
+}  // namespace comimo

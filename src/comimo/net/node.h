@@ -1,0 +1,31 @@
+// Secondary-user node of the CoMIMONet (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comimo/common/geometry.h"
+
+namespace comimo {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+struct SuNode {
+  NodeId id = kInvalidNode;
+  Vec2 position;
+  /// Remaining battery energy [J]; head election prefers the
+  /// highest-battery node.
+  double battery_j = 1.0;
+};
+
+/// Cluster of SU nodes — a cooperative MIMO node (§2.1's terminology).
+struct Cluster {
+  std::uint32_t id = 0;
+  std::vector<NodeId> members;
+  NodeId head = kInvalidNode;
+
+  [[nodiscard]] std::size_t size() const noexcept { return members.size(); }
+};
+
+}  // namespace comimo

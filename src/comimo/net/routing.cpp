@@ -1,0 +1,110 @@
+#include "comimo/net/routing.h"
+
+#include <algorithm>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+CooperativeRouter::CooperativeRouter(const CoMimoNet& net,
+                                     const SystemParams& params, double ber,
+                                     double bandwidth_hz, RoutingMode mode)
+    : net_(net),
+      backbone_(net),
+      hop_planner_(params),
+      ber_(ber),
+      bandwidth_hz_(bandwidth_hz),
+      mode_(mode) {}
+
+RouteReport CooperativeRouter::route(NodeId source,
+                                     NodeId destination) const {
+  const ClusterId from = net_.cluster_of(source);
+  const ClusterId to = net_.cluster_of(destination);
+  const auto path = backbone_.path(from, to);
+  if (!path) {
+    throw InfeasibleError("no backbone path between source and destination");
+  }
+  RouteReport report;
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    const ClusterId a = (*path)[i];
+    const ClusterId b = (*path)[i + 1];
+    const CoopLink* link = net_.link_between(a, b);
+    COMIMO_CHECK(link != nullptr, "backbone edge missing from link set");
+    UnderlayHopConfig cfg;
+    if (mode_ == RoutingMode::kSisoHeadsOnly) {
+      cfg.mt = 1;
+      cfg.mr = 1;
+    } else {
+      cfg.mt = static_cast<unsigned>(net_.clusters()[a].size());
+      cfg.mr = static_cast<unsigned>(net_.clusters()[b].size());
+    }
+    cfg.hop_distance_m = link->length_m;
+    cfg.cluster_diameter_m = std::max(
+        {cluster_diameter(net_.nodes(), net_.clusters()[a]),
+         cluster_diameter(net_.nodes(), net_.clusters()[b]), 1.0});
+    cfg.ber = ber_;
+    cfg.bandwidth_hz = bandwidth_hz_;
+    RouteHop hop;
+    hop.from = a;
+    hop.to = b;
+    hop.kind = net_.link_kind(a, b);
+    hop.plan = hop_planner_.plan(cfg);
+    report.total_energy_per_bit += hop.plan.total_energy();
+    report.peak_pa_per_bit =
+        std::max(report.peak_pa_per_bit, hop.plan.peak_pa());
+    report.hops.push_back(std::move(hop));
+  }
+  return report;
+}
+
+namespace {
+// The plan's mt/mr decide how many cluster members participate: the
+// head plus the first (m − 1) other members (heads-only SISO routing
+// plans with mt = mr = 1, so only the heads are charged).
+std::vector<NodeId> participants(const Cluster& cluster, unsigned m) {
+  std::vector<NodeId> out{cluster.head};
+  for (const NodeId member : cluster.members) {
+    if (out.size() >= m) break;
+    if (member != cluster.head) out.push_back(member);
+  }
+  return out;
+}
+}  // namespace
+
+void CooperativeRouter::apply_battery_drain(CoMimoNet& net,
+                                            const RouteReport& report,
+                                            double bits) const {
+  COMIMO_CHECK(bits >= 0.0, "negative bit count");
+  for (const auto& hop : report.hops) {
+    const auto& plan = hop.plan;
+    const std::vector<NodeId> tx =
+        participants(net.clusters()[hop.from], plan.config.mt);
+    const std::vector<NodeId> rx =
+        participants(net.clusters()[hop.to], plan.config.mr);
+    // Transmit side: every participant pays the long-haul transmission;
+    // the head additionally pays the local broadcast (when mt > 1), the
+    // other participants the local reception.
+    for (const NodeId m : tx) {
+      double e = plan.mimo_tx_pa + plan.mimo_tx_circuit;
+      if (tx.size() > 1) {
+        e += (m == tx.front()) ? plan.local_tx_pa + plan.local_tx_circuit
+                               : plan.local_rx;
+      }
+      net.mutable_node(m).battery_j -= e * bits;
+    }
+    // Receive side: every participant pays the long-haul reception;
+    // non-head participants additionally forward to the head, which
+    // pays the receptions.
+    for (const NodeId m : rx) {
+      double e = plan.mimo_rx;
+      if (rx.size() > 1) {
+        e += (m == rx.front())
+                 ? static_cast<double>(rx.size() - 1) * plan.local_rx
+                 : plan.local_tx_pa + plan.local_tx_circuit;
+      }
+      net.mutable_node(m).battery_j -= e * bits;
+    }
+  }
+}
+
+}  // namespace comimo

@@ -1,0 +1,67 @@
+// Multi-hop cooperative routing over the backbone (§2.2 + §4).
+//
+// A route is the backbone path between the source's and destination's
+// clusters; every hop is a cooperative transmission planned by
+// Algorithm 2, with the per-node energy ledger drawn from the §2.3
+// model.  Battery accounting optionally depletes node energy, which a
+// later head re-election would react to (the paper's "clusters and the
+// routing backbone are reconfigurable").
+#pragma once
+
+#include <vector>
+
+#include "comimo/net/spanning_tree.h"
+#include "comimo/underlay/cooperative_hop.h"
+
+namespace comimo {
+
+struct RouteHop {
+  ClusterId from = 0;
+  ClusterId to = 0;
+  CoopLink::Kind kind = CoopLink::Kind::kSiso;
+  UnderlayHopPlan plan;
+};
+
+struct RouteReport {
+  std::vector<RouteHop> hops;
+  double total_energy_per_bit = 0.0;  ///< Σ hop total (PA + circuits)
+  double peak_pa_per_bit = 0.0;       ///< max over hops of E_PA
+  [[nodiscard]] std::size_t num_hops() const noexcept { return hops.size(); }
+};
+
+/// How hops are executed along the route.
+enum class RoutingMode {
+  kCooperative,    ///< full-cluster virtual MIMO (the paper's scheme)
+  kSisoHeadsOnly,  ///< only the heads talk — the non-cooperative
+                   ///< baseline the lifetime bench compares against
+};
+
+class CooperativeRouter {
+ public:
+  CooperativeRouter(const CoMimoNet& net, const SystemParams& params,
+                    double ber, double bandwidth_hz,
+                    RoutingMode mode = RoutingMode::kCooperative);
+
+  /// Plans the route between the clusters of two nodes.  Throws
+  /// InfeasibleError when the backbone does not connect them.
+  [[nodiscard]] RouteReport route(NodeId source, NodeId destination) const;
+
+  /// Deducts each hop's per-node energies from the batteries of the
+  /// participating nodes for `bits` transported bits.
+  void apply_battery_drain(CoMimoNet& net, const RouteReport& report,
+                           double bits) const;
+
+  [[nodiscard]] const RoutingBackbone& backbone() const noexcept {
+    return backbone_;
+  }
+
+ private:
+  const CoMimoNet& net_;
+  RoutingBackbone backbone_;
+  UnderlayCooperativeHop hop_planner_;
+  double ber_;
+  double bandwidth_hz_;
+  RoutingMode mode_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,108 @@
+#include "comimo/net/spanning_tree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), components_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  COMIMO_DCHECK(x < parent_.size(), "union-find index out of range");
+  std::size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const std::size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(std::size_t x, std::size_t y) {
+  std::size_t rx = find(x);
+  std::size_t ry = find(y);
+  if (rx == ry) return false;
+  if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  if (rank_[rx] == rank_[ry]) ++rank_[rx];
+  --components_;
+  return true;
+}
+
+RoutingBackbone::RoutingBackbone(const CoMimoNet& net)
+    : num_clusters_(net.clusters().size()),
+      adjacency_(net.clusters().size()),
+      component_(net.clusters().size()) {
+  std::vector<CoopLink> links = net.links();
+  std::sort(links.begin(), links.end(),
+            [](const CoopLink& a, const CoopLink& b) {
+              if (a.length_m != b.length_m) return a.length_m < b.length_m;
+              if (a.a != b.a) return a.a < b.a;
+              return a.b < b.b;
+            });
+  UnionFind uf(num_clusters_);
+  for (const auto& l : links) {
+    if (uf.unite(l.a, l.b)) {
+      edges_.push_back(l);
+      adjacency_[l.a].push_back(l.b);
+      adjacency_[l.b].push_back(l.a);
+    }
+  }
+  for (std::size_t i = 0; i < num_clusters_; ++i) {
+    component_[i] = uf.find(i);
+  }
+  num_components_ = uf.num_components();
+}
+
+bool RoutingBackbone::connected(ClusterId a, ClusterId b) const {
+  COMIMO_CHECK(a < num_clusters_ && b < num_clusters_,
+               "cluster id out of range");
+  return component_[a] == component_[b];
+}
+
+std::optional<std::vector<ClusterId>> RoutingBackbone::path(
+    ClusterId from, ClusterId to) const {
+  COMIMO_CHECK(from < num_clusters_ && to < num_clusters_,
+               "cluster id out of range");
+  if (!connected(from, to)) return std::nullopt;
+  if (from == to) return std::vector<ClusterId>{from};
+  // BFS on the tree (paths are unique).
+  std::vector<ClusterId> parent(num_clusters_, from);
+  std::vector<bool> visited(num_clusters_, false);
+  std::queue<ClusterId> queue;
+  queue.push(from);
+  visited[from] = true;
+  while (!queue.empty()) {
+    const ClusterId u = queue.front();
+    queue.pop();
+    if (u == to) break;
+    for (const ClusterId v : adjacency_[u]) {
+      if (!visited[v]) {
+        visited[v] = true;
+        parent[v] = u;
+        queue.push(v);
+      }
+    }
+  }
+  std::vector<ClusterId> path;
+  for (ClusterId cur = to;; cur = parent[cur]) {
+    path.push_back(cur);
+    if (cur == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double RoutingBackbone::total_length() const noexcept {
+  double total = 0.0;
+  for (const auto& e : edges_) total += e.length_m;
+  return total;
+}
+
+}  // namespace comimo

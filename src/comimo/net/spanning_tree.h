@@ -1,0 +1,63 @@
+// Routing backbone (§2.1): "All head nodes form a spanning tree which is
+// used as a routing backbone and its paths are used for data relay."
+//
+// The tree is a minimum spanning tree of G_MIMO under link length
+// (shorter hops cost less PA energy), built with Kruskal + union-find.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "comimo/net/comimonet.h"
+
+namespace comimo {
+
+/// Disjoint-set forest with union by rank and path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  [[nodiscard]] std::size_t find(std::size_t x);
+  /// Returns false when x and y were already connected.
+  bool unite(std::size_t x, std::size_t y);
+  [[nodiscard]] std::size_t num_components() const noexcept {
+    return components_;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t components_;
+};
+
+class RoutingBackbone {
+ public:
+  /// Builds the MST forest of the network's cluster graph (a spanning
+  /// tree per connected component).
+  explicit RoutingBackbone(const CoMimoNet& net);
+
+  /// Tree edges (subset of the network's links).
+  [[nodiscard]] const std::vector<CoopLink>& tree_edges() const noexcept {
+    return edges_;
+  }
+
+  /// Unique tree path between two clusters (inclusive of endpoints);
+  /// nullopt when they are in different components.
+  [[nodiscard]] std::optional<std::vector<ClusterId>> path(
+      ClusterId from, ClusterId to) const;
+
+  [[nodiscard]] bool connected(ClusterId a, ClusterId b) const;
+  [[nodiscard]] std::size_t num_components() const noexcept {
+    return num_components_;
+  }
+  /// Total length of the backbone's edges.
+  [[nodiscard]] double total_length() const noexcept;
+
+ private:
+  std::size_t num_clusters_;
+  std::vector<CoopLink> edges_;
+  std::vector<std::vector<ClusterId>> adjacency_;
+  std::vector<std::size_t> component_;
+  std::size_t num_components_ = 0;
+};
+
+}  // namespace comimo

@@ -1,0 +1,175 @@
+#include "comimo/net/spatial_csma.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+namespace {
+struct StationState {
+  std::deque<double> arrivals;
+  std::uint64_t backoff = 0;
+  unsigned cw = 0;
+  unsigned retries = 0;
+  bool contending = false;
+  // In-flight transmission, if any.
+  bool transmitting = false;
+  std::uint64_t tx_end_slot = 0;
+  bool corrupted = false;  // another tx hit our receiver mid-frame
+};
+}  // namespace
+
+SpatialCsmaSimulator::SpatialCsmaSimulator(
+    SpatialCsmaConfig config, std::vector<SpatialStation> stations)
+    : config_(config), stations_(std::move(stations)) {
+  COMIMO_CHECK(!stations_.empty(), "simulator needs at least one station");
+  COMIMO_CHECK(config.slot_time_s > 0.0 && config.bitrate_bps > 0.0,
+               "invalid timing parameters");
+  COMIMO_CHECK(config.carrier_sense_range_m > 0.0 &&
+                   config.interference_range_m > 0.0,
+               "ranges must be positive");
+  COMIMO_CHECK(config.cw_min >= 1 && config.cw_max >= config.cw_min,
+               "invalid contention window bounds");
+}
+
+SpatialCsmaStats SpatialCsmaSimulator::run(double duration_s) {
+  COMIMO_CHECK(duration_s > 0.0, "duration must be positive");
+  const auto total_slots = static_cast<std::uint64_t>(
+      std::ceil(duration_s / config_.slot_time_s));
+  const std::size_t n = stations_.size();
+
+  std::vector<StationState> state(n);
+  SpatialCsmaStats stats;
+  for (std::size_t s = 0; s < n; ++s) {
+    Rng rng(config_.seed, s);
+    double t = 0.0;
+    COMIMO_CHECK(stations_[s].arrival_rate_fps > 0.0,
+                 "arrival rate must be positive");
+    for (;;) {
+      t += rng.exponential() / stations_[s].arrival_rate_fps;
+      if (t >= duration_s) break;
+      state[s].arrivals.push_back(t);
+      ++stats.offered_frames;
+    }
+    state[s].cw = config_.cw_min;
+  }
+  Rng backoff_rng(config_.seed, 0xBACC0FFULL);
+
+  const auto frame_slots = [&](std::size_t s) {
+    const double airtime =
+        static_cast<double>(stations_[s].frame_bits) / config_.bitrate_bps;
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(airtime /
+                                                config_.slot_time_s)));
+  };
+
+  std::uint64_t delivered_bits = 0;
+  std::uint64_t busy_slot_concurrency = 0;
+  std::uint64_t busy_slots = 0;
+
+  for (std::uint64_t slot = 0; slot < total_slots; ++slot) {
+    const double now = static_cast<double>(slot) * config_.slot_time_s;
+
+    // 1. Finish transmissions ending at this slot.
+    for (std::size_t s = 0; s < n; ++s) {
+      auto& st = state[s];
+      if (!st.transmitting || st.tx_end_slot > slot) continue;
+      st.transmitting = false;
+      if (st.corrupted) {
+        ++stats.lost_frames;
+        ++st.retries;
+        if (st.retries > config_.max_retries) {
+          st.arrivals.pop_front();
+          ++stats.dropped_frames;
+          st.retries = 0;
+          st.cw = config_.cw_min;
+          st.contending = false;
+        } else {
+          st.cw = std::min(st.cw * 2, config_.cw_max);
+          st.backoff = config_.difs_slots + backoff_rng.uniform_int(st.cw);
+          st.contending = true;
+        }
+      } else {
+        ++stats.delivered_frames;
+        delivered_bits += stations_[s].frame_bits;
+        st.arrivals.pop_front();
+        st.retries = 0;
+        st.cw = config_.cw_min;
+        st.contending = false;
+      }
+    }
+
+    // 2. Backoff countdown for stations that sense an idle medium.
+    std::vector<std::size_t> starters;
+    for (std::size_t s = 0; s < n; ++s) {
+      auto& st = state[s];
+      if (st.transmitting) continue;
+      if (st.arrivals.empty() || st.arrivals.front() > now) continue;
+      if (!st.contending) {
+        st.contending = true;
+        st.backoff = config_.difs_slots + backoff_rng.uniform_int(st.cw);
+      }
+      // Carrier sense: any active transmitter within cs range freezes
+      // the countdown.
+      bool medium_busy = false;
+      for (std::size_t o = 0; o < n; ++o) {
+        if (o == s || !state[o].transmitting) continue;
+        if (distance(stations_[s].position, stations_[o].position) <=
+            config_.carrier_sense_range_m) {
+          medium_busy = true;
+          break;
+        }
+      }
+      if (medium_busy) continue;
+      if (st.backoff == 0) {
+        starters.push_back(s);
+      } else {
+        --st.backoff;
+      }
+    }
+
+    // 3. Start new transmissions.
+    for (const std::size_t s : starters) {
+      auto& st = state[s];
+      st.transmitting = true;
+      st.corrupted = false;
+      st.tx_end_slot = slot + frame_slots(s);
+    }
+
+    // 4. Interference: any receiver with ≥1 foreign transmitter inside
+    // interference range while its frame is on the air loses the frame.
+    std::size_t active = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (state[s].transmitting) ++active;
+    }
+    if (active > 0) {
+      ++busy_slots;
+      busy_slot_concurrency += active;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!state[s].transmitting || state[s].corrupted) continue;
+        for (std::size_t o = 0; o < n; ++o) {
+          if (o == s || !state[o].transmitting) continue;
+          if (distance(stations_[s].destination,
+                       stations_[o].position) <=
+              config_.interference_range_m) {
+            state[s].corrupted = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  stats.throughput_bps = static_cast<double>(delivered_bits) / duration_s;
+  stats.mean_concurrency =
+      busy_slots ? static_cast<double>(busy_slot_concurrency) /
+                       static_cast<double>(busy_slots)
+                 : 0.0;
+  return stats;
+}
+
+}  // namespace comimo

@@ -1,0 +1,233 @@
+#include "comimo/numeric/cmatrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+CMatrix::CMatrix(std::initializer_list<std::initializer_list<cplx>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    COMIMO_CHECK(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+CMatrix CMatrix::random_gaussian(std::size_t rows, std::size_t cols, Rng& rng,
+                                 double variance) {
+  CMatrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.complex_gaussian(variance);
+  return m;
+}
+
+cplx& CMatrix::operator()(std::size_t r, std::size_t c) {
+  COMIMO_DCHECK(r < rows_ && c < cols_, "index out of range");
+  return data_[r * cols_ + c];
+}
+
+const cplx& CMatrix::operator()(std::size_t r, std::size_t c) const {
+  COMIMO_DCHECK(r < rows_ && c < cols_, "index out of range");
+  return data_[r * cols_ + c];
+}
+
+CMatrix CMatrix::operator+(const CMatrix& o) const {
+  CMatrix out = *this;
+  out += o;
+  return out;
+}
+
+CMatrix CMatrix::operator-(const CMatrix& o) const {
+  CMatrix out = *this;
+  out -= o;
+  return out;
+}
+
+CMatrix& CMatrix::operator+=(const CMatrix& o) {
+  COMIMO_CHECK(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in +");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+CMatrix& CMatrix::operator-=(const CMatrix& o) {
+  COMIMO_CHECK(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in -");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+CMatrix CMatrix::operator*(const CMatrix& o) const {
+  COMIMO_CHECK(cols_ == o.rows_, "shape mismatch in *");
+  CMatrix out(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx aik = data_[i * cols_ + k];
+      if (aik == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) {
+        out.data_[i * o.cols_ + j] += aik * o.data_[k * o.cols_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::operator*(cplx s) const {
+  CMatrix out = *this;
+  out *= s;
+  return out;
+}
+
+CMatrix& CMatrix::operator*=(cplx s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+CMatrix CMatrix::transpose() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+CMatrix CMatrix::hermitian() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = std::conj((*this)(r, c));
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::conjugate() const {
+  CMatrix out = *this;
+  for (auto& v : out.data_) v = std::conj(v);
+  return out;
+}
+
+double CMatrix::frobenius_norm2() const noexcept {
+  double sum = 0.0;
+  for (const auto& v : data_) sum += std::norm(v);
+  return sum;
+}
+
+double CMatrix::frobenius_norm() const noexcept {
+  return std::sqrt(frobenius_norm2());
+}
+
+cplx CMatrix::trace() const {
+  COMIMO_CHECK(rows_ == cols_, "trace needs a square matrix");
+  cplx t{0.0, 0.0};
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+std::vector<cplx> CMatrix::solve(const std::vector<cplx>& b) const {
+  COMIMO_CHECK(rows_ == cols_, "solve needs a square matrix");
+  COMIMO_CHECK(b.size() == rows_, "rhs size mismatch");
+  const std::size_t n = rows_;
+  // Working copies: augmented elimination with partial pivoting.
+  std::vector<cplx> a = data_;
+  std::vector<cplx> x = b;
+  std::vector<std::size_t> piv(n);
+  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t best = col;
+    double best_mag = std::abs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a[r * n + col]);
+      if (mag > best_mag) {
+        best = r;
+        best_mag = mag;
+      }
+    }
+    if (best_mag == 0.0) throw NumericError("singular matrix in solve");
+    if (best != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[best * n + c], a[col * n + c]);
+      }
+      std::swap(x[best], x[col]);
+    }
+    const cplx pivot = a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const cplx f = a[r * n + col] / pivot;
+      if (f == cplx{0.0, 0.0}) continue;
+      a[r * n + col] = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        a[r * n + c] -= f * a[col * n + c];
+      }
+      x[r] -= f * x[col];
+    }
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    cplx sum = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a[ri * n + c] * x[c];
+    x[ri] = sum / a[ri * n + ri];
+  }
+  return x;
+}
+
+CMatrix CMatrix::inverse() const {
+  COMIMO_CHECK(rows_ == cols_, "inverse needs a square matrix");
+  const std::size_t n = rows_;
+  CMatrix out(n, n);
+  // Column-by-column solves against unit vectors; fine at MIMO sizes.
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<cplx> e(n, cplx{0.0, 0.0});
+    e[c] = 1.0;
+    const std::vector<cplx> col = solve(e);
+    for (std::size_t r = 0; r < n; ++r) out(r, c) = col[r];
+  }
+  return out;
+}
+
+double CMatrix::max_abs_diff(const CMatrix& o) const {
+  COMIMO_CHECK(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - o.data_[i]));
+  }
+  return m;
+}
+
+std::string CMatrix::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const cplx v = (*this)(r, c);
+      os << "(" << v.real() << (v.imag() < 0 ? "" : "+") << v.imag() << "i)";
+      if (c + 1 < cols_) os << ", ";
+    }
+    os << (r + 1 == rows_ ? "]" : ";\n");
+  }
+  return os.str();
+}
+
+std::vector<cplx> operator*(const CMatrix& a, const std::vector<cplx>& x) {
+  COMIMO_CHECK(a.cols() == x.size(), "shape mismatch in A*x");
+  std::vector<cplx> y(a.rows(), cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    cplx sum{0.0, 0.0};
+    for (std::size_t c = 0; c < a.cols(); ++c) sum += a(r, c) * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+}  // namespace comimo

@@ -1,0 +1,88 @@
+// Dense complex matrices/vectors sized for MIMO work (a handful of
+// antennas), replacing the Eigen/MATLAB numerics of the original study.
+//
+// Row-major storage in a std::vector; operations validate shapes with
+// COMIMO_CHECK.  Only what the library needs is implemented: arithmetic,
+// Hermitian transpose, Frobenius norm, small dense solves, and random
+// Rayleigh channel draws.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace comimo {
+
+class Rng;
+
+using cplx = std::complex<double>;
+
+class CMatrix {
+ public:
+  CMatrix() = default;
+  /// rows × cols zero matrix.
+  CMatrix(std::size_t rows, std::size_t cols);
+  /// From nested initializer lists (rows of equal length).
+  CMatrix(std::initializer_list<std::initializer_list<cplx>> rows);
+
+  [[nodiscard]] static CMatrix identity(std::size_t n);
+  /// i.i.d. CN(0, variance) entries — a flat Rayleigh-fading channel
+  /// matrix draw.
+  [[nodiscard]] static CMatrix random_gaussian(std::size_t rows,
+                                               std::size_t cols, Rng& rng,
+                                               double variance = 1.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] cplx& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] const cplx& operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] CMatrix operator+(const CMatrix& o) const;
+  [[nodiscard]] CMatrix operator-(const CMatrix& o) const;
+  [[nodiscard]] CMatrix operator*(const CMatrix& o) const;
+  [[nodiscard]] CMatrix operator*(cplx s) const;
+  CMatrix& operator+=(const CMatrix& o);
+  CMatrix& operator-=(const CMatrix& o);
+  CMatrix& operator*=(cplx s);
+
+  /// Transpose without conjugation.
+  [[nodiscard]] CMatrix transpose() const;
+  /// Hermitian (conjugate) transpose.
+  [[nodiscard]] CMatrix hermitian() const;
+  /// Elementwise conjugate.
+  [[nodiscard]] CMatrix conjugate() const;
+
+  /// Frobenius norm ‖A‖_F.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+  /// Squared Frobenius norm ‖A‖²_F (the diversity statistic in eq. (5)).
+  [[nodiscard]] double frobenius_norm2() const noexcept;
+  /// Sum of diagonal entries (square matrices).
+  [[nodiscard]] cplx trace() const;
+
+  /// Solves A·x = b by Gaussian elimination with partial pivoting;
+  /// A must be square and nonsingular.
+  [[nodiscard]] std::vector<cplx> solve(const std::vector<cplx>& b) const;
+  /// Matrix inverse via the same elimination.
+  [[nodiscard]] CMatrix inverse() const;
+
+  /// Maximum absolute entrywise difference, for tests.
+  [[nodiscard]] double max_abs_diff(const CMatrix& o) const;
+
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Matrix–vector product A·x.
+[[nodiscard]] std::vector<cplx> operator*(const CMatrix& a,
+                                          const std::vector<cplx>& x);
+
+}  // namespace comimo

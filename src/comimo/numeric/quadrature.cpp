@@ -1,0 +1,94 @@
+#include "comimo/numeric/quadrature.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/special.h"
+
+namespace comimo {
+
+double GaussLaguerreRule::integrate(
+    const std::function<double(double)>& f) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    sum += weights[i] * f(nodes[i]);
+  }
+  return sum;
+}
+
+GaussLaguerreRule gauss_laguerre(std::size_t n, double alpha) {
+  COMIMO_CHECK(n >= 1 && n <= 256, "gauss_laguerre supports 1..256 points");
+  COMIMO_CHECK(alpha > -1.0, "gauss_laguerre needs alpha > -1");
+  GaussLaguerreRule rule;
+  rule.alpha = alpha;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+
+  const auto nd = static_cast<double>(n);
+  double z = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Standard initial guesses (Stroud & Secrest / NR `gaulag`).
+    if (i == 0) {
+      z = (1.0 + alpha) * (3.0 + 0.92 * alpha) / (1.0 + 2.4 * nd + 1.8 * alpha);
+    } else if (i == 1) {
+      z += (15.0 + 6.25 * alpha) / (1.0 + 0.9 * alpha + 2.5 * nd);
+    } else {
+      const auto ai = static_cast<double>(i - 1);
+      z += ((1.0 + 2.55 * ai) / (1.9 * ai) +
+            1.26 * ai * alpha / (1.0 + 3.5 * ai)) *
+           (z - rule.nodes[i - 2]) / (1.0 + 0.3 * alpha);
+    }
+    double pp = 0.0;  // derivative of L_n^{(alpha)} at z
+    bool converged = false;
+    for (int it = 0; it < 100; ++it) {
+      // Recurrence for L_n^{(alpha)}(z).
+      double p1 = 1.0;
+      double p2 = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto jd = static_cast<double>(j);
+        const double p3 = p2;
+        p2 = p1;
+        p1 = ((2.0 * jd + 1.0 + alpha - z) * p2 - (jd + alpha) * p3) /
+             (jd + 1.0);
+      }
+      pp = (nd * p1 - (nd + alpha) * p2) / z;
+      const double z_prev = z;
+      z = z_prev - p1 / pp;
+      if (std::abs(z - z_prev) <= 1e-14 * std::max(1.0, std::abs(z))) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      throw NumericError("gauss_laguerre: Newton iteration did not converge");
+    }
+    rule.nodes[i] = z;
+    // w_i = -Γ(n+alpha) / (Γ(n) · pp · n · L_{n-1}^{(alpha)}(z))
+    // expressed via pp and the recurrence value p2 at convergence; use the
+    // standard closed form with logs to avoid overflow.
+    double p1 = 1.0;
+    double p2 = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto jd = static_cast<double>(j);
+      const double p3 = p2;
+      p2 = p1;
+      p1 = ((2.0 * jd + 1.0 + alpha - z) * p2 - (jd + alpha) * p3) /
+           (jd + 1.0);
+    }
+    pp = (nd * p1 - (nd + alpha) * p2) / z;
+    const double log_num = log_gamma(alpha + nd);
+    const double log_den = log_gamma(nd);
+    rule.weights[i] = -std::exp(log_num - log_den) / (pp * nd * p2);
+  }
+  return rule;
+}
+
+double gamma_expectation(const std::function<double(double)>& f, double shape,
+                         std::size_t n) {
+  COMIMO_CHECK(shape > 0.0, "gamma_expectation needs shape > 0");
+  const GaussLaguerreRule rule = gauss_laguerre(n, shape - 1.0);
+  const double norm = std::exp(log_gamma(shape));
+  return rule.integrate(f) / norm;
+}
+
+}  // namespace comimo

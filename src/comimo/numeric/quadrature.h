@@ -1,0 +1,39 @@
+// Generalized Gauss–Laguerre quadrature.
+//
+// The average BER in the paper's eqs. (5)–(6) is an expectation over
+// x = ‖H‖²_F ~ Gamma(k, 1):  E[f(x)] = ∫₀^∞ x^{k-1} e^{-x} f(x) dx / Γ(k),
+// which generalized Gauss–Laguerre with weight x^α e^{-x}, α = k−1,
+// integrates exactly up to polynomial degree 2n−1.  The closed form in
+// numeric/special.h is the primary path; the quadrature provides an
+// independent cross-check (and handles non-integer diversity orders).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace comimo {
+
+/// Nodes/weights of an n-point generalized Gauss–Laguerre rule for the
+/// weight x^alpha e^{-x} on [0, ∞).
+struct GaussLaguerreRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+  double alpha = 0.0;
+
+  /// ∫₀^∞ x^alpha e^{-x} f(x) dx ≈ Σ w_i f(x_i).
+  [[nodiscard]] double integrate(
+      const std::function<double(double)>& f) const;
+};
+
+/// Builds the rule by Newton iteration on the generalized Laguerre
+/// polynomial L_n^{(alpha)} (Numerical-Recipes-style `gaulag`).
+/// Requires alpha > -1 and 1 <= n <= 256.
+[[nodiscard]] GaussLaguerreRule gauss_laguerre(std::size_t n, double alpha);
+
+/// Expectation of f(x) for x ~ Gamma(shape, 1) via an n-point rule:
+/// normalizes by Γ(shape) internally.
+[[nodiscard]] double gamma_expectation(const std::function<double(double)>& f,
+                                       double shape, std::size_t n = 64);
+
+}  // namespace comimo

@@ -1,0 +1,163 @@
+#include "comimo/numeric/roots.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+namespace {
+bool brackets(double fa, double fb) {
+  return (fa <= 0.0 && fb >= 0.0) || (fa >= 0.0 && fb <= 0.0);
+}
+}  // namespace
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& opts) {
+  COMIMO_CHECK(lo <= hi, "invalid interval");
+  double fa = f(lo);
+  double fb = f(hi);
+  if (fa == 0.0) return lo;
+  if (fb == 0.0) return hi;
+  if (!brackets(fa, fb)) {
+    throw NumericError("bisect: interval does not bracket a root");
+  }
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (std::abs(fm) <= opts.f_tol || 0.5 * (hi - lo) <= opts.x_tol) {
+      return mid;
+    }
+    if (brackets(fa, fm)) {
+      hi = mid;
+      fb = fm;
+    } else {
+      lo = mid;
+      fa = fm;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             const RootOptions& opts) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if (!brackets(fa, fb)) {
+    throw NumericError("brent: interval does not bracket a root");
+  }
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol = 2.0 * 2.220446049250313e-16 * std::abs(b) +
+                       0.5 * opts.x_tol;
+    const double xm = 0.5 * (c - b);
+    if (std::abs(xm) <= tol || fb == 0.0 || std::abs(fb) <= opts.f_tol) {
+      return b;
+    }
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p;
+      double q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * xm * q - std::abs(tol * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (xm > 0.0 ? tol : -tol);
+    fb = f(b);
+    if (brackets(fc, fb) == false) {
+      // keep [b, c] a bracketing pair
+      if (brackets(fa, fb)) {
+        c = a;
+        fc = fa;
+        d = b - a;
+        e = d;
+      }
+    }
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return b;
+}
+
+double expand_bracket(const std::function<double(double)>& f, double lo,
+                      double hi, int max_doublings) {
+  COMIMO_CHECK(hi > lo, "expand_bracket needs hi > lo");
+  const double f_lo = f(lo);
+  for (int i = 0; i < max_doublings; ++i) {
+    if (brackets(f_lo, f(hi))) return hi;
+    hi = lo + (hi - lo) * 2.0;
+    if (!std::isfinite(hi)) break;
+  }
+  throw NumericError("expand_bracket: no sign change found");
+}
+
+double golden_minimize(const std::function<double(double)>& f, double lo,
+                       double hi, double x_tol, int max_iterations) {
+  COMIMO_CHECK(lo <= hi, "invalid interval");
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo;
+  double b = hi;
+  double x1 = b - phi * (b - a);
+  double x2 = a + phi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int it = 0; it < max_iterations && (b - a) > x_tol; ++it) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace comimo

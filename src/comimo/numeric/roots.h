@@ -1,0 +1,38 @@
+// Scalar root finding and 1-D minimization used to invert monotone BER
+// and energy relations.
+#pragma once
+
+#include <functional>
+
+namespace comimo {
+
+struct RootOptions {
+  double x_tol = 1e-12;     ///< absolute tolerance on the root location
+  double f_tol = 0.0;       ///< stop when |f| <= f_tol
+  int max_iterations = 200;
+};
+
+/// Finds x in [lo, hi] with f(x) == 0 by bisection.  f(lo) and f(hi)
+/// must bracket the root (opposite signs, or one of them zero).
+/// Throws NumericError if the bracket is invalid or convergence fails.
+[[nodiscard]] double bisect(const std::function<double(double)>& f, double lo,
+                            double hi, const RootOptions& opts = {});
+
+/// Brent's method: bisection safety with inverse-quadratic speed.
+[[nodiscard]] double brent(const std::function<double(double)>& f, double lo,
+                           double hi, const RootOptions& opts = {});
+
+/// Expands [lo, hi] geometrically (keeping lo fixed) until f changes sign
+/// or `max_doublings` is exhausted; returns the bracketing hi.
+/// Throws NumericError if no sign change is found.
+[[nodiscard]] double expand_bracket(const std::function<double(double)>& f,
+                                    double lo, double hi,
+                                    int max_doublings = 200);
+
+/// Golden-section minimization of a unimodal f over [lo, hi].
+[[nodiscard]] double golden_minimize(const std::function<double(double)>& f,
+                                     double lo, double hi,
+                                     double x_tol = 1e-10,
+                                     int max_iterations = 300);
+
+}  // namespace comimo

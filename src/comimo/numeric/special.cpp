@@ -1,0 +1,218 @@
+#include "comimo/numeric/special.h"
+
+#include <cmath>
+#include <limits>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+double q_function(double x) noexcept {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+double erfcx(double x) noexcept {
+  if (x < 0.0) {
+    // erfcx(-x) = 2 e^{x²} − erfcx(x); only small negatives are sane.
+    return 2.0 * std::exp(x * x) - erfcx(-x);
+  }
+  if (x < 12.0) {
+    // Direct product is safe and accurate here (e^{144} ≈ 3e62 < DBL_MAX
+    // and erfc has not yet underflowed).
+    return std::exp(x * x) * std::erfc(x);
+  }
+  // Asymptotic series erfcx(x) ~ 1/(x√π) · Σ (-1)^k (2k-1)!!/(2x²)^k,
+  // truncated where terms stop decreasing; for x >= 12 the first few
+  // terms give full double precision.
+  const double inv_sqrt_pi = 0.5641895835477563;
+  const double ix2 = 1.0 / (2.0 * x * x);
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k <= 8; ++k) {
+    term *= -static_cast<double>(2 * k - 1) * ix2;
+    sum += term;
+  }
+  return inv_sqrt_pi / x * sum;
+}
+
+double q_inverse(double p) {
+  COMIMO_CHECK(p > 0.0 && p < 1.0, "q_inverse domain is (0,1)");
+  // Initial guess: Acklam-style rational approximation for the standard
+  // normal quantile of (1 - p).
+  const double q = 1.0 - p;  // CDF value
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (q < p_low) {
+    const double u = std::sqrt(-2.0 * std::log(q));
+    x = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else if (q <= 1.0 - p_low) {
+    const double u = q - 0.5;
+    const double r = u * u;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        u /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double u = std::sqrt(-2.0 * std::log(1.0 - q));
+    x = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  // Two Newton steps on Q(x) - p = 0 polish to near machine precision.
+  for (int it = 0; it < 2; ++it) {
+    const double err = q_function(x) - p;
+    const double pdf = std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.14159265358979323846);
+    if (pdf <= std::numeric_limits<double>::min()) break;
+    x += err / pdf;  // dQ/dx = -pdf
+  }
+  return x;
+}
+
+double log_gamma(double x) {
+  COMIMO_CHECK(x > 0.0, "log_gamma domain is x > 0");
+  return std::lgamma(x);
+}
+
+namespace {
+// Series representation of P(a, x), valid (and fast) for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+// Continued-fraction representation of Q(a, x), valid for x ≥ a + 1
+// (modified Lentz).
+double gamma_q_cf(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+}
+}  // namespace
+
+double gamma_p(double a, double x) {
+  COMIMO_CHECK(a > 0.0, "gamma_p needs a > 0");
+  COMIMO_CHECK(x >= 0.0, "gamma_p needs x >= 0");
+  if (x == 0.0) return 0.0;
+  return x < a + 1.0 ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  COMIMO_CHECK(a > 0.0, "gamma_q needs a > 0");
+  COMIMO_CHECK(x >= 0.0, "gamma_q needs x >= 0");
+  if (x == 0.0) return 1.0;
+  return x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double gamma_p_inverse(double a, double p) {
+  COMIMO_CHECK(a > 0.0, "gamma_p_inverse needs a > 0");
+  COMIMO_CHECK(p >= 0.0 && p < 1.0, "gamma_p_inverse needs p in [0,1)");
+  if (p == 0.0) return 0.0;
+  // Wilson–Hilferty: Gamma(a) ≈ a·(1 − 1/(9a) + z/(3√a))³ with z the
+  // normal quantile of p.
+  const double z = -q_inverse(p);  // Φ⁻¹(p)
+  double x = a * std::pow(1.0 - 1.0 / (9.0 * a) +
+                              z / (3.0 * std::sqrt(a)),
+                          3.0);
+  if (!(x > 0.0)) x = 1e-8;
+  for (int it = 0; it < 60; ++it) {
+    const double f = gamma_p(a, x) - p;
+    // dP/dx = x^{a-1} e^{-x} / Γ(a)
+    const double dfdx =
+        std::exp((a - 1.0) * std::log(x) - x - log_gamma(a));
+    if (dfdx <= 0.0) break;
+    double step = f / dfdx;
+    // Damp to stay positive.
+    if (step > x) step = x / 2.0;
+    x -= step;
+    if (std::abs(step) < 1e-14 * std::max(1.0, x)) break;
+  }
+  return x;
+}
+
+double binomial(unsigned n, unsigned k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (unsigned i = 0; i < k; ++i) {
+    result = result * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+double avg_q_over_gamma(double g, unsigned m) {
+  COMIMO_CHECK(g >= 0.0, "avg_q_over_gamma needs g >= 0");
+  COMIMO_CHECK(m >= 1, "avg_q_over_gamma needs m >= 1");
+  const double mu = std::sqrt(g / (1.0 + g));
+  const double lo = 0.5 * (1.0 - mu);
+  const double hi = 0.5 * (1.0 + mu);
+  double prefix = 1.0;
+  for (unsigned i = 0; i < m; ++i) prefix *= lo;
+  double sum = 0.0;
+  double hi_pow = 1.0;
+  for (unsigned i = 0; i < m; ++i) {
+    sum += binomial(m - 1 + i, i) * hi_pow;
+    hi_pow *= hi;
+  }
+  const double result = prefix * sum;
+  // The exact value is a probability in [0, 1/2]; clamp tiny negative
+  // round-off.
+  return result < 0.0 ? 0.0 : result;
+}
+
+double log_avg_q_over_gamma(double g, unsigned m) {
+  COMIMO_CHECK(g >= 0.0, "log_avg_q_over_gamma needs g >= 0");
+  COMIMO_CHECK(m >= 1, "log_avg_q_over_gamma needs m >= 1");
+  const double mu = std::sqrt(g / (1.0 + g));
+  // log lo computed stably: 1-mu = 1/((1+mu)(1+g)) since mu^2 = g/(1+g).
+  const double log_lo =
+      -std::log(2.0) - std::log1p(mu) - std::log1p(g);
+  const double hi = 0.5 * (1.0 + mu);
+  double sum = 0.0;
+  double hi_pow = 1.0;
+  for (unsigned i = 0; i < m; ++i) {
+    sum += binomial(m - 1 + i, i) * hi_pow;
+    hi_pow *= hi;
+  }
+  return static_cast<double>(m) * log_lo + std::log(sum);
+}
+
+double chernoff_avg_q_over_gamma(double g, unsigned m) {
+  // Q(x) <= exp(-x^2/2)/2, so E[Q(√(2 g x))] <= E[exp(-g x)]/2 =
+  // (1+g)^-m / 2 by the Gamma MGF.
+  return 0.5 * std::pow(1.0 + g, -static_cast<double>(m));
+}
+
+}  // namespace comimo

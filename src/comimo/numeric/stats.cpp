@@ -1,0 +1,84 @@
+#include "comimo/numeric/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const noexcept {
+  return n_ >= 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double RunningStats::ci95_half_width() const noexcept {
+  return 1.959963984540054 * std_error();
+}
+
+double percentile(std::vector<double> data, double pct) {
+  COMIMO_CHECK(!data.empty(), "percentile of empty data");
+  COMIMO_CHECK(pct >= 0.0 && pct <= 100.0, "percentile in [0,100]");
+  std::sort(data.begin(), data.end());
+  const double pos = pct / 100.0 * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+RateEstimate estimate_rate(std::size_t successes, std::size_t trials) {
+  COMIMO_CHECK(trials > 0, "estimate_rate needs trials > 0");
+  COMIMO_CHECK(successes <= trials, "successes exceed trials");
+  const double z = 1.959963984540054;
+  const auto n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  RateEstimate est;
+  est.rate = p;
+  est.wilson_lo = std::max(0.0, center - half);
+  est.wilson_hi = std::min(1.0, center + half);
+  return est;
+}
+
+}  // namespace comimo

@@ -1,0 +1,50 @@
+// Streaming summary statistics for Monte-Carlo experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace comimo {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double std_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile (0..100) of a copy of the data, linear interpolation.
+[[nodiscard]] double percentile(std::vector<double> data, double pct);
+
+/// Bernoulli success-rate estimate with Wilson 95% interval, for BER/PER
+/// reporting.
+struct RateEstimate {
+  double rate = 0.0;
+  double wilson_lo = 0.0;
+  double wilson_hi = 0.0;
+};
+[[nodiscard]] RateEstimate estimate_rate(std::size_t successes,
+                                         std::size_t trials);
+
+}  // namespace comimo

@@ -1,0 +1,56 @@
+#include "comimo/overlay/distance_planner.h"
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+OverlayDistancePlanner::OverlayDistancePlanner(const SystemParams& params,
+                                               EbBarConvention convention)
+    : params_(params),
+      optimizer_(params, kMinConstellationBits, kMaxConstellationBits,
+                 convention) {}
+
+OverlayDistanceResult OverlayDistancePlanner::plan(
+    const OverlayDistanceQuery& query) const {
+  COMIMO_CHECK(query.d1_m > 0.0, "D1 must be positive");
+  COMIMO_CHECK(query.num_relays >= 1, "need at least one relay");
+  OverlayDistanceResult r;
+  r.query = query;
+
+  // 1. The PU's per-bit budget on the direct link.
+  const ConstellationChoice direct = optimizer_.min_mimo_tx_energy(
+      query.p_primary, 1, 1, query.d1_m, query.bandwidth_hz);
+  r.e1 = direct.value;
+  r.b1 = direct.b;
+
+  // 2. Largest SIMO leg: E_Pt = E1 (transmit side only; the SUs pay
+  //    reception from their own budget in step 3's accounting).
+  const ConstellationChoice d2 = optimizer_.max_distance_for_energy(
+      r.e1, query.p_relay, 1, query.num_relays, query.bandwidth_hz,
+      /*include_rx_energy=*/false);
+  r.d2_m = d2.value;
+  r.b2 = d2.b;
+
+  // 3. Largest MISO leg: E_S = e^MIMOt(m,1) + e^MIMOr = E1.
+  const ConstellationChoice d3 = optimizer_.max_distance_for_energy(
+      r.e1, query.p_relay, query.num_relays, 1, query.bandwidth_hz,
+      /*include_rx_energy=*/true);
+  r.d3_m = d3.value;
+  r.b3 = d3.b;
+  return r;
+}
+
+std::vector<OverlayDistanceResult> OverlayDistancePlanner::sweep_d1(
+    const std::vector<double>& d1_values,
+    const OverlayDistanceQuery& base) const {
+  std::vector<OverlayDistanceResult> out;
+  out.reserve(d1_values.size());
+  for (const double d1 : d1_values) {
+    OverlayDistanceQuery q = base;
+    q.d1_m = d1;
+    out.push_back(plan(q));
+  }
+  return out;
+}
+
+}  // namespace comimo

@@ -1,0 +1,62 @@
+// The §3 distance computation behind Fig. 6.
+//
+// Given the primary pair distance D1 and the equal-energy assumption
+// ("PUs and SUs use the same amount of energy for data transmission"):
+//   1. E1 = min_b e^MIMOt(1,1)(D1, p_primary, b)  — the PU's SISO budget;
+//   2. D2: largest Pt→SUs SIMO length with E_Pt = E1 at the improved
+//      BER p_relay, maximized over b;
+//   3. D3: largest SUs→Pr MISO length with E_S = e^MIMOt(m,1) + e^MIMOr
+//      = E1 at p_relay, maximized over b.
+#pragma once
+
+#include <vector>
+
+#include "comimo/common/constants.h"
+#include "comimo/energy/optimizer.h"
+
+namespace comimo {
+
+struct OverlayDistanceQuery {
+  double d1_m = 250.0;        ///< Pt→Pr distance
+  unsigned num_relays = 3;    ///< m
+  double bandwidth_hz = 40e3;
+  double p_primary = 5e-3;    ///< BER of the direct PU link
+  double p_relay = 5e-4;      ///< BER of the SU-assisted link (10× better)
+};
+
+struct OverlayDistanceResult {
+  OverlayDistanceQuery query;
+  double e1 = 0.0;      ///< PU energy budget per bit [J]
+  int b1 = 0;           ///< optimal b of the direct link
+  double d2_m = 0.0;    ///< largest distance SUs ↔ Pt (0 = infeasible)
+  int b2 = 0;
+  double d3_m = 0.0;    ///< largest distance SUs ↔ Pr (0 = infeasible)
+  int b3 = 0;
+  [[nodiscard]] bool feasible() const noexcept {
+    return d2_m > 0.0 && d3_m > 0.0;
+  }
+};
+
+class OverlayDistancePlanner {
+ public:
+  /// The default convention follows eq. (5) literally; the Fig. 6 bench
+  /// also runs kTotalEnergy, the convention the paper's own anchor
+  /// numbers imply (see EXPERIMENTS.md).
+  explicit OverlayDistancePlanner(
+      const SystemParams& params = {},
+      EbBarConvention convention = EbBarConvention::kPerAntennaSplit);
+
+  [[nodiscard]] OverlayDistanceResult plan(
+      const OverlayDistanceQuery& query) const;
+
+  /// Sweeps D1 (Fig. 6's x axis) with everything else fixed.
+  [[nodiscard]] std::vector<OverlayDistanceResult> sweep_d1(
+      const std::vector<double>& d1_values,
+      const OverlayDistanceQuery& base) const;
+
+ private:
+  SystemParams params_;
+  ConstellationOptimizer optimizer_;
+};
+
+}  // namespace comimo

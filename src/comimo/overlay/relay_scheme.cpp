@@ -1,0 +1,42 @@
+#include "comimo/overlay/relay_scheme.h"
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+OverlayRelayScheme::OverlayRelayScheme(const SystemParams& params)
+    : params_(params), mimo_(params), optimizer_(params) {}
+
+OverlayRelayEnergies OverlayRelayScheme::plan(
+    const OverlayRelayConfig& config) const {
+  COMIMO_CHECK(config.num_relays >= 1, "need at least one relay");
+  COMIMO_CHECK(config.pt_to_su_m > 0.0 && config.su_to_pr_m > 0.0,
+               "leg lengths must be positive");
+  OverlayRelayEnergies e;
+
+  // Step 1 — Pt transmits over the 1×m SIMO link; b minimizes Pt's
+  // transmit energy.
+  const ConstellationChoice simo = optimizer_.min_mimo_tx_energy(
+      config.ber, 1, config.num_relays, config.pt_to_su_m,
+      config.bandwidth_hz);
+  e.b_simo = simo.b;
+  e.e_pt = simo.value;
+  e.e_su_rx = mimo_.rx_energy(simo.b, config.bandwidth_hz);
+
+  // Step 2 — the m SUs transmit over the m×1 MISO link; b minimizes the
+  // per-SU transmit energy.
+  const ConstellationChoice miso = optimizer_.min_mimo_tx_energy(
+      config.ber, config.num_relays, 1, config.su_to_pr_m,
+      config.bandwidth_hz);
+  e.b_miso = miso.b;
+  e.e_su_tx = miso.value;
+  e.e_pr = mimo_.rx_energy(miso.b, config.bandwidth_hz);
+  return e;
+}
+
+ConstellationChoice OverlayRelayScheme::direct_transmission_energy(
+    double d1_m, double p, double bandwidth_hz) const {
+  return optimizer_.min_mimo_tx_energy(p, 1, 1, d1_m, bandwidth_hz);
+}
+
+}  // namespace comimo

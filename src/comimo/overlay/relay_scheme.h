@@ -1,0 +1,66 @@
+// Algorithm 1 — cooperative relay of primary traffic by SUs.
+//
+// m secondary users receive the primary transmitter's data over a 1×m
+// SIMO link (step 1) and forward it to the primary receiver over an m×1
+// MISO link (step 2).  This header models the per-step, per-node
+// energies:
+//   step 1: E_Sr = e^MIMOr        (each SU),  E_Pt = e^MIMOt(1, m) (Pt)
+//   step 2: E_St = e^MIMOt(m, 1)  (each SU),  E_Pr = e^MIMOr       (Pr)
+//   E_S = E_St + E_Sr             (per-SU relay energy)
+#pragma once
+
+#include "comimo/common/constants.h"
+#include "comimo/energy/mimo_energy.h"
+#include "comimo/energy/optimizer.h"
+
+namespace comimo {
+
+/// Static description of a relay deployment.
+struct OverlayRelayConfig {
+  unsigned num_relays = 2;      ///< m
+  double pt_to_su_m = 100.0;    ///< SIMO leg length (Pt → SUs)
+  double su_to_pr_m = 100.0;    ///< MISO leg length (SUs → Pr)
+  double ber = 5e-4;            ///< target BER of the relayed stream
+  double bandwidth_hz = 40e3;   ///< B
+};
+
+/// Per-step energy report of Algorithm 1.
+struct OverlayRelayEnergies {
+  int b_simo = 0;        ///< constellation on the Pt→SUs leg
+  int b_miso = 0;        ///< constellation on the SUs→Pr leg
+  double e_pt = 0.0;     ///< E_Pt: primary transmitter energy/bit
+  double e_su_rx = 0.0;  ///< E_Sr: per-SU reception energy/bit
+  double e_su_tx = 0.0;  ///< E_St: per-SU transmission energy/bit
+  double e_pr = 0.0;     ///< E_Pr: primary receiver energy/bit
+  /// E_S = E_St + E_Sr, the per-SU relay cost the planner budgets.
+  [[nodiscard]] double e_su_total() const noexcept {
+    return e_su_rx + e_su_tx;
+  }
+};
+
+class OverlayRelayScheme {
+ public:
+  explicit OverlayRelayScheme(const SystemParams& params = {});
+
+  /// Computes the per-step energies; constellations are optimized per
+  /// leg to minimize the corresponding node energy (the paper's table-
+  /// driven rule).
+  [[nodiscard]] OverlayRelayEnergies plan(
+      const OverlayRelayConfig& config) const;
+
+  /// Energy per bit of the direct Pt→Pr SISO transmission at distance
+  /// d1 and BER p (the E_1 reference of §3), minimized over b.
+  [[nodiscard]] ConstellationChoice direct_transmission_energy(
+      double d1_m, double p, double bandwidth_hz) const;
+
+  [[nodiscard]] const MimoEnergyModel& energy_model() const noexcept {
+    return mimo_;
+  }
+
+ private:
+  SystemParams params_;
+  MimoEnergyModel mimo_;
+  ConstellationOptimizer optimizer_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,86 @@
+#include "comimo/phy/combining.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+std::vector<cplx> combine(CombinerKind kind,
+                          const std::vector<std::vector<cplx>>& branches,
+                          std::span<const cplx> gains) {
+  COMIMO_CHECK(!branches.empty(), "combine needs at least one branch");
+  COMIMO_CHECK(gains.size() == branches.size(),
+               "one gain per branch required");
+  const std::size_t n = branches.front().size();
+  for (const auto& b : branches) {
+    COMIMO_CHECK(b.size() == n, "branches must have equal length");
+  }
+  const std::size_t m = branches.size();
+
+  std::vector<cplx> weights(m);
+  double norm = 0.0;
+  switch (kind) {
+    case CombinerKind::kMaximalRatio:
+      // w_j = h_j*; noise-free output Σ|h_j|²·s.
+      for (std::size_t j = 0; j < m; ++j) weights[j] = std::conj(gains[j]);
+      for (std::size_t j = 0; j < m; ++j) norm += std::norm(gains[j]);
+      break;
+    case CombinerKind::kEqualGain:
+      // w_j = e^{-i∠h_j}; noise-free output Σ|h_j|·s.
+      for (std::size_t j = 0; j < m; ++j) {
+        const double mag = std::abs(gains[j]);
+        weights[j] = mag > 0.0 ? std::conj(gains[j]) / mag : cplx{1.0, 0.0};
+        norm += mag;
+      }
+      break;
+    case CombinerKind::kSelection: {
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < m; ++j) {
+        if (std::abs(gains[j]) > std::abs(gains[best])) best = j;
+      }
+      for (std::size_t j = 0; j < m; ++j) weights[j] = cplx{0.0, 0.0};
+      const double mag = std::abs(gains[best]);
+      weights[best] = mag > 0.0 ? std::conj(gains[best]) / mag : cplx{1.0, 0.0};
+      norm = mag;
+      break;
+    }
+  }
+  if (norm <= 0.0) norm = 1.0;
+
+  std::vector<cplx> out(n, cplx{0.0, 0.0});
+  for (std::size_t j = 0; j < m; ++j) {
+    if (weights[j] == cplx{0.0, 0.0}) continue;
+    const auto& b = branches[j];
+    for (std::size_t i = 0; i < n; ++i) out[i] += weights[j] * b[i];
+  }
+  const double inv = 1.0 / norm;
+  for (auto& s : out) s *= inv;
+  return out;
+}
+
+double combining_snr_gain(CombinerKind kind, std::span<const cplx> gains) {
+  COMIMO_CHECK(!gains.empty(), "no branches");
+  const auto m = static_cast<double>(gains.size());
+  double sum_mag = 0.0;
+  double sum_pow = 0.0;
+  double max_pow = 0.0;
+  for (const auto& g : gains) {
+    const double p = std::norm(g);
+    sum_mag += std::sqrt(p);
+    sum_pow += p;
+    max_pow = std::max(max_pow, p);
+  }
+  switch (kind) {
+    case CombinerKind::kMaximalRatio:
+      return sum_pow;
+    case CombinerKind::kEqualGain:
+      return sum_mag * sum_mag / m;
+    case CombinerKind::kSelection:
+      return max_pow;
+  }
+  return 0.0;
+}
+
+}  // namespace comimo

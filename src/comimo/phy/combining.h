@@ -1,0 +1,31 @@
+// Diversity combining at a single receiver.
+//
+// The paper's USRP overlay experiments use *equal gain combination*
+// (§6.4); MRC and selection combining are provided for comparison and
+// for the ablation benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comimo/numeric/cmatrix.h"
+
+namespace comimo {
+
+enum class CombinerKind { kEqualGain, kMaximalRatio, kSelection };
+
+/// Combines per-branch observations r_j = h_j·s + n_j of the same symbol
+/// stream into one stream.  `branches` is indexed [branch][symbol];
+/// `gains` holds the per-branch channel coefficients h_j (one per branch,
+/// block-constant).  Returned samples are normalized so that the noise-
+/// free output equals s.
+[[nodiscard]] std::vector<cplx> combine(
+    CombinerKind kind, const std::vector<std::vector<cplx>>& branches,
+    std::span<const cplx> gains);
+
+/// Post-combining SNR multiplier relative to a single unit-gain branch:
+///  MRC: Σ|h_j|²;  EGC: (Σ|h_j|)²/m;  SC: max|h_j|².
+[[nodiscard]] double combining_snr_gain(CombinerKind kind,
+                                        std::span<const cplx> gains);
+
+}  // namespace comimo

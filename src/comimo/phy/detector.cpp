@@ -1,0 +1,58 @@
+#include "comimo/phy/detector.h"
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+BitVec bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  BitVec bits;
+  bits.reserve(bytes.size() * 8);
+  for (const auto byte : bytes) {
+    for (int k = 7; k >= 0; --k) {
+      bits.push_back(static_cast<std::uint8_t>((byte >> k) & 1u));
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+  COMIMO_CHECK(bits.size() % 8 == 0, "bit count must be a multiple of 8");
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(bits.size() / 8);
+  for (std::size_t i = 0; i < bits.size(); i += 8) {
+    std::uint8_t byte = 0;
+    for (int k = 0; k < 8; ++k) {
+      byte = static_cast<std::uint8_t>((byte << 1) |
+                                       (bits[i + static_cast<std::size_t>(k)] & 1u));
+    }
+    bytes.push_back(byte);
+  }
+  return bytes;
+}
+
+BitVec random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVec bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+std::size_t count_bit_errors(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  COMIMO_CHECK(a.size() == b.size(), "error counting needs equal lengths");
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & 1u) != (b[i] & 1u)) ++errors;
+  }
+  return errors;
+}
+
+BitVec pad_to_multiple(BitVec bits, std::size_t m) {
+  COMIMO_CHECK(m >= 1, "multiple must be >= 1");
+  const std::size_t rem = bits.size() % m;
+  if (rem != 0) bits.resize(bits.size() + (m - rem), 0);
+  return bits;
+}
+
+}  // namespace comimo

@@ -1,0 +1,31 @@
+// Bit bookkeeping: packing, PRBS generation, error counting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comimo/phy/modulation.h"
+
+namespace comimo {
+
+/// Expands bytes to bits, MSB first.
+[[nodiscard]] BitVec bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Packs bits (MSB first) back into bytes; the bit count must be a
+/// multiple of 8.
+[[nodiscard]] std::vector<std::uint8_t> bits_to_bytes(
+    std::span<const std::uint8_t> bits);
+
+/// Deterministic pseudo-random bit sequence for BER runs (seeded).
+[[nodiscard]] BitVec random_bits(std::size_t n, std::uint64_t seed);
+
+/// Number of differing positions; the spans must have equal length.
+[[nodiscard]] std::size_t count_bit_errors(std::span<const std::uint8_t> a,
+                                           std::span<const std::uint8_t> b);
+
+/// Pads the bit vector with zeros to a multiple of `m`.
+[[nodiscard]] BitVec pad_to_multiple(BitVec bits, std::size_t m);
+
+}  // namespace comimo

@@ -1,0 +1,95 @@
+#include "comimo/phy/gmsk.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+#include "comimo/numeric/special.h"
+
+namespace comimo {
+
+GmskModem::GmskModem(const GmskConfig& config) : config_(config) {
+  COMIMO_CHECK(config.samples_per_symbol >= 2, "need >= 2 samples/symbol");
+  COMIMO_CHECK(config.bt > 0.0 && config.bt <= 1.0, "BT in (0, 1]");
+  COMIMO_CHECK(config.pulse_span_symbols >= 1, "pulse span >= 1 symbol");
+
+  // Gaussian frequency pulse g(t), t in symbol units, truncated to
+  // [-span/2, span/2]:  g(t) = [Q(a(t-1/2)) - Q(a(t+1/2))] with
+  // a = 2πBT/√(ln 2); discretized at sps samples/symbol and normalized
+  // so Σ g = 1/2 (modulation index h = 0.5 ⇒ π/2 phase per bit).
+  const unsigned sps = config.samples_per_symbol;
+  const unsigned span = config.pulse_span_symbols;
+  const std::size_t len = static_cast<std::size_t>(span) * sps + 1;
+  pulse_.resize(len);
+  const double a = 2.0 * kPi * config.bt / std::sqrt(std::log(2.0));
+  const double half_span = static_cast<double>(span) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(sps) - half_span;
+    const double v = q_function(a * (t - 0.5)) - q_function(a * (t + 0.5));
+    pulse_[i] = v;
+    sum += v;
+  }
+  COMIMO_CHECK(sum > 0.0, "degenerate Gaussian pulse");
+  const double scale = 0.5 / sum;
+  for (auto& v : pulse_) v *= scale;
+}
+
+std::size_t GmskModem::samples_for_bits(std::size_t n) const noexcept {
+  return (n + config_.pulse_span_symbols) * config_.samples_per_symbol;
+}
+
+std::vector<cplx> GmskModem::modulate(
+    std::span<const std::uint8_t> bits) const {
+  const unsigned sps = config_.samples_per_symbol;
+  const std::size_t n_samples = samples_for_bits(bits.size());
+
+  // Superpose the frequency pulses of all bits (NRZ ±1), then integrate.
+  std::vector<double> freq(n_samples, 0.0);
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    COMIMO_DCHECK(bits[k] <= 1, "bits must be 0/1");
+    const double nrz = bits[k] ? 1.0 : -1.0;
+    const std::size_t start = k * sps;
+    for (std::size_t i = 0; i < pulse_.size(); ++i) {
+      const std::size_t idx = start + i;
+      if (idx >= n_samples) break;
+      freq[idx] += nrz * pulse_[i];
+    }
+  }
+  std::vector<cplx> out(n_samples);
+  double phase = 0.0;
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    // Each bit contributes a total phase of ±π (2π·h with Σg = 1/2 and
+    // the conventional 2π frequency-to-phase factor)… with h = 0.5 the
+    // per-bit phase advance is π·Σg·2 = π/2 when using the factor π.
+    phase += 2.0 * kPi * freq[i] * 0.5;  // h = 0.5
+    out[i] = cplx{std::cos(phase), std::sin(phase)};
+  }
+  return out;
+}
+
+BitVec GmskModem::demodulate(std::span<const cplx> samples,
+                             std::size_t num_bits) const {
+  const unsigned sps = config_.samples_per_symbol;
+  const std::size_t group_delay =
+      static_cast<std::size_t>(config_.pulse_span_symbols) * sps / 2;
+  BitVec bits;
+  bits.reserve(num_bits);
+  for (std::size_t k = 0; k < num_bits; ++k) {
+    // Differential window centered on bit k's pulse (which peaks at
+    // k·sps + group_delay): the phase advance across [peak − sps/2,
+    // peak + sps/2] carries sign(bit).
+    const std::size_t hi = k * sps + group_delay + sps / 2;
+    const std::size_t lo = hi - sps;
+    if (hi >= samples.size()) {
+      bits.push_back(0);  // truncated frame: pad with zeros
+      continue;
+    }
+    const cplx d = samples[hi] * std::conj(samples[lo]);
+    bits.push_back(d.imag() > 0.0 ? std::uint8_t{1} : std::uint8_t{0});
+  }
+  return bits;
+}
+
+}  // namespace comimo

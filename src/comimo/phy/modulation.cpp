@@ -1,0 +1,133 @@
+#include "comimo/phy/modulation.h"
+
+#include <cmath>
+#include <limits>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+unsigned gray_decode(unsigned g) noexcept {
+  unsigned i = g;
+  for (unsigned shift = 1; shift < sizeof(unsigned) * 8; shift <<= 1) {
+    i ^= i >> shift;
+  }
+  return i;
+}
+
+BpskModulator::BpskModulator() : points_{cplx{1.0, 0.0}, cplx{-1.0, 0.0}} {}
+
+std::vector<cplx> BpskModulator::modulate(
+    std::span<const std::uint8_t> bits) const {
+  std::vector<cplx> out;
+  out.reserve(bits.size());
+  for (const auto bit : bits) {
+    COMIMO_DCHECK(bit <= 1, "bits must be 0/1");
+    out.push_back(points_[bit]);
+  }
+  return out;
+}
+
+BitVec BpskModulator::demodulate(std::span<const cplx> symbols) const {
+  BitVec out;
+  out.reserve(symbols.size());
+  for (const auto& s : symbols) {
+    out.push_back(s.real() < 0.0 ? std::uint8_t{1} : std::uint8_t{0});
+  }
+  return out;
+}
+
+namespace {
+/// Gray-labelled PAM levels for `bits` bits: level index l (0..2^bits-1)
+/// carries the Gray code of l, amplitude 2l - (M-1).
+std::vector<double> pam_levels(int bits) {
+  const int m = 1 << bits;
+  std::vector<double> amp(static_cast<std::size_t>(m));
+  for (int l = 0; l < m; ++l) {
+    amp[static_cast<std::size_t>(l)] = static_cast<double>(2 * l - (m - 1));
+  }
+  return amp;
+}
+}  // namespace
+
+QamModulator::QamModulator(int bits_per_symbol) : b_(bits_per_symbol) {
+  COMIMO_CHECK(b_ >= 1 && b_ <= 8, "QamModulator supports b in 1..8");
+  bi_ = (b_ + 1) / 2;
+  bq_ = b_ / 2;
+  const int mi = 1 << bi_;
+  const int mq = 1 << bq_;
+  const std::vector<double> ai = pam_levels(bi_);
+  const std::vector<double> aq = bq_ > 0 ? pam_levels(bq_)
+                                         : std::vector<double>{0.0};
+
+  // Average energy of the unnormalized grid.
+  double energy = 0.0;
+  points_.resize(static_cast<std::size_t>(1) << b_);
+  for (int gi = 0; gi < mi; ++gi) {
+    for (int gq = 0; gq < mq; ++gq) {
+      // The symbol label is (i-bits, q-bits); each axis is Gray mapped so
+      // adjacent amplitudes differ in one bit.
+      const unsigned label =
+          (gray_encode(static_cast<unsigned>(gi)) << bq_) |
+          gray_encode(static_cast<unsigned>(gq));
+      const cplx p{ai[static_cast<std::size_t>(gi)],
+                   bq_ > 0 ? aq[static_cast<std::size_t>(gq)] : 0.0};
+      points_[label] = p;
+      energy += std::norm(p);
+    }
+  }
+  energy /= static_cast<double>(points_.size());
+  const double scale = 1.0 / std::sqrt(energy);
+  for (auto& p : points_) p *= scale;
+}
+
+std::vector<cplx> QamModulator::modulate(
+    std::span<const std::uint8_t> bits) const {
+  COMIMO_CHECK(bits.size() % static_cast<std::size_t>(b_) == 0,
+               "bit count must be a multiple of bits_per_symbol");
+  std::vector<cplx> out;
+  out.reserve(bits.size() / static_cast<std::size_t>(b_));
+  for (std::size_t i = 0; i < bits.size(); i += static_cast<std::size_t>(b_)) {
+    unsigned label = 0;
+    for (int k = 0; k < b_; ++k) {
+      COMIMO_DCHECK(bits[i + static_cast<std::size_t>(k)] <= 1,
+                    "bits must be 0/1");
+      label = (label << 1) | bits[i + static_cast<std::size_t>(k)];
+    }
+    out.push_back(points_[label]);
+  }
+  return out;
+}
+
+std::size_t QamModulator::nearest_point(cplx r) const {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double d = std::norm(r - points_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+BitVec QamModulator::demodulate(std::span<const cplx> symbols) const {
+  BitVec out;
+  out.reserve(symbols.size() * static_cast<std::size_t>(b_));
+  for (const auto& s : symbols) {
+    const auto label = static_cast<unsigned>(nearest_point(s));
+    for (int k = b_ - 1; k >= 0; --k) {
+      out.push_back(static_cast<std::uint8_t>((label >> k) & 1u));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Modulator> make_modulator(int bits_per_symbol) {
+  COMIMO_CHECK(bits_per_symbol >= 1, "bits_per_symbol must be >= 1");
+  if (bits_per_symbol == 1) return std::make_unique<BpskModulator>();
+  return std::make_unique<QamModulator>(bits_per_symbol);
+}
+
+}  // namespace comimo

@@ -1,0 +1,96 @@
+// Linear memoryless modulation: BPSK and Gray-coded rectangular M-QAM.
+//
+// The paper's variable-rate system picks a constellation size b (bits per
+// symbol) per link; the energy model treats b analytically while the
+// testbed modulates actual samples.  Constellations are normalized to
+// unit average symbol energy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comimo/numeric/cmatrix.h"
+
+namespace comimo {
+
+/// Bits are carried as one bit per byte (0/1) for simplicity; packing
+/// helpers live in phy/detector.h.
+using BitVec = std::vector<std::uint8_t>;
+
+class Modulator {
+ public:
+  virtual ~Modulator() = default;
+
+  [[nodiscard]] virtual int bits_per_symbol() const noexcept = 0;
+
+  /// Maps bits to symbols; the bit count must be a multiple of
+  /// bits_per_symbol().
+  [[nodiscard]] virtual std::vector<cplx> modulate(
+      std::span<const std::uint8_t> bits) const = 0;
+
+  /// Coherent minimum-distance hard demapping (channel assumed equalized).
+  [[nodiscard]] virtual BitVec demodulate(
+      std::span<const cplx> symbols) const = 0;
+
+  /// The constellation points in bit-label order (index = Gray-coded
+  /// integer formed by the symbol's bits, MSB first).
+  [[nodiscard]] virtual const std::vector<cplx>& constellation()
+      const noexcept = 0;
+};
+
+/// Antipodal BPSK: bit 0 → +1, bit 1 → −1.
+class BpskModulator final : public Modulator {
+ public:
+  BpskModulator();
+
+  [[nodiscard]] int bits_per_symbol() const noexcept override { return 1; }
+  [[nodiscard]] std::vector<cplx> modulate(
+      std::span<const std::uint8_t> bits) const override;
+  [[nodiscard]] BitVec demodulate(std::span<const cplx> symbols) const override;
+  [[nodiscard]] const std::vector<cplx>& constellation()
+      const noexcept override {
+    return points_;
+  }
+
+ private:
+  std::vector<cplx> points_;
+};
+
+/// Gray-coded rectangular 2^b-QAM.  Even b gives a square constellation;
+/// odd b uses a 2^⌈b/2⌉ × 2^⌊b/2⌋ rectangle (b = 1 degenerates to BPSK
+/// geometry).  Supported b: 1..8 for waveform work.
+class QamModulator final : public Modulator {
+ public:
+  explicit QamModulator(int bits_per_symbol);
+
+  [[nodiscard]] int bits_per_symbol() const noexcept override { return b_; }
+  [[nodiscard]] std::vector<cplx> modulate(
+      std::span<const std::uint8_t> bits) const override;
+  [[nodiscard]] BitVec demodulate(std::span<const cplx> symbols) const override;
+  [[nodiscard]] const std::vector<cplx>& constellation()
+      const noexcept override {
+    return points_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t nearest_point(cplx r) const;
+
+  int b_;
+  int bi_;  // bits on the in-phase axis
+  int bq_;  // bits on the quadrature axis
+  std::vector<cplx> points_;
+};
+
+/// Factory: BPSK for b == 1, QAM otherwise.
+[[nodiscard]] std::unique_ptr<Modulator> make_modulator(int bits_per_symbol);
+
+/// Gray code of i.
+[[nodiscard]] constexpr unsigned gray_encode(unsigned i) noexcept {
+  return i ^ (i >> 1);
+}
+/// Inverse Gray code.
+[[nodiscard]] unsigned gray_decode(unsigned g) noexcept;
+
+}  // namespace comimo

@@ -1,0 +1,112 @@
+// Orthogonal space-time block codes.
+//
+// §2.3 fixes the MIMO code system to space-time block codes "such as the
+// Alamouti code".  We implement the complex orthogonal designs used with
+// 2/3/4 cooperating transmitters:
+//   * G2  — Alamouti, rate 1, T = 2, K = 2;
+//   * G3  — Tarokh et al., rate 1/2, T = 8, K = 4, 3 antennas;
+//   * G4  — Tarokh et al., rate 1/2, T = 8, K = 4, 4 antennas.
+//
+// A code is stored as the pair of coefficient tensors (a, b) with
+//   C(t, i) = Σ_k a[t][i][k]·s_k + b[t][i][k]·conj(s_k),
+// and decoding is exact ML for any orthogonal design: the real expansion
+// of the received block is linear in [Re s; Im s], and the least-squares
+// solution decouples because the equivalent real channel has orthogonal
+// columns of squared norm ‖H‖²_F (times the code's power scale) — the
+// diversity statistic the energy model's eq. (5) relies on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "comimo/numeric/cmatrix.h"
+
+namespace comimo {
+
+class StbcCode {
+ public:
+  /// The Alamouti code (2 Tx).
+  [[nodiscard]] static StbcCode alamouti();
+  /// Tarokh's rate-1/2 design for 3 Tx.
+  [[nodiscard]] static StbcCode g3();
+  /// Tarokh's rate-1/2 design for 4 Tx.
+  [[nodiscard]] static StbcCode g4();
+  /// Degenerate 1-Tx "code" (K = T = 1) so SISO/SIMO links share the
+  /// code path.
+  [[nodiscard]] static StbcCode siso();
+  /// Picks the design for `num_tx` in 1..4.
+  [[nodiscard]] static StbcCode for_antennas(std::size_t num_tx);
+
+  [[nodiscard]] std::size_t num_tx() const noexcept { return num_tx_; }
+  [[nodiscard]] std::size_t block_length() const noexcept { return t_; }
+  [[nodiscard]] std::size_t symbols_per_block() const noexcept { return k_; }
+  [[nodiscard]] double rate() const noexcept {
+    return static_cast<double>(k_) / static_cast<double>(t_);
+  }
+  /// Per-antenna amplitude scale (1/√num_tx keeps total radiated energy
+  /// equal to the uncoded single-antenna case).
+  [[nodiscard]] double power_scale() const noexcept { return power_scale_; }
+
+  /// Number of times each symbol is transmitted per antenna column
+  /// (1 for SISO/Alamouti; 2 for the rate-1/2 G3/G4 designs, whose
+  /// second half repeats the conjugated block).  Per-bit energy
+  /// bookkeeping must divide the per-transmission energy by this.
+  [[nodiscard]] double symbol_weight() const;
+
+  /// a/b coefficient of symbol k at time t, antenna i.
+  [[nodiscard]] cplx coeff_a(std::size_t t, std::size_t i,
+                             std::size_t k) const;
+  [[nodiscard]] cplx coeff_b(std::size_t t, std::size_t i,
+                             std::size_t k) const;
+
+  /// Encodes K symbols into the T × num_tx transmission matrix
+  /// (row = time slot, column = antenna), including the power scale.
+  [[nodiscard]] CMatrix encode(std::span<const cplx> symbols) const;
+
+  /// Verifies the orthogonality property  C^H C = (Σ|s_k|²)·I  up to
+  /// tolerance, for property tests.
+  [[nodiscard]] bool is_orthogonal_design(double tol = 1e-9) const;
+
+ private:
+  StbcCode(std::size_t num_tx, std::size_t t, std::size_t k);
+  void set_a(std::size_t t, std::size_t i, std::size_t k, cplx v);
+  void set_b(std::size_t t, std::size_t i, std::size_t k, cplx v);
+  [[nodiscard]] std::size_t idx(std::size_t t, std::size_t i,
+                                std::size_t k) const noexcept {
+    return (t * num_tx_ + i) * k_ + k;
+  }
+
+  std::size_t num_tx_;
+  std::size_t t_;
+  std::size_t k_;
+  double power_scale_;
+  std::vector<cplx> a_;
+  std::vector<cplx> b_;
+};
+
+/// ML decoder for an orthogonal design over an mr-antenna receiver.
+class StbcDecoder {
+ public:
+  explicit StbcDecoder(StbcCode code);
+
+  /// Decodes one block.
+  ///   h: mr × num_tx channel matrix (assumed known, as in the paper);
+  ///   received: T × mr matrix of received samples.
+  /// Returns K soft symbol estimates (scaled so that, noise-free,
+  /// estimates equal the transmitted symbols).
+  [[nodiscard]] std::vector<cplx> decode(const CMatrix& h,
+                                         const CMatrix& received) const;
+
+  /// Effective post-combining amplitude gain for channel h — equal to
+  /// power_scale·‖H‖²_F for orthogonal designs; exposed for tests and
+  /// for SNR bookkeeping.
+  [[nodiscard]] double combining_gain(const CMatrix& h) const;
+
+  [[nodiscard]] const StbcCode& code() const noexcept { return code_; }
+
+ private:
+  StbcCode code_;
+};
+
+}  // namespace comimo

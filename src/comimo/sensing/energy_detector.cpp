@@ -1,0 +1,72 @@
+#include "comimo/sensing/energy_detector.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/special.h"
+
+namespace comimo {
+
+EnergyDetector::EnergyDetector(std::size_t num_samples, double noise_power,
+                               double pfa)
+    : num_samples_(num_samples), noise_power_(noise_power), pfa_(pfa) {
+  COMIMO_CHECK(num_samples >= 2, "need at least 2 samples");
+  COMIMO_CHECK(noise_power > 0.0, "noise power must be positive");
+  COMIMO_CHECK(pfa > 0.0 && pfa < 1.0, "pfa must be in (0,1)");
+  // Under H0 the statistic is the mean of N i.i.d. Exp(σ²) variables:
+  // mean σ², variance σ⁴/N.
+  threshold_ = noise_power *
+               (1.0 + q_inverse(pfa) / std::sqrt(static_cast<double>(
+                          num_samples)));
+}
+
+SensingDecision EnergyDetector::sense(std::span<const cplx> samples) const {
+  COMIMO_CHECK(samples.size() == num_samples_,
+               "window length must equal num_samples");
+  SensingDecision d;
+  double sum = 0.0;
+  for (const auto& s : samples) sum += std::norm(s);
+  d.statistic = sum / static_cast<double>(num_samples_);
+  d.threshold = threshold_;
+  d.pu_present = d.statistic > threshold_;
+  return d;
+}
+
+double EnergyDetector::detection_probability(double snr) const {
+  COMIMO_CHECK(snr >= 0.0, "snr must be >= 0");
+  // Under H1 the per-sample power is σ²(1+snr) with relative std
+  // 1/√N (complex-Gaussian PU signal).
+  const double mean = noise_power_ * (1.0 + snr);
+  const double arg = (threshold_ / mean - 1.0) *
+                     std::sqrt(static_cast<double>(num_samples_));
+  return q_function(arg);
+}
+
+double EnergyDetector::false_alarm_probability() const {
+  return detection_probability(0.0);
+}
+
+std::vector<RocPoint> energy_detector_roc(
+    double snr, std::size_t num_samples,
+    const std::vector<double>& pfa_grid) {
+  COMIMO_CHECK(!pfa_grid.empty(), "empty pfa grid");
+  std::vector<RocPoint> roc;
+  roc.reserve(pfa_grid.size());
+  for (const double pfa : pfa_grid) {
+    const EnergyDetector det(num_samples, 1.0, pfa);
+    roc.push_back(RocPoint{pfa, det.detection_probability(snr)});
+  }
+  return roc;
+}
+
+std::size_t required_samples(double snr, double pfa, double pd) {
+  COMIMO_CHECK(snr > 0.0, "snr must be positive");
+  COMIMO_CHECK(pfa > 0.0 && pfa < 1.0 && pd > 0.0 && pd < 1.0,
+               "probabilities must be in (0,1)");
+  COMIMO_CHECK(pd > pfa, "pd must exceed pfa");
+  const double num = q_inverse(pfa) - q_inverse(pd) * (1.0 + snr);
+  const double n = (num / snr) * (num / snr);
+  return static_cast<std::size_t>(std::ceil(std::max(2.0, n)));
+}
+
+}  // namespace comimo

@@ -1,0 +1,78 @@
+// Spectrum sensing by energy detection.
+//
+// The cognitive-radio premise (§1: nodes "sense the electromagnetic
+// environment … and react") and Algorithm 3's step 1 ("determines the
+// PU to share the frequency based on the sensed environment") rest on a
+// sensing substrate the paper does not spell out.  We implement the
+// canonical energy detector: average the power of N complex baseband
+// samples and compare against a threshold calibrated for a target
+// false-alarm probability.  For N ≳ 50 the test statistic is well
+// approximated as Gaussian (CLT over 2N real degrees of freedom), the
+// standard working regime for CR sensing analysis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comimo/numeric/cmatrix.h"
+
+namespace comimo {
+
+struct SensingDecision {
+  double statistic = 0.0;  ///< measured average power
+  double threshold = 0.0;
+  bool pu_present = false;
+};
+
+class EnergyDetector {
+ public:
+  /// `num_samples` per sensing window, receiver noise power
+  /// `noise_power` (linear), target false-alarm probability `pfa`.
+  EnergyDetector(std::size_t num_samples, double noise_power, double pfa);
+
+  /// The calibrated decision threshold:
+  ///   λ = σ²·(1 + Q⁻¹(P_fa)/√N).
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+  /// Senses one window; the span length must equal num_samples.
+  [[nodiscard]] SensingDecision sense(std::span<const cplx> samples) const;
+
+  /// Theoretical detection probability for a PU received at `snr`
+  /// (linear) under the CLT approximation:
+  ///   P_d = Q( (λ/(σ²(1+snr)) − 1)·√N ).
+  [[nodiscard]] double detection_probability(double snr) const;
+
+  /// Theoretical false-alarm probability at the calibrated threshold
+  /// (returns the design pfa up to the approximation).
+  [[nodiscard]] double false_alarm_probability() const;
+
+  [[nodiscard]] std::size_t num_samples() const noexcept {
+    return num_samples_;
+  }
+  [[nodiscard]] double noise_power() const noexcept { return noise_power_; }
+
+ private:
+  std::size_t num_samples_;
+  double noise_power_;
+  double pfa_;
+  double threshold_;
+};
+
+/// One (P_fa, P_d) receiver-operating-characteristic point.
+struct RocPoint {
+  double pfa = 0.0;
+  double pd = 0.0;
+};
+
+/// Theoretical ROC of the energy detector at `snr` (linear) with
+/// N-sample windows, over a grid of false-alarm targets.
+[[nodiscard]] std::vector<RocPoint> energy_detector_roc(
+    double snr, std::size_t num_samples, const std::vector<double>& pfa_grid);
+
+/// Minimum window length N achieving (pfa, pd) at `snr` (linear) under
+/// the CLT model — the classic sensing-time dimensioning formula
+///   N = ( (Q⁻¹(pfa) − Q⁻¹(pd)·(1+snr)) / snr )².
+[[nodiscard]] std::size_t required_samples(double snr, double pfa, double pd);
+
+}  // namespace comimo

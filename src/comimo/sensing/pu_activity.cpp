@@ -1,0 +1,118 @@
+#include "comimo/sensing/pu_activity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+std::vector<PuInterval> generate_pu_trace(const PuActivityModel& model,
+                                          double duration_s,
+                                          std::uint64_t seed) {
+  COMIMO_CHECK(model.mean_busy_s > 0.0 && model.mean_idle_s > 0.0,
+               "holding times must be positive");
+  COMIMO_CHECK(duration_s > 0.0, "duration must be positive");
+  Rng rng(seed);
+  std::vector<PuInterval> trace;
+  double t = 0.0;
+  bool busy = rng.bernoulli(model.duty_cycle());  // stationary start
+  while (t < duration_s) {
+    const double mean = busy ? model.mean_busy_s : model.mean_idle_s;
+    const double len = rng.exponential() * mean;
+    PuInterval iv;
+    iv.start_s = t;
+    iv.end_s = std::min(t + len, duration_s);
+    iv.busy = busy;
+    trace.push_back(iv);
+    t = iv.end_s;
+    busy = !busy;
+  }
+  return trace;
+}
+
+bool trace_busy_at(const std::vector<PuInterval>& trace, double t) {
+  COMIMO_CHECK(!trace.empty(), "empty trace");
+  COMIMO_CHECK(t >= 0.0 && t < trace.back().end_s, "time outside trace");
+  // Binary search on interval starts.
+  const auto it = std::upper_bound(
+      trace.begin(), trace.end(), t,
+      [](double value, const PuInterval& iv) { return value < iv.start_s; });
+  return std::prev(it)->busy;
+}
+
+double trace_busy_fraction(const std::vector<PuInterval>& trace, double t0,
+                           double t1) {
+  COMIMO_CHECK(!trace.empty(), "empty trace");
+  COMIMO_CHECK(t1 > t0, "need a positive window");
+  double busy = 0.0;
+  for (const auto& iv : trace) {
+    if (!iv.busy) continue;
+    const double lo = std::max(t0, iv.start_s);
+    const double hi = std::min(t1, iv.end_s);
+    if (hi > lo) busy += hi - lo;
+  }
+  return busy / (t1 - t0);
+}
+
+OpportunisticAccessResult simulate_opportunistic_access(
+    const OpportunisticAccessConfig& config) {
+  COMIMO_CHECK(config.sensing_period_s > 0.0 &&
+                   config.frame_duration_s > 0.0,
+               "timing parameters must be positive");
+  COMIMO_CHECK(config.detection_probability >= 0.0 &&
+                   config.detection_probability <= 1.0 &&
+                   config.false_alarm_probability >= 0.0 &&
+                   config.false_alarm_probability <= 1.0,
+               "probabilities must be in [0,1]");
+  const auto trace =
+      generate_pu_trace(config.pu, config.duration_s, config.seed);
+  Rng rng(config.seed, 0x5E75E);
+
+  OpportunisticAccessResult result;
+  double su_airtime = 0.0;
+  double polluted_busy_time = 0.0;
+  double t = 0.0;
+  while (t + config.frame_duration_s < config.duration_s) {
+    const bool pu_busy = trace_busy_at(trace, t);
+    // Sensing outcome at the decision instant.
+    const bool decided_busy =
+        pu_busy ? rng.bernoulli(config.detection_probability)
+                : rng.bernoulli(config.false_alarm_probability);
+    if (decided_busy) {
+      t += config.sensing_period_s;
+      continue;
+    }
+    // Transmit one frame starting now.
+    const double frame_end = t + config.frame_duration_s;
+    const double busy_overlap =
+        trace_busy_fraction(trace, t, frame_end) *
+        config.frame_duration_s;
+    ++result.frames_sent;
+    if (busy_overlap > 0.0) {
+      ++result.frames_colliding;
+      polluted_busy_time += busy_overlap;
+    }
+    su_airtime += config.frame_duration_s;
+    t = frame_end + config.sensing_period_s;
+  }
+
+  const double busy_total =
+      trace_busy_fraction(trace, 0.0, config.duration_s) *
+      config.duration_s;
+  const double idle_total = config.duration_s - busy_total;
+  result.collision_fraction =
+      result.frames_sent
+          ? static_cast<double>(result.frames_colliding) /
+                static_cast<double>(result.frames_sent)
+          : 0.0;
+  result.idle_utilization =
+      idle_total > 0.0 ? (su_airtime - polluted_busy_time) / idle_total
+                       : 0.0;
+  result.interference_fraction =
+      busy_total > 0.0 ? polluted_busy_time / busy_total : 0.0;
+  return result;
+}
+
+}  // namespace comimo

@@ -1,0 +1,72 @@
+// Primary-user activity modelling and opportunistic (interweave) access.
+//
+// §1 describes interweave as transmitting "over a multidimensional
+// space, whose coordinates represent time slots, frequency bins and
+// possible angles".  The beamformer of §5 handles the angular
+// dimension; this module supplies the *time* dimension: a two-state
+// semi-Markov PU (exponential busy/idle holding times) and a simulator
+// of the classic listen-before-talk loop — sense, transmit one frame if
+// idle, repeat — quantifying how sensing quality (P_d, P_fa) and frame
+// length trade secondary utilization against interference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace comimo {
+
+struct PuActivityModel {
+  double mean_busy_s = 0.5;
+  double mean_idle_s = 1.0;
+
+  /// Long-run fraction of time the PU is busy.
+  [[nodiscard]] double duty_cycle() const noexcept {
+    return mean_busy_s / (mean_busy_s + mean_idle_s);
+  }
+};
+
+/// One busy or idle interval of the generated trace.
+struct PuInterval {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool busy = false;
+};
+
+/// Generates alternating exponential busy/idle intervals covering
+/// [0, duration_s], starting from the stationary state distribution.
+[[nodiscard]] std::vector<PuInterval> generate_pu_trace(
+    const PuActivityModel& model, double duration_s, std::uint64_t seed);
+
+/// True when the trace is busy at time t (t inside [0, duration)).
+[[nodiscard]] bool trace_busy_at(const std::vector<PuInterval>& trace,
+                                 double t);
+/// Fraction of [t0, t1] the trace spends busy.
+[[nodiscard]] double trace_busy_fraction(
+    const std::vector<PuInterval>& trace, double t0, double t1);
+
+struct OpportunisticAccessConfig {
+  PuActivityModel pu{};
+  double duration_s = 200.0;
+  double sensing_period_s = 0.02;  ///< listen-before-talk cadence
+  double frame_duration_s = 0.05;  ///< SU frame airtime
+  double detection_probability = 0.95;   ///< P_d of the detector in use
+  double false_alarm_probability = 0.05; ///< P_fa
+  std::uint64_t seed = 1;
+};
+
+struct OpportunisticAccessResult {
+  std::size_t frames_sent = 0;
+  std::size_t frames_colliding = 0;  ///< overlapped PU busy time
+  double collision_fraction = 0.0;   ///< frames_colliding / frames_sent
+  /// SU airtime as a fraction of the PU's idle time (the spectrum-hole
+  /// utilization the interweave mode chases).
+  double idle_utilization = 0.0;
+  /// Fraction of the PU's busy time the SU polluted.
+  double interference_fraction = 0.0;
+};
+
+/// Runs the listen-before-talk loop against a generated PU trace.
+[[nodiscard]] OpportunisticAccessResult simulate_opportunistic_access(
+    const OpportunisticAccessConfig& config);
+
+}  // namespace comimo

@@ -1,0 +1,39 @@
+#include "comimo/testbed/blocks.h"
+
+#include <cmath>
+
+namespace comimo {
+
+GainBlock::GainBlock(cplx gain) : gain_(gain) {}
+
+std::vector<cplx> GainBlock::process(std::vector<cplx> input) {
+  for (auto& s : input) s *= gain_;
+  return input;
+}
+
+ChannelBlock::ChannelBlock(const IndoorLinkConfig& config, Rng rng,
+                           bool block_fading)
+    : link_(config, rng), block_fading_(block_fading) {}
+
+std::vector<cplx> ChannelBlock::process(std::vector<cplx> input) {
+  if (block_fading_) link_.redraw_fading();
+  return link_.propagate(input);
+}
+
+NoiseBlock::NoiseBlock(double noise_variance, Rng rng)
+    : awgn_(noise_variance, rng) {}
+
+std::vector<cplx> NoiseBlock::process(std::vector<cplx> input) {
+  awgn_.apply(input);
+  return input;
+}
+
+PhaseRotationBlock::PhaseRotationBlock(double phase_rad)
+    : rotation_(std::cos(phase_rad), std::sin(phase_rad)) {}
+
+std::vector<cplx> PhaseRotationBlock::process(std::vector<cplx> input) {
+  for (auto& s : input) s *= rotation_;
+  return input;
+}
+
+}  // namespace comimo

@@ -1,0 +1,62 @@
+// Standard sample blocks of the simulated testbed.
+#pragma once
+
+#include <memory>
+
+#include "comimo/channel/awgn.h"
+#include "comimo/channel/indoor.h"
+#include "comimo/testbed/flowgraph.h"
+
+namespace comimo {
+
+/// Multiplies every sample by a fixed complex gain (the "transmit
+/// amplitude" knob of the paper's underlay experiment).
+class GainBlock final : public SampleBlock {
+ public:
+  explicit GainBlock(cplx gain);
+  [[nodiscard]] std::vector<cplx> process(std::vector<cplx> input) override;
+  [[nodiscard]] std::string name() const override { return "gain"; }
+
+ private:
+  cplx gain_;
+};
+
+/// Propagates through an IndoorLink (path gain, obstruction, multipath);
+/// redraws fading per call when `block_fading` is set (one call = one
+/// packet).
+class ChannelBlock final : public SampleBlock {
+ public:
+  ChannelBlock(const IndoorLinkConfig& config, Rng rng,
+               bool block_fading = true);
+  [[nodiscard]] std::vector<cplx> process(std::vector<cplx> input) override;
+  [[nodiscard]] std::string name() const override { return "channel"; }
+  [[nodiscard]] IndoorLink& link() noexcept { return link_; }
+
+ private:
+  IndoorLink link_;
+  bool block_fading_;
+};
+
+/// Adds complex AWGN of fixed variance.
+class NoiseBlock final : public SampleBlock {
+ public:
+  NoiseBlock(double noise_variance, Rng rng);
+  [[nodiscard]] std::vector<cplx> process(std::vector<cplx> input) override;
+  [[nodiscard]] std::string name() const override { return "awgn"; }
+
+ private:
+  AwgnChannel awgn_;
+};
+
+/// Fixed carrier-phase rotation (residual CFO/phase of a real front end).
+class PhaseRotationBlock final : public SampleBlock {
+ public:
+  explicit PhaseRotationBlock(double phase_rad);
+  [[nodiscard]] std::vector<cplx> process(std::vector<cplx> input) override;
+  [[nodiscard]] std::string name() const override { return "phase"; }
+
+ private:
+  cplx rotation_;
+};
+
+}  // namespace comimo

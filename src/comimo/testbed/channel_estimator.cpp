@@ -1,0 +1,40 @@
+#include "comimo/testbed/channel_estimator.h"
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+cplx estimate_gain(std::span<const cplx> pilots,
+                   std::span<const cplx> received) {
+  COMIMO_CHECK(!pilots.empty(), "need at least one pilot");
+  COMIMO_CHECK(pilots.size() == received.size(),
+               "pilot/received length mismatch");
+  cplx num{0.0, 0.0};
+  double den = 0.0;
+  for (std::size_t i = 0; i < pilots.size(); ++i) {
+    num += std::conj(pilots[i]) * received[i];
+    den += std::norm(pilots[i]);
+  }
+  COMIMO_CHECK(den > 0.0, "pilots must carry energy");
+  return num / den;
+}
+
+PilotEstimate estimate_gain_and_noise(std::span<const cplx> pilots,
+                                      std::span<const cplx> received) {
+  COMIMO_CHECK(pilots.size() >= 2, "need at least two pilots");
+  PilotEstimate est;
+  est.gain = estimate_gain(pilots, received);
+  double residual = 0.0;
+  double pilot_energy = 0.0;
+  for (std::size_t i = 0; i < pilots.size(); ++i) {
+    residual += std::norm(received[i] - est.gain * pilots[i]);
+    pilot_energy += std::norm(pilots[i]);
+  }
+  // One complex parameter was fit: n−1 effective degrees of freedom.
+  est.noise_variance =
+      residual / static_cast<double>(pilots.size() - 1);
+  est.gain_variance = est.noise_variance / pilot_energy;
+  return est;
+}
+
+}  // namespace comimo

@@ -1,0 +1,38 @@
+// Pilot-based channel estimation.
+//
+// The analytic chain assumes H known ("it can be estimated by sensing
+// the transmission signals", §2.3); a real receiver estimates it from
+// known symbols.  The framing layer already transmits a preamble, so
+// the least-squares block estimate is natural:
+//
+//   ĥ = (pᴴ y)/(pᴴ p),      var(ĥ) = N0 / Σ|p_i|²   (the CRLB)
+//
+// with p the pilot symbols and y the corresponding received samples.
+// The noise variance itself is estimated from the fit residual.
+#pragma once
+
+#include <span>
+
+#include "comimo/numeric/cmatrix.h"
+
+namespace comimo {
+
+/// LS estimate of a block-constant scalar gain.  Spans must be equal
+/// length and non-empty.
+[[nodiscard]] cplx estimate_gain(std::span<const cplx> pilots,
+                                 std::span<const cplx> received);
+
+struct PilotEstimate {
+  cplx gain{0.0, 0.0};
+  /// Residual-based estimate of the per-sample complex noise variance
+  /// (unbiased: residual power scaled by n/(n−1)).
+  double noise_variance = 0.0;
+  /// Predicted estimator variance N̂0 / Σ|p_i|².
+  double gain_variance = 0.0;
+};
+
+/// Gain plus noise statistics; needs at least 2 pilot symbols.
+[[nodiscard]] PilotEstimate estimate_gain_and_noise(
+    std::span<const cplx> pilots, std::span<const cplx> received);
+
+}  // namespace comimo

@@ -1,0 +1,36 @@
+#include "comimo/testbed/crc32.h"
+
+#include <array>
+
+namespace comimo {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+const std::array<std::uint32_t, 256> kTable = make_table();
+}  // namespace
+
+void Crc32::update(std::uint8_t byte) {
+  state_ = kTable[(state_ ^ byte) & 0xFFu] ^ (state_ >> 8);
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  for (const auto b : data) update(b);
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace comimo

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the packet
+// integrity check of the simulated testbed's framing layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace comimo {
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, final XOR 0xFFFFFFFF).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental interface for streaming use.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  void update(std::uint8_t byte);
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace comimo

@@ -1,0 +1,29 @@
+#include "comimo/testbed/flowgraph.h"
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+Flowgraph& Flowgraph::add(std::unique_ptr<SampleBlock> block) {
+  COMIMO_CHECK(block != nullptr, "null block");
+  blocks_.push_back(std::move(block));
+  return *this;
+}
+
+std::vector<cplx> Flowgraph::run(std::vector<cplx> input) {
+  for (auto& b : blocks_) {
+    input = b->process(std::move(input));
+  }
+  return input;
+}
+
+std::string Flowgraph::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (i) out += " -> ";
+    out += blocks_[i]->name();
+  }
+  return out;
+}
+
+}  // namespace comimo

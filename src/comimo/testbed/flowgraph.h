@@ -1,0 +1,42 @@
+// Minimal GNU Radio-style flowgraph.
+//
+// The simulated testbed composes per-node signal chains from sample
+// blocks; a Flowgraph is a linear chain (source samples in, processed
+// samples out).  Superposition of several transmitters at one antenna is
+// a receiver-side concern — see channel/indoor.h's superpose().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comimo/numeric/cmatrix.h"
+
+namespace comimo {
+
+/// A processing stage over complex baseband samples.
+class SampleBlock {
+ public:
+  virtual ~SampleBlock() = default;
+  [[nodiscard]] virtual std::vector<cplx> process(
+      std::vector<cplx> input) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class Flowgraph {
+ public:
+  /// Appends a block; returns *this for chaining.
+  Flowgraph& add(std::unique_ptr<SampleBlock> block);
+
+  /// Runs the chain over the input.
+  [[nodiscard]] std::vector<cplx> run(std::vector<cplx> input);
+
+  [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
+  /// "a -> b -> c" description for logs.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<std::unique_ptr<SampleBlock>> blocks_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,85 @@
+#include "comimo/testbed/framing.h"
+
+#include "comimo/common/error.h"
+#include "comimo/phy/detector.h"
+#include "comimo/testbed/crc32.h"
+
+namespace comimo {
+
+Framer::Framer(const FramingConfig& config) : config_(config) {
+  COMIMO_CHECK(config.max_payload >= 1 && config.max_payload <= 65535,
+               "max payload must fit a 16-bit length");
+}
+
+std::size_t Framer::frame_bits(std::size_t payload_bytes) const {
+  const std::size_t header = config_.preamble_bytes + 2 /*sync*/ +
+                             2 /*length*/ + 2 /*sequence*/;
+  return (header + payload_bytes + 4 /*crc*/) * 8;
+}
+
+BitVec Framer::frame(const Packet& packet) const {
+  COMIMO_CHECK(packet.payload.size() <= config_.max_payload,
+               "payload exceeds max_payload");
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(frame_bits(packet.payload.size()) / 8);
+  for (std::size_t i = 0; i < config_.preamble_bytes; ++i) {
+    bytes.push_back(config_.preamble_byte);
+  }
+  bytes.push_back(config_.sync0);
+  bytes.push_back(config_.sync1);
+  const auto len = static_cast<std::uint16_t>(packet.payload.size());
+  bytes.push_back(static_cast<std::uint8_t>(len >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  bytes.push_back(static_cast<std::uint8_t>(packet.sequence >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(packet.sequence & 0xFF));
+  bytes.insert(bytes.end(), packet.payload.begin(), packet.payload.end());
+  // CRC over length+sequence+payload (not the preamble/sync, which are
+  // fixed patterns).
+  Crc32 crc;
+  crc.update(std::span<const std::uint8_t>(bytes).subspan(
+      config_.preamble_bytes + 2));
+  const std::uint32_t c = crc.value();
+  bytes.push_back(static_cast<std::uint8_t>(c >> 24));
+  bytes.push_back(static_cast<std::uint8_t>((c >> 16) & 0xFF));
+  bytes.push_back(static_cast<std::uint8_t>((c >> 8) & 0xFF));
+  bytes.push_back(static_cast<std::uint8_t>(c & 0xFF));
+  return bytes_to_bits(bytes);
+}
+
+std::optional<Packet> Framer::parse(
+    std::span<const std::uint8_t> bits) const {
+  if (bits.size() % 8 != 0) return std::nullopt;
+  const std::vector<std::uint8_t> bytes = bits_to_bytes(bits);
+  const std::size_t header = config_.preamble_bytes + 2 + 2 + 2;
+  if (bytes.size() < header + 4) return std::nullopt;
+  std::size_t off = config_.preamble_bytes;
+  if (bytes[off] != config_.sync0 || bytes[off + 1] != config_.sync1) {
+    return std::nullopt;
+  }
+  off += 2;
+  const std::size_t len = (static_cast<std::size_t>(bytes[off]) << 8) |
+                          bytes[off + 1];
+  off += 2;
+  if (len > config_.max_payload || bytes.size() != header + len + 4) {
+    return std::nullopt;
+  }
+  const std::uint16_t seq =
+      static_cast<std::uint16_t>((bytes[off] << 8) | bytes[off + 1]);
+  off += 2;
+  Crc32 crc;
+  crc.update(std::span<const std::uint8_t>(bytes).subspan(
+      config_.preamble_bytes + 2, 2 + 2 + len));
+  const std::uint32_t expected =
+      (static_cast<std::uint32_t>(bytes[off + len]) << 24) |
+      (static_cast<std::uint32_t>(bytes[off + len + 1]) << 16) |
+      (static_cast<std::uint32_t>(bytes[off + len + 2]) << 8) |
+      static_cast<std::uint32_t>(bytes[off + len + 3]);
+  if (crc.value() != expected) return std::nullopt;
+  Packet p;
+  p.sequence = seq;
+  p.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(off + len));
+  return p;
+}
+
+}  // namespace comimo

@@ -1,0 +1,55 @@
+// Packet framing of the simulated testbed.
+//
+// Frame layout (bytes): preamble (8×0xAA) | sync (0x2D,0xD4) | length (2,
+// big-endian) | sequence (2) | payload | CRC-32 (4).  The receiver in the
+// simulation is frame-aligned (a real GNU Radio chain recovers alignment
+// from the preamble correlator); the CRC decides packet success, which is
+// exactly how the paper counts PER.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "comimo/phy/modulation.h"
+
+namespace comimo {
+
+struct Packet {
+  std::uint16_t sequence = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct FramingConfig {
+  std::size_t preamble_bytes = 8;
+  std::uint8_t preamble_byte = 0xAA;
+  std::uint8_t sync0 = 0x2D;
+  std::uint8_t sync1 = 0xD4;
+  std::size_t max_payload = 4096;
+};
+
+class Framer {
+ public:
+  explicit Framer(const FramingConfig& config = {});
+
+  /// Serializes a packet to on-air bits (MSB first).
+  [[nodiscard]] BitVec frame(const Packet& packet) const;
+
+  /// Parses a frame-aligned bit stream.  Returns the packet when the
+  /// sync word matches, the length is sane and the CRC verifies;
+  /// nullopt otherwise (a lost packet).
+  [[nodiscard]] std::optional<Packet> parse(
+      std::span<const std::uint8_t> bits) const;
+
+  /// On-air size in bits of a frame with `payload_bytes` of payload.
+  [[nodiscard]] std::size_t frame_bits(std::size_t payload_bytes) const;
+
+  [[nodiscard]] const FramingConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  FramingConfig config_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,54 @@
+// The "image file" of the underlay experiment (§6.4): 474 packets of
+// 1500 bytes transmitted with GMSK.  We generate a deterministic
+// synthetic grayscale image so that packet loss produces measurable
+// distortion, mirroring the paper's "recovered and displayed with some
+// distortions" observation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comimo/testbed/framing.h"
+
+namespace comimo {
+
+struct SyntheticImage {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> pixels;  ///< row-major grayscale
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return pixels.size();
+  }
+};
+
+/// Deterministic test image (smooth gradient + texture), sized to fill
+/// exactly `packets × packet_bytes` bytes.
+[[nodiscard]] SyntheticImage make_test_image(std::size_t packets = 474,
+                                             std::size_t packet_bytes = 1500);
+
+/// Splits the image into numbered packets of `packet_bytes` (the last
+/// packet may be short).
+[[nodiscard]] std::vector<Packet> packetize(const SyntheticImage& image,
+                                            std::size_t packet_bytes = 1500);
+
+/// Reassembles from the received subset; lost packets become zeroed
+/// regions (the on-screen distortion).
+struct ReassemblyReport {
+  SyntheticImage image;
+  std::size_t packets_expected = 0;
+  std::size_t packets_received = 0;
+  double packet_error_rate = 0.0;
+  /// Mean absolute pixel error vs the original (0 = perfect).
+  double mean_abs_error = 0.0;
+  [[nodiscard]] bool recoverable() const noexcept {
+    // The paper deems the image "recovered with some distortions" up to
+    // roughly 15% loss and unrecoverable near total loss.
+    return packet_error_rate < 0.5;
+  }
+};
+[[nodiscard]] ReassemblyReport reassemble(
+    const SyntheticImage& original, const std::vector<Packet>& received,
+    std::size_t packet_bytes = 1500);
+
+}  // namespace comimo

@@ -1,0 +1,28 @@
+#include "comimo/testbed/relay.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+DecodeForwardRelay::DecodeForwardRelay() = default;
+
+BitVec DecodeForwardRelay::decode(std::span<const cplx> received,
+                                  cplx channel_gain) const {
+  const double mag = std::abs(channel_gain);
+  COMIMO_CHECK(mag >= 0.0, "invalid channel gain");
+  std::vector<cplx> equalized(received.begin(), received.end());
+  if (mag > 0.0) {
+    const cplx inv = std::conj(channel_gain) / (mag * mag);
+    for (auto& s : equalized) s *= inv;
+  }
+  return modem_.demodulate(equalized);
+}
+
+std::vector<cplx> DecodeForwardRelay::relay(std::span<const cplx> received,
+                                            cplx channel_gain) const {
+  return modem_.modulate(decode(received, channel_gain));
+}
+
+}  // namespace comimo

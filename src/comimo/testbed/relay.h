@@ -1,0 +1,34 @@
+// Decode-and-forward relay node (the SU relays of Tables 2–3).
+//
+// The relay demodulates the BPSK stream with its own channel estimate,
+// makes hard decisions, and re-modulates; decision errors therefore
+// propagate, exactly as in the real testbed where the relay runs a full
+// receive/transmit chain.
+#pragma once
+
+#include <vector>
+
+#include "comimo/numeric/cmatrix.h"
+#include "comimo/phy/modulation.h"
+
+namespace comimo {
+
+class DecodeForwardRelay {
+ public:
+  DecodeForwardRelay();
+
+  /// Receives one packet's worth of symbols (already channel-corrupted),
+  /// equalizes with the known per-packet gain, decodes, and returns the
+  /// re-modulated clean constellation symbols of its decisions.
+  [[nodiscard]] std::vector<cplx> relay(std::span<const cplx> received,
+                                        cplx channel_gain) const;
+
+  /// The relay's hard bit decisions (exposed for error accounting).
+  [[nodiscard]] BitVec decode(std::span<const cplx> received,
+                              cplx channel_gain) const;
+
+ private:
+  BpskModulator modem_;
+};
+
+}  // namespace comimo

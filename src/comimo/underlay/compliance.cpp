@@ -1,0 +1,35 @@
+#include "comimo/underlay/compliance.h"
+
+#include "comimo/common/units.h"
+
+namespace comimo {
+
+UnderlayComplianceChecker::UnderlayComplianceChecker(
+    const SystemParams& params)
+    : analyzer_(params), siso_reference_(params) {}
+
+UnderlayComplianceReport UnderlayComplianceChecker::check(
+    const UnderlayHopPlan& plan, double pu_distance_m) const {
+  UnderlayComplianceReport rpt;
+  rpt.peak_pa_energy = plan.peak_pa();
+  const double mimo_peak =
+      static_cast<double>(plan.config.mt) * plan.mimo_tx_pa;
+  const double local_peak =
+      (plan.config.mt > 1 || plan.config.mr > 1) ? plan.local_tx_pa : 0.0;
+  rpt.local_dominates = local_peak > mimo_peak;
+  rpt.worst_moment = analyzer_.analyze(rpt.peak_pa_energy, plan.b,
+                                       plan.config.bandwidth_hz,
+                                       pu_distance_m);
+
+  // The paper's reference: the same hop executed as a non-cooperative
+  // SISO transmission ("the model for primary users", §6.2).
+  UnderlayHopConfig siso_cfg = plan.config;
+  siso_cfg.mt = 1;
+  siso_cfg.mr = 1;
+  const UnderlayHopPlan siso = siso_reference_.plan(siso_cfg);
+  rpt.relative_to_siso_db =
+      linear_to_db(siso.peak_pa() / std::max(rpt.peak_pa_energy, 1e-300));
+  return rpt;
+}
+
+}  // namespace comimo

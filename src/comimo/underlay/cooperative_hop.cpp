@@ -1,0 +1,102 @@
+#include "comimo/underlay/cooperative_hop.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+double UnderlayHopPlan::peak_pa() const noexcept {
+  const double local = (config.mt > 1 || config.mr > 1) ? local_tx_pa : 0.0;
+  return std::max(local, static_cast<double>(config.mt) * mimo_tx_pa);
+}
+
+double UnderlayHopPlan::total_pa() const noexcept {
+  double total = static_cast<double>(config.mt) * mimo_tx_pa;
+  if (config.mt > 1) total += local_tx_pa;  // head's broadcast
+  if (config.mr > 1) {
+    total += static_cast<double>(config.mr - 1) * local_tx_pa;  // forwards
+  }
+  return total;
+}
+
+double UnderlayHopPlan::total_energy() const noexcept {
+  double total = 0.0;
+  if (config.mt > 1) {
+    // Head broadcast heard by mt-1 cluster mates.
+    total += local_tx_pa + local_tx_circuit +
+             static_cast<double>(config.mt - 1) * local_rx;
+  }
+  total += static_cast<double>(config.mt) * (mimo_tx_pa + mimo_tx_circuit);
+  total += static_cast<double>(config.mr) * mimo_rx;
+  if (config.mr > 1) {
+    total += static_cast<double>(config.mr - 1) *
+             (local_tx_pa + local_tx_circuit + local_rx);
+  }
+  return total;
+}
+
+UnderlayCooperativeHop::UnderlayCooperativeHop(const SystemParams& params)
+    : params_(params), local_(params), mimo_(params) {}
+
+UnderlayHopPlan UnderlayCooperativeHop::plan_with_b(
+    const UnderlayHopConfig& config, int b) const {
+  UnderlayHopPlan p;
+  p.config = config;
+  p.b = b;
+  p.ebar = mimo_.solver().solve(config.ber, b, config.mt, config.mr);
+  p.local_tx_pa =
+      local_.pa_energy(b, config.ber, config.cluster_diameter_m);
+  p.local_tx_circuit = local_.tx_circuit_energy(b, config.bandwidth_hz);
+  p.local_rx = local_.rx_energy(b, config.bandwidth_hz);
+  p.mimo_tx_pa =
+      mimo_.pa_energy_with_ebar(b, p.ebar, config.mt, config.hop_distance_m);
+  p.mimo_tx_circuit = mimo_.tx_circuit_energy(b, config.bandwidth_hz);
+  p.mimo_rx = mimo_.rx_energy(b, config.bandwidth_hz);
+  return p;
+}
+
+UnderlayHopPlan UnderlayCooperativeHop::plan(const UnderlayHopConfig& config,
+                                             BSelectionRule rule) const {
+  COMIMO_CHECK(config.mt >= 1 && config.mr >= 1, "need >= 1 node per side");
+  COMIMO_CHECK(config.hop_distance_m > 0.0, "hop distance must be positive");
+  COMIMO_CHECK(config.cluster_diameter_m >= 0.0, "negative cluster diameter");
+  UnderlayHopPlan best;
+  double best_score = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (int b = kMinConstellationBits; b <= kMaxConstellationBits; ++b) {
+    UnderlayHopPlan candidate;
+    try {
+      candidate = plan_with_b(config, b);
+    } catch (const NumericError&) {
+      continue;  // BER target unreachable at this b
+    }
+    double score = 0.0;
+    switch (rule) {
+      case BSelectionRule::kMinEbar:
+        score = candidate.ebar;
+        break;
+      case BSelectionRule::kMinPeakPa:
+        score = candidate.peak_pa();
+        break;
+      case BSelectionRule::kMinTotalPa:
+        score = candidate.total_pa();
+        break;
+      case BSelectionRule::kMinTotalEnergy:
+        score = candidate.total_energy();
+        break;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = candidate;
+      found = true;
+    }
+  }
+  if (!found) {
+    throw InfeasibleError("no feasible constellation for this hop");
+  }
+  return best;
+}
+
+}  // namespace comimo

@@ -1,0 +1,60 @@
+#include "comimo/underlay/hop_sizing.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+HopSizer::HopSizer(const SystemParams& params) : planner_(params) {}
+
+HopSizingResult HopSizer::size(const HopSizingQuery& query) const {
+  COMIMO_CHECK(query.mt_available >= 1 && query.mr_available >= 1,
+               "need at least one node per side");
+  COMIMO_CHECK(query.hop_distance_m > 0.0, "hop distance must be positive");
+  COMIMO_CHECK(query.peak_pa_cap > 0.0, "peak-PA cap must be positive");
+
+  HopSizingResult result;
+  UnderlayHopPlan unconstrained_best;
+  double unconstrained_energy = std::numeric_limits<double>::infinity();
+
+  for (unsigned mt = 1; mt <= query.mt_available; ++mt) {
+    for (unsigned mr = 1; mr <= query.mr_available; ++mr) {
+      UnderlayHopConfig cfg;
+      cfg.mt = mt;
+      cfg.mr = mr;
+      cfg.hop_distance_m = query.hop_distance_m;
+      cfg.cluster_diameter_m = query.cluster_diameter_m;
+      cfg.ber = query.ber;
+      cfg.bandwidth_hz = query.bandwidth_hz;
+      UnderlayHopPlan plan;
+      try {
+        plan = planner_.plan(cfg, BSelectionRule::kMinTotalEnergy);
+      } catch (const InfeasibleError&) {
+        continue;
+      }
+      if (plan.total_energy() < unconstrained_energy) {
+        unconstrained_energy = plan.total_energy();
+        unconstrained_best = plan;
+      }
+      if (plan.peak_pa() <= query.peak_pa_cap) {
+        result.feasible.push_back(plan);
+      }
+    }
+  }
+  if (result.feasible.empty()) {
+    throw InfeasibleError(
+        "no cooperator configuration satisfies the peak-PA cap");
+  }
+  std::sort(result.feasible.begin(), result.feasible.end(),
+            [](const UnderlayHopPlan& a, const UnderlayHopPlan& b) {
+              return a.total_energy() < b.total_energy();
+            });
+  result.plan = result.feasible.front();
+  result.constrained =
+      result.plan.total_energy() > unconstrained_energy * (1.0 + 1e-12);
+  return result;
+}
+
+}  // namespace comimo

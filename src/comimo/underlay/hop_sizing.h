@@ -1,0 +1,49 @@
+// Cooperative hop sizing: how many cooperators is the right number?
+//
+// Algorithm 2 takes (mt, mr) as given by the clustering; a head with
+// more willing cluster mates than it strictly needs faces a design
+// choice the paper leaves implicit.  This optimizer searches
+// (mt, mr, b) within availability limits for the hop that minimizes
+// total energy per bit, subject to the underlay ceiling on peak PA
+// energy (E_PA = max(e^Lt_PA, mt·e^MIMOt_PA) ≤ cap) — the quantitative
+// version of "use enough cooperators to duck under the interference
+// constraint, but no more than the energy optimum wants".
+#pragma once
+
+#include <vector>
+
+#include "comimo/underlay/cooperative_hop.h"
+
+namespace comimo {
+
+struct HopSizingQuery {
+  unsigned mt_available = 4;   ///< cooperators available at the Tx cluster
+  unsigned mr_available = 4;   ///< cooperators available at the Rx cluster
+  double hop_distance_m = 200.0;
+  double cluster_diameter_m = 2.0;
+  double ber = 1e-3;
+  double bandwidth_hz = 40e3;
+  /// Peak-PA ceiling [J/bit]; +inf disables the constraint.
+  double peak_pa_cap = std::numeric_limits<double>::infinity();
+};
+
+struct HopSizingResult {
+  UnderlayHopPlan plan;        ///< the winning configuration
+  bool constrained = false;    ///< true when the cap excluded the
+                               ///< unconstrained optimum
+  /// Every feasible candidate, sorted by total energy (diagnostics).
+  std::vector<UnderlayHopPlan> feasible;
+};
+
+class HopSizer {
+ public:
+  explicit HopSizer(const SystemParams& params = {});
+
+  /// Throws InfeasibleError when no (mt, mr, b) satisfies the cap.
+  [[nodiscard]] HopSizingResult size(const HopSizingQuery& query) const;
+
+ private:
+  UnderlayCooperativeHop planner_;
+};
+
+}  // namespace comimo

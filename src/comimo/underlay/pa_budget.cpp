@@ -1,0 +1,43 @@
+#include "comimo/underlay/pa_budget.h"
+
+namespace comimo {
+
+PaBudgetSweep::PaBudgetSweep(const SystemParams& params) : hop_(params) {}
+
+PaBudgetSeries PaBudgetSweep::sweep_distance(
+    unsigned mt, unsigned mr, const std::vector<double>& distances_m,
+    double cluster_diameter_m, double ber, double bandwidth_hz,
+    BSelectionRule rule) const {
+  PaBudgetSeries series;
+  series.mt = mt;
+  series.mr = mr;
+  series.points.reserve(distances_m.size());
+  for (const double d : distances_m) {
+    UnderlayHopConfig cfg;
+    cfg.mt = mt;
+    cfg.mr = mr;
+    cfg.hop_distance_m = d;
+    cfg.cluster_diameter_m = cluster_diameter_m;
+    cfg.ber = ber;
+    cfg.bandwidth_hz = bandwidth_hz;
+    series.points.push_back(PaBudgetPoint{d, hop_.plan(cfg, rule)});
+  }
+  return series;
+}
+
+std::vector<PaBudgetSeries> PaBudgetSweep::sweep_grid(
+    unsigned mt_max, unsigned mr_max, const std::vector<double>& distances_m,
+    double cluster_diameter_m, double ber, double bandwidth_hz,
+    BSelectionRule rule) const {
+  std::vector<PaBudgetSeries> all;
+  all.reserve(mt_max * mr_max);
+  for (unsigned mt = 1; mt <= mt_max; ++mt) {
+    for (unsigned mr = 1; mr <= mr_max; ++mr) {
+      all.push_back(sweep_distance(mt, mr, distances_m, cluster_diameter_m,
+                                   ber, bandwidth_hz, rule));
+    }
+  }
+  return all;
+}
+
+}  // namespace comimo

@@ -1,0 +1,44 @@
+// Fig. 7's quantity: total PA energy/bit of all SUs for one hop, swept
+// over hop distance and cooperation degree.
+#pragma once
+
+#include <vector>
+
+#include "comimo/underlay/cooperative_hop.h"
+
+namespace comimo {
+
+struct PaBudgetPoint {
+  double distance_m = 0.0;
+  UnderlayHopPlan plan;
+};
+
+/// One (mt, mr) series of Fig. 7.
+struct PaBudgetSeries {
+  unsigned mt = 0;
+  unsigned mr = 0;
+  std::vector<PaBudgetPoint> points;
+};
+
+class PaBudgetSweep {
+ public:
+  explicit PaBudgetSweep(const SystemParams& params = {});
+
+  /// Sweeps hop distance for one (mt, mr) pair.
+  [[nodiscard]] PaBudgetSeries sweep_distance(
+      unsigned mt, unsigned mr, const std::vector<double>& distances_m,
+      double cluster_diameter_m, double ber, double bandwidth_hz,
+      BSelectionRule rule = BSelectionRule::kMinTotalPa) const;
+
+  /// Full Fig. 7 grid: all (mt, mr) in [1, mt_max] × [1, mr_max].
+  [[nodiscard]] std::vector<PaBudgetSeries> sweep_grid(
+      unsigned mt_max, unsigned mr_max,
+      const std::vector<double>& distances_m, double cluster_diameter_m,
+      double ber, double bandwidth_hz,
+      BSelectionRule rule = BSelectionRule::kMinTotalPa) const;
+
+ private:
+  UnderlayCooperativeHop hop_;
+};
+
+}  // namespace comimo

@@ -1,0 +1,111 @@
+#include "comimo/phy/ber.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+#include "comimo/numeric/special.h"
+
+namespace comimo {
+namespace {
+
+TEST(BerBpskAwgn, KnownValues) {
+  // γ = 0 → 0.5; γ ≈ 9.6 dB → 1e-5 (classic waterfall point).
+  EXPECT_NEAR(ber_bpsk_awgn(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(ber_bpsk_awgn(db_to_linear(9.6)), 1e-5, 3e-6);
+  EXPECT_NEAR(ber_bpsk_awgn(db_to_linear(6.8)), 1e-3, 3e-4);
+}
+
+TEST(BerMqamAwgn, ReducesToBpskForB1) {
+  for (double g : {0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(ber_mqam_awgn(1, g), ber_bpsk_awgn(g), 1e-15);
+  }
+}
+
+TEST(BerMqamAwgn, QpskEqualsBpskPerBit) {
+  // The b = 2 approximation has A = 1, B = 2: identical to BPSK.
+  for (double g : {0.5, 2.0, 8.0}) {
+    EXPECT_NEAR(ber_mqam_awgn(2, g), ber_bpsk_awgn(g), 1e-12);
+  }
+}
+
+TEST(BerMqamAwgn, HigherOrderNeedsMoreSnr) {
+  const double g = db_to_linear(10.0);
+  double prev = 0.0;
+  for (int b = 2; b <= 10; b += 2) {
+    const double p = ber_mqam_awgn(b, g);
+    EXPECT_GT(p, prev) << "b=" << b;
+    prev = p;
+  }
+}
+
+TEST(MqamCoefficients, MatchPaperFormulas) {
+  for (int b = 2; b <= 16; ++b) {
+    const double m = std::pow(2.0, b);
+    EXPECT_NEAR(mqam_coefficient(b),
+                4.0 / b * (1.0 - std::pow(2.0, -b / 2.0)), 1e-12);
+    EXPECT_NEAR(mqam_snr_factor(b), 3.0 * b / (m - 1.0), 1e-12);
+  }
+  EXPECT_THROW(mqam_coefficient(0), InvalidArgument);
+}
+
+TEST(BerBpskRayleigh, ClosedForm) {
+  EXPECT_NEAR(ber_bpsk_rayleigh(0.0), 0.5, 1e-12);
+  // High SNR asymptote 1/(4γ).
+  const double g = 1e4;
+  EXPECT_NEAR(ber_bpsk_rayleigh(g), 1.0 / (4.0 * g), 1.0 / (4.0 * g) * 0.01);
+}
+
+TEST(BerMqamRayleighMimo, ReducesToSisoRayleigh) {
+  for (double g : {0.5, 2.0, 20.0}) {
+    EXPECT_NEAR(ber_mqam_rayleigh_mimo(1, g, 1, 1), ber_bpsk_rayleigh(g),
+                1e-12);
+  }
+}
+
+TEST(BerMqamRayleighMimo, DiversityHelps) {
+  const double g = db_to_linear(8.0);
+  EXPECT_GT(ber_mqam_rayleigh_mimo(2, g, 1, 1),
+            ber_mqam_rayleigh_mimo(2, g, 1, 2));
+  EXPECT_GT(ber_mqam_rayleigh_mimo(2, g, 1, 2),
+            ber_mqam_rayleigh_mimo(2, g, 2, 2));
+  EXPECT_GT(ber_mqam_rayleigh_mimo(2, g, 2, 2),
+            ber_mqam_rayleigh_mimo(2, g, 2, 3));
+}
+
+TEST(BerMqamRayleighMimo, ClampedToProbability) {
+  EXPECT_LE(ber_mqam_rayleigh_mimo(2, 0.0, 1, 1), 1.0);
+  EXPECT_GE(ber_mqam_rayleigh_mimo(2, 0.0, 1, 1), 0.0);
+}
+
+TEST(BerGmskApprox, EfficiencyPenaltyVsBpsk) {
+  const double g = db_to_linear(8.0);
+  EXPECT_GT(ber_gmsk_awgn_approx(g), ber_bpsk_awgn(g));
+  EXPECT_NEAR(ber_gmsk_awgn_approx(g, 1.0), ber_bpsk_awgn(g), 1e-15);
+}
+
+TEST(PerFromBer, Limits) {
+  EXPECT_DOUBLE_EQ(per_from_ber(0.0, 12000.0), 0.0);
+  EXPECT_DOUBLE_EQ(per_from_ber(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(per_from_ber(2.0, 1.0), 1.0);
+}
+
+TEST(PerFromBer, SmallBerLinearization) {
+  // PER ≈ bits·BER when bits·BER ≪ 1.
+  const double per = per_from_ber(1e-9, 12000.0);
+  EXPECT_NEAR(per, 12000.0 * 1e-9, 12000.0 * 1e-9 * 0.01);
+}
+
+TEST(PerFromBer, Monotone) {
+  double prev = 0.0;
+  for (double ber = 1e-6; ber < 1e-2; ber *= 10.0) {
+    const double per = per_from_ber(ber, 12000.0);
+    EXPECT_GT(per, prev);
+    prev = per;
+  }
+}
+
+}  // namespace
+}  // namespace comimo

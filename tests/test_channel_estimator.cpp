@@ -1,0 +1,119 @@
+#include "comimo/testbed/channel_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/numeric/stats.h"
+#include "comimo/phy/detector.h"
+#include "comimo/phy/modulation.h"
+#include "comimo/testbed/experiments.h"
+
+namespace comimo {
+namespace {
+
+TEST(ChannelEstimator, ExactWithoutNoise) {
+  const BpskModulator modem;
+  const auto pilots = modem.modulate(random_bits(32, 1));
+  const cplx h{0.7, -1.3};
+  std::vector<cplx> rx(pilots.size());
+  for (std::size_t i = 0; i < pilots.size(); ++i) rx[i] = h * pilots[i];
+  EXPECT_NEAR(std::abs(estimate_gain(pilots, rx) - h), 0.0, 1e-12);
+}
+
+TEST(ChannelEstimator, UnbiasedUnderNoise) {
+  const BpskModulator modem;
+  const auto pilots = modem.modulate(random_bits(16, 2));
+  const cplx h{-0.4, 0.9};
+  Rng rng(3);
+  RunningStats re;
+  RunningStats im;
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<cplx> rx(pilots.size());
+    for (std::size_t i = 0; i < pilots.size(); ++i) {
+      rx[i] = h * pilots[i] + rng.complex_gaussian(0.5);
+    }
+    const cplx est = estimate_gain(pilots, rx);
+    re.add(est.real());
+    im.add(est.imag());
+  }
+  EXPECT_NEAR(re.mean(), h.real(), 0.005);
+  EXPECT_NEAR(im.mean(), h.imag(), 0.005);
+}
+
+TEST(ChannelEstimator, VarianceMatchesCrlb) {
+  // var(ĥ) = N0 / Σ|p|² for LS with white noise.
+  const BpskModulator modem;
+  const std::size_t n = 8;
+  const auto pilots = modem.modulate(random_bits(n, 4));
+  const double n0 = 0.8;
+  Rng rng(5);
+  RunningStats err_power;
+  const cplx h{1.0, 0.5};
+  for (int trial = 0; trial < 30000; ++trial) {
+    std::vector<cplx> rx(pilots.size());
+    for (std::size_t i = 0; i < pilots.size(); ++i) {
+      rx[i] = h * pilots[i] + rng.complex_gaussian(n0);
+    }
+    err_power.add(std::norm(estimate_gain(pilots, rx) - h));
+  }
+  EXPECT_NEAR(err_power.mean(), n0 / static_cast<double>(n),
+              n0 / n * 0.05);
+}
+
+TEST(ChannelEstimator, NoiseVarianceEstimateIsUnbiased) {
+  const BpskModulator modem;
+  const auto pilots = modem.modulate(random_bits(24, 6));
+  const double n0 = 1.7;
+  Rng rng(7);
+  RunningStats nv;
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<cplx> rx(pilots.size());
+    for (std::size_t i = 0; i < pilots.size(); ++i) {
+      rx[i] = cplx{0.3, -0.6} * pilots[i] + rng.complex_gaussian(n0);
+    }
+    nv.add(estimate_gain_and_noise(pilots, rx).noise_variance);
+  }
+  EXPECT_NEAR(nv.mean(), n0, n0 * 0.03);
+}
+
+TEST(ChannelEstimator, Validation) {
+  const std::vector<cplx> p{cplx{1.0, 0.0}};
+  const std::vector<cplx> y{cplx{1.0, 0.0}, cplx{1.0, 0.0}};
+  EXPECT_THROW((void)estimate_gain({}, {}), InvalidArgument);
+  EXPECT_THROW((void)estimate_gain(p, y), InvalidArgument);
+  EXPECT_THROW((void)estimate_gain_and_noise(p, p), InvalidArgument);
+  const std::vector<cplx> zeros(4, cplx{0.0, 0.0});
+  EXPECT_THROW((void)estimate_gain(zeros, zeros), InvalidArgument);
+}
+
+TEST(OverlayWithPilots, EstimationCostsLittleWithEnoughPilots) {
+  OverlayBerConfig genie = table2_single_relay_config(1);
+  genie.total_bits = 40000;
+  const auto r_genie = run_overlay_ber(genie);
+
+  OverlayBerConfig est = genie;
+  est.pilot_symbols = 32;
+  const auto r_est = run_overlay_ber(est);
+  // 32 pilots per 1000-bit packet: a mild penalty only.
+  EXPECT_LT(r_est.ber_cooperative, r_genie.ber_cooperative * 2.0 + 1e-3);
+
+  OverlayBerConfig poor = genie;
+  poor.pilot_symbols = 2;
+  const auto r_poor = run_overlay_ber(poor);
+  // Two pilots give a noisy estimate: strictly worse than 32.
+  EXPECT_GT(r_poor.ber_cooperative, r_est.ber_cooperative);
+}
+
+TEST(OverlayWithPilots, ZeroPilotsReproducesGenieResults) {
+  OverlayBerConfig a = table2_single_relay_config(2);
+  a.total_bits = 20000;
+  const auto r1 = run_overlay_ber(a);
+  const auto r2 = run_overlay_ber(a);
+  EXPECT_EQ(r1.errors_cooperative, r2.errors_cooperative);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,106 @@
+#include "comimo/net/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+#include "comimo/net/comimonet.h"
+
+namespace comimo {
+namespace {
+
+std::vector<SuNode> line_nodes(std::initializer_list<double> xs) {
+  std::vector<SuNode> nodes;
+  NodeId id = 0;
+  for (const double x : xs) {
+    SuNode n;
+    n.id = id++;
+    n.position = Vec2{x, 0.0};
+    nodes.push_back(n);
+  }
+  return nodes;
+}
+
+TEST(DClustering, SingleTightGroupFormsOneCluster) {
+  const auto nodes = line_nodes({0.0, 1.0, 2.0});
+  const auto clusters = d_clustering(nodes, 10.0);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 3u);
+  EXPECT_TRUE(validate_clustering(nodes, clusters, 10.0));
+}
+
+TEST(DClustering, DistantGroupsSeparate) {
+  const auto nodes = line_nodes({0.0, 1.0, 100.0, 101.0});
+  const auto clusters = d_clustering(nodes, 10.0);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_TRUE(validate_clustering(nodes, clusters, 10.0));
+}
+
+TEST(DClustering, PairwiseBoundHolds) {
+  // A chain 0,4,8,12 with d = 10: greedy takes {0, 4} (within d/2 of
+  // seed), then {8, 12}; all pairwise distances ≤ d.
+  const auto nodes = line_nodes({0.0, 4.0, 8.0, 12.0});
+  const auto clusters = d_clustering(nodes, 10.0);
+  EXPECT_TRUE(validate_clustering(nodes, clusters, 10.0));
+}
+
+TEST(DClustering, EveryNodeAssignedExactlyOnce) {
+  const auto nodes = random_field(60, 200.0, 200.0, 42);
+  const auto clusters = d_clustering(nodes, 20.0);
+  EXPECT_TRUE(validate_clustering(nodes, clusters, 20.0));
+  std::size_t total = 0;
+  for (const auto& c : clusters) total += c.members.size();
+  EXPECT_EQ(total, nodes.size());
+}
+
+TEST(DClustering, RejectsNonPositiveD) {
+  const auto nodes = line_nodes({0.0});
+  EXPECT_THROW((void)d_clustering(nodes, 0.0), InvalidArgument);
+}
+
+TEST(ElectHeads, PicksHighestBattery) {
+  auto nodes = line_nodes({0.0, 1.0, 2.0});
+  nodes[0].battery_j = 0.2;
+  nodes[1].battery_j = 0.9;
+  nodes[2].battery_j = 0.5;
+  auto clusters = d_clustering(nodes, 10.0);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].head, nodes[1].id);
+}
+
+TEST(ElectHeads, TieBreaksToLowerId) {
+  auto nodes = line_nodes({0.0, 1.0});
+  nodes[0].battery_j = 0.7;
+  nodes[1].battery_j = 0.7;
+  auto clusters = d_clustering(nodes, 10.0);
+  EXPECT_EQ(clusters[0].head, 0u);
+}
+
+TEST(ClusterGeometry, GapAndDiameter) {
+  const auto nodes = line_nodes({0.0, 3.0, 10.0, 14.0});
+  Cluster a;
+  a.members = {0, 1};
+  Cluster b;
+  b.members = {2, 3};
+  EXPECT_DOUBLE_EQ(cluster_gap(nodes, a, b), 14.0);
+  EXPECT_DOUBLE_EQ(cluster_diameter(nodes, a), 3.0);
+  EXPECT_DOUBLE_EQ(cluster_diameter(nodes, b), 4.0);
+  Cluster single;
+  single.members = {0};
+  EXPECT_DOUBLE_EQ(cluster_diameter(nodes, single), 0.0);
+}
+
+TEST(ValidateClustering, DetectsViolations) {
+  const auto nodes = line_nodes({0.0, 50.0});
+  std::vector<Cluster> bogus(1);
+  bogus[0].members = {0, 1};  // 50 m apart in a d = 10 cluster
+  bogus[0].head = 0;
+  EXPECT_FALSE(validate_clustering(nodes, bogus, 10.0));
+  // Missing node.
+  std::vector<Cluster> partial(1);
+  partial[0].members = {0};
+  partial[0].head = 0;
+  EXPECT_FALSE(validate_clustering(nodes, partial, 100.0));
+}
+
+}  // namespace
+}  // namespace comimo

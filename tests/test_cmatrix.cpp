@@ -1,0 +1,164 @@
+#include "comimo/numeric/cmatrix.h"
+
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+namespace {
+
+using namespace std::complex_literals;
+
+TEST(CMatrix, ConstructionAndIndexing) {
+  CMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m(r, c), cplx(0.0, 0.0));
+    }
+  }
+  m(1, 2) = 1.0 + 2.0i;
+  EXPECT_EQ(m(1, 2), cplx(1.0, 2.0));
+}
+
+TEST(CMatrix, InitializerList) {
+  const CMatrix m{{1.0, 2.0i}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 1), cplx(0.0, 2.0));
+  EXPECT_THROW((CMatrix{{1.0}, {1.0, 2.0}}), InvalidArgument);
+}
+
+TEST(CMatrix, Identity) {
+  const CMatrix id = CMatrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(id(r, c), (r == c ? cplx(1.0, 0.0) : cplx(0.0, 0.0)));
+    }
+  }
+}
+
+TEST(CMatrix, AddSubtract) {
+  const CMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const CMatrix b{{0.5, -1.0}, {2.0, 1.0i}};
+  const CMatrix sum = a + b;
+  EXPECT_EQ(sum(0, 0), cplx(1.5, 0.0));
+  EXPECT_EQ(sum(1, 1), cplx(4.0, 1.0));
+  const CMatrix diff = sum - b;
+  EXPECT_NEAR(diff.max_abs_diff(a), 0.0, 1e-15);
+}
+
+TEST(CMatrix, ShapeMismatchThrows) {
+  const CMatrix a(2, 2);
+  const CMatrix b(2, 3);
+  EXPECT_THROW(a + b, InvalidArgument);
+  EXPECT_THROW(a - b, InvalidArgument);
+  EXPECT_THROW(b * b, InvalidArgument);
+}
+
+TEST(CMatrix, MultiplyKnownProduct) {
+  const CMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const CMatrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const CMatrix p = a * b;
+  EXPECT_EQ(p(0, 0), cplx(19.0, 0.0));
+  EXPECT_EQ(p(0, 1), cplx(22.0, 0.0));
+  EXPECT_EQ(p(1, 0), cplx(43.0, 0.0));
+  EXPECT_EQ(p(1, 1), cplx(50.0, 0.0));
+}
+
+TEST(CMatrix, IdentityIsMultiplicativeNeutral) {
+  Rng rng(1);
+  const CMatrix a = CMatrix::random_gaussian(3, 3, rng);
+  EXPECT_NEAR((a * CMatrix::identity(3)).max_abs_diff(a), 0.0, 1e-14);
+  EXPECT_NEAR((CMatrix::identity(3) * a).max_abs_diff(a), 0.0, 1e-14);
+}
+
+TEST(CMatrix, HermitianTranspose) {
+  const CMatrix a{{1.0 + 1.0i, 2.0}, {3.0i, 4.0 - 2.0i}};
+  const CMatrix h = a.hermitian();
+  EXPECT_EQ(h(0, 0), cplx(1.0, -1.0));
+  EXPECT_EQ(h(1, 0), cplx(2.0, 0.0));
+  EXPECT_EQ(h(0, 1), cplx(0.0, -3.0));
+  // (A^H)^H == A.
+  EXPECT_NEAR(h.hermitian().max_abs_diff(a), 0.0, 1e-15);
+}
+
+TEST(CMatrix, TransposeVsHermitianOnRealMatrix) {
+  const CMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_NEAR(a.transpose().max_abs_diff(a.hermitian()), 0.0, 1e-15);
+}
+
+TEST(CMatrix, FrobeniusNorm) {
+  const CMatrix a{{3.0, 0.0}, {0.0, 4.0i}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(CMatrix, Trace) {
+  const CMatrix a{{1.0, 9.0}, {9.0, 2.0i}};
+  EXPECT_EQ(a.trace(), cplx(1.0, 2.0));
+  EXPECT_THROW(CMatrix(2, 3).trace(), InvalidArgument);
+}
+
+TEST(CMatrix, SolveRecoversKnownSolution) {
+  Rng rng(2);
+  const CMatrix a = CMatrix::random_gaussian(4, 4, rng);
+  std::vector<cplx> x_true;
+  for (int i = 0; i < 4; ++i) x_true.push_back(rng.complex_gaussian());
+  const std::vector<cplx> b = a * x_true;
+  const std::vector<cplx> x = a.solve(b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(CMatrix, SolveSingularThrows) {
+  const CMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(a.solve({1.0, 1.0}), NumericError);
+}
+
+TEST(CMatrix, InverseTimesSelfIsIdentity) {
+  Rng rng(3);
+  const CMatrix a = CMatrix::random_gaussian(5, 5, rng);
+  const CMatrix inv = a.inverse();
+  EXPECT_NEAR((a * inv).max_abs_diff(CMatrix::identity(5)), 0.0, 1e-9);
+  EXPECT_NEAR((inv * a).max_abs_diff(CMatrix::identity(5)), 0.0, 1e-9);
+}
+
+TEST(CMatrix, RandomGaussianPower) {
+  Rng rng(4);
+  // Mean squared Frobenius norm of an m×n CN(0,1) matrix is m·n.
+  double total = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    total += CMatrix::random_gaussian(2, 3, rng).frobenius_norm2();
+  }
+  EXPECT_NEAR(total / trials, 6.0, 0.3);
+}
+
+TEST(CMatrix, MatrixVectorProduct) {
+  const CMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<cplx> x{1.0, 1.0i};
+  const std::vector<cplx> y = a * x;
+  EXPECT_EQ(y[0], cplx(1.0, 2.0));
+  EXPECT_EQ(y[1], cplx(3.0, 4.0));
+}
+
+TEST(CMatrix, ScalarMultiply) {
+  const CMatrix a{{1.0, 2.0}};
+  const CMatrix b = a * cplx(0.0, 2.0);
+  EXPECT_EQ(b(0, 0), cplx(0.0, 2.0));
+  EXPECT_EQ(b(0, 1), cplx(0.0, 4.0));
+}
+
+TEST(CMatrix, ConjugateMatchesHermitianOfTranspose) {
+  Rng rng(5);
+  const CMatrix a = CMatrix::random_gaussian(3, 2, rng);
+  EXPECT_NEAR(a.conjugate().max_abs_diff(a.transpose().hermitian()), 0.0,
+              1e-15);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,132 @@
+#include "comimo/phy/combining.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/channel/awgn.h"
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/phy/detector.h"
+
+namespace comimo {
+namespace {
+
+std::vector<std::vector<cplx>> faded_branches(
+    std::span<const cplx> symbols, std::span<const cplx> gains,
+    AwgnChannel* noise = nullptr) {
+  std::vector<std::vector<cplx>> branches;
+  for (const cplx g : gains) {
+    std::vector<cplx> b(symbols.size());
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      b[i] = g * symbols[i] + (noise ? noise->sample() : cplx{0.0, 0.0});
+    }
+    branches.push_back(std::move(b));
+  }
+  return branches;
+}
+
+TEST(Combining, NoiseFreeOutputEqualsSymbols) {
+  Rng rng(1);
+  std::vector<cplx> s{{1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0}};
+  std::vector<cplx> gains{rng.complex_gaussian(), rng.complex_gaussian(),
+                          rng.complex_gaussian()};
+  const auto branches = faded_branches(s, gains);
+  for (const auto kind : {CombinerKind::kEqualGain,
+                          CombinerKind::kMaximalRatio,
+                          CombinerKind::kSelection}) {
+    const auto out = combine(kind, branches, gains);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_NEAR(std::abs(out[i] - s[i]), 0.0, 1e-12)
+          << "kind " << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(Combining, SingleBranchIsCoherentEqualization) {
+  const std::vector<cplx> s{{1.0, 0.0}, {-1.0, 0.0}};
+  const cplx g{0.0, 2.0};
+  const auto branches = faded_branches(s, std::vector<cplx>{g});
+  const auto out =
+      combine(CombinerKind::kEqualGain, branches, std::vector<cplx>{g});
+  // EGC with one branch removes phase but keeps |g| scaling normalized.
+  EXPECT_NEAR(std::abs(out[0] - s[0]), 0.0, 1e-12);
+}
+
+TEST(Combining, SelectionPicksStrongestBranch) {
+  const std::vector<cplx> s{{1.0, 0.0}};
+  const std::vector<cplx> gains{{0.1, 0.0}, {5.0, 0.0}, {1.0, 0.0}};
+  // Corrupt the weak branches badly; selection must ignore them.
+  std::vector<std::vector<cplx>> branches{
+      {cplx{-99.0, 0.0}}, {gains[1] * s[0]}, {cplx{99.0, 0.0}}};
+  const auto out = combine(CombinerKind::kSelection, branches, gains);
+  EXPECT_NEAR(std::abs(out[0] - s[0]), 0.0, 1e-12);
+}
+
+TEST(Combining, ShapeChecks) {
+  const std::vector<std::vector<cplx>> branches{{1.0}, {1.0, 2.0}};
+  const std::vector<cplx> gains{1.0, 1.0};
+  EXPECT_THROW(combine(CombinerKind::kEqualGain, branches, gains),
+               InvalidArgument);
+  EXPECT_THROW(combine(CombinerKind::kEqualGain, {}, {}), InvalidArgument);
+  EXPECT_THROW(
+      combine(CombinerKind::kEqualGain, {{cplx{1.0, 0.0}}},
+              std::vector<cplx>{1.0, 2.0}),
+      InvalidArgument);
+}
+
+TEST(CombiningSnrGain, KnownFormulas) {
+  const std::vector<cplx> gains{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_NEAR(combining_snr_gain(CombinerKind::kMaximalRatio, gains), 25.0,
+              1e-12);
+  EXPECT_NEAR(combining_snr_gain(CombinerKind::kEqualGain, gains),
+              49.0 / 2.0, 1e-12);
+  EXPECT_NEAR(combining_snr_gain(CombinerKind::kSelection, gains), 16.0,
+              1e-12);
+}
+
+TEST(CombiningSnrGain, OrderingMrcGeEgcGeSc) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<cplx> gains;
+    for (int j = 0; j < 4; ++j) gains.push_back(rng.complex_gaussian());
+    const double mrc = combining_snr_gain(CombinerKind::kMaximalRatio, gains);
+    const double egc = combining_snr_gain(CombinerKind::kEqualGain, gains);
+    const double sc = combining_snr_gain(CombinerKind::kSelection, gains);
+    EXPECT_GE(mrc, egc - 1e-12);
+    EXPECT_GE(mrc, sc - 1e-12);
+  }
+}
+
+TEST(Combining, MrcBeatsSingleBranchBerUnderNoise) {
+  Rng rng(5);
+  AwgnChannel noise(1.0, Rng(6));
+  const double branch_power = std::pow(10.0, 0.4);  // 4 dB mean SNR
+  std::size_t errors_combined = 0;
+  std::size_t errors_single = 0;
+  std::size_t total = 0;
+  const BpskModulator modem;
+  for (int pkt = 0; pkt < 800; ++pkt) {
+    const BitVec bits = random_bits(50, 77 + pkt);
+    const auto s = modem.modulate(bits);
+    std::vector<cplx> gains;
+    for (int j = 0; j < 3; ++j) {
+      gains.push_back(rng.complex_gaussian(branch_power));
+    }
+    auto branches = faded_branches(s, gains, &noise);
+    const auto combined =
+        combine(CombinerKind::kMaximalRatio, branches, gains);
+    errors_combined +=
+        count_bit_errors(bits, modem.demodulate(combined));
+    const auto single = combine(CombinerKind::kMaximalRatio,
+                                {branches.front()},
+                                std::vector<cplx>{gains.front()});
+    errors_single += count_bit_errors(bits, modem.demodulate(single));
+    total += bits.size();
+  }
+  EXPECT_LT(errors_combined * 4, errors_single)
+      << "MRC should cut BER by far more than 4x at 3-branch diversity";
+}
+
+}  // namespace
+}  // namespace comimo

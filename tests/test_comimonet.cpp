@@ -1,0 +1,248 @@
+#include "comimo/net/comimonet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "comimo/common/error.h"
+#include "comimo/net/spanning_tree.h"
+
+namespace comimo {
+namespace {
+
+std::vector<SuNode> two_groups() {
+  // Two tight groups 100 m apart.
+  std::vector<SuNode> nodes;
+  const std::vector<Vec2> pos{{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0},
+                              {100.0, 0.0}, {102.0, 0.0}};
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    SuNode n;
+    n.id = static_cast<NodeId>(i);
+    n.position = pos[i];
+    n.battery_j = 1.0;
+    nodes.push_back(n);
+  }
+  return nodes;
+}
+
+CoMimoNetConfig default_cfg() {
+  CoMimoNetConfig cfg;
+  cfg.communication_range_m = 30.0;
+  cfg.cluster_diameter_m = 10.0;
+  cfg.link_range_m = 150.0;
+  return cfg;
+}
+
+TEST(CoMimoNet, BuildsClustersAndLinks) {
+  const CoMimoNet net(two_groups(), default_cfg());
+  EXPECT_EQ(net.clusters().size(), 2u);
+  EXPECT_EQ(net.links().size(), 1u);
+  EXPECT_TRUE(net.validate());
+}
+
+TEST(CoMimoNet, LinkRangeCutsLongLinks) {
+  CoMimoNetConfig cfg = default_cfg();
+  cfg.link_range_m = 50.0;  // the 100 m gap no longer qualifies
+  const CoMimoNet net(two_groups(), cfg);
+  EXPECT_EQ(net.links().size(), 0u);
+}
+
+TEST(CoMimoNet, LinkKindClassification) {
+  const CoMimoNet net(two_groups(), default_cfg());
+  // Cluster 0 has 3 members, cluster 1 has 2 — MIMO both ways.
+  EXPECT_EQ(net.link_kind(0, 1), CoopLink::Kind::kMimo);
+  EXPECT_EQ(net.link_kind(1, 0), CoopLink::Kind::kMimo);
+}
+
+TEST(CoMimoNet, SisoSimoMisoKinds) {
+  std::vector<SuNode> nodes;
+  for (std::size_t i = 0; i < 3; ++i) {
+    SuNode n;
+    n.id = static_cast<NodeId>(i);
+    nodes.push_back(n);
+  }
+  nodes[0].position = {0.0, 0.0};
+  nodes[1].position = {100.0, 0.0};
+  nodes[2].position = {101.0, 0.0};
+  const CoMimoNet net(std::move(nodes), default_cfg());
+  ASSERT_EQ(net.clusters().size(), 2u);
+  EXPECT_EQ(net.link_kind(0, 0), CoopLink::Kind::kSiso);  // degenerate
+  EXPECT_EQ(net.link_kind(0, 1), CoopLink::Kind::kSimo);
+  EXPECT_EQ(net.link_kind(1, 0), CoopLink::Kind::kMiso);
+}
+
+TEST(CoMimoNet, ClusterOfAndNodeLookup) {
+  const CoMimoNet net(two_groups(), default_cfg());
+  EXPECT_EQ(net.cluster_of(0), net.cluster_of(1));
+  EXPECT_NE(net.cluster_of(0), net.cluster_of(3));
+  EXPECT_EQ(net.node(3).position.x, 100.0);
+  EXPECT_THROW((void)net.node(99), InvalidArgument);
+  EXPECT_THROW((void)net.cluster_of(99), InvalidArgument);
+}
+
+TEST(CoMimoNet, RejectsDuplicateIds) {
+  auto nodes = two_groups();
+  nodes[1].id = nodes[0].id;
+  EXPECT_THROW(CoMimoNet(std::move(nodes), default_cfg()),
+               InvalidArgument);
+}
+
+TEST(CoMimoNet, RejectsDExceedingRange) {
+  CoMimoNetConfig cfg = default_cfg();
+  cfg.cluster_diameter_m = cfg.communication_range_m + 1.0;
+  EXPECT_THROW(CoMimoNet(two_groups(), cfg), InvalidArgument);
+}
+
+TEST(CoMimoNet, NeighborsSymmetric) {
+  const auto nodes = random_field(40, 300.0, 300.0, 7);
+  CoMimoNetConfig cfg = default_cfg();
+  cfg.link_range_m = 200.0;
+  const CoMimoNet net(nodes, cfg);
+  for (const auto& c : net.clusters()) {
+    for (const ClusterId n : net.neighbors(c.id)) {
+      const auto back = net.neighbors(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), c.id), back.end());
+    }
+  }
+}
+
+TEST(ClusteredField, GroupsFormRealClusters) {
+  const auto nodes = clustered_field(8, 4, 5.0, 400.0, 400.0, 21);
+  ASSERT_EQ(nodes.size(), 32u);
+  CoMimoNetConfig cfg;
+  cfg.communication_range_m = 40.0;
+  cfg.cluster_diameter_m = 20.0;
+  cfg.link_range_m = 600.0;
+  const CoMimoNet net(nodes, cfg);
+  // Grouped placement must yield multi-member clusters (unlike a sparse
+  // uniform field).
+  std::size_t multi = 0;
+  for (const auto& c : net.clusters()) {
+    if (c.size() >= 2) ++multi;
+  }
+  EXPECT_GE(multi, 4u);
+  EXPECT_TRUE(net.validate());
+}
+
+TEST(ClusteredField, Validation) {
+  EXPECT_THROW((void)clustered_field(0, 3, 5.0, 100.0, 100.0, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)clustered_field(3, 3, 5.0, 0.0, 100.0, 1),
+               InvalidArgument);
+}
+
+TEST(CoMimoNet, ReelectHeadsTracksBatteries) {
+  auto nodes = two_groups();
+  CoMimoNet net(nodes, default_cfg());
+  // Drain every current head far below its cluster mates.
+  for (const auto& c : net.clusters()) {
+    net.mutable_node(c.head).battery_j = 0.01;
+  }
+  const std::size_t changed = net.reelect_heads();
+  EXPECT_EQ(changed, net.clusters().size());
+  for (const auto& c : net.clusters()) {
+    EXPECT_GT(net.node(c.head).battery_j, 0.01);
+  }
+  // A second re-election with unchanged batteries is a no-op.
+  EXPECT_EQ(net.reelect_heads(), 0u);
+}
+
+TEST(RandomField, DeterministicAndInBounds) {
+  const auto a = random_field(50, 100.0, 60.0, 9);
+  const auto b = random_field(50, 100.0, 60.0, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position, b[i].position);
+    EXPECT_GE(a[i].position.x, 0.0);
+    EXPECT_LE(a[i].position.x, 100.0);
+    EXPECT_GE(a[i].position.y, 0.0);
+    EXPECT_LE(a[i].position.y, 60.0);
+    EXPECT_GE(a[i].battery_j, 0.5);
+    EXPECT_LE(a[i].battery_j, 1.0);
+  }
+}
+
+// --- spanning tree ---------------------------------------------------------
+
+TEST(UnionFind, BasicConnectivity) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(2));
+  uf.unite(1, 3);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+}
+
+TEST(RoutingBackbone, TreeHasClustersMinusComponentsEdges) {
+  const auto nodes = random_field(60, 400.0, 400.0, 11);
+  CoMimoNetConfig cfg = default_cfg();
+  cfg.link_range_m = 250.0;
+  const CoMimoNet net(nodes, cfg);
+  const RoutingBackbone backbone(net);
+  EXPECT_EQ(backbone.tree_edges().size(),
+            net.clusters().size() - backbone.num_components());
+}
+
+TEST(RoutingBackbone, PathEndpointsAndAdjacency) {
+  const auto nodes = random_field(60, 400.0, 400.0, 13);
+  CoMimoNetConfig cfg = default_cfg();
+  cfg.link_range_m = 300.0;
+  const CoMimoNet net(nodes, cfg);
+  const RoutingBackbone backbone(net);
+  for (ClusterId a = 0; a < net.clusters().size(); ++a) {
+    for (ClusterId b = 0; b < net.clusters().size(); ++b) {
+      const auto path = backbone.path(a, b);
+      if (!backbone.connected(a, b)) {
+        EXPECT_FALSE(path.has_value());
+        continue;
+      }
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(path->front(), a);
+      EXPECT_EQ(path->back(), b);
+      // Consecutive clusters must share a tree edge.
+      for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+        bool found = false;
+        for (const auto& e : backbone.tree_edges()) {
+          if ((e.a == (*path)[i] && e.b == (*path)[i + 1]) ||
+              (e.b == (*path)[i] && e.a == (*path)[i + 1])) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found) << "hop " << i;
+      }
+    }
+  }
+}
+
+TEST(RoutingBackbone, SelfPathIsSingleton) {
+  const CoMimoNet net(two_groups(), default_cfg());
+  const RoutingBackbone backbone(net);
+  const auto path = backbone.path(0, 0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST(RoutingBackbone, MstIsMinimal) {
+  // On a triangle of clusters with one long edge, the MST must skip the
+  // longest edge.
+  std::vector<SuNode> nodes(3);
+  nodes[0] = {0, {0.0, 0.0}, 1.0};
+  nodes[1] = {1, {100.0, 0.0}, 1.0};
+  nodes[2] = {2, {50.0, 30.0}, 1.0};
+  CoMimoNetConfig cfg = default_cfg();
+  cfg.link_range_m = 500.0;
+  const CoMimoNet net(std::move(nodes), cfg);
+  const RoutingBackbone backbone(net);
+  ASSERT_EQ(backbone.tree_edges().size(), 2u);
+  for (const auto& e : backbone.tree_edges()) {
+    EXPECT_LT(e.length_m, 100.0);  // the 0–1 edge (100 m) is excluded
+  }
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,135 @@
+#include "comimo/testbed/coop_hop_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+namespace {
+
+UnderlayHopPlan make_plan(unsigned mt, unsigned mr, double ber = 1e-2) {
+  const UnderlayCooperativeHop planner;
+  UnderlayHopConfig cfg;
+  cfg.mt = mt;
+  cfg.mr = mr;
+  cfg.hop_distance_m = 200.0;
+  cfg.ber = ber;
+  // Force a waveform-friendly constellation range; at these ranges the
+  // optimizer picks b ∈ {1, 2} anyway.
+  return planner.plan(cfg, BSelectionRule::kMinTotalPa);
+}
+
+using GridParam = std::tuple<unsigned, unsigned>;
+
+class CoopHopWaveform : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(CoopHopWaveform, MeasuredBerTracksPlan) {
+  const auto [mt, mr] = GetParam();
+  CoopHopSimConfig cfg;
+  cfg.plan = make_plan(mt, mr);
+  ASSERT_LE(cfg.plan.b, 8);
+  cfg.bits = 60000;
+  cfg.seed = 3;
+  const CoopHopSimResult r = simulate_cooperative_hop(cfg);
+  EXPECT_EQ(r.target_ber, 1e-2);
+  // The waveform BER should sit near the planned target; DF and
+  // forwarding impairments may push it up slightly, the MQAM-bound
+  // approximation may leave it slightly below.
+  EXPECT_GT(r.ber, r.target_ber * 0.3) << "suspiciously optimistic";
+  EXPECT_LT(r.ber, r.target_ber * 3.0) << "plan violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CoopHopWaveform,
+    ::testing::Values(GridParam{1, 1}, GridParam{2, 1}, GridParam{1, 2},
+                      GridParam{2, 2}, GridParam{3, 2}, GridParam{2, 3}),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return "mt" + std::to_string(std::get<0>(info.param)) + "mr" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CoopHopSim, IntraErrorsReportedOnlyForCooperativeTx) {
+  CoopHopSimConfig cfg;
+  cfg.plan = make_plan(1, 2);
+  cfg.bits = 5000;
+  const CoopHopSimResult solo = simulate_cooperative_hop(cfg);
+  EXPECT_DOUBLE_EQ(solo.intra_error_rate, 0.0);
+
+  cfg.plan = make_plan(3, 1);
+  const CoopHopSimResult coop = simulate_cooperative_hop(cfg);
+  EXPECT_GE(coop.intra_error_rate, 0.0);
+  EXPECT_LT(coop.intra_error_rate, 1e-2);  // 30 dB local link is clean
+}
+
+TEST(CoopHopSim, PoorLocalLinkDegradesEndToEnd) {
+  CoopHopSimConfig cfg;
+  cfg.plan = make_plan(2, 2);
+  cfg.bits = 40000;
+  cfg.local_snr_db = 30.0;
+  const CoopHopSimResult clean = simulate_cooperative_hop(cfg);
+  cfg.local_snr_db = 3.0;  // terrible intra-cluster links
+  const CoopHopSimResult dirty = simulate_cooperative_hop(cfg);
+  EXPECT_GT(dirty.intra_error_rate, clean.intra_error_rate);
+  EXPECT_GT(dirty.ber, clean.ber);
+}
+
+TEST(CoopHopSim, DeterministicInSeed) {
+  CoopHopSimConfig cfg;
+  cfg.plan = make_plan(2, 1);
+  cfg.bits = 10000;
+  cfg.seed = 77;
+  const auto a = simulate_cooperative_hop(cfg);
+  const auto b = simulate_cooperative_hop(cfg);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+}
+
+TEST(RouteSim, ErrorsAccumulateAcrossHops) {
+  // A 3-hop route at per-hop BER p should land near 1-(1-p)^3 ≈ 3p.
+  std::vector<UnderlayHopPlan> plans{make_plan(2, 2), make_plan(1, 2),
+                                     make_plan(2, 1)};
+  const RouteSimResult r = simulate_route(plans, 60000, 30.0, 9);
+  ASSERT_EQ(r.hops.size(), 3u);
+  double expected = 0.0;
+  for (const auto& hop : r.hops) expected += hop.ber;
+  // End-to-end errors can cancel (a flipped bit flipped back), so the
+  // sum is an upper bound; require the right ballpark.
+  EXPECT_LT(r.ber, expected * 1.05 + 1e-4);
+  EXPECT_GT(r.ber, expected * 0.5);
+  EXPECT_GT(r.ber, r.hops[0].ber * 1.5) << "must exceed any single hop";
+}
+
+TEST(RouteSim, SingleHopMatchesDirectSimulation) {
+  std::vector<UnderlayHopPlan> plans{make_plan(2, 2)};
+  const RouteSimResult route = simulate_route(plans, 20000, 30.0, 5);
+  ASSERT_EQ(route.hops.size(), 1u);
+  EXPECT_EQ(route.bit_errors, route.hops[0].bit_errors);
+}
+
+TEST(RouteSim, Validation) {
+  EXPECT_THROW((void)simulate_route({}, 100), InvalidArgument);
+  EXPECT_THROW((void)simulate_route({make_plan(1, 1)}, 0),
+               InvalidArgument);
+}
+
+TEST(CoopHopSim, PayloadNotMultipleOfBlockIsPadded) {
+  CoopHopSimConfig cfg;
+  cfg.plan = make_plan(3, 2);  // G3: 4 symbols/block
+  cfg.bits = 4001;             // not a multiple
+  const CoopHopSimResult r = simulate_cooperative_hop(cfg);
+  EXPECT_EQ(r.bits, 4001u);
+}
+
+TEST(CoopHopSim, Validation) {
+  CoopHopSimConfig cfg;
+  cfg.plan = make_plan(2, 2);
+  cfg.bits = 0;
+  EXPECT_THROW((void)simulate_cooperative_hop(cfg), InvalidArgument);
+  cfg.bits = 100;
+  cfg.plan.b = 12;  // beyond the waveform modulators
+  EXPECT_THROW((void)simulate_cooperative_hop(cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,109 @@
+#include "comimo/energy/ebbar_table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+namespace {
+
+EbBarTable::Spec small_spec() {
+  EbBarTable::Spec spec;
+  spec.ber_targets = {1e-2, 1e-3};
+  spec.b_min = 1;
+  spec.b_max = 4;
+  spec.m_max = 2;
+  return spec;
+}
+
+TEST(EbBarTable, BuildCoversFullGrid) {
+  const EbBarSolver solver;
+  const EbBarTable table = EbBarTable::build(solver, small_spec());
+  EXPECT_EQ(table.entries().size(), 2u * 4u * 2u * 2u);
+  for (const auto& e : table.entries()) {
+    EXPECT_GT(e.ebar, 0.0);
+    EXPECT_GE(e.b, 1);
+    EXPECT_LE(e.b, 4);
+  }
+}
+
+TEST(EbBarTable, LookupMatchesSolver) {
+  const EbBarSolver solver;
+  const EbBarTable table = EbBarTable::build(solver, small_spec());
+  const auto v = table.lookup(1e-3, 2, 2, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, solver.solve(1e-3, 2, 2, 1), *v * 1e-9);
+}
+
+TEST(EbBarTable, LookupMissReturnsNullopt) {
+  const EbBarSolver solver;
+  const EbBarTable table = EbBarTable::build(solver, small_spec());
+  EXPECT_FALSE(table.lookup(5e-3, 2, 2, 1).has_value());  // p off-grid
+  EXPECT_FALSE(table.lookup(1e-3, 5, 2, 1).has_value());  // b off-grid
+  EXPECT_FALSE(table.lookup(1e-3, 2, 3, 1).has_value());  // mt off-grid
+}
+
+TEST(EbBarTable, NearestQuantizesInLogBer) {
+  const EbBarSolver solver;
+  const EbBarTable table = EbBarTable::build(solver, small_spec());
+  // 2e-3 is closer to 1e-3 than to 1e-2 in log space.
+  EXPECT_DOUBLE_EQ(table.lookup_nearest(2e-3, 2, 1, 1),
+                   *table.lookup(1e-3, 2, 1, 1));
+  EXPECT_DOUBLE_EQ(table.lookup_nearest(5e-2, 2, 1, 1),
+                   *table.lookup(1e-2, 2, 1, 1));
+}
+
+TEST(EbBarTable, MinEbarConstellationIsArgmin) {
+  const EbBarSolver solver;
+  const EbBarTable table = EbBarTable::build(solver, small_spec());
+  const EbBarEntry best = table.min_ebar_constellation(1e-3, 2, 2);
+  for (int b = 1; b <= 4; ++b) {
+    EXPECT_LE(best.ebar, *table.lookup(1e-3, b, 2, 2) + 1e-30);
+  }
+}
+
+TEST(EbBarTable, SaveLoadRoundTrip) {
+  const EbBarSolver solver;
+  const EbBarTable table = EbBarTable::build(solver, small_spec());
+  std::stringstream ss;
+  table.save(ss);
+  const EbBarTable loaded = EbBarTable::load(ss);
+  ASSERT_EQ(loaded.entries().size(), table.entries().size());
+  for (std::size_t i = 0; i < table.entries().size(); ++i) {
+    EXPECT_EQ(loaded.entries()[i].b, table.entries()[i].b);
+    EXPECT_EQ(loaded.entries()[i].mt, table.entries()[i].mt);
+    EXPECT_EQ(loaded.entries()[i].mr, table.entries()[i].mr);
+    EXPECT_DOUBLE_EQ(loaded.entries()[i].ebar, table.entries()[i].ebar);
+  }
+}
+
+TEST(EbBarTable, LoadRejectsGarbage) {
+  std::stringstream ss("not a table\n1 2 3");
+  EXPECT_THROW((void)EbBarTable::load(ss), InvalidArgument);
+}
+
+TEST(EbBarTable, LoadRejectsTruncatedBody) {
+  const EbBarSolver solver;
+  const EbBarTable table = EbBarTable::build(solver, small_spec());
+  std::stringstream ss;
+  table.save(ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW((void)EbBarTable::load(truncated), InvalidArgument);
+}
+
+TEST(EbBarTable, BuildValidatesSpec) {
+  const EbBarSolver solver;
+  EbBarTable::Spec bad = small_spec();
+  bad.ber_targets.clear();
+  EXPECT_THROW((void)EbBarTable::build(solver, bad), InvalidArgument);
+  bad = small_spec();
+  bad.b_min = 0;
+  EXPECT_THROW((void)EbBarTable::build(solver, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,248 @@
+// Unit tests for eqs. (1)–(4): local and long-haul energy models, the
+// constellation optimizer, and the noise-floor analyzer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+#include "comimo/energy/local_energy.h"
+#include "comimo/energy/mimo_energy.h"
+#include "comimo/energy/noise_floor.h"
+#include "comimo/energy/optimizer.h"
+
+namespace comimo {
+namespace {
+
+// --- eq. (1)–(2): local model -------------------------------------------
+
+TEST(LocalEnergy, PaFormulaAtReferencePoint) {
+  const SystemParams params;
+  const LocalEnergyModel model(params);
+  const int b = 2;
+  const double p = 1e-3;
+  const double d = 1.0;
+  const double alpha = params.pa_overhead(b);
+  const double expected = 4.0 / 3.0 * (1.0 + alpha) * (3.0 / 2.0) *
+                          std::log(4.0 * 0.5 / (2.0 * p)) *
+                          params.local_gain(d) * params.noise_figure *
+                          params.sigma2_w_per_hz;
+  EXPECT_NEAR(model.pa_energy(b, p, d), expected, expected * 1e-12);
+}
+
+TEST(LocalEnergy, PaGrowsWithDistancePowerLaw) {
+  const LocalEnergyModel model;
+  const double e1 = model.pa_energy(2, 1e-3, 1.0);
+  const double e2 = model.pa_energy(2, 1e-3, 2.0);
+  EXPECT_NEAR(e2 / e1, std::pow(2.0, 3.5), 1e-9);
+}
+
+TEST(LocalEnergy, PaGrowsAsBerTightens) {
+  const LocalEnergyModel model;
+  EXPECT_LT(model.pa_energy(2, 1e-2, 1.0), model.pa_energy(2, 1e-4, 1.0));
+}
+
+TEST(LocalEnergy, CircuitSharesEq1Structure) {
+  const SystemParams params;
+  const LocalEnergyModel model(params);
+  const double bw = 40e3;
+  EXPECT_NEAR(model.tx_circuit_energy(2, bw),
+              params.p_ct_w / (2.0 * bw) +
+                  params.p_syn_w * params.t_tr_s / params.n_bits,
+              1e-18);
+  EXPECT_NEAR(model.rx_energy(2, bw),
+              params.p_cr_w / (2.0 * bw) +
+                  params.p_syn_w * params.t_tr_s / params.n_bits,
+              1e-18);
+}
+
+TEST(LocalEnergy, CircuitShrinksWithRate) {
+  const LocalEnergyModel model;
+  EXPECT_GT(model.tx_circuit_energy(1, 20e3),
+            model.tx_circuit_energy(4, 20e3));
+  EXPECT_GT(model.tx_circuit_energy(2, 20e3),
+            model.tx_circuit_energy(2, 40e3));
+}
+
+TEST(LocalEnergy, InputValidation) {
+  const LocalEnergyModel model;
+  EXPECT_THROW((void)model.pa_energy(0, 1e-3, 1.0), InvalidArgument);
+  EXPECT_THROW((void)model.pa_energy(2, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW((void)model.pa_energy(2, 1e-3, -1.0), InvalidArgument);
+  EXPECT_THROW((void)model.tx_circuit_energy(2, 0.0), InvalidArgument);
+}
+
+// --- eq. (3)–(4): long-haul model ----------------------------------------
+
+TEST(MimoEnergy, PaMatchesEq3) {
+  const SystemParams params;
+  const MimoEnergyModel model(params);
+  const int b = 2;
+  const double p = 1e-3;
+  const unsigned mt = 2;
+  const unsigned mr = 3;
+  const double dist = 150.0;
+  const double ebar = model.solver().solve(p, b, mt, mr);
+  const double expected = (1.0 / mt) * (1.0 + params.pa_overhead(b)) *
+                          ebar * params.long_haul_attenuation(dist);
+  EXPECT_NEAR(model.pa_energy(b, p, mt, mr, dist), expected,
+              expected * 1e-9);
+}
+
+TEST(MimoEnergy, PaScalesWithDistanceSquared) {
+  const MimoEnergyModel model;
+  const double e1 = model.pa_energy(2, 1e-3, 2, 2, 100.0);
+  const double e2 = model.pa_energy(2, 1e-3, 2, 2, 200.0);
+  EXPECT_NEAR(e2 / e1, 4.0, 1e-9);
+}
+
+TEST(MimoEnergy, CircuitEnergiesMatchEq3Eq4) {
+  const SystemParams params;
+  const MimoEnergyModel model(params);
+  const double bw = 20e3;
+  EXPECT_NEAR(model.tx_circuit_energy(4, bw),
+              (params.p_ct_w + params.p_syn_w) / (4.0 * bw), 1e-18);
+  EXPECT_NEAR(model.rx_energy(4, bw),
+              (params.p_cr_w + params.p_syn_w) / (4.0 * bw), 1e-18);
+}
+
+TEST(MimoEnergy, CooperationBeatsSisoAtLongRange) {
+  // Fig. 7's headline: cooperative MIMO needs orders of magnitude less
+  // PA energy than SISO at the same BER.
+  const MimoEnergyModel model;
+  const double siso = model.pa_energy(2, 1e-3, 1, 1, 200.0);
+  const double mimo = model.pa_energy(2, 1e-3, 2, 3, 200.0);
+  EXPECT_GT(siso / (2.0 * mimo), 50.0);
+}
+
+TEST(MimoEnergy, DistanceForEnergyInvertsTxEnergy) {
+  const MimoEnergyModel model;
+  const double bw = 40e3;
+  for (const unsigned mt : {1u, 3u}) {
+    const EnergyBreakdown e = model.tx_energy(2, 1e-3, mt, 1, 180.0, bw);
+    const double d =
+        model.distance_for_energy(e.total(), 2, 1e-3, mt, 1, bw);
+    EXPECT_NEAR(d, 180.0, 1e-6) << "mt=" << mt;
+  }
+}
+
+TEST(MimoEnergy, DistanceForEnergyBelowCircuitFloorThrows) {
+  const MimoEnergyModel model;
+  const double circuit = model.tx_circuit_energy(2, 40e3);
+  EXPECT_THROW(
+      (void)model.distance_for_energy(circuit * 0.5, 2, 1e-3, 1, 1, 40e3),
+      InfeasibleError);
+}
+
+// --- constellation optimizer ----------------------------------------------
+
+TEST(Optimizer, MinimizeFindsDiscreteMinimum) {
+  const ConstellationOptimizer opt;
+  const ConstellationChoice c =
+      opt.minimize([](int b) { return std::abs(b - 5.0); });
+  EXPECT_EQ(c.b, 5);
+  EXPECT_DOUBLE_EQ(c.value, 0.0);
+}
+
+TEST(Optimizer, MinimizeSkipsInfeasibleB) {
+  const ConstellationOptimizer opt;
+  const ConstellationChoice c = opt.minimize([](int b) -> double {
+    if (b < 4) throw InfeasibleError("too small");
+    return static_cast<double>(b);
+  });
+  EXPECT_EQ(c.b, 4);
+}
+
+TEST(Optimizer, AllInfeasibleThrows) {
+  const ConstellationOptimizer opt;
+  EXPECT_THROW((void)opt.minimize([](int) -> double {
+    throw InfeasibleError("never");
+  }),
+               InfeasibleError);
+}
+
+TEST(Optimizer, MinMimoTxEnergyIsArgminOverB) {
+  const ConstellationOptimizer opt;
+  const MimoEnergyModel model;
+  const ConstellationChoice c =
+      opt.min_mimo_tx_energy(5e-3, 1, 1, 250.0, 40e3);
+  for (int b = 1; b <= 16; ++b) {
+    const double e = model.tx_energy(b, 5e-3, 1, 1, 250.0, 40e3).total();
+    EXPECT_LE(c.value, e * (1.0 + 1e-12)) << "b=" << b;
+  }
+  EXPECT_NEAR(c.breakdown.total(), c.value, c.value * 1e-12);
+}
+
+TEST(Optimizer, MaxDistanceForEnergyGrowsWithBudget) {
+  const ConstellationOptimizer opt;
+  const ConstellationChoice d1 =
+      opt.max_distance_for_energy(1e-5, 5e-4, 2, 1, 40e3, true);
+  const ConstellationChoice d2 =
+      opt.max_distance_for_energy(4e-5, 5e-4, 2, 1, 40e3, true);
+  ASSERT_GT(d1.b, 0);
+  ASSERT_GT(d2.b, 0);
+  EXPECT_GT(d2.value, d1.value);
+}
+
+TEST(Optimizer, MaxDistanceInfeasibleBudgetGivesZero) {
+  const ConstellationOptimizer opt;
+  // A budget below every circuit floor cannot buy any distance.
+  const ConstellationChoice c =
+      opt.max_distance_for_energy(1e-12, 5e-4, 2, 1, 40e3, true);
+  EXPECT_EQ(c.b, 0);
+  EXPECT_DOUBLE_EQ(c.value, 0.0);
+}
+
+TEST(Optimizer, RelayEnergyIncludesReception) {
+  const ConstellationOptimizer opt;
+  const ConstellationChoice tx_only =
+      opt.min_mimo_tx_energy(5e-4, 3, 1, 200.0, 40e3);
+  const ConstellationChoice relay =
+      opt.min_relay_energy(5e-4, 3, 1, 200.0, 40e3);
+  EXPECT_GT(relay.value, tx_only.value);
+}
+
+// --- noise floor -----------------------------------------------------------
+
+TEST(NoiseFloor, FloorMatchesSigma2TimesNf) {
+  const SystemParams params;
+  const NoiseFloorAnalyzer analyzer(params);
+  EXPECT_NEAR(analyzer.noise_floor_w_per_hz(),
+              params.sigma2_w_per_hz * params.noise_figure, 1e-30);
+}
+
+TEST(NoiseFloor, MarginImprovesWithDistance) {
+  const NoiseFloorAnalyzer analyzer;
+  const double e_pa = 1e-9;
+  const NoiseFloorReport near = analyzer.analyze(e_pa, 2, 40e3, 10.0);
+  const NoiseFloorReport far = analyzer.analyze(e_pa, 2, 40e3, 100.0);
+  EXPECT_NEAR(far.margin_db - near.margin_db, 20.0, 1e-6);
+}
+
+TEST(NoiseFloor, StrictCheckPassesForTinyEmissions) {
+  // The strict thermal-floor physics: a sufficiently weak emission is
+  // compliant; a strong one is not.
+  const NoiseFloorAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.analyze(1e-22, 2, 40e3, 50.0).compliant());
+  EXPECT_FALSE(analyzer.analyze(1e-6, 2, 40e3, 50.0).compliant());
+}
+
+TEST(NoiseFloor, RadiatedPowerExcludesPaOverhead) {
+  const SystemParams params;
+  const NoiseFloorAnalyzer analyzer(params);
+  const double e_pa = 1e-9;
+  const int b = 4;
+  const NoiseFloorReport rpt = analyzer.analyze(e_pa, b, 10e3, 20.0);
+  EXPECT_NEAR(rpt.radiated_power_w,
+              e_pa / (1.0 + params.pa_overhead(b)) * b * 10e3, 1e-15);
+}
+
+TEST(NoiseFloor, InputValidation) {
+  const NoiseFloorAnalyzer analyzer;
+  EXPECT_THROW((void)analyzer.analyze(-1.0, 2, 40e3, 10.0),
+               InvalidArgument);
+  EXPECT_THROW((void)analyzer.analyze(1e-9, 2, 40e3, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo

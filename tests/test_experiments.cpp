@@ -1,0 +1,241 @@
+// End-to-end tests of the simulated testbed experiments (§6.4).
+// Thresholds are deliberately loose: they pin the *shape* of each paper
+// result (who wins, by roughly what factor), not exact percentages.
+#include "comimo/testbed/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/numeric/stats.h"
+
+namespace comimo {
+namespace {
+
+OverlayBerConfig fast(OverlayBerConfig cfg) {
+  cfg.total_bits = 30000;  // keep unit tests quick
+  return cfg;
+}
+
+TEST(OverlayBerExperiment, Table2CooperationWins) {
+  const OverlayBerResult r =
+      run_overlay_ber(fast(table2_single_relay_config(1)));
+  EXPECT_EQ(r.bits, 30000u);
+  // Paper Table 2: ≈2.5% with vs ≈10.9% without — require a ≥3× gap
+  // and sane absolute ranges.
+  EXPECT_GT(r.ber_direct, 0.05);
+  EXPECT_LT(r.ber_direct, 0.20);
+  EXPECT_LT(r.ber_cooperative, 0.05);
+  EXPECT_GT(r.ber_direct / std::max(r.ber_cooperative, 1e-6), 3.0);
+}
+
+TEST(OverlayBerExperiment, Table2VariesAcrossSeeds) {
+  // The paper's three experiment rows differ; distinct seeds must too.
+  const auto a = run_overlay_ber(fast(table2_single_relay_config(1)));
+  const auto b = run_overlay_ber(fast(table2_single_relay_config(2)));
+  EXPECT_NE(a.errors_cooperative, b.errors_cooperative);
+}
+
+TEST(OverlayBerExperiment, Table3MoreRelaysLowerBer) {
+  // Paper Table 3: 2.93% (3 relays) < 10.57% (1) < 22.74% (none).
+  const auto one = run_overlay_ber(fast(table3_multi_relay_config(1, 1)));
+  const auto three = run_overlay_ber(fast(table3_multi_relay_config(3, 1)));
+  EXPECT_GT(one.ber_direct, 0.15);  // the no-cooperation column
+  EXPECT_LT(one.ber_cooperative, one.ber_direct);
+  EXPECT_LT(three.ber_cooperative, one.ber_cooperative);
+  EXPECT_GT(one.ber_direct / std::max(three.ber_cooperative, 1e-6), 5.0);
+}
+
+TEST(OverlayBerExperiment, RelayDiagnosticsPopulated) {
+  const auto r = run_overlay_ber(fast(table3_multi_relay_config(3, 1)));
+  ASSERT_EQ(r.relay_ber.size(), 3u);
+  for (const double ber : r.relay_ber) {
+    EXPECT_GE(ber, 0.0);
+    EXPECT_LT(ber, 0.5);
+  }
+}
+
+TEST(OverlayBerExperiment, MrcAtLeastAsGoodAsEgc) {
+  OverlayBerConfig cfg = fast(table2_single_relay_config(3));
+  cfg.combiner = CombinerKind::kEqualGain;
+  const auto egc = run_overlay_ber(cfg);
+  cfg.combiner = CombinerKind::kMaximalRatio;
+  const auto mrc = run_overlay_ber(cfg);
+  EXPECT_LE(mrc.errors_cooperative,
+            egc.errors_cooperative + egc.errors_cooperative / 4 + 20);
+}
+
+TEST(OverlayBerExperiment, SelectionZeroMeansAllRelays) {
+  OverlayBerConfig cfg = fast(table3_multi_relay_config(3, 5));
+  cfg.max_active_relays = 0;
+  const auto all = run_overlay_ber(cfg);
+  EXPECT_EQ(all.relay_transmissions,
+            3u * (cfg.total_bits / cfg.packet_bits));
+  cfg.max_active_relays = 5;  // more than available: also all
+  const auto capped = run_overlay_ber(cfg);
+  EXPECT_EQ(capped.relay_transmissions, all.relay_transmissions);
+  EXPECT_EQ(capped.errors_cooperative, all.errors_cooperative);
+}
+
+TEST(OverlayBerExperiment, BestTwoOfThreeNearlyMatchesAllAtThirdLessCost) {
+  OverlayBerConfig cfg = fast(table3_multi_relay_config(3, 5));
+  const auto all = run_overlay_ber(cfg);
+  cfg.max_active_relays = 2;
+  const auto best2 = run_overlay_ber(cfg);
+  // One-third fewer phase-2 transmissions…
+  EXPECT_EQ(best2.relay_transmissions * 3, all.relay_transmissions * 2);
+  // …at only a modest BER penalty (selection keeps the good branches).
+  EXPECT_LT(best2.ber_cooperative,
+            std::max(2.5 * all.ber_cooperative, all.ber_direct * 0.5));
+}
+
+TEST(OverlayBerExperiment, SelectingOneBeatsRandomSingleRelay) {
+  // Best-1-of-3 selection should outperform the fixed single relay of
+  // Table 3 (whose legs are the corridor-middle quality).
+  const auto fixed = run_overlay_ber(fast(table3_multi_relay_config(1, 5)));
+  OverlayBerConfig cfg = fast(table3_multi_relay_config(3, 5));
+  cfg.max_active_relays = 1;
+  const auto best1 = run_overlay_ber(cfg);
+  EXPECT_LT(best1.ber_cooperative, fixed.ber_cooperative);
+}
+
+TEST(OverlayBerExperiment, ValidatesConfig) {
+  OverlayBerConfig cfg;
+  cfg.total_bits = 0;
+  EXPECT_THROW((void)run_overlay_ber(cfg), InvalidArgument);
+  cfg = OverlayBerConfig{};
+  cfg.relays.clear();
+  EXPECT_THROW((void)run_overlay_ber(cfg), InvalidArgument);
+}
+
+// --- Table 4 -----------------------------------------------------------
+
+UnderlayPerConfig per_cfg(double amplitude, bool coop,
+                          std::size_t packets = 150) {
+  UnderlayPerConfig cfg;
+  cfg.amplitude = amplitude;
+  cfg.cooperative = coop;
+  cfg.num_packets = packets;  // paper uses 474; tests subsample
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(UnderlayPerExperiment, CooperationSlashesPer) {
+  // Paper Table 4 @ amplitude 600: 6.12% vs 70.28%.
+  const auto coop = run_underlay_per(per_cfg(600.0, true));
+  const auto solo = run_underlay_per(per_cfg(600.0, false));
+  EXPECT_LT(coop.per, 0.2);
+  EXPECT_GT(solo.per, 0.4);
+}
+
+TEST(UnderlayPerExperiment, FullAmplitudeCooperativeIsLossless) {
+  // Paper: PER = 0 at amplitude 800 with cooperation.
+  const auto r = run_underlay_per(per_cfg(800.0, true));
+  EXPECT_LT(r.per, 0.02);
+  EXPECT_TRUE(r.reassembly.recoverable());
+  EXPECT_LT(r.reassembly.mean_abs_error, 2.0);
+}
+
+TEST(UnderlayPerExperiment, PerIncreasesAsAmplitudeDrops) {
+  double prev = -1.0;
+  for (const double amp : {800.0, 600.0, 400.0}) {
+    const auto r = run_underlay_per(per_cfg(amp, false));
+    EXPECT_GE(r.per, prev) << "amplitude " << amp;
+    prev = r.per;
+  }
+}
+
+TEST(UnderlayPerExperiment, LowAmplitudeSoloUnrecoverable) {
+  // Paper: 97.1% PER at amplitude 400 without cooperation — "the
+  // received image cannot be recovered".
+  const auto r = run_underlay_per(per_cfg(400.0, false));
+  EXPECT_GT(r.per, 0.8);
+  EXPECT_FALSE(r.reassembly.recoverable());
+}
+
+TEST(UnderlayPerExperiment, ReassemblyBookkeepingConsistent) {
+  const auto r = run_underlay_per(per_cfg(600.0, true));
+  EXPECT_EQ(r.packets_sent, 150u);
+  EXPECT_EQ(r.packets_lost + r.reassembly.packets_received, 150u);
+  EXPECT_NEAR(r.per, r.reassembly.packet_error_rate, 1e-12);
+}
+
+TEST(UnderlayPerExperiment, DeterministicInSeed) {
+  const auto a = run_underlay_per(per_cfg(600.0, true));
+  const auto b = run_underlay_per(per_cfg(600.0, true));
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+}
+
+// --- Fig. 8 ------------------------------------------------------------
+
+TEST(BeamPatternExperiment, NullPointsWhereDesigned) {
+  BeamPatternConfig cfg;
+  cfg.bits_per_point = 500;
+  const BeamPatternResult r = run_beam_pattern(cfg);
+  ASSERT_EQ(r.angles_deg.size(), 10u);  // 0..180 in 20° steps
+  // The ideal pattern is (near) zero at 120°.
+  const std::size_t idx = 6;  // 120°
+  EXPECT_NEAR(r.angles_deg[idx], 120.0, 1e-9);
+  EXPECT_LT(r.ideal[idx], 0.05);
+  // The measured null is smaller than every other measured point but
+  // not zero (multipath), as in Fig. 8.
+  EXPECT_GT(r.measured_coop[idx], 0.01);
+  for (std::size_t i = 0; i < r.angles_deg.size(); ++i) {
+    if (i == idx) continue;
+    EXPECT_GT(r.measured_coop[i], r.measured_coop[idx])
+        << "angle " << r.angles_deg[i];
+  }
+}
+
+TEST(BeamPatternExperiment, BeamformerBeatsSisoAwayFromNull) {
+  // Fig. 8: outside ±20° of the null the beamformer amplitude exceeds
+  // the SISO reference.
+  BeamPatternConfig cfg;
+  cfg.bits_per_point = 500;
+  const BeamPatternResult r = run_beam_pattern(cfg);
+  for (std::size_t i = 0; i < r.angles_deg.size(); ++i) {
+    if (std::abs(r.angles_deg[i] - cfg.null_angle_deg) <= 20.0) continue;
+    EXPECT_GT(r.measured_coop[i], r.measured_siso[i] * 0.95)
+        << "angle " << r.angles_deg[i];
+  }
+}
+
+TEST(BeamPatternExperiment, SisoReferenceIsFlat) {
+  BeamPatternConfig cfg;
+  cfg.bits_per_point = 500;
+  const BeamPatternResult r = run_beam_pattern(cfg);
+  RunningStats s;
+  for (const double v : r.measured_siso) s.add(v);
+  EXPECT_NEAR(s.mean(), 1.0, 0.05);
+  EXPECT_LT(s.stddev(), 0.25);
+}
+
+TEST(BeamPatternExperiment, NullResidualReported) {
+  BeamPatternConfig cfg;
+  cfg.bits_per_point = 300;
+  const BeamPatternResult r = run_beam_pattern(cfg);
+  EXPECT_GT(r.null_residual(), 0.0);
+  EXPECT_LT(r.null_residual(), 0.5);
+}
+
+// --- Rician helper -----------------------------------------------------
+
+TEST(RicianCoefficient, MeanPowerAndKFactor) {
+  Rng rng(9);
+  RunningStats power;
+  RunningStats mag;
+  const double k = 6.0;
+  const double p = 2.0;
+  for (int i = 0; i < 50000; ++i) {
+    const cplx h = rician_coefficient(rng, k, p);
+    power.add(std::norm(h));
+    mag.add(std::abs(h));
+  }
+  EXPECT_NEAR(power.mean(), p, p * 0.05);
+  // High K ⇒ envelope concentrates near √p.
+  EXPECT_LT(mag.stddev() / mag.mean(), 0.35);
+  EXPECT_THROW((void)rician_coefficient(rng, -1.0, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo

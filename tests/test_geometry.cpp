@@ -1,0 +1,76 @@
+#include "comimo/common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "comimo/common/units.h"
+
+namespace comimo {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -0.5}));
+}
+
+TEST(Vec2, DotCrossNorm) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 b{-4.0, 3.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+}
+
+TEST(Vec2, Normalized) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 u = a.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+  EXPECT_NEAR(u.y, 0.8, 1e-15);
+  // Zero vector maps to itself instead of NaN.
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, Angle) {
+  EXPECT_NEAR((Vec2{1.0, 0.0}).angle(), 0.0, 1e-15);
+  EXPECT_NEAR((Vec2{0.0, 1.0}).angle(), kPi / 2.0, 1e-15);
+  EXPECT_NEAR((Vec2{-1.0, 0.0}).angle(), kPi, 1e-15);
+}
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Geometry, AngleAtRightAngle) {
+  // Rays from origin to (1,0) and (0,1) are perpendicular.
+  EXPECT_NEAR(angle_at({0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}), kPi / 2.0,
+              1e-12);
+}
+
+TEST(Geometry, AngleAtCollinear) {
+  EXPECT_NEAR(angle_at({0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}), 0.0, 1e-7);
+  EXPECT_NEAR(angle_at({0.0, 0.0}, {1.0, 0.0}, {-2.0, 0.0}), kPi, 1e-7);
+}
+
+TEST(Geometry, AngleAtIsSymmetric) {
+  const Vec2 at{1.0, 2.0};
+  const Vec2 p{4.0, 6.0};
+  const Vec2 q{-3.0, 0.5};
+  EXPECT_DOUBLE_EQ(angle_at(at, p, q), angle_at(at, q, p));
+}
+
+TEST(Geometry, UnitVec) {
+  for (double t = 0.0; t < 2.0 * kPi; t += 0.1) {
+    const Vec2 u = unit_vec(t);
+    EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+    EXPECT_NEAR(u.angle(), wrap_angle(t), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,121 @@
+#include "comimo/underlay/hop_sizing.h"
+
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+#include "comimo/common/version.h"
+
+namespace comimo {
+namespace {
+
+HopSizingQuery base_query() {
+  HopSizingQuery q;
+  q.mt_available = 4;
+  q.mr_available = 4;
+  q.hop_distance_m = 200.0;
+  return q;
+}
+
+TEST(HopSizer, UnconstrainedPicksGlobalEnergyMinimum) {
+  const HopSizer sizer;
+  const HopSizingResult r = sizer.size(base_query());
+  EXPECT_FALSE(r.constrained);
+  ASSERT_FALSE(r.feasible.empty());
+  // Every candidate is at least as expensive as the winner.
+  for (const auto& p : r.feasible) {
+    EXPECT_GE(p.total_energy(), r.plan.total_energy() * (1.0 - 1e-12));
+  }
+  // The winner beats the degenerate SISO configuration.
+  const UnderlayCooperativeHop planner;
+  UnderlayHopConfig siso;
+  siso.mt = 1;
+  siso.mr = 1;
+  siso.hop_distance_m = 200.0;
+  siso.cluster_diameter_m = 2.0;
+  EXPECT_LT(r.plan.total_energy(),
+            planner.plan(siso, BSelectionRule::kMinTotalEnergy)
+                .total_energy());
+}
+
+TEST(HopSizer, CooperationWinsAtLongRange) {
+  const HopSizer sizer;
+  HopSizingQuery q = base_query();
+  q.hop_distance_m = 300.0;
+  const HopSizingResult r = sizer.size(q);
+  // At 300 m the PA term dominates and diversity pays: the optimum is
+  // genuinely cooperative.
+  EXPECT_GT(r.plan.config.mt * r.plan.config.mr, 1u);
+}
+
+TEST(HopSizer, TightPeakCapForcesDifferentConfiguration) {
+  const HopSizer sizer;
+  HopSizingQuery q = base_query();
+  const HopSizingResult unconstrained = sizer.size(q);
+  // Find the quietest candidate; a cap between it and the optimum's
+  // peak excludes the optimum while leaving something feasible.
+  double min_peak = unconstrained.plan.peak_pa();
+  for (const auto& p : unconstrained.feasible) {
+    min_peak = std::min(min_peak, p.peak_pa());
+  }
+  const double opt_peak = unconstrained.plan.peak_pa();
+  if (min_peak >= opt_peak * 0.99) {
+    GTEST_SKIP() << "optimum already has the minimum peak";
+  }
+  q.peak_pa_cap = 0.5 * (min_peak + opt_peak);
+  const HopSizingResult capped = sizer.size(q);
+  EXPECT_LE(capped.plan.peak_pa(), q.peak_pa_cap * (1.0 + 1e-12));
+  EXPECT_TRUE(capped.constrained);
+  EXPECT_GE(capped.plan.total_energy(),
+            unconstrained.plan.total_energy() * (1.0 - 1e-12));
+}
+
+TEST(HopSizer, ImpossibleCapThrows) {
+  const HopSizer sizer;
+  HopSizingQuery q = base_query();
+  q.peak_pa_cap = 1e-30;
+  EXPECT_THROW((void)sizer.size(q), InfeasibleError);
+}
+
+TEST(HopSizer, AvailabilityLimitsRespected) {
+  const HopSizer sizer;
+  HopSizingQuery q = base_query();
+  q.mt_available = 1;
+  q.mr_available = 2;
+  const HopSizingResult r = sizer.size(q);
+  EXPECT_LE(r.plan.config.mt, 1u);
+  EXPECT_LE(r.plan.config.mr, 2u);
+  for (const auto& p : r.feasible) {
+    EXPECT_LE(p.config.mt, 1u);
+    EXPECT_LE(p.config.mr, 2u);
+  }
+}
+
+TEST(HopSizer, FeasibleListSorted) {
+  const HopSizer sizer;
+  const HopSizingResult r = sizer.size(base_query());
+  for (std::size_t i = 1; i < r.feasible.size(); ++i) {
+    EXPECT_LE(r.feasible[i - 1].total_energy(),
+              r.feasible[i].total_energy() * (1.0 + 1e-12));
+  }
+}
+
+TEST(HopSizer, Validation) {
+  const HopSizer sizer;
+  HopSizingQuery q = base_query();
+  q.mt_available = 0;
+  EXPECT_THROW((void)sizer.size(q), InvalidArgument);
+  q = base_query();
+  q.hop_distance_m = 0.0;
+  EXPECT_THROW((void)sizer.size(q), InvalidArgument);
+}
+
+TEST(Version, Coherent) {
+  constexpr Version v = version();
+  EXPECT_EQ(v.major, 1);
+  const std::string s = version_string();
+  EXPECT_EQ(s, std::to_string(v.major) + "." + std::to_string(v.minor) +
+                   "." + std::to_string(v.patch));
+}
+
+}  // namespace
+}  // namespace comimo

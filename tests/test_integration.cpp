@@ -1,0 +1,235 @@
+// Integration tests across modules: the energy model's ē_b against a
+// waveform-level STBC simulation, table-driven vs solver-driven
+// planning, and a full network → routing → scheduling pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "comimo/channel/awgn.h"
+#include "comimo/energy/ebbar_table.h"
+#include "comimo/net/hop_scheduler.h"
+#include "comimo/net/routing.h"
+#include "comimo/phy/detector.h"
+#include "comimo/phy/stbc.h"
+#include "comimo/testbed/coop_hop_sim.h"
+#include "comimo/testbed/experiments.h"
+#include "comimo/underlay/cooperative_hop.h"
+
+namespace comimo {
+namespace {
+
+// ---------------------------------------------------------------------
+// The headline consistency check: the ē_b the planner computes really
+// does deliver the target BER when actual QPSK symbols are space-time
+// coded over an actual Rayleigh channel.
+// ---------------------------------------------------------------------
+
+struct WaveformCase {
+  unsigned mt;
+  unsigned mr;
+  double p;
+};
+
+class EbBarWaveform : public ::testing::TestWithParam<WaveformCase> {};
+
+TEST_P(EbBarWaveform, PlannedEnergyMeetsTargetBer) {
+  const auto [mt, mr, p_target] = GetParam();
+  const int b = 2;  // QPSK: the paper's approximation is exact here
+  const EbBarSolver solver;
+  const double ebar = solver.solve(p_target, b, mt, mr);
+
+  // Waveform simulation with N0 = 1: scale symbols so the per-bit
+  // received energy per unit ‖H‖² is ē_b/N0 (the solver's γ_b), with
+  // the STBC's 1/√mt power split providing the /mt of eq. (5).
+  const double gamma_unit = ebar / solver.params().n0_w_per_hz;
+  const double sym_scale = std::sqrt(static_cast<double>(b) * gamma_unit);
+  const QamModulator modem(b);
+  const StbcCode code = StbcCode::for_antennas(mt);
+  const StbcDecoder decoder(code);
+  Rng rng(12345 + mt * 100 + mr);
+  AwgnChannel noise(1.0, Rng(999 + mt + mr));
+
+  std::size_t errors = 0;
+  std::size_t total_bits = 0;
+  const std::size_t kk = code.symbols_per_block();
+  const int blocks = 60000 / static_cast<int>(kk);
+  for (int blk = 0; blk < blocks; ++blk) {
+    const BitVec bits = random_bits(b * kk, 31 + blk);
+    std::vector<cplx> s = modem.modulate(bits);
+    for (auto& v : s) v *= sym_scale;
+    const CMatrix h = CMatrix::random_gaussian(mr, mt, rng);
+    const CMatrix c = code.encode(s);
+    CMatrix r(code.block_length(), mr);
+    for (std::size_t t = 0; t < code.block_length(); ++t) {
+      for (std::size_t j = 0; j < mr; ++j) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t i = 0; i < mt; ++i) acc += c(t, i) * h(j, i);
+        r(t, j) = acc + noise.sample();
+      }
+    }
+    auto est = decoder.decode(h, r);
+    for (auto& v : est) v /= sym_scale;
+    errors += count_bit_errors(bits, modem.demodulate(est));
+    total_bits += b * kk;
+  }
+  const double measured = static_cast<double>(errors) / total_bits;
+  EXPECT_NEAR(measured, p_target,
+              std::max(p_target * 0.35,
+                       4.0 * std::sqrt(p_target / total_bits)))
+      << "mt=" << mt << " mr=" << mr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EbBarWaveform,
+    ::testing::Values(WaveformCase{1, 1, 1e-2}, WaveformCase{2, 1, 1e-2},
+                      WaveformCase{1, 2, 1e-2}, WaveformCase{2, 2, 5e-3},
+                      WaveformCase{2, 3, 5e-3}),
+    [](const ::testing::TestParamInfo<WaveformCase>& info) {
+      return "mt" + std::to_string(info.param.mt) + "mr" +
+             std::to_string(info.param.mr);
+    });
+
+// ---------------------------------------------------------------------
+// Table-driven planning (the algorithms' Preprocessing step) agrees
+// with direct solver calls after a save/load round trip.
+// ---------------------------------------------------------------------
+
+TEST(Integration, TableDrivenPlanningMatchesSolver) {
+  const EbBarSolver solver;
+  EbBarTable::Spec spec;
+  spec.ber_targets = {1e-3};
+  spec.b_max = 8;
+  spec.m_max = 3;
+  const EbBarTable built = EbBarTable::build(solver, spec);
+
+  // Ship the table to an "SU node" as text and load it back.
+  std::stringstream wire;
+  built.save(wire);
+  const EbBarTable loaded = EbBarTable::load(wire);
+
+  const MimoEnergyModel model;
+  for (unsigned mt = 1; mt <= 3; ++mt) {
+    for (unsigned mr = 1; mr <= 3; ++mr) {
+      const EbBarEntry pick = loaded.min_ebar_constellation(1e-3, mt, mr);
+      const double via_table =
+          model.pa_energy_with_ebar(pick.b, pick.ebar, mt, 200.0);
+      const double via_solver = model.pa_energy(pick.b, 1e-3, mt, mr, 200.0);
+      EXPECT_NEAR(via_table, via_solver, via_solver * 1e-9)
+          << mt << "x" << mr;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Network pipeline: field → clusters → backbone → route → schedule,
+// with energy bookkeeping consistent end to end.
+// ---------------------------------------------------------------------
+
+TEST(Integration, NetworkRouteScheduleEnergyConsistency) {
+  const auto nodes = random_field(50, 500.0, 500.0, 2024);
+  CoMimoNetConfig net_cfg;
+  net_cfg.communication_range_m = 40.0;
+  net_cfg.cluster_diameter_m = 15.0;
+  net_cfg.link_range_m = 300.0;
+  CoMimoNet net(nodes, net_cfg);
+  ASSERT_TRUE(net.validate());
+
+  const CooperativeRouter router(net, SystemParams{}, 1e-3, 40e3);
+  // Find a connected pair of nodes in different clusters.
+  NodeId src = 0;
+  NodeId dst = 0;
+  for (const auto& n : net.nodes()) {
+    if (net.cluster_of(n.id) != net.cluster_of(0) &&
+        router.backbone().connected(net.cluster_of(0),
+                                    net.cluster_of(n.id))) {
+      dst = n.id;
+      break;
+    }
+  }
+  ASSERT_NE(dst, src) << "field too sparse for the test seed";
+  const RouteReport report = router.route(src, dst);
+  ASSERT_GE(report.num_hops(), 1u);
+
+  // Schedule every hop and check the slot energies add up to the
+  // transmit-side share of the route ledger.
+  const HopScheduler scheduler;
+  const double bits = 1e4;
+  for (const auto& hop : report.hops) {
+    const auto& tx = net.clusters()[hop.from].members;
+    const auto& rx = net.clusters()[hop.to].members;
+    const HopSchedule sched = scheduler.schedule(hop.plan, tx, rx, bits);
+    EXPECT_TRUE(sched.is_sequential());
+    double scheduled_tx_energy = 0.0;
+    for (const auto& slot : sched.slots) {
+      scheduled_tx_energy +=
+          slot.tx_energy_j * static_cast<double>(slot.transmitters.size());
+    }
+    double ledger_tx_energy =
+        hop.plan.config.mt * (hop.plan.mimo_tx_pa + hop.plan.mimo_tx_circuit);
+    if (hop.plan.config.mt > 1) {
+      ledger_tx_energy += hop.plan.local_tx_pa + hop.plan.local_tx_circuit;
+    }
+    if (hop.plan.config.mr > 1) {
+      ledger_tx_energy += (hop.plan.config.mr - 1) *
+                          (hop.plan.local_tx_pa + hop.plan.local_tx_circuit);
+    }
+    EXPECT_NEAR(scheduled_tx_energy, ledger_tx_energy * bits,
+                ledger_tx_energy * bits * 1e-9);
+  }
+
+  // Battery drain leaves every participating node strictly poorer and
+  // no node richer.
+  CoMimoNet drained = net;
+  router.apply_battery_drain(drained, report, bits);
+  for (const auto& n : net.nodes()) {
+    EXPECT_LE(drained.node(n.id).battery_j, n.battery_j + 1e-15);
+  }
+}
+
+// ---------------------------------------------------------------------
+// The full underlay testbed path carries a real image end to end.
+// ---------------------------------------------------------------------
+
+TEST(Integration, ImageSurvivesMultiHopWaveformRoute) {
+  // Route a (small) image across three waveform-simulated cooperative
+  // hops planned at BER 1e-3: the end-to-end BER stays low enough that
+  // most CRC-protected packets survive.
+  const UnderlayCooperativeHop planner;
+  std::vector<UnderlayHopPlan> plans;
+  for (const auto& [mt, mr] :
+       std::vector<std::pair<unsigned, unsigned>>{{2, 2}, {1, 2}, {2, 1}}) {
+    UnderlayHopConfig cfg;
+    cfg.mt = mt;
+    cfg.mr = mr;
+    cfg.hop_distance_m = 150.0;
+    cfg.ber = 1e-3;
+    plans.push_back(planner.plan(cfg, BSelectionRule::kMinTotalPa));
+  }
+  const RouteSimResult route = simulate_route(plans, 48000, 30.0, 21);
+  // Per-hop target 1e-3 ⇒ end-to-end ≈ 3e-3.
+  EXPECT_LT(route.ber, 8e-3);
+  EXPECT_GT(route.ber, 1e-4);
+}
+
+TEST(Integration, ImageSurvivesCooperativeUnderlayTransfer) {
+  UnderlayPerConfig cfg;
+  cfg.num_packets = 60;
+  cfg.amplitude = 800.0;
+  cfg.cooperative = true;
+  cfg.seed = 5;
+  const UnderlayPerResult r = run_underlay_per(cfg);
+  EXPECT_LT(r.per, 0.05);
+  ASSERT_TRUE(r.reassembly.recoverable());
+  // The recovered pixels match the synthetic original except in lost
+  // regions.
+  const SyntheticImage original = make_test_image(60, 1500);
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < original.pixels.size(); ++i) {
+    if (original.pixels[i] != r.reassembly.image.pixels[i]) ++mismatched;
+  }
+  EXPECT_LE(mismatched, r.packets_lost * 1500);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+#include "comimo/interweave/geometry.h"
+#include "comimo/interweave/pair_beamformer.h"
+#include "comimo/interweave/pattern.h"
+#include "comimo/interweave/pu_selection.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+namespace {
+
+// The paper's Table-1 geometry: St1/St2 on the vertical axis, 15 m
+// apart, wavelength w = 2r = 30 m.
+PairGeometry paper_geometry() {
+  return PairGeometry{Vec2{0.0, 7.5}, Vec2{0.0, -7.5}};
+}
+constexpr double kPaperWavelength = 30.0;
+
+TEST(InterweaveGeometry, PaperDeltaExample) {
+  // §5: "δ = π when r = w and α = 0".
+  const PairGeometry geom{Vec2{0.0, 0.0}, Vec2{0.0, -30.0}};  // r = 30 = w
+  const Vec2 pu{0.0, -1000.0};  // α = 0 (toward St2)
+  const double delta = null_steering_phase_delay(geom, 30.0, pu);
+  EXPECT_NEAR(delta, kPi, 1e-6);
+}
+
+TEST(InterweaveGeometry, DeltaFormulaMatchesDefinition) {
+  const PairGeometry geom = paper_geometry();
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 pu = rng.point_in_disk(Vec2{0.0, 0.0}, 500.0);
+    if (distance(pu, geom.st1) < 1.0) continue;
+    const double alpha = geom.alpha_to(pu);
+    const double expected =
+        kPi * (2.0 * 15.0 * std::cos(alpha) / kPaperWavelength - 1.0);
+    EXPECT_NEAR(null_steering_phase_delay(geom, kPaperWavelength, pu),
+                expected, 1e-9);
+  }
+}
+
+TEST(InterweaveGeometry, FarFieldAgreesWithExactAtDistance) {
+  const PairGeometry geom = paper_geometry();
+  const double delta = 0.7;
+  for (double theta_deg = 5.0; theta_deg <= 175.0; theta_deg += 17.0) {
+    const double theta = deg_to_rad(theta_deg);
+    // Walk out along theta from the array center; the exact relative
+    // phase must converge to the far-field expression.
+    const Vec2 axis = (geom.st2 - geom.st1).normalized();
+    const Vec2 perp{-axis.y, axis.x};
+    const Vec2 dir = axis * std::cos(theta) + perp * std::sin(theta);
+    const Vec2 far_point = geom.center() + dir * 1.0e6;
+    const double exact =
+        relative_phase_at(geom, kPaperWavelength, delta, far_point);
+    const double ff = relative_phase_far_field(15.0, kPaperWavelength,
+                                               delta, theta);
+    EXPECT_NEAR(wrap_angle(exact - ff), 0.0, 1e-3) << theta_deg;
+  }
+}
+
+TEST(PairAmplitude, Formula) {
+  // γ² = γ1² + γ2² + 2γ1γ2 cos Δ.
+  EXPECT_NEAR(pair_amplitude(0.0), 2.0, 1e-12);
+  EXPECT_NEAR(pair_amplitude(kPi), 0.0, 1e-12);
+  EXPECT_NEAR(pair_amplitude(kPi / 2.0), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(pair_amplitude(kPi / 3.0, 2.0, 1.0), std::sqrt(7.0), 1e-12);
+  EXPECT_THROW((void)pair_amplitude(0.0, -1.0, 1.0), InvalidArgument);
+}
+
+TEST(NullSteeringPair, FarFieldNullAtPuDirection) {
+  const PairGeometry geom = paper_geometry();
+  const Vec2 pu{0.0, -5000.0};  // far along the array axis
+  const NullSteeringPair pair(geom, kPaperWavelength, pu);
+  const double theta_pu = geom.axis_angle_to(pu);
+  EXPECT_NEAR(pair.far_field_amplitude(theta_pu), 0.0, 1e-9);
+}
+
+TEST(NullSteeringPair, ResidualAtFarPuIsSmall) {
+  const PairGeometry geom = paper_geometry();
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    // PUs at the paper's scale: within a 300 m circle but at least
+    // 10 r away so the far-field design assumption holds.
+    Vec2 pu = rng.point_in_disk(Vec2{0.0, 0.0}, 150.0);
+    if (distance(pu, geom.st1) < 140.0) {
+      pu = pu + (pu - geom.center()).normalized() * 150.0;
+    }
+    const NullSteeringPair pair(geom, kPaperWavelength, pu);
+    EXPECT_LT(pair.residual_at_pu(), 0.35)
+        << "pu (" << pu.x << "," << pu.y << ")";
+  }
+}
+
+TEST(NullSteeringPair, BroadsideSrGetsNearFullDiversity) {
+  // §6.3: "when St·Sr and St·Pr are perpendicular … Sr receives a full
+  // diversity gain".
+  const PairGeometry geom = paper_geometry();
+  const Vec2 pu{0.0, -150.0};  // endfire
+  const Vec2 sr{150.0, 0.0};   // broadside, perpendicular
+  const NullSteeringPair pair(geom, kPaperWavelength, pu);
+  EXPECT_GT(pair.amplitude_at(sr), 1.9);
+}
+
+TEST(NullSteeringPair, CollinearSrIsSuppressed) {
+  // If Sr sits in the same direction as the protected PU, the null
+  // kills the secondary link too — the reason Algorithm 3 avoids
+  // collinear picks.
+  const PairGeometry geom = paper_geometry();
+  const Vec2 pu{0.0, -150.0};
+  const Vec2 sr{0.0, -80.0};
+  const NullSteeringPair pair(geom, kPaperWavelength, pu);
+  EXPECT_LT(pair.amplitude_at(sr), 0.5);
+}
+
+TEST(PairedBeamformer, TwoPairsDoubleTheField) {
+  // Two co-located pairs add coherently toward Sr.
+  const double w = 30.0;
+  std::vector<Vec2> nodes{{0.0, 7.5}, {0.0, -7.5}, {1.0, 7.5}, {1.0, -7.5}};
+  const Vec2 pu{0.0, -5000.0};
+  const Vec2 sr{5000.0, 0.0};
+  const PairedBeamformer bf(nodes, w, pu);
+  EXPECT_EQ(bf.num_pairs(), 2u);
+  EXPECT_NEAR(bf.amplitude_at(sr), 4.0, 0.1);
+  EXPECT_LT(bf.residual_at_pu(), 0.1);
+}
+
+TEST(PairedBeamformer, OddNodeIsIgnored) {
+  std::vector<Vec2> nodes{{0.0, 7.5}, {0.0, -7.5}, {3.0, 0.0}};
+  const PairedBeamformer bf(nodes, 30.0, Vec2{0.0, -5000.0});
+  EXPECT_EQ(bf.num_pairs(), 1u);  // ⌊3/2⌋
+  EXPECT_THROW(PairedBeamformer({Vec2{0.0, 0.0}}, 30.0, Vec2{1.0, 0.0}),
+               InvalidArgument);
+}
+
+TEST(NullSteeringPair, RobustToSmallPuLocationError) {
+  // Algorithm 3's δ comes from *sensed* PU geometry; a location error
+  // perturbs the null.  A few meters at 150 m range must leave the
+  // residual small; gross errors destroy it.
+  const PairGeometry geom = paper_geometry();
+  Rng rng(44);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec2 pu_true = rng.point_in_disk(Vec2{0.0, 0.0}, 150.0);
+    if (distance(pu_true, geom.center()) < 100.0) {
+      pu_true = pu_true +
+                (pu_true - geom.center()).normalized() * 120.0;
+    }
+    // Design against a 3 m-off estimate, evaluate at the truth.
+    const Vec2 pu_est = pu_true + unit_vec(rng.uniform(0.0, 2 * kPi)) * 3.0;
+    const NullSteeringPair pair(geom, kPaperWavelength, pu_est);
+    EXPECT_LT(pair.amplitude_at(pu_true), 0.5)
+        << "pu (" << pu_true.x << "," << pu_true.y << ")";
+  }
+}
+
+TEST(NullSteeringPair, GrossPuErrorDestroysTheNull) {
+  const PairGeometry geom = paper_geometry();
+  const Vec2 pu_true{0.0, -150.0};  // endfire
+  // A broadside estimate steers the null 90° away (the two endfire
+  // directions are pattern-symmetric, so the opposite endfire would
+  // NOT be a gross error for this array).
+  const Vec2 pu_wrong{150.0, 0.0};
+  const NullSteeringPair pair(geom, kPaperWavelength, pu_wrong);
+  EXPECT_GT(pair.amplitude_at(pu_true), 1.0);
+}
+
+TEST(MultiPuBeamformer, SinglePuMatchesPairedBeamformer) {
+  const std::vector<Vec2> nodes{{0.0, 7.5}, {0.0, -7.5}, {1.0, 7.5},
+                                {1.0, -7.5}};
+  const Vec2 pu{0.0, -5000.0};
+  const Vec2 sr{5000.0, 0.0};
+  const PairedBeamformer single(nodes, 30.0, pu);
+  const MultiPuBeamformer multi(nodes, 30.0, {pu});
+  EXPECT_NEAR(multi.amplitude_at(sr), single.amplitude_at(sr), 1e-9);
+  EXPECT_NEAR(multi.residual_at(0), single.residual_at_pu(), 1e-9);
+}
+
+TEST(MultiPuBeamformer, RoundRobinAssignment) {
+  std::vector<Vec2> nodes;
+  for (int i = 0; i < 8; ++i) {
+    nodes.push_back(Vec2{static_cast<double>(i), i % 2 ? -7.5 : 7.5});
+  }
+  const MultiPuBeamformer bf(nodes, 30.0,
+                             {Vec2{0.0, -5000.0}, Vec2{5000.0, 5000.0}});
+  ASSERT_EQ(bf.num_pairs(), 4u);
+  EXPECT_EQ(bf.assignment(0), 0u);
+  EXPECT_EQ(bf.assignment(1), 1u);
+  EXPECT_EQ(bf.assignment(2), 0u);
+  EXPECT_EQ(bf.assignment(3), 1u);
+  EXPECT_THROW((void)bf.assignment(4), InvalidArgument);
+}
+
+TEST(MultiPuBeamformer, ProtectsBothPusPartially) {
+  // Four pairs split across two far PUs in different directions: each
+  // PU keeps a residual well below the un-nulled field (which would be
+  // ≈ 2 per foreign pair), and Sr retains most of the gain.
+  std::vector<Vec2> nodes;
+  for (int i = 0; i < 8; ++i) {
+    nodes.push_back(Vec2{static_cast<double>(i) * 0.5,
+                         (i % 2 ? -7.5 : 7.5)});
+  }
+  const Vec2 pu_a{0.0, -5000.0};   // endfire
+  const Vec2 pu_b{-5000.0, 0.0};   // opposite broadside
+  const Vec2 sr{5000.0, 0.0};
+  const MultiPuBeamformer bf(nodes, 30.0, {pu_a, pu_b});
+  // Each PU sees nothing from its own 2 pairs; the 2 foreign pairs
+  // could contribute up to 4 in amplitude.
+  EXPECT_LT(bf.residual_at(0), 4.0);
+  EXPECT_LT(bf.residual_at(1), 4.0);
+  EXPECT_GE(bf.worst_residual(),
+            std::max(bf.residual_at(0), bf.residual_at(1)) - 1e-12);
+  // Dedicated single-PU nulling is strictly cleaner at its PU.
+  const MultiPuBeamformer dedicated(nodes, 30.0, {pu_a});
+  EXPECT_LT(dedicated.residual_at(0), bf.residual_at(0) + 1e-9);
+}
+
+TEST(MultiPuBeamformer, Validation) {
+  EXPECT_THROW(MultiPuBeamformer({Vec2{0.0, 0.0}}, 30.0,
+                                 {Vec2{1.0, 1.0}}),
+               InvalidArgument);
+  EXPECT_THROW(MultiPuBeamformer({Vec2{0.0, 0.0}, Vec2{1.0, 0.0}}, 30.0,
+                                 {}),
+               InvalidArgument);
+}
+
+// --- PU selection ------------------------------------------------------
+
+TEST(PuSelection, PrefersPerpendicularAndFar) {
+  const Vec2 st{0.0, 0.0};
+  const Vec2 sr{100.0, 0.0};
+  // Candidate 0: collinear with Sr (bad); candidate 1: perpendicular
+  // and far (good); candidate 2: perpendicular but close.
+  const std::vector<Vec2> candidates{{150.0, 0.0}, {0.0, 140.0},
+                                     {0.0, 20.0}};
+  const auto scores = score_pu_candidates(st, sr, candidates);
+  EXPECT_EQ(scores.front().index, 1u);
+  EXPECT_EQ(select_pu(st, sr, candidates), 1u);
+}
+
+TEST(PuSelection, CollinearBothDirectionsScoreLow) {
+  const Vec2 st{0.0, 0.0};
+  const Vec2 sr{100.0, 0.0};
+  const std::vector<Vec2> candidates{{200.0, 0.0}, {-200.0, 0.0},
+                                     {0.0, 200.0}};
+  EXPECT_EQ(select_pu(st, sr, candidates), 2u);
+}
+
+TEST(PuSelection, EmptyCandidatesThrow) {
+  EXPECT_THROW((void)select_pu({0.0, 0.0}, {1.0, 0.0}, {}),
+               InvalidArgument);
+}
+
+// --- radiation patterns ----------------------------------------------------
+
+TEST(RadiationPattern, IdealPatternNullAndPeak) {
+  const PairGeometry geom{Vec2{-0.03, 0.0}, Vec2{0.03, 0.0}};  // λ/2 @ 2.45G
+  const double w = 0.12;
+  const double null_deg = 120.0;
+  const Vec2 pu = geom.st1 + unit_vec(deg_to_rad(null_deg)) * 1e4;
+  const NullSteeringPair pair(geom, w, pu);
+  const RadiationPattern p = ideal_pattern(pair, 1.0);
+  EXPECT_NEAR(p.null_angle_deg(), null_deg, 1.5);
+  EXPECT_LT(p.null_depth(), 0.05);
+  EXPECT_GT(p.peak_amplitude(), 1.5);
+}
+
+TEST(RadiationPattern, SemicirclePatternApproachesIdealAtRadius) {
+  const PairGeometry geom{Vec2{-0.03, 0.0}, Vec2{0.03, 0.0}};
+  const double w = 0.12;
+  const Vec2 pu = geom.st1 + unit_vec(deg_to_rad(120.0)) * 1e4;
+  const NullSteeringPair pair(geom, w, pu);
+  const RadiationPattern near = semicircle_pattern(pair, 1.0, 20.0);
+  const RadiationPattern ideal = ideal_pattern(pair, 20.0);
+  ASSERT_EQ(near.amplitudes.size(), ideal.amplitudes.size());
+  for (std::size_t i = 0; i < near.amplitudes.size(); ++i) {
+    EXPECT_NEAR(near.amplitudes[i], ideal.amplitudes[i], 0.12)
+        << "angle " << near.angles_deg[i];
+  }
+}
+
+TEST(RadiationPattern, MultipathKeepsNullNonZero) {
+  // Fig. 8's observation: indoors the measured null is not zero.
+  const PairGeometry geom{Vec2{-0.03, 0.0}, Vec2{0.03, 0.0}};
+  const double w = 0.12;
+  const Vec2 pu = geom.st1 + unit_vec(deg_to_rad(120.0)) * 1e4;
+  const NullSteeringPair pair(geom, w, pu);
+  const RadiationPattern measured =
+      measured_pattern(pair, 1.0, 20.0, 0.15, 0.15, 200, 99);
+  EXPECT_GT(measured.null_depth(), 0.01);
+  EXPECT_LT(measured.null_depth(), 0.6);
+  // Away from the null the beamformer still beats SISO.
+  EXPECT_GT(measured.peak_amplitude(), 1.5);
+}
+
+TEST(RadiationPattern, DeterministicInSeed) {
+  const PairGeometry geom{Vec2{-0.03, 0.0}, Vec2{0.03, 0.0}};
+  const Vec2 pu = geom.st1 + unit_vec(deg_to_rad(120.0)) * 1e4;
+  const NullSteeringPair pair(geom, 0.12, pu);
+  const auto a = measured_pattern(pair, 1.0, 20.0, 0.1, 0.1, 50, 7);
+  const auto b = measured_pattern(pair, 1.0, 20.0, 0.1, 0.1, 50, 7);
+  EXPECT_EQ(a.amplitudes, b.amplitudes);
+}
+
+}  // namespace
+}  // namespace comimo

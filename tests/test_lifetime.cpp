@@ -1,0 +1,96 @@
+#include "comimo/net/lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+#include "comimo/net/hop_scheduler.h"
+
+namespace comimo {
+namespace {
+
+CoMimoNet lifetime_net(std::uint64_t seed, double battery = 150.0) {
+  const auto nodes = clustered_field(10, 3, 6.0, 400.0, 400.0, seed,
+                                     battery, battery * 1.2);
+  CoMimoNetConfig cfg;
+  cfg.communication_range_m = 40.0;
+  cfg.cluster_diameter_m = 16.0;
+  cfg.link_range_m = 280.0;
+  return CoMimoNet(nodes, cfg);
+}
+
+TEST(Lifetime, ReportsDeathsAndLeavesInputUntouched) {
+  const CoMimoNet net = lifetime_net(3);
+  LifetimeConfig cfg;
+  cfg.round_cap = 2000;
+  const LifetimeReport r = simulate_lifetime(net, SystemParams{}, cfg);
+  EXPECT_GT(r.rounds_to_first_death, 0u);
+  EXPECT_GE(r.rounds_to_death_fraction, r.rounds_to_first_death);
+  // The input network keeps its batteries.
+  for (const auto& n : net.nodes()) {
+    EXPECT_GE(n.battery_j, 150.0);
+  }
+}
+
+TEST(Lifetime, CooperationDelaysFirstDeath) {
+  const CoMimoNet net = lifetime_net(5);
+  LifetimeConfig cfg;
+  cfg.round_cap = 3000;
+  cfg.mode = RoutingMode::kCooperative;
+  const LifetimeReport coop = simulate_lifetime(net, SystemParams{}, cfg);
+  cfg.mode = RoutingMode::kSisoHeadsOnly;
+  const LifetimeReport siso = simulate_lifetime(net, SystemParams{}, cfg);
+  ASSERT_GT(coop.rounds_to_first_death, 0u);
+  ASSERT_GT(siso.rounds_to_first_death, 0u);
+  EXPECT_GT(coop.rounds_to_first_death, siso.rounds_to_first_death);
+}
+
+TEST(Lifetime, HugeBatteriesCensorAtCap) {
+  const CoMimoNet net = lifetime_net(7, 1e9);
+  LifetimeConfig cfg;
+  cfg.round_cap = 50;
+  const LifetimeReport r = simulate_lifetime(net, SystemParams{}, cfg);
+  EXPECT_TRUE(r.censored);
+  EXPECT_EQ(r.rounds_to_death_fraction, 50u);
+  EXPECT_EQ(r.rounds_to_first_death, 0u);
+  EXPECT_EQ(r.dead_nodes, 0u);
+}
+
+TEST(Lifetime, Validation) {
+  const CoMimoNet net = lifetime_net(9);
+  LifetimeConfig cfg;
+  cfg.bits_per_round = 0.0;
+  EXPECT_THROW((void)simulate_lifetime(net, SystemParams{}, cfg),
+               InvalidArgument);
+  cfg = LifetimeConfig{};
+  cfg.death_fraction = 0.0;
+  EXPECT_THROW((void)simulate_lifetime(net, SystemParams{}, cfg),
+               InvalidArgument);
+}
+
+TEST(HopSchedule, GoodputAccountsForAllSteps) {
+  const UnderlayCooperativeHop planner;
+  UnderlayHopConfig siso_cfg;
+  siso_cfg.mt = 1;
+  siso_cfg.mr = 1;
+  UnderlayHopConfig mimo_cfg;
+  mimo_cfg.mt = 2;
+  mimo_cfg.mr = 3;
+  const HopScheduler scheduler;
+  const double bits = 1.2e4;
+  const UnderlayHopPlan siso_plan = planner.plan(siso_cfg);
+  const UnderlayHopPlan mimo_plan = planner.plan(mimo_cfg);
+  const HopSchedule siso = scheduler.schedule(siso_plan, {0}, {1}, bits);
+  const HopSchedule mimo =
+      scheduler.schedule(mimo_plan, {0, 1}, {2, 3, 4}, bits);
+  EXPECT_NEAR(siso.goodput_bps() * siso.makespan_s, bits, 1e-6);
+  EXPECT_GT(mimo.goodput_bps(), 0.0);
+  // Same payload, extra local steps: at equal constellation the
+  // cooperative hop trades goodput for energy/diversity.
+  EXPECT_GT(mimo.slots.size(), siso.slots.size());
+  if (siso_plan.b == mimo_plan.b) {
+    EXPECT_LT(mimo.goodput_bps(), siso.goodput_bps());
+  }
+}
+
+}  // namespace
+}  // namespace comimo

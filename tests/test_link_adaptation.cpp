@@ -1,0 +1,144 @@
+#include "comimo/phy/link_adaptation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+#include "comimo/phy/ber.h"
+
+namespace comimo {
+namespace {
+
+LinkAdaptationConfig default_cfg() {
+  LinkAdaptationConfig cfg;
+  cfg.target_ber = 1e-3;
+  cfg.b_min = 1;
+  cfg.b_max = 8;
+  cfg.hysteresis_db = 1.0;
+  return cfg;
+}
+
+TEST(AdaptiveModulation, RequiredSnrInvertsBerFormula) {
+  const AdaptiveModulationController ctrl(default_cfg());
+  for (int b = 1; b <= 8; ++b) {
+    const double snr = db_to_linear(ctrl.required_snr_db(b));
+    EXPECT_NEAR(ber_mqam_awgn(b, snr), 1e-3, 1e-3 * 1e-6) << "b=" << b;
+  }
+}
+
+TEST(AdaptiveModulation, RequiredSnrIncreasesWithB) {
+  const AdaptiveModulationController ctrl(default_cfg());
+  // BPSK and QPSK tie exactly (both are Q(√(2γ)) per bit); beyond that
+  // the requirement grows strictly.
+  EXPECT_DOUBLE_EQ(ctrl.required_snr_db(2), ctrl.required_snr_db(1));
+  for (int b = 3; b <= 8; ++b) {
+    EXPECT_GT(ctrl.required_snr_db(b), ctrl.required_snr_db(b - 1));
+  }
+}
+
+TEST(AdaptiveModulation, SelectBMonotoneInSnr) {
+  const AdaptiveModulationController ctrl(default_cfg());
+  int prev = 0;
+  for (double snr_db = -5.0; snr_db <= 40.0; snr_db += 1.0) {
+    const int b = ctrl.select_b(snr_db);
+    EXPECT_GE(b, prev);
+    EXPECT_GE(b, 1);
+    EXPECT_LE(b, 8);
+    prev = b;
+  }
+  EXPECT_EQ(ctrl.select_b(-20.0), 1);
+  EXPECT_EQ(ctrl.select_b(60.0), 8);
+}
+
+TEST(AdaptiveModulation, HysteresisDelaysUpgrade) {
+  LinkAdaptationConfig tight = default_cfg();
+  tight.hysteresis_db = 0.0;
+  LinkAdaptationConfig cautious = default_cfg();
+  cautious.hysteresis_db = 3.0;
+  const AdaptiveModulationController a(tight);
+  const AdaptiveModulationController b(cautious);
+  // Just above b=4's requirement: the cautious controller stays lower.
+  const double snr = a.required_snr_db(4) + 0.5;
+  EXPECT_GE(a.select_b(snr), b.select_b(snr));
+}
+
+TEST(AdaptiveModulation, ConfigValidation) {
+  LinkAdaptationConfig bad = default_cfg();
+  bad.b_max = 9;
+  EXPECT_THROW(AdaptiveModulationController{bad}, InvalidArgument);
+  bad = default_cfg();
+  bad.target_ber = 0.0;
+  EXPECT_THROW(AdaptiveModulationController{bad}, InvalidArgument);
+}
+
+TEST(AdaptiveLink, MeetsBerTargetAtModerateSnr) {
+  AdaptiveLinkScenario sc;
+  sc.mean_snr_db = 18.0;
+  sc.blocks = 1500;
+  const AdaptationRun run = simulate_adaptive_link(default_cfg(), sc);
+  // Adaptation holds the realized BER near (at most a few times) the
+  // target while fading sweeps the SNR around.
+  EXPECT_LT(run.ber, 5e-3);
+  EXPECT_GT(run.mean_bits_per_symbol, 1.0);  // uses higher orders
+}
+
+TEST(AdaptiveLink, BeatsEveryFixedConstellationOnThroughputAtTarget) {
+  // The classic link-adaptation trade: any fixed b either violates the
+  // BER target or wastes throughput.  Require that no fixed b achieves
+  // both ≥ adaptive throughput and ≤ adaptive BER·1.5.
+  AdaptiveLinkScenario sc;
+  sc.mean_snr_db = 18.0;
+  sc.blocks = 1200;
+  const AdaptationRun adaptive = simulate_adaptive_link(default_cfg(), sc);
+  for (int b = 1; b <= 8; ++b) {
+    AdaptiveLinkScenario fixed = sc;
+    fixed.fixed_b = b;
+    const AdaptationRun run = simulate_adaptive_link(default_cfg(), fixed);
+    const bool dominates =
+        run.mean_bits_per_symbol >= adaptive.mean_bits_per_symbol &&
+        run.ber <= std::max(adaptive.ber * 1.5, 1e-4);
+    EXPECT_FALSE(dominates) << "fixed b=" << b << " ber=" << run.ber
+                            << " tput=" << run.mean_bits_per_symbol;
+  }
+}
+
+TEST(AdaptiveLink, HistogramSpreadsAcrossConstellations) {
+  AdaptiveLinkScenario sc;
+  sc.mean_snr_db = 16.0;
+  sc.blocks = 2000;
+  const AdaptationRun run = simulate_adaptive_link(default_cfg(), sc);
+  const std::size_t total = std::accumulate(run.b_histogram.begin(),
+                                            run.b_histogram.end(),
+                                            std::size_t{0});
+  EXPECT_EQ(total, sc.blocks);
+  // Rayleigh fading at 16 dB mean must visit at least three different
+  // constellation sizes.
+  int used = 0;
+  for (const auto count : run.b_histogram) used += count > 0;
+  EXPECT_GE(used, 3);
+}
+
+TEST(AdaptiveLink, FixedBRunsUseOnlyThatB) {
+  AdaptiveLinkScenario sc;
+  sc.fixed_b = 4;
+  sc.blocks = 50;
+  const AdaptationRun run = simulate_adaptive_link(default_cfg(), sc);
+  EXPECT_EQ(run.b_histogram[3], 50u);
+  EXPECT_DOUBLE_EQ(run.mean_bits_per_symbol, 4.0);
+}
+
+TEST(AdaptiveLink, HigherMeanSnrMoreThroughput) {
+  AdaptiveLinkScenario low;
+  low.mean_snr_db = 8.0;
+  AdaptiveLinkScenario high;
+  high.mean_snr_db = 25.0;
+  const auto run_low = simulate_adaptive_link(default_cfg(), low);
+  const auto run_high = simulate_adaptive_link(default_cfg(), high);
+  EXPECT_GT(run_high.mean_bits_per_symbol,
+            run_low.mean_bits_per_symbol + 1.0);
+}
+
+}  // namespace
+}  // namespace comimo

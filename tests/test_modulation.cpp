@@ -1,0 +1,161 @@
+#include "comimo/phy/modulation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/phy/detector.h"
+
+namespace comimo {
+namespace {
+
+TEST(GrayCode, RoundTrip) {
+  for (unsigned i = 0; i < 256; ++i) {
+    EXPECT_EQ(gray_decode(gray_encode(i)), i);
+  }
+}
+
+TEST(GrayCode, AdjacentCodesDifferInOneBit) {
+  for (unsigned i = 0; i + 1 < 256; ++i) {
+    const unsigned diff = gray_encode(i) ^ gray_encode(i + 1);
+    EXPECT_EQ(diff & (diff - 1), 0u) << "i=" << i;  // power of two
+  }
+}
+
+TEST(Bpsk, MapsAntipodal) {
+  const BpskModulator m;
+  const BitVec bits{0, 1, 0};
+  const auto s = m.modulate(bits);
+  EXPECT_EQ(s[0], cplx(1.0, 0.0));
+  EXPECT_EQ(s[1], cplx(-1.0, 0.0));
+  EXPECT_EQ(s[2], cplx(1.0, 0.0));
+}
+
+TEST(Bpsk, RoundTrip) {
+  const BpskModulator m;
+  const BitVec bits = random_bits(1000, 1);
+  EXPECT_EQ(m.demodulate(m.modulate(bits)), bits);
+}
+
+TEST(Bpsk, HardDecisionThreshold) {
+  const BpskModulator m;
+  const std::vector<cplx> noisy{{0.1, 5.0}, {-0.1, -5.0}};
+  const BitVec bits = m.demodulate(noisy);
+  EXPECT_EQ(bits[0], 0);
+  EXPECT_EQ(bits[1], 1);
+}
+
+class QamRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(QamRoundTrip, NoiseFreeRoundTrip) {
+  const int b = GetParam();
+  const QamModulator m(b);
+  BitVec bits = random_bits(120 * static_cast<std::size_t>(b), 7);
+  EXPECT_EQ(m.demodulate(m.modulate(bits)), bits);
+}
+
+TEST_P(QamRoundTrip, UnitAverageEnergy) {
+  const int b = GetParam();
+  const QamModulator m(b);
+  double energy = 0.0;
+  for (const auto& p : m.constellation()) energy += std::norm(p);
+  energy /= static_cast<double>(m.constellation().size());
+  EXPECT_NEAR(energy, 1.0, 1e-12) << "b=" << b;
+}
+
+TEST_P(QamRoundTrip, ConstellationPointsDistinct) {
+  const int b = GetParam();
+  const QamModulator m(b);
+  const auto& pts = m.constellation();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_GT(std::abs(pts[i] - pts[j]), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSupportedB, QamRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Qam, GrayNeighborsOnIAxis) {
+  // In a Gray-mapped square QAM, horizontally adjacent points differ in
+  // exactly one bit.  Check 16-QAM exhaustively by brute force: for each
+  // point find its nearest horizontal neighbor and compare labels.
+  const QamModulator m(4);
+  const auto& pts = m.constellation();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::size_t best = i;
+    double best_d = 1e9;
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (j == i) continue;
+      if (std::abs(pts[j].imag() - pts[i].imag()) > 1e-9) continue;
+      const double d = std::abs(pts[j].real() - pts[i].real());
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    if (best == i) continue;  // edge point with no horizontal neighbor
+    const unsigned diff = static_cast<unsigned>(i) ^ static_cast<unsigned>(best);
+    EXPECT_EQ(diff & (diff - 1), 0u) << "labels " << i << "," << best;
+  }
+}
+
+TEST(Qam, RejectsUnsupportedB) {
+  EXPECT_THROW(QamModulator(0), InvalidArgument);
+  EXPECT_THROW(QamModulator(9), InvalidArgument);
+}
+
+TEST(Qam, ModulateRejectsPartialSymbol) {
+  const QamModulator m(4);
+  EXPECT_THROW(m.modulate(BitVec(6)), InvalidArgument);
+}
+
+TEST(MakeModulator, Factory) {
+  EXPECT_EQ(make_modulator(1)->bits_per_symbol(), 1);
+  EXPECT_EQ(make_modulator(4)->bits_per_symbol(), 4);
+  EXPECT_THROW(make_modulator(0), InvalidArgument);
+}
+
+// --- detector helpers ----------------------------------------------------
+
+TEST(Detector, BytesBitsRoundTrip) {
+  const std::vector<std::uint8_t> bytes{0x00, 0xFF, 0xA5, 0x3C};
+  EXPECT_EQ(bits_to_bytes(bytes_to_bits(bytes)), bytes);
+}
+
+TEST(Detector, BitsMsbFirst) {
+  const std::vector<std::uint8_t> bytes{0x80};
+  const BitVec bits = bytes_to_bits(bytes);
+  EXPECT_EQ(bits[0], 1);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(bits[i], 0);
+}
+
+TEST(Detector, CountBitErrors) {
+  const BitVec a{0, 1, 1, 0};
+  const BitVec b{0, 1, 0, 1};
+  EXPECT_EQ(count_bit_errors(a, b), 2u);
+  EXPECT_THROW((void)count_bit_errors(a, BitVec{0}), InvalidArgument);
+}
+
+TEST(Detector, RandomBitsBalancedAndDeterministic) {
+  const BitVec a = random_bits(10000, 5);
+  const BitVec b = random_bits(10000, 5);
+  EXPECT_EQ(a, b);
+  std::size_t ones = 0;
+  for (const auto bit : a) ones += bit;
+  EXPECT_NEAR(static_cast<double>(ones), 5000.0, 300.0);
+}
+
+TEST(Detector, PadToMultiple) {
+  EXPECT_EQ(pad_to_multiple(BitVec{1, 1}, 4).size(), 4u);
+  EXPECT_EQ(pad_to_multiple(BitVec{1, 1, 1, 1}, 4).size(), 4u);
+  const BitVec padded = pad_to_multiple(BitVec{1}, 3);
+  EXPECT_EQ(padded[0], 1);
+  EXPECT_EQ(padded[1], 0);
+  EXPECT_EQ(padded[2], 0);
+}
+
+}  // namespace
+}  // namespace comimo

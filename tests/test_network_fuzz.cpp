@@ -1,0 +1,95 @@
+// Seed-sweep fuzzing of the network stack: for many random fields the
+// §2.1 invariants, backbone properties, routing consistency and energy
+// accounting must all hold.
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+#include "comimo/net/routing.h"
+
+namespace comimo {
+namespace {
+
+class NetworkFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkFuzz, InvariantsHoldOnRandomFields) {
+  const std::uint64_t seed = GetParam();
+  // Alternate uniform and grouped placements.
+  const auto nodes =
+      (seed % 2 == 0)
+          ? random_field(40 + seed % 30, 400.0, 400.0, seed)
+          : clustered_field(8 + seed % 8, 1 + seed % 4, 6.0, 400.0, 400.0,
+                            seed);
+  CoMimoNetConfig cfg;
+  cfg.communication_range_m = 45.0;
+  cfg.cluster_diameter_m = 14.0;
+  cfg.link_range_m = 220.0;
+  CoMimoNet net(nodes, cfg);
+
+  // §2.1 invariants.
+  ASSERT_TRUE(net.validate()) << "seed " << seed;
+
+  // Backbone: tree size, unique paths, symmetric connectivity.
+  const RoutingBackbone backbone(net);
+  EXPECT_EQ(backbone.tree_edges().size(),
+            net.clusters().size() - backbone.num_components());
+  for (const auto& e : backbone.tree_edges()) {
+    EXPECT_TRUE(backbone.connected(e.a, e.b));
+    EXPECT_LE(e.length_m, cfg.link_range_m);
+  }
+
+  // Route every 7th pair; check hop chaining and positive energies.
+  const CooperativeRouter router(net, SystemParams{}, 1e-3, 40e3);
+  const std::size_t n = net.nodes().size();
+  for (std::size_t i = 0; i < n; i += 7) {
+    for (std::size_t j = 3; j < n; j += 11) {
+      const ClusterId ca = net.cluster_of(static_cast<NodeId>(i));
+      const ClusterId cb = net.cluster_of(static_cast<NodeId>(j));
+      if (!backbone.connected(ca, cb)) {
+        EXPECT_THROW((void)router.route(static_cast<NodeId>(i),
+                                        static_cast<NodeId>(j)),
+                     InfeasibleError);
+        continue;
+      }
+      const RouteReport r =
+          router.route(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      ClusterId prev = ca;
+      for (const auto& hop : r.hops) {
+        EXPECT_EQ(hop.from, prev);
+        EXPECT_GT(hop.plan.total_energy(), 0.0);
+        EXPECT_LE(hop.plan.peak_pa(),
+                  hop.plan.total_pa() * (1.0 + 1e-12));
+        prev = hop.to;
+      }
+      if (!r.hops.empty()) EXPECT_EQ(prev, cb);
+    }
+  }
+
+  // Battery drain never increases any battery and the re-election
+  // keeps heads inside their clusters.
+  CoMimoNet drained = net;
+  bool routed = false;
+  for (std::size_t j = 1; j < n && !routed; ++j) {
+    if (backbone.connected(net.cluster_of(0),
+                           net.cluster_of(static_cast<NodeId>(j)))) {
+      const RouteReport r = router.route(0, static_cast<NodeId>(j));
+      router.apply_battery_drain(drained, r, 1e5);
+      routed = true;
+    }
+  }
+  for (const auto& node : net.nodes()) {
+    EXPECT_LE(drained.node(node.id).battery_j, node.battery_j + 1e-15);
+  }
+  drained.reelect_heads();
+  EXPECT_TRUE(drained.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89),
+                         [](const ::testing::TestParamInfo<std::uint64_t>&
+                                info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+#include "comimo/overlay/distance_planner.h"
+#include "comimo/overlay/relay_scheme.h"
+
+namespace comimo {
+namespace {
+
+TEST(OverlayRelayScheme, PlanProducesPositiveEnergies) {
+  const OverlayRelayScheme scheme;
+  OverlayRelayConfig cfg;
+  cfg.num_relays = 3;
+  cfg.pt_to_su_m = 150.0;
+  cfg.su_to_pr_m = 200.0;
+  const OverlayRelayEnergies e = scheme.plan(cfg);
+  EXPECT_GT(e.e_pt, 0.0);
+  EXPECT_GT(e.e_su_rx, 0.0);
+  EXPECT_GT(e.e_su_tx, 0.0);
+  EXPECT_GT(e.e_pr, 0.0);
+  EXPECT_GE(e.b_simo, 1);
+  EXPECT_GE(e.b_miso, 1);
+  EXPECT_NEAR(e.e_su_total(), e.e_su_rx + e.e_su_tx, 1e-18);
+}
+
+TEST(OverlayRelayScheme, TransmissionCostsMoreThanReception) {
+  // §6.1: "Transmission needs more energy than reception (see formula
+  // (3) and (4))" — at realistic ranges the PA term dominates.
+  const OverlayRelayScheme scheme;
+  OverlayRelayConfig cfg;
+  cfg.num_relays = 2;
+  cfg.pt_to_su_m = 100.0;
+  cfg.su_to_pr_m = 100.0;
+  const OverlayRelayEnergies e = scheme.plan(cfg);
+  EXPECT_GT(e.e_su_tx, e.e_su_rx);
+  EXPECT_GT(e.e_pt, e.e_pr);
+}
+
+TEST(OverlayRelayScheme, MoreRelaysCutPerNodeTxEnergy) {
+  const OverlayRelayScheme scheme;
+  OverlayRelayConfig cfg;
+  cfg.pt_to_su_m = 150.0;
+  cfg.su_to_pr_m = 150.0;
+  cfg.num_relays = 1;
+  const double e1 = scheme.plan(cfg).e_su_tx;
+  cfg.num_relays = 3;
+  const double e3 = scheme.plan(cfg).e_su_tx;
+  EXPECT_LT(e3, e1);
+}
+
+TEST(OverlayRelayScheme, ValidatesConfig) {
+  const OverlayRelayScheme scheme;
+  OverlayRelayConfig cfg;
+  cfg.num_relays = 0;
+  EXPECT_THROW((void)scheme.plan(cfg), InvalidArgument);
+  cfg = OverlayRelayConfig{};
+  cfg.pt_to_su_m = 0.0;
+  EXPECT_THROW((void)scheme.plan(cfg), InvalidArgument);
+}
+
+TEST(OverlayDistancePlanner, FeasibleAtPaperOperatingPoint) {
+  const OverlayDistancePlanner planner;
+  OverlayDistanceQuery q;  // D1 = 250 m, m = 3, B = 40 kHz
+  const OverlayDistanceResult r = planner.plan(q);
+  ASSERT_TRUE(r.feasible());
+  // The qualitative §6.1 claim: the SUs can assist from hundreds of
+  // meters away while improving BER 10×.
+  EXPECT_GT(r.d2_m, 100.0);
+  EXPECT_GT(r.d3_m, 100.0);
+  EXPECT_GE(r.b1, 1);
+}
+
+TEST(OverlayDistancePlanner, BudgetGrowsWithD1) {
+  const OverlayDistancePlanner planner;
+  OverlayDistanceQuery q;
+  q.d1_m = 150.0;
+  const double e_near = planner.plan(q).e1;
+  q.d1_m = 350.0;
+  const double e_far = planner.plan(q).e1;
+  EXPECT_GT(e_far, e_near);
+}
+
+TEST(OverlayDistancePlanner, DistancesIncreaseWithD1) {
+  const OverlayDistancePlanner planner;
+  std::vector<double> d1{150.0, 250.0, 350.0};
+  OverlayDistanceQuery base;
+  const auto results = planner.sweep_d1(d1, base);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_LT(results[0].d2_m, results[2].d2_m);
+  EXPECT_LT(results[0].d3_m, results[2].d3_m);
+}
+
+TEST(OverlayDistancePlanner, WiderBandwidthReachesFarther) {
+  // §6.1: "the wider the bandwidth … longer transmission distance".
+  const OverlayDistancePlanner planner;
+  OverlayDistanceQuery q;
+  q.bandwidth_hz = 20e3;
+  const auto narrow = planner.plan(q);
+  q.bandwidth_hz = 40e3;
+  const auto wide = planner.plan(q);
+  EXPECT_GE(wide.d3_m, narrow.d3_m);
+}
+
+TEST(OverlayDistancePlanner, PaperConventionOrdersD3AboveD2) {
+  // Under the total-energy ē_b convention implied by the paper's own
+  // Fig. 6 anchors, the SUs sit farther from Pr than from Pt and
+  // D3/D2 ≈ √m (up to the small e^MIMOr subtraction).
+  const OverlayDistancePlanner planner(SystemParams{},
+                                       EbBarConvention::kTotalEnergy);
+  OverlayDistanceQuery q;
+  q.num_relays = 3;
+  const OverlayDistanceResult r = planner.plan(q);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_GT(r.d3_m, r.d2_m);
+  EXPECT_NEAR(r.d3_m / r.d2_m, std::sqrt(3.0), 0.25);
+}
+
+TEST(OverlayDistancePlanner, MoreRelaysReachFartherFromPr) {
+  // §6.1 Fig. 6(b): at B fixed and D1 > 170 m, three SUs out-reach two.
+  const OverlayDistancePlanner planner(SystemParams{},
+                                       EbBarConvention::kTotalEnergy);
+  OverlayDistanceQuery q;
+  q.d1_m = 250.0;
+  q.num_relays = 2;
+  const double d3_two = planner.plan(q).d3_m;
+  q.num_relays = 3;
+  const double d3_three = planner.plan(q).d3_m;
+  EXPECT_GT(d3_three, d3_two);
+}
+
+TEST(OverlayDistancePlanner, ValidatesQuery) {
+  const OverlayDistancePlanner planner;
+  OverlayDistanceQuery q;
+  q.d1_m = -1.0;
+  EXPECT_THROW((void)planner.plan(q), InvalidArgument);
+  q = OverlayDistanceQuery{};
+  q.num_relays = 0;
+  EXPECT_THROW((void)planner.plan(q), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo

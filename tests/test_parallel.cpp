@@ -1,0 +1,79 @@
+#include "comimo/common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+namespace {
+
+TEST(ThreadPool, ExecutesAllJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, RejectsNullJob) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), InvalidArgument);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 50) throw NumericError("boom");
+                   }),
+      NumericError);
+}
+
+TEST(ParallelForChunks, PartitionIsContiguous) {
+  const std::size_t n = 777;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunks(n, 10, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LE(begin, end);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, DeterministicResultRegardlessOfThreads) {
+  // Index-derived work gives the same result on any worker count.
+  const std::size_t n = 500;
+  std::vector<double> out(n, 0.0);
+  parallel_for(n, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 1.5;
+  });
+  double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 1.5 * (n - 1) * n / 2.0);
+}
+
+}  // namespace
+}  // namespace comimo

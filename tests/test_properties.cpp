@@ -1,0 +1,269 @@
+// Property-based suites: parameterized sweeps asserting invariants over
+// the full (p, b, mt, mr, D, B) grid rather than single points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "comimo/energy/ebbar.h"
+#include "comimo/energy/local_energy.h"
+#include "comimo/energy/mimo_energy.h"
+#include "comimo/interweave/pair_beamformer.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/phy/ber.h"
+#include "comimo/phy/detector.h"
+#include "comimo/phy/modulation.h"
+#include "comimo/phy/stbc.h"
+#include "comimo/underlay/cooperative_hop.h"
+
+namespace comimo {
+namespace {
+
+// ---------------------------------------------------------------------
+// ē_b invariants over the full antenna/constellation grid
+// ---------------------------------------------------------------------
+
+using EbGridParam = std::tuple<int, unsigned, unsigned>;  // b, mt, mr
+
+class EbBarGrid : public ::testing::TestWithParam<EbGridParam> {};
+
+TEST_P(EbBarGrid, ForwardMapInvertsAndOrdersInP) {
+  const auto [b, mt, mr] = GetParam();
+  const EbBarSolver solver;
+  double prev = 0.0;
+  for (const double p : {5e-2, 5e-3, 5e-4}) {
+    const double e = solver.solve(p, b, mt, mr);
+    EXPECT_GT(e, prev);
+    EXPECT_NEAR(solver.average_ber(e, b, mt, mr), p, p * 1e-6);
+    prev = e;
+  }
+}
+
+TEST_P(EbBarGrid, MoreReceiveAntennasNeverHurt) {
+  const auto [b, mt, mr] = GetParam();
+  const EbBarSolver solver;
+  const double e = solver.solve(1e-3, b, mt, mr);
+  const double e_more = solver.solve(1e-3, b, mt, mr + 1);
+  EXPECT_LT(e_more, e * (1.0 + 1e-9));
+}
+
+TEST_P(EbBarGrid, QuadratureCrossCheck) {
+  const auto [b, mt, mr] = GetParam();
+  const EbBarSolver solver;
+  const double e = solver.solve(1e-3, b, mt, mr);
+  EXPECT_NEAR(solver.average_ber_quadrature(e, b, mt, mr, 96), 1e-3,
+              1e-3 * 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EbBarGrid,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const ::testing::TestParamInfo<EbGridParam>& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "mt" +
+             std::to_string(std::get<1>(info.param)) + "mr" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Energy-model invariants over (b, D, B)
+// ---------------------------------------------------------------------
+
+using EnergyParam = std::tuple<int, double, double>;  // b, D, B
+
+class EnergyGrid : public ::testing::TestWithParam<EnergyParam> {};
+
+TEST_P(EnergyGrid, EnergiesPositiveAndDecomposed) {
+  const auto [b, dist, bw] = GetParam();
+  const MimoEnergyModel mimo;
+  const LocalEnergyModel local;
+  const EnergyBreakdown e = mimo.tx_energy(b, 1e-3, 2, 2, dist, bw);
+  EXPECT_GT(e.pa, 0.0);
+  EXPECT_GT(e.circuit, 0.0);
+  EXPECT_NEAR(e.total(), e.pa + e.circuit, e.total() * 1e-12);
+  EXPECT_GT(mimo.rx_energy(b, bw), 0.0);
+  EXPECT_GT(local.tx_energy(b, 1e-3, 5.0, bw).total(), 0.0);
+}
+
+TEST_P(EnergyGrid, DistanceInversionRoundTrips) {
+  const auto [b, dist, bw] = GetParam();
+  const MimoEnergyModel mimo;
+  const double total = mimo.tx_energy(b, 1e-3, 2, 2, dist, bw).total();
+  EXPECT_NEAR(mimo.distance_for_energy(total, b, 1e-3, 2, 2, bw), dist,
+              dist * 1e-6);
+}
+
+TEST_P(EnergyGrid, HigherRateCutsCircuitEnergyProportionally) {
+  const auto [b, dist, bw] = GetParam();
+  (void)dist;
+  const MimoEnergyModel mimo;
+  EXPECT_NEAR(mimo.tx_circuit_energy(b, bw) * b,
+              mimo.tx_circuit_energy(1, bw), mimo.tx_circuit_energy(1, bw) * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EnergyGrid,
+    ::testing::Combine(::testing::Values(1, 2, 6, 12),
+                       ::testing::Values(50.0, 150.0, 350.0),
+                       ::testing::Values(10e3, 40e3, 100e3)),
+    [](const ::testing::TestParamInfo<EnergyParam>& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "d" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) +
+             "bw" + std::to_string(static_cast<int>(std::get<2>(info.param)));
+    });
+
+// ---------------------------------------------------------------------
+// STBC round-trip under random channels for every antenna pairing
+// ---------------------------------------------------------------------
+
+using StbcParam = std::tuple<std::size_t, std::size_t>;  // mt, mr
+
+class StbcGrid : public ::testing::TestWithParam<StbcParam> {};
+
+TEST_P(StbcGrid, NoiseFreeQpskRoundTrip) {
+  const auto [mt, mr] = GetParam();
+  const StbcCode code = StbcCode::for_antennas(mt);
+  const StbcDecoder decoder(code);
+  const QamModulator modem(2);
+  Rng rng(1000 + mt * 10 + mr);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BitVec bits =
+        random_bits(2 * code.symbols_per_block(), 77 + trial);
+    const std::vector<cplx> s = modem.modulate(bits);
+    const CMatrix h = CMatrix::random_gaussian(mr, mt, rng);
+    const CMatrix c = code.encode(s);
+    CMatrix r(code.block_length(), mr);
+    for (std::size_t t = 0; t < code.block_length(); ++t) {
+      for (std::size_t j = 0; j < mr; ++j) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t i = 0; i < mt; ++i) acc += c(t, i) * h(j, i);
+        r(t, j) = acc;
+      }
+    }
+    const auto est = decoder.decode(h, r);
+    EXPECT_EQ(modem.demodulate(est), bits) << "trial " << trial;
+  }
+}
+
+TEST_P(StbcGrid, CombiningGainScalesWithChannelPower) {
+  const auto [mt, mr] = GetParam();
+  const StbcDecoder decoder(StbcCode::for_antennas(mt));
+  Rng rng(2000 + mt * 10 + mr);
+  const CMatrix h = CMatrix::random_gaussian(mr, mt, rng);
+  const CMatrix h2 = h * cplx{2.0, 0.0};
+  EXPECT_NEAR(decoder.combining_gain(h2), 4.0 * decoder.combining_gain(h),
+              decoder.combining_gain(h) * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StbcGrid,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<StbcParam>& info) {
+      return "mt" + std::to_string(std::get<0>(info.param)) + "mr" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Underlay hop invariants over the Fig. 7 grid
+// ---------------------------------------------------------------------
+
+using HopParam = std::tuple<unsigned, unsigned, double>;  // mt, mr, D
+
+class UnderlayGrid : public ::testing::TestWithParam<HopParam> {};
+
+TEST_P(UnderlayGrid, LedgerInvariants) {
+  const auto [mt, mr, dist] = GetParam();
+  const UnderlayCooperativeHop planner;
+  UnderlayHopConfig cfg;
+  cfg.mt = mt;
+  cfg.mr = mr;
+  cfg.hop_distance_m = dist;
+  cfg.cluster_diameter_m = 1.0;
+  const UnderlayHopPlan plan = planner.plan(cfg);
+  // Peak never exceeds total; totals include the peak contribution.
+  EXPECT_LE(plan.peak_pa(), plan.total_pa() * (1.0 + 1e-12));
+  EXPECT_GE(plan.total_energy(), plan.total_pa());
+  // ē_b consistency with the solver at the chosen b.
+  const EbBarSolver solver;
+  EXPECT_NEAR(solver.average_ber(plan.ebar, plan.b, mt, mr), cfg.ber,
+              cfg.ber * 1e-6);
+}
+
+TEST_P(UnderlayGrid, CooperativeNeverWorseThanSisoTotalPa) {
+  const auto [mt, mr, dist] = GetParam();
+  if (mt == 1 && mr == 1) GTEST_SKIP();
+  const UnderlayCooperativeHop planner;
+  UnderlayHopConfig coop;
+  coop.mt = mt;
+  coop.mr = mr;
+  coop.hop_distance_m = dist;
+  UnderlayHopConfig siso = coop;
+  siso.mt = 1;
+  siso.mr = 1;
+  EXPECT_LT(planner.plan(coop).total_pa(), planner.plan(siso).total_pa());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UnderlayGrid,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(100.0, 200.0, 300.0)),
+    [](const ::testing::TestParamInfo<HopParam>& info) {
+      return "mt" + std::to_string(std::get<0>(info.param)) + "mr" +
+             std::to_string(std::get<1>(info.param)) + "d" +
+             std::to_string(static_cast<int>(std::get<2>(info.param)));
+    });
+
+// ---------------------------------------------------------------------
+// Null-steering pair: the null holds for every far PU direction
+// ---------------------------------------------------------------------
+
+class NullSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NullSweep, FarFieldNullHoldsForEveryPuAngle) {
+  const double angle_deg = GetParam();
+  const PairGeometry geom{Vec2{0.0, 7.5}, Vec2{0.0, -7.5}};
+  const Vec2 pu = geom.center() + unit_vec(deg_to_rad(angle_deg)) * 1e5;
+  const NullSteeringPair pair(geom, 30.0, pu);
+  // Exact field at the PU: far-field design ⇒ tiny residual.
+  EXPECT_LT(pair.residual_at_pu(), 1e-2) << "angle " << angle_deg;
+  // Energy conservation: no direction exceeds 2× a single element.
+  for (double theta = 0.0; theta <= 180.0; theta += 7.5) {
+    EXPECT_LE(pair.far_field_amplitude(deg_to_rad(theta)), 2.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, NullSweep,
+                         ::testing::Values(0, 30, 60, 90, 120, 150, 180,
+                                           210, 270, 330));
+
+// ---------------------------------------------------------------------
+// Modulator BER matches theory over Eb/N0 (waveform-level property)
+// ---------------------------------------------------------------------
+
+class BpskBerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BpskBerSweep, MeasuredMatchesQFunction) {
+  const double ebn0_db = GetParam();
+  const BpskModulator modem;
+  const double n0 = db_to_linear(-ebn0_db);
+  Rng noise_rng(55);
+  const std::size_t n = 200000;
+  const BitVec bits = random_bits(n, 66);
+  auto s = modem.modulate(bits);
+  for (auto& v : s) v += noise_rng.complex_gaussian(n0);
+  const double measured =
+      static_cast<double>(count_bit_errors(bits, modem.demodulate(s))) / n;
+  const double theory = ber_bpsk_awgn(db_to_linear(ebn0_db));
+  EXPECT_NEAR(measured, theory,
+              std::max(4.0 * std::sqrt(theory / n), theory * 0.15))
+      << "Eb/N0 " << ebn0_db;
+}
+
+INSTANTIATE_TEST_SUITE_P(EbN0, BpskBerSweep,
+                         ::testing::Values(0.0, 2.0, 4.0, 6.0, 8.0));
+
+}  // namespace
+}  // namespace comimo

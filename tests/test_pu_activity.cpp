@@ -1,0 +1,118 @@
+#include "comimo/sensing/pu_activity.h"
+
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+namespace {
+
+TEST(PuTrace, CoversDurationWithAlternatingStates) {
+  const PuActivityModel model;
+  const auto trace = generate_pu_trace(model, 100.0, 1);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.front().start_s, 0.0);
+  EXPECT_DOUBLE_EQ(trace.back().end_s, 100.0);
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace[i].end_s, trace[i + 1].start_s);
+    EXPECT_NE(trace[i].busy, trace[i + 1].busy);
+  }
+}
+
+TEST(PuTrace, DutyCycleMatchesModel) {
+  PuActivityModel model;
+  model.mean_busy_s = 0.3;
+  model.mean_idle_s = 0.7;
+  const auto trace = generate_pu_trace(model, 5000.0, 2);
+  const double measured = trace_busy_fraction(trace, 0.0, 5000.0);
+  EXPECT_NEAR(measured, model.duty_cycle(), 0.03);
+}
+
+TEST(PuTrace, BusyAtAgreesWithFraction) {
+  const PuActivityModel model;
+  const auto trace = generate_pu_trace(model, 50.0, 3);
+  for (double t = 0.05; t < 49.9; t += 1.7) {
+    const bool busy = trace_busy_at(trace, t);
+    const double frac = trace_busy_fraction(trace, t, t + 1e-6);
+    EXPECT_EQ(busy, frac > 0.5) << "t=" << t;
+  }
+}
+
+TEST(PuTrace, Validation) {
+  PuActivityModel bad;
+  bad.mean_busy_s = 0.0;
+  EXPECT_THROW((void)generate_pu_trace(bad, 10.0, 1), InvalidArgument);
+  const auto trace = generate_pu_trace(PuActivityModel{}, 10.0, 1);
+  EXPECT_THROW((void)trace_busy_at(trace, -1.0), InvalidArgument);
+  EXPECT_THROW((void)trace_busy_at(trace, 10.0), InvalidArgument);
+  EXPECT_THROW((void)trace_busy_fraction(trace, 5.0, 5.0), InvalidArgument);
+}
+
+OpportunisticAccessConfig base_cfg() {
+  OpportunisticAccessConfig cfg;
+  cfg.duration_s = 400.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(OpportunisticAccess, PerfectSensingRarelyCollides) {
+  OpportunisticAccessConfig cfg = base_cfg();
+  cfg.detection_probability = 1.0;
+  cfg.false_alarm_probability = 0.0;
+  const auto r = simulate_opportunistic_access(cfg);
+  EXPECT_GT(r.frames_sent, 1000u);
+  // Collisions only from the PU *returning* mid-frame — rare when the
+  // frame is much shorter than the idle holding time.
+  EXPECT_LT(r.collision_fraction, 0.08);
+  EXPECT_GT(r.idle_utilization, 0.4);
+}
+
+TEST(OpportunisticAccess, MissedDetectionCausesInterference) {
+  OpportunisticAccessConfig good = base_cfg();
+  good.detection_probability = 0.99;
+  OpportunisticAccessConfig bad = base_cfg();
+  bad.detection_probability = 0.5;
+  const auto r_good = simulate_opportunistic_access(good);
+  const auto r_bad = simulate_opportunistic_access(bad);
+  EXPECT_GT(r_bad.interference_fraction, r_good.interference_fraction);
+  EXPECT_GT(r_bad.collision_fraction, r_good.collision_fraction);
+}
+
+TEST(OpportunisticAccess, FalseAlarmsWasteIdleTime) {
+  OpportunisticAccessConfig calm = base_cfg();
+  calm.false_alarm_probability = 0.01;
+  OpportunisticAccessConfig jumpy = base_cfg();
+  jumpy.false_alarm_probability = 0.6;
+  const auto r_calm = simulate_opportunistic_access(calm);
+  const auto r_jumpy = simulate_opportunistic_access(jumpy);
+  EXPECT_LT(r_jumpy.idle_utilization, r_calm.idle_utilization);
+}
+
+TEST(OpportunisticAccess, LongerFramesCollideMore) {
+  OpportunisticAccessConfig short_f = base_cfg();
+  short_f.frame_duration_s = 0.02;
+  OpportunisticAccessConfig long_f = base_cfg();
+  long_f.frame_duration_s = 0.4;
+  const auto r_short = simulate_opportunistic_access(short_f);
+  const auto r_long = simulate_opportunistic_access(long_f);
+  EXPECT_GT(r_long.collision_fraction, r_short.collision_fraction);
+}
+
+TEST(OpportunisticAccess, DeterministicInSeed) {
+  const auto a = simulate_opportunistic_access(base_cfg());
+  const auto b = simulate_opportunistic_access(base_cfg());
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.frames_colliding, b.frames_colliding);
+}
+
+TEST(OpportunisticAccess, Validation) {
+  OpportunisticAccessConfig cfg = base_cfg();
+  cfg.sensing_period_s = 0.0;
+  EXPECT_THROW((void)simulate_opportunistic_access(cfg), InvalidArgument);
+  cfg = base_cfg();
+  cfg.detection_probability = 1.5;
+  EXPECT_THROW((void)simulate_opportunistic_access(cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo

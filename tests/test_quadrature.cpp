@@ -1,0 +1,84 @@
+#include "comimo/numeric/quadrature.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/special.h"
+
+namespace comimo {
+namespace {
+
+TEST(GaussLaguerre, WeightsSumToGammaAlphaPlusOne) {
+  // ∫ x^α e^{-x} dx = Γ(α+1).
+  for (double alpha : {0.0, 1.0, 2.5, 5.0}) {
+    const auto rule = gauss_laguerre(32, alpha);
+    double sum = 0.0;
+    for (const double w : rule.weights) sum += w;
+    const double expected = std::exp(log_gamma(alpha + 1.0));
+    EXPECT_NEAR(sum, expected, expected * 1e-10) << "alpha=" << alpha;
+  }
+}
+
+TEST(GaussLaguerre, IntegratesPolynomialsExactly) {
+  // An n-point rule is exact for degree ≤ 2n−1:
+  // ∫ x^α e^{-x} x^k dx = Γ(α+k+1).
+  const double alpha = 1.5;
+  const auto rule = gauss_laguerre(16, alpha);
+  for (int k = 0; k <= 20; ++k) {
+    const double got =
+        rule.integrate([k](double x) { return std::pow(x, k); });
+    const double expected = std::exp(log_gamma(alpha + k + 1.0));
+    EXPECT_NEAR(got, expected, expected * 1e-8) << "k=" << k;
+  }
+}
+
+TEST(GaussLaguerre, NodesPositiveAndSorted) {
+  const auto rule = gauss_laguerre(64, 3.0);
+  double prev = 0.0;
+  for (const double x : rule.nodes) {
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+  for (const double w : rule.weights) EXPECT_GT(w, 0.0);
+}
+
+TEST(GaussLaguerre, InvalidArgumentsThrow) {
+  EXPECT_THROW(gauss_laguerre(0, 0.0), InvalidArgument);
+  EXPECT_THROW(gauss_laguerre(300, 0.0), InvalidArgument);
+  EXPECT_THROW(gauss_laguerre(8, -1.5), InvalidArgument);
+}
+
+TEST(GammaExpectation, ConstantFunction) {
+  EXPECT_NEAR(gamma_expectation([](double) { return 3.0; }, 2.5), 3.0,
+              1e-10);
+}
+
+TEST(GammaExpectation, MeanAndSecondMoment) {
+  for (double shape : {1.0, 2.0, 6.0}) {
+    EXPECT_NEAR(gamma_expectation([](double x) { return x; }, shape),
+                shape, shape * 1e-10);
+    EXPECT_NEAR(
+        gamma_expectation([](double x) { return x * x; }, shape),
+        shape * (shape + 1.0), shape * (shape + 1.0) * 1e-10);
+  }
+}
+
+TEST(GammaExpectation, ExponentialViaMgf) {
+  // E[e^{-t x}] = (1+t)^{-k}.
+  const double t = 0.7;
+  for (double shape : {1.0, 3.0, 6.0}) {
+    const double got = gamma_expectation(
+        [t](double x) { return std::exp(-t * x); }, shape, 96);
+    EXPECT_NEAR(got, std::pow(1.0 + t, -shape), 1e-6) << shape;
+  }
+}
+
+TEST(GammaExpectation, InvalidShapeThrows) {
+  EXPECT_THROW(gamma_expectation([](double) { return 1.0; }, 0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,140 @@
+// Failure-injection and robustness tests: garbage inputs, degenerate
+// channels, corrupted serializations, and noise-only receivers must
+// produce errors or honest statistics — never silent wrong answers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "comimo/channel/awgn.h"
+#include "comimo/common/error.h"
+#include "comimo/energy/ebbar_table.h"
+#include "comimo/net/csma_ca.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/phy/detector.h"
+#include "comimo/phy/gmsk.h"
+#include "comimo/phy/stbc.h"
+#include "comimo/testbed/framing.h"
+
+namespace comimo {
+namespace {
+
+TEST(Robustness, FramerNeverAcceptsNoise) {
+  // Random bit windows must never parse as a valid packet: the sync
+  // word plus CRC-32 make the false-accept probability ≈ 2^-48.
+  const Framer framer;
+  const std::size_t frame_len = framer.frame_bits(100);
+  Rng rng(424242);
+  for (int trial = 0; trial < 3000; ++trial) {
+    BitVec noise_bits(frame_len);
+    for (auto& b : noise_bits) b = rng.bernoulli(0.5) ? 1 : 0;
+    EXPECT_FALSE(framer.parse(noise_bits).has_value()) << trial;
+  }
+}
+
+TEST(Robustness, FramerRejectsEverySingleBitFlipInHeaderOrPayload) {
+  const Framer framer;
+  Packet p;
+  p.sequence = 7;
+  p.payload.assign(32, 0x5A);
+  const BitVec good = framer.frame(p);
+  const std::size_t protected_start = framer.config().preamble_bytes * 8;
+  for (std::size_t i = protected_start; i < good.size(); i += 13) {
+    BitVec bad = good;
+    bad[i] ^= 1;
+    const auto parsed = framer.parse(bad);
+    // Either rejected outright, or (for sequence-field flips that CRC
+    // catches) never equal to a wrong payload.
+    EXPECT_FALSE(parsed.has_value()) << "flip at " << i;
+  }
+}
+
+TEST(Robustness, GmskOnPureNoiseIsCoinFlip) {
+  const GmskModem modem;
+  const std::size_t n = 20000;
+  std::vector<cplx> noise_samples(modem.samples_for_bits(n));
+  Rng rng(17);
+  for (auto& s : noise_samples) s = rng.complex_gaussian(1.0);
+  const BitVec decoded = modem.demodulate(noise_samples, n);
+  std::size_t ones = 0;
+  for (const auto b : decoded) ones += b;
+  // Unbiased coin: 50% ± a few sigma.
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.02);
+}
+
+TEST(Robustness, StbcDecoderSignalsDeadChannel) {
+  // An all-zero H makes the normal equations singular; the decoder must
+  // throw, not fabricate symbols.
+  const StbcDecoder decoder(StbcCode::alamouti());
+  const CMatrix h(1, 2);  // zeros
+  const CMatrix r(2, 1);
+  EXPECT_THROW((void)decoder.decode(h, r), NumericError);
+}
+
+TEST(Robustness, StbcDecoderSurvivesNearSingularChannel) {
+  const StbcDecoder decoder(StbcCode::alamouti());
+  CMatrix h(1, 2);
+  h(0, 0) = cplx{1e-150, 0.0};
+  h(0, 1) = cplx{0.0, 1e-150};
+  CMatrix r(2, 1);
+  r(0, 0) = cplx{1e-150, 0.0};
+  r(1, 0) = cplx{0.0, 0.0};
+  const auto est = decoder.decode(h, r);
+  for (const auto& v : est) {
+    EXPECT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+  }
+}
+
+TEST(Robustness, EbBarTableLoadRejectsEntryCountMismatch) {
+  const EbBarSolver solver;
+  EbBarTable::Spec spec;
+  spec.ber_targets = {1e-2};
+  spec.b_max = 2;
+  spec.m_max = 1;
+  const EbBarTable table = EbBarTable::build(solver, spec);
+  std::stringstream ss;
+  table.save(ss);
+  std::string text = ss.str();
+  // Drop the final line (one entry missing).
+  text.erase(text.find_last_of('\n', text.size() - 2) + 1);
+  std::stringstream broken(text);
+  EXPECT_THROW((void)EbBarTable::load(broken), InvalidArgument);
+}
+
+TEST(Robustness, CsmaCaConservationLaws) {
+  std::vector<CsmaStation> stations;
+  for (NodeId i = 0; i < 6; ++i) stations.push_back({i, 25.0, 12000});
+  CsmaCaConfig cfg;
+  cfg.seed = 31;
+  CsmaCaSimulator sim(cfg, stations);
+  const CsmaCaStats s = sim.run(8.0);
+  EXPECT_LE(s.delivered_frames + s.dropped_frames, s.offered_frames);
+  EXPECT_LE(s.channel_busy_fraction, 1.0 + 1e-12);
+  EXPECT_GE(s.channel_busy_fraction, 0.0);
+  EXPECT_GE(s.mean_access_delay_s, 0.0);
+  EXPECT_LE(s.throughput_bps, cfg.bitrate_bps * 1.01);
+}
+
+TEST(Robustness, AwgnChannelHandlesEmptySpan) {
+  AwgnChannel awgn(1.0, Rng(1));
+  std::vector<cplx> empty;
+  awgn.apply(empty);  // must not crash
+  EXPECT_TRUE(awgn.add(empty).empty());
+}
+
+TEST(Robustness, DetectorHelpersHandleEmptyInputs) {
+  EXPECT_TRUE(bytes_to_bits({}).empty());
+  EXPECT_TRUE(bits_to_bytes(BitVec{}).empty());
+  EXPECT_EQ(count_bit_errors(BitVec{}, BitVec{}), 0u);
+  EXPECT_TRUE(random_bits(0, 1).empty());
+}
+
+TEST(Robustness, ModulatorsRejectNonBinaryInputOnlyInDebug) {
+  // Bits are 0/1 by contract; release builds treat other values as
+  // their LSB.  This test documents the contract rather than UB.
+  const BpskModulator modem;
+  const BitVec bits{0, 1};
+  EXPECT_EQ(modem.modulate(bits).size(), 2u);
+}
+
+}  // namespace
+}  // namespace comimo

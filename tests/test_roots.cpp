@@ -1,0 +1,96 @@
+#include "comimo/numeric/roots.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+namespace {
+
+TEST(Bisect, FindsLinearRoot) {
+  const double r = bisect([](double x) { return 2.0 * x - 3.0; }, 0.0, 10.0);
+  EXPECT_NEAR(r, 1.5, 1e-10);
+}
+
+TEST(Bisect, FindsTranscendentalRoot) {
+  const double r =
+      bisect([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_NEAR(r, 0.7390851332151607, 1e-9);
+}
+
+TEST(Bisect, EndpointRoots) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Bisect, NoBracketThrows) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               NumericError);
+}
+
+TEST(Brent, FindsRootFasterThanBisection) {
+  int evals = 0;
+  RootOptions opts;
+  opts.x_tol = 1e-14;
+  const double r = brent(
+      [&evals](double x) {
+        ++evals;
+        return std::exp(x) - 5.0;
+      },
+      0.0, 5.0, opts);
+  EXPECT_NEAR(r, std::log(5.0), 1e-10);
+  EXPECT_LT(evals, 30);
+}
+
+TEST(Brent, HandlesSteepFunction) {
+  const double r = brent([](double x) { return std::pow(x, 9) - 0.5; },
+                         0.0, 1.0);
+  EXPECT_NEAR(r, std::pow(0.5, 1.0 / 9.0), 1e-8);
+}
+
+TEST(Brent, NoBracketThrows) {
+  EXPECT_THROW((void)brent([](double) { return 1.0; }, 0.0, 1.0),
+               NumericError);
+}
+
+TEST(ExpandBracket, GrowsUntilSignChange) {
+  const double hi = expand_bracket(
+      [](double x) { return x - 1000.0; }, 0.0, 1.0);
+  EXPECT_GE(hi, 1000.0);
+  // The returned hi must bracket together with lo.
+  EXPECT_GT(hi - 1000.0, -1e-9);
+}
+
+TEST(ExpandBracket, FailureThrows) {
+  EXPECT_THROW(
+      (void)expand_bracket([](double) { return 1.0; }, 0.0, 1.0, 20),
+      NumericError);
+}
+
+TEST(GoldenMinimize, FindsParabolaMinimum) {
+  const double x =
+      golden_minimize([](double v) { return (v - 2.5) * (v - 2.5); },
+                      -10.0, 10.0);
+  EXPECT_NEAR(x, 2.5, 1e-6);
+}
+
+TEST(GoldenMinimize, AsymmetricUnimodal) {
+  const double x = golden_minimize(
+      [](double v) { return std::exp(v) + std::exp(-2.0 * v); }, -5.0,
+      5.0);
+  // d/dv = e^v − 2e^{-2v} = 0 ⇒ v = ln(2)/3.
+  EXPECT_NEAR(x, std::log(2.0) / 3.0, 1e-6);
+}
+
+TEST(RootFinders, AgreeOnSameProblem) {
+  const auto f = [](double x) { return std::tanh(x) - 0.3; };
+  const double rb = bisect(f, -2.0, 2.0);
+  const double rr = brent(f, -2.0, 2.0);
+  EXPECT_NEAR(rb, rr, 1e-8);
+  EXPECT_NEAR(rr, std::atanh(0.3), 1e-9);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,127 @@
+#include "comimo/sensing/energy_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+namespace {
+
+TEST(EnergyDetector, ThresholdAboveNoiseFloor) {
+  const EnergyDetector det(200, 1.0, 0.05);
+  EXPECT_GT(det.threshold(), 1.0);
+  // Tighter pfa pushes the threshold up.
+  const EnergyDetector strict(200, 1.0, 0.001);
+  EXPECT_GT(strict.threshold(), det.threshold());
+  // More samples pull it toward the noise floor.
+  const EnergyDetector longer(2000, 1.0, 0.05);
+  EXPECT_LT(longer.threshold(), det.threshold());
+}
+
+TEST(EnergyDetector, EmpiricalFalseAlarmMatchesTarget) {
+  const std::size_t n = 400;
+  const double pfa = 0.05;
+  const EnergyDetector det(n, 1.0, pfa);
+  Rng rng(77);
+  std::size_t alarms = 0;
+  const int windows = 20000;
+  std::vector<cplx> w(n);
+  for (int t = 0; t < windows; ++t) {
+    for (auto& s : w) s = rng.complex_gaussian(1.0);  // noise only
+    if (det.sense(w).pu_present) ++alarms;
+  }
+  EXPECT_NEAR(static_cast<double>(alarms) / windows, pfa, 0.012);
+}
+
+TEST(EnergyDetector, EmpiricalDetectionMatchesTheory) {
+  const std::size_t n = 300;
+  const EnergyDetector det(n, 1.0, 0.1);
+  const double snr = db_to_linear(-7.0);
+  Rng rng(78);
+  std::size_t detections = 0;
+  const int windows = 10000;
+  std::vector<cplx> w(n);
+  for (int t = 0; t < windows; ++t) {
+    for (auto& s : w) {
+      s = rng.complex_gaussian(1.0) + rng.complex_gaussian(snr);
+    }
+    if (det.sense(w).pu_present) ++detections;
+  }
+  const double measured = static_cast<double>(detections) / windows;
+  EXPECT_NEAR(measured, det.detection_probability(snr), 0.05);
+}
+
+TEST(EnergyDetector, DetectionImprovesWithSnrAndSamples) {
+  const EnergyDetector det(500, 1.0, 0.05);
+  double prev = 0.0;
+  for (const double snr_db : {-15.0, -10.0, -5.0, 0.0}) {
+    const double pd = det.detection_probability(db_to_linear(snr_db));
+    EXPECT_GE(pd, prev);
+    prev = pd;
+  }
+  const EnergyDetector shorter(100, 1.0, 0.05);
+  EXPECT_GT(det.detection_probability(db_to_linear(-10.0)),
+            shorter.detection_probability(db_to_linear(-10.0)));
+}
+
+TEST(EnergyDetector, FalseAlarmConsistency) {
+  const EnergyDetector det(256, 2.5, 0.07);
+  EXPECT_NEAR(det.false_alarm_probability(), 0.07, 1e-9);
+}
+
+TEST(EnergyDetector, SenseValidatesWindowLength) {
+  const EnergyDetector det(64, 1.0, 0.1);
+  std::vector<cplx> w(32);
+  EXPECT_THROW((void)det.sense(w), InvalidArgument);
+}
+
+TEST(EnergyDetector, ConstructionValidation) {
+  EXPECT_THROW(EnergyDetector(1, 1.0, 0.1), InvalidArgument);
+  EXPECT_THROW(EnergyDetector(64, 0.0, 0.1), InvalidArgument);
+  EXPECT_THROW(EnergyDetector(64, 1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(EnergyDetector(64, 1.0, 1.0), InvalidArgument);
+}
+
+TEST(Roc, MonotoneAndAboveDiagonal) {
+  const std::vector<double> grid{0.001, 0.01, 0.05, 0.1, 0.3, 0.5};
+  const auto roc = energy_detector_roc(db_to_linear(-8.0), 500, grid);
+  ASSERT_EQ(roc.size(), grid.size());
+  double prev_pd = 0.0;
+  for (const auto& pt : roc) {
+    EXPECT_GE(pt.pd, pt.pfa);  // better than guessing
+    EXPECT_GE(pt.pd, prev_pd);
+    prev_pd = pt.pd;
+  }
+}
+
+TEST(RequiredSamples, AchievesTheTarget) {
+  const double snr = db_to_linear(-10.0);
+  const double pfa = 0.05;
+  const double pd = 0.9;
+  const std::size_t n = required_samples(snr, pfa, pd);
+  EXPECT_GT(n, 10u);
+  const EnergyDetector det(n, 1.0, pfa);
+  EXPECT_GE(det.detection_probability(snr), pd - 0.02);
+  // One-tenth the window misses the target.
+  const EnergyDetector small(std::max<std::size_t>(2, n / 10), 1.0, pfa);
+  EXPECT_LT(small.detection_probability(snr), pd);
+}
+
+TEST(RequiredSamples, GrowsAsSnrDrops) {
+  // The classic N ∝ 1/snr² law at low SNR.
+  const std::size_t n10 = required_samples(db_to_linear(-10.0), 0.05, 0.9);
+  const std::size_t n20 = required_samples(db_to_linear(-20.0), 0.05, 0.9);
+  EXPECT_NEAR(static_cast<double>(n20) / n10, 100.0, 30.0);
+}
+
+TEST(RequiredSamples, Validation) {
+  EXPECT_THROW((void)required_samples(0.0, 0.05, 0.9), InvalidArgument);
+  EXPECT_THROW((void)required_samples(0.1, 0.9, 0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,186 @@
+#include "comimo/numeric/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+namespace {
+
+TEST(QFunction, KnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(q_function(1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(q_function(2.0), 0.022750131948179195, 1e-12);
+  EXPECT_NEAR(q_function(3.0), 0.0013498980316300933, 1e-14);
+  // Symmetry Q(-x) = 1 - Q(x).
+  EXPECT_NEAR(q_function(-1.5) + q_function(1.5), 1.0, 1e-14);
+}
+
+TEST(QFunction, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double x = -5.0; x <= 8.0; x += 0.25) {
+    const double q = q_function(x);
+    EXPECT_LT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(QInverse, RoundTrip) {
+  for (double x : {-2.0, -0.5, 0.0, 0.3, 1.0, 2.5, 4.0, 5.5}) {
+    EXPECT_NEAR(q_inverse(q_function(x)), x, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(QInverse, RoundTripFromProbability) {
+  for (double p : {0.4999, 0.3, 0.1, 0.01, 1e-4, 1e-8}) {
+    EXPECT_NEAR(q_function(q_inverse(p)), p, p * 1e-8) << "p=" << p;
+  }
+}
+
+TEST(QInverse, DomainChecks) {
+  EXPECT_THROW(q_inverse(0.0), InvalidArgument);
+  EXPECT_THROW(q_inverse(1.0), InvalidArgument);
+  EXPECT_THROW(q_inverse(-0.1), InvalidArgument);
+}
+
+TEST(Erfcx, MatchesNaiveForModerateArguments) {
+  for (double x = 0.0; x <= 10.0; x += 0.37) {
+    const double naive = std::exp(x * x) * std::erfc(x);
+    EXPECT_NEAR(erfcx(x), naive, naive * 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Erfcx, AsymptoticRegimeFinite) {
+  // Naive product overflows here; erfcx must stay finite and close to
+  // 1/(x√π).
+  for (double x : {15.0, 30.0, 100.0, 1000.0}) {
+    const double v = erfcx(x);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, 1.0 / (x * std::sqrt(3.14159265358979323846)),
+                v * 0.01)
+        << "x=" << x;
+  }
+}
+
+TEST(Erfcx, ContinuousAcrossRegimeBoundary) {
+  const double below = erfcx(11.999999);
+  const double above = erfcx(12.000001);
+  EXPECT_NEAR(below, above, below * 1e-6);
+}
+
+TEST(LogGamma, MatchesFactorials) {
+  double fact = 1.0;
+  for (int n = 1; n <= 10; ++n) {
+    EXPECT_NEAR(std::exp(log_gamma(n)), fact, fact * 1e-12);
+    fact *= n;
+  }
+  EXPECT_THROW(log_gamma(0.0), InvalidArgument);
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 5), 252.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+  // Pascal identity.
+  for (unsigned n = 1; n < 20; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      EXPECT_DOUBLE_EQ(binomial(n, k),
+                       binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(AvgQOverGamma, SingleBranchClosedForm) {
+  // m = 1 reduces to the Rayleigh BPSK formula ½(1 − √(g/(1+g))).
+  for (double g : {0.1, 1.0, 5.0, 50.0, 500.0}) {
+    const double expected = 0.5 * (1.0 - std::sqrt(g / (1.0 + g)));
+    EXPECT_NEAR(avg_q_over_gamma(g, 1), expected, expected * 1e-12);
+  }
+}
+
+TEST(AvgQOverGamma, ZeroSnrIsHalf) {
+  for (unsigned m : {1u, 2u, 4u, 8u}) {
+    EXPECT_NEAR(avg_q_over_gamma(0.0, m), 0.5, 1e-12) << "m=" << m;
+  }
+}
+
+TEST(AvgQOverGamma, MonotoneInSnrAndDiversity) {
+  for (unsigned m = 1; m <= 6; ++m) {
+    double prev = 1.0;
+    for (double g = 0.1; g <= 100.0; g *= 2.0) {
+      const double p = avg_q_over_gamma(g, m);
+      EXPECT_LT(p, prev);
+      prev = p;
+    }
+  }
+  // More diversity at fixed g is better.
+  for (double g : {0.5, 2.0, 10.0}) {
+    for (unsigned m = 1; m < 8; ++m) {
+      EXPECT_GT(avg_q_over_gamma(g, m), avg_q_over_gamma(g, m + 1));
+    }
+  }
+}
+
+TEST(AvgQOverGamma, MatchesMonteCarlo) {
+  Rng rng(99);
+  for (const auto& [g, m] : std::vector<std::pair<double, unsigned>>{
+           {1.0, 1}, {2.0, 2}, {0.5, 4}, {5.0, 3}}) {
+    double sum = 0.0;
+    const int trials = 400000;
+    for (int t = 0; t < trials; ++t) {
+      const double x = rng.gamma(static_cast<double>(m));
+      sum += q_function(std::sqrt(2.0 * g * x));
+    }
+    const double mc = sum / trials;
+    const double exact = avg_q_over_gamma(g, m);
+    EXPECT_NEAR(mc, exact, std::max(5e-4, exact * 0.05))
+        << "g=" << g << " m=" << m;
+  }
+}
+
+TEST(AvgQOverGamma, ChernoffUpperBound) {
+  for (unsigned m : {1u, 2u, 4u, 6u}) {
+    for (double g : {0.1, 1.0, 10.0, 100.0}) {
+      EXPECT_LE(avg_q_over_gamma(g, m),
+                chernoff_avg_q_over_gamma(g, m) * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(AvgQOverGamma, HighSnrDiversitySlope) {
+  // At high SNR the probability decays like g^-m: doubling g should
+  // scale the probability by roughly 2^-m.
+  for (unsigned m : {1u, 2u, 3u, 4u}) {
+    const double p1 = avg_q_over_gamma(2000.0, m);
+    const double p2 = avg_q_over_gamma(4000.0, m);
+    EXPECT_NEAR(p1 / p2, std::pow(2.0, m), std::pow(2.0, m) * 0.05)
+        << "m=" << m;
+  }
+}
+
+TEST(LogAvgQOverGamma, MatchesLinearVersion) {
+  for (unsigned m : {1u, 3u, 6u}) {
+    for (double g : {0.5, 5.0, 50.0}) {
+      EXPECT_NEAR(std::exp(log_avg_q_over_gamma(g, m)),
+                  avg_q_over_gamma(g, m),
+                  avg_q_over_gamma(g, m) * 1e-9);
+    }
+  }
+}
+
+TEST(LogAvgQOverGamma, StableWhereLinearUnderflows) {
+  // Deep diversity + huge SNR underflows the linear form; the log form
+  // must remain finite and ordered.
+  const double l1 = log_avg_q_over_gamma(1e12, 8);
+  const double l2 = log_avg_q_over_gamma(1e13, 8);
+  EXPECT_TRUE(std::isfinite(l1));
+  EXPECT_TRUE(std::isfinite(l2));
+  EXPECT_GT(l1, l2);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,123 @@
+#include "comimo/numeric/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(2.0, 3.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, Ci95Coverage) {
+  // The CI half-width should shrink as 1/√n.
+  Rng rng(2);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 100; ++i) small.add(rng.gaussian());
+  for (int i = 0; i < 10000; ++i) large.add(rng.gaussian());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width() * 5.0);
+}
+
+TEST(Percentile, KnownQuartiles) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 25.0), 2.0);
+  // Interpolated value.
+  EXPECT_DOUBLE_EQ(percentile(data, 10.0), 1.4);
+}
+
+TEST(Percentile, ErrorsOnBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 101.0), InvalidArgument);
+}
+
+TEST(EstimateRate, PointEstimate) {
+  const RateEstimate e = estimate_rate(25, 100);
+  EXPECT_DOUBLE_EQ(e.rate, 0.25);
+  EXPECT_GT(e.wilson_hi, e.rate);
+  EXPECT_LT(e.wilson_lo, e.rate);
+  EXPECT_GE(e.wilson_lo, 0.0);
+  EXPECT_LE(e.wilson_hi, 1.0);
+}
+
+TEST(EstimateRate, ExtremesStayInUnitInterval) {
+  const RateEstimate zero = estimate_rate(0, 50);
+  EXPECT_DOUBLE_EQ(zero.rate, 0.0);
+  EXPECT_GE(zero.wilson_lo, 0.0);
+  EXPECT_GT(zero.wilson_hi, 0.0);  // Wilson never collapses to a point
+  const RateEstimate one = estimate_rate(50, 50);
+  EXPECT_DOUBLE_EQ(one.rate, 1.0);
+  EXPECT_LT(one.wilson_lo, 1.0);
+  EXPECT_LE(one.wilson_hi, 1.0);
+}
+
+TEST(EstimateRate, IntervalShrinksWithTrials) {
+  const RateEstimate small = estimate_rate(5, 20);
+  const RateEstimate large = estimate_rate(500, 2000);
+  EXPECT_GT(small.wilson_hi - small.wilson_lo,
+            large.wilson_hi - large.wilson_lo);
+}
+
+TEST(EstimateRate, InvalidInputsThrow) {
+  EXPECT_THROW(estimate_rate(1, 0), InvalidArgument);
+  EXPECT_THROW(estimate_rate(5, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo

@@ -1,0 +1,179 @@
+#include "comimo/phy/stbc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/channel/awgn.h"
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/phy/ber.h"
+#include "comimo/phy/detector.h"
+#include "comimo/phy/modulation.h"
+
+namespace comimo {
+namespace {
+
+TEST(StbcCode, AlamoutiLayout) {
+  const StbcCode code = StbcCode::alamouti();
+  EXPECT_EQ(code.num_tx(), 2u);
+  EXPECT_EQ(code.block_length(), 2u);
+  EXPECT_EQ(code.symbols_per_block(), 2u);
+  EXPECT_DOUBLE_EQ(code.rate(), 1.0);
+  const std::vector<cplx> s{{1.0, 2.0}, {3.0, -1.0}};
+  const CMatrix c = code.encode(s);
+  const double ps = code.power_scale();
+  EXPECT_NEAR(std::abs(c(0, 0) - s[0] * ps), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(c(0, 1) - s[1] * ps), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(c(1, 0) + std::conj(s[1]) * ps), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(c(1, 1) - std::conj(s[0]) * ps), 0.0, 1e-14);
+}
+
+class OrthogonalDesign : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OrthogonalDesign, SatisfiesOrthogonality) {
+  const StbcCode code = StbcCode::for_antennas(GetParam());
+  EXPECT_TRUE(code.is_orthogonal_design());
+}
+
+TEST_P(OrthogonalDesign, RateMatchesDesign) {
+  const StbcCode code = StbcCode::for_antennas(GetParam());
+  const std::size_t n = GetParam();
+  if (n <= 2) {
+    EXPECT_DOUBLE_EQ(code.rate(), 1.0);
+  } else {
+    EXPECT_DOUBLE_EQ(code.rate(), 0.5);
+  }
+}
+
+TEST_P(OrthogonalDesign, NoiseFreeDecodingIsExact) {
+  const std::size_t mt = GetParam();
+  const StbcCode code = StbcCode::for_antennas(mt);
+  const StbcDecoder decoder(code);
+  Rng rng(100 + mt);
+  for (std::size_t mr = 1; mr <= 3; ++mr) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<cplx> s(code.symbols_per_block());
+      for (auto& v : s) v = rng.complex_gaussian();
+      const CMatrix h = CMatrix::random_gaussian(mr, mt, rng);
+      const CMatrix c = code.encode(s);
+      // received(t, j) = Σ_i c(t,i)·h(j,i)
+      CMatrix r(code.block_length(), mr);
+      for (std::size_t t = 0; t < code.block_length(); ++t) {
+        for (std::size_t j = 0; j < mr; ++j) {
+          cplx acc{0.0, 0.0};
+          for (std::size_t i = 0; i < mt; ++i) acc += c(t, i) * h(j, i);
+          r(t, j) = acc;
+        }
+      }
+      const auto decoded = decoder.decode(h, r);
+      for (std::size_t k = 0; k < s.size(); ++k) {
+        EXPECT_NEAR(std::abs(decoded[k] - s[k]), 0.0, 1e-9)
+            << "mt=" << mt << " mr=" << mr << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_P(OrthogonalDesign, CombiningGainIsFrobenius) {
+  const std::size_t mt = GetParam();
+  const StbcCode code = StbcCode::for_antennas(mt);
+  const StbcDecoder decoder(code);
+  Rng rng(200 + mt);
+  const CMatrix h = CMatrix::random_gaussian(2, mt, rng);
+  EXPECT_NEAR(decoder.combining_gain(h),
+              h.frobenius_norm2() / static_cast<double>(mt), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Antennas, OrthogonalDesign,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(StbcCode, PerAntennaPowerNormalization) {
+  // Total radiated energy per block must equal K symbol energies
+  // regardless of the antenna count (the 1/mt split of the paper).
+  Rng rng(321);
+  for (std::size_t mt : {1u, 2u, 4u}) {
+    const StbcCode code = StbcCode::for_antennas(mt);
+    std::vector<cplx> s(code.symbols_per_block());
+    double sym_energy = 0.0;
+    for (auto& v : s) {
+      v = rng.complex_gaussian();
+      sym_energy += std::norm(v);
+    }
+    const CMatrix c = code.encode(s);
+    double tx_energy = c.frobenius_norm2();
+    if (mt <= 2) {
+      EXPECT_NEAR(tx_energy, sym_energy, 1e-9) << "mt=" << mt;
+    } else {
+      // Rate-1/2 designs transmit each symbol twice (once conjugated).
+      EXPECT_NEAR(tx_energy, 2.0 * sym_energy, 1e-9) << "mt=" << mt;
+    }
+  }
+}
+
+TEST(StbcCode, SymbolWeightMatchesRate) {
+  EXPECT_DOUBLE_EQ(StbcCode::siso().symbol_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(StbcCode::alamouti().symbol_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(StbcCode::g3().symbol_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(StbcCode::g4().symbol_weight(), 2.0);
+}
+
+TEST(StbcCode, ForAntennasRejectsOutOfRange) {
+  EXPECT_THROW(StbcCode::for_antennas(0), InvalidArgument);
+  EXPECT_THROW(StbcCode::for_antennas(5), InvalidArgument);
+}
+
+TEST(StbcCode, EncodeRejectsWrongSymbolCount) {
+  const StbcCode code = StbcCode::alamouti();
+  const std::vector<cplx> wrong(3, cplx{1.0, 0.0});
+  EXPECT_THROW((void)code.encode(wrong), InvalidArgument);
+}
+
+TEST(StbcDecoder, ShapeChecks) {
+  const StbcDecoder decoder(StbcCode::alamouti());
+  const CMatrix h(2, 2);  // 2 rx, 2 tx (singular but shape-valid)
+  EXPECT_THROW((void)decoder.decode(CMatrix(2, 3), CMatrix(2, 2)),
+               InvalidArgument);
+  EXPECT_THROW((void)decoder.decode(h, CMatrix(3, 2)), InvalidArgument);
+  EXPECT_THROW((void)decoder.decode(h, CMatrix(2, 1)), InvalidArgument);
+}
+
+TEST(StbcDecoder, AlamoutiBerMatchesDiversityTheory) {
+  // Alamouti 2×1 with total-power normalization has the BER of 2-branch
+  // MRC at half the branch SNR: E[Q(√(2·(γ/2)·x))], x ~ Gamma(2,1).
+  const StbcCode code = StbcCode::alamouti();
+  const StbcDecoder decoder(code);
+  const BpskModulator modem;
+  const double gamma_db = 8.0;
+  const double gamma = std::pow(10.0, gamma_db / 10.0);
+  const double n0 = 1.0 / gamma;
+
+  Rng rng(42);
+  AwgnChannel noise(n0, Rng(43));
+  std::size_t errors = 0;
+  std::size_t bits_total = 0;
+  const int blocks = 40000;
+  for (int blk = 0; blk < blocks; ++blk) {
+    const BitVec bits = random_bits(2, 1000 + blk);
+    const auto s = modem.modulate(bits);
+    const CMatrix h = CMatrix::random_gaussian(1, 2, rng);
+    const CMatrix c = code.encode(s);
+    CMatrix r(2, 1);
+    for (std::size_t t = 0; t < 2; ++t) {
+      r(t, 0) = c(t, 0) * h(0, 0) + c(t, 1) * h(0, 1) + noise.sample();
+    }
+    const auto est = decoder.decode(h, r);
+    const BitVec decoded = modem.demodulate(est);
+    errors += count_bit_errors(bits, decoded);
+    bits_total += 2;
+  }
+  const double measured = static_cast<double>(errors) / bits_total;
+  // ber_mqam_rayleigh_mimo takes γ per unit ‖H‖² — the total-power
+  // normalization spreads γ over mt = 2 branches.
+  const double theory = ber_mqam_rayleigh_mimo(1, gamma / 2.0, 2, 1);
+  EXPECT_NEAR(measured, theory, theory * 0.25)
+      << "measured " << measured << " vs theory " << theory;
+}
+
+}  // namespace
+}  // namespace comimo

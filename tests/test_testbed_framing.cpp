@@ -1,0 +1,262 @@
+// Tests for CRC-32, framing, the flowgraph, the DF relay and the
+// synthetic image pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+#include "comimo/phy/detector.h"
+#include "comimo/testbed/blocks.h"
+#include "comimo/testbed/crc32.h"
+#include "comimo/testbed/flowgraph.h"
+#include "comimo/testbed/framing.h"
+#include "comimo/testbed/image.h"
+#include "comimo/testbed/relay.h"
+
+namespace comimo {
+namespace {
+
+// --- CRC-32 -------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  // The canonical check value: CRC-32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  const std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(crc32(bytes), 0xCBF43926u);
+  // Empty input.
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Crc32 inc;
+  inc.update(std::span<const std::uint8_t>(data).subspan(0, 4));
+  inc.update(std::span<const std::uint8_t>(data).subspan(4));
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(64, 0x55);
+  const std::uint32_t good = crc32(data);
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    auto corrupted = data;
+    corrupted[i] ^= 0x04;
+    EXPECT_NE(crc32(corrupted), good) << "byte " << i;
+  }
+}
+
+TEST(Crc32, ResetRestartsState) {
+  Crc32 crc;
+  crc.update(0xAB);
+  crc.reset();
+  const std::vector<std::uint8_t> data{0xCD};
+  crc.update(data);
+  EXPECT_EQ(crc.value(), crc32(data));
+}
+
+// --- framing ----------------------------------------------------------
+
+TEST(Framer, RoundTrip) {
+  const Framer framer;
+  Packet p;
+  p.sequence = 1234;
+  p.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  const BitVec bits = framer.frame(p);
+  EXPECT_EQ(bits.size(), framer.frame_bits(4));
+  const auto parsed = framer.parse(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sequence, 1234);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Framer, EmptyPayloadRoundTrip) {
+  const Framer framer;
+  Packet p;
+  p.sequence = 7;
+  const auto parsed = framer.parse(framer.frame(p));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(Framer, CorruptPayloadFailsCrc) {
+  const Framer framer;
+  Packet p;
+  p.sequence = 9;
+  p.payload.assign(100, 0x42);
+  BitVec bits = framer.frame(p);
+  bits[bits.size() / 2] ^= 1;
+  EXPECT_FALSE(framer.parse(bits).has_value());
+}
+
+TEST(Framer, CorruptSyncWordRejected) {
+  const Framer framer;
+  Packet p;
+  p.payload = {1, 2, 3};
+  BitVec bits = framer.frame(p);
+  // Flip a bit in the sync word (first bit after the preamble).
+  bits[framer.config().preamble_bytes * 8] ^= 1;
+  EXPECT_FALSE(framer.parse(bits).has_value());
+}
+
+TEST(Framer, CorruptLengthRejected) {
+  const Framer framer;
+  Packet p;
+  p.payload.assign(10, 0xAA);
+  BitVec bits = framer.frame(p);
+  // Flip the length MSB → implied size no longer matches the frame.
+  bits[(framer.config().preamble_bytes + 2) * 8] ^= 1;
+  EXPECT_FALSE(framer.parse(bits).has_value());
+}
+
+TEST(Framer, PreambleCorruptionIsHarmless) {
+  // The preamble only trains the receiver; its bits are not covered by
+  // the CRC.
+  const Framer framer;
+  Packet p;
+  p.payload = {9, 8, 7};
+  BitVec bits = framer.frame(p);
+  bits[3] ^= 1;
+  EXPECT_TRUE(framer.parse(bits).has_value());
+}
+
+TEST(Framer, OversizePayloadRejected) {
+  const Framer framer;
+  Packet p;
+  p.payload.assign(framer.config().max_payload + 1, 0);
+  EXPECT_THROW((void)framer.frame(p), InvalidArgument);
+}
+
+TEST(Framer, TruncatedBitsRejected) {
+  const Framer framer;
+  Packet p;
+  p.payload.assign(20, 1);
+  BitVec bits = framer.frame(p);
+  bits.resize(bits.size() - 16);
+  EXPECT_FALSE(framer.parse(bits).has_value());
+  bits.resize(5);  // not even byte-aligned
+  EXPECT_FALSE(framer.parse(bits).has_value());
+}
+
+// --- flowgraph -----------------------------------------------------------
+
+TEST(Flowgraph, ChainsBlocksInOrder) {
+  Flowgraph fg;
+  fg.add(std::make_unique<GainBlock>(cplx{2.0, 0.0}))
+      .add(std::make_unique<PhaseRotationBlock>(kPi));
+  const auto out = fg.run({cplx{1.0, 0.0}});
+  EXPECT_NEAR(std::abs(out[0] - cplx{-2.0, 0.0}), 0.0, 1e-12);
+  EXPECT_EQ(fg.size(), 2u);
+  EXPECT_EQ(fg.describe(), "gain -> phase");
+}
+
+TEST(Flowgraph, RejectsNullBlock) {
+  Flowgraph fg;
+  EXPECT_THROW(fg.add(nullptr), InvalidArgument);
+}
+
+TEST(Blocks, NoiseBlockAddsNoise) {
+  Flowgraph fg;
+  fg.add(std::make_unique<NoiseBlock>(1.0, Rng(3)));
+  const std::vector<cplx> in(64, cplx{1.0, 0.0});
+  const auto out = fg.run(in);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) diff += std::abs(out[i] - in[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Blocks, ChannelBlockAppliesMeanGain) {
+  IndoorLinkConfig cfg;
+  cfg.gain_db = -20.0;
+  cfg.multipath.k_factor = 1e6;  // effectively deterministic
+  Flowgraph fg;
+  fg.add(std::make_unique<ChannelBlock>(cfg, Rng(4)));
+  const auto out = fg.run({cplx{1.0, 0.0}});
+  EXPECT_NEAR(std::abs(out[0]), 0.1, 0.01);
+}
+
+// --- relay -----------------------------------------------------------------
+
+TEST(Relay, CleanChannelForwardsPerfectly) {
+  const DecodeForwardRelay relay;
+  const BpskModulator modem;
+  const BitVec bits = random_bits(500, 5);
+  auto rx = modem.modulate(bits);
+  const cplx gain{0.3, -0.4};
+  for (auto& s : rx) s *= gain;
+  const BitVec decoded = relay.decode(rx, gain);
+  EXPECT_EQ(decoded, bits);
+  const auto fwd = relay.relay(rx, gain);
+  EXPECT_EQ(modem.demodulate(fwd), bits);
+}
+
+TEST(Relay, ErrorsPropagate) {
+  // A relay that decodes wrongly forwards its wrong decision with full
+  // confidence — DF error propagation.
+  const DecodeForwardRelay relay;
+  const BpskModulator modem;
+  const BitVec bits{0, 1};
+  auto rx = modem.modulate(bits);
+  rx[0] = cplx{-2.0, 0.0};  // force a decision error on bit 0
+  const auto fwd = relay.relay(rx, cplx{1.0, 0.0});
+  const BitVec decoded = modem.demodulate(fwd);
+  EXPECT_EQ(decoded[0], 1);  // wrong, and confidently so
+  EXPECT_EQ(decoded[1], 1);
+}
+
+// --- image ------------------------------------------------------------------
+
+TEST(Image, SizeMatchesPacketBudget) {
+  const SyntheticImage img = make_test_image(474, 1500);
+  EXPECT_EQ(img.size_bytes(), 474u * 1500u);
+  EXPECT_EQ(packetize(img, 1500).size(), 474u);
+}
+
+TEST(Image, PacketizeReassembleLossless) {
+  const SyntheticImage img = make_test_image(20, 100);
+  const auto packets = packetize(img, 100);
+  const ReassemblyReport rpt = reassemble(img, packets, 100);
+  EXPECT_EQ(rpt.packets_received, 20u);
+  EXPECT_DOUBLE_EQ(rpt.packet_error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(rpt.mean_abs_error, 0.0);
+  EXPECT_TRUE(rpt.recoverable());
+}
+
+TEST(Image, LostPacketsCauseDistortion) {
+  const SyntheticImage img = make_test_image(20, 100);
+  auto packets = packetize(img, 100);
+  packets.erase(packets.begin() + 5, packets.begin() + 10);  // drop 5
+  const ReassemblyReport rpt = reassemble(img, packets, 100);
+  EXPECT_EQ(rpt.packets_received, 15u);
+  EXPECT_NEAR(rpt.packet_error_rate, 0.25, 1e-12);
+  EXPECT_GT(rpt.mean_abs_error, 0.0);
+  EXPECT_TRUE(rpt.recoverable());
+}
+
+TEST(Image, TotalLossIsUnrecoverable) {
+  const SyntheticImage img = make_test_image(10, 100);
+  const ReassemblyReport rpt = reassemble(img, {}, 100);
+  EXPECT_DOUBLE_EQ(rpt.packet_error_rate, 1.0);
+  EXPECT_FALSE(rpt.recoverable());
+}
+
+TEST(Image, BogusSequenceNumbersIgnored) {
+  const SyntheticImage img = make_test_image(10, 100);
+  std::vector<Packet> packets = packetize(img, 100);
+  Packet bogus;
+  bogus.sequence = 5000;
+  bogus.payload.assign(100, 0xFF);
+  packets.push_back(bogus);
+  const ReassemblyReport rpt = reassemble(img, packets, 100);
+  EXPECT_EQ(rpt.packets_received, 10u);
+  EXPECT_DOUBLE_EQ(rpt.mean_abs_error, 0.0);
+}
+
+TEST(Image, DeterministicContent) {
+  const SyntheticImage a = make_test_image(5, 100);
+  const SyntheticImage b = make_test_image(5, 100);
+  EXPECT_EQ(a.pixels, b.pixels);
+}
+
+}  // namespace
+}  // namespace comimo

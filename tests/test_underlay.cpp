@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+#include "comimo/underlay/compliance.h"
+#include "comimo/underlay/cooperative_hop.h"
+#include "comimo/underlay/pa_budget.h"
+
+namespace comimo {
+namespace {
+
+UnderlayHopConfig fig7_config(unsigned mt, unsigned mr, double d = 200.0) {
+  UnderlayHopConfig cfg;
+  cfg.mt = mt;
+  cfg.mr = mr;
+  cfg.hop_distance_m = d;
+  cfg.cluster_diameter_m = 1.0;
+  cfg.ber = 1e-3;
+  cfg.bandwidth_hz = 40e3;
+  return cfg;
+}
+
+TEST(UnderlayHop, PlanPicksFeasibleConstellation) {
+  const UnderlayCooperativeHop planner;
+  const UnderlayHopPlan plan = planner.plan(fig7_config(2, 3));
+  EXPECT_GE(plan.b, kMinConstellationBits);
+  EXPECT_LE(plan.b, kMaxConstellationBits);
+  EXPECT_GT(plan.ebar, 0.0);
+  EXPECT_GT(plan.mimo_tx_pa, 0.0);
+  EXPECT_GT(plan.total_pa(), 0.0);
+  EXPECT_GT(plan.total_energy(), plan.total_pa());
+}
+
+TEST(UnderlayHop, PeakPaFormula) {
+  const UnderlayCooperativeHop planner;
+  const UnderlayHopPlan plan = planner.plan(fig7_config(2, 3));
+  EXPECT_DOUBLE_EQ(plan.peak_pa(),
+                   std::max(plan.local_tx_pa, 2.0 * plan.mimo_tx_pa));
+}
+
+TEST(UnderlayHop, SisoHasNoLocalSteps) {
+  const UnderlayCooperativeHop planner;
+  const UnderlayHopPlan plan = planner.plan(fig7_config(1, 1));
+  // total_pa for SISO is exactly one long-haul transmission.
+  EXPECT_DOUBLE_EQ(plan.total_pa(), plan.mimo_tx_pa);
+  EXPECT_DOUBLE_EQ(plan.peak_pa(), plan.mimo_tx_pa);
+}
+
+TEST(UnderlayHop, SisoNeedsOrdersOfMagnitudeMoreThanMimo) {
+  // Fig. 7's headline: "the difference of magnitude is 2 to 4 orders"
+  // (100–10000×).  Our closed-form ē_b lands at the low edge of that
+  // range at p = 1e-3 (≈97× for 2×3); require roughly-two-orders.
+  const UnderlayCooperativeHop planner;
+  const double siso = planner.plan(fig7_config(1, 1)).total_pa();
+  const double mimo23 = planner.plan(fig7_config(2, 3)).total_pa();
+  EXPECT_GT(siso / mimo23, 50.0);
+  EXPECT_LT(siso / mimo23, 1e5);
+}
+
+TEST(UnderlayHop, FewerTransmittersThanReceiversIsCheapest) {
+  // §6.2: the (mt < mr) cases are the lowest because long-haul
+  // transmission dominates.
+  const UnderlayCooperativeHop planner;
+  const double e12 = planner.plan(fig7_config(1, 2)).total_pa();
+  const double e21 = planner.plan(fig7_config(2, 1)).total_pa();
+  EXPECT_LT(e12, e21);
+}
+
+TEST(UnderlayHop, TotalPaGrowsWithDistance) {
+  const UnderlayCooperativeHop planner;
+  const double near = planner.plan(fig7_config(2, 2, 100.0)).total_pa();
+  const double far = planner.plan(fig7_config(2, 2, 300.0)).total_pa();
+  EXPECT_GT(far, near);
+}
+
+TEST(UnderlayHop, ClusterDiameterBarelyMatters) {
+  // §6.2: "the value of d doesn't give any big impact" (at d ≤ 16 m the
+  // local κ-law term stays far below the long-haul term).
+  const UnderlayCooperativeHop planner;
+  const double d1 = planner.plan(fig7_config(2, 3, 200.0)).total_pa();
+  UnderlayHopConfig cfg = fig7_config(2, 3, 200.0);
+  cfg.cluster_diameter_m = 16.0;
+  const double d16 = planner.plan(cfg).total_pa();
+  EXPECT_LT(d16 / d1, 3.0);
+}
+
+TEST(UnderlayHop, SelectionRulesAgreeOnOrderOfMagnitude) {
+  const UnderlayCooperativeHop planner;
+  const auto cfg = fig7_config(2, 2);
+  const double by_ebar =
+      planner.plan(cfg, BSelectionRule::kMinEbar).total_pa();
+  const double by_total =
+      planner.plan(cfg, BSelectionRule::kMinTotalPa).total_pa();
+  EXPECT_LE(by_total, by_ebar * (1.0 + 1e-12));
+  EXPECT_GT(by_total, by_ebar * 0.01);
+}
+
+TEST(UnderlayHop, ValidatesConfig) {
+  const UnderlayCooperativeHop planner;
+  UnderlayHopConfig cfg = fig7_config(0, 1);
+  EXPECT_THROW((void)planner.plan(cfg), InvalidArgument);
+  cfg = fig7_config(1, 1);
+  cfg.hop_distance_m = 0.0;
+  EXPECT_THROW((void)planner.plan(cfg), InvalidArgument);
+}
+
+// --- PA budget sweep (Fig. 7 harness) -----------------------------------
+
+TEST(PaBudgetSweep, SeriesShapesMatchFig7) {
+  const PaBudgetSweep sweep;
+  const std::vector<double> distances{100.0, 200.0, 300.0};
+  const auto grid =
+      sweep.sweep_grid(2, 3, distances, 1.0, 1e-3, 40e3);
+  ASSERT_EQ(grid.size(), 6u);
+  for (const auto& series : grid) {
+    ASSERT_EQ(series.points.size(), 3u);
+    // Monotone increasing in distance.
+    EXPECT_LT(series.points[0].plan.total_pa(),
+              series.points[2].plan.total_pa());
+  }
+  // SISO (first series) dominates every cooperative one at every D.
+  const auto& siso = grid.front();
+  for (std::size_t s = 1; s < grid.size(); ++s) {
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+      EXPECT_GT(siso.points[i].plan.total_pa(),
+                grid[s].points[i].plan.total_pa())
+          << "series " << grid[s].mt << "x" << grid[s].mr;
+    }
+  }
+}
+
+// --- compliance ------------------------------------------------------------
+
+TEST(UnderlayCompliance, CooperativeHopSitsBelowSisoReference) {
+  const UnderlayCooperativeHop planner;
+  const UnderlayComplianceChecker checker;
+  const UnderlayHopPlan plan = planner.plan(fig7_config(2, 3));
+  const UnderlayComplianceReport rpt = checker.check(plan, 50.0);
+  EXPECT_TRUE(rpt.paper_compliant());
+  EXPECT_GT(rpt.relative_to_siso_db, 10.0);
+  EXPECT_DOUBLE_EQ(rpt.peak_pa_energy, plan.peak_pa());
+}
+
+TEST(UnderlayCompliance, SisoHopIsItsOwnReference) {
+  const UnderlayCooperativeHop planner;
+  const UnderlayComplianceChecker checker;
+  const UnderlayHopPlan plan = planner.plan(fig7_config(1, 1));
+  const UnderlayComplianceReport rpt = checker.check(plan, 50.0);
+  EXPECT_NEAR(rpt.relative_to_siso_db, 0.0, 1e-9);
+}
+
+TEST(UnderlayCompliance, StrictPhysicsReportedHonestly) {
+  // The strict received-PSD-vs-thermal-floor check fails for narrowband
+  // underlay at these power levels (see compliance.h); the report must
+  // say so rather than flatter the design.
+  const UnderlayCooperativeHop planner;
+  const UnderlayComplianceChecker checker;
+  const UnderlayHopPlan plan = planner.plan(fig7_config(2, 3));
+  const UnderlayComplianceReport rpt = checker.check(plan, 50.0);
+  EXPECT_FALSE(rpt.worst_moment.compliant());
+  EXPECT_LT(rpt.worst_moment.margin_db, 0.0);
+}
+
+}  // namespace
+}  // namespace comimo

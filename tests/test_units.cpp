@@ -1,0 +1,110 @@
+#include "comimo/common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comimo/common/constants.h"
+
+namespace comimo {
+namespace {
+
+TEST(Units, DbToLinearRoundTrip) {
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 40.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, KnownDbValues) {
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9952623149688795, 1e-12);
+  EXPECT_NEAR(db_to_linear(-10.0), 0.1, 1e-15);
+}
+
+TEST(Units, DbmToWatts) {
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-18);
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(-174.0), 3.9810717055349565e-21, 1e-33);
+}
+
+TEST(Units, WattsToDbmRoundTrip) {
+  for (double w : {1e-6, 1e-3, 0.5, 2.0}) {
+    EXPECT_NEAR(dbm_to_watts(watts_to_dbm(w)), w, w * 1e-12);
+  }
+}
+
+TEST(Units, DegRadRoundTrip) {
+  for (double deg : {0.0, 45.0, 90.0, 180.0, 270.0, -60.0}) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(deg)), deg, 1e-12);
+  }
+}
+
+TEST(Units, WrapAngleIntoRange) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(wrap_angle(3.0 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(-3.0 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(2.0 * kPi), 0.0, 1e-12);
+  for (double a = -20.0; a <= 20.0; a += 0.37) {
+    const double w = wrap_angle(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    // Same angle modulo 2π.
+    EXPECT_NEAR(std::cos(w), std::cos(a), 1e-12);
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-12);
+  }
+}
+
+TEST(SystemParams, PaperDefaults) {
+  const SystemParams p;
+  EXPECT_NEAR(p.p_ct_w, 48.64e-3, 1e-12);
+  EXPECT_NEAR(p.p_cr_w, 62.5e-3, 1e-12);
+  EXPECT_NEAR(p.p_syn_w, 50e-3, 1e-12);
+  EXPECT_NEAR(p.kappa, 3.5, 1e-12);
+  EXPECT_NEAR(linear_to_db(p.link_margin), 40.0, 1e-9);
+  EXPECT_NEAR(linear_to_db(p.noise_figure), 10.0, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(p.sigma2_w_per_hz), -174.0, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(p.n0_w_per_hz), -171.0, 1e-9);
+  EXPECT_NEAR(linear_to_db(p.gt_gr), 5.0, 1e-9);
+  EXPECT_NEAR(p.lambda_m, 0.1199, 1e-12);
+}
+
+TEST(SystemParams, PaOverheadMatchesFormula) {
+  const SystemParams p;
+  // α = 3(√M − 1)/(0.35(√M + 1)), M = 2^b.
+  for (int b = 1; b <= 16; ++b) {
+    const double root_m = std::pow(2.0, b / 2.0);
+    const double expected = 3.0 * (root_m - 1.0) / (0.35 * (root_m + 1.0));
+    EXPECT_NEAR(p.pa_overhead(b), expected, 1e-12) << "b=" << b;
+  }
+}
+
+TEST(SystemParams, PaOverheadIncreasesWithB) {
+  const SystemParams p;
+  for (int b = 1; b < 16; ++b) {
+    EXPECT_LT(p.pa_overhead(b), p.pa_overhead(b + 1));
+  }
+}
+
+TEST(SystemParams, LocalGainPowerLaw) {
+  const SystemParams p;
+  // G_d = G_1 d^κ M_l: doubling d multiplies by 2^3.5.
+  const double g1m = p.local_gain(1.0);
+  EXPECT_NEAR(g1m, p.g1 * p.link_margin, 1e-6);
+  EXPECT_NEAR(p.local_gain(2.0) / g1m, std::pow(2.0, 3.5), 1e-9);
+}
+
+TEST(SystemParams, LongHaulAttenuationSquareLaw) {
+  const SystemParams p;
+  const double a100 = p.long_haul_attenuation(100.0);
+  const double a200 = p.long_haul_attenuation(200.0);
+  EXPECT_NEAR(a200 / a100, 4.0, 1e-9);
+  // Formula check at D = 1 m.
+  const double expected = std::pow(4.0 * kPi, 2.0) /
+                          (p.gt_gr * p.lambda_m * p.lambda_m) *
+                          p.link_margin * p.noise_figure;
+  EXPECT_NEAR(p.long_haul_attenuation(1.0), expected, expected * 1e-12);
+}
+
+}  // namespace
+}  // namespace comimo

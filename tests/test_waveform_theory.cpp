@@ -1,0 +1,128 @@
+// Waveform-vs-theory property sweeps: the sample-level modems must
+// reproduce the analytic BER curves the planners rely on, across
+// constellation sizes, SNRs and channels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "comimo/channel/awgn.h"
+#include "comimo/common/units.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/phy/ber.h"
+#include "comimo/phy/detector.h"
+#include "comimo/phy/modulation.h"
+
+namespace comimo {
+namespace {
+
+// ---------------------------------------------------------------------
+// Gray-mapped MQAM over AWGN matches the paper's A·Q(√(B·γ)) formula
+// (within the approximation's accuracy) for every supported b.
+// ---------------------------------------------------------------------
+
+using QamCase = std::tuple<int, double>;  // b, Eb/N0 dB
+
+class QamAwgnSweep : public ::testing::TestWithParam<QamCase> {};
+
+TEST_P(QamAwgnSweep, MeasuredBerMatchesApproximation) {
+  const auto [b, ebn0_db] = GetParam();
+  const QamModulator modem(b);
+  const std::size_t n_bits = 240000 - (240000 % b);
+  const BitVec bits = random_bits(n_bits, 1234 + b);
+  std::vector<cplx> s = modem.modulate(bits);
+  // Unit-energy symbols: Es/N0 = b·Eb/N0.
+  const double gamma_b = db_to_linear(ebn0_db);
+  const double n0 = 1.0 / (static_cast<double>(b) * gamma_b);
+  Rng noise(99 + b);
+  for (auto& v : s) v += noise.complex_gaussian(n0);
+  const double measured =
+      static_cast<double>(count_bit_errors(bits, modem.demodulate(s))) /
+      static_cast<double>(n_bits);
+  const double theory = ber_mqam_awgn(b, gamma_b);
+  // The paper's formula is a nearest-neighbour approximation: allow
+  // 35% relative slack plus Monte-Carlo noise.
+  const double mc = 4.0 * std::sqrt(theory / static_cast<double>(n_bits));
+  EXPECT_NEAR(measured, theory, std::max(theory * 0.35, mc))
+      << "b=" << b << " Eb/N0=" << ebn0_db;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QamAwgnSweep,
+    ::testing::Values(QamCase{2, 4.0}, QamCase{2, 7.0}, QamCase{4, 8.0},
+                      QamCase{4, 11.0}, QamCase{6, 13.0},
+                      QamCase{6, 16.0}, QamCase{8, 18.0}),
+    [](const ::testing::TestParamInfo<QamCase>& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "ebn0_" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------
+// BPSK over per-symbol Rayleigh fading with coherent detection matches
+// the ½(1 − √(γ/(1+γ))) closed form.
+// ---------------------------------------------------------------------
+
+class RayleighBpskSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RayleighBpskSweep, MeasuredMatchesClosedForm) {
+  const double mean_gamma_db = GetParam();
+  const double mean_gamma = db_to_linear(mean_gamma_db);
+  const BpskModulator modem;
+  const std::size_t n = 300000;
+  const BitVec bits = random_bits(n, 777);
+  const auto s = modem.modulate(bits);
+  Rng rng(55);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx h = rng.complex_gaussian(mean_gamma);
+    const cplx y = h * s[i] + rng.complex_gaussian(1.0);
+    // Coherent detection.
+    const double metric = (std::conj(h) * y).real();
+    const std::uint8_t bit = metric < 0.0 ? 1 : 0;
+    errors += bit != bits[i];
+  }
+  const double measured = static_cast<double>(errors) / n;
+  const double theory = ber_bpsk_rayleigh(mean_gamma);
+  EXPECT_NEAR(measured, theory,
+              std::max(theory * 0.08,
+                       4.0 * std::sqrt(theory / static_cast<double>(n))))
+      << "mean gamma " << mean_gamma_db << " dB";
+}
+
+INSTANTIATE_TEST_SUITE_P(MeanSnr, RayleighBpskSweep,
+                         ::testing::Values(0.0, 5.0, 10.0, 15.0, 20.0));
+
+// ---------------------------------------------------------------------
+// PER composition: measured packet error rate over AWGN equals
+// 1 − (1 − BER)^bits.
+// ---------------------------------------------------------------------
+
+TEST(PerComposition, MatchesIndependentBitModel) {
+  const BpskModulator modem;
+  const double gamma_db = 6.0;
+  const double n0 = db_to_linear(-gamma_db);
+  const std::size_t packet_bits = 200;
+  const std::size_t packets = 20000;
+  Rng noise(31);
+  std::size_t packet_errors = 0;
+  double total_ber = 0.0;
+  for (std::size_t p = 0; p < packets; ++p) {
+    const BitVec bits = random_bits(packet_bits, 1000 + p);
+    auto s = modem.modulate(bits);
+    for (auto& v : s) v += noise.complex_gaussian(n0);
+    const std::size_t errs =
+        count_bit_errors(bits, modem.demodulate(s));
+    packet_errors += errs > 0;
+    total_ber += static_cast<double>(errs);
+  }
+  const double measured_per =
+      static_cast<double>(packet_errors) / packets;
+  const double measured_ber =
+      total_ber / static_cast<double>(packets * packet_bits);
+  const double predicted_per =
+      per_from_ber(measured_ber, static_cast<double>(packet_bits));
+  EXPECT_NEAR(measured_per, predicted_per, predicted_per * 0.06);
+}
+
+}  // namespace
+}  // namespace comimo
