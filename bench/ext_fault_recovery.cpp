@@ -1,0 +1,76 @@
+// Extension study: delivered goodput under escalating fault intensity,
+// cooperative vs heads-only routing.
+//
+// §2.1's reconfigurability claim is only worth something if the network
+// keeps delivering while nodes die, relays drop out, slots get erased,
+// and the PU takes the channel back.  This bench drives the resilience
+// simulator (resilience/resilient_sim.h) over a seeded fault sweep:
+// node-death fraction rises 0 → 30% while relay dropout, slot erasure,
+// and PU preemption stay fixed, and the two routing modes face the
+// identical fault plan (same seed → same deaths, same erasures).
+// Cooperative routing should degrade gracefully — STBC ladder steps and
+// route repairs instead of lost packets.
+#include <iostream>
+
+#include "comimo/common/table.h"
+#include "comimo/resilience/resilient_sim.h"
+
+int main() {
+  using namespace comimo;
+  std::cout << "=== extension: fault injection & recovery, cooperative"
+               " vs heads-only SISO routing ===\n"
+            << "42 SUs in 14 groups, 300 packet rounds; relay dropout 10%,"
+               " slot erasure 15%, 2 ARQ attempts, PU preemption on;\n"
+            << "node deaths scheduled mid-run (25–75% of the horizon),"
+               " identical fault plan for both modes\n\n";
+
+  const auto nodes = clustered_field(14, 3, 6.0, 450.0, 450.0, /*seed=*/11,
+                                     /*battery_lo=*/150.0,
+                                     /*battery_hi=*/200.0);
+  CoMimoNetConfig net_cfg;
+  net_cfg.communication_range_m = 40.0;
+  net_cfg.cluster_diameter_m = 16.0;
+  net_cfg.link_range_m = 280.0;
+  const CoMimoNet net(nodes, net_cfg);
+
+  TextTable t({"routing", "deaths", "delivery", "retx", "stbc steps",
+               "repairs", "goodput kbps"});
+  for (const double death_fraction : {0.0, 0.1, 0.2, 0.3}) {
+    for (const RoutingMode mode :
+         {RoutingMode::kCooperative, RoutingMode::kSisoHeadsOnly}) {
+      ResilienceConfig cfg;
+      cfg.mode = mode;
+      cfg.rounds = 300;
+      cfg.traffic_seed = 11;
+      cfg.faults.enabled = true;
+      cfg.faults.seed = 42;
+      cfg.faults.node_death_fraction = death_fraction;
+      cfg.faults.relay_dropout_prob = 0.10;
+      cfg.faults.slot_erasure_prob = 0.15;
+      cfg.faults.pu_preemption = true;
+      cfg.arq.max_attempts = 2;  // tight budget: erasures can kill packets
+      const ResilienceReport r = simulate_with_faults(net, SystemParams{},
+                                                      cfg);
+      t.add_row({mode == RoutingMode::kCooperative ? "cooperative"
+                                                   : "heads-only SISO",
+                 TextTable::fmt(100.0 * death_fraction, 0) + "%",
+                 TextTable::fmt(r.delivery_ratio, 3),
+                 std::to_string(r.retransmissions),
+                 std::to_string(r.stbc_degradations),
+                 std::to_string(r.route_repairs),
+                 TextTable::fmt(r.goodput_bps / 1e3, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nretx = ARQ retransmissions; stbc steps = mid-hop relay"
+               " dropouts absorbed by shrinking\n"
+            << "the code (G4 -> G3 -> Alamouti -> SISO); repairs ="
+               " survivor re-clustering + backbone\n"
+            << "rebuilds after node deaths.  Cooperative routing keeps"
+               " delivering through dropouts the\n"
+            << "SISO chain never sees, at the cost of the wider fault"
+               " surface a cooperating cluster\n"
+            << "exposes; the fault plan (seeded) is identical for every"
+               " row of a given death level.\n";
+  return 0;
+}

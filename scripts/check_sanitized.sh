@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite under ASan + UBSan.
+# Usage: scripts/check_sanitized.sh [build-dir]  (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCOMIMO_SANITIZE=ON \
+  -DCOMIMO_BUILD_BENCH=OFF \
+  -DCOMIMO_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -4,8 +4,142 @@
 
 #include "comimo/common/error.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/resilience/recovery.h"
 
 namespace comimo {
+
+namespace {
+
+// The fault-injected variant: scheduled deaths cut nodes out of the
+// network (clusters and backbone rebuilt from the survivors) and slot
+// erasures charge ARQ retransmissions through the battery ledger.  Kept
+// separate so the happy path below stays bit-identical to the original.
+LifetimeReport simulate_lifetime_faulted(const CoMimoNet& net,
+                                         const SystemParams& params,
+                                         const LifetimeConfig& config) {
+  validate(config.faults);
+  validate(config.arq);
+
+  CoMimoNet world = net;
+  const std::size_t total = world.nodes().size();
+  NodeId max_id = 0;
+  for (const auto& n : net.nodes()) max_id = std::max(max_id, n.id);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(max_id) + 1, 0);
+  for (const auto& n : net.nodes()) alive[n.id] = 1;
+  std::size_t alive_count = total;
+
+  const FaultInjector injector(config.faults);
+  const FaultPlan plan = injector.make_plan(net, config.round_cap);
+  Rng traffic(config.traffic_seed, 0x7AFF1C);
+  Rng arq_rng(config.faults.seed, 0xA49);
+  const double bits = config.bits_per_round;
+
+  LifetimeReport report;
+  ResilienceReport& res = report.resilience;
+  std::size_t next_death = 0;
+  bool topology_dirty = false;
+
+  const auto finalize = [&res]() {
+    res.delivery_ratio =
+        res.packets_offered
+            ? static_cast<double>(res.packets_delivered) /
+                  static_cast<double>(res.packets_offered)
+            : 0.0;
+  };
+
+  for (std::size_t round = 1; round <= config.round_cap; ++round) {
+    while (next_death < plan.deaths().size() &&
+           plan.deaths()[next_death].round <= round) {
+      const NodeDeath& d = plan.deaths()[next_death++];
+      if (d.node < alive.size() && alive[d.node]) {
+        world.mutable_node(d.node).battery_j = 0.0;  // the ledger empties
+        alive[d.node] = 0;
+        --alive_count;
+        ++res.node_deaths;
+        if (world.clusters()[world.cluster_of(d.node)].head == d.node) {
+          ++res.head_failovers;
+        }
+        topology_dirty = true;
+      }
+    }
+    if (topology_dirty && alive_count > 0) {
+      world = surviving_subnet(world, alive);
+      ++res.route_repairs;
+      res.repair_time_s += config.faults.repair_time_s;
+      topology_dirty = false;
+    }
+
+    if (alive_count > 0) {
+      const CooperativeRouter router(world, params, config.ber,
+                                     config.bandwidth_hz, config.mode);
+      const NodeId src = static_cast<NodeId>(traffic.uniform_int(total));
+      const NodeId dst = static_cast<NodeId>(traffic.uniform_int(total));
+      if (src < alive.size() && dst < alive.size() && alive[src] &&
+          alive[dst] &&
+          router.backbone().connected(world.cluster_of(src),
+                                      world.cluster_of(dst))) {
+        const RouteReport route = router.route(src, dst);
+        ++res.packets_offered;
+        bool delivered = true;
+        for (std::size_t h = 0; h < route.hops.size(); ++h) {
+          bool hop_ok = false;
+          for (unsigned k = 0; k < config.arq.max_attempts; ++k) {
+            router.apply_hop_drain(world, route.hops[h], bits);
+            res.energy_spent_j += route.hops[h].plan.total_energy() * bits;
+            if (k > 0) {
+              ++res.retransmissions;
+              res.retransmit_energy_j +=
+                  route.hops[h].plan.total_energy() * bits;
+            }
+            if (!plan.slot_erased(round, h, k)) {
+              hop_ok = true;
+              break;
+            }
+            double penalty = config.arq.ack_timeout_s;
+            if (k + 1 < config.arq.max_attempts) {
+              penalty += arq_backoff_s(config.arq, k, arq_rng);
+            }
+            res.backoff_wait_s += penalty;
+          }
+          if (!hop_ok) {
+            ++res.arq_failures;
+            delivered = false;
+            break;
+          }
+        }
+        if (delivered) {
+          ++res.packets_delivered;
+          res.delivered_bits += bits;
+        }
+        world.reelect_heads();
+      }
+    }
+
+    std::size_t dead = total - world.nodes().size();
+    double min_battery = std::numeric_limits<double>::infinity();
+    for (const auto& n : world.nodes()) {
+      if (n.battery_j <= 0.0) ++dead;
+      min_battery = std::min(min_battery, n.battery_j);
+    }
+    report.dead_nodes = dead;
+    report.min_battery_j = min_battery;
+    if (dead >= 1 && report.rounds_to_first_death == 0) {
+      report.rounds_to_first_death = round;
+    }
+    if (static_cast<double>(dead) >=
+        config.death_fraction * static_cast<double>(total)) {
+      report.rounds_to_death_fraction = round;
+      finalize();
+      return report;
+    }
+  }
+  report.rounds_to_death_fraction = config.round_cap;
+  report.censored = true;
+  finalize();
+  return report;
+}
+
+}  // namespace
 
 LifetimeReport simulate_lifetime(const CoMimoNet& net,
                                  const SystemParams& params,
@@ -14,6 +148,10 @@ LifetimeReport simulate_lifetime(const CoMimoNet& net,
   COMIMO_CHECK(config.death_fraction > 0.0 && config.death_fraction <= 1.0,
                "death fraction in (0, 1]");
   COMIMO_CHECK(config.round_cap >= 1, "round cap must be >= 1");
+
+  if (config.faults.enabled) {
+    return simulate_lifetime_faulted(net, params, config);
+  }
 
   CoMimoNet world = net;  // drained copy; the caller's net is untouched
   const std::size_t total = world.nodes().size();

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "comimo/net/routing.h"
+#include "comimo/resilience/resilient_sim.h"
 
 namespace comimo {
 
@@ -25,6 +26,13 @@ struct LifetimeConfig {
   double death_fraction = 0.25;
   std::size_t round_cap = 5000;
   std::uint64_t traffic_seed = 1;
+  /// Fault injection (off by default: with `faults.enabled == false`
+  /// the run is bit-identical to the original happy path).  When
+  /// enabled, scheduled deaths shrink the network mid-run (dead nodes
+  /// are cut out and clusters/backbone rebuilt) and per-slot erasures
+  /// charge ARQ retransmission energy through the same ledger.
+  FaultConfig faults{};
+  ArqConfig arq{};
 };
 
 struct LifetimeReport {
@@ -33,6 +41,8 @@ struct LifetimeReport {
   bool censored = false;  ///< true when the cap ended the run
   double min_battery_j = 0.0;
   std::size_t dead_nodes = 0;
+  /// What the recovery machinery did (all-zero when faults are off).
+  ResilienceReport resilience{};
 };
 
 /// Runs the traffic loop on a copy of `net` (the input is untouched).

@@ -57,11 +57,10 @@ RouteReport CooperativeRouter::route(NodeId source,
   return report;
 }
 
-namespace {
-// The plan's mt/mr decide how many cluster members participate: the
-// head plus the first (m − 1) other members (heads-only SISO routing
-// plans with mt = mr = 1, so only the heads are charged).
-std::vector<NodeId> participants(const Cluster& cluster, unsigned m) {
+// The plan's mt/mr decide how many cluster members participate
+// (heads-only SISO routing plans with mt = mr = 1, so only the heads
+// are charged).
+std::vector<NodeId> hop_participants(const Cluster& cluster, unsigned m) {
   std::vector<NodeId> out{cluster.head};
   for (const NodeId member : cluster.members) {
     if (out.size() >= m) break;
@@ -69,41 +68,46 @@ std::vector<NodeId> participants(const Cluster& cluster, unsigned m) {
   }
   return out;
 }
-}  // namespace
+
+void CooperativeRouter::apply_hop_drain(CoMimoNet& net, const RouteHop& hop,
+                                        double bits) const {
+  COMIMO_CHECK(bits >= 0.0, "negative bit count");
+  const auto& plan = hop.plan;
+  const std::vector<NodeId> tx =
+      hop_participants(net.clusters()[hop.from], plan.config.mt);
+  const std::vector<NodeId> rx =
+      hop_participants(net.clusters()[hop.to], plan.config.mr);
+  // Transmit side: every participant pays the long-haul transmission;
+  // the head additionally pays the local broadcast (when mt > 1), the
+  // other participants the local reception.
+  for (const NodeId m : tx) {
+    double e = plan.mimo_tx_pa + plan.mimo_tx_circuit;
+    if (tx.size() > 1) {
+      e += (m == tx.front()) ? plan.local_tx_pa + plan.local_tx_circuit
+                             : plan.local_rx;
+    }
+    net.mutable_node(m).battery_j -= e * bits;
+  }
+  // Receive side: every participant pays the long-haul reception;
+  // non-head participants additionally forward to the head, which
+  // pays the receptions.
+  for (const NodeId m : rx) {
+    double e = plan.mimo_rx;
+    if (rx.size() > 1) {
+      e += (m == rx.front())
+               ? static_cast<double>(rx.size() - 1) * plan.local_rx
+               : plan.local_tx_pa + plan.local_tx_circuit;
+    }
+    net.mutable_node(m).battery_j -= e * bits;
+  }
+}
 
 void CooperativeRouter::apply_battery_drain(CoMimoNet& net,
                                             const RouteReport& report,
                                             double bits) const {
   COMIMO_CHECK(bits >= 0.0, "negative bit count");
   for (const auto& hop : report.hops) {
-    const auto& plan = hop.plan;
-    const std::vector<NodeId> tx =
-        participants(net.clusters()[hop.from], plan.config.mt);
-    const std::vector<NodeId> rx =
-        participants(net.clusters()[hop.to], plan.config.mr);
-    // Transmit side: every participant pays the long-haul transmission;
-    // the head additionally pays the local broadcast (when mt > 1), the
-    // other participants the local reception.
-    for (const NodeId m : tx) {
-      double e = plan.mimo_tx_pa + plan.mimo_tx_circuit;
-      if (tx.size() > 1) {
-        e += (m == tx.front()) ? plan.local_tx_pa + plan.local_tx_circuit
-                               : plan.local_rx;
-      }
-      net.mutable_node(m).battery_j -= e * bits;
-    }
-    // Receive side: every participant pays the long-haul reception;
-    // non-head participants additionally forward to the head, which
-    // pays the receptions.
-    for (const NodeId m : rx) {
-      double e = plan.mimo_rx;
-      if (rx.size() > 1) {
-        e += (m == rx.front())
-                 ? static_cast<double>(rx.size() - 1) * plan.local_rx
-                 : plan.local_tx_pa + plan.local_tx_circuit;
-      }
-      net.mutable_node(m).battery_j -= e * bits;
-    }
+    apply_hop_drain(net, hop, bits);
   }
 }
 

@@ -51,6 +51,12 @@ class CooperativeRouter {
   void apply_battery_drain(CoMimoNet& net, const RouteReport& report,
                            double bits) const;
 
+  /// Per-hop drain — the unit apply_battery_drain loops over, exposed so
+  /// the resilience layer can charge each ARQ retransmission attempt
+  /// (possibly with a degraded plan) through the same ledger.
+  void apply_hop_drain(CoMimoNet& net, const RouteHop& hop,
+                       double bits) const;
+
   [[nodiscard]] const RoutingBackbone& backbone() const noexcept {
     return backbone_;
   }
@@ -63,5 +69,11 @@ class CooperativeRouter {
   double bandwidth_hz_;
   RoutingMode mode_;
 };
+
+/// The cluster members a plan with `m` cooperators actually uses: the
+/// head plus the first (m − 1) other members, head first.  This is the
+/// participant rule both battery drain and the hop scheduler follow.
+[[nodiscard]] std::vector<NodeId> hop_participants(const Cluster& cluster,
+                                                   unsigned m);
 
 }  // namespace comimo

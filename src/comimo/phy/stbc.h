@@ -85,6 +85,25 @@ class StbcCode {
   std::vector<cplx> b_;
 };
 
+/// Largest transmitter count an orthogonal design exists for here.
+inline constexpr std::size_t kMaxStbcTx = 4;
+
+/// Clamps a requested cooperator count to the supported code range, so
+/// oversized clusters fall back to the G4 design instead of throwing.
+[[nodiscard]] constexpr std::size_t stbc_supported_tx(
+    std::size_t num_tx) noexcept {
+  return num_tx < kMaxStbcTx ? num_tx : kMaxStbcTx;
+}
+
+/// One step down the resilience fallback ladder G4 → G3 → Alamouti →
+/// SISO: the code the hop degrades to when a cooperating transmitter
+/// drops out mid-route.  SISO (1) is the floor and maps to itself.
+[[nodiscard]] constexpr std::size_t stbc_degraded_tx(
+    std::size_t num_tx) noexcept {
+  const std::size_t clamped = stbc_supported_tx(num_tx);
+  return clamped > 1 ? clamped - 1 : 1;
+}
+
 /// ML decoder for an orthogonal design over an mr-antenna receiver.
 class StbcDecoder {
  public:

@@ -1,0 +1,51 @@
+#include "comimo/resilience/arq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+void validate(const ArqConfig& config) {
+  COMIMO_CHECK(config.max_attempts >= 1, "ARQ needs at least one attempt");
+  COMIMO_CHECK(config.ack_timeout_s >= 0.0, "negative ACK timeout");
+  COMIMO_CHECK(config.base_backoff_s >= 0.0, "negative base backoff");
+  COMIMO_CHECK(config.backoff_factor >= 1.0,
+               "backoff factor must be >= 1 (exponential growth)");
+  COMIMO_CHECK(config.max_backoff_s >= config.base_backoff_s,
+               "backoff ceiling below the base backoff");
+}
+
+double arq_backoff_s(const ArqConfig& config, unsigned attempt, Rng& rng) {
+  validate(config);
+  const double nominal =
+      config.base_backoff_s *
+      std::pow(config.backoff_factor, static_cast<double>(attempt));
+  const double truncated = std::min(nominal, config.max_backoff_s);
+  // Dither in [0.5, 1): keeps the exponential spacing while breaking
+  // retry synchronization between contending links.
+  return truncated * rng.uniform(0.5, 1.0);
+}
+
+ArqOutcome run_arq(const ArqConfig& config,
+                   const std::function<bool(unsigned)>& attempt_ok,
+                   Rng& rng) {
+  validate(config);
+  COMIMO_CHECK(static_cast<bool>(attempt_ok), "null attempt callback");
+  ArqOutcome out;
+  for (unsigned k = 0; k < config.max_attempts; ++k) {
+    ++out.attempts;
+    if (attempt_ok(k)) {
+      out.delivered = true;
+      return out;
+    }
+    out.wait_s += config.ack_timeout_s;
+    if (k + 1 < config.max_attempts) {
+      out.wait_s += arq_backoff_s(config, k, rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace comimo

@@ -1,0 +1,50 @@
+// Link-layer ARQ with truncated exponential backoff.
+//
+// The paper's network model assumes every cooperative hop succeeds; a
+// production stack cannot.  This module supplies the retransmission
+// protocol the resilience layer runs per long-haul slot: transmit, wait
+// one ACK timeout, and on failure back off for
+//   backoff(k) = min(base · factor^k, max) · U,   U ~ Uniform[0.5, 1),
+// before attempt k+1, up to max_attempts total attempts.  The uniform
+// dither desynchronizes colliding retransmitters (classic truncated
+// binary exponential backoff); it is drawn from the caller's seeded Rng
+// so every sequence is replayable bit-for-bit.
+#pragma once
+
+#include <functional>
+
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+struct ArqConfig {
+  unsigned max_attempts = 6;     ///< original transmission + retries
+  double ack_timeout_s = 10e-3;  ///< wait before declaring a loss
+  double base_backoff_s = 5e-3;  ///< backoff before the first retry
+  double backoff_factor = 2.0;   ///< exponential growth per retry
+  double max_backoff_s = 80e-3;  ///< truncation ceiling
+};
+
+/// Throws InvalidArgument when the config is malformed.
+void validate(const ArqConfig& config);
+
+/// Backoff delay before retry number `attempt` (attempt 0 is the first
+/// *re*transmission).  Deterministic in the Rng state; exposed so tests
+/// can replay a sequence without running the protocol.
+[[nodiscard]] double arq_backoff_s(const ArqConfig& config, unsigned attempt,
+                                   Rng& rng);
+
+struct ArqOutcome {
+  bool delivered = false;
+  unsigned attempts = 0;     ///< transmissions actually made (>= 1)
+  double wait_s = 0.0;       ///< ACK timeouts + backoff time spent
+};
+
+/// Runs the protocol: `attempt_ok(k)` reports whether transmission k
+/// (0-based) got through.  Failed attempts cost one ACK timeout plus the
+/// backoff delay; the final failed attempt costs only the timeout.
+[[nodiscard]] ArqOutcome run_arq(
+    const ArqConfig& config,
+    const std::function<bool(unsigned attempt)>& attempt_ok, Rng& rng);
+
+}  // namespace comimo

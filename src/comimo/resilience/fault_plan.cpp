@@ -1,0 +1,146 @@
+#include "comimo/resilience/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+namespace {
+
+/// Counter-based uniform draw in [0, 1): folds each index through
+/// SplitMix64 so the value depends on the whole tuple but on no mutable
+/// state — any visit order replays the same fault.
+double hashed_uniform(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                      std::uint64_t b, std::uint64_t c) {
+  std::uint64_t state = seed ^ (tag * 0x9E3779B97F4A7C15ULL);
+  (void)splitmix64(state);
+  state ^= a * 0xBF58476D1CE4E5B9ULL;
+  (void)splitmix64(state);
+  state ^= b * 0x94D049BB133111EBULL;
+  (void)splitmix64(state);
+  state ^= c * 0xD6E8FEB86659FD93ULL;
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void validate(const FaultConfig& config) {
+  COMIMO_CHECK(config.node_death_fraction >= 0.0 &&
+                   config.node_death_fraction < 1.0,
+               "node death fraction must be in [0, 1)");
+  COMIMO_CHECK(config.death_window_lo >= 0.0 &&
+                   config.death_window_hi <= 1.0 &&
+                   config.death_window_lo <= config.death_window_hi,
+               "death window must satisfy 0 <= lo <= hi <= 1");
+  COMIMO_CHECK(config.relay_dropout_prob >= 0.0 &&
+                   config.relay_dropout_prob <= 1.0,
+               "relay dropout probability must be in [0, 1]");
+  COMIMO_CHECK(config.slot_erasure_prob >= 0.0 &&
+                   config.slot_erasure_prob < 1.0,
+               "slot erasure probability must be in [0, 1)");
+  COMIMO_CHECK(config.repair_time_s >= 0.0, "negative repair time");
+  if (config.pu_preemption) {
+    COMIMO_CHECK(config.pu.mean_busy_s > 0.0 && config.pu.mean_idle_s > 0.0,
+                 "PU holding times must be positive");
+    COMIMO_CHECK(config.pu_trace_duration_s > 0.0,
+                 "PU trace duration must be positive");
+  }
+}
+
+FaultPlan::FaultPlan(FaultConfig config, std::vector<NodeDeath> deaths,
+                     std::vector<PuInterval> pu_trace)
+    : config_(std::move(config)),
+      deaths_(std::move(deaths)),
+      pu_trace_(std::move(pu_trace)) {
+  std::sort(deaths_.begin(), deaths_.end(),
+            [](const NodeDeath& a, const NodeDeath& b) {
+              return a.round != b.round ? a.round < b.round
+                                        : a.node < b.node;
+            });
+}
+
+std::vector<NodeDeath> FaultPlan::deaths_at(std::size_t round) const {
+  std::vector<NodeDeath> out;
+  for (const auto& d : deaths_) {
+    if (d.round == round) out.push_back(d);
+  }
+  return out;
+}
+
+bool FaultPlan::slot_erased(std::size_t round, std::size_t hop,
+                            unsigned attempt) const {
+  if (!config_.enabled || config_.slot_erasure_prob <= 0.0) return false;
+  return hashed_uniform(config_.seed, 0xE2A5Eu, round, hop, attempt) <
+         config_.slot_erasure_prob;
+}
+
+bool FaultPlan::relay_dropout(std::size_t round, std::size_t hop) const {
+  if (!config_.enabled || config_.relay_dropout_prob <= 0.0) return false;
+  return hashed_uniform(config_.seed, 0xD209u, round, hop, 0) <
+         config_.relay_dropout_prob;
+}
+
+double FaultPlan::pu_wait_s(double t_s) const {
+  if (!config_.enabled || !config_.pu_preemption || pu_trace_.empty()) {
+    return 0.0;
+  }
+  const double span = pu_trace_.back().end_s;
+  double local = std::fmod(t_s, span);
+  if (local < 0.0) local = 0.0;
+  if (!trace_busy_at(pu_trace_, local)) return 0.0;
+  const double idle_at = trace_next_idle(pu_trace_, local);
+  // Busy through the end of the trace: resume at the first idle point
+  // of the wrapped trace (the trace always contains one — duty < 1).
+  if (idle_at >= span) {
+    return (span - local) + trace_next_idle(pu_trace_, 0.0);
+  }
+  return idle_at - local;
+}
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(std::move(config)) {
+  validate(config_);
+}
+
+FaultPlan FaultInjector::make_plan(const CoMimoNet& net,
+                                   std::size_t horizon_rounds) const {
+  COMIMO_CHECK(horizon_rounds >= 1, "plan needs at least one round");
+  std::vector<NodeDeath> deaths;
+  if (config_.enabled && config_.node_death_fraction > 0.0) {
+    const std::size_t n = net.nodes().size();
+    const auto victims_wanted = static_cast<std::size_t>(
+        std::floor(config_.node_death_fraction * static_cast<double>(n)));
+    Rng rng(config_.seed, 0xDEAD);
+    // Partial Fisher–Yates over node indices: victims without replacement.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    for (std::size_t i = 0; i < victims_wanted && i + 1 < n; ++i) {
+      const std::size_t j = i + rng.uniform_int(n - i);
+      std::swap(order[i], order[j]);
+    }
+    const double h = static_cast<double>(horizon_rounds);
+    const auto lo = static_cast<std::size_t>(
+        std::max(1.0, std::floor(config_.death_window_lo * h)));
+    const auto hi = static_cast<std::size_t>(
+        std::max<double>(lo, std::floor(config_.death_window_hi * h)));
+    for (std::size_t i = 0; i < victims_wanted && i < n; ++i) {
+      NodeDeath d;
+      d.node = net.nodes()[order[i]].id;
+      d.round = lo + rng.uniform_int(hi - lo + 1);
+      d.cause = rng.bernoulli(0.5) ? NodeDeath::Cause::kCrash
+                                   : NodeDeath::Cause::kBatteryExhaustion;
+      deaths.push_back(d);
+    }
+  }
+  std::vector<PuInterval> trace;
+  if (config_.enabled && config_.pu_preemption) {
+    trace = generate_pu_trace(config_.pu, config_.pu_trace_duration_s,
+                              config_.seed ^ 0x9uL);
+  }
+  return FaultPlan(config_, std::move(deaths), std::move(trace));
+}
+
+}  // namespace comimo

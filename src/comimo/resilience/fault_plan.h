@@ -1,0 +1,120 @@
+// Seeded, replayable fault plans.
+//
+// §2.1 claims "the clusters and the routing backbone are reconfigurable";
+// proving it requires breaking things on purpose.  A FaultInjector turns
+// (seed, intensity knobs) into a FaultPlan — a deterministic oracle the
+// simulators consult:
+//   * scheduled node deaths (crash or battery exhaustion) at chosen
+//     traffic rounds;
+//   * per-slot packet erasures and mid-hop relay dropouts, drawn by
+//     counter-based hashing of (round, hop, attempt) so any traversal
+//     order replays the identical fault sequence;
+//   * a PU busy/idle trace (the existing PuActivityModel) that preempts
+//     the long-haul STBC slot while the channel is occupied.
+// The same (plan, seed) always reproduces the same faults bit-for-bit,
+// which is what makes ResilienceReports comparable across runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comimo/net/comimonet.h"
+#include "comimo/sensing/pu_activity.h"
+
+namespace comimo {
+
+struct FaultConfig {
+  bool enabled = false;  ///< master switch; off reproduces the happy path
+
+  /// Fraction of nodes killed over the plan horizon (0 disables deaths).
+  double node_death_fraction = 0.0;
+  /// Deaths are scheduled uniformly inside this window of the horizon,
+  /// expressed as fractions of the total round count ("mid-run").
+  double death_window_lo = 0.25;
+  double death_window_hi = 0.75;
+
+  /// Per-hop probability that one cooperating transmitter drops out
+  /// mid-hop, forcing an STBC degradation (G4 → G3 → Alamouti → SISO).
+  double relay_dropout_prob = 0.0;
+
+  /// Per-attempt probability that a long-haul slot is erased (triggers
+  /// the ARQ retransmission path).
+  double slot_erasure_prob = 0.0;
+
+  /// PU arrivals preempt the long-haul slot while the channel is busy.
+  bool pu_preemption = false;
+  PuActivityModel pu{};
+  double pu_trace_duration_s = 4000.0;  ///< trace length; time wraps over it
+
+  /// Control-plane cost charged per route repair (backbone rebuild).
+  double repair_time_s = 50e-3;
+
+  std::uint64_t seed = 1;
+};
+
+/// Throws InvalidArgument on malformed knobs (probabilities outside
+/// [0, 1], inverted death window, non-positive PU holding times, …).
+void validate(const FaultConfig& config);
+
+struct NodeDeath {
+  enum class Cause { kCrash, kBatteryExhaustion };
+  std::size_t round = 0;  ///< 1-based traffic round the death lands in
+  NodeId node = kInvalidNode;
+  Cause cause = Cause::kCrash;
+};
+
+/// The materialized plan.  Deaths are sorted by round; erasure/dropout
+/// draws are pure functions of the indices so no replay state is kept.
+class FaultPlan {
+ public:
+  FaultPlan() = default;  ///< empty plan: nothing ever fails
+  FaultPlan(FaultConfig config, std::vector<NodeDeath> deaths,
+            std::vector<PuInterval> pu_trace);
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<NodeDeath>& deaths() const noexcept {
+    return deaths_;
+  }
+  [[nodiscard]] const std::vector<PuInterval>& pu_trace() const noexcept {
+    return pu_trace_;
+  }
+
+  /// Deaths scheduled exactly at `round`.
+  [[nodiscard]] std::vector<NodeDeath> deaths_at(std::size_t round) const;
+
+  /// Counter-based draw: is long-haul attempt `attempt` of hop `hop` in
+  /// round `round` erased?
+  [[nodiscard]] bool slot_erased(std::size_t round, std::size_t hop,
+                                 unsigned attempt) const;
+
+  /// Counter-based draw: does a cooperating transmitter drop out mid-hop?
+  [[nodiscard]] bool relay_dropout(std::size_t round, std::size_t hop) const;
+
+  /// Seconds the transmitter must wait at absolute time `t_s` before the
+  /// PU vacates (0 when preemption is disabled or the channel is idle).
+  /// Time wraps modulo the trace duration, keeping long runs replayable.
+  [[nodiscard]] double pu_wait_s(double t_s) const;
+
+ private:
+  FaultConfig config_{};
+  std::vector<NodeDeath> deaths_;
+  std::vector<PuInterval> pu_trace_;
+};
+
+/// Generates plans.  Construction validates the config; `make_plan`
+/// picks victims and death rounds deterministically from the seed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  /// Builds the plan for `horizon_rounds` traffic rounds over `net`.
+  [[nodiscard]] FaultPlan make_plan(const CoMimoNet& net,
+                                    std::size_t horizon_rounds) const;
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace comimo

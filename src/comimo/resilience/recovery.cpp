@@ -1,0 +1,26 @@
+#include "comimo/resilience/recovery.h"
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+std::vector<SuNode> surviving_nodes(
+    const CoMimoNet& net, const std::vector<std::uint8_t>& alive_by_id) {
+  std::vector<SuNode> out;
+  out.reserve(net.nodes().size());
+  for (const auto& n : net.nodes()) {
+    if (n.id < alive_by_id.size() && alive_by_id[n.id]) out.push_back(n);
+  }
+  return out;
+}
+
+CoMimoNet surviving_subnet(const CoMimoNet& net,
+                           const std::vector<std::uint8_t>& alive_by_id) {
+  auto nodes = surviving_nodes(net, alive_by_id);
+  if (nodes.empty()) {
+    throw InfeasibleError("no surviving nodes to rebuild the network from");
+  }
+  return CoMimoNet(std::move(nodes), net.config());
+}
+
+}  // namespace comimo

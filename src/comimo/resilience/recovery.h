@@ -1,0 +1,34 @@
+// Self-healing primitives: route repair and STBC degradation.
+//
+// §2.1: "the clusters and the routing backbone are reconfigurable."
+// When nodes die the network must shrink around the hole, not crash:
+//   * surviving_subnet() rebuilds the CoMIMONet from the nodes still
+//     alive — re-clusters, re-elects heads (dead cluster heads are
+//     replaced by the highest-battery survivor), and re-derives the
+//     cooperative links, after which a fresh RoutingBackbone gives the
+//     repaired spanning tree;
+//   * the STBC fallback ladder (phy/stbc.h's stbc_degraded_tx) shrinks
+//     the long-haul code G4 → G3 → Alamouti → SISO when a cooperating
+//     transmitter drops out mid-route, so the hop degrades instead of
+//     aborting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comimo/net/comimonet.h"
+
+namespace comimo {
+
+/// Nodes of `net` still alive under `alive_by_id` (indexed by NodeId;
+/// ids absent from the vector count as dead).  Batteries carry over.
+[[nodiscard]] std::vector<SuNode> surviving_nodes(
+    const CoMimoNet& net, const std::vector<std::uint8_t>& alive_by_id);
+
+/// Rebuilds the network from the survivors: re-clustering, head
+/// election, and link derivation all run afresh under the original
+/// config.  Throws InfeasibleError when no node survives.
+[[nodiscard]] CoMimoNet surviving_subnet(
+    const CoMimoNet& net, const std::vector<std::uint8_t>& alive_by_id);
+
+}  // namespace comimo

@@ -1,0 +1,185 @@
+#include "comimo/resilience/resilient_sim.h"
+
+#include <algorithm>
+
+#include "comimo/common/error.h"
+#include "comimo/net/hop_scheduler.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/phy/stbc.h"
+#include "comimo/resilience/recovery.h"
+
+namespace comimo {
+
+namespace {
+
+void finalize(ResilienceReport& r) {
+  r.delivery_ratio =
+      r.packets_offered
+          ? static_cast<double>(r.packets_delivered) /
+                static_cast<double>(r.packets_offered)
+          : 0.0;
+  r.goodput_bps = r.total_time_s > 0.0 ? r.delivered_bits / r.total_time_s
+                                       : 0.0;
+}
+
+}  // namespace
+
+ResilienceReport simulate_with_faults(const CoMimoNet& net,
+                                      const SystemParams& params,
+                                      const ResilienceConfig& config) {
+  COMIMO_CHECK(config.bits_per_packet > 0.0, "bits per packet must be > 0");
+  COMIMO_CHECK(config.rounds >= 1, "need at least one round");
+  validate(config.faults);
+  validate(config.arq);
+
+  CoMimoNet world = net;  // degraded copy; the caller's net is untouched
+  NodeId max_id = 0;
+  for (const auto& n : net.nodes()) max_id = std::max(max_id, n.id);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(max_id) + 1, 0);
+  for (const auto& n : net.nodes()) alive[n.id] = 1;
+  std::size_t alive_count = net.nodes().size();
+
+  const FaultInjector injector(config.faults);
+  const FaultPlan plan = injector.make_plan(net, config.rounds);
+  const UnderlayCooperativeHop planner(params);
+  const HopScheduler scheduler;
+  Rng traffic(config.traffic_seed, 0x7AFF1C);
+  Rng arq_rng(config.faults.seed, 0xA49);
+
+  ResilienceReport report;
+  const double bits = config.bits_per_packet;
+  double t = 0.0;
+  bool topology_dirty = false;
+  std::size_t next_death = 0;
+
+  // Marks `id` dead, recording whether a cluster head just failed.
+  const auto kill = [&](NodeId id) {
+    if (!alive[id]) return;
+    alive[id] = 0;
+    --alive_count;
+    ++report.node_deaths;
+    if (world.clusters()[world.cluster_of(id)].head == id) {
+      ++report.head_failovers;
+    }
+    topology_dirty = true;
+  };
+
+  for (std::size_t round = 1; round <= config.rounds; ++round) {
+    // Scheduled faults land first: crashes disappear outright, battery
+    // exhaustion zeroes the ledger before dying (same repair path).
+    while (next_death < plan.deaths().size() &&
+           plan.deaths()[next_death].round <= round) {
+      const NodeDeath& d = plan.deaths()[next_death++];
+      if (d.node < alive.size() && alive[d.node]) {
+        if (d.cause == NodeDeath::Cause::kBatteryExhaustion) {
+          world.mutable_node(d.node).battery_j = 0.0;
+        }
+        kill(d.node);
+      }
+    }
+    if (alive_count < 2) break;  // nothing left to route between
+
+    // Self-healing: rebuild clusters, heads, and the spanning tree from
+    // the survivors, paying the control-plane repair cost.
+    if (topology_dirty) {
+      world = surviving_subnet(world, alive);
+      ++report.route_repairs;
+      report.repair_time_s += config.faults.repair_time_s;
+      t += config.faults.repair_time_s;
+      topology_dirty = false;
+    }
+
+    const CooperativeRouter router(world, params, config.ber,
+                                   config.bandwidth_hz, config.mode);
+    const std::size_t n = world.nodes().size();
+    const NodeId src = world.nodes()[traffic.uniform_int(n)].id;
+    NodeId dst = src;
+    while (dst == src) dst = world.nodes()[traffic.uniform_int(n)].id;
+
+    ++report.packets_offered;
+    if (!router.backbone().connected(world.cluster_of(src),
+                                     world.cluster_of(dst))) {
+      ++report.routing_drops;
+    } else {
+      bool delivered = true;
+      try {
+        const RouteReport route = router.route(src, dst);
+        for (std::size_t h = 0; h < route.hops.size(); ++h) {
+          RouteHop hop = route.hops[h];
+          // Clamp to the supported STBC designs, then take one ladder
+          // step down if this hop loses a cooperator mid-transmission.
+          unsigned mt = static_cast<unsigned>(
+              stbc_supported_tx(hop.plan.config.mt));
+          unsigned mr = static_cast<unsigned>(
+              stbc_supported_tx(hop.plan.config.mr));
+          if (plan.relay_dropout(round, h) && mt > 1) {
+            mt = static_cast<unsigned>(stbc_degraded_tx(mt));
+            ++report.stbc_degradations;
+          }
+          hop.plan = planner.replan_shrunk(hop.plan, mt, mr);
+          const auto tx = hop_participants(world.clusters()[hop.from],
+                                           hop.plan.config.mt);
+          const auto rx = hop_participants(world.clusters()[hop.to],
+                                           hop.plan.config.mr);
+          const HopSchedule sched = scheduler.schedule(hop.plan, tx, rx, bits);
+          const double hop_energy_j = hop.plan.total_energy() * bits;
+
+          bool hop_ok = false;
+          for (unsigned k = 0; k < config.arq.max_attempts; ++k) {
+            // Interweave etiquette: vacate while the PU holds the
+            // channel, resume when its busy period ends.
+            const double wait = plan.pu_wait_s(t);
+            if (wait > 0.0) {
+              ++report.pu_preemptions;
+              report.pu_wait_s += wait;
+              t += wait;
+            }
+            router.apply_hop_drain(world, hop, bits);
+            report.energy_spent_j += hop_energy_j;
+            report.airtime_s += sched.makespan_s;
+            t += sched.makespan_s;
+            if (k > 0) {
+              ++report.retransmissions;
+              report.retransmit_energy_j += hop_energy_j;
+            }
+            if (!plan.slot_erased(round, h, k)) {
+              hop_ok = true;
+              break;
+            }
+            double penalty = config.arq.ack_timeout_s;
+            if (k + 1 < config.arq.max_attempts) {
+              penalty += arq_backoff_s(config.arq, k, arq_rng);
+            }
+            report.backoff_wait_s += penalty;
+            t += penalty;
+          }
+          if (!hop_ok) {
+            ++report.arq_failures;
+            delivered = false;
+            break;
+          }
+        }
+      } catch (const InfeasibleError&) {
+        // A degraded hop with no feasible constellation drops the packet
+        // but never the simulation.
+        ++report.routing_drops;
+        delivered = false;
+      }
+      if (delivered) {
+        ++report.packets_delivered;
+        report.delivered_bits += bits;
+      }
+    }
+
+    // Batteries the traffic just exhausted die here and heal next round.
+    for (const auto& node : world.nodes()) {
+      if (alive[node.id] && node.battery_j <= 0.0) kill(node.id);
+    }
+  }
+
+  report.total_time_s = t;
+  finalize(report);
+  return report;
+}
+
+}  // namespace comimo

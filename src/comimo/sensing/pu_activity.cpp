@@ -8,11 +8,17 @@
 
 namespace comimo {
 
+void PuActivityModel::validate() const {
+  COMIMO_CHECK(std::isfinite(mean_busy_s) && mean_busy_s > 0.0,
+               "mean busy time must be positive and finite");
+  COMIMO_CHECK(std::isfinite(mean_idle_s) && mean_idle_s > 0.0,
+               "mean idle time must be positive and finite");
+}
+
 std::vector<PuInterval> generate_pu_trace(const PuActivityModel& model,
                                           double duration_s,
                                           std::uint64_t seed) {
-  COMIMO_CHECK(model.mean_busy_s > 0.0 && model.mean_idle_s > 0.0,
-               "holding times must be positive");
+  model.validate();
   COMIMO_CHECK(duration_s > 0.0, "duration must be positive");
   Rng rng(seed);
   std::vector<PuInterval> trace;
@@ -54,6 +60,16 @@ double trace_busy_fraction(const std::vector<PuInterval>& trace, double t0,
     if (hi > lo) busy += hi - lo;
   }
   return busy / (t1 - t0);
+}
+
+double trace_next_idle(const std::vector<PuInterval>& trace, double t) {
+  COMIMO_CHECK(!trace.empty(), "empty trace");
+  COMIMO_CHECK(t >= 0.0 && t < trace.back().end_s, "time outside trace");
+  for (const auto& iv : trace) {
+    if (iv.end_s <= t || iv.busy) continue;
+    return std::max(t, iv.start_s);
+  }
+  return trace.back().end_s;
 }
 
 OpportunisticAccessResult simulate_opportunistic_access(

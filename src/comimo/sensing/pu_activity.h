@@ -19,8 +19,14 @@ struct PuActivityModel {
   double mean_busy_s = 0.5;
   double mean_idle_s = 1.0;
 
-  /// Long-run fraction of time the PU is busy.
-  [[nodiscard]] double duty_cycle() const noexcept {
+  /// Throws InvalidArgument unless both holding times are positive and
+  /// finite (zero/negative means would make duty_cycle() NaN or inf).
+  void validate() const;
+
+  /// Long-run fraction of time the PU is busy.  Validates first, so a
+  /// malformed model throws instead of silently returning NaN.
+  [[nodiscard]] double duty_cycle() const {
+    validate();
     return mean_busy_s / (mean_busy_s + mean_idle_s);
   }
 };
@@ -43,6 +49,11 @@ struct PuInterval {
 /// Fraction of [t0, t1] the trace spends busy.
 [[nodiscard]] double trace_busy_fraction(
     const std::vector<PuInterval>& trace, double t0, double t1);
+/// Earliest t' >= t at which the trace is idle, or the trace end when
+/// the PU stays busy through it — the "resume after the idle period"
+/// instant a preempted secondary transmission waits for.
+[[nodiscard]] double trace_next_idle(const std::vector<PuInterval>& trace,
+                                     double t);
 
 struct OpportunisticAccessConfig {
   PuActivityModel pu{};

@@ -16,37 +16,105 @@ namespace {
 
 /// Pushes `payload` through one hop; returns the bits the receiving
 /// head decodes and fills the result's error statistics relative to
-/// the payload.
+/// the payload.  With `faults.enabled` the long-haul block can be
+/// erased (→ retransmission, fresh channel and noise per attempt) and a
+/// co-transmitter can drop out mid-transfer (→ the remaining antennas
+/// fall one STBC ladder step, reusing the plan's ē_b); the zero-fault
+/// path is bit-identical to the original simulation.
 BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
                double local_snr_db, std::uint64_t seed,
-               CoopHopSimResult& result) {
+               const HopFaultConfig& faults, CoopHopSimResult& result) {
   COMIMO_CHECK(plan.b >= 1 && plan.b <= 8,
                "waveform simulation supports b in 1..8");
   COMIMO_CHECK(!payload.empty(), "need bits to send");
+  if (faults.enabled) {
+    COMIMO_CHECK(faults.block_erasure_prob >= 0.0 &&
+                     faults.block_erasure_prob < 1.0,
+                 "block erasure probability must be in [0, 1)");
+    COMIMO_CHECK(faults.max_attempts >= 1, "need at least one attempt");
+  }
   const unsigned mt = plan.config.mt;
   const unsigned mr = plan.config.mr;
 
   const auto modem = make_modulator(plan.b);
   const StbcCode code = StbcCode::for_antennas(mt);
-  const StbcDecoder decoder(code);
   const std::size_t kk = code.symbols_per_block();
   const std::size_t bits_per_block = kk * static_cast<std::size_t>(plan.b);
 
-  // Long-haul symbol scaling: the solver's γ_b per unit ‖H‖²_F is
-  // ē_b/(N0·mt); with unit noise variance and the code's 1/√mt power
-  // split, scaling symbols by √(b·ē_b/N0) reproduces it exactly.
-  // Rate-1/2 designs transmit each symbol twice; divide the
-  // per-transmission energy by the symbol weight so the *per-bit*
-  // received energy equals ē_b.
   const SystemParams params{};  // the plan's ē_b already encodes p, b, m
-  const double sym_scale =
-      std::sqrt(static_cast<double>(plan.b) * plan.ebar /
-                params.n0_w_per_hz / code.symbol_weight());
-
   const double local_noise_var = db_to_linear(-local_snr_db);
   Rng channel_rng(seed);
   AwgnChannel long_haul_noise(1.0, Rng(seed, 0x10));
   AwgnChannel local_noise(local_noise_var, Rng(seed, 0x20));
+  Rng fault_rng(faults.seed, 0xFA);  // drawn from only when faults are on
+
+  // Long haul for `mt_use` active antennas (the first mt_use belief
+  // streams; the head is always antenna 0).  Symbol scaling: the
+  // solver's γ_b per unit ‖H‖²_F is ē_b/(N0·mt); with unit noise
+  // variance and the code's 1/√mt power split, scaling symbols by
+  // √(b·ē_b/N0) reproduces it exactly.  Rate-1/2 designs transmit each
+  // symbol twice; divide the per-transmission energy by the symbol
+  // weight so the *per-bit* received energy equals ē_b.  Degraded
+  // blocks chunk into the smaller code's sub-blocks (K divides evenly
+  // down the whole G4 → G3 → Alamouti → SISO ladder).
+  const auto long_haul = [&](unsigned mt_use,
+                             const std::vector<BitVec>& antenna_bits) {
+    const StbcCode code_use = StbcCode::for_antennas(mt_use);
+    const StbcDecoder decoder_use(code_use);
+    const std::size_t k_use = code_use.symbols_per_block();
+    const std::size_t sub_bits = k_use * static_cast<std::size_t>(plan.b);
+    const double sym_scale =
+        std::sqrt(static_cast<double>(plan.b) * plan.ebar /
+                  params.n0_w_per_hz / code_use.symbol_weight());
+    BitVec decoded_all;
+    decoded_all.reserve(antenna_bits[0].size());
+    for (std::size_t sub = 0; sub < antenna_bits[0].size(); sub += sub_bits) {
+      // --- Step 2: every antenna encodes its own belief; the receive
+      // cluster observes the superposition through H plus unit noise.
+      std::vector<std::vector<cplx>> antenna_syms(mt_use);
+      for (unsigned i = 0; i < mt_use; ++i) {
+        const BitVec piece(
+            antenna_bits[i].begin() + static_cast<std::ptrdiff_t>(sub),
+            antenna_bits[i].begin() +
+                static_cast<std::ptrdiff_t>(sub + sub_bits));
+        antenna_syms[i] = modem->modulate(piece);
+        for (auto& v : antenna_syms[i]) v *= sym_scale;
+      }
+      const CMatrix h = CMatrix::random_gaussian(mr, mt_use, channel_rng);
+      CMatrix received(code_use.block_length(), mr);
+      for (std::size_t t = 0; t < code_use.block_length(); ++t) {
+        for (unsigned j = 0; j < mr; ++j) {
+          cplx acc{0.0, 0.0};
+          for (unsigned i = 0; i < mt_use; ++i) {
+            cplx c_ti{0.0, 0.0};
+            for (std::size_t k = 0; k < k_use; ++k) {
+              c_ti += code_use.coeff_a(t, i, k) * antenna_syms[i][k] +
+                      code_use.coeff_b(t, i, k) *
+                          std::conj(antenna_syms[i][k]);
+            }
+            acc += c_ti * code_use.power_scale() * h(j, i);
+          }
+          received(t, j) = acc + long_haul_noise.sample();
+        }
+      }
+
+      // --- Step 3: non-head receivers forward raw samples to the head
+      // over local links (analog forwarding adds local noise); the head
+      // then joint-decodes.
+      CMatrix at_head = received;
+      for (unsigned j = 1; j < mr; ++j) {
+        for (std::size_t t = 0; t < code_use.block_length(); ++t) {
+          at_head(t, j) += local_noise.sample() * sym_scale;
+        }
+      }
+
+      std::vector<cplx> est = decoder_use.decode(h, at_head);
+      for (auto& v : est) v /= sym_scale;
+      const BitVec decoded = modem->demodulate(est);
+      decoded_all.insert(decoded_all.end(), decoded.begin(), decoded.end());
+    }
+    return decoded_all;
+  };
 
   const BitVec padded = pad_to_multiple(payload, bits_per_block);
   BitVec out;
@@ -73,43 +141,33 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
       }
     }
 
-    // --- Step 2: every antenna encodes its own belief; the receive
-    // cluster observes the superposition through H plus unit noise.
-    std::vector<std::vector<cplx>> antenna_syms(mt);
-    for (unsigned i = 0; i < mt; ++i) {
-      antenna_syms[i] = modem->modulate(antenna_bits[i]);
-      for (auto& v : antenna_syms[i]) v *= sym_scale;
-    }
-    const CMatrix h = CMatrix::random_gaussian(mr, mt, channel_rng);
-    CMatrix received(code.block_length(), mr);
-    for (std::size_t t = 0; t < code.block_length(); ++t) {
-      for (unsigned j = 0; j < mr; ++j) {
-        cplx acc{0.0, 0.0};
-        for (unsigned i = 0; i < mt; ++i) {
-          cplx c_ti{0.0, 0.0};
-          for (std::size_t k = 0; k < kk; ++k) {
-            c_ti += code.coeff_a(t, i, k) * antenna_syms[i][k] +
-                    code.coeff_b(t, i, k) * std::conj(antenna_syms[i][k]);
-          }
-          acc += c_ti * code.power_scale() * h(j, i);
+    BitVec decoded;
+    if (!faults.enabled) {
+      decoded = long_haul(mt, antenna_bits);
+    } else {
+      const std::size_t blk = off / bits_per_block;
+      unsigned mt_use = mt;
+      if (blk >= faults.dropout_block && mt > 1) {
+        mt_use = mt - 1;
+        ++result.resilience.degraded_blocks;
+      }
+      ++result.resilience.blocks;
+      bool got_through = false;
+      unsigned attempts = 0;
+      while (attempts < faults.max_attempts) {
+        decoded = long_haul(mt_use, antenna_bits);
+        ++attempts;
+        if (!fault_rng.bernoulli(faults.block_erasure_prob)) {
+          got_through = true;
+          break;
         }
-        received(t, j) = acc + long_haul_noise.sample();
+      }
+      if (attempts > 1) ++result.resilience.retransmitted_blocks;
+      if (!got_through) {
+        decoded.assign(bits_per_block, 0);  // the block never arrived
+        ++result.resilience.lost_blocks;
       }
     }
-
-    // --- Step 3: non-head receivers forward raw samples to the head
-    // over local links (analog forwarding adds local noise); the head
-    // then joint-decodes.
-    CMatrix at_head = received;
-    for (unsigned j = 1; j < mr; ++j) {
-      for (std::size_t t = 0; t < code.block_length(); ++t) {
-        at_head(t, j) += local_noise.sample() * sym_scale;
-      }
-    }
-
-    std::vector<cplx> est = decoder.decode(h, at_head);
-    for (auto& v : est) v /= sym_scale;
-    const BitVec decoded = modem->demodulate(est);
     out.insert(out.end(), decoded.begin(), decoded.end());
   }
 
@@ -133,13 +191,14 @@ CoopHopSimResult simulate_cooperative_hop(const CoopHopSimConfig& config) {
   const BitVec payload = random_bits(config.bits, config.seed ^ 0xB17);
   CoopHopSimResult result;
   (void)run_hop(config.plan, payload, config.local_snr_db, config.seed,
-                result);
+                config.faults, result);
   return result;
 }
 
 RouteSimResult simulate_route(const std::vector<UnderlayHopPlan>& plans,
                               std::size_t bits, double local_snr_db,
-                              std::uint64_t seed) {
+                              std::uint64_t seed,
+                              const HopFaultConfig& faults) {
   COMIMO_CHECK(!plans.empty(), "route needs at least one hop");
   COMIMO_CHECK(bits >= 1, "need bits to send");
   const BitVec source = random_bits(bits, seed ^ 0xB17);
@@ -148,7 +207,7 @@ RouteSimResult simulate_route(const std::vector<UnderlayHopPlan>& plans,
   for (std::size_t i = 0; i < plans.size(); ++i) {
     CoopHopSimResult hop_result;
     current = run_hop(plans[i], current, local_snr_db,
-                      seed + 0x9E37 * (i + 1), hop_result);
+                      seed + 0x9E37 * (i + 1), faults, hop_result);
     result.hops.push_back(hop_result);
   }
   result.bits = bits;

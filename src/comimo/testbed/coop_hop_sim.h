@@ -24,11 +24,38 @@
 
 namespace comimo {
 
+/// Waveform-level fault injection, off by default (the zero-fault path
+/// is bit-identical to the original simulation — no extra RNG draws).
+struct HopFaultConfig {
+  bool enabled = false;
+  /// Per-attempt probability an entire long-haul STBC block is erased
+  /// (e.g. swamped by a collision); erasures trigger retransmission.
+  double block_erasure_prob = 0.0;
+  /// Transmission attempts per block before it is declared lost.
+  unsigned max_attempts = 4;
+  /// First block index at which one co-transmitter has dropped out;
+  /// from there the long haul degrades one STBC ladder step (mt − 1),
+  /// reusing the plan's ē_b (energy held, diversity lost).
+  std::size_t dropout_block = ~std::size_t{0};
+  std::uint64_t seed = 7;
+};
+
+/// What the fault machinery did to one hop.
+struct HopResilienceStats {
+  std::size_t blocks = 0;
+  std::size_t retransmitted_blocks = 0;  ///< needed more than one attempt
+  std::size_t degraded_blocks = 0;       ///< sent with a shrunken STBC
+  std::size_t lost_blocks = 0;  ///< every attempt erased; payload zeroed
+  friend bool operator==(const HopResilienceStats&,
+                         const HopResilienceStats&) = default;
+};
+
 struct CoopHopSimConfig {
   UnderlayHopPlan plan;          ///< from UnderlayCooperativeHop::plan
   std::size_t bits = 20000;      ///< payload length
   double local_snr_db = 30.0;    ///< intra-cluster link SNR (short range)
   std::uint64_t seed = 1;
+  HopFaultConfig faults{};       ///< resilience hook, off by default
 };
 
 struct CoopHopSimResult {
@@ -39,6 +66,7 @@ struct CoopHopSimResult {
   /// Fraction of intra-cluster broadcast bits any co-transmitter
   /// mis-decoded (step-1 DF impairment).
   double intra_error_rate = 0.0;
+  HopResilienceStats resilience{};  ///< zeros when faults are off
 };
 
 /// Runs the hop.  Requires plan.b ≤ 8 (the waveform modulators' range);
@@ -57,6 +85,7 @@ struct RouteSimResult {
 };
 [[nodiscard]] RouteSimResult simulate_route(
     const std::vector<UnderlayHopPlan>& plans, std::size_t bits,
-    double local_snr_db = 30.0, std::uint64_t seed = 1);
+    double local_snr_db = 30.0, std::uint64_t seed = 1,
+    const HopFaultConfig& faults = {});
 
 }  // namespace comimo

@@ -99,4 +99,16 @@ UnderlayHopPlan UnderlayCooperativeHop::plan(const UnderlayHopConfig& config,
   return best;
 }
 
+UnderlayHopPlan UnderlayCooperativeHop::replan_shrunk(
+    const UnderlayHopPlan& plan, unsigned alive_tx, unsigned alive_rx,
+    BSelectionRule rule) const {
+  UnderlayHopConfig shrunk = plan.config;
+  shrunk.mt = std::max(1u, std::min(shrunk.mt, alive_tx));
+  shrunk.mr = std::max(1u, std::min(shrunk.mr, alive_rx));
+  if (shrunk.mt == plan.config.mt && shrunk.mr == plan.config.mr) {
+    return plan;  // nothing dropped; keep the original plan verbatim
+  }
+  return this->plan(shrunk, rule);
+}
+
 }  // namespace comimo

@@ -71,6 +71,14 @@ class UnderlayCooperativeHop {
       const UnderlayHopConfig& config,
       BSelectionRule rule = BSelectionRule::kMinTotalPa) const;
 
+  /// Re-plans `plan` with the cooperator counts shrunk to the survivors
+  /// — the resilience layer's degradation step when transmitters or
+  /// receivers drop out mid-route.  Counts are clamped to >= 1 (SISO is
+  /// the floor); the geometry, BER target, and bandwidth carry over.
+  [[nodiscard]] UnderlayHopPlan replan_shrunk(
+      const UnderlayHopPlan& plan, unsigned alive_tx, unsigned alive_rx,
+      BSelectionRule rule = BSelectionRule::kMinTotalPa) const;
+
   [[nodiscard]] const SystemParams& params() const noexcept {
     return params_;
   }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "comimo/common/error.h"
 
 namespace comimo {
@@ -46,6 +48,34 @@ TEST(PuTrace, Validation) {
   EXPECT_THROW((void)trace_busy_at(trace, -1.0), InvalidArgument);
   EXPECT_THROW((void)trace_busy_at(trace, 10.0), InvalidArgument);
   EXPECT_THROW((void)trace_busy_fraction(trace, 5.0, 5.0), InvalidArgument);
+}
+
+TEST(PuActivityModel, DutyCycleValidatesHoldingTimes) {
+  PuActivityModel model;
+  EXPECT_NEAR(model.duty_cycle(), 1.0 / 3.0, 1e-12);
+  model.mean_busy_s = 0.0;
+  EXPECT_THROW((void)model.duty_cycle(), InvalidArgument);
+  model.mean_busy_s = -0.5;
+  EXPECT_THROW((void)model.duty_cycle(), InvalidArgument);
+  model.mean_busy_s = 0.5;
+  model.mean_idle_s = 0.0;
+  EXPECT_THROW((void)model.duty_cycle(), InvalidArgument);
+  model.mean_idle_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)model.duty_cycle(), InvalidArgument);
+}
+
+TEST(PuTrace, NextIdleFindsResumePoint) {
+  const auto trace = generate_pu_trace(PuActivityModel{}, 50.0, 4);
+  for (double t = 0.1; t < 49.5; t += 3.3) {
+    const double resume = trace_next_idle(trace, t);
+    ASSERT_GE(resume, t);
+    if (resume < 50.0) {
+      EXPECT_FALSE(trace_busy_at(trace, resume)) << "t=" << t;
+    }
+    if (!trace_busy_at(trace, t)) {
+      EXPECT_DOUBLE_EQ(resume, t);  // already idle: resume immediately
+    }
+  }
 }
 
 OpportunisticAccessConfig base_cfg() {

@@ -1,0 +1,406 @@
+// Tests for the fault-injection & recovery layer: ARQ backoff, fault
+// plans, self-healing routing, and the deterministic-replay guarantees
+// (same seed => bit-identical ResilienceReport).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "comimo/common/error.h"
+#include "comimo/net/lifetime.h"
+#include "comimo/phy/stbc.h"
+#include "comimo/resilience/arq.h"
+#include "comimo/resilience/fault_plan.h"
+#include "comimo/resilience/recovery.h"
+#include "comimo/resilience/resilient_sim.h"
+#include "comimo/testbed/coop_hop_sim.h"
+#include "comimo/underlay/cooperative_hop.h"
+
+namespace comimo {
+namespace {
+
+CoMimoNet make_field(std::uint64_t seed = 11) {
+  const auto nodes = clustered_field(14, 3, 6.0, 450.0, 450.0, seed,
+                                     /*battery_lo=*/150.0,
+                                     /*battery_hi=*/200.0);
+  CoMimoNetConfig cfg;
+  cfg.communication_range_m = 40.0;
+  cfg.cluster_diameter_m = 16.0;
+  cfg.link_range_m = 280.0;
+  return CoMimoNet(nodes, cfg);
+}
+
+// ---------------------------------------------------------------- ARQ --
+
+TEST(Arq, BackoffIsTruncatedExponentialWithDither) {
+  ArqConfig cfg;
+  for (unsigned attempt = 0; attempt < 12; ++attempt) {
+    Rng rng(99, attempt);
+    const double nominal = std::min(
+        cfg.base_backoff_s * std::pow(cfg.backoff_factor, attempt),
+        cfg.max_backoff_s);
+    const double d = arq_backoff_s(cfg, attempt, rng);
+    EXPECT_GE(d, 0.5 * nominal);
+    EXPECT_LT(d, nominal);
+  }
+  // Deep attempts saturate at the ceiling (modulo the dither window).
+  Rng rng(1, 2);
+  EXPECT_LE(arq_backoff_s(cfg, 40, rng), cfg.max_backoff_s);
+}
+
+TEST(Arq, BackoffSequenceReplaysFromSeed) {
+  const ArqConfig cfg;
+  std::vector<double> a, b;
+  Rng ra(7, 3), rb(7, 3);
+  for (unsigned k = 0; k < 8; ++k) {
+    a.push_back(arq_backoff_s(cfg, k, ra));
+    b.push_back(arq_backoff_s(cfg, k, rb));
+  }
+  EXPECT_EQ(a, b);  // bit-identical, not just close
+}
+
+TEST(Arq, RunArqDeliversAndExhausts) {
+  ArqConfig cfg;
+  cfg.max_attempts = 4;
+  Rng rng(5);
+  const auto ok_third = [](unsigned k) { return k == 2; };
+  const ArqOutcome got = run_arq(cfg, ok_third, rng);
+  EXPECT_TRUE(got.delivered);
+  EXPECT_EQ(got.attempts, 3u);
+  EXPECT_GT(got.wait_s, 2 * cfg.ack_timeout_s);  // two timeouts + backoff
+
+  Rng rng2(5);
+  const ArqOutcome lost =
+      run_arq(cfg, [](unsigned) { return false; }, rng2);
+  EXPECT_FALSE(lost.delivered);
+  EXPECT_EQ(lost.attempts, cfg.max_attempts);
+}
+
+TEST(Arq, ConfigValidation) {
+  ArqConfig cfg;
+  cfg.max_attempts = 0;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg = ArqConfig{};
+  cfg.backoff_factor = 0.5;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg = ArqConfig{};
+  cfg.ack_timeout_s = -1.0;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  EXPECT_NO_THROW(validate(ArqConfig{}));
+}
+
+// --------------------------------------------------------- fault plans --
+
+TEST(FaultPlan, SameSeedSamePlan) {
+  const CoMimoNet net = make_field();
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.node_death_fraction = 0.3;
+  cfg.slot_erasure_prob = 0.1;
+  cfg.relay_dropout_prob = 0.2;
+  cfg.seed = 21;
+  const FaultInjector injector(cfg);
+  const FaultPlan a = injector.make_plan(net, 500);
+  const FaultPlan b = injector.make_plan(net, 500);
+  ASSERT_EQ(a.deaths().size(), b.deaths().size());
+  EXPECT_FALSE(a.deaths().empty());
+  for (std::size_t i = 0; i < a.deaths().size(); ++i) {
+    EXPECT_EQ(a.deaths()[i].round, b.deaths()[i].round);
+    EXPECT_EQ(a.deaths()[i].node, b.deaths()[i].node);
+    EXPECT_EQ(a.deaths()[i].cause, b.deaths()[i].cause);
+  }
+  for (std::size_t round = 1; round <= 50; ++round) {
+    for (std::size_t hop = 0; hop < 4; ++hop) {
+      EXPECT_EQ(a.slot_erased(round, hop, 0), b.slot_erased(round, hop, 0));
+      EXPECT_EQ(a.relay_dropout(round, hop), b.relay_dropout(round, hop));
+    }
+  }
+}
+
+TEST(FaultPlan, DeathsLandInsideTheWindow) {
+  const CoMimoNet net = make_field();
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.node_death_fraction = 0.5;
+  cfg.death_window_lo = 0.25;
+  cfg.death_window_hi = 0.75;
+  const std::size_t horizon = 400;
+  const FaultPlan plan = FaultInjector(cfg).make_plan(net, horizon);
+  ASSERT_FALSE(plan.deaths().empty());
+  for (const auto& d : plan.deaths()) {
+    EXPECT_GE(d.round, horizon / 4);
+    EXPECT_LE(d.round, 3 * horizon / 4);
+  }
+}
+
+TEST(FaultPlan, DisabledPlanNeverFaults) {
+  const CoMimoNet net = make_field();
+  FaultConfig cfg;  // enabled == false but knobs set: the switch rules
+  cfg.node_death_fraction = 0.5;
+  cfg.slot_erasure_prob = 0.5;
+  cfg.relay_dropout_prob = 0.5;
+  const FaultPlan plan = FaultInjector(cfg).make_plan(net, 100);
+  EXPECT_TRUE(plan.deaths().empty());
+  EXPECT_FALSE(plan.slot_erased(1, 0, 0));
+  EXPECT_FALSE(plan.relay_dropout(1, 0));
+  EXPECT_DOUBLE_EQ(plan.pu_wait_s(3.0), 0.0);
+}
+
+TEST(FaultPlan, ConfigValidation) {
+  FaultConfig cfg;
+  cfg.node_death_fraction = 1.5;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg = FaultConfig{};
+  cfg.death_window_lo = 0.8;
+  cfg.death_window_hi = 0.2;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg = FaultConfig{};
+  cfg.slot_erasure_prob = 1.0;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg = FaultConfig{};
+  cfg.pu_preemption = true;
+  cfg.pu.mean_idle_s = 0.0;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  EXPECT_NO_THROW(validate(FaultConfig{}));
+}
+
+TEST(FaultPlan, PuWaitResumesAfterBusyPeriod) {
+  const CoMimoNet net = make_field();
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.pu_preemption = true;
+  cfg.pu_trace_duration_s = 200.0;
+  const FaultPlan plan = FaultInjector(cfg).make_plan(net, 10);
+  ASSERT_FALSE(plan.pu_trace().empty());
+  bool saw_wait = false;
+  for (double t = 0.0; t < 190.0; t += 0.37) {
+    const double w = plan.pu_wait_s(t);
+    ASSERT_GE(w, 0.0);
+    if (w > 0.0) {
+      saw_wait = true;
+      EXPECT_FALSE(trace_busy_at(plan.pu_trace(), t + w));
+    }
+  }
+  EXPECT_TRUE(saw_wait);  // duty cycle 1/3: some probe hits a busy period
+}
+
+// ------------------------------------------------- STBC ladder & heal --
+
+TEST(StbcLadder, DegradesOneStepAtATime) {
+  EXPECT_EQ(stbc_supported_tx(9), 4u);
+  EXPECT_EQ(stbc_supported_tx(3), 3u);
+  EXPECT_EQ(stbc_degraded_tx(4), 3u);
+  EXPECT_EQ(stbc_degraded_tx(3), 2u);
+  EXPECT_EQ(stbc_degraded_tx(2), 1u);
+  EXPECT_EQ(stbc_degraded_tx(1), 1u);  // SISO is the floor
+}
+
+TEST(Recovery, SurvivingSubnetDropsTheDeadAndRebuilds) {
+  const CoMimoNet net = make_field();
+  NodeId max_id = 0;
+  for (const auto& n : net.nodes()) max_id = std::max(max_id, n.id);
+  std::vector<std::uint8_t> alive(max_id + 1, 1);
+  const NodeId victim = net.clusters().front().head;
+  alive[victim] = 0;
+  const CoMimoNet healed = surviving_subnet(net, alive);
+  EXPECT_EQ(healed.nodes().size(), net.nodes().size() - 1);
+  for (const auto& n : healed.nodes()) EXPECT_NE(n.id, victim);
+  for (const auto& c : healed.clusters()) EXPECT_NE(c.head, victim);
+
+  std::vector<std::uint8_t> none(max_id + 1, 0);
+  EXPECT_THROW((void)surviving_subnet(net, none), InfeasibleError);
+}
+
+TEST(Recovery, ReplanShrunkStepsDownTheLadder) {
+  const UnderlayCooperativeHop planner{SystemParams{}};
+  UnderlayHopConfig cfg;
+  cfg.mt = 4;
+  cfg.mr = 4;
+  cfg.hop_distance_m = 150.0;
+  cfg.ber = 1e-3;
+  const UnderlayHopPlan plan = planner.plan(cfg);
+  const UnderlayHopPlan same = planner.replan_shrunk(plan, 4, 4);
+  EXPECT_EQ(same.config.mt, 4u);
+  EXPECT_DOUBLE_EQ(same.ebar, plan.ebar);  // untouched when nothing shrank
+  const UnderlayHopPlan shrunk = planner.replan_shrunk(plan, 3, 4);
+  EXPECT_EQ(shrunk.config.mt, 3u);
+  EXPECT_EQ(shrunk.config.mr, 4u);
+  EXPECT_GT(shrunk.total_energy(), 0.0);
+}
+
+// ------------------------------------------------ resilient simulation --
+
+TEST(ResilientSim, FaultsOffDeliversEverything) {
+  const CoMimoNet net = make_field();
+  ResilienceConfig cfg;
+  cfg.rounds = 60;
+  const ResilienceReport r = simulate_with_faults(net, SystemParams{}, cfg);
+  EXPECT_EQ(r.packets_offered, cfg.rounds);
+  EXPECT_DOUBLE_EQ(r.delivery_ratio, 1.0);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.node_deaths, 0u);
+  EXPECT_EQ(r.route_repairs, 0u);
+  EXPECT_EQ(r.stbc_degradations, 0u);
+  EXPECT_GT(r.goodput_bps, 0.0);
+}
+
+// The headline acceptance criterion: kill 20% of the relays mid-run and
+// cooperative routing still delivers >= 90% of offered packets through
+// STBC degradation + route repair, with no exception escaping; and the
+// identical seed reproduces the identical report, field for field.
+TEST(ResilientSim, SurvivesTwentyPercentNodeDeathsAndReplays) {
+  const CoMimoNet net = make_field();
+  ResilienceConfig cfg;
+  cfg.mode = RoutingMode::kCooperative;
+  cfg.rounds = 250;
+  cfg.faults.enabled = true;
+  cfg.faults.node_death_fraction = 0.20;
+  cfg.faults.relay_dropout_prob = 0.10;
+  cfg.faults.slot_erasure_prob = 0.05;
+  cfg.faults.pu_preemption = true;
+  cfg.faults.seed = 42;
+
+  ResilienceReport a;
+  ASSERT_NO_THROW(a = simulate_with_faults(net, SystemParams{}, cfg));
+  EXPECT_EQ(a.node_deaths,
+            static_cast<std::size_t>(0.20 * net.nodes().size()));
+  EXPECT_GE(a.delivery_ratio, 0.9);
+  EXPECT_GT(a.route_repairs, 0u);
+  EXPECT_GT(a.stbc_degradations, 0u);
+  EXPECT_GT(a.retransmissions, 0u);
+  EXPECT_GT(a.pu_preemptions, 0u);
+  EXPECT_GT(a.retransmit_energy_j, 0.0);
+  EXPECT_LT(a.retransmit_energy_j, a.energy_spent_j);
+
+  const ResilienceReport b = simulate_with_faults(net, SystemParams{}, cfg);
+  EXPECT_EQ(a, b);  // defaulted operator==: bit-identical replay
+}
+
+TEST(ResilientSim, DifferentSeedsDiverge) {
+  const CoMimoNet net = make_field();
+  ResilienceConfig cfg;
+  cfg.rounds = 120;
+  cfg.faults.enabled = true;
+  cfg.faults.node_death_fraction = 0.2;
+  cfg.faults.slot_erasure_prob = 0.1;
+  cfg.faults.seed = 1;
+  const ResilienceReport a = simulate_with_faults(net, SystemParams{}, cfg);
+  cfg.faults.seed = 2;
+  const ResilienceReport c = simulate_with_faults(net, SystemParams{}, cfg);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ResilientSim, HeadDeathCountsAsFailover) {
+  const CoMimoNet net = make_field();
+  ResilienceConfig cfg;
+  cfg.rounds = 200;
+  cfg.faults.enabled = true;
+  cfg.faults.node_death_fraction = 0.45;  // enough victims to hit heads
+  const ResilienceReport r = simulate_with_faults(net, SystemParams{}, cfg);
+  EXPECT_GT(r.node_deaths, 0u);
+  EXPECT_GT(r.head_failovers, 0u);
+  EXPECT_GT(r.route_repairs, 0u);
+}
+
+// ---------------------------------------------------- lifetime threading --
+
+TEST(LifetimeSim, ZeroRateFaultPathMatchesBaseline) {
+  const CoMimoNet net = make_field();
+  LifetimeConfig cfg;
+  cfg.round_cap = 400;
+  const LifetimeReport base = simulate_lifetime(net, SystemParams{}, cfg);
+  cfg.faults.enabled = true;  // enabled, but every fault rate is zero
+  const LifetimeReport faulted = simulate_lifetime(net, SystemParams{}, cfg);
+  EXPECT_EQ(base.rounds_to_first_death, faulted.rounds_to_first_death);
+  EXPECT_EQ(base.rounds_to_death_fraction, faulted.rounds_to_death_fraction);
+  EXPECT_EQ(base.censored, faulted.censored);
+  EXPECT_EQ(base.dead_nodes, faulted.dead_nodes);
+  EXPECT_DOUBLE_EQ(base.min_battery_j, faulted.min_battery_j);
+}
+
+TEST(LifetimeSim, InjectedDeathsShortenTheRun) {
+  const CoMimoNet net = make_field();
+  LifetimeConfig cfg;
+  cfg.round_cap = 4000;
+  const LifetimeReport base = simulate_lifetime(net, SystemParams{}, cfg);
+  cfg.faults.enabled = true;
+  cfg.faults.node_death_fraction = 0.3;
+  // Schedule the deaths early so they land before natural battery
+  // depletion ends the run.
+  cfg.faults.death_window_lo = 0.0;
+  cfg.faults.death_window_hi = 0.05;
+  const LifetimeReport faulted = simulate_lifetime(net, SystemParams{}, cfg);
+  EXPECT_GT(faulted.resilience.node_deaths, 0u);
+  EXPECT_GT(faulted.resilience.route_repairs, 0u);
+  EXPECT_LE(faulted.rounds_to_death_fraction,
+            base.rounds_to_death_fraction);
+  EXPECT_LE(faulted.rounds_to_first_death, base.rounds_to_first_death);
+}
+
+// ------------------------------------------------- waveform-level hop --
+
+TEST(CoopHopSim, FaultsOffIsBitIdenticalToDefault) {
+  const UnderlayCooperativeHop planner{SystemParams{}};
+  UnderlayHopConfig hop_cfg;
+  hop_cfg.mt = 2;
+  hop_cfg.mr = 2;
+  hop_cfg.hop_distance_m = 120.0;
+  hop_cfg.ber = 1e-3;
+  CoopHopSimConfig cfg;
+  cfg.plan = planner.plan(hop_cfg);
+  cfg.bits = 4000;
+  const CoopHopSimResult base = simulate_cooperative_hop(cfg);
+  CoopHopSimConfig with_struct = cfg;
+  with_struct.faults = HopFaultConfig{};  // present but disabled
+  const CoopHopSimResult same = simulate_cooperative_hop(with_struct);
+  EXPECT_EQ(base.bit_errors, same.bit_errors);
+  EXPECT_DOUBLE_EQ(base.ber, same.ber);
+  EXPECT_EQ(same.resilience, HopResilienceStats{});
+}
+
+TEST(CoopHopSim, DropoutDegradesButStillDecodes) {
+  const UnderlayCooperativeHop planner{SystemParams{}};
+  UnderlayHopConfig hop_cfg;
+  hop_cfg.mt = 4;
+  hop_cfg.mr = 2;
+  hop_cfg.hop_distance_m = 120.0;
+  hop_cfg.ber = 1e-3;
+  CoopHopSimConfig cfg;
+  cfg.plan = planner.plan(hop_cfg);
+  cfg.bits = 4000;
+  cfg.faults.enabled = true;
+  cfg.faults.dropout_block = 0;  // degraded from the very first block
+  const CoopHopSimResult r = simulate_cooperative_hop(cfg);
+  EXPECT_GT(r.resilience.blocks, 0u);
+  EXPECT_EQ(r.resilience.degraded_blocks, r.resilience.blocks);
+  EXPECT_EQ(r.resilience.lost_blocks, 0u);
+  // Held at the plan's e_b with one antenna down, the link still decodes
+  // far better than coin-flipping.
+  EXPECT_LT(r.ber, 0.1);
+}
+
+TEST(CoopHopSim, ErasuresRetransmitAndExhaustionZeroesBlocks) {
+  const UnderlayCooperativeHop planner{SystemParams{}};
+  UnderlayHopConfig hop_cfg;
+  hop_cfg.mt = 2;
+  hop_cfg.mr = 2;
+  hop_cfg.hop_distance_m = 120.0;
+  hop_cfg.ber = 1e-3;
+  CoopHopSimConfig cfg;
+  cfg.plan = planner.plan(hop_cfg);
+  cfg.bits = 4000;
+  cfg.faults.enabled = true;
+  cfg.faults.block_erasure_prob = 0.5;
+  cfg.faults.max_attempts = 2;
+  const CoopHopSimResult r = simulate_cooperative_hop(cfg);
+  EXPECT_GT(r.resilience.retransmitted_blocks, 0u);
+  EXPECT_GT(r.resilience.lost_blocks, 0u);  // p=0.25 per block at 2 tries
+  EXPECT_GT(r.ber, 0.0);  // zeroed blocks show up as bit errors
+
+  const CoopHopSimResult again = simulate_cooperative_hop(cfg);
+  EXPECT_EQ(r.resilience, again.resilience);  // seeded => replayable
+  EXPECT_EQ(r.bit_errors, again.bit_errors);
+}
+
+}  // namespace
+}  // namespace comimo
