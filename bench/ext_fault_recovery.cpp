@@ -10,13 +10,20 @@
 // identical fault plan (same seed → same deaths, same erasures).
 // Cooperative routing should degrade gracefully — STBC ladder steps and
 // route repairs instead of lost packets.
+//
+// The 4 death levels × 2 modes = 8 runs shard across the mc/ sweep
+// engine (each run a pure function of its index); `--json` emits
+// comimo-bench-v1.
 #include <iostream>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/table.h"
+#include "comimo/mc/engine.h"
 #include "comimo/resilience/resilient_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
   std::cout << "=== extension: fault injection & recovery, cooperative"
                " vs heads-only SISO routing ===\n"
             << "42 SUs in 14 groups, 300 packet rounds; relay dropout 10%,"
@@ -33,33 +40,53 @@ int main() {
   net_cfg.link_range_m = 280.0;
   const CoMimoNet net(nodes, net_cfg);
 
+  const std::vector<double> death_fractions{0.0, 0.1, 0.2, 0.3};
+  std::vector<ResilienceReport> reports(death_fractions.size() * 2);
+  McConfig mc;
+  mc.pool = cli.pool();
+  (void)run_trials(
+      reports.size(), mc, [&](std::size_t t, Rng& /*rng*/, McAccumulator&) {
+        ResilienceConfig cfg;
+        cfg.mode = (t % 2 == 0) ? RoutingMode::kCooperative
+                                : RoutingMode::kSisoHeadsOnly;
+        cfg.rounds = 300;
+        cfg.traffic_seed = 11;
+        cfg.faults.enabled = true;
+        cfg.faults.seed = 42;
+        cfg.faults.node_death_fraction = death_fractions[t / 2];
+        cfg.faults.relay_dropout_prob = 0.10;
+        cfg.faults.slot_erasure_prob = 0.15;
+        cfg.faults.pu_preemption = true;
+        cfg.arq.max_attempts = 2;  // tight budget: erasures can kill packets
+        reports[t] = simulate_with_faults(net, SystemParams{}, cfg);
+      });
+
+  BenchReporter reporter("ext_fault_recovery");
+  reporter.set_threads(cli.effective_threads());
   TextTable t({"routing", "deaths", "delivery", "retx", "stbc steps",
                "repairs", "goodput kbps"});
-  for (const double death_fraction : {0.0, 0.1, 0.2, 0.3}) {
-    for (const RoutingMode mode :
-         {RoutingMode::kCooperative, RoutingMode::kSisoHeadsOnly}) {
-      ResilienceConfig cfg;
-      cfg.mode = mode;
-      cfg.rounds = 300;
-      cfg.traffic_seed = 11;
-      cfg.faults.enabled = true;
-      cfg.faults.seed = 42;
-      cfg.faults.node_death_fraction = death_fraction;
-      cfg.faults.relay_dropout_prob = 0.10;
-      cfg.faults.slot_erasure_prob = 0.15;
-      cfg.faults.pu_preemption = true;
-      cfg.arq.max_attempts = 2;  // tight budget: erasures can kill packets
-      const ResilienceReport r = simulate_with_faults(net, SystemParams{},
-                                                      cfg);
-      t.add_row({mode == RoutingMode::kCooperative ? "cooperative"
-                                                   : "heads-only SISO",
-                 TextTable::fmt(100.0 * death_fraction, 0) + "%",
-                 TextTable::fmt(r.delivery_ratio, 3),
-                 std::to_string(r.retransmissions),
-                 std::to_string(r.stbc_degradations),
-                 std::to_string(r.route_repairs),
-                 TextTable::fmt(r.goodput_bps / 1e3, 1)});
-    }
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const bool coop = (i % 2 == 0);
+    const double death_fraction = death_fractions[i / 2];
+    const ResilienceReport& r = reports[i];
+    t.add_row({coop ? "cooperative" : "heads-only SISO",
+               TextTable::fmt(100.0 * death_fraction, 0) + "%",
+               TextTable::fmt(r.delivery_ratio, 3),
+               std::to_string(r.retransmissions),
+               std::to_string(r.stbc_degradations),
+               std::to_string(r.route_repairs),
+               TextTable::fmt(r.goodput_bps / 1e3, 1)});
+    Json params = Json::object();
+    params.set("mode", coop ? "cooperative" : "siso_heads_only");
+    params.set("node_death_fraction", death_fraction);
+    Json metrics = Json::object();
+    metrics.set("delivery_ratio", r.delivery_ratio);
+    metrics.set("retransmissions", r.retransmissions);
+    metrics.set("stbc_degradations", r.stbc_degradations);
+    metrics.set("route_repairs", r.route_repairs);
+    metrics.set("goodput_bps", r.goodput_bps);
+    metrics.set("energy_spent_j", r.energy_spent_j);
+    reporter.add_record(std::move(params), std::move(metrics));
   }
   t.print(std::cout);
   std::cout << "\nretx = ARQ retransmissions; stbc steps = mid-hop relay"
@@ -72,5 +99,6 @@ int main() {
                " surface a cooperating cluster\n"
             << "exposes; the fault plan (seeded) is identical for every"
                " row of a given death level.\n";
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
   return 0;
 }

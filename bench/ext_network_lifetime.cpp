@@ -6,49 +6,74 @@
 // should keep the first node alive far longer than burning the head's
 // battery on SISO hops.  net/lifetime.h runs repeated traffic rounds
 // with per-round head re-election (the paper's reconfiguration); this
-// bench compares the two routing modes over several fields.
+// bench compares the two routing modes over several fields, then runs a
+// replicated traffic ensemble (simulate_lifetime_ensemble) per mode for
+// mean ± spread.  `--json` emits comimo-bench-v1.
 #include <iostream>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/table.h"
+#include "comimo/mc/engine.h"
 #include "comimo/net/lifetime.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
   std::cout << "=== extension: network lifetime, cooperative vs"
                " heads-only SISO routing ===\n"
             << "42 SUs in 14 groups, 100 kbit per traffic round, heads"
                " re-elected each round; counts censored at 5000\n\n";
 
+  BenchReporter reporter("ext_network_lifetime");
+  reporter.set_threads(cli.effective_threads());
+
+  // --- per-field comparison (3 fields × 2 modes, sharded on the engine)
+  const std::vector<std::uint64_t> seeds{11, 12, 13};
+  std::vector<LifetimeReport> reports(seeds.size() * 2);
+  McConfig mc;
+  mc.pool = cli.pool();
+  (void)run_trials(
+      reports.size(), mc, [&](std::size_t t, Rng& /*rng*/, McAccumulator&) {
+        const std::uint64_t seed = seeds[t / 2];
+        const auto nodes = clustered_field(14, 3, 6.0, 450.0, 450.0, seed,
+                                           /*battery_lo=*/150.0,
+                                           /*battery_hi=*/200.0);
+        CoMimoNetConfig net_cfg;
+        net_cfg.communication_range_m = 40.0;
+        net_cfg.cluster_diameter_m = 16.0;
+        net_cfg.link_range_m = 280.0;
+        const CoMimoNet net(nodes, net_cfg);
+        LifetimeConfig cfg;
+        cfg.traffic_seed = seed;
+        cfg.mode = (t % 2 == 0) ? RoutingMode::kCooperative
+                                : RoutingMode::kSisoHeadsOnly;
+        reports[t] = simulate_lifetime(net, SystemParams{}, cfg);
+      });
+
   TextTable t({"routing", "seed", "rounds to first death",
                "rounds to 25% dead"});
   double coop_first = 0.0;
   double siso_first = 0.0;
-  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
-    const auto nodes = clustered_field(14, 3, 6.0, 450.0, 450.0, seed,
-                                       /*battery_lo=*/150.0,
-                                       /*battery_hi=*/200.0);
-    CoMimoNetConfig net_cfg;
-    net_cfg.communication_range_m = 40.0;
-    net_cfg.cluster_diameter_m = 16.0;
-    net_cfg.link_range_m = 280.0;
-    const CoMimoNet net(nodes, net_cfg);
-
-    LifetimeConfig cfg;
-    cfg.traffic_seed = seed;
-    cfg.mode = RoutingMode::kCooperative;
-    const LifetimeReport coop = simulate_lifetime(net, SystemParams{}, cfg);
-    cfg.mode = RoutingMode::kSisoHeadsOnly;
-    const LifetimeReport siso = simulate_lifetime(net, SystemParams{}, cfg);
-    coop_first += static_cast<double>(coop.rounds_to_first_death);
-    siso_first += static_cast<double>(siso.rounds_to_first_death);
-    t.add_row({"cooperative", std::to_string(seed),
-               std::to_string(coop.rounds_to_first_death),
-               std::to_string(coop.rounds_to_death_fraction) +
-                   (coop.censored ? "+" : "")});
-    t.add_row({"heads-only SISO", std::to_string(seed),
-               std::to_string(siso.rounds_to_first_death),
-               std::to_string(siso.rounds_to_death_fraction) +
-                   (siso.censored ? "+" : "")});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const bool coop = (i % 2 == 0);
+    const std::uint64_t seed = seeds[i / 2];
+    const LifetimeReport& r = reports[i];
+    (coop ? coop_first : siso_first) +=
+        static_cast<double>(r.rounds_to_first_death);
+    t.add_row({coop ? "cooperative" : "heads-only SISO",
+               std::to_string(seed),
+               std::to_string(r.rounds_to_first_death),
+               std::to_string(r.rounds_to_death_fraction) +
+                   (r.censored ? "+" : "")});
+    Json params = Json::object();
+    params.set("mode", coop ? "cooperative" : "siso_heads_only");
+    params.set("field_seed", seed);
+    Json metrics = Json::object();
+    metrics.set("rounds_to_first_death", r.rounds_to_first_death);
+    metrics.set("rounds_to_death_fraction", r.rounds_to_death_fraction);
+    metrics.set("censored", r.censored ? 1 : 0);
+    metrics.set("min_battery_j", r.min_battery_j);
+    reporter.add_record(std::move(params), std::move(metrics));
   }
   t.print(std::cout);
   std::cout << "\nmean first-death lifetime gain from cooperation: "
@@ -60,5 +85,51 @@ int main() {
                " heads-only routing (with head\n"
             << "rotation each round) sacrifices individual heads and"
                " keeps the rest alive longer.\n";
+
+  // --- replicated traffic ensemble on one field: per-trial traffic
+  // seeds derive from the ensemble seed, so the mean ± stddev below is
+  // bit-identical at any thread count.
+  std::cout << "\n--- traffic ensemble (field seed 11, 8 replicates/mode)"
+               " ---\n";
+  const auto nodes = clustered_field(14, 3, 6.0, 450.0, 450.0, /*seed=*/11,
+                                     /*battery_lo=*/150.0,
+                                     /*battery_hi=*/200.0);
+  CoMimoNetConfig net_cfg;
+  net_cfg.communication_range_m = 40.0;
+  net_cfg.cluster_diameter_m = 16.0;
+  net_cfg.link_range_m = 280.0;
+  const CoMimoNet net(nodes, net_cfg);
+  for (const RoutingMode mode :
+       {RoutingMode::kCooperative, RoutingMode::kSisoHeadsOnly}) {
+    LifetimeEnsembleConfig ens;
+    ens.base.mode = mode;
+    ens.trials = 8;
+    ens.seed = 2024;
+    ens.pool = cli.pool();
+    const LifetimeEnsembleReport er =
+        simulate_lifetime_ensemble(net, SystemParams{}, ens);
+    const bool coop = mode == RoutingMode::kCooperative;
+    std::cout << (coop ? "cooperative   " : "heads-only    ")
+              << "first death: "
+              << TextTable::fmt(er.rounds_to_first_death.mean(), 1)
+              << " +/- "
+              << TextTable::fmt(er.rounds_to_first_death.stddev(), 1)
+              << " rounds; 25% dead: "
+              << TextTable::fmt(er.rounds_to_death_fraction.mean(), 1)
+              << " (censored " << er.censored_trials << "/" << er.trials
+              << ")\n";
+    Json params = Json::object();
+    params.set("mode", coop ? "cooperative" : "siso_heads_only");
+    params.set("ensemble", true);
+    params.set("field_seed", 11);
+    Json metrics = Json::object();
+    metrics.set("first_death_mean", er.rounds_to_first_death.mean());
+    metrics.set("first_death_stddev", er.rounds_to_first_death.stddev());
+    metrics.set("death_fraction_mean", er.rounds_to_death_fraction.mean());
+    metrics.set("censored_trials", er.censored_trials);
+    reporter.add_record(std::move(params), std::move(metrics), er.trials,
+                        er.info.trials_per_sec);
+  }
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
   return 0;
 }

@@ -8,13 +8,17 @@
 #include <iostream>
 #include <vector>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/table.h"
 #include "comimo/common/units.h"
 #include "comimo/energy/ebbar.h"
 #include "comimo/energy/outage.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchReporter reporter("ext_outage_analysis");
+  reporter.set_threads(cli.effective_threads());
   std::cout << "=== extension: outage analysis of cooperative links ===\n\n";
 
   const OutageAnalyzer oa;
@@ -65,9 +69,18 @@ int main() {
     energies.add_row({std::to_string(mt) + "x" + std::to_string(mr),
                       TextTable::sci(ebar), TextTable::sci(eout),
                       TextTable::fmt(eout / ebar, 2)});
+    Json params = Json::object();
+    params.set("mt", mt);
+    params.set("mr", mr);
+    Json metrics = Json::object();
+    metrics.set("ebar_avg_ber_j", ebar);
+    metrics.set("e_outage_j", eout);
+    metrics.set("diversity_order", oa.empirical_diversity_order(th, mt, mr));
+    reporter.add_record(std::move(params), std::move(metrics));
   }
   energies.print(std::cout);
   std::cout << "\nBoth budgets collapse at the same mt*mr rate — the"
                " diversity gain the cooperative paradigms monetize.\n";
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
   return 0;
 }

@@ -8,13 +8,17 @@
 // utilization vs interference to the PU — as sensing quality varies.
 #include <iostream>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/table.h"
 #include "comimo/common/units.h"
 #include "comimo/sensing/energy_detector.h"
 #include "comimo/sensing/pu_activity.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchReporter reporter("ext_sensing_tradeoffs");
+  reporter.set_threads(cli.effective_threads());
   std::cout << "=== extension: sensing trade-offs for interweave ===\n\n";
 
   // --- ROC sweep ------------------------------------------------------
@@ -66,10 +70,19 @@ int main() {
                       TextTable::pct(r.idle_utilization),
                       TextTable::pct(r.interference_fraction),
                       TextTable::pct(r.collision_fraction)});
+    Json params = Json::object();
+    params.set("pd", q.pd);
+    params.set("pfa", q.pfa);
+    Json metrics = Json::object();
+    metrics.set("idle_utilization", r.idle_utilization);
+    metrics.set("interference_fraction", r.interference_fraction);
+    metrics.set("collision_fraction", r.collision_fraction);
+    reporter.add_record(std::move(params), std::move(metrics));
   }
   frontier.print(std::cout);
   std::cout << "\nBetter sensing buys both more holes used and less"
                " interference; the beamformer of Fig. 8 removes what"
                " remains in the angular domain.\n";
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/table.h"
 #include "comimo/overlay/distance_planner.h"
 
@@ -60,7 +61,13 @@ void run_sweep(const OverlayDistancePlanner& planner, const char* title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using comimo::BenchCli;
+  using comimo::BenchReporter;
+  using comimo::Json;
+  const BenchCli cli = comimo::parse_bench_cli(argc, argv);
+  BenchReporter reporter("fig6_overlay_distance");
+  reporter.set_threads(cli.effective_threads());
   std::cout << "=== Figure 6: overlay relay distances ===\n"
             << "x: D1 = distance(Pt, Pr) [m]; y: largest SU distance [m]\n"
             << "BER: primary 0.005, relayed 0.0005; equal energy budget\n\n";
@@ -82,6 +89,14 @@ int main() {
     bw_table.add_row({TextTable::fmt(bw / 1e3, 0),
                       TextTable::fmt(br.d2_m, 1),
                       TextTable::fmt(br.d3_m, 1)});
+    Json params = Json::object();
+    params.set("d1_m", 250.0);
+    params.set("num_relays", 3);
+    params.set("bandwidth_hz", bw);
+    Json metrics = Json::object();
+    metrics.set("d2_m", br.d2_m);
+    metrics.set("d3_m", br.d3_m);
+    reporter.add_record(std::move(params), std::move(metrics));
   }
   bw_table.print(std::cout);
 
@@ -108,5 +123,19 @@ int main() {
       << TextTable::fmt(r_literal.d3_m, 1)
       << " m, ratio " << TextTable::fmt(r_literal.d3_m / r_literal.d2_m, 2)
       << " (the 1/mt split cancels the MISO advantage)\n";
+
+  Json params = Json::object();
+  params.set("anchor", true);
+  params.set("d1_m", 250.0);
+  params.set("num_relays", 3);
+  params.set("bandwidth_hz", 40e3);
+  Json metrics = Json::object();
+  metrics.set("d2_m_total_energy", r_paper.d2_m);
+  metrics.set("d3_m_total_energy", r_paper.d3_m);
+  metrics.set("d3_over_d2", r_paper.d3_m / r_paper.d2_m);
+  metrics.set("d2_m_literal", r_literal.d2_m);
+  metrics.set("d3_m_literal", r_literal.d3_m);
+  reporter.add_record(std::move(params), std::move(metrics));
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
   return 0;
 }

@@ -9,12 +9,16 @@
 #include <iostream>
 #include <vector>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/table.h"
 #include "comimo/energy/ebbar.h"
 #include "comimo/underlay/pa_budget.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  BenchReporter reporter("fig7_underlay_energy");
+  reporter.set_threads(cli.effective_threads());
   std::cout << "=== Figure 7: underlay PA energy per bit ===\n"
             << "d = 1 m, p_b = 0.001, B = 40 kHz, b optimized 1..16\n\n";
 
@@ -64,10 +68,31 @@ int main() {
                " times'; measured at D=200 m: "
             << TextTable::fmt(siso_mid / mimo_mid, 1) << "x\n";
   const EbBarSolver solver;
-  std::cout << "ebar(p=1e-3, b=2): SISO "
-            << TextTable::sci(solver.solve(1e-3, 2, 1, 1))
-            << " J (paper 1.90e-18), 2x3 "
-            << TextTable::sci(solver.solve(1e-3, 2, 2, 3))
+  const double ebar_siso = solver.solve(1e-3, 2, 1, 1);
+  const double ebar_2x3 = solver.solve(1e-3, 2, 2, 3);
+  std::cout << "ebar(p=1e-3, b=2): SISO " << TextTable::sci(ebar_siso)
+            << " J (paper 1.90e-18), 2x3 " << TextTable::sci(ebar_2x3)
             << " J (paper 3.20e-20)\n";
+
+  for (const auto& s : grid) {
+    const auto y = totals(s);
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+      Json params = Json::object();
+      params.set("mt", s.mt);
+      params.set("mr", s.mr);
+      params.set("distance_m", distances[i]);
+      Json metrics = Json::object();
+      metrics.set("total_pa_j_per_bit", y[i]);
+      reporter.add_record(std::move(params), std::move(metrics));
+    }
+  }
+  Json params = Json::object();
+  params.set("anchor", true);
+  Json metrics = Json::object();
+  metrics.set("siso_over_mimo_at_200m", siso_mid / mimo_mid);
+  metrics.set("ebar_siso_j", ebar_siso);
+  metrics.set("ebar_2x3_j", ebar_2x3);
+  reporter.add_record(std::move(params), std::move(metrics));
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
   return 0;
 }

@@ -8,11 +8,13 @@
 // the measured SISO reference.
 #include <iostream>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/table.h"
 #include "comimo/testbed/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
   std::cout << "=== Figure 8: cooperative beamformer pattern ===\n"
             << "null designed at 120 deg; receiver on a 2 m-diameter"
                " semicircle, 20 deg steps\n\n";
@@ -50,5 +52,26 @@ int main() {
   }
   std::cout << "  - beamformer beats SISO outside 20 deg of the null at "
             << beats << "/" << eligible << " measured angles\n";
+
+  BenchReporter reporter("fig8_beam_pattern");
+  reporter.set_threads(cli.effective_threads());
+  for (std::size_t i = 0; i < r.angles_deg.size(); ++i) {
+    Json params = Json::object();
+    params.set("angle_deg", r.angles_deg[i]);
+    Json metrics = Json::object();
+    metrics.set("ideal", r.ideal[i]);
+    metrics.set("measured_coop", r.measured_coop[i]);
+    metrics.set("measured_siso", r.measured_siso[i]);
+    reporter.add_record(std::move(params), std::move(metrics));
+  }
+  Json params = Json::object();
+  params.set("anchor", true);
+  Json metrics = Json::object();
+  metrics.set("null_angle_deg", best_angle);
+  metrics.set("null_residual", r.null_residual());
+  metrics.set("beats_siso", beats);
+  metrics.set("eligible_angles", eligible);
+  reporter.add_record(std::move(params), std::move(metrics));
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
   return 0;
 }

@@ -3,6 +3,9 @@
 // GMSK modulation, the CSMA/CA event loop and the framing layer.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "comimo/energy/ebbar.h"
 #include "comimo/energy/ebbar_table.h"
 #include "comimo/net/csma_ca.h"
@@ -189,4 +192,34 @@ BENCHMARK(BM_AdaptiveLink);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark has its own CLI and JSON emitter; translate the
+// repo-wide `--json <path>` convention into --benchmark_out so that
+// scripts/check_bench_json.sh can drive every bench binary uniformly
+// (this one is validated loosely — google-benchmark's schema, not
+// comimo-bench-v1).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back("--benchmark_out_format=json");
+    } else if (arg == "--threads" || arg == "--trials") {
+      ++i;  // accepted-and-ignored common flags (kernel benches are serial)
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  for (auto& s : storage) args.push_back(s.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,34 +4,65 @@
 // in a 2 m equilateral triangle with an obstructing board on the direct
 // path; 100 000 BPSK bits per experiment, equal-gain combining; three
 // experiments (seeds) plus the average, as in the paper.
+//
+// The three experiments run on the mc/ sweep engine (experiment k is a
+// pure function of seed k+1); `--json <path>` emits comimo-bench-v1.
 #include <iostream>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/table.h"
+#include "comimo/mc/engine.h"
 #include "comimo/testbed/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
   std::cout << "=== Table 2: single-relay overlay BER ===\n"
             << "100000 bits/run, BPSK, EGC at the receiver\n\n";
 
+  const std::size_t runs = 3;
+  std::vector<OverlayBerResult> results(runs);
+  McConfig mc;
+  mc.pool = cli.pool();
+  const McResult run = run_trials(
+      runs, mc, [&](std::size_t t, Rng& /*rng*/, McAccumulator& acc) {
+        results[t] = run_overlay_ber(
+            table2_single_relay_config(static_cast<std::uint64_t>(t + 1)));
+        acc.observe("ber_cooperative", results[t].ber_cooperative);
+        acc.observe("ber_direct", results[t].ber_direct);
+      });
+
+  BenchReporter reporter("table2_overlay_single_relay");
+  reporter.set_threads(cli.effective_threads());
   TextTable table({"Experiment", "with cooperation", "without cooperation"});
-  double coop_sum = 0.0;
-  double direct_sum = 0.0;
-  const int runs = 3;
-  for (int run = 1; run <= runs; ++run) {
-    const OverlayBerResult r = run_overlay_ber(
-        table2_single_relay_config(static_cast<std::uint64_t>(run)));
-    coop_sum += r.ber_cooperative;
-    direct_sum += r.ber_direct;
-    table.add_row({std::to_string(run), TextTable::pct(r.ber_cooperative),
-                   TextTable::pct(r.ber_direct)});
+  for (std::size_t t = 0; t < runs; ++t) {
+    table.add_row({std::to_string(t + 1),
+                   TextTable::pct(results[t].ber_cooperative),
+                   TextTable::pct(results[t].ber_direct)});
+    Json params = Json::object();
+    params.set("experiment", t + 1);
+    Json metrics = Json::object();
+    metrics.set("ber_cooperative", results[t].ber_cooperative);
+    metrics.set("ber_direct", results[t].ber_direct);
+    reporter.add_record(std::move(params), std::move(metrics));
   }
-  table.add_row({"Average", TextTable::pct(coop_sum / runs),
-                 TextTable::pct(direct_sum / runs)});
+  const double coop_avg = run.acc.stat("ber_cooperative").mean();
+  const double direct_avg = run.acc.stat("ber_direct").mean();
+  table.add_row({"Average", TextTable::pct(coop_avg),
+                 TextTable::pct(direct_avg)});
   table.print(std::cout);
   std::cout << "\nPaper averages: 2.46% with cooperation, 10.87% without.\n"
             << "Measured gap: "
-            << TextTable::fmt(direct_sum / std::max(coop_sum, 1e-9), 1)
+            << TextTable::fmt(direct_avg / std::max(coop_avg, 1e-9), 1)
             << "x (paper: 4.4x)\n";
+
+  Json params = Json::object();
+  params.set("summary", true);
+  Json metrics = Json::object();
+  metrics.set("ber_cooperative_avg", coop_avg);
+  metrics.set("ber_direct_avg", direct_avg);
+  reporter.add_record(std::move(params), std::move(metrics), runs,
+                      run.info.trials_per_sec);
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
   return 0;
 }

@@ -3,33 +3,39 @@
 // Transmitter and receiver two labs (>30 ft, concrete walls) apart;
 // one vs three uniformly spaced corridor relays vs no cooperation.
 // 100 000 BPSK bits, three experiments averaged, as in the paper.
+//
+// The three experiments run on the mc/ sweep engine (experiment k is a
+// pure function of seed k+1); `--json <path>` emits comimo-bench-v1.
 #include <iostream>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/table.h"
+#include "comimo/mc/engine.h"
 #include "comimo/testbed/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
   std::cout << "=== Table 3: multi-relay overlay BER ===\n"
             << "100000 bits/run, BPSK, EGC; average of 3 experiments\n\n";
 
-  double multi = 0.0;
-  double single = 0.0;
-  double none = 0.0;
-  const int runs = 3;
-  for (int run = 1; run <= runs; ++run) {
-    const auto seed = static_cast<std::uint64_t>(run);
-    const OverlayBerResult three =
-        run_overlay_ber(table3_multi_relay_config(3, seed));
-    const OverlayBerResult one =
-        run_overlay_ber(table3_multi_relay_config(1, seed));
-    multi += three.ber_cooperative;
-    single += one.ber_cooperative;
-    none += one.ber_direct;  // the shared no-cooperation baseline
-  }
-  multi /= runs;
-  single /= runs;
-  none /= runs;
+  const std::size_t runs = 3;
+  McConfig mc;
+  mc.pool = cli.pool();
+  const McResult run = run_trials(
+      runs, mc, [&](std::size_t t, Rng& /*rng*/, McAccumulator& acc) {
+        const auto seed = static_cast<std::uint64_t>(t + 1);
+        const OverlayBerResult three =
+            run_overlay_ber(table3_multi_relay_config(3, seed));
+        const OverlayBerResult one =
+            run_overlay_ber(table3_multi_relay_config(1, seed));
+        acc.observe("ber_multi", three.ber_cooperative);
+        acc.observe("ber_single", one.ber_cooperative);
+        acc.observe("ber_none", one.ber_direct);  // shared baseline
+      });
+  const double multi = run.acc.stat("ber_multi").mean();
+  const double single = run.acc.stat("ber_single").mean();
+  const double none = run.acc.stat("ber_none").mean();
 
   TextTable table({"Multi-relay", "Single-relay", "without cooperation"});
   table.add_row({TextTable::pct(multi), TextTable::pct(single),
@@ -39,5 +45,17 @@ int main() {
             << "Orderings to preserve: multi < single < none — "
             << (multi < single && single < none ? "holds" : "VIOLATED")
             << "\n";
+
+  BenchReporter reporter("table3_overlay_multi_relay");
+  reporter.set_threads(cli.effective_threads());
+  Json params = Json::object();
+  params.set("runs", runs);
+  Json metrics = Json::object();
+  metrics.set("ber_multi_avg", multi);
+  metrics.set("ber_single_avg", single);
+  metrics.set("ber_none_avg", none);
+  reporter.add_record(std::move(params), std::move(metrics), runs,
+                      run.info.trials_per_sec);
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
   return 0;
 }

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Validate the structured bench output contract:
+#   1. every bench binary accepts --json <path> and writes valid JSON;
+#   2. comimo-bench-v1 emitters carry the required fields;
+#   3. for the engine-backed benches, the `metrics` objects are
+#      byte-identical between a serial run and a --threads 4 run — the
+#      mc/ engine's determinism contract, checked end to end.
+# perf_kernels emits google-benchmark's own schema and is validated
+# loosely (valid JSON with a non-empty `benchmarks` array).
+#
+# Usage: scripts/check_bench_json.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found (build with -DCOMIMO_BUILD_BENCH=ON)" >&2
+  exit 1
+fi
+
+# Fast, trial-bound benches re-run twice for the determinism diff.
+# The remaining emitters are schema-checked from a single serial run.
+DETERMINISM_BENCHES=(
+  table1_interweave_amplitude
+  table2_overlay_single_relay
+  table3_overlay_multi_relay
+  validate_energy_model
+  ext_fault_recovery
+  ext_network_lifetime
+)
+SCHEMA_ONLY_BENCHES=(
+  fig6_overlay_distance
+  fig8_beam_pattern
+  ext_outage_analysis
+  ext_sensing_tradeoffs
+  ext_coexistence
+)
+
+validate_v1() {
+  python3 - "$1" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d.get("schema") == "comimo-bench-v1", f"schema: {d.get('schema')!r}"
+assert isinstance(d.get("bench"), str) and d["bench"], "bench name missing"
+assert isinstance(d.get("threads"), int) and d["threads"] >= 1
+assert isinstance(d.get("wall_s"), (int, float)) and d["wall_s"] >= 0
+assert isinstance(d.get("records"), list) and d["records"], "no records"
+for r in d["records"]:
+    assert isinstance(r.get("params"), dict), "record without params"
+    assert isinstance(r.get("metrics"), dict) and r["metrics"], \
+        "record without metrics"
+EOF
+}
+
+diff_metrics() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+am = [(r["params"], r["metrics"]) for r in a["records"]]
+bm = [(r["params"], r["metrics"]) for r in b["records"]]
+assert am == bm, "serial vs parallel metrics differ"
+EOF
+}
+
+fail=0
+
+for bench in "${DETERMINISM_BENCHES[@]}"; do
+  bin="$BENCH_DIR/$bench"
+  [ -x "$bin" ] || { echo "MISSING  $bench"; fail=1; continue; }
+  if ! "$bin" --json "$OUT_DIR/$bench.serial.json" --threads 1 \
+      > /dev/null 2>&1; then
+    echo "RUN FAIL $bench (serial)"; fail=1; continue
+  fi
+  if ! "$bin" --json "$OUT_DIR/$bench.par.json" --threads 4 \
+      > /dev/null 2>&1; then
+    echo "RUN FAIL $bench (--threads 4)"; fail=1; continue
+  fi
+  if ! validate_v1 "$OUT_DIR/$bench.serial.json"; then
+    echo "SCHEMA   $bench"; fail=1; continue
+  fi
+  if ! diff_metrics "$OUT_DIR/$bench.serial.json" "$OUT_DIR/$bench.par.json"
+  then
+    echo "DIVERGED $bench (1 vs 4 threads)"; fail=1; continue
+  fi
+  echo "OK       $bench (schema + thread-count invariance)"
+done
+
+for bench in "${SCHEMA_ONLY_BENCHES[@]}"; do
+  bin="$BENCH_DIR/$bench"
+  [ -x "$bin" ] || { echo "MISSING  $bench"; fail=1; continue; }
+  if ! "$bin" --json "$OUT_DIR/$bench.json" > /dev/null 2>&1; then
+    echo "RUN FAIL $bench"; fail=1; continue
+  fi
+  if ! validate_v1 "$OUT_DIR/$bench.json"; then
+    echo "SCHEMA   $bench"; fail=1; continue
+  fi
+  echo "OK       $bench (schema)"
+done
+
+# google-benchmark schema: valid JSON, non-empty benchmarks array.
+if [ -x "$BENCH_DIR/perf_kernels" ]; then
+  if "$BENCH_DIR/perf_kernels" --json "$OUT_DIR/perf_kernels.json" \
+      --benchmark_min_time=0.01 > /dev/null 2>&1 \
+    && python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d.get("benchmarks"), "no benchmarks"' "$OUT_DIR/perf_kernels.json"
+  then
+    echo "OK       perf_kernels (google-benchmark schema)"
+  else
+    echo "FAIL     perf_kernels"; fail=1
+  fi
+else
+  echo "MISSING  perf_kernels"; fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench JSON contract: FAILED" >&2
+  exit 1
+fi
+echo "bench JSON contract: all checks passed"

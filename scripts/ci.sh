@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The one-command gate: tier-1 build + tests, the bench JSON contract,
+# and (optionally) the sanitizer suite.
+#
+# Usage: scripts/ci.sh [build-dir]          (default: build)
+#        CI_SANITIZE=1 scripts/ci.sh        also runs check_sanitized.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== tier 1: configure + build =="
+cmake -B "$BUILD_DIR" -S . > /dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== tier 1: tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== bench JSON contract =="
+scripts/check_bench_json.sh "$BUILD_DIR"
+
+if [ "${CI_SANITIZE:-0}" = "1" ]; then
+  echo "== sanitizers =="
+  scripts/check_sanitized.sh
+fi
+
+echo "== ci.sh: all gates passed =="

@@ -31,6 +31,14 @@ class InfeasibleError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a threading contract is violated in a way that would
+/// otherwise deadlock (for example submitting to a ThreadPool from one
+/// of its own workers).
+class ConcurrencyError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr,
                                              const char* file, int line,

@@ -8,6 +8,12 @@
 
 namespace comimo {
 
+namespace {
+// Set for the lifetime of a worker thread; lets submit/wait_idle detect
+// calls that could only deadlock.
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -29,8 +35,18 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+const ThreadPool* ThreadPool::current() noexcept { return t_current_pool; }
+
 void ThreadPool::submit(std::function<void()> job) {
   COMIMO_CHECK(job != nullptr, "null job");
+  if (t_current_pool == this) {
+    // Every worker could end up blocked on work that can never run; the
+    // silent version of this bug is a hang, so fail loudly instead.
+    throw ConcurrencyError(
+        "ThreadPool::submit called from one of the pool's own workers; "
+        "nested submission on the same pool deadlocks — use a different "
+        "pool or parallel_for (which degrades to serial inline)");
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     COMIMO_CHECK(!stopping_, "submit on stopped pool");
@@ -40,6 +56,11 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait_idle() {
+  if (t_current_pool == this) {
+    throw ConcurrencyError(
+        "ThreadPool::wait_idle called from one of the pool's own workers; "
+        "the wait could never be satisfied");
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   cv_idle_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
 }
@@ -50,6 +71,7 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> job;
     {
@@ -70,23 +92,36 @@ void ThreadPool::worker_loop() {
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
-  parallel_for_chunks(n, 1, [&body](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-  });
+  parallel_for(ThreadPool::shared(), n, body);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(pool, n, 1,
+                      [&body](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
 }
 
 void parallel_for_chunks(
     std::size_t n, std::size_t min_chunk,
     const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for_chunks(ThreadPool::shared(), n, min_chunk, body);
+}
+
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t n, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   min_chunk = std::max<std::size_t>(1, min_chunk);
-  ThreadPool& pool = ThreadPool::shared();
   const std::size_t workers = pool.size();
   // One chunk per worker unless min_chunk forces fewer; a serial fallback
-  // avoids pool overhead for tiny ranges or single-core machines.
+  // avoids pool overhead for tiny ranges or single-core machines, and is
+  // mandatory when the caller is already one of this pool's workers
+  // (nested fan-out could never be scheduled).
   const std::size_t chunks =
       std::min({workers, (n + min_chunk - 1) / min_chunk});
-  if (chunks <= 1) {
+  if (chunks <= 1 || ThreadPool::current() == &pool) {
     body(0, n);
     return;
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "comimo/common/error.h"
+#include "comimo/mc/engine.h"
 #include "comimo/numeric/cmatrix.h"
 #include "comimo/numeric/quadrature.h"
 #include "comimo/numeric/rng.h"
@@ -61,17 +62,20 @@ double EbBarSolver::average_ber_monte_carlo(double ebar, int b, unsigned mt,
                                             unsigned mr, std::size_t trials,
                                             std::uint64_t seed) const {
   COMIMO_CHECK(trials > 0, "need at least one trial");
-  Rng rng(seed);
   const double gamma = gamma_unit(ebar, mt);
   const double a_coef = mqam_coefficient(b);
   const double snr_factor = mqam_snr_factor(b);
-  double sum = 0.0;
-  for (std::size_t i = 0; i < trials; ++i) {
-    const CMatrix h = CMatrix::random_gaussian(mr, mt, rng);
-    const double x = h.frobenius_norm2();
-    sum += a_coef * q_function(std::sqrt(snr_factor * gamma * x));
-  }
-  const double p = sum / static_cast<double>(trials);
+  // Sharded across the pool: each trial draws its H from Rng(seed,
+  // trial), so the estimate is bit-identical on any worker count.
+  McConfig mc;
+  mc.seed = seed;
+  const McResult run = run_trials(
+      trials, mc, [&](std::size_t, Rng& rng, McAccumulator& acc) {
+        const CMatrix h = CMatrix::random_gaussian(mr, mt, rng);
+        const double x = h.frobenius_norm2();
+        acc.observe("q", a_coef * q_function(std::sqrt(snr_factor * gamma * x)));
+      });
+  const double p = run.acc.stat("q").mean();
   return p > 1.0 ? 1.0 : p;
 }
 

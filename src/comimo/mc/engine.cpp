@@ -1,0 +1,61 @@
+#include "comimo/mc/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+std::size_t resolve_chunk_size(std::size_t trials,
+                               std::size_t chunk_size) noexcept {
+  if (chunk_size > 0) return chunk_size;
+  // At most 1024 shards: enough parallel slack for any realistic core
+  // count while keeping the merge chain short.  Depends only on the
+  // trial count, never on the executing pool.
+  return std::max<std::size_t>(1, (trials + 1023) / 1024);
+}
+
+McResult run_trials(
+    std::size_t trials, const McConfig& config,
+    const std::function<void(std::size_t, Rng&, McAccumulator&)>& trial) {
+  COMIMO_CHECK(trial != nullptr, "null trial function");
+  ThreadPool& pool = config.pool ? *config.pool : ThreadPool::shared();
+
+  McResult result;
+  result.info.trials = trials;
+  result.info.threads = pool.size();
+  if (trials == 0) return result;
+
+  const std::size_t chunk = resolve_chunk_size(trials, config.chunk_size);
+  const std::size_t chunks = (trials + chunk - 1) / chunk;
+  result.info.chunks = chunks;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<McAccumulator> shards(chunks);
+  parallel_for(pool, chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(trials, begin + chunk);
+    McAccumulator& acc = shards[c];
+    for (std::size_t t = begin; t < end; ++t) {
+      Rng rng(config.seed, t);
+      trial(t, rng, acc);
+    }
+  });
+  // Merge in ascending shard order — the reduction order is part of the
+  // determinism contract.
+  for (std::size_t c = 0; c < chunks; ++c) {
+    result.acc.merge(shards[c]);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.info.wall_s =
+      std::chrono::duration<double>(t1 - t0).count();
+  result.info.trials_per_sec =
+      result.info.wall_s > 0.0
+          ? static_cast<double>(trials) / result.info.wall_s
+          : 0.0;
+  return result;
+}
+
+}  // namespace comimo

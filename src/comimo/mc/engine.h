@@ -1,0 +1,67 @@
+// The Monte-Carlo sweep engine.
+//
+// run_trials shards [0, trials) into fixed-size chunks, executes the
+// chunks across a ThreadPool, and merges one McAccumulator per chunk in
+// ascending chunk order.  The determinism contract:
+//
+//   * every trial derives all of its randomness from Rng(seed, trial) —
+//     a counter-based stream, never a shared generator — so a trial's
+//     result is a pure function of (seed, trial index);
+//   * the chunk partition depends only on (trials, chunk_size), never on
+//     the worker count, and chunk accumulators merge in chunk order;
+//   * therefore the merged accumulator is bit-identical on 1 or N
+//     threads, for any pool, for any scheduling — asserted by
+//     tests/test_mc_engine.cpp.
+//
+// A trial that needs several independent streams splits its Rng by
+// drawing sub-seeds (rng.next()) or by constructing Rng(sub_seed, tag)
+// from them; it must never touch state outside its accumulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "comimo/common/parallel.h"
+#include "comimo/mc/accumulator.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+struct McConfig {
+  std::uint64_t seed = 1;
+  /// Trials per shard; 0 picks ceil(trials / 1024) (at most 1024 shards)
+  /// — a function of the trial count only, never of the worker count.
+  /// Changing chunk_size regroups the Welford reduction and may move
+  /// merged moments by an ulp; counters are exact for every chunking.
+  std::size_t chunk_size = 0;
+  /// Pool to execute on; nullptr = ThreadPool::shared().
+  ThreadPool* pool = nullptr;
+};
+
+struct McRunInfo {
+  std::size_t trials = 0;
+  std::size_t chunks = 0;
+  unsigned threads = 0;
+  double wall_s = 0.0;
+  double trials_per_sec = 0.0;
+};
+
+struct McResult {
+  McAccumulator acc;
+  McRunInfo info;
+};
+
+/// Runs `trial(trial_index, rng, acc)` for every index in [0, trials)
+/// and returns the order-independent reduction.  `trial` must be safe to
+/// call concurrently for distinct indices and must draw randomness only
+/// from the provided Rng (stream = trial index of `config.seed`).
+[[nodiscard]] McResult run_trials(
+    std::size_t trials, const McConfig& config,
+    const std::function<void(std::size_t, Rng&, McAccumulator&)>& trial);
+
+/// The chunk partition run_trials uses: resolved shard size for a given
+/// trial count (exposed so tests can cross-check the contract).
+[[nodiscard]] std::size_t resolve_chunk_size(std::size_t trials,
+                                             std::size_t chunk_size) noexcept;
+
+}  // namespace comimo

@@ -193,4 +193,38 @@ LifetimeReport simulate_lifetime(const CoMimoNet& net,
   return report;
 }
 
+LifetimeEnsembleReport simulate_lifetime_ensemble(
+    const CoMimoNet& net, const SystemParams& params,
+    const LifetimeEnsembleConfig& config) {
+  COMIMO_CHECK(config.trials >= 1, "need at least one trial");
+  McConfig mc;
+  mc.seed = config.seed;
+  mc.chunk_size = config.chunk_size;
+  mc.pool = config.pool;
+  const McResult run = run_trials(
+      config.trials, mc, [&](std::size_t, Rng& rng, McAccumulator& acc) {
+        LifetimeConfig trial_cfg = config.base;
+        trial_cfg.traffic_seed = rng.next();
+        trial_cfg.faults.seed = rng.next();
+        const LifetimeReport r = simulate_lifetime(net, params, trial_cfg);
+        acc.observe("rounds_to_first_death",
+                    static_cast<double>(r.rounds_to_first_death));
+        acc.observe("rounds_to_death_fraction",
+                    static_cast<double>(r.rounds_to_death_fraction));
+        acc.observe("min_battery_j", r.min_battery_j);
+        acc.observe("dead_nodes", static_cast<double>(r.dead_nodes));
+        if (r.censored) acc.count("censored");
+      });
+  LifetimeEnsembleReport report;
+  report.rounds_to_first_death = run.acc.stat("rounds_to_first_death");
+  report.rounds_to_death_fraction = run.acc.stat("rounds_to_death_fraction");
+  report.min_battery_j = run.acc.stat("min_battery_j");
+  report.dead_nodes = run.acc.stat("dead_nodes");
+  report.censored_trials =
+      static_cast<std::size_t>(run.acc.counter("censored"));
+  report.trials = config.trials;
+  report.info = run.info;
+  return report;
+}
+
 }  // namespace comimo

@@ -12,7 +12,9 @@
 
 #include <cstdint>
 
+#include "comimo/mc/engine.h"
 #include "comimo/net/routing.h"
+#include "comimo/numeric/stats.h"
 #include "comimo/resilience/resilient_sim.h"
 
 namespace comimo {
@@ -49,5 +51,32 @@ struct LifetimeReport {
 [[nodiscard]] LifetimeReport simulate_lifetime(const CoMimoNet& net,
                                                const SystemParams& params,
                                                const LifetimeConfig& config);
+
+/// Replicated lifetime trials on the mc/ engine.  The rounds within one
+/// trial are inherently sequential (battery state carries over), so the
+/// ensemble parallelizes across *trials*: trial t derives its traffic
+/// and fault seeds from Rng(seed, t), making the whole ensemble a pure
+/// function of (net, params, base, seed) — bit-identical on any pool.
+struct LifetimeEnsembleConfig {
+  LifetimeConfig base{};        ///< traffic_seed / faults.seed overridden
+  std::size_t trials = 16;
+  std::uint64_t seed = 1;       ///< ensemble seed (per-trial seeds derived)
+  std::size_t chunk_size = 0;   ///< engine shard size; 0 = auto
+  ThreadPool* pool = nullptr;   ///< null = shared pool
+};
+
+struct LifetimeEnsembleReport {
+  RunningStats rounds_to_first_death;
+  RunningStats rounds_to_death_fraction;
+  RunningStats min_battery_j;
+  RunningStats dead_nodes;
+  std::size_t censored_trials = 0;  ///< trials the round cap ended
+  std::size_t trials = 0;
+  McRunInfo info;
+};
+
+[[nodiscard]] LifetimeEnsembleReport simulate_lifetime_ensemble(
+    const CoMimoNet& net, const SystemParams& params,
+    const LifetimeEnsembleConfig& config);
 
 }  // namespace comimo

@@ -26,6 +26,10 @@ class RunningStats {
   /// Half-width of the ~95% normal-approximation confidence interval.
   [[nodiscard]] double ci95_half_width() const noexcept;
 
+  /// Exact state equality — the MC engine's thread-count-invariance
+  /// tests assert accumulators are bit-identical, not merely close.
+  friend bool operator==(const RunningStats&, const RunningStats&) = default;
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,97 @@
+#include "comimo/phy/ber_sweep.h"
+
+#include <cmath>
+
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
+#include "comimo/numeric/cmatrix.h"
+#include "comimo/phy/ber.h"
+#include "comimo/phy/detector.h"
+#include "comimo/phy/modulation.h"
+#include "comimo/phy/stbc.h"
+
+namespace comimo {
+
+WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
+                                      double gamma_b_db) {
+  COMIMO_CHECK(config.b >= 1 && config.b <= 8, "b in 1..8");
+  COMIMO_CHECK(config.mt >= 1 && config.mt <= kMaxStbcTx,
+               "mt outside the STBC design range");
+  COMIMO_CHECK(config.mr >= 1, "need a receive antenna");
+  COMIMO_CHECK(config.blocks >= 1, "need at least one block");
+
+  const auto modem = make_modulator(config.b);
+  const StbcCode code = StbcCode::for_antennas(config.mt);
+  const StbcDecoder decoder(code);
+  const std::size_t kk = code.symbols_per_block();
+  const std::size_t bits_per_block = kk * static_cast<std::size_t>(config.b);
+  const double gamma_b = db_to_linear(gamma_b_db);
+  // Per-bit received energy γ_b·N0 (unit noise) per unit ‖H‖²_F; the
+  // rate-1/2 designs transmit each symbol twice, so divide by the
+  // symbol weight — the same bookkeeping as testbed/coop_hop_sim.
+  const double sym_scale = std::sqrt(static_cast<double>(config.b) *
+                                     gamma_b / code.symbol_weight());
+  const unsigned mr = config.mr;
+
+  McConfig mc;
+  mc.seed = config.seed;
+  mc.chunk_size = config.chunk_size;
+  mc.pool = config.pool;
+
+  const McResult run = run_trials(
+      config.blocks, mc, [&](std::size_t, Rng& rng, McAccumulator& acc) {
+        BitVec bits(bits_per_block);
+        for (auto& bit : bits) bit = rng.bernoulli(0.5) ? 1 : 0;
+        std::vector<cplx> syms = modem->modulate(bits);
+        for (auto& s : syms) s *= sym_scale;
+
+        const CMatrix h = CMatrix::random_gaussian(mr, config.mt, rng);
+        const CMatrix c = code.encode(syms);  // T × mt, power scale applied
+        CMatrix received(code.block_length(), mr);
+        for (std::size_t t = 0; t < code.block_length(); ++t) {
+          for (unsigned j = 0; j < mr; ++j) {
+            cplx v{0.0, 0.0};
+            for (unsigned i = 0; i < config.mt; ++i) {
+              v += c(t, i) * h(j, i);
+            }
+            received(t, j) = v + rng.complex_gaussian(1.0);
+          }
+        }
+
+        std::vector<cplx> est = decoder.decode(h, received);
+        for (auto& v : est) v /= sym_scale;
+        const BitVec decoded = modem->demodulate(est);
+        acc.count("bit_errors", count_bit_errors(bits, decoded));
+        acc.count("bits", bits_per_block);
+      });
+
+  WaveformBerPoint point;
+  point.gamma_b_db = gamma_b_db;
+  point.bits = run.acc.counter("bits");
+  point.bit_errors = run.acc.counter("bit_errors");
+  point.ber = point.bits
+                  ? static_cast<double>(point.bit_errors) /
+                        static_cast<double>(point.bits)
+                  : 0.0;
+  point.estimate = run.acc.rate("bit_errors", "bits");
+  point.analytic =
+      ber_mqam_rayleigh_mimo(config.b, gamma_b, config.mt, config.mr);
+  point.info = run.info;
+  return point;
+}
+
+std::vector<WaveformBerPoint> waveform_ber_curve(
+    const WaveformBerConfig& config, const std::vector<double>& gamma_b_db) {
+  std::vector<WaveformBerPoint> curve;
+  curve.reserve(gamma_b_db.size());
+  for (std::size_t i = 0; i < gamma_b_db.size(); ++i) {
+    // Each point gets its own stream family so curve points stay
+    // independent of the grid shape.
+    WaveformBerConfig point_cfg = config;
+    point_cfg.seed = config.seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+    curve.push_back(measure_waveform_ber(point_cfg, gamma_b_db[i]));
+  }
+  return curve;
+}
+
+}  // namespace comimo

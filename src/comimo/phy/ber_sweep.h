@@ -1,0 +1,49 @@
+// Waveform-level Monte-Carlo BER curves on the mc/ sweep engine.
+//
+// Each trial is one orthogonal-STBC block over a fresh i.i.d. Rayleigh
+// mt×mr channel: MQAM symbols scaled to the requested per-branch
+// per-bit SNR, exact ML decode, bit errors counted.  The measured curve
+// cross-checks the closed form of phy/ber.h (eqs. (5)–(6)) — and the
+// trial throughput of this sweep is what bench/mc_engine_speedup uses
+// to measure multi-core scaling, because every trial is independent by
+// construction (randomness derived from (seed, trial index) only).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comimo/mc/engine.h"
+#include "comimo/numeric/stats.h"
+
+namespace comimo {
+
+struct WaveformBerConfig {
+  int b = 2;            ///< bits per symbol (1..8)
+  unsigned mt = 2;      ///< cooperative transmit antennas (1..4)
+  unsigned mr = 2;      ///< receive antennas
+  std::size_t blocks = 4000;  ///< STBC blocks (= engine trials) per point
+  std::uint64_t seed = 1;
+  std::size_t chunk_size = 0;  ///< engine shard size; 0 = auto
+  ThreadPool* pool = nullptr;  ///< null = shared pool
+};
+
+struct WaveformBerPoint {
+  double gamma_b_db = 0.0;  ///< per-branch per-bit SNR γ_b [dB]
+  std::size_t bits = 0;
+  std::size_t bit_errors = 0;
+  double ber = 0.0;
+  RateEstimate estimate;  ///< Wilson 95% interval
+  double analytic = 0.0;  ///< ber_mqam_rayleigh_mimo at the same point
+  McRunInfo info;
+};
+
+/// One point of the curve.  γ_b is the paper's per-branch per-bit SNR
+/// per unit ‖H‖²_F (γ_b = ē_b/(N0·mt)).
+[[nodiscard]] WaveformBerPoint measure_waveform_ber(
+    const WaveformBerConfig& config, double gamma_b_db);
+
+/// The full curve over a γ_b grid.
+[[nodiscard]] std::vector<WaveformBerPoint> waveform_ber_curve(
+    const WaveformBerConfig& config, const std::vector<double>& gamma_b_db);
+
+}  // namespace comimo

@@ -182,4 +182,49 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
   return report;
 }
 
+ResilienceEnsembleReport simulate_with_faults_ensemble(
+    const CoMimoNet& net, const SystemParams& params,
+    const ResilienceEnsembleConfig& config) {
+  COMIMO_CHECK(config.trials >= 1, "need at least one trial");
+  McConfig mc;
+  mc.seed = config.seed;
+  mc.chunk_size = config.chunk_size;
+  mc.pool = config.pool;
+  const McResult run = run_trials(
+      config.trials, mc, [&](std::size_t, Rng& rng, McAccumulator& acc) {
+        ResilienceConfig trial_cfg = config.base;
+        trial_cfg.traffic_seed = rng.next();
+        trial_cfg.faults.seed = rng.next();
+        const ResilienceReport r =
+            simulate_with_faults(net, params, trial_cfg);
+        acc.observe("delivery_ratio", r.delivery_ratio);
+        acc.observe("goodput_bps", r.goodput_bps);
+        acc.observe("energy_spent_j", r.energy_spent_j);
+        acc.observe("retransmit_energy_j", r.retransmit_energy_j);
+        acc.count("retransmissions", r.retransmissions);
+        acc.count("arq_failures", r.arq_failures);
+        acc.count("node_deaths", r.node_deaths);
+        acc.count("route_repairs", r.route_repairs);
+        acc.count("pu_preemptions", r.pu_preemptions);
+      });
+  ResilienceEnsembleReport report;
+  report.delivery_ratio = run.acc.stat("delivery_ratio");
+  report.goodput_bps = run.acc.stat("goodput_bps");
+  report.energy_spent_j = run.acc.stat("energy_spent_j");
+  report.retransmit_energy_j = run.acc.stat("retransmit_energy_j");
+  report.retransmissions =
+      static_cast<std::size_t>(run.acc.counter("retransmissions"));
+  report.arq_failures =
+      static_cast<std::size_t>(run.acc.counter("arq_failures"));
+  report.node_deaths =
+      static_cast<std::size_t>(run.acc.counter("node_deaths"));
+  report.route_repairs =
+      static_cast<std::size_t>(run.acc.counter("route_repairs"));
+  report.pu_preemptions =
+      static_cast<std::size_t>(run.acc.counter("pu_preemptions"));
+  report.trials = config.trials;
+  report.info = run.info;
+  return report;
+}
+
 }  // namespace comimo

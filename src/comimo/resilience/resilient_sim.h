@@ -18,7 +18,9 @@
 
 #include <cstddef>
 
+#include "comimo/mc/engine.h"
 #include "comimo/net/routing.h"
+#include "comimo/numeric/stats.h"
 #include "comimo/resilience/arq.h"
 #include "comimo/resilience/fault_plan.h"
 
@@ -72,5 +74,35 @@ struct ResilienceReport {
 [[nodiscard]] ResilienceReport simulate_with_faults(
     const CoMimoNet& net, const SystemParams& params,
     const ResilienceConfig& config);
+
+/// Replicated fault sweeps on the mc/ engine.  One trial's rounds are
+/// sequential (battery state and fault plan carry over), so the
+/// ensemble parallelizes across trials: trial t derives traffic_seed
+/// and faults.seed from Rng(seed, t) — bit-identical on any pool size.
+struct ResilienceEnsembleConfig {
+  ResilienceConfig base{};      ///< traffic_seed / faults.seed overridden
+  std::size_t trials = 16;
+  std::uint64_t seed = 1;       ///< ensemble seed (per-trial seeds derived)
+  std::size_t chunk_size = 0;   ///< engine shard size; 0 = auto
+  ThreadPool* pool = nullptr;   ///< null = shared pool
+};
+
+struct ResilienceEnsembleReport {
+  RunningStats delivery_ratio;
+  RunningStats goodput_bps;
+  RunningStats energy_spent_j;
+  RunningStats retransmit_energy_j;
+  std::size_t retransmissions = 0;  ///< summed over all trials
+  std::size_t arq_failures = 0;
+  std::size_t node_deaths = 0;
+  std::size_t route_repairs = 0;
+  std::size_t pu_preemptions = 0;
+  std::size_t trials = 0;
+  McRunInfo info;
+};
+
+[[nodiscard]] ResilienceEnsembleReport simulate_with_faults_ensemble(
+    const CoMimoNet& net, const SystemParams& params,
+    const ResilienceEnsembleConfig& config);
 
 }  // namespace comimo

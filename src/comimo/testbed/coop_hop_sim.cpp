@@ -4,6 +4,7 @@
 
 #include "comimo/channel/awgn.h"
 #include "comimo/common/error.h"
+#include "comimo/common/parallel.h"
 #include "comimo/common/units.h"
 #include "comimo/numeric/rng.h"
 #include "comimo/phy/detector.h"
@@ -19,11 +20,16 @@ namespace {
 /// the payload.  With `faults.enabled` the long-haul block can be
 /// erased (→ retransmission, fresh channel and noise per attempt) and a
 /// co-transmitter can drop out mid-transfer (→ the remaining antennas
-/// fall one STBC ladder step, reusing the plan's ē_b); the zero-fault
-/// path is bit-identical to the original simulation.
+/// fall one STBC ladder step, reusing the plan's ē_b).
+///
+/// Blocks run in parallel across `pool`: every block derives all of its
+/// randomness from counter-based streams keyed by (seed, block index),
+/// and per-block outputs merge in block order, so the hop result is
+/// bit-identical on 1 or N workers.
 BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
                double local_snr_db, std::uint64_t seed,
-               const HopFaultConfig& faults, CoopHopSimResult& result) {
+               const HopFaultConfig& faults, CoopHopSimResult& result,
+               ThreadPool* pool) {
   COMIMO_CHECK(plan.b >= 1 && plan.b <= 8,
                "waveform simulation supports b in 1..8");
   COMIMO_CHECK(!payload.empty(), "need bits to send");
@@ -43,10 +49,6 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
 
   const SystemParams params{};  // the plan's ē_b already encodes p, b, m
   const double local_noise_var = db_to_linear(-local_snr_db);
-  Rng channel_rng(seed);
-  AwgnChannel long_haul_noise(1.0, Rng(seed, 0x10));
-  AwgnChannel local_noise(local_noise_var, Rng(seed, 0x20));
-  Rng fault_rng(faults.seed, 0xFA);  // drawn from only when faults are on
 
   // Long haul for `mt_use` active antennas (the first mt_use belief
   // streams; the head is always antenna 0).  Symbol scaling: the
@@ -58,7 +60,9 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
   // blocks chunk into the smaller code's sub-blocks (K divides evenly
   // down the whole G4 → G3 → Alamouti → SISO ladder).
   const auto long_haul = [&](unsigned mt_use,
-                             const std::vector<BitVec>& antenna_bits) {
+                             const std::vector<BitVec>& antenna_bits,
+                             Rng& channel_rng, AwgnChannel& long_haul_noise,
+                             AwgnChannel& local_noise) {
     const StbcCode code_use = StbcCode::for_antennas(mt_use);
     const StbcDecoder decoder_use(code_use);
     const std::size_t k_use = code_use.symbols_per_block();
@@ -117,12 +121,28 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
   };
 
   const BitVec padded = pad_to_multiple(payload, bits_per_block);
-  BitVec out;
-  out.reserve(padded.size());
-  std::size_t intra_errors = 0;
-  std::size_t intra_bits = 0;
+  const std::size_t num_blocks = padded.size() / bits_per_block;
 
-  for (std::size_t off = 0; off < padded.size(); off += bits_per_block) {
+  // Per-block output slots, merged in block order after the fan-out.
+  struct BlockOut {
+    BitVec decoded;
+    std::size_t intra_errors = 0;
+    std::size_t intra_bits = 0;
+    HopResilienceStats res;
+  };
+  std::vector<BlockOut> outs(num_blocks);
+
+  const auto run_block = [&](std::size_t blk) {
+    BlockOut& slot = outs[blk];
+    // Counter-based per-block streams: three data streams keyed off
+    // `seed` plus a fault stream keyed off `faults.seed` — each a pure
+    // function of the block index, independent of scheduling.
+    Rng channel_rng(seed, 0x100 + blk * 3);
+    AwgnChannel long_haul_noise(1.0, Rng(seed, 0x100 + blk * 3 + 1));
+    AwgnChannel local_noise(local_noise_var, Rng(seed, 0x100 + blk * 3 + 2));
+    Rng fault_rng(faults.seed, 0xFA000 + blk);
+
+    const std::size_t off = blk * bits_per_block;
     const BitVec bits(padded.begin() + static_cast<std::ptrdiff_t>(off),
                       padded.begin() +
                           static_cast<std::ptrdiff_t>(off + bits_per_block));
@@ -136,39 +156,57 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
         std::vector<cplx> rx = local_syms;
         local_noise.apply(rx);
         antenna_bits[i] = modem->demodulate(rx);
-        intra_errors += count_bit_errors(bits, antenna_bits[i]);
-        intra_bits += bits.size();
+        slot.intra_errors += count_bit_errors(bits, antenna_bits[i]);
+        slot.intra_bits += bits.size();
       }
     }
 
     BitVec decoded;
     if (!faults.enabled) {
-      decoded = long_haul(mt, antenna_bits);
+      decoded =
+          long_haul(mt, antenna_bits, channel_rng, long_haul_noise,
+                    local_noise);
     } else {
-      const std::size_t blk = off / bits_per_block;
       unsigned mt_use = mt;
       if (blk >= faults.dropout_block && mt > 1) {
         mt_use = mt - 1;
-        ++result.resilience.degraded_blocks;
+        ++slot.res.degraded_blocks;
       }
-      ++result.resilience.blocks;
+      ++slot.res.blocks;
       bool got_through = false;
       unsigned attempts = 0;
       while (attempts < faults.max_attempts) {
-        decoded = long_haul(mt_use, antenna_bits);
+        decoded = long_haul(mt_use, antenna_bits, channel_rng,
+                            long_haul_noise, local_noise);
         ++attempts;
         if (!fault_rng.bernoulli(faults.block_erasure_prob)) {
           got_through = true;
           break;
         }
       }
-      if (attempts > 1) ++result.resilience.retransmitted_blocks;
+      if (attempts > 1) ++slot.res.retransmitted_blocks;
       if (!got_through) {
         decoded.assign(bits_per_block, 0);  // the block never arrived
-        ++result.resilience.lost_blocks;
+        ++slot.res.lost_blocks;
       }
     }
-    out.insert(out.end(), decoded.begin(), decoded.end());
+    slot.decoded = std::move(decoded);
+  };
+
+  parallel_for(pool ? *pool : ThreadPool::shared(), num_blocks, run_block);
+
+  BitVec out;
+  out.reserve(padded.size());
+  std::size_t intra_errors = 0;
+  std::size_t intra_bits = 0;
+  for (BlockOut& slot : outs) {
+    out.insert(out.end(), slot.decoded.begin(), slot.decoded.end());
+    intra_errors += slot.intra_errors;
+    intra_bits += slot.intra_bits;
+    result.resilience.blocks += slot.res.blocks;
+    result.resilience.retransmitted_blocks += slot.res.retransmitted_blocks;
+    result.resilience.degraded_blocks += slot.res.degraded_blocks;
+    result.resilience.lost_blocks += slot.res.lost_blocks;
   }
 
   out.resize(payload.size());
@@ -191,14 +229,15 @@ CoopHopSimResult simulate_cooperative_hop(const CoopHopSimConfig& config) {
   const BitVec payload = random_bits(config.bits, config.seed ^ 0xB17);
   CoopHopSimResult result;
   (void)run_hop(config.plan, payload, config.local_snr_db, config.seed,
-                config.faults, result);
+                config.faults, result, config.pool);
   return result;
 }
 
 RouteSimResult simulate_route(const std::vector<UnderlayHopPlan>& plans,
                               std::size_t bits, double local_snr_db,
                               std::uint64_t seed,
-                              const HopFaultConfig& faults) {
+                              const HopFaultConfig& faults,
+                              ThreadPool* pool) {
   COMIMO_CHECK(!plans.empty(), "route needs at least one hop");
   COMIMO_CHECK(bits >= 1, "need bits to send");
   const BitVec source = random_bits(bits, seed ^ 0xB17);
@@ -207,7 +246,7 @@ RouteSimResult simulate_route(const std::vector<UnderlayHopPlan>& plans,
   for (std::size_t i = 0; i < plans.size(); ++i) {
     CoopHopSimResult hop_result;
     current = run_hop(plans[i], current, local_snr_db,
-                      seed + 0x9E37 * (i + 1), faults, hop_result);
+                      seed + 0x9E37 * (i + 1), faults, hop_result, pool);
     result.hops.push_back(hop_result);
   }
   result.bits = bits;

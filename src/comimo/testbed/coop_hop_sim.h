@@ -24,6 +24,8 @@
 
 namespace comimo {
 
+class ThreadPool;
+
 /// Waveform-level fault injection, off by default (the zero-fault path
 /// is bit-identical to the original simulation — no extra RNG draws).
 struct HopFaultConfig {
@@ -56,6 +58,10 @@ struct CoopHopSimConfig {
   double local_snr_db = 30.0;    ///< intra-cluster link SNR (short range)
   std::uint64_t seed = 1;
   HopFaultConfig faults{};       ///< resilience hook, off by default
+  /// Pool for the block-parallel inner loop; nullptr = shared pool.
+  /// Every block derives its randomness from (seed, block index) only,
+  /// so the result is bit-identical for any pool size.
+  ThreadPool* pool = nullptr;
 };
 
 struct CoopHopSimResult {
@@ -86,6 +92,6 @@ struct RouteSimResult {
 [[nodiscard]] RouteSimResult simulate_route(
     const std::vector<UnderlayHopPlan>& plans, std::size_t bits,
     double local_snr_db = 30.0, std::uint64_t seed = 1,
-    const HopFaultConfig& faults = {});
+    const HopFaultConfig& faults = {}, ThreadPool* pool = nullptr);
 
 }  // namespace comimo

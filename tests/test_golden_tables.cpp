@@ -1,0 +1,200 @@
+// Golden-value regression net over the paper-table reproductions.
+//
+// Two layers of pinning for every anchor:
+//   1. *paper consistency* — the reproduced number sits in the range the
+//      paper reports (loose, survives re-tuning);
+//   2. *golden regression* — the exact value this revision computes,
+//      pinned tightly so any accidental change to the RNG streams,
+//      channel models or estimators shows up as a test failure, not as
+//      a silently drifted table.
+// The golden constants were harvested from the bench binaries' --json
+// output; re-harvest them deliberately when a model change is intended
+// (run the bench, copy the new value, say so in the commit message).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "comimo/common/units.h"
+#include "comimo/energy/ebbar.h"
+#include "comimo/interweave/pair_beamformer.h"
+#include "comimo/interweave/pu_selection.h"
+#include "comimo/mc/engine.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/overlay/distance_planner.h"
+#include "comimo/testbed/experiments.h"
+
+namespace comimo {
+namespace {
+
+constexpr double kTightRel = 1e-9;  // regression tolerance (relative)
+
+void expect_rel(double value, double golden, const char* what) {
+  EXPECT_NEAR(value, golden, std::abs(golden) * kTightRel) << what;
+}
+
+// --- Table 1: interweave pair amplitude ------------------------------
+
+// The bench's trial body (bench/table1_interweave_amplitude.cpp), which
+// is itself the paper's §6.3 setup: St1/St2 15 m apart, 20 candidate
+// PUs in a 300 m circle, Algorithm-3 pick, amplitude at Sr.
+double table1_trial_amplitude(std::size_t t) {
+  const PairGeometry geom{Vec2{0.0, 7.5}, Vec2{0.0, -7.5}};
+  const double sr_angle = deg_to_rad(76.6);
+  const Vec2 axis = (geom.st2 - geom.st1).normalized();
+  const Vec2 perp{-axis.y, axis.x};
+  const Vec2 sr = geom.center() +
+                  (axis * std::cos(sr_angle) + perp * std::sin(sr_angle)) *
+                      150.0;
+  Rng rng(2013, t + 1);
+  std::vector<Vec2> candidates;
+  for (int i = 0; i < 20; ++i) {
+    candidates.push_back(rng.point_in_disk(geom.st1, 150.0));
+  }
+  const PuSelectionWeights weights{0.25, 2.0};
+  const std::size_t pick = select_pu(geom.center(), sr, candidates, weights);
+  const NullSteeringPair pair(geom, 30.0, candidates[pick]);
+  return pair.amplitude_at(sr);
+}
+
+TEST(GoldenTables, Table1InterweaveAmplitude) {
+  McConfig mc;
+  mc.seed = 2013;
+  const McResult run = run_trials(
+      10, mc, [](std::size_t t, Rng&, McAccumulator& acc) {
+        acc.observe("amplitude", table1_trial_amplitude(t));
+      });
+  const RunningStats& amp = run.acc.stat("amplitude");
+  // Paper: mean 1.87, reported trial range 1.87–1.89 (vs SISO 1.0).
+  EXPECT_GE(amp.mean(), 1.87);
+  EXPECT_LE(amp.mean(), 1.89);
+  EXPECT_GT(amp.min(), 1.5) << "a trial collapsed toward the SISO level";
+  // Golden regression (harvested from table1_interweave_amplitude --json).
+  expect_rel(amp.mean(), 1.8760951342243513, "mean amplitude");
+  expect_rel(amp.min(), 1.7885141957097594, "min amplitude");
+  expect_rel(amp.max(), 1.9444628343652204, "max amplitude");
+}
+
+// --- Table 2: single-relay overlay BER -------------------------------
+
+TEST(GoldenTables, Table2SingleRelayOverlay) {
+  // Paper averages over 3 experiments: 2.46% coop / 10.87% direct.
+  const double golden_coop[] = {0.01662, 0.01878, 0.02093};
+  const double golden_direct[] = {0.0923, 0.09887, 0.10989};
+  double coop_sum = 0.0;
+  double direct_sum = 0.0;
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    const OverlayBerResult r =
+        run_overlay_ber(table2_single_relay_config(k));
+    expect_rel(r.ber_cooperative, golden_coop[k - 1], "coop BER");
+    expect_rel(r.ber_direct, golden_direct[k - 1], "direct BER");
+    EXPECT_LT(r.ber_cooperative, r.ber_direct)
+        << "cooperation must beat the obstructed direct path";
+    coop_sum += r.ber_cooperative;
+    direct_sum += r.ber_direct;
+  }
+  const double coop_avg = coop_sum / 3.0;
+  const double direct_avg = direct_sum / 3.0;
+  // Paper consistency: single-digit coop %, ~10% direct, gap ≥ 3×.
+  EXPECT_LT(coop_avg, 0.05);
+  EXPECT_NEAR(direct_avg, 0.1087, 0.03);
+  EXPECT_GT(direct_avg / coop_avg, 3.0);
+}
+
+// --- Table 3: multi-relay overlay BER --------------------------------
+
+TEST(GoldenTables, Table3MultiRelayOverlay) {
+  // Paper: 2.93% (multi) / 10.57% (single) / 22.74% (none); the load-
+  // bearing claim is the strict ordering multi < single < none.
+  double multi_sum = 0.0;
+  double single_sum = 0.0;
+  double none_sum = 0.0;
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    const OverlayBerResult multi =
+        run_overlay_ber(table3_multi_relay_config(3, k));
+    const OverlayBerResult single =
+        run_overlay_ber(table3_multi_relay_config(1, k));
+    multi_sum += multi.ber_cooperative;
+    single_sum += single.ber_cooperative;
+    none_sum += single.ber_direct;  // shared no-cooperation baseline
+  }
+  const double multi_avg = multi_sum / 3.0;
+  const double single_avg = single_sum / 3.0;
+  const double none_avg = none_sum / 3.0;
+  EXPECT_LT(multi_avg, single_avg);
+  EXPECT_LT(single_avg, none_avg);
+  EXPECT_NEAR(none_avg, 0.2274, 0.05);
+  // Golden regression (harvested from table3_overlay_multi_relay --json).
+  expect_rel(multi_avg, 0.013916666666666666, "multi-relay avg BER");
+  expect_rel(single_avg, 0.09198, "single-relay avg BER");
+  expect_rel(none_avg, 0.22857, "no-cooperation avg BER");
+}
+
+// --- Table 4: underlay image-transfer PER ----------------------------
+
+TEST(GoldenTables, Table4UnderlayPerAtFullAmplitude) {
+  // Paper @ amplitude 800: coop PER 0%, solo 24.85%.  (The full three-
+  // amplitude sweep lives in bench/table4_underlay_per; one amplitude
+  // keeps the test suite fast while still pinning the waveform chain.)
+  UnderlayPerConfig cfg;
+  cfg.amplitude = 800.0;
+  cfg.seed = 7;
+  cfg.cooperative = true;
+  const UnderlayPerResult coop = run_underlay_per(cfg);
+  cfg.cooperative = false;
+  const UnderlayPerResult solo = run_underlay_per(cfg);
+  EXPECT_DOUBLE_EQ(coop.per, 0.0) << "paper: error-free at amplitude 800";
+  EXPECT_NEAR(solo.per, 0.2485, 0.05);
+  EXPECT_TRUE(coop.reassembly.recoverable());
+  // Golden regression (harvested from table4_underlay_per --json).
+  expect_rel(solo.per, 0.2489451476793249, "solo PER @ 800");
+}
+
+// --- ē_b anchors (§6.2) ----------------------------------------------
+
+TEST(GoldenTables, EbBarPaperAnchors) {
+  const EbBarSolver solver;
+  const double siso = solver.solve(1e-3, 2, 1, 1);
+  const double mimo = solver.solve(1e-3, 2, 2, 3);
+  // Paper: ē_b = 1.90e−18 for (1,1), ≈ 3.20e−20 for (2,3) at p = 1e−3,
+  // b = 2.  Our quadrature lands within ~5% of the SISO anchor and the
+  // same order of magnitude for the MIMO one (see tests/test_ebbar.cpp).
+  EXPECT_NEAR(siso, 1.90e-18, 0.10e-18);
+  EXPECT_GT(mimo, 1.0e-20);
+  EXPECT_LT(mimo, 1.0e-19);
+  EXPECT_GT(siso / mimo, 50.0) << "the 3-orders-of-magnitude headline";
+  // Golden regression.
+  expect_rel(siso, 1.9798651128586195e-18, "ebar(1e-3, 2, 1, 1)");
+  expect_rel(mimo, 2.0443384293985833e-20, "ebar(1e-3, 2, 2, 3)");
+}
+
+// --- Fig. 6 anchor: overlay relay distances --------------------------
+
+TEST(GoldenTables, Fig6OverlayDistanceAnchor) {
+  // Paper anchor at D1 = 250 m, m = 3, B = 40 kHz, with D3 = √m·D2.
+  const OverlayDistancePlanner planner(SystemParams{},
+                                       EbBarConvention::kTotalEnergy);
+  OverlayDistanceQuery q;
+  q.d1_m = 250.0;
+  q.num_relays = 3;
+  q.bandwidth_hz = 40e3;
+  const auto r = planner.plan(q);
+  EXPECT_GT(r.d2_m, q.d1_m) << "relays must out-reach the direct link";
+  EXPECT_GT(r.d3_m, r.d2_m) << "paper: D3 > D2";
+  // D3/D2 tracks √m = √3 ≈ 1.73 (the bandwidth term erodes it a bit).
+  EXPECT_GT(r.d3_m / r.d2_m, 1.4);
+  EXPECT_LT(r.d3_m / r.d2_m, std::sqrt(3.0) + 0.01);
+  // Golden regression (harvested from fig6_overlay_distance --json).
+  expect_rel(r.d2_m, 721.2142548653477, "D2 @ anchor");
+  expect_rel(r.d3_m, 1162.4544967926063, "D3 @ anchor");
+  // D2 is bandwidth-independent under the total-energy convention;
+  // D3 grows with B (the paper's §6 sweep from 10k to 100k).
+  q.bandwidth_hz = 10e3;
+  const auto r_lo = planner.plan(q);
+  expect_rel(r_lo.d2_m, 721.2142548653477, "D2 @ 10 kHz");
+  expect_rel(r_lo.d3_m, 983.1119848200003, "D3 @ 10 kHz");
+  EXPECT_LT(r_lo.d3_m, r.d3_m);
+}
+
+}  // namespace
+}  // namespace comimo

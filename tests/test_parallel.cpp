@@ -64,6 +64,73 @@ TEST(ParallelForChunks, PartitionIsContiguous) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
+TEST(ThreadPool, CurrentIsNullOffWorkers) {
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+  ThreadPool pool(2);
+  const ThreadPool* seen = nullptr;
+  pool.submit([&seen] { seen = ThreadPool::current(); });
+  pool.wait_idle();
+  EXPECT_EQ(seen, &pool);
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+}
+
+TEST(ThreadPool, NestedSubmitThrowsConcurrencyError) {
+  // submit() from a worker of the same pool would deadlock once every
+  // worker blocks on work that can never be scheduled — it must throw
+  // instead of hanging.  (Regression: this used to deadlock.)
+  ThreadPool pool(1);
+  bool threw = false;
+  pool.submit([&] {
+    try {
+      pool.submit([] {});
+    } catch (const ConcurrencyError&) {
+      threw = true;
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ThreadPool, NestedWaitIdleThrowsConcurrencyError) {
+  ThreadPool pool(1);
+  bool threw = false;
+  pool.submit([&] {
+    try {
+      pool.wait_idle();
+    } catch (const ConcurrencyError&) {
+      threw = true;
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ThreadPool, SubmitToAnotherPoolFromWorkerIsFine) {
+  // Only same-pool nesting is a deadlock; fanning out to a *different*
+  // pool is legal.
+  ThreadPool outer(1);
+  ThreadPool inner(1);
+  std::atomic<int> ran{0};
+  outer.submit([&] {
+    inner.submit([&ran] { ran.fetch_add(1); });
+    inner.wait_idle();
+  });
+  outer.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, NestedOnSamePoolRunsInlineSerially) {
+  // parallel_for from a worker of the same pool degrades to serial
+  // inline execution instead of throwing — nested parallel code is
+  // safe, merely not extra-parallel.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(pool, 4, [&](std::size_t) {
+    parallel_for(pool, 25, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
 TEST(ParallelFor, DeterministicResultRegardlessOfThreads) {
   // Index-derived work gives the same result on any worker count.
   const std::size_t n = 500;
