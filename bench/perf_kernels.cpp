@@ -1,26 +1,260 @@
-// Kernel micro-benchmarks (google-benchmark): the hot paths a planner
-// or simulator spends its time in — the ē_b solve, STBC encode/decode,
-// GMSK modulation, the CSMA/CA event loop and the framing layer.
+// Kernel benchmarks, two modes in one binary:
+//   * `--json <path>`: the batched link-kernel comparison — the
+//     historical allocating per-block BER path vs. the LinkWorkspace
+//     path — emitted as comimo-bench-v1, including a steady-state
+//     heap-allocation count per block from the operator-new hook below.
+//     Both paths consume identical per-block RNG streams, and the bench
+//     aborts unless their bit-error counts match exactly.
+//   * otherwise: the google-benchmark micro suite over the hot paths a
+//     planner or simulator spends its time in — the ē_b solve, STBC
+//     encode/decode, GMSK modulation, CSMA/CA and framing.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
+#include "comimo/common/bench_json.h"
+#include "comimo/common/error.h"
+#include "comimo/common/units.h"
 #include "comimo/energy/ebbar.h"
 #include "comimo/energy/ebbar_table.h"
 #include "comimo/net/csma_ca.h"
 #include "comimo/net/spatial_csma.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/phy/ber_sweep.h"
 #include "comimo/phy/detector.h"
 #include "comimo/phy/gmsk.h"
 #include "comimo/phy/link_adaptation.h"
+#include "comimo/phy/modulation.h"
 #include "comimo/phy/stbc.h"
 #include "comimo/testbed/coop_hop_sim.h"
 #include "comimo/testbed/framing.h"
 
+// ---------------------------------------------------------------------
+// Heap-allocation counter: every global operator new is routed through
+// malloc and bumps one relaxed atomic.  Bench binary only — the library
+// itself is never built with these hooks.  All replaceable forms are
+// covered so sized/array/aligned deallocation stays matched.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded ? rounded : align);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t al) {
+  if (void* p =
+          counted_aligned_alloc(size, static_cast<std::size_t>(al))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
 namespace {
 
 using namespace comimo;
+
+// ---------------------------------------------------------------------
+// Link-kernel comparison (the --json mode).
+
+/// One block of the historical allocating BER path, kept verbatim as
+/// the baseline: every buffer is constructed inside the block.
+std::size_t allocating_block(const Modulator& modem, const StbcCode& code,
+                             const StbcDecoder& decoder, unsigned mt,
+                             unsigned mr, double sym_scale,
+                             std::size_t bits_per_block, Rng& rng) {
+  BitVec bits(bits_per_block);
+  for (auto& bit : bits) bit = rng.bernoulli(0.5) ? 1 : 0;
+  std::vector<cplx> syms = modem.modulate(bits);
+  for (auto& s : syms) s *= sym_scale;
+
+  const CMatrix h = CMatrix::random_gaussian(mr, mt, rng);
+  const CMatrix c = code.encode(syms);
+  CMatrix received(code.block_length(), mr);
+  for (std::size_t t = 0; t < code.block_length(); ++t) {
+    for (unsigned j = 0; j < mr; ++j) {
+      cplx v{0.0, 0.0};
+      for (unsigned i = 0; i < mt; ++i) {
+        v += c(t, i) * h(j, i);
+      }
+      received(t, j) = v + rng.complex_gaussian(1.0);
+    }
+  }
+
+  std::vector<cplx> est = decoder.decode(h, received);
+  for (auto& v : est) v /= sym_scale;
+  const BitVec decoded = modem.demodulate(est);
+  return count_bit_errors(bits, decoded);
+}
+
+struct LinkKernelRun {
+  double ns_per_block = 0.0;
+  double allocs_per_block = 0.0;
+  std::size_t bit_errors = 0;
+  std::size_t bits = 0;
+};
+
+/// Measures `blocks` post-warmup blocks of either path.  Per-block RNG
+/// streams are Rng(seed, block index) for both paths, so the bit-error
+/// totals must agree exactly.
+template <typename BlockFn>
+LinkKernelRun measure_blocks(std::size_t warmup, std::size_t blocks,
+                             std::size_t bits_per_block, std::uint64_t seed,
+                             BlockFn&& block) {
+  LinkKernelRun out;
+  for (std::size_t blk = 0; blk < warmup; ++blk) {
+    Rng rng(seed, blk);
+    (void)block(rng);
+  }
+  const std::uint64_t allocs0 =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t blk = warmup; blk < warmup + blocks; ++blk) {
+    Rng rng(seed, blk);
+    out.bit_errors += block(rng);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs1 =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  const double ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  out.ns_per_block = ns / static_cast<double>(blocks);
+  out.allocs_per_block = static_cast<double>(allocs1 - allocs0) /
+                         static_cast<double>(blocks);
+  out.bits = blocks * bits_per_block;
+  return out;
+}
+
+Json link_params(const char* path, int b, unsigned mt, unsigned mr,
+                 double gamma_b_db, std::size_t blocks, std::size_t warmup) {
+  Json params = Json::object();
+  params.set("kernel", "waveform_ber");
+  params.set("path", path);
+  params.set("b", b);
+  params.set("mt", mt);
+  params.set("mr", mr);
+  params.set("gamma_b_db", gamma_b_db);
+  params.set("blocks", static_cast<std::uint64_t>(blocks));
+  params.set("warmup", static_cast<std::uint64_t>(warmup));
+  return params;
+}
+
+Json link_metrics(const LinkKernelRun& run, double speedup) {
+  Json metrics = Json::object();
+  metrics.set("ns_per_block", run.ns_per_block);
+  metrics.set("allocs_per_block", run.allocs_per_block);
+  metrics.set("bit_errors", static_cast<std::uint64_t>(run.bit_errors));
+  metrics.set("bits", static_cast<std::uint64_t>(run.bits));
+  metrics.set("ber", run.bits ? static_cast<double>(run.bit_errors) /
+                                    static_cast<double>(run.bits)
+                              : 0.0);
+  if (speedup > 0.0) metrics.set("speedup_vs_allocating", speedup);
+  return metrics;
+}
+
+void run_link_kernel_bench(const BenchCli& cli) {
+  BenchReporter reporter("perf_kernels");
+  reporter.set_threads(1);  // the comparison is deliberately serial
+  const std::size_t blocks = cli.trials ? cli.trials : 20000;
+  const std::size_t warmup = std::min<std::size_t>(500, blocks);
+  const double gamma_b_db = 6.0;
+  const double gamma_b = db_to_linear(gamma_b_db);
+  const std::uint64_t seed = 1;
+
+  struct Shape {
+    int b;
+    unsigned mt;
+    unsigned mr;
+  };
+  for (const Shape shape : {Shape{2, 2, 2}, Shape{2, 4, 2}, Shape{2, 4, 4}}) {
+    const auto modem = make_modulator(shape.b);
+    const StbcCode code = StbcCode::for_antennas(shape.mt);
+    const StbcDecoder decoder(code);
+    const std::size_t bits_per_block =
+        code.symbols_per_block() * static_cast<std::size_t>(shape.b);
+    const double sym_scale = std::sqrt(static_cast<double>(shape.b) *
+                                       gamma_b / code.symbol_weight());
+
+    const LinkKernelRun alloc_run = measure_blocks(
+        warmup, blocks, bits_per_block, seed, [&](Rng& rng) {
+          return allocating_block(*modem, code, decoder, shape.mt, shape.mr,
+                                  sym_scale, bits_per_block, rng);
+        });
+
+    const WaveformBerKernel kernel(shape.b, shape.mt, shape.mr, gamma_b);
+    LinkWorkspace ws;
+    kernel.prepare(ws);
+    const LinkKernelRun ws_run = measure_blocks(
+        warmup, blocks, bits_per_block, seed,
+        [&](Rng& rng) { return kernel.run_block(ws, rng); });
+
+    // The workspace path must be bit-identical to the allocating one;
+    // anything else means the refactor broke the kernel.
+    COMIMO_CHECK(ws_run.bit_errors == alloc_run.bit_errors,
+                 "workspace path diverged from the allocating path");
+
+    const double speedup =
+        ws_run.ns_per_block > 0.0 ? alloc_run.ns_per_block / ws_run.ns_per_block
+                                  : 0.0;
+    const auto tps = [](const LinkKernelRun& r) {
+      return r.ns_per_block > 0.0 ? 1e9 / r.ns_per_block : 0.0;
+    };
+    reporter.add_record(link_params("allocating", shape.b, shape.mt, shape.mr,
+                                    gamma_b_db, blocks, warmup),
+                        link_metrics(alloc_run, 0.0), blocks,
+                        tps(alloc_run));
+    reporter.add_record(link_params("workspace", shape.b, shape.mt, shape.mr,
+                                    gamma_b_db, blocks, warmup),
+                        link_metrics(ws_run, speedup), blocks, tps(ws_run));
+  }
+  reporter.write_file(cli.json_path);
+}
 
 void BM_EbBarSolve(benchmark::State& state) {
   const EbBarSolver solver;
@@ -192,22 +426,23 @@ BENCHMARK(BM_AdaptiveLink);
 
 }  // namespace
 
-// google-benchmark has its own CLI and JSON emitter; translate the
-// repo-wide `--json <path>` convention into --benchmark_out so that
-// scripts/check_bench_json.sh can drive every bench binary uniformly
-// (this one is validated loosely — google-benchmark's schema, not
-// comimo-bench-v1).
+// `--json <path>` selects the comimo-bench-v1 link-kernel comparison
+// (validated by scripts/check_bench_json.sh); without it the binary
+// runs the google-benchmark micro suite with its native CLI.
 int main(int argc, char** argv) {
+  const comimo::BenchCli cli = comimo::parse_bench_cli(argc, argv);
+  if (!cli.json_path.empty()) {
+    run_link_kernel_bench(cli);
+    return 0;
+  }
+
   std::vector<char*> args;
   std::vector<std::string> storage;
-  storage.reserve(static_cast<std::size_t>(argc) + 2);
+  storage.reserve(static_cast<std::size_t>(argc));
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
-      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
-      storage.push_back("--benchmark_out_format=json");
-    } else if (arg == "--threads" || arg == "--trials") {
+    if (arg == "--threads" || arg == "--trials") {
       ++i;  // accepted-and-ignored common flags (kernel benches are serial)
     } else {
       storage.push_back(arg);

@@ -5,8 +5,9 @@
 #   3. for the engine-backed benches, the `metrics` objects are
 #      byte-identical between a serial run and a --threads 4 run — the
 #      mc/ engine's determinism contract, checked end to end.
-# perf_kernels emits google-benchmark's own schema and is validated
-# loosely (valid JSON with a non-empty `benchmarks` array).
+# perf_kernels emits comimo-bench-v1 in --json mode (the google-benchmark
+# micro-kernels still run when --json is absent) and additionally
+# guarantees allocs_per_block == 0 on the workspace records.
 #
 # Usage: scripts/check_bench_json.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -103,16 +104,22 @@ for bench in "${SCHEMA_ONLY_BENCHES[@]}"; do
   echo "OK       $bench (schema)"
 done
 
-# google-benchmark schema: valid JSON, non-empty benchmarks array.
+# perf_kernels: comimo-bench-v1 schema plus the zero-allocation gate —
+# every workspace record must report allocs_per_block == 0.
 if [ -x "$BENCH_DIR/perf_kernels" ]; then
   if "$BENCH_DIR/perf_kernels" --json "$OUT_DIR/perf_kernels.json" \
-      --benchmark_min_time=0.01 > /dev/null 2>&1 \
+      --trials 2000 > /dev/null 2>&1 \
+    && validate_v1 "$OUT_DIR/perf_kernels.json" \
     && python3 -c '
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d.get("benchmarks"), "no benchmarks"' "$OUT_DIR/perf_kernels.json"
+ws = [r for r in d["records"] if r["params"].get("path") == "workspace"]
+assert ws, "no workspace records"
+for r in ws:
+    assert r["metrics"]["allocs_per_block"] == 0, \
+        f"workspace path allocates: {r}"' "$OUT_DIR/perf_kernels.json"
   then
-    echo "OK       perf_kernels (google-benchmark schema)"
+    echo "OK       perf_kernels (schema + zero-alloc workspace path)"
   else
     echo "FAIL     perf_kernels"; fail=1
   fi

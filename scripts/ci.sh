@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # The one-command gate: tier-1 build + tests, the bench JSON contract,
-# and (optionally) the sanitizer suite.
+# the workspace link-kernel tests under ASan + UBSan, and (optionally)
+# the full sanitizer suite.
 #
 # Usage: scripts/ci.sh [build-dir]          (default: build)
 #        CI_SANITIZE=1 scripts/ci.sh        also runs check_sanitized.sh
@@ -19,9 +20,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 echo "== bench JSON contract =="
 scripts/check_bench_json.sh "$BUILD_DIR"
 
+echo "== workspace kernel under ASan + UBSan =="
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCOMIMO_SANITIZE=ON \
+  -DCOMIMO_BUILD_BENCH=OFF \
+  -DCOMIMO_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "$ASAN_DIR" -j "$(nproc)"
+ctest --test-dir "$ASAN_DIR" --output-on-failure -R 'LinkWorkspace' \
+  -j "$(nproc)"
+
 if [ "${CI_SANITIZE:-0}" = "1" ]; then
-  echo "== sanitizers =="
-  scripts/check_sanitized.sh
+  echo "== sanitizers: full suite =="
+  scripts/check_sanitized.sh "$ASAN_DIR"
 fi
 
 echo "== ci.sh: all gates passed =="

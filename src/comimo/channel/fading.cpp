@@ -13,7 +13,15 @@ RayleighBlockFading::RayleighBlockFading(std::size_t mt, std::size_t mr,
 }
 
 CMatrix RayleighBlockFading::next_block() {
-  return CMatrix::random_gaussian(mr_, mt_, rng_, 1.0);
+  CMatrix h(mr_, mt_);
+  next_block_into(h);
+  return h;
+}
+
+void RayleighBlockFading::next_block_into(CMatrixView out) {
+  COMIMO_DCHECK(out.rows() == mr_ && out.cols() == mt_,
+                "next_block_into buffer must be mr × mt");
+  random_gaussian_into(out, rng_, 1.0);
 }
 
 cplx RayleighBlockFading::next_coefficient() {

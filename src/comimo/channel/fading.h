@@ -24,6 +24,10 @@ class RayleighBlockFading {
   /// the next block.
   [[nodiscard]] CMatrix next_block();
 
+  /// Same draw written into a caller buffer of shape mr × mt (every
+  /// entry overwritten; same RNG consumption as next_block()).
+  void next_block_into(CMatrixView out);
+
   /// Scalar Rayleigh coefficient for SISO use.
   [[nodiscard]] cplx next_coefficient();
 

@@ -30,8 +30,14 @@ CMatrix CMatrix::identity(std::size_t n) {
 CMatrix CMatrix::random_gaussian(std::size_t rows, std::size_t cols, Rng& rng,
                                  double variance) {
   CMatrix m(rows, cols);
-  for (auto& v : m.data_) v = rng.complex_gaussian(variance);
+  random_gaussian_into(m, rng, variance);
   return m;
+}
+
+void CMatrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, cplx{0.0, 0.0});
 }
 
 cplx& CMatrix::operator()(std::size_t r, std::size_t c) {
@@ -56,20 +62,23 @@ CMatrix CMatrix::operator-(const CMatrix& o) const {
   return out;
 }
 
+// Per-op arithmetic runs on the per-block path; shape checks here are
+// debug-only (the error.h policy), while construction and solve/inverse
+// keep their always-on COMIMO_CHECKs.
 CMatrix& CMatrix::operator+=(const CMatrix& o) {
-  COMIMO_CHECK(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in +");
+  COMIMO_DCHECK(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in +");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
   return *this;
 }
 
 CMatrix& CMatrix::operator-=(const CMatrix& o) {
-  COMIMO_CHECK(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in -");
+  COMIMO_DCHECK(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in -");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
   return *this;
 }
 
 CMatrix CMatrix::operator*(const CMatrix& o) const {
-  COMIMO_CHECK(cols_ == o.rows_, "shape mismatch in *");
+  COMIMO_DCHECK(cols_ == o.rows_, "shape mismatch in *");
   CMatrix out(rows_, o.cols_);
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
@@ -136,14 +145,21 @@ cplx CMatrix::trace() const {
 }
 
 std::vector<cplx> CMatrix::solve(const std::vector<cplx>& b) const {
+  std::vector<cplx> x;
+  std::vector<cplx> work;
+  solve_into(b, x, work);
+  return x;
+}
+
+void CMatrix::solve_into(std::span<const cplx> b, std::vector<cplx>& x,
+                         std::vector<cplx>& work) const {
   COMIMO_CHECK(rows_ == cols_, "solve needs a square matrix");
   COMIMO_CHECK(b.size() == rows_, "rhs size mismatch");
   const std::size_t n = rows_;
   // Working copies: augmented elimination with partial pivoting.
-  std::vector<cplx> a = data_;
-  std::vector<cplx> x = b;
-  std::vector<std::size_t> piv(n);
-  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+  std::vector<cplx>& a = work;
+  a.assign(data_.begin(), data_.end());
+  x.assign(b.begin(), b.end());
 
   for (std::size_t col = 0; col < n; ++col) {
     std::size_t best = col;
@@ -178,7 +194,6 @@ std::vector<cplx> CMatrix::solve(const std::vector<cplx>& b) const {
     for (std::size_t c = ri + 1; c < n; ++c) sum -= a[ri * n + c] * x[c];
     x[ri] = sum / a[ri * n + ri];
   }
-  return x;
 }
 
 CMatrix CMatrix::inverse() const {
@@ -220,7 +235,7 @@ std::string CMatrix::to_string(int precision) const {
 }
 
 std::vector<cplx> operator*(const CMatrix& a, const std::vector<cplx>& x) {
-  COMIMO_CHECK(a.cols() == x.size(), "shape mismatch in A*x");
+  COMIMO_DCHECK(a.cols() == x.size(), "shape mismatch in A*x");
   std::vector<cplx> y(a.rows(), cplx{0.0, 0.0});
   for (std::size_t r = 0; r < a.rows(); ++r) {
     cplx sum{0.0, 0.0};
@@ -228,6 +243,80 @@ std::vector<cplx> operator*(const CMatrix& a, const std::vector<cplx>& x) {
     y[r] = sum;
   }
   return y;
+}
+
+cplx& CMatrixView::operator()(std::size_t r, std::size_t c) const {
+  COMIMO_DCHECK(r < rows_ && c < cols_, "index out of range");
+  return data_[r * cols_ + c];
+}
+
+void CMatrixView::fill(cplx v) const noexcept {
+  for (std::size_t i = 0; i < size(); ++i) data_[i] = v;
+}
+
+const cplx& ConstCMatrixView::operator()(std::size_t r,
+                                         std::size_t c) const {
+  COMIMO_DCHECK(r < rows_ && c < cols_, "index out of range");
+  return data_[r * cols_ + c];
+}
+
+double ConstCMatrixView::frobenius_norm2() const noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) sum += std::norm(data_[i]);
+  return sum;
+}
+
+double ConstCMatrixView::frobenius_norm() const noexcept {
+  return std::sqrt(frobenius_norm2());
+}
+
+CMatrix ConstCMatrixView::to_matrix() const {
+  CMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < size(); ++i) out.data()[i] = data_[i];
+  return out;
+}
+
+void random_gaussian_into(CMatrixView out, Rng& rng, double variance) {
+  cplx* p = out.data();
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = rng.complex_gaussian(variance);
+}
+
+void multiply_into(ConstCMatrixView a, ConstCMatrixView b, CMatrixView out) {
+  COMIMO_DCHECK(a.cols() == b.rows(), "shape mismatch in multiply_into");
+  COMIMO_DCHECK(out.rows() == a.rows() && out.cols() == b.cols(),
+                "output shape mismatch in multiply_into");
+  COMIMO_DCHECK(out.data() != a.data() && out.data() != b.data(),
+                "multiply_into output must not alias an input");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      cplx sum{0.0, 0.0};
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += a(r, k) * b(k, c);
+      out(r, c) = sum;
+    }
+  }
+}
+
+void multiply_transposed_into(ConstCMatrixView a, ConstCMatrixView b,
+                              CMatrixView out) {
+  COMIMO_DCHECK(a.cols() == b.cols(), "shape mismatch in a·bᵀ");
+  COMIMO_DCHECK(out.rows() == a.rows() && out.cols() == b.rows(),
+                "output shape mismatch in a·bᵀ");
+  COMIMO_DCHECK(out.data() != a.data() && out.data() != b.data(),
+                "multiply_transposed_into output must not alias an input");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < b.rows(); ++c) {
+      cplx sum{0.0, 0.0};
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += a(r, k) * b(c, k);
+      out(r, c) = sum;
+    }
+  }
+}
+
+void add_scaled_noise_into(CMatrixView m, Rng& rng, double variance) {
+  cplx* p = m.data();
+  const std::size_t n = m.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] += rng.complex_gaussian(variance);
 }
 
 }  // namespace comimo

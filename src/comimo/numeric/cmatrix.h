@@ -1,15 +1,24 @@
 // Dense complex matrices/vectors sized for MIMO work (a handful of
 // antennas), replacing the Eigen/MATLAB numerics of the original study.
 //
-// Row-major storage in a std::vector; operations validate shapes with
-// COMIMO_CHECK.  Only what the library needs is implemented: arithmetic,
-// Hermitian transpose, Frobenius norm, small dense solves, and random
-// Rayleigh channel draws.
+// Row-major storage in a std::vector; construction and the solve/inverse
+// boundaries validate shapes with COMIMO_CHECK, per-element access and
+// the per-block arithmetic with COMIMO_DCHECK (compiled away in release,
+// per common/error.h).  Only what the library needs is implemented:
+// arithmetic, Hermitian transpose, Frobenius norm, small dense solves,
+// and random Rayleigh channel draws.
+//
+// The non-owning CMatrixView/ConstCMatrixView plus the *_into free
+// functions are the allocation-free face of the same operations: the
+// per-block PHY path (phy/link_workspace.h) writes channel draws,
+// products, and noise into caller-held storage so a Monte-Carlo chunk
+// reuses one arena across every block.
 #pragma once
 
 #include <complex>
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +47,13 @@ class CMatrix {
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] cplx* data() noexcept { return data_.data(); }
+  [[nodiscard]] const cplx* data() const noexcept { return data_.data(); }
+
+  /// Re-shapes to rows × cols and zero-fills.  Reuses the existing
+  /// capacity, so a workspace matrix resized between blocks of varying
+  /// antenna counts stops allocating once it has seen the largest shape.
+  void resize(std::size_t rows, std::size_t cols);
 
   [[nodiscard]] cplx& operator()(std::size_t r, std::size_t c);
   [[nodiscard]] const cplx& operator()(std::size_t r, std::size_t c) const;
@@ -67,6 +83,11 @@ class CMatrix {
   /// Solves A·x = b by Gaussian elimination with partial pivoting;
   /// A must be square and nonsingular.
   [[nodiscard]] std::vector<cplx> solve(const std::vector<cplx>& b) const;
+  /// Allocation-free variant: the solution lands in `x` and `work` holds
+  /// the elimination copy of A; both are assign()-ed, so repeated calls
+  /// at the same size reuse their capacity.  Bit-identical to solve().
+  void solve_into(std::span<const cplx> b, std::vector<cplx>& x,
+                  std::vector<cplx>& work) const;
   /// Matrix inverse via the same elimination.
   [[nodiscard]] CMatrix inverse() const;
 
@@ -84,5 +105,89 @@ class CMatrix {
 /// Matrix–vector product A·x.
 [[nodiscard]] std::vector<cplx> operator*(const CMatrix& a,
                                           const std::vector<cplx>& x);
+
+/// Non-owning mutable view over row-major complex storage.  A view is
+/// two pointers and two sizes — pass it by value.  The viewed storage
+/// must outlive the view; element access is DCHECK-guarded only.
+class CMatrixView {
+ public:
+  CMatrixView() = default;
+  CMatrixView(cplx* data, std::size_t rows, std::size_t cols) noexcept
+      : data_(data), rows_(rows), cols_(cols) {}
+  /*implicit*/ CMatrixView(CMatrix& m) noexcept
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] cplx* data() const noexcept { return data_; }
+
+  [[nodiscard]] cplx& operator()(std::size_t r, std::size_t c) const;
+
+  void fill(cplx v) const noexcept;
+
+ private:
+  cplx* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Read-only companion of CMatrixView.
+class ConstCMatrixView {
+ public:
+  ConstCMatrixView() = default;
+  ConstCMatrixView(const cplx* data, std::size_t rows,
+                   std::size_t cols) noexcept
+      : data_(data), rows_(rows), cols_(cols) {}
+  /*implicit*/ ConstCMatrixView(const CMatrix& m) noexcept
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+  /*implicit*/ ConstCMatrixView(CMatrixView v) noexcept
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const cplx* data() const noexcept { return data_; }
+
+  [[nodiscard]] const cplx& operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] double frobenius_norm2() const noexcept;
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  /// Owning copy, for interop with the allocating APIs.
+  [[nodiscard]] CMatrix to_matrix() const;
+
+ private:
+  const cplx* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+// ---- In-place kernels of the per-block link path -----------------------
+//
+// Each writes every element of its destination (no read-before-write), so
+// a workspace buffer reused across blocks can never leak a stale value.
+// The RNG-consuming kernels draw in row-major element order — exactly the
+// order the allocating APIs use — which is what keeps the workspace
+// refactor bit-identical to the original per-block code.
+
+/// Fills `out` with i.i.d. CN(0, variance) draws, row-major — the
+/// in-place form of CMatrix::random_gaussian.
+void random_gaussian_into(CMatrixView out, Rng& rng, double variance = 1.0);
+
+/// out = a·b.  `out` must not alias `a` or `b`.
+void multiply_into(ConstCMatrixView a, ConstCMatrixView b, CMatrixView out);
+
+/// out = a·bᵀ (no conjugation): out(r, c) = Σ_k a(r, k)·b(c, k),
+/// accumulated over ascending k.  This is the received-block product
+/// Y(t, j) = Σ_i C(t, i)·H(j, i) without materializing Hᵀ.  `out` must
+/// not alias `a` or `b`.
+void multiply_transposed_into(ConstCMatrixView a, ConstCMatrixView b,
+                              CMatrixView out);
+
+/// m(r, c) += CN(0, variance), drawn row-major — the in-place AWGN step.
+void add_scaled_noise_into(CMatrixView m, Rng& rng, double variance = 1.0);
 
 }  // namespace comimo

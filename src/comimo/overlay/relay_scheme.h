@@ -9,9 +9,13 @@
 //   E_S = E_St + E_Sr             (per-SU relay energy)
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "comimo/common/constants.h"
 #include "comimo/energy/mimo_energy.h"
 #include "comimo/energy/optimizer.h"
+#include "comimo/phy/ber_sweep.h"
 
 namespace comimo {
 
@@ -22,6 +26,14 @@ struct OverlayRelayConfig {
   double su_to_pr_m = 100.0;    ///< MISO leg length (SUs → Pr)
   double ber = 5e-4;            ///< target BER of the relayed stream
   double bandwidth_hz = 40e3;   ///< B
+};
+
+/// Waveform-level BER of Algorithm 1's two legs, each measured through
+/// the batched link kernel at the planned constellation and the
+/// solver's ē_b for that leg.
+struct OverlayRelayWaveform {
+  WaveformBerPoint simo;  ///< step 1: Pt → SUs, 1×m
+  WaveformBerPoint miso;  ///< step 2: SUs → Pr, m×1
 };
 
 /// Per-step energy report of Algorithm 1.
@@ -52,6 +64,15 @@ class OverlayRelayScheme {
   /// d1 and BER p (the E_1 reference of §3), minimized over b.
   [[nodiscard]] ConstellationChoice direct_transmission_energy(
       double d1_m, double p, double bandwidth_hz) const;
+
+  /// Cross-checks a planned relay against actual modulated blocks: each
+  /// leg runs at γ_b = ē_b(p, b, mt, mr)/N0 with the constellations the
+  /// plan chose.  Relay counts above the STBC design range fall back to
+  /// the G4 code on the MISO leg.
+  [[nodiscard]] OverlayRelayWaveform measure_relay_waveform(
+      const OverlayRelayConfig& config, const OverlayRelayEnergies& energies,
+      std::size_t blocks = 4000, std::uint64_t seed = 1,
+      ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const MimoEnergyModel& energy_model() const noexcept {
     return mimo_;

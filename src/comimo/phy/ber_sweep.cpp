@@ -12,26 +12,42 @@
 
 namespace comimo {
 
-WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
-                                      double gamma_b_db) {
-  COMIMO_CHECK(config.b >= 1 && config.b <= 8, "b in 1..8");
-  COMIMO_CHECK(config.mt >= 1 && config.mt <= kMaxStbcTx,
+WaveformBerKernel::WaveformBerKernel(int b, unsigned mt, unsigned mr,
+                                     double gamma_b)
+    : modem_(make_modulator(b)),
+      decoder_(StbcCode::for_antennas(mt)),
+      mr_(mr) {
+  COMIMO_CHECK(b >= 1 && b <= 8, "b in 1..8");
+  COMIMO_CHECK(mt >= 1 && mt <= kMaxStbcTx,
                "mt outside the STBC design range");
-  COMIMO_CHECK(config.mr >= 1, "need a receive antenna");
-  COMIMO_CHECK(config.blocks >= 1, "need at least one block");
-
-  const auto modem = make_modulator(config.b);
-  const StbcCode code = StbcCode::for_antennas(config.mt);
-  const StbcDecoder decoder(code);
-  const std::size_t kk = code.symbols_per_block();
-  const std::size_t bits_per_block = kk * static_cast<std::size_t>(config.b);
-  const double gamma_b = db_to_linear(gamma_b_db);
+  COMIMO_CHECK(mr >= 1, "need a receive antenna");
+  const StbcCode& code = decoder_.code();
+  bits_per_block_ = code.symbols_per_block() * static_cast<std::size_t>(b);
   // Per-bit received energy γ_b·N0 (unit noise) per unit ‖H‖²_F; the
   // rate-1/2 designs transmit each symbol twice, so divide by the
   // symbol weight — the same bookkeeping as testbed/coop_hop_sim.
-  const double sym_scale = std::sqrt(static_cast<double>(config.b) *
-                                     gamma_b / code.symbol_weight());
-  const unsigned mr = config.mr;
+  sym_scale_ =
+      std::sqrt(static_cast<double>(b) * gamma_b / code.symbol_weight());
+}
+
+std::size_t WaveformBerKernel::run_block(LinkWorkspace& ws, Rng& rng) const {
+  ws.bits.resize(bits_per_block_);
+  for (auto& bit : ws.bits) bit = rng.bernoulli(0.5) ? 1 : 0;
+  modem_->modulate_into(ws.bits, ws.symbols);
+  for (auto& s : ws.symbols) s *= sym_scale_;
+  simulate_block(decoder_, ws, rng);
+  for (auto& v : ws.estimates) v /= sym_scale_;
+  modem_->demodulate_into(ws.estimates, ws.decoded);
+  return count_bit_errors(ws.bits, ws.decoded);
+}
+
+WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
+                                      double gamma_b_db) {
+  COMIMO_CHECK(config.blocks >= 1, "need at least one block");
+
+  const double gamma_b = db_to_linear(gamma_b_db);
+  const WaveformBerKernel kernel(config.b, config.mt, config.mr, gamma_b);
+  const std::size_t bits_per_block = kernel.bits_per_block();
 
   McConfig mc;
   mc.seed = config.seed;
@@ -40,28 +56,12 @@ WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
 
   const McResult run = run_trials(
       config.blocks, mc, [&](std::size_t, Rng& rng, McAccumulator& acc) {
-        BitVec bits(bits_per_block);
-        for (auto& bit : bits) bit = rng.bernoulli(0.5) ? 1 : 0;
-        std::vector<cplx> syms = modem->modulate(bits);
-        for (auto& s : syms) s *= sym_scale;
-
-        const CMatrix h = CMatrix::random_gaussian(mr, config.mt, rng);
-        const CMatrix c = code.encode(syms);  // T × mt, power scale applied
-        CMatrix received(code.block_length(), mr);
-        for (std::size_t t = 0; t < code.block_length(); ++t) {
-          for (unsigned j = 0; j < mr; ++j) {
-            cplx v{0.0, 0.0};
-            for (unsigned i = 0; i < config.mt; ++i) {
-              v += c(t, i) * h(j, i);
-            }
-            received(t, j) = v + rng.complex_gaussian(1.0);
-          }
-        }
-
-        std::vector<cplx> est = decoder.decode(h, received);
-        for (auto& v : est) v /= sym_scale;
-        const BitVec decoded = modem->demodulate(est);
-        acc.count("bit_errors", count_bit_errors(bits, decoded));
+        // One workspace per worker thread, reused across every block the
+        // thread runs; prepare() re-shapes it (no allocation at steady
+        // state) in case the thread last served a different kernel.
+        thread_local LinkWorkspace ws;
+        kernel.prepare(ws);
+        acc.count("bit_errors", kernel.run_block(ws, rng));
         acc.count("bits", bits_per_block);
       });
 

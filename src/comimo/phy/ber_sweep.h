@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "comimo/mc/engine.h"
 #include "comimo/numeric/stats.h"
+#include "comimo/phy/link_workspace.h"
 
 namespace comimo {
 
@@ -35,6 +37,41 @@ struct WaveformBerPoint {
   RateEstimate estimate;  ///< Wilson 95% interval
   double analytic = 0.0;  ///< ber_mqam_rayleigh_mimo at the same point
   McRunInfo info;
+};
+
+/// The per-block waveform BER trial packaged as a reusable kernel.
+/// Construction fixes (b, mt, mr, γ_b) and builds the modem and ML
+/// decoder once; run_block() then executes one STBC block entirely on a
+/// caller-owned LinkWorkspace and returns its bit-error count.  A
+/// workspace reused across blocks makes the steady-state loop
+/// allocation-free (bench/perf_kernels counts this).  Bit-identical to
+/// the historical per-block allocating path for the same Rng stream.
+class WaveformBerKernel {
+ public:
+  /// gamma_b is the *linear* per-branch per-bit SNR.
+  WaveformBerKernel(int b, unsigned mt, unsigned mr, double gamma_b);
+
+  /// Shapes `ws` for this kernel; call before run_block() whenever the
+  /// workspace may have last served a different shape.
+  void prepare(LinkWorkspace& ws) const { ws.configure(decoder_.code(), mr_); }
+
+  /// One block: draw source bits, modulate, simulate the link, decode,
+  /// count errors.  The source/decoded bits stay in ws.bits/ws.decoded.
+  [[nodiscard]] std::size_t run_block(LinkWorkspace& ws, Rng& rng) const;
+
+  [[nodiscard]] std::size_t bits_per_block() const noexcept {
+    return bits_per_block_;
+  }
+  [[nodiscard]] const StbcDecoder& decoder() const noexcept {
+    return decoder_;
+  }
+
+ private:
+  std::unique_ptr<Modulator> modem_;
+  StbcDecoder decoder_;
+  unsigned mr_;
+  std::size_t bits_per_block_;
+  double sym_scale_;
 };
 
 /// One point of the curve.  γ_b is the paper's per-branch per-bit SNR

@@ -1,0 +1,38 @@
+#include "comimo/phy/link_workspace.h"
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo {
+
+void LinkWorkspace::configure(const StbcCode& code, std::size_t mr) {
+  COMIMO_CHECK(mr >= 1, "need a receive antenna");
+  const std::size_t mt = code.num_tx();
+  const std::size_t tt = code.block_length();
+  const std::size_t kk = code.symbols_per_block();
+  h.resize(mr, mt);
+  encoded.resize(tt, mt);
+  received.resize(tt, mr);
+  symbols.assign(kk, cplx{0.0, 0.0});
+  estimates.assign(kk, cplx{0.0, 0.0});
+}
+
+void simulate_block(const StbcDecoder& decoder, LinkWorkspace& ws, Rng& rng) {
+  const StbcCode& code = decoder.code();
+  COMIMO_DCHECK(ws.h.cols() == code.num_tx() &&
+                    ws.encoded.rows() == code.block_length() &&
+                    ws.received.rows() == code.block_length() &&
+                    ws.received.cols() == ws.h.rows() &&
+                    ws.symbols.size() == code.symbols_per_block() &&
+                    ws.estimates.size() == code.symbols_per_block(),
+                "workspace not configured for this code/mr");
+  random_gaussian_into(ws.h, rng);
+  code.encode_into(ws.symbols, ws.encoded);
+  // received(t, j) = Σ_i encoded(t, i)·h(j, i): the same accumulation
+  // order as the historical per-block loop, so sums round identically.
+  multiply_transposed_into(ws.encoded, ws.h, ws.received);
+  add_scaled_noise_into(ws.received, rng, 1.0);
+  decoder.decode_into(ws.h, ws.received, ws.estimates, ws.decode_scratch);
+}
+
+}  // namespace comimo

@@ -1,0 +1,58 @@
+// Per-chunk arena for the batched link kernel.
+//
+// The per-block PHY path (draw channel → encode → propagate → add noise
+// → ML decode) used to allocate every buffer per block.  A LinkWorkspace
+// owns all of those buffers once per Monte-Carlo chunk; configure()
+// shapes them with assign()/resize(), which reuse capacity, so the
+// steady-state loop performs zero heap allocations once the workspace
+// has seen its largest shape.  Every buffer is fully overwritten per
+// block — reuse can never read stale state from a previous block, which
+// tests/test_link_workspace.cpp checks across varying antenna counts.
+//
+// simulate_block() is the bit-identical in-place composition of the
+// allocating path in phy/ber_sweep.cpp: the RNG draw order (channel
+// row-major, then noise row-major) and the accumulation order of the
+// propagation sum are preserved exactly, so golden BER tables from the
+// allocating era keep matching.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comimo/numeric/cmatrix.h"
+#include "comimo/phy/modulation.h"
+#include "comimo/phy/stbc.h"
+
+namespace comimo {
+
+class Rng;
+
+/// All per-block buffers of one simulated STBC link, reusable across
+/// blocks and across (mt, mr) shapes.  Plain aggregate: callers fill
+/// `symbols` (and optionally the bit staging areas), call
+/// simulate_block(), and read `estimates` back.
+struct LinkWorkspace {
+  CMatrix h;         ///< mr × mt channel draw
+  CMatrix encoded;   ///< T × mt transmitted block
+  CMatrix received;  ///< T × mr received block
+  std::vector<cplx> symbols;    ///< K symbols to transmit (caller-filled)
+  std::vector<cplx> estimates;  ///< K decoded soft estimates
+  BitVec bits;     ///< staging for the source bits of a block
+  BitVec decoded;  ///< staging for demodulated bits
+  StbcDecodeScratch decode_scratch;
+
+  /// Shapes every buffer for `code` over an mr-antenna receiver.
+  /// Idempotent and cheap when the shape is unchanged; growing to a new
+  /// largest shape is the only point that may allocate.
+  void configure(const StbcCode& code, std::size_t mr);
+};
+
+/// Runs one block through the link: fresh i.i.d. Rayleigh channel into
+/// ws.h, ws.symbols encoded into ws.encoded, propagated into
+/// ws.received, unit-variance AWGN added, ML decode into ws.estimates.
+/// ws must be configure()d for decoder.code() and the intended mr
+/// (ws.h's row count).  Consumes RNG draws in the exact order of the
+/// historical allocating path.
+void simulate_block(const StbcDecoder& decoder, LinkWorkspace& ws, Rng& rng);
+
+}  // namespace comimo

@@ -17,24 +17,21 @@ unsigned gray_decode(unsigned g) noexcept {
 
 BpskModulator::BpskModulator() : points_{cplx{1.0, 0.0}, cplx{-1.0, 0.0}} {}
 
-std::vector<cplx> BpskModulator::modulate(
-    std::span<const std::uint8_t> bits) const {
-  std::vector<cplx> out;
-  out.reserve(bits.size());
-  for (const auto bit : bits) {
-    COMIMO_DCHECK(bit <= 1, "bits must be 0/1");
-    out.push_back(points_[bit]);
+void BpskModulator::modulate_into(std::span<const std::uint8_t> bits,
+                                  std::vector<cplx>& out) const {
+  out.resize(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    COMIMO_DCHECK(bits[i] <= 1, "bits must be 0/1");
+    out[i] = points_[bits[i]];
   }
-  return out;
 }
 
-BitVec BpskModulator::demodulate(std::span<const cplx> symbols) const {
-  BitVec out;
-  out.reserve(symbols.size());
-  for (const auto& s : symbols) {
-    out.push_back(s.real() < 0.0 ? std::uint8_t{1} : std::uint8_t{0});
+void BpskModulator::demodulate_into(std::span<const cplx> symbols,
+                                    BitVec& out) const {
+  out.resize(symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    out[i] = symbols[i].real() < 0.0 ? std::uint8_t{1} : std::uint8_t{0};
   }
-  return out;
 }
 
 namespace {
@@ -81,12 +78,12 @@ QamModulator::QamModulator(int bits_per_symbol) : b_(bits_per_symbol) {
   for (auto& p : points_) p *= scale;
 }
 
-std::vector<cplx> QamModulator::modulate(
-    std::span<const std::uint8_t> bits) const {
+void QamModulator::modulate_into(std::span<const std::uint8_t> bits,
+                                 std::vector<cplx>& out) const {
   COMIMO_CHECK(bits.size() % static_cast<std::size_t>(b_) == 0,
                "bit count must be a multiple of bits_per_symbol");
-  std::vector<cplx> out;
-  out.reserve(bits.size() / static_cast<std::size_t>(b_));
+  out.resize(bits.size() / static_cast<std::size_t>(b_));
+  std::size_t s = 0;
   for (std::size_t i = 0; i < bits.size(); i += static_cast<std::size_t>(b_)) {
     unsigned label = 0;
     for (int k = 0; k < b_; ++k) {
@@ -94,9 +91,8 @@ std::vector<cplx> QamModulator::modulate(
                     "bits must be 0/1");
       label = (label << 1) | bits[i + static_cast<std::size_t>(k)];
     }
-    out.push_back(points_[label]);
+    out[s++] = points_[label];
   }
-  return out;
 }
 
 std::size_t QamModulator::nearest_point(cplx r) const {
@@ -112,16 +108,16 @@ std::size_t QamModulator::nearest_point(cplx r) const {
   return best;
 }
 
-BitVec QamModulator::demodulate(std::span<const cplx> symbols) const {
-  BitVec out;
-  out.reserve(symbols.size() * static_cast<std::size_t>(b_));
+void QamModulator::demodulate_into(std::span<const cplx> symbols,
+                                   BitVec& out) const {
+  out.resize(symbols.size() * static_cast<std::size_t>(b_));
+  std::size_t w = 0;
   for (const auto& s : symbols) {
     const auto label = static_cast<unsigned>(nearest_point(s));
     for (int k = b_ - 1; k >= 0; --k) {
-      out.push_back(static_cast<std::uint8_t>((label >> k) & 1u));
+      out[w++] = static_cast<std::uint8_t>((label >> k) & 1u);
     }
   }
-  return out;
 }
 
 std::unique_ptr<Modulator> make_modulator(int bits_per_symbol) {

@@ -25,14 +25,30 @@ class Modulator {
 
   [[nodiscard]] virtual int bits_per_symbol() const noexcept = 0;
 
-  /// Maps bits to symbols; the bit count must be a multiple of
-  /// bits_per_symbol().
-  [[nodiscard]] virtual std::vector<cplx> modulate(
-      std::span<const std::uint8_t> bits) const = 0;
+  /// Maps bits into `out` (resized to bits.size() / bits_per_symbol());
+  /// the bit count must be a multiple of bits_per_symbol().  Repeated
+  /// calls at the same size reuse the vector's capacity — the
+  /// workspace-friendly primitive the allocating wrapper is built on.
+  virtual void modulate_into(std::span<const std::uint8_t> bits,
+                             std::vector<cplx>& out) const = 0;
 
-  /// Coherent minimum-distance hard demapping (channel assumed equalized).
-  [[nodiscard]] virtual BitVec demodulate(
-      std::span<const cplx> symbols) const = 0;
+  /// Coherent minimum-distance hard demapping into `out` (channel
+  /// assumed equalized); `out` is overwritten, capacity reused.
+  virtual void demodulate_into(std::span<const cplx> symbols,
+                               BitVec& out) const = 0;
+
+  /// Allocating convenience wrappers over the *_into primitives.
+  [[nodiscard]] std::vector<cplx> modulate(
+      std::span<const std::uint8_t> bits) const {
+    std::vector<cplx> out;
+    modulate_into(bits, out);
+    return out;
+  }
+  [[nodiscard]] BitVec demodulate(std::span<const cplx> symbols) const {
+    BitVec out;
+    demodulate_into(symbols, out);
+    return out;
+  }
 
   /// The constellation points in bit-label order (index = Gray-coded
   /// integer formed by the symbol's bits, MSB first).
@@ -46,9 +62,10 @@ class BpskModulator final : public Modulator {
   BpskModulator();
 
   [[nodiscard]] int bits_per_symbol() const noexcept override { return 1; }
-  [[nodiscard]] std::vector<cplx> modulate(
-      std::span<const std::uint8_t> bits) const override;
-  [[nodiscard]] BitVec demodulate(std::span<const cplx> symbols) const override;
+  void modulate_into(std::span<const std::uint8_t> bits,
+                     std::vector<cplx>& out) const override;
+  void demodulate_into(std::span<const cplx> symbols,
+                       BitVec& out) const override;
   [[nodiscard]] const std::vector<cplx>& constellation()
       const noexcept override {
     return points_;
@@ -66,9 +83,10 @@ class QamModulator final : public Modulator {
   explicit QamModulator(int bits_per_symbol);
 
   [[nodiscard]] int bits_per_symbol() const noexcept override { return b_; }
-  [[nodiscard]] std::vector<cplx> modulate(
-      std::span<const std::uint8_t> bits) const override;
-  [[nodiscard]] BitVec demodulate(std::span<const cplx> symbols) const override;
+  void modulate_into(std::span<const std::uint8_t> bits,
+                     std::vector<cplx>& out) const override;
+  void demodulate_into(std::span<const cplx> symbols,
+                       BitVec& out) const override;
   [[nodiscard]] const std::vector<cplx>& constellation()
       const noexcept override {
     return points_;

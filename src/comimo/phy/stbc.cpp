@@ -109,6 +109,15 @@ StbcCode StbcCode::for_antennas(std::size_t num_tx) {
 CMatrix StbcCode::encode(std::span<const cplx> symbols) const {
   COMIMO_CHECK(symbols.size() == k_, "encode needs exactly K symbols");
   CMatrix out(t_, num_tx_);
+  encode_into(symbols, out);
+  return out;
+}
+
+void StbcCode::encode_into(std::span<const cplx> symbols,
+                           CMatrixView out) const {
+  COMIMO_DCHECK(symbols.size() == k_, "encode needs exactly K symbols");
+  COMIMO_DCHECK(out.rows() == t_ && out.cols() == num_tx_,
+                "encode_into output must be T × num_tx");
   for (std::size_t t = 0; t < t_; ++t) {
     for (std::size_t i = 0; i < num_tx_; ++i) {
       cplx v{0.0, 0.0};
@@ -119,7 +128,6 @@ CMatrix StbcCode::encode(std::span<const cplx> symbols) const {
       out(t, i) = v * power_scale_;
     }
   }
-  return out;
 }
 
 double StbcCode::symbol_weight() const {
@@ -168,14 +176,32 @@ std::vector<cplx> StbcDecoder::decode(const CMatrix& h,
   COMIMO_CHECK(h.cols() == mt, "channel must have num_tx columns");
   COMIMO_CHECK(received.rows() == tt, "received block length mismatch");
   COMIMO_CHECK(received.cols() == h.rows(), "received antennas mismatch");
+  StbcDecodeScratch scratch;
+  std::vector<cplx> symbols(kk);
+  decode_into(h, received, symbols, scratch);
+  return symbols;
+}
+
+void StbcDecoder::decode_into(ConstCMatrixView h, ConstCMatrixView received,
+                              std::span<cplx> out_symbols,
+                              StbcDecodeScratch& scratch) const {
+  const std::size_t mt = code_.num_tx();
+  const std::size_t tt = code_.block_length();
+  const std::size_t kk = code_.symbols_per_block();
+  COMIMO_DCHECK(h.cols() == mt, "channel must have num_tx columns");
+  COMIMO_DCHECK(received.rows() == tt, "received block length mismatch");
+  COMIMO_DCHECK(received.cols() == h.rows(), "received antennas mismatch");
+  COMIMO_DCHECK(out_symbols.size() == kk, "decode_into needs K output slots");
   const std::size_t mr = h.rows();
   const double ps = code_.power_scale();
 
   // Real expansion: y = F x + n with x = [Re s_0, Im s_0, ...].
   const std::size_t rows = 2 * tt * mr;
   const std::size_t cols = 2 * kk;
-  std::vector<double> f(rows * cols, 0.0);
-  std::vector<double> y(rows, 0.0);
+  std::vector<double>& f = scratch.f;
+  std::vector<double>& y = scratch.y;
+  f.assign(rows * cols, 0.0);
+  y.assign(rows, 0.0);
   for (std::size_t t = 0; t < tt; ++t) {
     for (std::size_t j = 0; j < mr; ++j) {
       const std::size_t row_re = 2 * (t * mr + j);
@@ -202,8 +228,10 @@ std::vector<cplx> StbcDecoder::decode(const CMatrix& h,
 
   // Normal equations (F^T F) x = F^T y; for orthogonal designs F^T F is
   // ps²‖H‖²_F·I but we solve generally for robustness.
-  CMatrix gram(cols, cols);
-  std::vector<cplx> rhs(cols, cplx{0.0, 0.0});
+  CMatrix& gram = scratch.gram;
+  gram.resize(cols, cols);
+  std::vector<cplx>& rhs = scratch.rhs;
+  rhs.assign(cols, cplx{0.0, 0.0});
   for (std::size_t c1 = 0; c1 < cols; ++c1) {
     for (std::size_t c2 = c1; c2 < cols; ++c2) {
       double dot = 0.0;
@@ -219,13 +247,12 @@ std::vector<cplx> StbcDecoder::decode(const CMatrix& h,
     }
     rhs[c1] = dot_y;
   }
-  const std::vector<cplx> x = gram.solve(rhs);
+  gram.solve_into(rhs, scratch.x, scratch.solve_work);
+  const std::vector<cplx>& x = scratch.x;
 
-  std::vector<cplx> symbols(kk);
   for (std::size_t k = 0; k < kk; ++k) {
-    symbols[k] = cplx{x[2 * k].real(), x[2 * k + 1].real()};
+    out_symbols[k] = cplx{x[2 * k].real(), x[2 * k + 1].real()};
   }
-  return symbols;
 }
 
 double StbcDecoder::combining_gain(const CMatrix& h) const {

@@ -64,6 +64,12 @@ class StbcCode {
   /// (row = time slot, column = antenna), including the power scale.
   [[nodiscard]] CMatrix encode(std::span<const cplx> symbols) const;
 
+  /// Allocation-free encode: writes the T × num_tx block into `out`
+  /// (which must already have that shape).  Every element is written,
+  /// so a reused workspace buffer cannot leak a previous block.
+  /// Bit-identical to encode().
+  void encode_into(std::span<const cplx> symbols, CMatrixView out) const;
+
   /// Verifies the orthogonality property  C^H C = (Σ|s_k|²)·I  up to
   /// tolerance, for property tests.
   [[nodiscard]] bool is_orthogonal_design(double tol = 1e-9) const;
@@ -104,6 +110,20 @@ inline constexpr std::size_t kMaxStbcTx = 4;
   return clamped > 1 ? clamped - 1 : 1;
 }
 
+/// Reusable scratch for StbcDecoder::decode_into: the real-expansion
+/// design matrix, the normal equations, and the elimination workspace.
+/// All buffers are assign()-ed per decode, so one scratch serves blocks
+/// of any (and varying) antenna configuration, allocation-free once it
+/// has seen the largest shape.
+struct StbcDecodeScratch {
+  std::vector<double> f;  ///< 2TMr × 2K real design matrix
+  std::vector<double> y;  ///< 2TMr real received vector
+  CMatrix gram;           ///< F^T F (2K × 2K)
+  std::vector<cplx> rhs;  ///< F^T y
+  std::vector<cplx> x;    ///< solution of the normal equations
+  std::vector<cplx> solve_work;  ///< elimination copy inside solve_into
+};
+
 /// ML decoder for an orthogonal design over an mr-antenna receiver.
 class StbcDecoder {
  public:
@@ -116,6 +136,14 @@ class StbcDecoder {
   /// estimates equal the transmitted symbols).
   [[nodiscard]] std::vector<cplx> decode(const CMatrix& h,
                                          const CMatrix& received) const;
+
+  /// Allocation-free decode: the K symbol estimates land in
+  /// `out_symbols` (size K) and all intermediates live in `scratch`.
+  /// Bit-identical to decode(); shape checks are debug-only (the
+  /// allocating wrapper keeps the throwing checks).
+  void decode_into(ConstCMatrixView h, ConstCMatrixView received,
+                   std::span<cplx> out_symbols,
+                   StbcDecodeScratch& scratch) const;
 
   /// Effective post-combining amplitude gain for channel h — equal to
   /// power_scale·‖H‖²_F for orthogonal designs; exposed for tests and

@@ -1,12 +1,15 @@
 #include "comimo/resilience/resilient_sim.h"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 #include "comimo/common/error.h"
 #include "comimo/net/hop_scheduler.h"
 #include "comimo/numeric/rng.h"
 #include "comimo/phy/stbc.h"
 #include "comimo/resilience/recovery.h"
+#include "comimo/underlay/cooperative_hop.h"
 
 namespace comimo {
 
@@ -20,6 +23,10 @@ void finalize(ResilienceReport& r) {
           : 0.0;
   r.goodput_bps = r.total_time_s > 0.0 ? r.delivered_bits / r.total_time_s
                                        : 0.0;
+  r.waveform_hop_ber =
+      r.waveform_bits ? static_cast<double>(r.waveform_bit_errors) /
+                            static_cast<double>(r.waveform_bits)
+                      : 0.0;
 }
 
 }  // namespace
@@ -51,6 +58,35 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
   double t = 0.0;
   bool topology_dirty = false;
   std::size_t next_death = 0;
+
+  // Observational waveform probe: each distinct hop operating point is
+  // measured once through the batched link kernel and the measurement
+  // reused on every later hop that lands on the same point.  The probe
+  // never touches the traffic/fault RNG streams or the timing and
+  // energy ledgers, so legacy report fields are bit-identical whether
+  // the probe runs or not.  (run_trials inside measure_plan_ber
+  // degrades to serial when this simulation itself runs on a pool
+  // worker, so nesting is safe.)
+  std::map<std::tuple<int, unsigned, unsigned, double>, PlanBerMeasurement>
+      waveform_cache;
+  const auto probe_waveform = [&](const UnderlayHopPlan& hop_plan) {
+    if (config.waveform_blocks == 0) return;
+    const auto key = std::make_tuple(hop_plan.b, hop_plan.config.mt,
+                                     hop_plan.config.mr, hop_plan.ebar);
+    auto it = waveform_cache.find(key);
+    if (it == waveform_cache.end()) {
+      const std::uint64_t probe_seed =
+          config.waveform_seed + waveform_cache.size() + 1;
+      it = waveform_cache
+               .emplace(key, measure_plan_ber(hop_plan,
+                                              config.waveform_blocks,
+                                              probe_seed, params))
+               .first;
+    }
+    ++report.waveform_hops;
+    report.waveform_bits += it->second.bits;
+    report.waveform_bit_errors += it->second.bit_errors;
+  };
 
   // Marks `id` dead, recording whether a cluster head just failed.
   const auto kill = [&](NodeId id) {
@@ -117,6 +153,7 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
             ++report.stbc_degradations;
           }
           hop.plan = planner.replan_shrunk(hop.plan, mt, mr);
+          probe_waveform(hop.plan);
           const auto tx = hop_participants(world.clusters()[hop.from],
                                            hop.plan.config.mt);
           const auto rx = hop_participants(world.clusters()[hop.to],

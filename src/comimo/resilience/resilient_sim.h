@@ -35,6 +35,15 @@ struct ResilienceConfig {
   std::uint64_t traffic_seed = 1;
   FaultConfig faults{};  ///< off by default: the zero-fault happy path
   ArqConfig arq{};
+
+  /// When > 0, the final operating point of every routed hop is also
+  /// pushed through the waveform link kernel (measure_plan_ber) for
+  /// this many STBC blocks, cached per distinct (b, mt, mr, ē_b).
+  /// Purely observational: the probe draws from its own seed family and
+  /// leaves every legacy report field bit-identical to a run with the
+  /// probe off.
+  std::size_t waveform_blocks = 0;
+  std::uint64_t waveform_seed = 0x5EED;
 };
 
 /// Everything the recovery machinery did, plus what it cost.  The
@@ -63,6 +72,12 @@ struct ResilienceReport {
 
   double energy_spent_j = 0.0;
   double retransmit_energy_j = 0.0;  ///< the recovery overhead share
+
+  // Waveform probe aggregates — all zero unless waveform_blocks > 0:
+  std::size_t waveform_hops = 0;  ///< hops probed (cache hits included)
+  std::size_t waveform_bits = 0;
+  std::size_t waveform_bit_errors = 0;
+  double waveform_hop_ber = 0.0;  ///< pooled probe BER across hops
 
   friend bool operator==(const ResilienceReport&,
                          const ResilienceReport&) = default;

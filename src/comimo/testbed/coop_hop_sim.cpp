@@ -1,6 +1,8 @@
 #include "comimo/testbed/coop_hop_sim.h"
 
 #include <cmath>
+#include <optional>
+#include <span>
 
 #include "comimo/channel/awgn.h"
 #include "comimo/common/error.h"
@@ -8,12 +10,28 @@
 #include "comimo/common/units.h"
 #include "comimo/numeric/rng.h"
 #include "comimo/phy/detector.h"
+#include "comimo/phy/link_workspace.h"
 #include "comimo/phy/modulation.h"
 #include "comimo/phy/stbc.h"
 
 namespace comimo {
 
 namespace {
+
+/// Per-worker buffer arena for the hop simulation: the PHY-level
+/// LinkWorkspace plus the hop-level staging the cooperative protocol
+/// needs (per-antenna belief streams carry *different* symbols after
+/// noisy intra-cluster decoding, so the long haul encodes per antenna
+/// instead of through StbcCode::encode_into).  Every buffer is fully
+/// overwritten per block before being read.
+struct HopScratch {
+  LinkWorkspace link;
+  std::vector<std::vector<cplx>> antenna_syms;  ///< per-antenna symbols
+  std::vector<BitVec> antenna_bits;             ///< per-antenna beliefs
+  std::vector<cplx> local_syms;  ///< head-broadcast symbols
+  std::vector<cplx> rx;          ///< noisy local copy per co-transmitter
+  BitVec decoded_all;            ///< long-haul output of one attempt
+};
 
 /// Pushes `payload` through one hop; returns the bits the receiving
 /// head decodes and fills the result's error statistics relative to
@@ -47,6 +65,15 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
   const std::size_t kk = code.symbols_per_block();
   const std::size_t bits_per_block = kk * static_cast<std::size_t>(plan.b);
 
+  // Decoders are immutable and shared across blocks; build them once per
+  // hop instead of once per block.  The fault path can drop one
+  // co-transmitter, so the degraded design is prebuilt as well.
+  const StbcDecoder decoder_full{code};
+  std::optional<StbcDecoder> decoder_degraded;
+  if (faults.enabled && mt > 1) {
+    decoder_degraded.emplace(StbcCode::for_antennas(mt - 1));
+  }
+
   const SystemParams params{};  // the plan's ē_b already encodes p, b, m
   const double local_noise_var = db_to_linear(-local_snr_db);
 
@@ -59,65 +86,75 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
   // weight so the *per-bit* received energy equals ē_b.  Degraded
   // blocks chunk into the smaller code's sub-blocks (K divides evenly
   // down the whole G4 → G3 → Alamouti → SISO ladder).
-  const auto long_haul = [&](unsigned mt_use,
-                             const std::vector<BitVec>& antenna_bits,
-                             Rng& channel_rng, AwgnChannel& long_haul_noise,
+  const auto long_haul = [&](const StbcDecoder& decoder_use,
+                             HopScratch& scratch, Rng& channel_rng,
+                             AwgnChannel& long_haul_noise,
                              AwgnChannel& local_noise) {
-    const StbcCode code_use = StbcCode::for_antennas(mt_use);
-    const StbcDecoder decoder_use(code_use);
+    const StbcCode& code_use = decoder_use.code();
+    const auto mt_use = static_cast<unsigned>(code_use.num_tx());
     const std::size_t k_use = code_use.symbols_per_block();
+    const std::size_t t_use = code_use.block_length();
     const std::size_t sub_bits = k_use * static_cast<std::size_t>(plan.b);
     const double sym_scale =
         std::sqrt(static_cast<double>(plan.b) * plan.ebar /
                   params.n0_w_per_hz / code_use.symbol_weight());
-    BitVec decoded_all;
-    decoded_all.reserve(antenna_bits[0].size());
+    LinkWorkspace& ws = scratch.link;
+    ws.configure(code_use, mr);
+    if (scratch.antenna_syms.size() < mt_use) {
+      scratch.antenna_syms.resize(mt_use);
+    }
+    const std::vector<BitVec>& antenna_bits = scratch.antenna_bits;
+    BitVec& decoded_all = scratch.decoded_all;
+    decoded_all.clear();
     for (std::size_t sub = 0; sub < antenna_bits[0].size(); sub += sub_bits) {
       // --- Step 2: every antenna encodes its own belief; the receive
       // cluster observes the superposition through H plus unit noise.
-      std::vector<std::vector<cplx>> antenna_syms(mt_use);
       for (unsigned i = 0; i < mt_use; ++i) {
-        const BitVec piece(
-            antenna_bits[i].begin() + static_cast<std::ptrdiff_t>(sub),
-            antenna_bits[i].begin() +
-                static_cast<std::ptrdiff_t>(sub + sub_bits));
-        antenna_syms[i] = modem->modulate(piece);
-        for (auto& v : antenna_syms[i]) v *= sym_scale;
+        std::vector<cplx>& syms = scratch.antenna_syms[i];
+        modem->modulate_into(std::span<const std::uint8_t>(antenna_bits[i])
+                                 .subspan(sub, sub_bits),
+                             syms);
+        for (auto& v : syms) v *= sym_scale;
       }
-      const CMatrix h = CMatrix::random_gaussian(mr, mt_use, channel_rng);
-      CMatrix received(code_use.block_length(), mr);
-      for (std::size_t t = 0; t < code_use.block_length(); ++t) {
-        for (unsigned j = 0; j < mr; ++j) {
-          cplx acc{0.0, 0.0};
-          for (unsigned i = 0; i < mt_use; ++i) {
-            cplx c_ti{0.0, 0.0};
-            for (std::size_t k = 0; k < k_use; ++k) {
-              c_ti += code_use.coeff_a(t, i, k) * antenna_syms[i][k] +
-                      code_use.coeff_b(t, i, k) *
-                          std::conj(antenna_syms[i][k]);
-            }
-            acc += c_ti * code_use.power_scale() * h(j, i);
+      random_gaussian_into(ws.h, channel_rng);
+      // Every antenna column carries its own (possibly mis-decoded)
+      // belief, so the block is assembled per antenna instead of via
+      // encode_into; products associate exactly as the historical
+      // inline loop, so sums round identically.
+      for (std::size_t t = 0; t < t_use; ++t) {
+        for (unsigned i = 0; i < mt_use; ++i) {
+          cplx c_ti{0.0, 0.0};
+          for (std::size_t k = 0; k < k_use; ++k) {
+            c_ti += code_use.coeff_a(t, i, k) * scratch.antenna_syms[i][k] +
+                    code_use.coeff_b(t, i, k) *
+                        std::conj(scratch.antenna_syms[i][k]);
           }
-          received(t, j) = acc + long_haul_noise.sample();
+          ws.encoded(t, i) = c_ti * code_use.power_scale();
+        }
+      }
+      multiply_transposed_into(ws.encoded, ws.h, ws.received);
+      for (std::size_t t = 0; t < t_use; ++t) {
+        for (unsigned j = 0; j < mr; ++j) {
+          ws.received(t, j) += long_haul_noise.sample();
         }
       }
 
       // --- Step 3: non-head receivers forward raw samples to the head
       // over local links (analog forwarding adds local noise); the head
-      // then joint-decodes.
-      CMatrix at_head = received;
+      // then joint-decodes in place.
       for (unsigned j = 1; j < mr; ++j) {
-        for (std::size_t t = 0; t < code_use.block_length(); ++t) {
-          at_head(t, j) += local_noise.sample() * sym_scale;
+        for (std::size_t t = 0; t < t_use; ++t) {
+          ws.received(t, j) += local_noise.sample() * sym_scale;
         }
       }
 
-      std::vector<cplx> est = decoder_use.decode(h, at_head);
-      for (auto& v : est) v /= sym_scale;
-      const BitVec decoded = modem->demodulate(est);
-      decoded_all.insert(decoded_all.end(), decoded.begin(), decoded.end());
+      decoder_use.decode_into(ws.h, ws.received, ws.estimates,
+                              ws.decode_scratch);
+      for (auto& v : ws.estimates) v /= sym_scale;
+      modem->demodulate_into(ws.estimates, ws.decoded);
+      decoded_all.insert(decoded_all.end(), ws.decoded.begin(),
+                         ws.decoded.end());
     }
-    return decoded_all;
   };
 
   const BitVec padded = pad_to_multiple(payload, bits_per_block);
@@ -134,6 +171,9 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
 
   const auto run_block = [&](std::size_t blk) {
     BlockOut& slot = outs[blk];
+    // One arena per worker thread, reused for every block the thread
+    // executes; each block fully overwrites what it reads.
+    thread_local HopScratch scratch;
     // Counter-based per-block streams: three data streams keyed off
     // `seed` plus a fault stream keyed off `faults.seed` — each a pure
     // function of the block index, independent of scheduling.
@@ -143,41 +183,39 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
     Rng fault_rng(faults.seed, 0xFA000 + blk);
 
     const std::size_t off = blk * bits_per_block;
-    const BitVec bits(padded.begin() + static_cast<std::ptrdiff_t>(off),
-                      padded.begin() +
-                          static_cast<std::ptrdiff_t>(off + bits_per_block));
+    const std::span<const std::uint8_t> bits(padded.data() + off,
+                                             bits_per_block);
 
     // --- Step 1: head broadcast; each co-transmitter decodes its own
     // noisy copy (the head itself holds the true bits).
-    std::vector<BitVec> antenna_bits(mt, bits);
+    if (scratch.antenna_bits.size() < mt) scratch.antenna_bits.resize(mt);
+    scratch.antenna_bits[0].assign(bits.begin(), bits.end());
     if (mt > 1) {
-      const std::vector<cplx> local_syms = modem->modulate(bits);
+      modem->modulate_into(bits, scratch.local_syms);
       for (unsigned i = 1; i < mt; ++i) {
-        std::vector<cplx> rx = local_syms;
-        local_noise.apply(rx);
-        antenna_bits[i] = modem->demodulate(rx);
-        slot.intra_errors += count_bit_errors(bits, antenna_bits[i]);
+        scratch.rx.assign(scratch.local_syms.begin(),
+                          scratch.local_syms.end());
+        local_noise.apply(scratch.rx);
+        modem->demodulate_into(scratch.rx, scratch.antenna_bits[i]);
+        slot.intra_errors += count_bit_errors(bits, scratch.antenna_bits[i]);
         slot.intra_bits += bits.size();
       }
     }
 
-    BitVec decoded;
     if (!faults.enabled) {
-      decoded =
-          long_haul(mt, antenna_bits, channel_rng, long_haul_noise,
-                    local_noise);
+      long_haul(decoder_full, scratch, channel_rng, long_haul_noise,
+                local_noise);
     } else {
-      unsigned mt_use = mt;
-      if (blk >= faults.dropout_block && mt > 1) {
-        mt_use = mt - 1;
-        ++slot.res.degraded_blocks;
-      }
+      const bool degrade = blk >= faults.dropout_block && mt > 1;
+      if (degrade) ++slot.res.degraded_blocks;
       ++slot.res.blocks;
+      const StbcDecoder& decoder_use =
+          degrade ? *decoder_degraded : decoder_full;
       bool got_through = false;
       unsigned attempts = 0;
       while (attempts < faults.max_attempts) {
-        decoded = long_haul(mt_use, antenna_bits, channel_rng,
-                            long_haul_noise, local_noise);
+        long_haul(decoder_use, scratch, channel_rng, long_haul_noise,
+                  local_noise);
         ++attempts;
         if (!fault_rng.bernoulli(faults.block_erasure_prob)) {
           got_through = true;
@@ -186,11 +224,12 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
       }
       if (attempts > 1) ++slot.res.retransmitted_blocks;
       if (!got_through) {
-        decoded.assign(bits_per_block, 0);  // the block never arrived
+        scratch.decoded_all.assign(bits_per_block, 0);  // never arrived
         ++slot.res.lost_blocks;
       }
     }
-    slot.decoded = std::move(decoded);
+    slot.decoded.assign(scratch.decoded_all.begin(),
+                        scratch.decoded_all.end());
   };
 
   parallel_for(pool ? *pool : ThreadPool::shared(), num_blocks, run_block);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "comimo/common/error.h"
+#include "comimo/common/units.h"
 
 namespace comimo {
 
@@ -109,6 +110,36 @@ UnderlayHopPlan UnderlayCooperativeHop::replan_shrunk(
     return plan;  // nothing dropped; keep the original plan verbatim
   }
   return this->plan(shrunk, rule);
+}
+
+PlanBerMeasurement measure_plan_ber(const UnderlayHopPlan& plan,
+                                    std::size_t blocks, std::uint64_t seed,
+                                    const SystemParams& params,
+                                    std::size_t chunk_size,
+                                    ThreadPool* pool) {
+  COMIMO_CHECK(plan.b >= 1 && plan.b <= 8, "plan must carry b in 1..8");
+  COMIMO_CHECK(plan.ebar > 0.0, "plan must carry a solved ebar");
+  COMIMO_CHECK(blocks >= 1, "need at least one block");
+  WaveformBerConfig cfg;
+  cfg.b = plan.b;
+  cfg.mt = static_cast<unsigned>(stbc_supported_tx(plan.config.mt));
+  cfg.mr = std::max(1u, plan.config.mr);
+  cfg.blocks = blocks;
+  cfg.seed = seed;
+  cfg.chunk_size = chunk_size;
+  cfg.pool = pool;
+  // The solver's ē_b is the per-branch received energy per bit; against
+  // the thermal floor N0 it is exactly the kernel's linear γ_b.
+  const double gamma_b = plan.ebar / params.n0_w_per_hz;
+  const WaveformBerPoint point =
+      measure_waveform_ber(cfg, linear_to_db(gamma_b));
+  PlanBerMeasurement out;
+  out.gamma_b_db = point.gamma_b_db;
+  out.ber = point.ber;
+  out.bits = point.bits;
+  out.bit_errors = point.bit_errors;
+  out.info = point.info;
+  return out;
 }
 
 }  // namespace comimo

@@ -13,9 +13,13 @@
 //   * total PA energy/bit across all SUs (Fig. 7's y axis).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "comimo/common/constants.h"
 #include "comimo/energy/local_energy.h"
 #include "comimo/energy/mimo_energy.h"
+#include "comimo/phy/ber_sweep.h"
 
 namespace comimo {
 
@@ -91,5 +95,24 @@ class UnderlayCooperativeHop {
   LocalEnergyModel local_;
   MimoEnergyModel mimo_;
 };
+
+/// Waveform-level verification of one planned hop.
+struct PlanBerMeasurement {
+  double gamma_b_db = 0.0;  ///< the plan's ē_b/N0 expressed in dB
+  double ber = 0.0;
+  std::size_t bits = 0;
+  std::size_t bit_errors = 0;
+  McRunInfo info;
+};
+
+/// Runs the plan's chosen operating point (b, mt, mr, ē_b) through the
+/// batched waveform link kernel: γ_b = ē_b/N0 per branch per bit, mt
+/// clamped to the supported STBC range.  Lets planners cross-check the
+/// analytic ē_b table against actual modulated blocks without leaving
+/// the underlay API.
+[[nodiscard]] PlanBerMeasurement measure_plan_ber(
+    const UnderlayHopPlan& plan, std::size_t blocks, std::uint64_t seed = 1,
+    const SystemParams& params = {}, std::size_t chunk_size = 0,
+    ThreadPool* pool = nullptr);
 
 }  // namespace comimo
