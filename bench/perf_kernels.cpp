@@ -442,8 +442,10 @@ int main(int argc, char** argv) {
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threads" || arg == "--trials") {
-      ++i;  // accepted-and-ignored common flags (kernel benches are serial)
+    if (arg == "--threads" || arg == "--trials" || arg == "--trace") {
+      ++i;  // value-taking common flags parse_bench_cli already consumed
+    } else if (arg == "--obs") {
+      // boolean flag, likewise already consumed
     } else {
       storage.push_back(arg);
     }

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Validate the structured bench output contract:
 #   1. every bench binary accepts --json <path> and writes valid JSON;
-#   2. comimo-bench-v1 emitters carry the required fields;
-#   3. for the engine-backed benches, the `metrics` objects are
-#      byte-identical between a serial run and a --threads 4 run — the
-#      mc/ engine's determinism contract, checked end to end.
+#   2. comimo-bench-v1 emitters carry the required fields, including a
+#      system-clock timestamp_unix_s (wall_s is steady_clock and cannot
+#      date a committed run);
+#   3. for the engine-backed benches (run with --obs), both the per-
+#      record `metrics` objects AND the envelope-level deterministic
+#      `metrics` block are identical between a serial run and a
+#      --threads 4 run — the mc/ engine's determinism contract plus the
+#      obs layer's chunk-ordered shard merge, checked end to end.
+#      (`metrics_runtime` — latencies, utilization — is exempt.)
 # perf_kernels emits comimo-bench-v1 in --json mode (the google-benchmark
 # micro-kernels still run when --json is absent) and additionally
 # guarantees allocs_per_block == 0 on the workspace records.
@@ -49,6 +54,11 @@ with open(sys.argv[1]) as f:
 assert d.get("schema") == "comimo-bench-v1", f"schema: {d.get('schema')!r}"
 assert isinstance(d.get("bench"), str) and d["bench"], "bench name missing"
 assert isinstance(d.get("threads"), int) and d["threads"] >= 1
+ts = d.get("timestamp_unix_s")
+assert isinstance(ts, int) and not isinstance(ts, bool), \
+    f"timestamp_unix_s missing or non-integer: {ts!r}"
+assert ts > 1704067200, \
+    f"timestamp_unix_s not a plausible system-clock date: {ts}"
 assert isinstance(d.get("wall_s"), (int, float)) and d["wall_s"] >= 0
 assert isinstance(d.get("records"), list) and d["records"], "no records"
 for r in d["records"]:
@@ -65,7 +75,13 @@ a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
 am = [(r["params"], r["metrics"]) for r in a["records"]]
 bm = [(r["params"], r["metrics"]) for r in b["records"]]
-assert am == bm, "serial vs parallel metrics differ"
+assert am == bm, "serial vs parallel record metrics differ"
+# Both runs used --obs, so the envelope must carry the deterministic
+# obs block, and it must be worker-count invariant.  metrics_runtime
+# (latencies, queue depths) is runtime domain and exempt by design.
+assert isinstance(a.get("metrics"), dict), "envelope metrics missing (--obs)"
+assert a["metrics"] == b["metrics"], \
+    "serial vs parallel envelope obs metrics differ"
 EOF
 }
 
@@ -74,11 +90,11 @@ fail=0
 for bench in "${DETERMINISM_BENCHES[@]}"; do
   bin="$BENCH_DIR/$bench"
   [ -x "$bin" ] || { echo "MISSING  $bench"; fail=1; continue; }
-  if ! "$bin" --json "$OUT_DIR/$bench.serial.json" --threads 1 \
+  if ! "$bin" --json "$OUT_DIR/$bench.serial.json" --threads 1 --obs \
       > /dev/null 2>&1; then
     echo "RUN FAIL $bench (serial)"; fail=1; continue
   fi
-  if ! "$bin" --json "$OUT_DIR/$bench.par.json" --threads 4 \
+  if ! "$bin" --json "$OUT_DIR/$bench.par.json" --threads 4 --obs \
       > /dev/null 2>&1; then
     echo "RUN FAIL $bench (--threads 4)"; fail=1; continue
   fi
@@ -89,7 +105,7 @@ for bench in "${DETERMINISM_BENCHES[@]}"; do
   then
     echo "DIVERGED $bench (1 vs 4 threads)"; fail=1; continue
   fi
-  echo "OK       $bench (schema + thread-count invariance)"
+  echo "OK       $bench (schema + thread-count invariance, records + obs)"
 done
 
 for bench in "${SCHEMA_ONLY_BENCHES[@]}"; do
@@ -122,6 +138,27 @@ for r in ws:
     echo "OK       perf_kernels (schema + zero-alloc workspace path)"
   else
     echo "FAIL     perf_kernels"; fail=1
+  fi
+  # With the obs layer *enabled* the steady state must stay allocation
+  # free too: counter adds are relaxed fetch-adds into preregistered
+  # cells, and registration happens during warmup.
+  if "$BENCH_DIR/perf_kernels" --json "$OUT_DIR/perf_kernels.obs.json" \
+      --trials 2000 --obs > /dev/null 2>&1 \
+    && python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert isinstance(d.get("metrics"), dict), "no envelope obs metrics"
+assert d["metrics"]["counters"].get("phy.link_blocks", 0) > 0, \
+    "obs enabled but phy.link_blocks never counted"
+ws = [r for r in d["records"] if r["params"].get("path") == "workspace"]
+for r in ws:
+    assert r["metrics"]["allocs_per_block"] == 0, \
+        f"workspace path allocates with obs enabled: {r}"' \
+      "$OUT_DIR/perf_kernels.obs.json"
+  then
+    echo "OK       perf_kernels (--obs: metrics embedded, still zero-alloc)"
+  else
+    echo "FAIL     perf_kernels (--obs)"; fail=1
   fi
 else
   echo "MISSING  perf_kernels"; fail=1

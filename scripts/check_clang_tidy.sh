@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy with the bugprone-* and performance-*
+# check groups over the library sources, using the compile commands from
+# a dedicated configure (compile_commands.json).
+#
+# The tool is optional tooling, not a build dependency: when clang-tidy
+# is not installed the gate reports SKIPPED and exits 0, so ci.sh keeps
+# working on minimal containers.  Findings in the checked groups are
+# errors (exit 1).
+#
+# Usage: scripts/check_clang_tidy.sh [build-dir]   (default: build-tidy)
+#        CLANG_TIDY=<binary> to select a specific version.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tidy}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "clang-tidy gate: SKIPPED ($TIDY not installed in this environment)"
+  exit 0
+fi
+
+echo "== clang-tidy: $("$TIDY" --version | head -n 1) =="
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DCOMIMO_BUILD_BENCH=OFF \
+  -DCOMIMO_BUILD_EXAMPLES=OFF > /dev/null
+
+CHECKS='-*,bugprone-*,performance-*'
+mapfile -t SOURCES < <(find src/comimo -name '*.cpp' | sort)
+
+fail=0
+for src in "${SOURCES[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" \
+      --checks="$CHECKS" \
+      --warnings-as-errors="$CHECKS" \
+      --quiet "$src" 2> /dev/null; then
+    echo "TIDY FAIL $src"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "clang-tidy gate: FAILED" >&2
+  exit 1
+fi
+echo "clang-tidy gate: all ${#SOURCES[@]} sources clean"

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Observability overhead gate, two guarantees:
+#
+#   1. The compile-time kill switch works: a -DCOMIMO_OBS=OFF tree
+#      builds and its perf_kernels passes the zero-alloc check — every
+#      obs call site compiles to a no-op.
+#   2. Compiled in but runtime-disabled (the default), the obs layer
+#      costs <= OBS_OVERHEAD_PCT on the link-kernel hot path.  Both
+#      builds run back to back on the same machine, best-of-N per side,
+#      because a committed cross-machine baseline cannot resolve 1%.
+#
+# The committed BENCH_link_kernel.json trajectory stays the cross-PR
+# reference for gross regressions; this gate isolates the obs delta.
+#
+# Usage: scripts/check_obs_overhead.sh [build-dir]   (default: build)
+#        OBS_OVERHEAD_PCT=<float>  tolerance in percent (default 1.0,
+#                                  per-shape; the acceptance criterion)
+#        OBS_BENCH_TRIALS=<n>      blocks per measurement (default 20000)
+#        OBS_BENCH_REPS=<n>        repetitions, best kept (default 3)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OFF_DIR="${BUILD_DIR}-obsoff"
+PCT="${OBS_OVERHEAD_PCT:-1.0}"
+TRIALS="${OBS_BENCH_TRIALS:-20000}"
+REPS="${OBS_BENCH_REPS:-3}"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+echo "== obs kill switch: build with -DCOMIMO_OBS=OFF =="
+cmake -B "$OFF_DIR" -S . -DCOMIMO_OBS=OFF \
+  -DCOMIMO_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "$OFF_DIR" -j "$(nproc)" > /dev/null
+
+for dir in "$BUILD_DIR" "$OFF_DIR"; do
+  if [ ! -x "$dir/bench/perf_kernels" ]; then
+    echo "error: $dir/bench/perf_kernels not found" >&2
+    exit 1
+  fi
+done
+
+"$OFF_DIR/bench/perf_kernels" --json "$OUT_DIR/off.0.json" \
+  --trials "$TRIALS" > /dev/null
+
+# Interleave ON/OFF repetitions so thermal / frequency drift hits both
+# sides symmetrically; keep the best (minimum) ns_per_block per shape.
+for rep in $(seq 1 "$REPS"); do
+  "$BUILD_DIR/bench/perf_kernels" --json "$OUT_DIR/on.$rep.json" \
+    --trials "$TRIALS" > /dev/null
+  "$OFF_DIR/bench/perf_kernels" --json "$OUT_DIR/off.$rep.json" \
+    --trials "$TRIALS" > /dev/null
+done
+
+python3 - "$OUT_DIR" "$REPS" "$PCT" <<'EOF'
+import json, sys
+
+out_dir, reps, pct = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+
+def best(prefix, first):
+    shapes = {}
+    for rep in range(first, reps + 1):
+        d = json.load(open(f"{out_dir}/{prefix}.{rep}.json"))
+        for r in d["records"]:
+            p = r["params"]
+            if p.get("path") != "workspace":
+                continue
+            key = (p["b"], p["mt"], p["mr"])
+            ns = r["metrics"]["ns_per_block"]
+            shapes[key] = min(shapes.get(key, ns), ns)
+            assert r["metrics"]["allocs_per_block"] == 0, \
+                f"{prefix} build allocates per block: {key}"
+    return shapes
+
+on = best("on", 1)
+off = best("off", 0)
+assert on.keys() == off.keys() and on, "shape sets differ"
+fail = False
+for key in sorted(on):
+    delta = (on[key] / off[key] - 1.0) * 100.0
+    status = "ok" if delta <= pct else "FAIL"
+    if delta > pct:
+        fail = True
+    print(f"  {status:4s} shape b{key[0]} {key[1]}x{key[2]}: "
+          f"obs-on {on[key]:.1f} ns/block, obs-off {off[key]:.1f} "
+          f"({delta:+.2f}%, budget {pct:.2f}%)")
+if fail:
+    sys.exit("obs overhead gate: disabled-obs slowdown exceeds budget")
+print("obs overhead gate: within budget on every shape")
+EOF

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # The one-command gate: tier-1 build + tests, the bench JSON contract,
-# the workspace link-kernel tests under ASan + UBSan, and (optionally)
-# the full sanitizer suite.
+# clang-tidy (bugprone-* + performance-*; skipped when the tool is not
+# installed), the obs kill-switch/overhead gate, the workspace
+# link-kernel tests under ASan + UBSan, and (optionally) the full
+# sanitizer suite.
 #
 # Usage: scripts/ci.sh [build-dir]          (default: build)
 #        CI_SANITIZE=1 scripts/ci.sh        also runs check_sanitized.sh
@@ -19,6 +21,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo "== bench JSON contract =="
 scripts/check_bench_json.sh "$BUILD_DIR"
+
+echo "== clang-tidy (bugprone-* + performance-*) =="
+scripts/check_clang_tidy.sh
+
+echo "== obs kill switch + disabled-overhead budget =="
+scripts/check_obs_overhead.sh "$BUILD_DIR"
 
 echo "== workspace kernel under ASan + UBSan =="
 ASAN_DIR="${BUILD_DIR}-asan"

@@ -9,6 +9,8 @@
 
 #include "comimo/common/error.h"
 #include "comimo/common/parallel.h"
+#include "comimo/obs/export.h"
+#include "comimo/obs/trace.h"
 
 namespace comimo {
 
@@ -17,6 +19,15 @@ namespace {
 double monotonic_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Wall-clock stamp for the envelope.  monotonic_s() is steady_clock —
+// epoch = boot — so it can order events within a run but cannot date
+// one; committed BENCH_*.json trajectories need the system clock.
+std::int64_t timestamp_unix_s() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
       .count();
 }
 
@@ -221,10 +232,19 @@ void BenchReporter::write(std::ostream& os) const {
   root.set("schema", "comimo-bench-v1");
   root.set("bench", bench_name_);
   root.set("threads", threads_);
+  root.set("timestamp_unix_s", timestamp_unix_s());
   root.set("wall_s", monotonic_s() - start_monotonic_s_);
   Json records = Json::array();
   for (const auto& r : records_) records.push(r);
   root.set("records", std::move(records));
+  if (obs::enabled()) {
+    root.set("metrics",
+             obs::metrics_to_json(obs::MetricRegistry::global(),
+                                  obs::Domain::kDeterministic));
+    root.set("metrics_runtime",
+             obs::metrics_to_json(obs::MetricRegistry::global(),
+                                  obs::Domain::kRuntime));
+  }
   root.dump(os, 2);
   os << '\n';
 }
@@ -256,11 +276,22 @@ BenchCli parse_bench_cli(int argc, char** argv) {
       if (const char* v = next()) {
         cli.trials = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
       }
+    } else if (arg == "--obs") {
+      cli.obs = true;
+    } else if (arg == "--trace") {
+      if (const char* v = next()) cli.trace_path = v;
     }
     // Unknown flags are ignored by design.
   }
   if (cli.threads > 0) {
     cli.pool_ = std::make_shared<ThreadPool>(cli.threads);
+  }
+  if (!cli.trace_path.empty()) {
+    // Arms tracing and registers an exit-time flush, so every bench
+    // binary supports --trace without per-binary wiring.
+    obs::start_trace(cli.trace_path);
+  } else if (cli.obs) {
+    obs::set_enabled(true);
   }
   return cli;
 }

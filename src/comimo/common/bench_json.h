@@ -8,12 +8,20 @@
 //     "schema": "comimo-bench-v1",
 //     "bench": "<binary name>",
 //     "threads": <worker count used>,
+//     "timestamp_unix_s": <system_clock seconds at write — dates a
+//                          committed BENCH_*.json run; wall_s cannot,
+//                          it is steady_clock with a boot epoch>,
 //     "wall_s": <total wall time of the run>,
 //     "records": [
 //       { "params":  { <name>: <number|string|bool>, ... },
 //         "metrics": { <name>: <number>, ... },
 //         "trials": <optional trial count>,
-//         "trials_per_sec": <optional throughput> }, ... ]
+//         "trials_per_sec": <optional throughput> }, ... ],
+//     "metrics": <optional: comimo::obs deterministic metrics — present
+//                 when the obs layer is enabled; byte-identical for a
+//                 1-thread and an N-thread run of the same seed>,
+//     "metrics_runtime": <optional: obs runtime metrics (latencies,
+//                         utilization) — excluded from determinism diffs>
 //   }
 //
 // Metric values are printed with max_digits10 so a serial and a parallel
@@ -103,10 +111,15 @@ class BenchReporter {
 /// The shared bench command line: `--json <path>` turns on structured
 /// output, `--threads <n>` runs the engine-backed sweeps on a private
 /// pool of that size (0 = the shared pool), `--trials <n>` lets scripts
-/// shrink trial-bound benches.  Unknown flags are ignored so wrappers
-/// can pass common options to every binary.
+/// shrink trial-bound benches, `--obs` enables the observability layer
+/// (metrics embed in the JSON envelope), and `--trace <path>` addition-
+/// ally arms span tracing with an exit-time Perfetto-loadable dump.
+/// Unknown flags are ignored so wrappers can pass common options to
+/// every binary.
 struct BenchCli {
   std::string json_path;
+  std::string trace_path;
+  bool obs = false;
   unsigned threads = 0;
   std::size_t trials = 0;
 

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "comimo/common/error.h"
+#include "comimo/obs/trace.h"
 
 namespace comimo {
 
@@ -12,6 +13,25 @@ namespace {
 // Set for the lifetime of a worker thread; lets submit/wait_idle detect
 // calls that could only deadlock.
 thread_local const ThreadPool* t_current_pool = nullptr;
+
+// Pool observability.  Job counts and queue depth depend on the worker
+// count (parallel_for sizes its fan-out by pool.size()), so everything
+// here is runtime domain — excluded from determinism diffs.
+struct PoolObs {
+  obs::Counter jobs = obs::MetricRegistry::global().counter(
+      "pool.jobs", obs::Domain::kRuntime);
+  obs::Counter busy_ns = obs::MetricRegistry::global().counter(
+      "pool.busy_ns", obs::Domain::kRuntime);
+  obs::Gauge queue_depth_max = obs::MetricRegistry::global().gauge(
+      "pool.queue_depth_max", obs::Domain::kRuntime);
+  obs::Histogram job_wall_s = obs::MetricRegistry::global().histogram(
+      "pool.job_wall_s", obs::Domain::kRuntime);
+};
+
+PoolObs& pool_obs() {
+  static PoolObs o;
+  return o;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -47,12 +67,19 @@ void ThreadPool::submit(std::function<void()> job) {
         "nested submission on the same pool deadlocks — use a different "
         "pool or parallel_for (which degrades to serial inline)");
   }
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     COMIMO_CHECK(!stopping_, "submit on stopped pool");
     jobs_.push(std::move(job));
+    depth = jobs_.size();
   }
   cv_job_.notify_one();
+  if (obs::enabled()) {
+    PoolObs& o = pool_obs();
+    o.jobs.add();
+    o.queue_depth_max.fold_max(static_cast<double>(depth));
+  }
 }
 
 void ThreadPool::wait_idle() {
@@ -82,7 +109,20 @@ void ThreadPool::worker_loop() {
       jobs_.pop();
       ++in_flight_;
     }
-    job();
+    if (obs::enabled()) {
+      // Busy time feeds the worker-utilization ratio: utilization =
+      // pool.busy_ns / (workers × wall).  Integer nanosecond adds are
+      // commutative, so the total is exact for any interleaving.
+      const std::int64_t t0 = obs::now_ns();
+      {
+        const obs::SpanTimer span("pool.job", pool_obs().job_wall_s);
+        job();
+      }
+      pool_obs().busy_ns.add(
+          static_cast<std::uint64_t>(obs::now_ns() - t0));
+    } else {
+      job();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

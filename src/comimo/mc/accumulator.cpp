@@ -28,8 +28,9 @@ RateEstimate McAccumulator::rate(const std::string& numerator,
                                  const std::string& denominator) const {
   const std::uint64_t denom = counter(denominator);
   if (denom == 0) return RateEstimate{};
-  return estimate_rate(static_cast<std::size_t>(counter(numerator)),
-                       static_cast<std::size_t>(denom));
+  // estimate_rate takes uint64_t, so 32-bit-size_t platforms no longer
+  // truncate large bit counts on the way in.
+  return estimate_rate(counter(numerator), denom);
 }
 
 void McAccumulator::merge(const McAccumulator& other) {

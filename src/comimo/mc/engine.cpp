@@ -5,8 +5,31 @@
 #include <vector>
 
 #include "comimo/common/error.h"
+#include "comimo/obs/trace.h"
 
 namespace comimo {
+
+namespace {
+
+// Engine-level observability (cold registration, hot no-op when
+// disabled).  Trial/chunk totals are pure functions of (trials,
+// chunk_size) — deterministic domain; timing is not.
+struct EngineObs {
+  obs::Counter trials = obs::MetricRegistry::global().counter("mc.trials");
+  obs::Counter chunks = obs::MetricRegistry::global().counter("mc.chunks");
+  obs::Counter runs = obs::MetricRegistry::global().counter("mc.runs");
+  obs::Histogram chunk_wall_s = obs::MetricRegistry::global().histogram(
+      "mc.chunk_wall_s", obs::Domain::kRuntime);
+  obs::Gauge trials_per_sec = obs::MetricRegistry::global().gauge(
+      "mc.trials_per_sec", obs::Domain::kRuntime);
+};
+
+EngineObs& engine_obs() {
+  static EngineObs o;
+  return o;
+}
+
+}  // namespace
 
 std::size_t resolve_chunk_size(std::size_t trials,
                                std::size_t chunk_size) noexcept {
@@ -32,9 +55,20 @@ McResult run_trials(
   const std::size_t chunks = (trials + chunk - 1) / chunk;
   result.info.chunks = chunks;
 
+  EngineObs& eobs = engine_obs();
+  eobs.runs.add();
+  eobs.trials.add(trials);
+  eobs.chunks.add(chunks);
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<McAccumulator> shards(chunks);
   parallel_for(pool, chunks, [&](std::size_t c) {
+    // Chunk-ordinal shard scope: deterministic metrics the trial code
+    // observes (per-hop BER, retries, backoff) merge in chunk order —
+    // the same discipline as the McAccumulator reduction below — so
+    // the exported aggregates are worker-count invariant.
+    const obs::ObsShard shard(c);
+    const obs::SpanTimer span("mc.chunk", eobs.chunk_wall_s);
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(trials, begin + chunk);
     McAccumulator& acc = shards[c];
@@ -55,6 +89,7 @@ McResult run_trials(
       result.info.wall_s > 0.0
           ? static_cast<double>(trials) / result.info.wall_s
           : 0.0;
+  eobs.trials_per_sec.set(result.info.trials_per_sec);
   return result;
 }
 

@@ -63,7 +63,7 @@ double percentile(std::vector<double> data, double pct) {
   return data[lo] * (1.0 - frac) + data[hi] * frac;
 }
 
-RateEstimate estimate_rate(std::size_t successes, std::size_t trials) {
+RateEstimate estimate_rate(std::uint64_t successes, std::uint64_t trials) {
   COMIMO_CHECK(trials > 0, "estimate_rate needs trials > 0");
   COMIMO_CHECK(successes <= trials, "successes exceed trials");
   const double z = 1.959963984540054;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace comimo {
@@ -48,7 +49,7 @@ struct RateEstimate {
   double wilson_lo = 0.0;
   double wilson_hi = 0.0;
 };
-[[nodiscard]] RateEstimate estimate_rate(std::size_t successes,
-                                         std::size_t trials);
+[[nodiscard]] RateEstimate estimate_rate(std::uint64_t successes,
+                                         std::uint64_t trials);
 
 }  // namespace comimo

@@ -1,0 +1,36 @@
+#include "comimo/obs/export.h"
+
+#include "comimo/common/bench_json.h"
+
+namespace comimo::obs {
+
+Json metrics_to_json(const MetricRegistry& registry, Domain domain) {
+  Json counters = Json::object();
+  for (const auto& c : registry.counters()) {
+    if (c.domain != domain) continue;
+    counters.set(c.name, c.value);
+  }
+  Json gauges = Json::object();
+  for (const auto& g : registry.gauges()) {
+    if (g.domain != domain) continue;
+    gauges.set(g.name, g.value);
+  }
+  Json histograms = Json::object();
+  for (const auto& h : registry.histograms()) {
+    if (h.domain != domain) continue;
+    Json stats = Json::object();
+    stats.set("count", static_cast<std::uint64_t>(h.stats.count()));
+    stats.set("mean", h.stats.mean());
+    stats.set("stddev", h.stats.stddev());
+    stats.set("min", h.stats.min());
+    stats.set("max", h.stats.max());
+    histograms.set(h.name, std::move(stats));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace comimo::obs

@@ -1,0 +1,26 @@
+// Metric export: the registry's merged state as a bench-JSON object.
+//
+// BenchReporter embeds metrics_to_json(global(), kDeterministic) under
+// the envelope's top-level "metrics" key and the kRuntime domain under
+// "metrics_runtime" whenever the obs layer is enabled.  The
+// deterministic block is part of the thread-count-invariance contract:
+// scripts/check_bench_json.sh diffs it byte-for-byte between a serial
+// and a parallel run of the same bench.
+#pragma once
+
+#include "comimo/obs/metrics.h"
+
+namespace comimo {
+class Json;
+}  // namespace comimo
+
+namespace comimo::obs {
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+/// mean, stddev, min, max}}} for the requested domain, keys sorted by
+/// name.  Histogram moments come from the chunk-ordered shard merge,
+/// so the dump is identical for any worker count (deterministic domain).
+[[nodiscard]] Json metrics_to_json(const MetricRegistry& registry,
+                                   Domain domain);
+
+}  // namespace comimo::obs

@@ -1,0 +1,175 @@
+#include "comimo/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comimo/common/error.h"
+
+namespace comimo::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint32_t tid;
+  std::int64_t t0_ns;
+  std::int64_t dur_ns;
+};
+
+/// One buffer per writing thread, owned jointly by the thread (for
+/// lock-cheap appends) and the global list (so events survive thread
+/// exit until the flush).
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::int64_t epoch_ns = 0;
+  std::string atexit_path;
+  bool atexit_registered = false;
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+std::atomic<bool> g_tracing{false};
+
+TraceBuffer& local_buffer() {
+  thread_local std::shared_ptr<TraceBuffer> buf = [] {
+    auto b = std::make_shared<TraceBuffer>();
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    b->tid = s.next_tid++;
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void atexit_flush() {
+  TraceState& s = state();
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    path = s.atexit_path;
+  }
+  if (!path.empty()) write_trace_file(path);
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+#ifdef COMIMO_OBS_DISABLED
+  return false;
+#else
+  return g_tracing.load(std::memory_order_relaxed);
+#endif
+}
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void start_trace(const std::string& path) {
+  clear_trace();
+  TraceState& s = state();
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.epoch_ns = now_ns();
+    s.atexit_path = path;
+    if (!path.empty() && !s.atexit_registered) {
+      std::atexit(atexit_flush);
+      s.atexit_registered = true;
+    }
+  }
+  // Inert when compiled out: tracing_enabled() stays false, so the
+  // armed flag and atexit hook never observe an event.
+  set_enabled(true);
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void stop_trace() noexcept {
+  g_tracing.store(false, std::memory_order_relaxed);
+}
+
+void record_span(const char* name, std::int64_t t0_ns,
+                 std::int64_t dur_ns) noexcept {
+  if (!tracing_enabled() || name == nullptr) return;
+  TraceBuffer& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back({name, buf.tid, t0_ns, dur_ns});
+}
+
+void write_trace(std::ostream& os) {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::int64_t epoch_ns = 0;
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+    epoch_ns = s.epoch_ns;
+  }
+  const std::ios_base::fmtflags flags = os.flags();
+  const std::streamsize precision = os.precision();
+  os << std::fixed << std::setprecision(3);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lock(buf->mu);
+    for (const TraceEvent& e : buf->events) {
+      if (!first) os << ",";
+      first = false;
+      // Chrome trace-event complete spans; ts/dur in microseconds.
+      os << "\n{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+         << e.tid << ",\"ts\":"
+         << static_cast<double>(e.t0_ns - epoch_ns) / 1000.0 << ",\"dur\":"
+         << static_cast<double>(e.dur_ns) / 1000.0 << "}";
+    }
+  }
+  os << "\n]}\n";
+  os.flags(flags);
+  os.precision(precision);
+}
+
+void write_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  COMIMO_CHECK(os.good(), "cannot open trace output path: " + path);
+  write_trace(os);
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& buf : s.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = 0;
+  for (const auto& buf : s.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+}  // namespace comimo::obs

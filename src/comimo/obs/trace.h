@@ -1,0 +1,101 @@
+// Span tracing: RAII scopes exported as a chrome://tracing / Perfetto
+// loadable JSON dump.
+//
+// A SpanTimer brackets a region of interest; when tracing is active its
+// (name, thread, start, duration) is appended to a thread-local buffer,
+// and when a histogram handle is attached the duration in seconds is
+// observed there as well.  Inactive (the default), construction and
+// destruction are one relaxed load and a branch each — no clock reads,
+// no allocation.
+//
+// start_trace(path) enables the observability layer, arms tracing, and
+// registers an atexit flush, so `--trace out.json` works on every bench
+// binary without per-binary wiring (parse_bench_cli calls it).  The
+// dump is the Chrome trace-event format: an object with a traceEvents
+// array of complete ("ph":"X") events, timestamps in microseconds since
+// the trace epoch — load it at chrome://tracing or ui.perfetto.dev.
+//
+// Span names must outlive the flush; pass string literals or strings
+// with static storage duration.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "comimo/obs/metrics.h"
+
+namespace comimo::obs {
+
+[[nodiscard]] bool tracing_enabled() noexcept;
+
+/// Arms tracing (and enables the obs layer), clearing any prior
+/// events.  With a non-empty path, an atexit hook writes the dump
+/// there; write_trace_file can also be called explicitly at any point.
+void start_trace(const std::string& path);
+
+/// Disarms tracing; buffered events stay until clear_trace().
+void stop_trace() noexcept;
+
+/// Appends one complete span; timestamps are steady_clock nanoseconds.
+void record_span(const char* name, std::int64_t t0_ns,
+                 std::int64_t dur_ns) noexcept;
+
+/// Writes the Chrome trace-event JSON for everything recorded so far.
+void write_trace(std::ostream& os);
+void write_trace_file(const std::string& path);
+
+/// Drops all buffered events (tests, repeated captures).
+void clear_trace();
+
+/// Number of buffered events across all threads (tests).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Steady-clock nanoseconds (the span/trace time base).
+[[nodiscard]] std::int64_t now_ns() noexcept;
+
+/// RAII span: times the enclosing scope into the trace buffer and an
+/// optional histogram (seconds).  Does nothing — not even a clock read
+/// — unless the obs layer is enabled and at least one sink is live.
+class SpanTimer {
+ public:
+  explicit SpanTimer(const char* name) noexcept : SpanTimer(name, Histogram{}) {}
+
+  SpanTimer(const char* name, Histogram hist) noexcept {
+#ifndef COMIMO_OBS_DISABLED
+    if (!enabled()) return;
+    trace_ = tracing_enabled();
+    if (!trace_ && !hist.attached()) return;  // no sink: skip the clock
+    name_ = name;
+    hist_ = hist;
+    timed_ = true;
+    t0_ns_ = now_ns();
+#else
+    (void)name;
+    (void)hist;
+#endif
+  }
+
+  ~SpanTimer() {
+#ifndef COMIMO_OBS_DISABLED
+    if (!timed_) return;
+    const std::int64_t dur_ns = now_ns() - t0_ns_;
+    hist_.observe(static_cast<double>(dur_ns) * 1e-9);
+    if (trace_) record_span(name_, t0_ns_, dur_ns);
+#endif
+  }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+#ifndef COMIMO_OBS_DISABLED
+  const char* name_ = nullptr;
+  Histogram hist_;
+  std::int64_t t0_ns_ = 0;
+  bool trace_ = false;
+  bool timed_ = false;
+#endif
+};
+
+}  // namespace comimo::obs

@@ -1,10 +1,12 @@
 #include "comimo/phy/ber_sweep.h"
 
 #include <cmath>
+#include <string>
 
 #include "comimo/common/error.h"
 #include "comimo/common/units.h"
 #include "comimo/numeric/cmatrix.h"
+#include "comimo/obs/metrics.h"
 #include "comimo/phy/ber.h"
 #include "comimo/phy/detector.h"
 #include "comimo/phy/modulation.h"
@@ -77,6 +79,17 @@ WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
   point.analytic =
       ber_mqam_rayleigh_mimo(config.b, gamma_b, config.mt, config.mr);
   point.info = run.info;
+  if (obs::enabled() && run.info.wall_s > 0.0) {
+    // Per-shape kernel throughput.  Registration here is cold (once per
+    // measurement, thousands of blocks each); timing is runtime domain.
+    const std::string name = "phy.blocks_per_sec." +
+                             std::to_string(config.mt) + "x" +
+                             std::to_string(config.mr) + ".b" +
+                             std::to_string(config.b);
+    obs::MetricRegistry::global()
+        .gauge(name, obs::Domain::kRuntime)
+        .set(static_cast<double>(config.blocks) / run.info.wall_s);
+  }
   return point;
 }
 

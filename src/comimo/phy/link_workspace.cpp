@@ -2,8 +2,20 @@
 
 #include "comimo/common/error.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/obs/metrics.h"
 
 namespace comimo {
+
+namespace {
+// Block throughput counter for the zero-alloc kernel.  Registration is
+// a one-time static; the hot-path add is a relaxed fetch-add behind the
+// enabled() branch, preserving the 0-allocs/block steady state.
+obs::Counter& link_blocks_counter() {
+  static obs::Counter c =
+      obs::MetricRegistry::global().counter("phy.link_blocks");
+  return c;
+}
+}  // namespace
 
 void LinkWorkspace::configure(const StbcCode& code, std::size_t mr) {
   COMIMO_CHECK(mr >= 1, "need a receive antenna");
@@ -33,6 +45,7 @@ void simulate_block(const StbcDecoder& decoder, LinkWorkspace& ws, Rng& rng) {
   multiply_transposed_into(ws.encoded, ws.h, ws.received);
   add_scaled_noise_into(ws.received, rng, 1.0);
   decoder.decode_into(ws.h, ws.received, ws.estimates, ws.decode_scratch);
+  link_blocks_counter().add();
 }
 
 }  // namespace comimo

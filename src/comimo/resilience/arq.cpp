@@ -4,8 +4,29 @@
 #include <cmath>
 
 #include "comimo/common/error.h"
+#include "comimo/obs/metrics.h"
 
 namespace comimo {
+
+namespace {
+
+struct ArqObs {
+  obs::Counter attempts = obs::MetricRegistry::global().counter("arq.attempts");
+  obs::Counter retransmissions =
+      obs::MetricRegistry::global().counter("arq.retransmissions");
+  obs::Counter deliveries =
+      obs::MetricRegistry::global().counter("arq.deliveries");
+  obs::Counter failures = obs::MetricRegistry::global().counter("arq.failures");
+  obs::Histogram backoff_s =
+      obs::MetricRegistry::global().histogram("arq.backoff_s");
+};
+
+ArqObs& arq_obs() {
+  static ArqObs o;
+  return o;
+}
+
+}  // namespace
 
 void validate(const ArqConfig& config) {
   COMIMO_CHECK(config.max_attempts >= 1, "ARQ needs at least one attempt");
@@ -17,15 +38,22 @@ void validate(const ArqConfig& config) {
                "backoff ceiling below the base backoff");
 }
 
-double arq_backoff_s(const ArqConfig& config, unsigned attempt, Rng& rng) {
-  validate(config);
+double arq_backoff_unchecked_s(const ArqConfig& config, unsigned attempt,
+                               Rng& rng) {
   const double nominal =
       config.base_backoff_s *
       std::pow(config.backoff_factor, static_cast<double>(attempt));
   const double truncated = std::min(nominal, config.max_backoff_s);
   // Dither in [0.5, 1): keeps the exponential spacing while breaking
   // retry synchronization between contending links.
-  return truncated * rng.uniform(0.5, 1.0);
+  const double backoff = truncated * rng.uniform(0.5, 1.0);
+  arq_obs().backoff_s.observe(backoff);
+  return backoff;
+}
+
+double arq_backoff_s(const ArqConfig& config, unsigned attempt, Rng& rng) {
+  validate(config);
+  return arq_backoff_unchecked_s(config, attempt, rng);
 }
 
 ArqOutcome run_arq(const ArqConfig& config,
@@ -33,18 +61,25 @@ ArqOutcome run_arq(const ArqConfig& config,
                    Rng& rng) {
   validate(config);
   COMIMO_CHECK(static_cast<bool>(attempt_ok), "null attempt callback");
+  ArqObs& o = arq_obs();
   ArqOutcome out;
   for (unsigned k = 0; k < config.max_attempts; ++k) {
     ++out.attempts;
+    o.attempts.add();
+    if (k > 0) o.retransmissions.add();
     if (attempt_ok(k)) {
       out.delivered = true;
+      o.deliveries.add();
       return out;
     }
     out.wait_s += config.ack_timeout_s;
     if (k + 1 < config.max_attempts) {
-      out.wait_s += arq_backoff_s(config, k, rng);
+      // The config was validated on entry; the per-draw helper must not
+      // re-validate in the retry loop.
+      out.wait_s += arq_backoff_unchecked_s(config, k, rng);
     }
   }
+  o.failures.add();
   return out;
 }
 

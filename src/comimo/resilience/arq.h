@@ -34,6 +34,14 @@ void validate(const ArqConfig& config);
 [[nodiscard]] double arq_backoff_s(const ArqConfig& config, unsigned attempt,
                                    Rng& rng);
 
+/// Same draw without re-validating `config` — for retry loops that
+/// already ran validate(config) once on entry (run_arq, the resilience
+/// simulator).  Precondition: `config` is valid; behaviour on a
+/// malformed config is unspecified.  Consumes exactly the same RNG
+/// stream as arq_backoff_s, bit for bit.
+[[nodiscard]] double arq_backoff_unchecked_s(const ArqConfig& config,
+                                             unsigned attempt, Rng& rng);
+
 struct ArqOutcome {
   bool delivered = false;
   unsigned attempts = 0;     ///< transmissions actually made (>= 1)

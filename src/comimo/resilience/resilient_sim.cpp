@@ -7,6 +7,7 @@
 #include "comimo/common/error.h"
 #include "comimo/net/hop_scheduler.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/obs/metrics.h"
 #include "comimo/phy/stbc.h"
 #include "comimo/resilience/recovery.h"
 #include "comimo/underlay/cooperative_hop.h"
@@ -14,6 +15,35 @@
 namespace comimo {
 
 namespace {
+
+// Resilience-layer observability.  Every quantity below is a pure
+// function of the simulation seeds, and simulate_with_faults runs
+// either serially or directly inside a top-level run_trials trial, so
+// the deterministic domain is correct for all of them (see the
+// observation discipline in obs/metrics.h).
+struct ResObs {
+  obs::Counter packets =
+      obs::MetricRegistry::global().counter("resilience.packets");
+  obs::Counter retransmissions =
+      obs::MetricRegistry::global().counter("resilience.retransmissions");
+  obs::Counter pu_preemptions =
+      obs::MetricRegistry::global().counter("resilience.pu_preemptions");
+  obs::Counter arq_failures =
+      obs::MetricRegistry::global().counter("resilience.arq_failures");
+  obs::Counter stbc_degradations =
+      obs::MetricRegistry::global().counter("resilience.stbc_degradations");
+  obs::Histogram pu_wait_s =
+      obs::MetricRegistry::global().histogram("resilience.pu_wait_s");
+  obs::Histogram backoff_wait_s =
+      obs::MetricRegistry::global().histogram("resilience.backoff_wait_s");
+  obs::Histogram hop_ber =
+      obs::MetricRegistry::global().histogram("resilience.hop_ber");
+};
+
+ResObs& res_obs() {
+  static ResObs o;
+  return o;
+}
 
 void finalize(ResilienceReport& r) {
   r.delivery_ratio =
@@ -86,6 +116,10 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
     ++report.waveform_hops;
     report.waveform_bits += it->second.bits;
     report.waveform_bit_errors += it->second.bit_errors;
+    if (it->second.bits > 0) {
+      res_obs().hop_ber.observe(static_cast<double>(it->second.bit_errors) /
+                                static_cast<double>(it->second.bits));
+    }
   };
 
   // Marks `id` dead, recording whether a cluster head just failed.
@@ -133,6 +167,7 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
     while (dst == src) dst = world.nodes()[traffic.uniform_int(n)].id;
 
     ++report.packets_offered;
+    res_obs().packets.add();
     if (!router.backbone().connected(world.cluster_of(src),
                                      world.cluster_of(dst))) {
       ++report.routing_drops;
@@ -151,6 +186,7 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
           if (plan.relay_dropout(round, h) && mt > 1) {
             mt = static_cast<unsigned>(stbc_degraded_tx(mt));
             ++report.stbc_degradations;
+            res_obs().stbc_degradations.add();
           }
           hop.plan = planner.replan_shrunk(hop.plan, mt, mr);
           probe_waveform(hop.plan);
@@ -170,6 +206,8 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
               ++report.pu_preemptions;
               report.pu_wait_s += wait;
               t += wait;
+              res_obs().pu_preemptions.add();
+              res_obs().pu_wait_s.observe(wait);
             }
             router.apply_hop_drain(world, hop, bits);
             report.energy_spent_j += hop_energy_j;
@@ -178,6 +216,7 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
             if (k > 0) {
               ++report.retransmissions;
               report.retransmit_energy_j += hop_energy_j;
+              res_obs().retransmissions.add();
             }
             if (!plan.slot_erased(round, h, k)) {
               hop_ok = true;
@@ -185,13 +224,17 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
             }
             double penalty = config.arq.ack_timeout_s;
             if (k + 1 < config.arq.max_attempts) {
-              penalty += arq_backoff_s(config.arq, k, arq_rng);
+              // config.arq was validated once on entry; the retry loop
+              // must not re-validate per draw.
+              penalty += arq_backoff_unchecked_s(config.arq, k, arq_rng);
             }
             report.backoff_wait_s += penalty;
             t += penalty;
+            res_obs().backoff_wait_s.observe(penalty);
           }
           if (!hop_ok) {
             ++report.arq_failures;
+            res_obs().arq_failures.add();
             delivered = false;
             break;
           }

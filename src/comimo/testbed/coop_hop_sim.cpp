@@ -9,6 +9,7 @@
 #include "comimo/common/parallel.h"
 #include "comimo/common/units.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/obs/trace.h"
 #include "comimo/phy/detector.h"
 #include "comimo/phy/link_workspace.h"
 #include "comimo/phy/modulation.h"
@@ -17,6 +18,28 @@
 namespace comimo {
 
 namespace {
+
+// Hop-level observability.  Block/retransmission totals and the hop BER
+// are pure functions of the config seeds (deterministic domain); the
+// hop wall time is not.  run_hop executes serially or directly inside a
+// top-level run_trials trial, which satisfies the histogram observation
+// discipline in obs/metrics.h.
+struct HopObs {
+  obs::Counter blocks = obs::MetricRegistry::global().counter("coophop.blocks");
+  obs::Counter retransmitted = obs::MetricRegistry::global().counter(
+      "coophop.retransmitted_blocks");
+  obs::Counter lost =
+      obs::MetricRegistry::global().counter("coophop.lost_blocks");
+  obs::Histogram hop_ber =
+      obs::MetricRegistry::global().histogram("coophop.hop_ber");
+  obs::Histogram hop_wall_s = obs::MetricRegistry::global().histogram(
+      "coophop.hop_wall_s", obs::Domain::kRuntime);
+};
+
+HopObs& hop_obs() {
+  static HopObs o;
+  return o;
+}
 
 /// Per-worker buffer arena for the hop simulation: the PHY-level
 /// LinkWorkspace plus the hop-level staging the cooperative protocol
@@ -59,6 +82,7 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
   }
   const unsigned mt = plan.config.mt;
   const unsigned mr = plan.config.mr;
+  const obs::SpanTimer hop_span("coophop.hop", hop_obs().hop_wall_s);
 
   const auto modem = make_modulator(plan.b);
   const StbcCode code = StbcCode::for_antennas(mt);
@@ -258,6 +282,11 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
       intra_bits ? static_cast<double>(intra_errors) /
                        static_cast<double>(intra_bits)
                  : 0.0;
+  HopObs& o = hop_obs();
+  o.blocks.add(num_blocks);
+  o.retransmitted.add(result.resilience.retransmitted_blocks);
+  o.lost.add(result.resilience.lost_blocks);
+  o.hop_ber.observe(result.ber);
   return out;
 }
 

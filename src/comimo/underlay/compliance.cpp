@@ -1,8 +1,28 @@
 #include "comimo/underlay/compliance.h"
 
 #include "comimo/common/units.h"
+#include "comimo/obs/metrics.h"
 
 namespace comimo {
+
+namespace {
+struct ComplianceObs {
+  obs::Counter checks =
+      obs::MetricRegistry::global().counter("underlay.checks");
+  obs::Counter violations =
+      obs::MetricRegistry::global().counter("underlay.violations");
+  // Worst PA-energy headroom of a cooperative hop against the SISO
+  // primary-user reference, in dB.  fold_min is commutative, so the
+  // exported extremum is worker-count invariant.
+  obs::Gauge headroom_db_min =
+      obs::MetricRegistry::global().gauge("underlay.headroom_db_min");
+};
+
+ComplianceObs& compliance_obs() {
+  static ComplianceObs o;
+  return o;
+}
+}  // namespace
 
 UnderlayComplianceChecker::UnderlayComplianceChecker(
     const SystemParams& params)
@@ -29,6 +49,10 @@ UnderlayComplianceReport UnderlayComplianceChecker::check(
   const UnderlayHopPlan siso = siso_reference_.plan(siso_cfg);
   rpt.relative_to_siso_db =
       linear_to_db(siso.peak_pa() / std::max(rpt.peak_pa_energy, 1e-300));
+  ComplianceObs& o = compliance_obs();
+  o.checks.add();
+  if (!rpt.paper_compliant()) o.violations.add();
+  o.headroom_db_min.fold_min(rpt.relative_to_siso_db);
   return rpt;
 }
 

@@ -2,8 +2,11 @@
 // bench harness depends on.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "comimo/common/bench_json.h"
 #include "comimo/common/error.h"
 #include "comimo/common/log.h"
 #include "comimo/common/table.h"
@@ -85,6 +88,53 @@ TEST(Log, LevelFiltering) {
   set_log_level(LogLevel::kOff);
   COMIMO_LOG(kError) << "also dropped";
   set_log_level(original);
+}
+
+TEST(JsonDump, EscapesQuotesBackslashesAndWhitespace) {
+  const std::string out =
+      Json::string("a\"b\\c\nd\te\rf").dump_string(0);
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\rf\"");
+}
+
+TEST(JsonDump, ControlCharactersBecomeUnicodeEscapes) {
+  const std::string out = Json::string(std::string("x\x01y\x1f") + "z")
+                              .dump_string(0);
+  EXPECT_EQ(out, "\"x\\u0001y\\u001fz\"");
+}
+
+TEST(JsonDump, Utf8PassesThroughUnchanged) {
+  // Multibyte sequences sit above 0x7f byte-wise; the escaper must not
+  // mangle them even though the raw chars are negative on signed-char
+  // platforms.
+  const std::string utf8 = "γ_b ≈ 3dB · µ";
+  const std::string out = Json::string(utf8).dump_string(0);
+  EXPECT_EQ(out, "\"" + utf8 + "\"");
+}
+
+TEST(JsonDump, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Json::number(std::nan("")).dump_string(0), "null");
+  EXPECT_EQ(Json::number(std::numeric_limits<double>::infinity())
+                .dump_string(0),
+            "null");
+  EXPECT_EQ(Json::number(-std::numeric_limits<double>::infinity())
+                .dump_string(0),
+            "null");
+  // Finite values keep full max_digits10 round-trip precision.
+  EXPECT_EQ(Json::number(0.5).dump_string(0), "0.5");
+}
+
+TEST(BenchReporter, EnvelopeCarriesSystemClockTimestamp) {
+  BenchReporter reporter("io_test_bench");
+  std::ostringstream os;
+  reporter.write(os);
+  const std::string out = os.str();
+  const std::size_t pos = out.find("\"timestamp_unix_s\": ");
+  ASSERT_NE(pos, std::string::npos);
+  // A plausible system-clock date: after 2024-01-01, i.e. a 10-digit
+  // integer — wall_s (steady_clock, boot epoch) could never satisfy it.
+  const long long ts =
+      std::stoll(out.substr(pos + std::string("\"timestamp_unix_s\": ").size()));
+  EXPECT_GT(ts, 1704067200LL);
 }
 
 }  // namespace

@@ -1,0 +1,308 @@
+// Observability layer: counter/gauge/histogram semantics, the runtime
+// kill switch, chunk-ordered shard determinism, span timing, and the
+// Perfetto trace dump.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comimo/common/bench_json.h"
+#include "comimo/common/parallel.h"
+#include "comimo/mc/engine.h"
+#include "comimo/obs/export.h"
+#include "comimo/obs/metrics.h"
+#include "comimo/obs/trace.h"
+
+namespace comimo {
+namespace {
+
+// Every test runs with the layer enabled and leaves the process in the
+// default (disabled, trace-clear) state so unrelated tests stay on the
+// one-load-one-branch fast path.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::set_enabled(true); }
+  void TearDown() override {
+    obs::stop_trace();
+    obs::clear_trace();
+    obs::set_enabled(false);
+  }
+};
+
+#ifndef COMIMO_OBS_DISABLED
+
+TEST_F(ObsTest, CounterAccumulatesAndRegistrationIsIdempotent) {
+  obs::MetricRegistry reg;
+  const obs::Counter a = reg.counter("obs_test.hits");
+  const obs::Counter b = reg.counter("obs_test.hits");
+  a.add();
+  b.add(41);
+  EXPECT_EQ(a.value(), 42u);  // both handles share one cell
+  EXPECT_EQ(b.value(), 42u);
+
+  const auto snap = reg.counters();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "obs_test.hits");
+  EXPECT_EQ(snap[0].value, 42u);
+}
+
+TEST_F(ObsTest, DisabledCallsAreNoOps) {
+  obs::set_enabled(false);
+  obs::MetricRegistry reg;
+  const obs::Counter c = reg.counter("obs_test.off");
+  const obs::Gauge g = reg.gauge("obs_test.off_gauge");
+  const obs::Histogram h = reg.histogram("obs_test.off_hist");
+  c.add(7);
+  g.set(1.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_TRUE(reg.gauges().empty());  // never-set gauges are omitted
+  EXPECT_TRUE(reg.histograms().empty());
+}
+
+TEST_F(ObsTest, DefaultConstructedHandlesAreInert) {
+  const obs::Counter c;
+  const obs::Gauge g;
+  const obs::Histogram h;
+  c.add();
+  g.fold_max(1.0);
+  h.observe(1.0);  // must not crash
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_FALSE(h.attached());
+}
+
+TEST_F(ObsTest, GaugeSetAndExtremumFolds) {
+  obs::MetricRegistry reg;
+  const obs::Gauge lo = reg.gauge("obs_test.lo");
+  const obs::Gauge hi = reg.gauge("obs_test.hi");
+  lo.fold_min(3.0);
+  lo.fold_min(5.0);
+  lo.fold_min(-1.0);
+  hi.fold_max(3.0);
+  hi.fold_max(-2.0);
+  const auto snap = reg.gauges();
+  ASSERT_EQ(snap.size(), 2u);  // sorted by name: hi, lo
+  EXPECT_EQ(snap[0].name, "obs_test.hi");
+  EXPECT_DOUBLE_EQ(snap[0].value, 3.0);
+  EXPECT_EQ(snap[1].name, "obs_test.lo");
+  EXPECT_DOUBLE_EQ(snap[1].value, -1.0);
+}
+
+TEST_F(ObsTest, CounterAddsAreExactAcrossThreads) {
+  obs::MetricRegistry reg;
+  const obs::Counter c = reg.counter("obs_test.mt");
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST_F(ObsTest, HistogramObservesIntoDefaultShardWhenUnscoped) {
+  obs::MetricRegistry reg;
+  const obs::Histogram h = reg.histogram("obs_test.h");
+  h.observe(1.0);
+  h.observe(3.0);
+  const auto snap = reg.histograms();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0].stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(snap[0].stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(snap[0].stats.max(), 3.0);
+}
+
+TEST_F(ObsTest, ShardMergeOrderFollowsOrdinalsNotFoldOrder) {
+  // Two registries fed the same per-ordinal observations, folded in
+  // opposite orders, must agree bit-for-bit: the merge is keyed by
+  // ordinal, not by arrival.
+  const auto feed = [](obs::MetricRegistry& reg,
+                       const std::vector<std::uint64_t>& ordinals) {
+    const obs::Histogram h = reg.histogram("obs_test.sharded");
+    for (const std::uint64_t ord : ordinals) {
+      const obs::ObsShard shard(ord, reg);
+      // Ordinal-dependent values so a wrong merge order changes the
+      // floating-point reduction, not just the count.
+      h.observe(0.1 * static_cast<double>(ord + 1));
+      h.observe(1.0 / static_cast<double>(ord + 3));
+    }
+  };
+  obs::MetricRegistry forward;
+  obs::MetricRegistry backward;
+  feed(forward, {0, 1, 2, 3});
+  feed(backward, {3, 2, 1, 0});
+  const auto a = forward.histograms();
+  const auto b = backward.histograms();
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_TRUE(a[0].stats == b[0].stats);  // exact state equality
+}
+
+TEST_F(ObsTest, NestedShardsShadowAndRestore) {
+  obs::MetricRegistry reg;
+  const obs::Histogram h = reg.histogram("obs_test.nested");
+  {
+    const obs::ObsShard outer(0, reg);
+    h.observe(1.0);
+    {
+      const obs::ObsShard inner(1, reg);
+      h.observe(2.0);
+    }
+    h.observe(3.0);  // back in the outer shard
+  }
+  const auto snap = reg.histograms();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(snap[0].stats.mean(), 2.0);
+}
+
+TEST_F(ObsTest, EngineShardedHistogramIsThreadCountInvariant) {
+  // The acceptance criterion behind the whole shard design: a trial
+  // that observes a deterministic histogram must export identical
+  // merged moments on 1 worker and on 4.
+  obs::MetricRegistry& reg = obs::MetricRegistry::global();
+  const obs::Histogram h = reg.histogram("obs_test.engine_invariance");
+
+  const auto run = [&](unsigned threads) {
+    reg.reset();
+    ThreadPool pool(threads);
+    McConfig cfg;
+    cfg.seed = 99;
+    cfg.chunk_size = 16;  // several chunks regardless of worker count
+    cfg.pool = &pool;
+    (void)run_trials(256, cfg, [&](std::size_t, Rng& rng, McAccumulator&) {
+      h.observe(rng.uniform(0.0, 1.0));
+    });
+    for (const auto& snap : reg.histograms()) {
+      if (snap.name == "obs_test.engine_invariance") return snap.stats;
+    }
+    return RunningStats{};
+  };
+
+  const RunningStats serial = run(1);
+  const RunningStats parallel = run(4);
+  EXPECT_EQ(serial.count(), 256u);
+  EXPECT_TRUE(serial == parallel);
+  reg.reset();
+}
+
+TEST_F(ObsTest, ResetKeepsHandlesValid) {
+  obs::MetricRegistry reg;
+  const obs::Counter c = reg.counter("obs_test.reset");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the old handle still points at the registered cell
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST_F(ObsTest, MetricsToJsonSplitsDomains) {
+  obs::MetricRegistry reg;
+  reg.counter("det.count").add(3);
+  reg.counter("rt.count", obs::Domain::kRuntime).add(7);
+  reg.gauge("det.gauge").set(1.5);
+  reg.histogram("det.hist").observe(2.0);
+
+  const std::string det =
+      obs::metrics_to_json(reg, obs::Domain::kDeterministic).dump_string(0);
+  const std::string rt =
+      obs::metrics_to_json(reg, obs::Domain::kRuntime).dump_string(0);
+  EXPECT_NE(det.find("\"det.count\":3"), std::string::npos);
+  EXPECT_NE(det.find("\"det.gauge\":1.5"), std::string::npos);
+  EXPECT_NE(det.find("\"det.hist\""), std::string::npos);
+  EXPECT_EQ(det.find("rt.count"), std::string::npos);
+  EXPECT_NE(rt.find("\"rt.count\":7"), std::string::npos);
+  EXPECT_EQ(rt.find("det.count"), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanTimerFeedsHistogramAndTrace) {
+  obs::start_trace("");  // arm tracing without an atexit file
+  obs::MetricRegistry reg;
+  const obs::Histogram h = reg.histogram("obs_test.span_s");
+  const std::size_t before = obs::trace_event_count();
+  {
+    const obs::SpanTimer span("obs_test.work", h);
+  }
+  EXPECT_EQ(obs::trace_event_count(), before + 1);
+  const auto snap = reg.histograms();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].stats.count(), 1u);
+  EXPECT_GE(snap[0].stats.min(), 0.0);
+}
+
+TEST_F(ObsTest, SpanTimerWithoutSinksRecordsNothing) {
+  obs::stop_trace();
+  const std::size_t before = obs::trace_event_count();
+  {
+    const obs::SpanTimer span("obs_test.unsinked");
+  }
+  EXPECT_EQ(obs::trace_event_count(), before);
+}
+
+TEST_F(ObsTest, TraceDumpIsChromeTraceEventJson) {
+  obs::start_trace("");
+  {
+    const obs::SpanTimer span("obs_test.dumped");
+  }
+  obs::stop_trace();
+  std::ostringstream os;
+  obs::write_trace(os);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"obs_test.dumped\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"dur\":"), std::string::npos);
+  obs::clear_trace();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(ObsTest, BenchEnvelopeEmbedsMetricsWhenEnabled) {
+  obs::MetricRegistry::global().reset();
+  obs::MetricRegistry::global().counter("obs_test.envelope").add(11);
+  BenchReporter reporter("obs_test_bench");
+  std::ostringstream os;
+  reporter.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"timestamp_unix_s\""), std::string::npos);
+  EXPECT_NE(out.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(out.find("\"metrics_runtime\""), std::string::npos);
+  EXPECT_NE(out.find("\"obs_test.envelope\": 11"), std::string::npos);
+  obs::MetricRegistry::global().reset();
+}
+
+TEST_F(ObsTest, BenchEnvelopeOmitsMetricsWhenDisabled) {
+  obs::set_enabled(false);
+  BenchReporter reporter("obs_test_bench");
+  std::ostringstream os;
+  reporter.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"timestamp_unix_s\""), std::string::npos);
+  EXPECT_EQ(out.find("\"metrics\""), std::string::npos);
+}
+
+#else  // COMIMO_OBS_DISABLED
+
+TEST(ObsDisabled, EverythingCompilesToNoOps) {
+  obs::set_enabled(true);
+  EXPECT_FALSE(obs::enabled());
+  const obs::Counter c = obs::MetricRegistry::global().counter("off.c");
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+  obs::start_trace("");
+  {
+    const obs::SpanTimer span("off.span");
+  }
+  EXPECT_FALSE(obs::tracing_enabled());
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+#endif  // COMIMO_OBS_DISABLED
+
+}  // namespace
+}  // namespace comimo

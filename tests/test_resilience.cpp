@@ -76,6 +76,48 @@ TEST(Arq, RunArqDeliversAndExhausts) {
   EXPECT_EQ(lost.attempts, cfg.max_attempts);
 }
 
+TEST(Arq, UncheckedBackoffIsBitIdenticalAndPreservesTheRngStream) {
+  // Regression for the validate-per-draw hoist: the unchecked helper
+  // must return the same bits AND leave the RNG at the same stream
+  // position as the checked entry point.
+  const ArqConfig cfg;
+  Rng checked(42, 9), unchecked(42, 9);
+  for (unsigned k = 0; k < 16; ++k) {
+    const double a = arq_backoff_s(cfg, k, checked);
+    const double b = arq_backoff_unchecked_s(cfg, k, unchecked);
+    EXPECT_EQ(a, b);
+  }
+  // Same post-call stream position: the next raw draws agree exactly.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(checked.next(), unchecked.next());
+  }
+}
+
+TEST(Arq, RunArqOutcomeUnchangedByValidationHoist) {
+  // Golden replay: run_arq's draws and waits must be bit-identical to
+  // a hand-rolled loop using the public per-draw helper — i.e. the
+  // hoist changed no observable behaviour.
+  ArqConfig cfg;
+  cfg.max_attempts = 5;
+  const auto ok_never = [](unsigned) { return false; };
+
+  Rng protocol_rng(321, 1);
+  const ArqOutcome got = run_arq(cfg, ok_never, protocol_rng);
+
+  Rng replay_rng(321, 1);
+  double expected_wait = 0.0;
+  for (unsigned k = 0; k < cfg.max_attempts; ++k) {
+    expected_wait += cfg.ack_timeout_s;
+    if (k + 1 < cfg.max_attempts) {
+      expected_wait += arq_backoff_s(cfg, k, replay_rng);
+    }
+  }
+  EXPECT_FALSE(got.delivered);
+  EXPECT_EQ(got.attempts, cfg.max_attempts);
+  EXPECT_EQ(got.wait_s, expected_wait);  // bit-identical accumulation
+  EXPECT_EQ(protocol_rng.next(), replay_rng.next());
+}
+
 TEST(Arq, ConfigValidation) {
   ArqConfig cfg;
   cfg.max_attempts = 0;

@@ -119,5 +119,78 @@ TEST(EstimateRate, InvalidInputsThrow) {
   EXPECT_THROW(estimate_rate(5, 4), InvalidArgument);
 }
 
+TEST(EstimateRate, AcceptsCountsAbove32Bits) {
+  // The signature is uint64_t so bit-level counters (10^10+ bits per
+  // long BER campaign) never narrow through size_t.
+  const std::uint64_t trials = (1ULL << 33) + 7;  // > 2^32
+  const std::uint64_t successes = 1ULL << 31;
+  const RateEstimate est = estimate_rate(successes, trials);
+  const double expected =
+      static_cast<double>(successes) / static_cast<double>(trials);
+  EXPECT_DOUBLE_EQ(est.rate, expected);
+  EXPECT_GT(est.wilson_lo, 0.0);
+  EXPECT_LT(est.wilson_hi, 1.0);
+}
+
+TEST(RunningStats, MergeEmptyIntoEmptyStaysEmpty) {
+  RunningStats a;
+  const RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentityEitherWay) {
+  RunningStats full;
+  for (double x : {1.0, 4.0, 9.0}) full.add(x);
+  const RunningStats snapshot = full;
+
+  RunningStats empty;
+  full.merge(empty);            // rhs empty: no change
+  EXPECT_TRUE(full == snapshot);
+
+  empty.merge(full);            // lhs empty: adopts rhs exactly
+  EXPECT_TRUE(empty == snapshot);
+}
+
+TEST(RunningStats, SelfMergeAliasingIsSafe) {
+  RunningStats s;
+  for (double x : {2.0, 6.0, 7.0}) s.add(x);
+  s.merge(s);  // aliased argument must not corrupt state mid-update
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  // Doubling the sample set doubles M2 (14 → 28) over n-1 = 5.
+  EXPECT_NEAR(s.variance(), 28.0 / 5.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSerialWelfordAtLargeN) {
+  // Chunked merge vs. one serial pass over 10^6 samples with a large
+  // offset — the catastrophic-cancellation regime where a naive
+  // sum-of-squares implementation loses the variance entirely.
+  Rng rng(1234);
+  RunningStats serial;
+  std::vector<RunningStats> chunks(64);
+  constexpr std::size_t kN = 1'000'000;
+  constexpr double kOffset = 1e9;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double x = kOffset + rng.uniform(0.0, 1.0);
+    serial.add(x);
+    chunks[i % 64].add(x);
+  }
+  RunningStats merged;
+  for (const RunningStats& c : chunks) merged.merge(c);
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_NEAR(merged.mean(), serial.mean(), 1e-12 * kOffset);
+  // Uniform(0,1) variance is 1/12; both reductions must land there.
+  EXPECT_NEAR(serial.variance(), 1.0 / 12.0, 1e-3);
+  EXPECT_NEAR(merged.variance(), serial.variance(),
+              1e-6 * serial.variance());
+  EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+  EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+}
+
 }  // namespace
 }  // namespace comimo
