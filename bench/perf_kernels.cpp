@@ -1,10 +1,12 @@
 // Kernel benchmarks, two modes in one binary:
 //   * `--json <path>`: the batched link-kernel comparison — the
 //     historical allocating per-block BER path vs. the LinkWorkspace
-//     path — emitted as comimo-bench-v1, including a steady-state
-//     heap-allocation count per block from the operator-new hook below.
-//     Both paths consume identical per-block RNG streams, and the bench
-//     aborts unless their bit-error counts match exactly.
+//     path vs. the batch-SoA SIMD path on the pinned dispatch tier —
+//     emitted as comimo-bench-v1, with a median-of-reps ns_per_block
+//     and a steady-state heap-allocation count per block from the
+//     operator-new hook below.  All paths consume identical per-block
+//     RNG streams, and the bench aborts unless their bit-error counts
+//     match exactly.
 //   * otherwise: the google-benchmark micro suite over the hot paths a
 //     planner or simulator spends its time in — the ē_b solve, STBC
 //     encode/decode, GMSK modulation, CSMA/CA and framing.
@@ -14,9 +16,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
 #include <cstdlib>
 #include <new>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "comimo/common/bench_json.h"
@@ -27,8 +31,10 @@
 #include "comimo/net/csma_ca.h"
 #include "comimo/net/spatial_csma.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/numeric/simd/simd.h"
 #include "comimo/phy/ber_sweep.h"
 #include "comimo/phy/detector.h"
+#include "comimo/phy/link_batch.h"
 #include "comimo/phy/gmsk.h"
 #include "comimo/phy/link_adaptation.h"
 #include "comimo/phy/modulation.h"
@@ -140,39 +146,104 @@ struct LinkKernelRun {
   std::size_t bits = 0;
 };
 
-/// Measures `blocks` post-warmup blocks of either path.  Per-block RNG
-/// streams are Rng(seed, block index) for both paths, so the bit-error
-/// totals must agree exactly.
-template <typename BlockFn>
-LinkKernelRun measure_blocks(std::size_t warmup, std::size_t blocks,
-                             std::size_t bits_per_block, std::uint64_t seed,
-                             BlockFn&& block) {
+/// Runs `reps` timed passes and folds them into one LinkKernelRun:
+/// ns_per_block is the median pass (robust against a scheduler hiccup
+/// polluting a single rep), allocs_per_block is accumulated over every
+/// timed pass (so a leak in any rep shows), and bit errors are taken
+/// from the last pass after checking every pass agreed — per-block RNG
+/// streams are Rng(seed, block index), so reps are exact replays.
+template <typename PassFn>
+LinkKernelRun fold_reps(std::size_t reps, std::size_t blocks,
+                        std::size_t bits_per_block, PassFn&& pass) {
   LinkKernelRun out;
-  for (std::size_t blk = 0; blk < warmup; ++blk) {
-    Rng rng(seed, blk);
-    (void)block(rng);
+  std::vector<double> ns_per_rep;
+  ns_per_rep.reserve(reps);
+  std::uint64_t allocs = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const std::uint64_t allocs0 =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t errors = pass();
+    const auto t1 = std::chrono::steady_clock::now();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - allocs0;
+    ns_per_rep.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+    COMIMO_CHECK(rep == 0 || errors == out.bit_errors,
+                 "bit errors changed between reps of the same streams");
+    out.bit_errors = errors;
   }
-  const std::uint64_t allocs0 =
-      g_heap_allocs.load(std::memory_order_relaxed);
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t blk = warmup; blk < warmup + blocks; ++blk) {
-    Rng rng(seed, blk);
-    out.bit_errors += block(rng);
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-  const std::uint64_t allocs1 =
-      g_heap_allocs.load(std::memory_order_relaxed);
-  const double ns =
-      std::chrono::duration<double, std::nano>(t1 - t0).count();
-  out.ns_per_block = ns / static_cast<double>(blocks);
-  out.allocs_per_block = static_cast<double>(allocs1 - allocs0) /
-                         static_cast<double>(blocks);
+  std::sort(ns_per_rep.begin(), ns_per_rep.end());
+  const double median_ns =
+      reps % 2 == 1 ? ns_per_rep[reps / 2]
+                    : 0.5 * (ns_per_rep[reps / 2 - 1] + ns_per_rep[reps / 2]);
+  out.ns_per_block = median_ns / static_cast<double>(blocks);
+  out.allocs_per_block = static_cast<double>(allocs) /
+                         static_cast<double>(blocks * reps);
   out.bits = blocks * bits_per_block;
   return out;
 }
 
+/// Measures `blocks` post-warmup blocks of either scalar path over
+/// `reps` repetitions.  Per-block RNG streams are Rng(seed, block
+/// index) for every path, so the bit-error totals must agree exactly.
+/// Warmup blocks [0, warmup) run once, outside the timed window.
+template <typename BlockFn>
+LinkKernelRun measure_blocks(std::size_t reps, std::size_t warmup,
+                             std::size_t blocks, std::size_t bits_per_block,
+                             std::uint64_t seed, BlockFn&& block) {
+  for (std::size_t blk = 0; blk < warmup; ++blk) {
+    Rng rng(seed, blk);
+    (void)block(rng);
+  }
+  return fold_reps(reps, blocks, bits_per_block, [&] {
+    std::size_t errors = 0;
+    for (std::size_t blk = warmup; blk < warmup + blocks; ++blk) {
+      Rng rng(seed, blk);
+      errors += block(rng);
+    }
+    return errors;
+  });
+}
+
+/// Batched counterpart: blocks are grouped `width` at a time (tail
+/// groups shrink) over the same Rng(seed, block index) streams, so the
+/// totals remain comparable with the scalar paths bit-for-bit.  The
+/// lane RNGs live in stack storage via placement new — Rng has no
+/// default constructor and a heap-backed vector would break the
+/// zero-allocation claim inside the timed window.
+template <typename BatchFn>
+LinkKernelRun measure_blocks_batched(std::size_t reps, std::size_t warmup,
+                                     std::size_t blocks,
+                                     std::size_t bits_per_block,
+                                     std::uint64_t seed, std::size_t width,
+                                     BatchFn&& batch) {
+  static_assert(std::is_trivially_destructible_v<Rng>,
+                "stack lane RNGs skip destructor calls");
+  constexpr std::size_t kMaxLanes = 8;
+  COMIMO_CHECK(width >= 1 && width <= kMaxLanes,
+               "batch width out of range for the stack lane RNGs");
+  alignas(Rng) std::byte lane_storage[kMaxLanes * sizeof(Rng)];
+  Rng* const lanes = reinterpret_cast<Rng*>(lane_storage);
+  const auto run_span = [&](std::size_t first, std::size_t count_blocks) {
+    std::size_t errors = 0;
+    for (std::size_t blk = first; blk < first + count_blocks; blk += width) {
+      const std::size_t count =
+          std::min(width, first + count_blocks - blk);
+      for (std::size_t i = 0; i < count; ++i) {
+        ::new (static_cast<void*>(lanes + i)) Rng(seed, blk + i);
+      }
+      errors += batch(lanes, count);
+    }
+    return errors;
+  };
+  (void)run_span(0, warmup);
+  return fold_reps(reps, blocks, bits_per_block,
+                   [&] { return run_span(warmup, blocks); });
+}
+
 Json link_params(const char* path, int b, unsigned mt, unsigned mr,
-                 double gamma_b_db, std::size_t blocks, std::size_t warmup) {
+                 double gamma_b_db, std::size_t blocks, std::size_t warmup,
+                 std::size_t reps) {
   Json params = Json::object();
   params.set("kernel", "waveform_ber");
   params.set("path", path);
@@ -182,10 +253,12 @@ Json link_params(const char* path, int b, unsigned mt, unsigned mr,
   params.set("gamma_b_db", gamma_b_db);
   params.set("blocks", static_cast<std::uint64_t>(blocks));
   params.set("warmup", static_cast<std::uint64_t>(warmup));
+  params.set("reps", static_cast<std::uint64_t>(reps));
   return params;
 }
 
-Json link_metrics(const LinkKernelRun& run, double speedup) {
+Json link_metrics(const LinkKernelRun& run, double speedup_vs_allocating,
+                  double speedup_vs_scalar = 0.0) {
   Json metrics = Json::object();
   metrics.set("ns_per_block", run.ns_per_block);
   metrics.set("allocs_per_block", run.allocs_per_block);
@@ -194,7 +267,12 @@ Json link_metrics(const LinkKernelRun& run, double speedup) {
   metrics.set("ber", run.bits ? static_cast<double>(run.bit_errors) /
                                     static_cast<double>(run.bits)
                               : 0.0);
-  if (speedup > 0.0) metrics.set("speedup_vs_allocating", speedup);
+  if (speedup_vs_allocating > 0.0) {
+    metrics.set("speedup_vs_allocating", speedup_vs_allocating);
+  }
+  if (speedup_vs_scalar > 0.0) {
+    metrics.set("speedup_vs_scalar", speedup_vs_scalar);
+  }
   return metrics;
 }
 
@@ -203,6 +281,7 @@ void run_link_kernel_bench(const BenchCli& cli) {
   reporter.set_threads(1);  // the comparison is deliberately serial
   const std::size_t blocks = cli.trials ? cli.trials : 20000;
   const std::size_t warmup = std::min<std::size_t>(500, blocks);
+  const std::size_t reps = 3;
   const double gamma_b_db = 6.0;
   const double gamma_b = db_to_linear(gamma_b_db);
   const std::uint64_t seed = 1;
@@ -222,7 +301,7 @@ void run_link_kernel_bench(const BenchCli& cli) {
                                        gamma_b / code.symbol_weight());
 
     const LinkKernelRun alloc_run = measure_blocks(
-        warmup, blocks, bits_per_block, seed, [&](Rng& rng) {
+        reps, warmup, blocks, bits_per_block, seed, [&](Rng& rng) {
           return allocating_block(*modem, code, decoder, shape.mt, shape.mr,
                                   sym_scale, bits_per_block, rng);
         });
@@ -231,7 +310,7 @@ void run_link_kernel_bench(const BenchCli& cli) {
     LinkWorkspace ws;
     kernel.prepare(ws);
     const LinkKernelRun ws_run = measure_blocks(
-        warmup, blocks, bits_per_block, seed,
+        reps, warmup, blocks, bits_per_block, seed,
         [&](Rng& rng) { return kernel.run_block(ws, rng); });
 
     // The workspace path must be bit-identical to the allocating one;
@@ -239,19 +318,50 @@ void run_link_kernel_bench(const BenchCli& cli) {
     COMIMO_CHECK(ws_run.bit_errors == alloc_run.bit_errors,
                  "workspace path diverged from the allocating path");
 
+    // The SoA batch path over the pinned dispatch tier, same streams.
+    // At width 1 (scalar pin or no vector unit) this degenerates to the
+    // workspace path per lane, so the record stays meaningful anywhere.
+    const std::size_t width = simd::batch_width();
+    LinkBatchWorkspace bws;
+    kernel.prepare_batch(bws, width);
+    const LinkKernelRun batch_run = measure_blocks_batched(
+        reps, warmup, blocks, bits_per_block, seed, width,
+        [&](Rng* rngs, std::size_t count) {
+          return kernel.run_block_batch(bws, rngs, count);
+        });
+    COMIMO_CHECK(batch_run.bit_errors == ws_run.bit_errors,
+                 "simd batch path diverged from the scalar workspace path");
+
     const double speedup =
         ws_run.ns_per_block > 0.0 ? alloc_run.ns_per_block / ws_run.ns_per_block
                                   : 0.0;
+    const double batch_speedup_vs_alloc =
+        batch_run.ns_per_block > 0.0
+            ? alloc_run.ns_per_block / batch_run.ns_per_block
+            : 0.0;
+    const double batch_speedup_vs_scalar =
+        batch_run.ns_per_block > 0.0
+            ? ws_run.ns_per_block / batch_run.ns_per_block
+            : 0.0;
     const auto tps = [](const LinkKernelRun& r) {
       return r.ns_per_block > 0.0 ? 1e9 / r.ns_per_block : 0.0;
     };
     reporter.add_record(link_params("allocating", shape.b, shape.mt, shape.mr,
-                                    gamma_b_db, blocks, warmup),
+                                    gamma_b_db, blocks, warmup, reps),
                         link_metrics(alloc_run, 0.0), blocks,
                         tps(alloc_run));
     reporter.add_record(link_params("workspace", shape.b, shape.mt, shape.mr,
-                                    gamma_b_db, blocks, warmup),
+                                    gamma_b_db, blocks, warmup, reps),
                         link_metrics(ws_run, speedup), blocks, tps(ws_run));
+    Json batch_params = link_params("simd_batch", shape.b, shape.mt, shape.mr,
+                                    gamma_b_db, blocks, warmup, reps);
+    batch_params.set("simd", simd::tier_name(simd::active_tier()));
+    batch_params.set("width", static_cast<std::uint64_t>(width));
+    reporter.add_record(
+        std::move(batch_params),
+        link_metrics(batch_run, batch_speedup_vs_alloc,
+                     batch_speedup_vs_scalar),
+        blocks, tps(batch_run));
   }
   reporter.write_file(cli.json_path);
 }
@@ -442,10 +552,11 @@ int main(int argc, char** argv) {
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threads" || arg == "--trials" || arg == "--trace") {
+    if (arg == "--threads" || arg == "--trials" || arg == "--trace" ||
+        arg == "--simd") {
       ++i;  // value-taking common flags parse_bench_cli already consumed
-    } else if (arg == "--obs") {
-      // boolean flag, likewise already consumed
+    } else if (arg == "--obs" || arg.rfind("--simd=", 0) == 0) {
+      // single-token flags, likewise already consumed
     } else {
       storage.push_back(arg);
     }

@@ -12,7 +12,8 @@
 #      (`metrics_runtime` — latencies, utilization — is exempt.)
 # perf_kernels emits comimo-bench-v1 in --json mode (the google-benchmark
 # micro-kernels still run when --json is absent) and additionally
-# guarantees allocs_per_block == 0 on the workspace records.
+# guarantees allocs_per_block == 0 on the workspace and simd_batch
+# records, plus speedup_vs_scalar >= 1.0 for the SIMD batch path.
 #
 # Usage: scripts/check_bench_json.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -121,7 +122,10 @@ for bench in "${SCHEMA_ONLY_BENCHES[@]}"; do
 done
 
 # perf_kernels: comimo-bench-v1 schema plus the zero-allocation gate —
-# every workspace record must report allocs_per_block == 0.
+# every workspace AND simd_batch record must report allocs_per_block
+# == 0, and the batch path must never lose to the scalar workspace path
+# (speedup_vs_scalar >= 1.0; bit-error identity is asserted inside the
+# binary itself, which aborts on divergence).
 if [ -x "$BENCH_DIR/perf_kernels" ]; then
   if "$BENCH_DIR/perf_kernels" --json "$OUT_DIR/perf_kernels.json" \
       --trials 2000 > /dev/null 2>&1 \
@@ -133,9 +137,19 @@ ws = [r for r in d["records"] if r["params"].get("path") == "workspace"]
 assert ws, "no workspace records"
 for r in ws:
     assert r["metrics"]["allocs_per_block"] == 0, \
-        f"workspace path allocates: {r}"' "$OUT_DIR/perf_kernels.json"
+        f"workspace path allocates: {r}"
+sb = [r for r in d["records"] if r["params"].get("path") == "simd_batch"]
+assert sb, "no simd_batch records"
+for r in sb:
+    assert r["params"].get("simd"), "simd_batch record without tier name"
+    assert r["params"].get("width", 0) >= 1, "simd_batch record without width"
+    assert r["metrics"]["allocs_per_block"] == 0, \
+        f"simd batch path allocates: {r}"
+    assert r["metrics"].get("speedup_vs_scalar", 0) >= 1.0, \
+        f"simd batch path slower than the scalar workspace path: {r}"' \
+      "$OUT_DIR/perf_kernels.json"
   then
-    echo "OK       perf_kernels (schema + zero-alloc workspace path)"
+    echo "OK       perf_kernels (schema + zero-alloc + simd_batch speedup)"
   else
     echo "FAIL     perf_kernels"; fail=1
   fi
@@ -150,10 +164,14 @@ d = json.load(open(sys.argv[1]))
 assert isinstance(d.get("metrics"), dict), "no envelope obs metrics"
 assert d["metrics"]["counters"].get("phy.link_blocks", 0) > 0, \
     "obs enabled but phy.link_blocks never counted"
-ws = [r for r in d["records"] if r["params"].get("path") == "workspace"]
-for r in ws:
-    assert r["metrics"]["allocs_per_block"] == 0, \
-        f"workspace path allocates with obs enabled: {r}"' \
+for r in d["records"]:
+    if r["params"].get("path") in ("workspace", "simd_batch"):
+        assert r["metrics"]["allocs_per_block"] == 0, \
+            f"{r['params']['path']} path allocates with obs enabled: {r}"
+g = d["metrics_runtime"]["gauges"] if "metrics_runtime" in d else {}
+g = {**d["metrics"].get("gauges", {}), **g}
+assert "simd.active_tier" in g and "simd.lane_width" in g, \
+    f"simd dispatch gauges missing from obs envelope: {sorted(g)}"' \
       "$OUT_DIR/perf_kernels.obs.json"
   then
     echo "OK       perf_kernels (--obs: metrics embedded, still zero-alloc)"

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # The one-command gate: tier-1 build + tests, the bench JSON contract,
 # clang-tidy (bugprone-* + performance-*; skipped when the tool is not
-# installed), the obs kill-switch/overhead gate, the workspace
-# link-kernel tests under ASan + UBSan, and (optionally) the full
-# sanitizer suite.
+# installed), the obs kill-switch/overhead gate, the COMIMO_SIMD=OFF
+# scalar-pinned leg, the workspace + simd batch link-kernel tests under
+# ASan + UBSan, and (optionally) the full sanitizer suite.
 #
 # Usage: scripts/ci.sh [build-dir]          (default: build)
 #        CI_SANITIZE=1 scripts/ci.sh        also runs check_sanitized.sh
@@ -28,7 +28,20 @@ scripts/check_clang_tidy.sh
 echo "== obs kill switch + disabled-overhead budget =="
 scripts/check_obs_overhead.sh "$BUILD_DIR"
 
-echo "== workspace kernel under ASan + UBSan =="
+echo "== simd kill switch: COMIMO_SIMD=OFF leg =="
+NOSIMD_DIR="${BUILD_DIR}-nosimd"
+cmake -B "$NOSIMD_DIR" -S . \
+  -DCOMIMO_SIMD=OFF \
+  -DCOMIMO_BUILD_BENCH=OFF \
+  -DCOMIMO_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "$NOSIMD_DIR" -j "$(nproc)"
+# The scalar-pinned build must hold the same golden tables, the batch
+# layer must degenerate cleanly to width 1, and the workspace and
+# waveform paths must be untouched.
+ctest --test-dir "$NOSIMD_DIR" --output-on-failure \
+  -R 'Golden|Simd|AlignedAlloc|LinkWorkspace|Waveform' -j "$(nproc)"
+
+echo "== workspace + simd batch kernels under ASan + UBSan =="
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -36,8 +49,8 @@ cmake -B "$ASAN_DIR" -S . \
   -DCOMIMO_BUILD_BENCH=OFF \
   -DCOMIMO_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "$ASAN_DIR" -j "$(nproc)"
-ctest --test-dir "$ASAN_DIR" --output-on-failure -R 'LinkWorkspace' \
-  -j "$(nproc)"
+ctest --test-dir "$ASAN_DIR" --output-on-failure \
+  -R 'LinkWorkspace|SimdBatch|AlignedAlloc' -j "$(nproc)"
 
 if [ "${CI_SANITIZE:-0}" = "1" ]; then
   echo "== sanitizers: full suite =="

@@ -9,6 +9,7 @@
 
 #include "comimo/common/error.h"
 #include "comimo/common/parallel.h"
+#include "comimo/numeric/simd/simd.h"
 #include "comimo/obs/export.h"
 #include "comimo/obs/trace.h"
 
@@ -280,9 +281,17 @@ BenchCli parse_bench_cli(int argc, char** argv) {
       cli.obs = true;
     } else if (arg == "--trace") {
       if (const char* v = next()) cli.trace_path = v;
+    } else if (arg == "--simd") {
+      if (const char* v = next()) cli.simd = v;
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      cli.simd = arg.substr(7);
     }
     // Unknown flags are ignored by design.
   }
+  // Pin the dispatch tier before any pool/bench code can touch a batch
+  // kernel; "auto" just confirms the default.  Throws (InvalidArgument)
+  // on unknown or unavailable modes, surfacing typos immediately.
+  simd::set_mode(cli.simd);
   if (cli.threads > 0) {
     cli.pool_ = std::make_shared<ThreadPool>(cli.threads);
   }

@@ -112,13 +112,16 @@ class BenchReporter {
 /// output, `--threads <n>` runs the engine-backed sweeps on a private
 /// pool of that size (0 = the shared pool), `--trials <n>` lets scripts
 /// shrink trial-bound benches, `--obs` enables the observability layer
-/// (metrics embed in the JSON envelope), and `--trace <path>` addition-
-/// ally arms span tracing with an exit-time Perfetto-loadable dump.
-/// Unknown flags are ignored so wrappers can pass common options to
-/// every binary.
+/// (metrics embed in the JSON envelope), `--trace <path>` additionally
+/// arms span tracing with an exit-time Perfetto-loadable dump, and
+/// `--simd <mode>` (or `--simd=<mode>`) pins the batch-kernel dispatch
+/// tier (auto|scalar|sse2|avx2|neon) before any kernel runs.  Unknown
+/// flags are ignored so wrappers can pass common options to every
+/// binary.
 struct BenchCli {
   std::string json_path;
   std::string trace_path;
+  std::string simd = "auto";  ///< requested dispatch mode, as given
   bool obs = false;
   unsigned threads = 0;
   std::size_t trials = 0;

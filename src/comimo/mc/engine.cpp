@@ -93,4 +93,62 @@ McResult run_trials(
   return result;
 }
 
+McResult run_trial_batches(
+    std::size_t trials, const McConfig& config, std::size_t max_batch,
+    const std::function<void(std::size_t, std::size_t, Rng*, McAccumulator&)>&
+        batch) {
+  COMIMO_CHECK(batch != nullptr, "null batch function");
+  max_batch = std::clamp<std::size_t>(max_batch, 1, 8);
+  ThreadPool& pool = config.pool ? *config.pool : ThreadPool::shared();
+
+  McResult result;
+  result.info.trials = trials;
+  result.info.threads = pool.size();
+  if (trials == 0) return result;
+
+  const std::size_t chunk = resolve_chunk_size(trials, config.chunk_size);
+  const std::size_t chunks = (trials + chunk - 1) / chunk;
+  result.info.chunks = chunks;
+
+  EngineObs& eobs = engine_obs();
+  eobs.runs.add();
+  eobs.trials.add(trials);
+  eobs.chunks.add(chunks);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<McAccumulator> shards(chunks);
+  parallel_for(pool, chunks, [&](std::size_t c) {
+    const obs::ObsShard shard(c);
+    const obs::SpanTimer span("mc.chunk", eobs.chunk_wall_s);
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(trials, begin + chunk);
+    McAccumulator& acc = shards[c];
+    // One generator per trial, materialized per group; Rng has no
+    // default constructor, so the group's streams live in a vector
+    // whose capacity is reused across groups (one allocation per chunk,
+    // outside any per-block zero-alloc window).
+    std::vector<Rng> rngs;
+    rngs.reserve(max_batch);
+    for (std::size_t t = begin; t < end; t += max_batch) {
+      const std::size_t count = std::min(max_batch, end - t);
+      rngs.clear();
+      for (std::size_t i = 0; i < count; ++i) {
+        rngs.emplace_back(config.seed, t + i);
+      }
+      batch(t, count, rngs.data(), acc);
+    }
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    result.acc.merge(shards[c]);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.info.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  result.info.trials_per_sec =
+      result.info.wall_s > 0.0
+          ? static_cast<double>(trials) / result.info.wall_s
+          : 0.0;
+  eobs.trials_per_sec.set(result.info.trials_per_sec);
+  return result;
+}
+
 }  // namespace comimo

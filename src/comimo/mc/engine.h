@@ -64,4 +64,20 @@ struct McResult {
 [[nodiscard]] std::size_t resolve_chunk_size(std::size_t trials,
                                              std::size_t chunk_size) noexcept;
 
+/// Batched variant for SIMD trial kernels: consecutive trials within a
+/// chunk are grouped up to `max_batch` wide and handed to
+/// `batch(first_trial, count, rngs, acc)` with one Rng per trial
+/// (rngs[i] streams trial first_trial + i).  The grouping is a pure
+/// function of the chunk bounds and max_batch — never of the worker
+/// count — and groups never straddle a chunk boundary, so the
+/// determinism contract of run_trials carries over verbatim: a batch
+/// whose per-trial results match the scalar trial's makes the merged
+/// accumulator bit-identical to run_trials on 1 or N threads.
+/// max_batch is clamped to [1, 8]; the trailing group of a chunk may be
+/// narrower than max_batch (the tail the batch kernel handles).
+[[nodiscard]] McResult run_trial_batches(
+    std::size_t trials, const McConfig& config, std::size_t max_batch,
+    const std::function<void(std::size_t, std::size_t, Rng*, McAccumulator&)>&
+        batch);
+
 }  // namespace comimo

@@ -1,0 +1,64 @@
+// 64-byte-aligned storage for the SIMD hot path.
+//
+// The batch-SoA kernels in numeric/simd/ issue aligned vector loads on
+// whole W-lane groups, so every plane (and CMatrix's backing store,
+// whose real/imag pairs the split-complex code reinterprets) must start
+// on a 64-byte boundary — one cache line, and enough for every ISA tier
+// up to AVX-512.  AlignedAllocator guarantees that via the C++17
+// aligned operator new, which the bench heap hooks also cover.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace comimo {
+
+/// Minimal std::allocator replacement with a fixed alignment guarantee.
+/// Stateless, so all instances compare equal and vectors swap freely.
+template <typename T, std::size_t Align = 64>
+class AlignedAllocator {
+  static_assert(Align >= alignof(T), "alignment below the type's own");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  /*implicit*/ AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// 64-byte-aligned vector: the backing store of CMatrix and of the SoA
+/// planes in phy/link_batch.h.
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T, 64>>;
+
+// The split-complex kernels treat a cplx array as interleaved
+// (re, im) doubles and the SoA planes as bare double arrays; both
+// reinterpretations require the standard complex layout.
+static_assert(sizeof(std::complex<double>) == 2 * sizeof(double),
+              "std::complex<double> must be exactly two doubles");
+static_assert(alignof(std::complex<double>) <= 64,
+              "cplx alignment exceeds the plane alignment");
+
+}  // namespace comimo

@@ -288,11 +288,21 @@ void multiply_into(ConstCMatrixView a, ConstCMatrixView b, CMatrixView out) {
                 "output shape mismatch in multiply_into");
   COMIMO_DCHECK(out.data() != a.data() && out.data() != b.data(),
                 "multiply_into output must not alias an input");
+  // Row base pointers hoisted out of the inner loops: the strided
+  // operator() form costs an index multiply per access, which dominates
+  // at MIMO sizes.  Accumulation order is unchanged (ascending k), so
+  // the result is bit-identical — this is also the SIMD tail path.
+  const std::size_t a_cols = a.cols();
+  const std::size_t b_cols = b.cols();
+  const cplx* bp = b.data();
   for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (std::size_t c = 0; c < b.cols(); ++c) {
+    const cplx* arow = a.data() + r * a_cols;
+    cplx* orow = out.data() + r * b_cols;
+    for (std::size_t c = 0; c < b_cols; ++c) {
+      const cplx* bcol = bp + c;
       cplx sum{0.0, 0.0};
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += a(r, k) * b(k, c);
-      out(r, c) = sum;
+      for (std::size_t k = 0; k < a_cols; ++k) sum += arow[k] * bcol[k * b_cols];
+      orow[c] = sum;
     }
   }
 }
@@ -304,11 +314,18 @@ void multiply_transposed_into(ConstCMatrixView a, ConstCMatrixView b,
                 "output shape mismatch in a·bᵀ");
   COMIMO_DCHECK(out.data() != a.data() && out.data() != b.data(),
                 "multiply_transposed_into output must not alias an input");
+  // Same pointer hoist as multiply_into; both operands walk rows here,
+  // so the inner loop is two unit-stride streams.
+  const std::size_t a_cols = a.cols();
+  const std::size_t b_rows = b.rows();
   for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (std::size_t c = 0; c < b.rows(); ++c) {
+    const cplx* arow = a.data() + r * a_cols;
+    cplx* orow = out.data() + r * b_rows;
+    for (std::size_t c = 0; c < b_rows; ++c) {
+      const cplx* brow = b.data() + c * a_cols;
       cplx sum{0.0, 0.0};
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += a(r, k) * b(c, k);
-      out(r, c) = sum;
+      for (std::size_t k = 0; k < a_cols; ++k) sum += arow[k] * brow[k];
+      orow[c] = sum;
     }
   }
 }

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "comimo/numeric/aligned.h"
+
 namespace comimo {
 
 class Rng;
@@ -99,7 +101,9 @@ class CMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<cplx> data_;
+  // 64-byte-aligned so views handed to the SIMD batch kernels never
+  // need an unaligned-load path (numeric/aligned.h).
+  AlignedVec<cplx> data_;
 };
 
 /// Matrix–vector product A·x.

@@ -1,0 +1,27 @@
+// AVX2 (W = 4) backend.  Compiled with -mavx2 -ffp-contract=off on
+// x86-64; note -mavx2 does not enable FMA, and the Vec ops are explicit
+// mul/add intrinsics, so the no-contraction bit-identity contract holds.
+#include "comimo/numeric/simd/simd.h"
+
+#if defined(__AVX2__) && !defined(COMIMO_SIMD_DISABLED)
+
+#include "comimo/numeric/simd/batch_kernels_impl.h"
+
+namespace comimo::simd::detail {
+
+const BatchKernels* avx2_kernels() noexcept {
+  static const BatchKernels kTable = make_kernels<VecAvx2>(Tier::kAvx2);
+  return &kTable;
+}
+
+}  // namespace comimo::simd::detail
+
+#else
+
+namespace comimo::simd::detail {
+
+const BatchKernels* avx2_kernels() noexcept { return nullptr; }
+
+}  // namespace comimo::simd::detail
+
+#endif

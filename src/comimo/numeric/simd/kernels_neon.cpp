@@ -1,0 +1,27 @@
+// NEON (W = 2) backend for aarch64, where Advanced SIMD is baseline —
+// no extra -m flag, just -ffp-contract=off like every backend TU.
+#include "comimo/numeric/simd/simd.h"
+
+#if defined(__ARM_NEON) && defined(__aarch64__) && \
+    !defined(COMIMO_SIMD_DISABLED)
+
+#include "comimo/numeric/simd/batch_kernels_impl.h"
+
+namespace comimo::simd::detail {
+
+const BatchKernels* neon_kernels() noexcept {
+  static const BatchKernels kTable = make_kernels<VecNeon>(Tier::kNeon);
+  return &kTable;
+}
+
+}  // namespace comimo::simd::detail
+
+#else
+
+namespace comimo::simd::detail {
+
+const BatchKernels* neon_kernels() noexcept { return nullptr; }
+
+}  // namespace comimo::simd::detail
+
+#endif

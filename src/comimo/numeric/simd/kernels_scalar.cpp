@@ -1,0 +1,14 @@
+// Scalar (W = 1) backend — always available, the reference every wider
+// tier must match bitwise, and the only backend left under
+// COMIMO_SIMD=OFF.  Compiled with -ffp-contract=off like the others so
+// no FMA can sneak into the reference either.
+#include "comimo/numeric/simd/batch_kernels_impl.h"
+
+namespace comimo::simd::detail {
+
+const BatchKernels* scalar_kernels() noexcept {
+  static const BatchKernels kTable = make_kernels<VecScalar>(Tier::kScalar);
+  return &kTable;
+}
+
+}  // namespace comimo::simd::detail

@@ -1,0 +1,27 @@
+// SSE2 (W = 2) backend.  The TU is compiled with -msse2 on x86; on
+// other architectures (or under COMIMO_SIMD=OFF) the entry point simply
+// reports the tier unavailable.
+#include "comimo/numeric/simd/simd.h"
+
+#if defined(__SSE2__) && !defined(COMIMO_SIMD_DISABLED)
+
+#include "comimo/numeric/simd/batch_kernels_impl.h"
+
+namespace comimo::simd::detail {
+
+const BatchKernels* sse2_kernels() noexcept {
+  static const BatchKernels kTable = make_kernels<VecSse2>(Tier::kSse2);
+  return &kTable;
+}
+
+}  // namespace comimo::simd::detail
+
+#else
+
+namespace comimo::simd::detail {
+
+const BatchKernels* sse2_kernels() noexcept { return nullptr; }
+
+}  // namespace comimo::simd::detail
+
+#endif

@@ -6,6 +6,8 @@
 #include "comimo/common/error.h"
 #include "comimo/common/units.h"
 #include "comimo/numeric/cmatrix.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/numeric/simd/simd.h"
 #include "comimo/obs/metrics.h"
 #include "comimo/phy/ber.h"
 #include "comimo/phy/detector.h"
@@ -13,6 +15,17 @@
 #include "comimo/phy/stbc.h"
 
 namespace comimo {
+
+namespace {
+// Same metric as link_workspace.cpp's per-block counter (the registry is
+// idempotent, so both handles hit one cell); the batch path adds W per
+// call instead of 1 per block.
+obs::Counter& batch_link_blocks_counter() {
+  static obs::Counter c =
+      obs::MetricRegistry::global().counter("phy.link_blocks");
+  return c;
+}
+}  // namespace
 
 WaveformBerKernel::WaveformBerKernel(int b, unsigned mt, unsigned mr,
                                      double gamma_b)
@@ -43,6 +56,144 @@ std::size_t WaveformBerKernel::run_block(LinkWorkspace& ws, Rng& rng) const {
   return count_bit_errors(ws.bits, ws.decoded);
 }
 
+void WaveformBerKernel::prepare_batch(LinkBatchWorkspace& ws,
+                                      std::size_t width) const {
+  ws.configure(decoder_.code(), mr_, width, bits_per_block_);
+}
+
+std::size_t WaveformBerKernel::run_block_batch(LinkBatchWorkspace& ws,
+                                               Rng* rngs,
+                                               std::size_t count) const {
+  COMIMO_DCHECK(count >= 1 && count <= ws.width,
+                "count must fit the configured lane width");
+  const std::size_t w_count = ws.width;
+
+  // Tail (or degenerate width-1) path: the plain scalar kernel per lane,
+  // with its bits mirrored into the lane-major staging so callers see
+  // one layout regardless of which path ran.
+  if (w_count == 1 || count < w_count) {
+    std::size_t errors = 0;
+    for (std::size_t w = 0; w < count; ++w) {
+      errors += run_block(ws.lane_ws, rngs[w]);
+      std::uint8_t* bits_out = ws.bits.data() + w * bits_per_block_;
+      std::uint8_t* dec_out = ws.decoded.data() + w * bits_per_block_;
+      for (std::size_t i = 0; i < bits_per_block_; ++i) {
+        bits_out[i] = ws.lane_ws.bits[i];
+        dec_out[i] = ws.lane_ws.decoded[i];
+      }
+    }
+    return errors;
+  }
+
+  const simd::BatchKernels& k = simd::active_kernels();
+  COMIMO_DCHECK(w_count == k.width,
+                "workspace width must match the pinned SIMD lane width");
+  const StbcCode& code = decoder_.code();
+  const std::size_t mt = code.num_tx();
+  const std::size_t tt = code.block_length();
+  const std::size_t kk = code.symbols_per_block();
+  const std::size_t mr = mr_;
+  const cplx* coeff_a = code.coeff_a_flat().data();
+  const cplx* coeff_b = code.coeff_b_flat().data();
+
+  // Source bits and modulation stay scalar per lane: bit draws must
+  // consume lane w's generator exactly like run_block, and the symbol
+  // map is a table lookup.  Unscaled symbols stage through lane_ws and
+  // scatter into the SoA planes.
+  for (std::size_t w = 0; w < w_count; ++w) {
+    std::uint8_t* lane_bits = ws.bits.data() + w * bits_per_block_;
+    for (std::size_t i = 0; i < bits_per_block_; ++i) {
+      lane_bits[i] = rngs[w].bernoulli(0.5) ? 1 : 0;
+    }
+    modem_->modulate_into({lane_bits, bits_per_block_}, ws.lane_ws.symbols);
+    for (std::size_t s = 0; s < kk; ++s) {
+      ws.sym_re[s * w_count + w] = ws.lane_ws.symbols[s].real();
+      ws.sym_im[s * w_count + w] = ws.lane_ws.symbols[s].imag();
+    }
+  }
+  k.scale(ws.sym_re.data(), ws.sym_im.data(), kk, sym_scale_);
+
+  // The link itself: channel draw, STBC encode, propagate, AWGN — the
+  // simulate_block() sequence, W lanes per op.
+  simd::random_gaussian_fill_batch(ws.h_re.data(), ws.h_im.data(), mr * mt,
+                                   w_count, rngs, 1.0);
+  k.stbc_encode(coeff_a, coeff_b, tt, mt, kk, code.power_scale(),
+                ws.sym_re.data(), ws.sym_im.data(), ws.enc_re.data(),
+                ws.enc_im.data());
+  k.multiply_transposed(ws.enc_re.data(), ws.enc_im.data(), ws.h_re.data(),
+                        ws.h_im.data(), ws.rx_re.data(), ws.rx_im.data(), tt,
+                        mt, mr);
+  simd::add_scaled_noise_into_batch(ws.rx_re.data(), ws.rx_im.data(), tt * mr,
+                                    w_count, rngs, 1.0);
+
+  // ML decode: the F/y build and the normal-equation dot products are
+  // vectorized; the pivoted solve is data-dependent per lane, so each
+  // lane's gram/rhs is extracted and solved with the scalar eliminator
+  // — the exact code path (and bits) of StbcDecoder::decode_into.
+  const std::size_t rows = 2 * tt * mr;
+  const std::size_t cols = 2 * kk;
+  k.stbc_build_fy(coeff_a, coeff_b, tt, mt, kk, mr, code.power_scale(),
+                  ws.h_re.data(), ws.h_im.data(), ws.rx_re.data(),
+                  ws.rx_im.data(), ws.f.data(), ws.y.data());
+  k.gram_rhs(ws.f.data(), ws.y.data(), rows, cols, ws.gram.data(),
+             ws.rhs.data());
+  StbcDecodeScratch& sc = ws.solve_scratch;
+  for (std::size_t w = 0; w < w_count; ++w) {
+    sc.gram.resize(cols, cols);
+    sc.rhs.assign(cols, cplx{0.0, 0.0});
+    for (std::size_t c1 = 0; c1 < cols; ++c1) {
+      for (std::size_t c2 = 0; c2 < cols; ++c2) {
+        sc.gram(c1, c2) = cplx{ws.gram[(c1 * cols + c2) * w_count + w], 0.0};
+      }
+      sc.rhs[c1] = cplx{ws.rhs[c1 * w_count + w], 0.0};
+    }
+    sc.gram.solve_into(sc.rhs, sc.x, sc.solve_work);
+    for (std::size_t s = 0; s < kk; ++s) {
+      ws.est_re[s * w_count + w] = sc.x[2 * s].real();
+      ws.est_im[s * w_count + w] = sc.x[2 * s + 1].real();
+    }
+  }
+  k.divide(ws.est_re.data(), ws.est_im.data(), kk, sym_scale_);
+
+  // Hard demapping.  BPSK keeps its sign rule (distance ties at ±0
+  // would flip the bit the sign rule picks); QAM runs the vector
+  // distance argmin and unpacks labels MSB-first like demodulate_into.
+  const int b = modem_->bits_per_symbol();
+  if (b == 1) {
+    for (std::size_t w = 0; w < w_count; ++w) {
+      std::uint8_t* dec_out = ws.decoded.data() + w * bits_per_block_;
+      for (std::size_t s = 0; s < kk; ++s) {
+        dec_out[s] = ws.est_re[s * w_count + w] < 0.0 ? std::uint8_t{1}
+                                                      : std::uint8_t{0};
+      }
+    }
+  } else {
+    const std::vector<cplx>& points = modem_->constellation();
+    k.qam_nearest(ws.est_re.data(), ws.est_im.data(), kk, points.data(),
+                  points.size(), ws.labels.data());
+    for (std::size_t w = 0; w < w_count; ++w) {
+      std::uint8_t* dec_out = ws.decoded.data() + w * bits_per_block_;
+      std::size_t pos = 0;
+      for (std::size_t s = 0; s < kk; ++s) {
+        const std::uint32_t label = ws.labels[s * w_count + w];
+        for (int bit = b - 1; bit >= 0; --bit) {
+          dec_out[pos++] =
+              static_cast<std::uint8_t>((label >> bit) & 1u);
+        }
+      }
+    }
+  }
+
+  std::size_t errors = 0;
+  for (std::size_t w = 0; w < w_count; ++w) {
+    errors += count_bit_errors(
+        {ws.bits.data() + w * bits_per_block_, bits_per_block_},
+        {ws.decoded.data() + w * bits_per_block_, bits_per_block_});
+  }
+  batch_link_blocks_counter().add(w_count);
+  return errors;
+}
+
 WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
                                       double gamma_b_db) {
   COMIMO_CHECK(config.blocks >= 1, "need at least one block");
@@ -56,16 +207,40 @@ WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
   mc.chunk_size = config.chunk_size;
   mc.pool = config.pool;
 
-  const McResult run = run_trials(
-      config.blocks, mc, [&](std::size_t, Rng& rng, McAccumulator& acc) {
-        // One workspace per worker thread, reused across every block the
-        // thread runs; prepare() re-shapes it (no allocation at steady
-        // state) in case the thread last served a different kernel.
-        thread_local LinkWorkspace ws;
-        kernel.prepare(ws);
-        acc.count("bit_errors", kernel.run_block(ws, rng));
-        acc.count("bits", bits_per_block);
-      });
+  // With a vector tier pinned, W consecutive blocks of each chunk run
+  // through the batch-SoA kernel; each lane is bit-identical to the
+  // scalar run_block on the same (seed, trial) stream and the grouping
+  // is worker-count invariant, so both paths produce the same counters
+  // — the scalar branch is the W == 1 / kill-switch shape of the same
+  // measurement.
+  const std::size_t width = simd::batch_width();
+  const McResult run =
+      width > 1
+          ? run_trial_batches(
+                config.blocks, mc, width,
+                [&](std::size_t, std::size_t count, Rng* rngs,
+                    McAccumulator& acc) {
+                  // One batch workspace per worker thread, reused across
+                  // every group the thread runs (no allocation at steady
+                  // state).
+                  thread_local LinkBatchWorkspace ws;
+                  kernel.prepare_batch(ws, width);
+                  acc.count("bit_errors",
+                            kernel.run_block_batch(ws, rngs, count));
+                  acc.count("bits", bits_per_block * count);
+                })
+          : run_trials(
+                config.blocks, mc,
+                [&](std::size_t, Rng& rng, McAccumulator& acc) {
+                  // One workspace per worker thread, reused across every
+                  // block the thread runs; prepare() re-shapes it (no
+                  // allocation at steady state) in case the thread last
+                  // served a different kernel.
+                  thread_local LinkWorkspace ws;
+                  kernel.prepare(ws);
+                  acc.count("bit_errors", kernel.run_block(ws, rng));
+                  acc.count("bits", bits_per_block);
+                });
 
   WaveformBerPoint point;
   point.gamma_b_db = gamma_b_db;

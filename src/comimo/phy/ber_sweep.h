@@ -15,6 +15,7 @@
 
 #include "comimo/mc/engine.h"
 #include "comimo/numeric/stats.h"
+#include "comimo/phy/link_batch.h"
 #include "comimo/phy/link_workspace.h"
 
 namespace comimo {
@@ -58,6 +59,20 @@ class WaveformBerKernel {
   /// One block: draw source bits, modulate, simulate the link, decode,
   /// count errors.  The source/decoded bits stay in ws.bits/ws.decoded.
   [[nodiscard]] std::size_t run_block(LinkWorkspace& ws, Rng& rng) const;
+
+  /// Shapes `ws` for this kernel at `width` lanes (normally
+  /// simd::batch_width()); the batch analogue of prepare().
+  void prepare_batch(LinkBatchWorkspace& ws, std::size_t width) const;
+
+  /// `count` blocks at once through the SIMD batch path, one Rng per
+  /// lane (rngs[0..count)).  Returns the total bit-error count; per-lane
+  /// source/decoded bits stay lane-major in ws.bits/ws.decoded.  Lane w
+  /// is bit-identical to run_block(ws', rngs[w]) on a fresh workspace —
+  /// a count below the configured width (the tail of a Monte-Carlo
+  /// chunk) falls back to exactly that scalar loop.
+  [[nodiscard]] std::size_t run_block_batch(LinkBatchWorkspace& ws,
+                                            Rng* rngs,
+                                            std::size_t count) const;
 
   [[nodiscard]] std::size_t bits_per_block() const noexcept {
     return bits_per_block_;

@@ -1,0 +1,37 @@
+#include "comimo/phy/link_batch.h"
+
+#include "comimo/common/error.h"
+
+namespace comimo {
+
+void LinkBatchWorkspace::configure(const StbcCode& code, std::size_t mr,
+                                   std::size_t w, std::size_t bits_per_block) {
+  COMIMO_CHECK(w >= 1, "need at least one lane");
+  COMIMO_CHECK(mr >= 1, "need a receive antenna");
+  const std::size_t mt = code.num_tx();
+  const std::size_t tt = code.block_length();
+  const std::size_t kk = code.symbols_per_block();
+  const std::size_t rows = 2 * tt * mr;
+  const std::size_t cols = 2 * kk;
+  width = w;
+  h_re.assign(mr * mt * w, 0.0);
+  h_im.assign(mr * mt * w, 0.0);
+  enc_re.assign(tt * mt * w, 0.0);
+  enc_im.assign(tt * mt * w, 0.0);
+  rx_re.assign(tt * mr * w, 0.0);
+  rx_im.assign(tt * mr * w, 0.0);
+  sym_re.assign(kk * w, 0.0);
+  sym_im.assign(kk * w, 0.0);
+  est_re.assign(kk * w, 0.0);
+  est_im.assign(kk * w, 0.0);
+  f.assign(rows * cols * w, 0.0);
+  y.assign(rows * w, 0.0);
+  gram.assign(cols * cols * w, 0.0);
+  rhs.assign(cols * w, 0.0);
+  labels.assign(kk * w, 0);
+  bits.assign(bits_per_block * w, 0);
+  decoded.assign(bits_per_block * w, 0);
+  lane_ws.configure(code, mr);
+}
+
+}  // namespace comimo

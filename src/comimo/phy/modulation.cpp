@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "comimo/common/error.h"
+#include "comimo/numeric/simd/simd.h"
 
 namespace comimo {
 
@@ -112,8 +113,33 @@ void QamModulator::demodulate_into(std::span<const cplx> symbols,
                                    BitVec& out) const {
   out.resize(symbols.size() * static_cast<std::size_t>(b_));
   std::size_t w = 0;
-  for (const auto& s : symbols) {
-    const auto label = static_cast<unsigned>(nearest_point(s));
+  std::size_t i = 0;
+  // The distance argmin is the demod hot loop, and consecutive symbols
+  // are independent — so treat W symbols as SIMD lanes, staged through
+  // aligned stack groups.  The batched kernel implements the exact
+  // strict-< first-minimum argmin of nearest_point(), so labels (and
+  // bits) are identical to the scalar tail below at every tier.
+  const simd::BatchKernels& kern = simd::active_kernels();
+  const std::size_t width = kern.width;
+  if (width > 1) {
+    alignas(64) double re[8];  // width ≤ 8 at every tier
+    alignas(64) double im[8];
+    std::uint32_t labels[8];
+    for (; i + width <= symbols.size(); i += width) {
+      for (std::size_t l = 0; l < width; ++l) {
+        re[l] = symbols[i + l].real();
+        im[l] = symbols[i + l].imag();
+      }
+      kern.qam_nearest(re, im, 1, points_.data(), points_.size(), labels);
+      for (std::size_t l = 0; l < width; ++l) {
+        for (int k = b_ - 1; k >= 0; --k) {
+          out[w++] = static_cast<std::uint8_t>((labels[l] >> k) & 1u);
+        }
+      }
+    }
+  }
+  for (; i < symbols.size(); ++i) {
+    const auto label = static_cast<unsigned>(nearest_point(symbols[i]));
     for (int k = b_ - 1; k >= 0; --k) {
       out[w++] = static_cast<std::uint8_t>((label >> k) & 1u);
     }

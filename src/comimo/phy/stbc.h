@@ -60,6 +60,15 @@ class StbcCode {
   [[nodiscard]] cplx coeff_b(std::size_t t, std::size_t i,
                              std::size_t k) const;
 
+  /// Flat coefficient tensors in idx(t, i, k) = (t·num_tx + i)·K + k
+  /// order — the layout the batched SIMD kernels walk directly.
+  [[nodiscard]] std::span<const cplx> coeff_a_flat() const noexcept {
+    return a_;
+  }
+  [[nodiscard]] std::span<const cplx> coeff_b_flat() const noexcept {
+    return b_;
+  }
+
   /// Encodes K symbols into the T × num_tx transmission matrix
   /// (row = time slot, column = antenna), including the power scale.
   [[nodiscard]] CMatrix encode(std::span<const cplx> symbols) const;

@@ -175,6 +175,11 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
       decoder_use.decode_into(ws.h, ws.received, ws.estimates,
                               ws.decode_scratch);
       for (auto& v : ws.estimates) v /= sym_scale;
+      // Blocks here cannot batch across lanes (the AwgnChannel streams
+      // are sequential per block and ARQ retransmissions diverge per
+      // lane), but the demod distance argmin below vectorizes across
+      // the symbols of this block via the pinned SIMD tier —
+      // bit-identical labels, see QamModulator::demodulate_into.
       modem->demodulate_into(ws.estimates, ws.decoded);
       decoded_all.insert(decoded_all.end(), ws.decoded.begin(),
                          ws.decoded.end());
