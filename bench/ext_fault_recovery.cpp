@@ -11,9 +11,14 @@
 // Cooperative routing should degrade gracefully — STBC ladder steps and
 // route repairs instead of lost packets.
 //
-// The 4 death levels × 2 modes = 8 runs shard across the mc/ sweep
-// engine (each run a pure function of its index); `--json` emits
-// comimo-bench-v1.
+// A second axis stresses the loss *correlation structure*: on top of
+// the i.i.d. slot erasures, a Gilbert–Elliott two-state burst channel
+// (resilience/gilbert_elliott.h) adds correlated bad-dwell losses at
+// three intensities, at a fixed death level.
+//
+// The (4 death levels + 3 burst levels) × 2 modes = 14 runs shard
+// across the mc/ sweep engine (each run a pure function of its index);
+// `--json` emits comimo-bench-v1.
 #include <iostream>
 
 #include "comimo/common/bench_json.h"
@@ -41,7 +46,19 @@ int main(int argc, char** argv) {
   const CoMimoNet net(nodes, net_cfg);
 
   const std::vector<double> death_fractions{0.0, 0.1, 0.2, 0.3};
-  std::vector<ResilienceReport> reports(death_fractions.size() * 2);
+  // Gilbert–Elliott burst rows: {p_good_to_bad, p_bad_to_good, loss_bad}
+  // at a fixed 10% death level, appended after the death sweep.
+  struct Burst {
+    const char* name;
+    double p_gb, p_bg, loss_bad;
+  };
+  const std::vector<Burst> bursts{
+      {"mild", 0.02, 0.25, 0.50},
+      {"medium", 0.03, 0.15, 0.70},
+      {"heavy", 0.05, 0.08, 0.85},
+  };
+  const std::size_t death_runs = death_fractions.size() * 2;
+  std::vector<ResilienceReport> reports(death_runs + bursts.size() * 2);
   McConfig mc;
   mc.pool = cli.pool();
   (void)run_trials(
@@ -53,24 +70,38 @@ int main(int argc, char** argv) {
         cfg.traffic_seed = 11;
         cfg.faults.enabled = true;
         cfg.faults.seed = 42;
-        cfg.faults.node_death_fraction = death_fractions[t / 2];
         cfg.faults.relay_dropout_prob = 0.10;
         cfg.faults.slot_erasure_prob = 0.15;
         cfg.faults.pu_preemption = true;
         cfg.arq.max_attempts = 2;  // tight budget: erasures can kill packets
+        if (t < death_runs) {
+          cfg.faults.node_death_fraction = death_fractions[t / 2];
+        } else {
+          const Burst& b = bursts[(t - death_runs) / 2];
+          cfg.faults.node_death_fraction = 0.1;
+          cfg.faults.burst.enabled = true;
+          cfg.faults.burst.p_good_to_bad = b.p_gb;
+          cfg.faults.burst.p_bad_to_good = b.p_bg;
+          cfg.faults.burst.loss_bad = b.loss_bad;
+        }
         reports[t] = simulate_with_faults(net, SystemParams{}, cfg);
       });
 
   BenchReporter reporter("ext_fault_recovery");
   reporter.set_threads(cli.effective_threads());
-  TextTable t({"routing", "deaths", "delivery", "retx", "stbc steps",
-               "repairs", "goodput kbps"});
+  TextTable t({"routing", "deaths", "burst", "delivery", "retx",
+               "stbc steps", "repairs", "goodput kbps"});
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const bool coop = (i % 2 == 0);
-    const double death_fraction = death_fractions[i / 2];
+    const bool burst_row = i >= death_runs;
+    const double death_fraction =
+        burst_row ? 0.1 : death_fractions[i / 2];
+    const Burst* burst =
+        burst_row ? &bursts[(i - death_runs) / 2] : nullptr;
     const ResilienceReport& r = reports[i];
     t.add_row({coop ? "cooperative" : "heads-only SISO",
                TextTable::fmt(100.0 * death_fraction, 0) + "%",
+               burst ? burst->name : "off",
                TextTable::fmt(r.delivery_ratio, 3),
                std::to_string(r.retransmissions),
                std::to_string(r.stbc_degradations),
@@ -79,6 +110,12 @@ int main(int argc, char** argv) {
     Json params = Json::object();
     params.set("mode", coop ? "cooperative" : "siso_heads_only");
     params.set("node_death_fraction", death_fraction);
+    params.set("burst", burst ? burst->name : "off");
+    if (burst) {
+      params.set("p_good_to_bad", burst->p_gb);
+      params.set("p_bad_to_good", burst->p_bg);
+      params.set("loss_bad", burst->loss_bad);
+    }
     Json metrics = Json::object();
     metrics.set("delivery_ratio", r.delivery_ratio);
     metrics.set("retransmissions", r.retransmissions);

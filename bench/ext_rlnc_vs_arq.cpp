@@ -1,0 +1,178 @@
+// Extension study: rateless coded transport (RLNC) vs stop-and-wait ARQ
+// under burst loss.
+//
+// Retransmission recovers well from independent slot erasures but pays
+// per-packet round trips; when the channel dwells in a bad state
+// (Gilbert–Elliott bursts), a short retry budget exhausts mid-burst and
+// the packet is lost.  Random linear network coding amortizes recovery
+// across a generation: any k innovative coded packets reconstruct the
+// block, so a burst costs extra coded transmissions instead of
+// delivery failures, and relays recombine what they heard without
+// decoding.
+//
+// Both transports face the identical fault process — the same seeded
+// i.i.d. slot erasures and the same Gilbert–Elliott trace, drawn on the
+// same transmission ordinals — across a 3-level burst sweep
+// (off / mild / heavy).  6 runs shard across the mc/ sweep engine;
+// `--json` emits comimo-bench-v1 (the committed BENCH_rlnc_vs_arq.json
+// is gated by scripts/check_bench_json.sh: at the heavy-burst corner
+// the coded transport must not deliver less than ARQ).
+#include <iostream>
+#include <string>
+
+#include "comimo/common/bench_json.h"
+#include "comimo/common/table.h"
+#include "comimo/mc/engine.h"
+#include "comimo/resilience/resilient_sim.h"
+
+namespace {
+
+struct BurstLevel {
+  const char* name;
+  bool enabled;
+  double p_good_to_bad;
+  double p_bad_to_good;
+  double loss_bad;
+  double iid_erasure;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  std::cout << "=== extension: RLNC coded transport vs ARQ under burst"
+               " loss ===\n"
+            << "42 SUs in 14 groups, 300 packet rounds; ARQ budget 3"
+               " attempts/hop, RLNC k=8 (GF(256),\n"
+            << "systematic, relay recoding); identical seeded fault"
+               " streams for both transports\n\n";
+
+  const auto nodes = clustered_field(14, 3, 6.0, 450.0, 450.0, /*seed=*/11,
+                                     /*battery_lo=*/150.0,
+                                     /*battery_hi=*/200.0);
+  CoMimoNetConfig net_cfg;
+  net_cfg.communication_range_m = 40.0;
+  net_cfg.cluster_diameter_m = 16.0;
+  net_cfg.link_range_m = 280.0;
+  const CoMimoNet net(nodes, net_cfg);
+
+  // Escalating burstiness; the i.i.d. floor drops as the burst process
+  // takes over so the *total* loss rate stays comparable — what changes
+  // is the correlation structure, which is exactly what separates the
+  // two transports.
+  const std::vector<BurstLevel> levels{
+      {"off", false, 0.0, 0.0, 0.0, 0.15},
+      {"mild", true, 0.02, 0.25, 0.50, 0.10},
+      {"heavy", true, 0.05, 0.08, 0.85, 0.05},
+  };
+
+  std::vector<ResilienceReport> reports(levels.size() * 2);
+  McConfig mc;
+  mc.pool = cli.pool();
+  (void)run_trials(
+      reports.size(), mc, [&](std::size_t t, Rng& /*rng*/, McAccumulator&) {
+        const BurstLevel& lvl = levels[t / 2];
+        const bool rlnc = (t % 2 == 1);
+        ResilienceConfig cfg;
+        cfg.rounds = 300;
+        cfg.bits_per_packet = 4e4;
+        cfg.traffic_seed = 3;
+        cfg.faults.enabled = true;
+        cfg.faults.seed = 5;
+        cfg.faults.slot_erasure_prob = lvl.iid_erasure;
+        cfg.faults.burst.enabled = lvl.enabled;
+        if (lvl.enabled) {
+          cfg.faults.burst.p_good_to_bad = lvl.p_good_to_bad;
+          cfg.faults.burst.p_bad_to_good = lvl.p_bad_to_good;
+          cfg.faults.burst.loss_bad = lvl.loss_bad;
+        }
+        cfg.arq.max_attempts = 3;
+        if (rlnc) {
+          cfg.rlnc.enabled = true;
+          cfg.rlnc.code.generation_size = 8;
+          cfg.rlnc.code.packet_bytes = 16;
+          cfg.rlnc.max_overhead_packets = 48;
+        }
+        reports[t] = simulate_with_faults(net, SystemParams{}, cfg);
+      });
+
+  BenchReporter reporter("ext_rlnc_vs_arq");
+  reporter.set_threads(cli.effective_threads());
+  TextTable t({"transport", "burst", "delivery", "overhead pkts",
+               "energy/bit uJ", "s/delivered", "goodput kbps"});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const BurstLevel& lvl = levels[i / 2];
+    const bool rlnc = (i % 2 == 1);
+    const ResilienceReport& r = reports[i];
+    const std::size_t overhead =
+        rlnc ? r.rlnc_overhead_packets : r.retransmissions;
+    const double energy_per_bit =
+        r.delivered_bits > 0 ? r.energy_spent_j / r.delivered_bits : 0.0;
+    const double latency_s =
+        r.packets_delivered > 0
+            ? r.delivered_latency_s / static_cast<double>(r.packets_delivered)
+            : 0.0;
+    // Unconditional latency: total elapsed time per *delivered* packet.
+    // The conditional mean above is survivorship-biased — a transport
+    // that drops every hard packet reports a flattering latency over
+    // the easy ones it kept; this metric charges the time burned on
+    // packets that were ultimately lost.
+    const double time_per_delivered_s =
+        r.packets_delivered > 0
+            ? r.total_time_s / static_cast<double>(r.packets_delivered)
+            : 0.0;
+    t.add_row({rlnc ? "rlnc" : "arq", lvl.name,
+               TextTable::fmt(r.delivery_ratio, 3),
+               std::to_string(overhead),
+               TextTable::fmt(energy_per_bit * 1e6, 2),
+               TextTable::fmt(time_per_delivered_s, 1),
+               TextTable::fmt(r.goodput_bps / 1e3, 1)});
+    Json params = Json::object();
+    params.set("transport", rlnc ? "rlnc" : "arq");
+    params.set("burst", lvl.name);
+    params.set("burst_enabled", lvl.enabled);
+    params.set("p_good_to_bad", lvl.p_good_to_bad);
+    params.set("p_bad_to_good", lvl.p_bad_to_good);
+    params.set("loss_bad", lvl.loss_bad);
+    params.set("iid_erasure_prob", lvl.iid_erasure);
+    Json metrics = Json::object();
+    metrics.set("delivery_ratio", r.delivery_ratio);
+    metrics.set("overhead_packets", static_cast<std::uint64_t>(overhead));
+    metrics.set("energy_per_delivered_bit_j", energy_per_bit);
+    metrics.set("mean_delivery_latency_s", latency_s);
+    metrics.set("time_per_delivered_packet_s", time_per_delivered_s);
+    metrics.set("goodput_bps", r.goodput_bps);
+    metrics.set("energy_spent_j", r.energy_spent_j);
+    metrics.set("failures",
+                static_cast<std::uint64_t>(rlnc ? r.rlnc_failures
+                                                : r.arq_failures));
+    if (rlnc) {
+      metrics.set("rlnc_packets_sent",
+                  static_cast<std::uint64_t>(r.rlnc_packets_sent));
+      metrics.set("rlnc_recoded_packets",
+                  static_cast<std::uint64_t>(r.rlnc_recoded_packets));
+      metrics.set("rlnc_feedback_rounds",
+                  static_cast<std::uint64_t>(r.rlnc_feedback_rounds));
+      metrics.set("rlnc_recode_energy_j", r.rlnc_recode_energy_j);
+    }
+    reporter.add_record(std::move(params), std::move(metrics));
+  }
+  t.print(std::cout);
+  std::cout << "\noverhead pkts = ARQ retransmissions / RLNC coded packets"
+               " beyond the initial k per hop;\n"
+            << "s/delivered = total elapsed time per delivered packet"
+               " (unconditional: charges time\n"
+            << "burned on lost packets, unlike a survivor-only latency"
+               " mean).\n"
+            << "energy/bit charges every coded transmission, relay"
+               " recombination, and retry through\n"
+            << "the same battery ledger.  Under heavy bursts the 3-attempt"
+               " ARQ budget exhausts inside\n"
+            << "a bad dwell, while the coded transport converts the same"
+               " losses into overhead packets\n"
+            << "and keeps delivering — the fault streams are identical"
+               " draw-for-draw across each pair.\n";
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
+  return 0;
+}

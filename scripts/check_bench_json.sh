@@ -38,6 +38,7 @@ DETERMINISM_BENCHES=(
   validate_energy_model
   ext_fault_recovery
   ext_network_lifetime
+  ext_rlnc_vs_arq
 )
 SCHEMA_ONLY_BENCHES=(
   fig6_overlay_distance
@@ -180,6 +181,42 @@ assert "simd.active_tier" in g and "simd.lane_width" in g, \
   fi
 else
   echo "MISSING  perf_kernels"; fail=1
+fi
+
+# The committed BENCH_rlnc_vs_arq.json carries the PR's headline claim:
+# under heavy burst loss the coded transport must not deliver less than
+# ARQ facing the identical fault streams.  Gate the artifact itself so a
+# regression cannot ride in behind a stale JSON.
+if [ -f BENCH_rlnc_vs_arq.json ]; then
+  if validate_v1 BENCH_rlnc_vs_arq.json && python3 -c '
+import json
+d = json.load(open("BENCH_rlnc_vs_arq.json"))
+rows = {(r["params"]["transport"], r["params"]["burst"]): r["metrics"]
+        for r in d["records"]}
+for pair in [("arq", "heavy"), ("rlnc", "heavy")]:
+    assert pair in rows, f"missing record {pair}"
+for (_, burst) in rows:
+    arq, rlnc = rows[("arq", burst)], rows[("rlnc", burst)]
+    for m in ("delivery_ratio", "energy_per_delivered_bit_j",
+              "mean_delivery_latency_s", "time_per_delivered_packet_s",
+              "overhead_packets"):
+        assert m in arq and m in rlnc, f"metric {m} missing at burst={burst}"
+a, r = rows[("arq", "heavy")], rows[("rlnc", "heavy")]
+assert r["delivery_ratio"] >= a["delivery_ratio"], (
+    f"RLNC delivery {r['delivery_ratio']} below ARQ "
+    f"{a['delivery_ratio']} at the heavy-burst corner")
+assert (r["time_per_delivered_packet_s"]
+        <= a["time_per_delivered_packet_s"]), (
+    f"RLNC time/delivered {r['time_per_delivered_packet_s']} above ARQ "
+    f"{a['time_per_delivered_packet_s']} at the heavy-burst corner")
+'
+  then
+    echo "OK       BENCH_rlnc_vs_arq.json (schema + heavy-burst delivery gate)"
+  else
+    echo "FAIL     BENCH_rlnc_vs_arq.json"; fail=1
+  fi
+else
+  echo "MISSING  BENCH_rlnc_vs_arq.json (committed artifact)"; fail=1
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -1,0 +1,70 @@
+#include "comimo/coding/galois.h"
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/numeric/simd/gf256_tables.h"
+#include "comimo/numeric/simd/simd.h"
+
+namespace comimo::coding {
+
+const char* field_name(GfField field) noexcept {
+  switch (field) {
+    case GfField::kGf2:
+      return "gf2";
+    case GfField::kGf256:
+      return "gf256";
+  }
+  return "gf256";
+}
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = simd::kGf256;
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) {
+  COMIMO_CHECK(b != 0, "GF(256) division by zero");
+  if (a == 0) return 0;
+  const auto& t = simd::kGf256;
+  return t.exp[255 + t.log[a] - t.log[b]];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  COMIMO_CHECK(a != 0, "GF(256) inverse of zero");
+  const auto& t = simd::kGf256;
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t gf_pow(std::uint8_t a, unsigned n) noexcept {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = simd::kGf256;
+  // log(a^n) = n·log(a) mod 255.
+  const unsigned e = (static_cast<unsigned>(t.log[a]) * n) % 255u;
+  return t.exp[e];
+}
+
+void gf_mul_add_row(std::uint8_t* dst, const std::uint8_t* src,
+                    std::uint8_t c, std::size_t len) noexcept {
+  simd::active_kernels().gf256_mul_add_row(dst, src, c, len);
+}
+
+void gf_mul_region(std::uint8_t* buf, std::uint8_t c,
+                   std::size_t len) noexcept {
+  simd::active_kernels().gf256_mul_region(buf, c, len);
+}
+
+void gf_xor_row(std::uint8_t* dst, const std::uint8_t* src,
+                std::size_t len) noexcept {
+  simd::active_kernels().gf_region_xor(dst, src, len);
+}
+
+std::uint8_t draw_coefficient(GfField field, Rng& rng) noexcept {
+  const std::uint64_t bits = rng.next();
+  // Top bits of Xoshiro output are the well-mixed ones.
+  if (field == GfField::kGf2) return static_cast<std::uint8_t>(bits >> 63);
+  return static_cast<std::uint8_t>(bits >> 56);
+}
+
+}  // namespace comimo::coding

@@ -1,0 +1,78 @@
+// Galois-field arithmetic for the RLNC coding layer.
+//
+// Two fields cover random linear network coding in practice:
+//   * GF(2): coefficients are single bits (stored one per byte here),
+//     multiplication is AND, addition is XOR — cheap but a random coded
+//     packet is non-innovative with probability ~2^-rank_deficit;
+//   * GF(256): byte coefficients over the 0x11D polynomial — a random
+//     packet is innovative with probability ≥ 1 − 2^-8, which is what
+//     makes rateless "one extra coded packet" recovery work.
+// Scalar ops use the compile-time log/exp tables; the region (row)
+// operations — where Gaussian elimination and relay recoding spend all
+// of their time — dispatch through the numeric/simd runtime table, so
+// they ride PSHUFB on AVX2 and vqtbl on NEON, honor -DCOMIMO_SIMD=OFF,
+// and (being exact byte arithmetic) are bit-identical at every tier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace comimo {
+class Rng;
+}  // namespace comimo
+
+namespace comimo::coding {
+
+/// The coefficient field a code operates in.
+enum class GfField : std::uint8_t { kGf2, kGf256 };
+
+[[nodiscard]] const char* field_name(GfField field) noexcept;
+
+// ---- scalar GF(256) arithmetic (0x11D, generator 2) -------------------
+
+[[nodiscard]] constexpr std::uint8_t gf_add(std::uint8_t a,
+                                            std::uint8_t b) noexcept {
+  return a ^ b;
+}
+
+[[nodiscard]] std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept;
+
+/// a / b.  Precondition: b != 0 (checked).
+[[nodiscard]] std::uint8_t gf_div(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse.  Precondition: a != 0 (checked).
+[[nodiscard]] std::uint8_t gf_inv(std::uint8_t a);
+
+/// a^n (n >= 0; a^0 == 1 including a == 0 by convention).
+[[nodiscard]] std::uint8_t gf_pow(std::uint8_t a, unsigned n) noexcept;
+
+// ---- region (row) operations — SIMD dispatched ------------------------
+
+/// dst[i] ^= c ⊗ src[i] for len bytes; dst and src must not alias.
+/// c == 1 is the GF(2) add, c == 0 a no-op.
+void gf_mul_add_row(std::uint8_t* dst, const std::uint8_t* src,
+                    std::uint8_t c, std::size_t len) noexcept;
+
+/// buf[i] = c ⊗ buf[i] for len bytes.
+void gf_mul_region(std::uint8_t* buf, std::uint8_t c,
+                   std::size_t len) noexcept;
+
+/// dst[i] ^= src[i] for len bytes; dst and src must not alias.
+void gf_xor_row(std::uint8_t* dst, const std::uint8_t* src,
+                std::size_t len) noexcept;
+
+// ---- field-generic helpers -------------------------------------------
+
+/// A uniform coefficient draw from `field` (GF(2): one bit; GF(256):
+/// one byte), consuming exactly one rng.next() either way so coefficient
+/// streams stay field-independent in length.
+[[nodiscard]] std::uint8_t draw_coefficient(GfField field, Rng& rng) noexcept;
+
+/// Inverse valid in either field (values in GF(2) are {0, 1}, whose
+/// GF(256) inverse coincides).  Precondition: a != 0.
+[[nodiscard]] inline std::uint8_t field_inv(GfField /*field*/,
+                                            std::uint8_t a) {
+  return gf_inv(a);
+}
+
+}  // namespace comimo::coding

@@ -1,0 +1,229 @@
+#include "comimo/coding/rlnc.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo::coding {
+
+namespace {
+
+constexpr std::size_t kMaxGeneration = 255;
+
+[[nodiscard]] bool is_unit_row(const std::vector<std::uint8_t>& row,
+                               std::size_t pivot) noexcept {
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (row[j] != (j == pivot ? 1 : 0)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void validate(const RlncConfig& config) {
+  COMIMO_CHECK(config.generation_size >= 1 &&
+                       config.generation_size <= kMaxGeneration,
+                   "RlncConfig.generation_size must be in [1, 255]");
+  COMIMO_CHECK(config.band_width <= config.generation_size,
+                   "RlncConfig.band_width must be <= generation_size");
+}
+
+// ---- RlncEncoder ------------------------------------------------------
+
+RlncEncoder::RlncEncoder(RlncConfig config, std::vector<std::uint8_t> data)
+    : config_(config) {
+  validate(config_);
+  const std::size_t k = config_.generation_size;
+  COMIMO_CHECK(data.size() <= k * config_.packet_bytes,
+                   "RlncEncoder: data larger than one generation");
+  rows_.assign(k, std::vector<std::uint8_t>(config_.packet_bytes, 0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    rows_[i / config_.packet_bytes][i % config_.packet_bytes] = data[i];
+  }
+}
+
+CodedPacket RlncEncoder::packet(std::size_t seq, Rng& rng) const {
+  const std::size_t k = config_.generation_size;
+  if (config_.systematic && seq < k) {
+    CodedPacket out;
+    out.coeffs.assign(k, 0);
+    out.coeffs[seq] = 1;
+    out.payload = rows_[seq];
+    return out;
+  }
+  return coded(rng);
+}
+
+CodedPacket RlncEncoder::coded(Rng& rng) const {
+  const std::size_t k = config_.generation_size;
+  const bool banded = config_.band_width > 0 && config_.band_width < k;
+  const std::size_t width = banded ? config_.band_width : k;
+  // The band-start draw happens even for dense generations so switching
+  // band_width never shifts unrelated streams sharing the same Rng.
+  const std::size_t start = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::uint64_t>(k - width + 1)));
+
+  CodedPacket out;
+  out.coeffs.assign(k, 0);
+  bool any = false;
+  for (std::size_t j = 0; j < width; ++j) {
+    const std::uint8_t c = draw_coefficient(config_.field, rng);
+    out.coeffs[start + j] = c;
+    any = any || c != 0;
+  }
+  // An all-zero draw carries no information; pin the band head to 1 so
+  // every coded packet is a valid (possibly dependent) combination.
+  if (!any) out.coeffs[start] = 1;
+
+  out.payload.assign(config_.packet_bytes, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (out.coeffs[i] == 0) continue;
+    gf_mul_add_row(out.payload.data(), rows_[i].data(), out.coeffs[i],
+                   config_.packet_bytes);
+  }
+  return out;
+}
+
+const std::vector<std::uint8_t>& RlncEncoder::source_row(
+    std::size_t i) const {
+  COMIMO_CHECK(i < rows_.size(), "RlncEncoder::source_row index out of range");
+  return rows_[i];
+}
+
+// ---- RlncDecoder ------------------------------------------------------
+
+RlncDecoder::RlncDecoder(RlncConfig config) : config_(config) {
+  validate(config_);
+  const std::size_t k = config_.generation_size;
+  present_.assign(k, 0);
+  coeffs_.resize(k);
+  payload_.resize(k);
+}
+
+bool RlncDecoder::add(const CodedPacket& packet) {
+  const std::size_t k = config_.generation_size;
+  if (packet.coeffs.size() != k ||
+      packet.payload.size() != config_.packet_bytes) {
+    ++rejected_;
+    return false;
+  }
+  if (complete()) return false;  // nothing can be innovative any more
+
+  scratch_coeffs_ = packet.coeffs;
+  scratch_payload_ = packet.payload;
+
+  // Forward elimination against every stored pivot.  Stored row i has a
+  // 1 at pivot column i and 0 at every OTHER pivot column (the basis
+  // invariant), so each subtraction zeroes exactly one pivot column of
+  // the incoming row and never reintroduces another — one pass, any
+  // order, leaves all pivot columns zero.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint8_t c = scratch_coeffs_[i];
+    if (c == 0 || !present_[i]) continue;
+    gf_mul_add_row(scratch_coeffs_.data(), coeffs_[i].data(), c, k);
+    if (config_.packet_bytes > 0) {
+      gf_mul_add_row(scratch_payload_.data(), payload_[i].data(), c,
+                     config_.packet_bytes);
+    }
+  }
+  // The residual's first nonzero column (necessarily pivot-free) is the
+  // new pivot; a fully-eliminated row was linearly dependent.
+  std::size_t pivot = k;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (scratch_coeffs_[i] != 0) {
+      pivot = i;
+      break;
+    }
+  }
+  if (pivot == k) return false;
+
+  // Normalize the new pivot row to a leading 1.
+  const std::uint8_t lead = scratch_coeffs_[pivot];
+  if (lead != 1) {
+    const std::uint8_t inv = field_inv(config_.field, lead);
+    gf_mul_region(scratch_coeffs_.data(), inv, k);
+    if (config_.packet_bytes > 0) {
+      gf_mul_region(scratch_payload_.data(), inv, config_.packet_bytes);
+    }
+  }
+
+  // Back-reduce every stored row against the new pivot so the matrix
+  // stays in reduced row-echelon form (keeps decodable_now() exact).
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!present_[i]) continue;
+    const std::uint8_t c = coeffs_[i][pivot];
+    if (c == 0) continue;
+    gf_mul_add_row(coeffs_[i].data(), scratch_coeffs_.data(), c, k);
+    if (config_.packet_bytes > 0) {
+      gf_mul_add_row(payload_[i].data(), scratch_payload_.data(), c,
+                     config_.packet_bytes);
+    }
+  }
+
+  coeffs_[pivot] = scratch_coeffs_;
+  payload_[pivot] = scratch_payload_;
+  present_[pivot] = 1;
+  ++rank_;
+  return true;
+}
+
+std::size_t RlncDecoder::decodable_now() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < present_.size(); ++i) {
+    if (present_[i] && is_unit_row(coeffs_[i], i)) ++n;
+  }
+  return n;
+}
+
+bool RlncDecoder::source_decodable(std::size_t i) const noexcept {
+  return i < present_.size() && present_[i] && is_unit_row(coeffs_[i], i);
+}
+
+const std::vector<std::uint8_t>& RlncDecoder::source_packet(
+    std::size_t i) const {
+  COMIMO_CHECK(source_decodable(i),
+               "RlncDecoder::source_packet: packet not yet decodable");
+  return payload_[i];
+}
+
+CodedPacket RlncDecoder::combine(Rng& rng) const {
+  COMIMO_CHECK(rank_ >= 1, "RlncDecoder::combine requires rank >= 1");
+  const std::size_t k = config_.generation_size;
+  CodedPacket out;
+  out.coeffs.assign(k, 0);
+  out.payload.assign(config_.packet_bytes, 0);
+  std::size_t first = k;
+  bool any = false;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!present_[i]) continue;
+    if (first == k) first = i;
+    const std::uint8_t r = draw_coefficient(config_.field, rng);
+    if (r == 0) continue;
+    any = true;
+    gf_mul_add_row(out.coeffs.data(), coeffs_[i].data(), r, k);
+    if (config_.packet_bytes > 0) {
+      gf_mul_add_row(out.payload.data(), payload_[i].data(), r,
+                     config_.packet_bytes);
+    }
+  }
+  if (!any) {
+    // All-zero draw: fall back to forwarding the first basis row.
+    out.coeffs = coeffs_[first];
+    out.payload = payload_[first];
+  }
+  return out;
+}
+
+// ---- RelayRecoder -----------------------------------------------------
+
+RelayRecoder::RelayRecoder(RlncConfig config) : basis_(std::move(config)) {}
+
+bool RelayRecoder::add(const CodedPacket& packet) {
+  return basis_.add(packet);
+}
+
+CodedPacket RelayRecoder::recode(Rng& rng) const { return basis_.combine(rng); }
+
+}  // namespace comimo::coding

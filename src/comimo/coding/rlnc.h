@@ -1,0 +1,170 @@
+// Rateless random linear network coding (RLNC) over GF(2)/GF(256).
+//
+// The cooperative hop's ARQ recovers an erased long-haul slot with a
+// full retransmission dialogue (ACK timeout + truncated-exponential
+// backoff per loss).  RLNC replaces that with rateless redundancy: the
+// source cuts a generation of k packets, transmits the k source rows
+// (systematic) followed by random linear combinations, and the receiver
+// decodes as soon as ANY k linearly independent packets arrive —
+// losses cost one extra coded packet each, not a round trip.  Relays
+// recombine the coded packets they hold without decoding (recoding),
+// so an intermediate hop forwards useful innovation even from an
+// incomplete buffer — the sparsenc D2D architecture.
+//
+// Determinism: every coefficient draw comes from a caller-supplied
+// counter-based Rng (mc/engine's (seed, trial) streams), and the GF
+// region kernels are exact byte arithmetic at every SIMD tier, so runs
+// replay bit-for-bit at any thread count and dispatch mode.
+//
+// Robustness contract: RlncDecoder::add and RelayRecoder::add accept
+// arbitrary (adversarial) packets — truncated, oversized, duplicated,
+// reordered, or linearly dependent input is rejected or absorbed, never
+// fatal, and rank() counts exactly the dimension of the received span
+// (never reporting full rank falsely).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "comimo/coding/galois.h"
+
+namespace comimo {
+class Rng;
+}  // namespace comimo
+
+namespace comimo::coding {
+
+struct RlncConfig {
+  std::size_t generation_size = 16;  ///< k: source packets per generation
+  std::size_t packet_bytes = 64;     ///< payload bytes per packet (0 = rank
+                                     ///< tracking only, no payload)
+  GfField field = GfField::kGf256;
+  bool systematic = true;  ///< first k transmissions are the source rows
+  /// Banded/sparse generation: coded coefficients are nonzero only in a
+  /// contiguous band of this width at a random start (cheaper decode,
+  /// mild overhead increase).  0 or >= generation_size = dense.
+  std::size_t band_width = 0;
+};
+
+/// Throws InvalidArgument on malformed knobs.
+void validate(const RlncConfig& config);
+
+/// One coded packet: k coefficients (one byte each, GF(2) restricted to
+/// {0, 1}) plus the combined payload.
+struct CodedPacket {
+  std::vector<std::uint8_t> coeffs;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Systematic + rateless encoder over one generation.  `data` is split
+/// into k rows of packet_bytes (zero-padded); the encoder is immutable
+/// after construction and safe to share across sequential hops.
+class RlncEncoder {
+ public:
+  /// Validates config; pads `data` to k·packet_bytes.
+  RlncEncoder(RlncConfig config, std::vector<std::uint8_t> data);
+
+  [[nodiscard]] const RlncConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t generation_size() const noexcept {
+    return config_.generation_size;
+  }
+
+  /// Transmission `seq` of the rateless stream: with systematic coding
+  /// the first k are the source rows verbatim (no rng consumption);
+  /// every later one is coded(rng).
+  [[nodiscard]] CodedPacket packet(std::size_t seq, Rng& rng) const;
+
+  /// A fresh random combination (dense or banded per config).  Consumes
+  /// one draw per coefficient in the band plus one for the band start.
+  [[nodiscard]] CodedPacket coded(Rng& rng) const;
+
+  /// Source row i (also what a complete decode must reproduce).
+  [[nodiscard]] const std::vector<std::uint8_t>& source_row(
+      std::size_t i) const;
+
+ private:
+  RlncConfig config_;
+  std::vector<std::vector<std::uint8_t>> rows_;
+};
+
+/// Incremental Gaussian-elimination decoder with rank tracking and
+/// partial-delivery accounting.  Rows are kept fully reduced (online
+/// RREF): every accepted packet is eliminated against all pivots and
+/// all stored rows are re-reduced against a new pivot, so once
+/// rank == k each row IS its source packet, and before that
+/// decodable_now() counts the source packets already recoverable.
+class RlncDecoder {
+ public:
+  explicit RlncDecoder(RlncConfig config);
+
+  /// Feeds one received packet.  Returns true when it was innovative
+  /// (raised the rank).  Malformed packets (coefficient or payload
+  /// length mismatch) are counted in rejected() and refused; dependent
+  /// packets simply return false.  Never throws on packet content.
+  bool add(const CodedPacket& packet);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+  [[nodiscard]] bool complete() const noexcept {
+    return rank_ == config_.generation_size;
+  }
+  [[nodiscard]] std::size_t rejected() const noexcept { return rejected_; }
+
+  /// Source packets recoverable right now (pivot rows reduced to unit
+  /// vectors); equals generation_size once complete().
+  [[nodiscard]] std::size_t decodable_now() const noexcept;
+
+  /// Is source packet `i` recoverable right now?
+  [[nodiscard]] bool source_decodable(std::size_t i) const noexcept;
+
+  /// Source payload i.  Precondition: source_decodable(i) (checked).
+  [[nodiscard]] const std::vector<std::uint8_t>& source_packet(
+      std::size_t i) const;
+
+  /// A random recombination of the current basis (what a relay
+  /// forwards): fresh coefficients over the stored rows, so the output
+  /// spans exactly the received subspace.  Precondition: rank() >= 1
+  /// (checked).  Consumes one draw per basis row.
+  [[nodiscard]] CodedPacket combine(Rng& rng) const;
+
+  [[nodiscard]] const RlncConfig& config() const noexcept { return config_; }
+
+ private:
+  RlncConfig config_;
+  std::vector<std::uint8_t> present_;  ///< pivot-indexed row occupancy
+  std::vector<std::vector<std::uint8_t>> coeffs_;
+  std::vector<std::vector<std::uint8_t>> payload_;
+  std::size_t rank_ = 0;
+  std::size_t rejected_ = 0;
+  // Scratch reused across add() calls — no steady-state allocation once
+  // the generation's row shapes have been seen.
+  mutable std::vector<std::uint8_t> scratch_coeffs_;
+  mutable std::vector<std::uint8_t> scratch_payload_;
+};
+
+/// Store-and-recode relay: buffers the innovative part of what it hears
+/// (bounded memory: at most k rows, kept as a reduced basis) and emits
+/// fresh random combinations downstream WITHOUT decoding.  rank() is
+/// the innovation the relay can pass on; a downstream decoder can never
+/// exceed it.
+class RelayRecoder {
+ public:
+  explicit RelayRecoder(RlncConfig config);
+
+  /// Same contract as RlncDecoder::add (reject malformed, absorb
+  /// dependent, never fatal).
+  bool add(const CodedPacket& packet);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return basis_.rank(); }
+  [[nodiscard]] std::size_t rejected() const noexcept {
+    return basis_.rejected();
+  }
+
+  /// A recoded packet for the next hop.  Precondition: rank() >= 1.
+  [[nodiscard]] CodedPacket recode(Rng& rng) const;
+
+ private:
+  RlncDecoder basis_;  ///< reused as the reduced-basis store
+};
+
+}  // namespace comimo::coding

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "comimo/numeric/simd/gf_kernels_impl.h"
 #include "comimo/numeric/simd/simd.h"
 #include "comimo/numeric/simd/vec.h"
 
@@ -239,7 +240,11 @@ void qam_nearest_batch(const double* sym_re, const double* sym_im,
   }
 }
 
-template <class V>
+// G supplies the byte-region GF(256) kernels (gf_kernels_impl.h); it is
+// a separate backend type because those operate on byte streams, not
+// W-lane double planes — the tier pairing (VecAvx2 ↔ GfAvx2, …) is
+// fixed in each backend TU.
+template <class V, class G>
 [[nodiscard]] BatchKernels make_kernels(Tier tier) noexcept {
   BatchKernels k;
   k.tier = tier;
@@ -252,6 +257,9 @@ template <class V>
   k.stbc_build_fy = &stbc_build_fy_batch<V>;
   k.gram_rhs = &gram_rhs_batch<V>;
   k.qam_nearest = &qam_nearest_batch<V>;
+  k.gf256_mul_add_row = &G::mul_add_row;
+  k.gf256_mul_region = &G::mul_region;
+  k.gf_region_xor = &G::xor_row;
   return k;
 }
 

@@ -1,0 +1,239 @@
+// Per-ISA GF(256) region kernels for the RLNC coding layer.
+//
+// Three region primitives cover every row operation the encoder,
+// decoder, and relay recoder perform:
+//   mul_add_row:  dst[i] ^= c ⊗ src[i]   (the Gaussian-elimination axpy;
+//                 c == 1 degenerates to the GF(2) XOR, c == 0 to a no-op)
+//   mul_region:   buf[i]  = c ⊗ buf[i]   (pivot normalization)
+//   xor_row:      dst[i] ^= src[i]       (the GF(2) add)
+//
+// The byte product uses the nibble split from gf256_tables.h:
+//   c ⊗ x = mul_lo[c][x & 15] ^ mul_hi[c][x >> 4]
+// which maps 1:1 onto PSHUFB (AVX2) and vqtbl1q_u8 (NEON).  SSE2 has no
+// byte shuffle, so that tier vectorizes only the XOR paths and runs the
+// general product through the scalar nibble loop.  All arithmetic is
+// exact integer work — every tier is bit-identical by construction, so
+// unlike the floating-point batch kernels there is no rounding-order
+// contract to maintain, only the table identity.
+//
+// Like vec.h, each ISA struct is defined only when the TU is compiled
+// with the matching -m flag, so every backend TU sees exactly one of
+// them plus the scalar reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "comimo/numeric/simd/gf256_tables.h"
+
+#if defined(__SSE2__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace comimo::simd {
+
+/// Scalar reference — always available, the COMIMO_SIMD=OFF path, and
+/// the tail loop every vector backend falls back to.
+struct GfScalar {
+  static void xor_row(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t len) noexcept {
+    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+  }
+
+  static void mul_add_row(std::uint8_t* dst, const std::uint8_t* src,
+                          std::uint8_t c, std::size_t len) noexcept {
+    if (c == 0) return;
+    if (c == 1) {
+      xor_row(dst, src, len);
+      return;
+    }
+    const std::uint8_t* lo = kGf256.mul_lo[c];
+    const std::uint8_t* hi = kGf256.mul_hi[c];
+    for (std::size_t i = 0; i < len; ++i) {
+      dst[i] ^= static_cast<std::uint8_t>(lo[src[i] & 0x0F] ^ hi[src[i] >> 4]);
+    }
+  }
+
+  static void mul_region(std::uint8_t* buf, std::uint8_t c,
+                         std::size_t len) noexcept {
+    if (c == 1) return;
+    if (c == 0) {
+      for (std::size_t i = 0; i < len; ++i) buf[i] = 0;
+      return;
+    }
+    const std::uint8_t* lo = kGf256.mul_lo[c];
+    const std::uint8_t* hi = kGf256.mul_hi[c];
+    for (std::size_t i = 0; i < len; ++i) {
+      buf[i] = static_cast<std::uint8_t>(lo[buf[i] & 0x0F] ^ hi[buf[i] >> 4]);
+    }
+  }
+};
+
+#if defined(__SSE2__)
+/// SSE2 has no byte shuffle, so only the XOR paths widen (16 bytes per
+/// op); the general product defers to the scalar nibble loop.  Coded
+/// packets are unaligned std::vector storage, hence loadu/storeu.
+struct GfSse2 {
+  static void xor_row(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t len) noexcept {
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+      const __m128i d =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+      const __m128i s =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_xor_si128(d, s));
+    }
+    GfScalar::xor_row(dst + i, src + i, len - i);
+  }
+
+  static void mul_add_row(std::uint8_t* dst, const std::uint8_t* src,
+                          std::uint8_t c, std::size_t len) noexcept {
+    if (c == 0) return;
+    if (c == 1) {
+      xor_row(dst, src, len);
+      return;
+    }
+    GfScalar::mul_add_row(dst, src, c, len);
+  }
+
+  static void mul_region(std::uint8_t* buf, std::uint8_t c,
+                         std::size_t len) noexcept {
+    GfScalar::mul_region(buf, c, len);
+  }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+/// 32 bytes per step: two in-lane PSHUFBs against the broadcast nibble
+/// tables, one XOR to combine, one XOR to accumulate.
+struct GfAvx2 {
+  static void xor_row(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t len) noexcept {
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, s));
+    }
+    GfScalar::xor_row(dst + i, src + i, len - i);
+  }
+
+  static void mul_add_row(std::uint8_t* dst, const std::uint8_t* src,
+                          std::uint8_t c, std::size_t len) noexcept {
+    if (c == 0) return;
+    if (c == 1) {
+      xor_row(dst, src, len);
+      return;
+    }
+    const __m256i lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(kGf256.mul_lo[c])));
+    const __m256i hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(kGf256.mul_hi[c])));
+    const __m256i nib = _mm256_set1_epi8(0x0F);
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      const __m256i lo_n = _mm256_and_si256(s, nib);
+      const __m256i hi_n = _mm256_and_si256(_mm256_srli_epi16(s, 4), nib);
+      const __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n),
+                                            _mm256_shuffle_epi8(hi, hi_n));
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(d, prod));
+    }
+    GfScalar::mul_add_row(dst + i, src + i, c, len - i);
+  }
+
+  static void mul_region(std::uint8_t* buf, std::uint8_t c,
+                         std::size_t len) noexcept {
+    if (c == 1) return;
+    if (c == 0) {
+      GfScalar::mul_region(buf, c, len);
+      return;
+    }
+    const __m256i lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(kGf256.mul_lo[c])));
+    const __m256i hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(kGf256.mul_hi[c])));
+    const __m256i nib = _mm256_set1_epi8(0x0F);
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(buf + i));
+      const __m256i lo_n = _mm256_and_si256(s, nib);
+      const __m256i hi_n = _mm256_and_si256(_mm256_srli_epi16(s, 4), nib);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf + i),
+                          _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n),
+                                           _mm256_shuffle_epi8(hi, hi_n)));
+    }
+    GfScalar::mul_region(buf + i, c, len - i);
+  }
+};
+#endif  // __AVX2__
+
+#if defined(__ARM_NEON) && defined(__aarch64__)
+/// 16 bytes per step via vqtbl1q_u8 — NEON's table lookup is exactly
+/// the 16-entry nibble shuffle the split product needs.
+struct GfNeon {
+  static void xor_row(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t len) noexcept {
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+      vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+    }
+    GfScalar::xor_row(dst + i, src + i, len - i);
+  }
+
+  static void mul_add_row(std::uint8_t* dst, const std::uint8_t* src,
+                          std::uint8_t c, std::size_t len) noexcept {
+    if (c == 0) return;
+    if (c == 1) {
+      xor_row(dst, src, len);
+      return;
+    }
+    const uint8x16_t lo = vld1q_u8(kGf256.mul_lo[c]);
+    const uint8x16_t hi = vld1q_u8(kGf256.mul_hi[c]);
+    const uint8x16_t nib = vdupq_n_u8(0x0F);
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+      const uint8x16_t s = vld1q_u8(src + i);
+      const uint8x16_t prod =
+          veorq_u8(vqtbl1q_u8(lo, vandq_u8(s, nib)),
+                   vqtbl1q_u8(hi, vshrq_n_u8(s, 4)));
+      vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), prod));
+    }
+    GfScalar::mul_add_row(dst + i, src + i, c, len - i);
+  }
+
+  static void mul_region(std::uint8_t* buf, std::uint8_t c,
+                         std::size_t len) noexcept {
+    if (c == 1) return;
+    if (c == 0) {
+      GfScalar::mul_region(buf, c, len);
+      return;
+    }
+    const uint8x16_t lo = vld1q_u8(kGf256.mul_lo[c]);
+    const uint8x16_t hi = vld1q_u8(kGf256.mul_hi[c]);
+    const uint8x16_t nib = vdupq_n_u8(0x0F);
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+      const uint8x16_t s = vld1q_u8(buf + i);
+      vst1q_u8(buf + i, veorq_u8(vqtbl1q_u8(lo, vandq_u8(s, nib)),
+                                 vqtbl1q_u8(hi, vshrq_n_u8(s, 4))));
+    }
+    GfScalar::mul_region(buf + i, c, len - i);
+  }
+};
+#endif  // __ARM_NEON && __aarch64__
+
+}  // namespace comimo::simd

@@ -10,7 +10,8 @@
 namespace comimo::simd::detail {
 
 const BatchKernels* avx2_kernels() noexcept {
-  static const BatchKernels kTable = make_kernels<VecAvx2>(Tier::kAvx2);
+  static const BatchKernels kTable =
+      make_kernels<VecAvx2, GfAvx2>(Tier::kAvx2);
   return &kTable;
 }
 

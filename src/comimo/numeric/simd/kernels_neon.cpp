@@ -10,7 +10,8 @@
 namespace comimo::simd::detail {
 
 const BatchKernels* neon_kernels() noexcept {
-  static const BatchKernels kTable = make_kernels<VecNeon>(Tier::kNeon);
+  static const BatchKernels kTable =
+      make_kernels<VecNeon, GfNeon>(Tier::kNeon);
   return &kTable;
 }
 

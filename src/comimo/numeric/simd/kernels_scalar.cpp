@@ -7,7 +7,8 @@
 namespace comimo::simd::detail {
 
 const BatchKernels* scalar_kernels() noexcept {
-  static const BatchKernels kTable = make_kernels<VecScalar>(Tier::kScalar);
+  static const BatchKernels kTable =
+      make_kernels<VecScalar, GfScalar>(Tier::kScalar);
   return &kTable;
 }
 

@@ -10,7 +10,8 @@
 namespace comimo::simd::detail {
 
 const BatchKernels* sse2_kernels() noexcept {
-  static const BatchKernels kTable = make_kernels<VecSse2>(Tier::kSse2);
+  static const BatchKernels kTable =
+      make_kernels<VecSse2, GfSse2>(Tier::kSse2);
   return &kTable;
 }
 

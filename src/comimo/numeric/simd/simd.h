@@ -111,6 +111,27 @@ struct BatchKernels {
   void (*qam_nearest)(const double* sym_re, const double* sym_im,
                       std::size_t elems, const cplx* points,
                       std::size_t n_points, std::uint32_t* labels);
+
+  // ---- GF(256) region kernels (the RLNC coding/ hot path) -------------
+  //
+  // Exact byte arithmetic over the 0x11D field (gf256_tables.h):
+  // every tier produces identical bytes by construction, so these carry
+  // no rounding-order contract — only the table identity.  Buffers are
+  // ordinary (unaligned) byte storage; src and dst must not alias.
+
+  /// dst[i] ^= c ⊗ src[i] over len bytes — the Gaussian-elimination
+  /// axpy.  c == 1 degenerates to XOR (the GF(2) add), c == 0 to a
+  /// no-op.
+  void (*gf256_mul_add_row)(std::uint8_t* dst, const std::uint8_t* src,
+                            std::uint8_t c, std::size_t len);
+
+  /// buf[i] = c ⊗ buf[i] over len bytes — pivot normalization.
+  void (*gf256_mul_region)(std::uint8_t* buf, std::uint8_t c,
+                           std::size_t len);
+
+  /// dst[i] ^= src[i] over len bytes — the GF(2) region add.
+  void (*gf_region_xor)(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t len);
 };
 
 /// Detection result for this process (ignores any --simd override).

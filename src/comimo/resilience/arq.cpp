@@ -17,6 +17,7 @@ struct ArqObs {
   obs::Counter deliveries =
       obs::MetricRegistry::global().counter("arq.deliveries");
   obs::Counter failures = obs::MetricRegistry::global().counter("arq.failures");
+  obs::Counter giveup = obs::MetricRegistry::global().counter("arq.giveup");
   obs::Histogram backoff_s =
       obs::MetricRegistry::global().histogram("arq.backoff_s");
 };
@@ -79,7 +80,9 @@ ArqOutcome run_arq(const ArqConfig& config,
       out.wait_s += arq_backoff_unchecked_s(config, k, rng);
     }
   }
+  out.exhausted = true;
   o.failures.add();
+  o.giveup.add();
   return out;
 }
 

@@ -46,6 +46,10 @@ struct ArqOutcome {
   bool delivered = false;
   unsigned attempts = 0;     ///< transmissions actually made (>= 1)
   double wait_s = 0.0;       ///< ACK timeouts + backoff time spent
+  /// The retry budget ran dry: every one of max_attempts transmissions
+  /// failed.  Distinguishes "gave up" from outcomes abandoned early by
+  /// the caller (delivered == false && exhausted == false).
+  bool exhausted = false;
 };
 
 /// Runs the protocol: `attempt_ok(k)` reports whether transmission k

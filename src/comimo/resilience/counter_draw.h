@@ -1,0 +1,32 @@
+// Counter-based (stateless) uniform draws for fault machinery.
+//
+// Replayable fault injection needs draws that depend only on WHERE a
+// fault could happen — (round, hop, attempt), or a slot ordinal — and
+// never on visit order or mutable RNG state.  This helper folds an
+// index tuple through SplitMix64; FaultPlan and GilbertElliottChannel
+// share it so their draws stay mutually independent (distinct tags) and
+// bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "comimo/numeric/rng.h"
+
+namespace comimo::detail {
+
+/// Uniform in [0, 1), a pure function of (seed, tag, a, b, c).
+inline double hashed_uniform(std::uint64_t seed, std::uint64_t tag,
+                             std::uint64_t a, std::uint64_t b,
+                             std::uint64_t c) {
+  std::uint64_t state = seed ^ (tag * 0x9E3779B97F4A7C15ULL);
+  (void)splitmix64(state);
+  state ^= a * 0xBF58476D1CE4E5B9ULL;
+  (void)splitmix64(state);
+  state ^= b * 0x94D049BB133111EBULL;
+  (void)splitmix64(state);
+  state ^= c * 0xD6E8FEB86659FD93ULL;
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace comimo::detail

@@ -5,28 +5,11 @@
 
 #include "comimo/common/error.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/resilience/counter_draw.h"
 
 namespace comimo {
 
-namespace {
-
-/// Counter-based uniform draw in [0, 1): folds each index through
-/// SplitMix64 so the value depends on the whole tuple but on no mutable
-/// state — any visit order replays the same fault.
-double hashed_uniform(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
-                      std::uint64_t b, std::uint64_t c) {
-  std::uint64_t state = seed ^ (tag * 0x9E3779B97F4A7C15ULL);
-  (void)splitmix64(state);
-  state ^= a * 0xBF58476D1CE4E5B9ULL;
-  (void)splitmix64(state);
-  state ^= b * 0x94D049BB133111EBULL;
-  (void)splitmix64(state);
-  state ^= c * 0xD6E8FEB86659FD93ULL;
-  const std::uint64_t bits = splitmix64(state);
-  return static_cast<double>(bits >> 11) * 0x1.0p-53;
-}
-
-}  // namespace
+using detail::hashed_uniform;
 
 void validate(const FaultConfig& config) {
   COMIMO_CHECK(config.node_death_fraction >= 0.0 &&
@@ -43,6 +26,7 @@ void validate(const FaultConfig& config) {
                    config.slot_erasure_prob < 1.0,
                "slot erasure probability must be in [0, 1)");
   COMIMO_CHECK(config.repair_time_s >= 0.0, "negative repair time");
+  if (config.burst.enabled) validate(config.burst);
   if (config.pu_preemption) {
     COMIMO_CHECK(config.pu.mean_busy_s > 0.0 && config.pu.mean_idle_s > 0.0,
                  "PU holding times must be positive");
@@ -56,6 +40,13 @@ FaultPlan::FaultPlan(FaultConfig config, std::vector<NodeDeath> deaths,
     : config_(std::move(config)),
       deaths_(std::move(deaths)),
       pu_trace_(std::move(pu_trace)) {
+  if (config_.enabled && config_.burst.enabled) {
+    // Mix the plan seed into the channel seed so per-trial reseeding
+    // (the ensemble overrides config.seed) varies the burst trace too.
+    GilbertElliottConfig burst = config_.burst;
+    burst.seed = burst.seed ^ (config_.seed * 0x9E3779B97F4A7C15ULL);
+    burst_ = GilbertElliottChannel(burst);
+  }
   std::sort(deaths_.begin(), deaths_.end(),
             [](const NodeDeath& a, const NodeDeath& b) {
               return a.round != b.round ? a.round < b.round
@@ -82,6 +73,11 @@ bool FaultPlan::relay_dropout(std::size_t round, std::size_t hop) const {
   if (!config_.enabled || config_.relay_dropout_prob <= 0.0) return false;
   return hashed_uniform(config_.seed, 0xD209u, round, hop, 0) <
          config_.relay_dropout_prob;
+}
+
+bool FaultPlan::burst_erased(std::uint64_t slot) const noexcept {
+  if (!config_.enabled) return false;
+  return burst_.erased(slot);
 }
 
 double FaultPlan::pu_wait_s(double t_s) const {

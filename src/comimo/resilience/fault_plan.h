@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "comimo/net/comimonet.h"
+#include "comimo/resilience/gilbert_elliott.h"
 #include "comimo/sensing/pu_activity.h"
 
 namespace comimo {
@@ -48,6 +49,11 @@ struct FaultConfig {
 
   /// Control-plane cost charged per route repair (backbone rebuild).
   double repair_time_s = 50e-3;
+
+  /// Correlated (bursty) long-haul losses on top of the i.i.d. erasure
+  /// draw above.  The channel's own seed is mixed with `seed`, so
+  /// per-trial reseeding varies the burst pattern too.
+  GilbertElliottConfig burst{};
 
   std::uint64_t seed = 1;
 };
@@ -90,6 +96,17 @@ class FaultPlan {
   /// Counter-based draw: does a cooperating transmitter drop out mid-hop?
   [[nodiscard]] bool relay_dropout(std::size_t round, std::size_t hop) const;
 
+  /// Counter-based draw against the Gilbert–Elliott burst channel: is
+  /// the transmission occupying global slot ordinal `slot` erased?
+  /// Always false (and consumes nothing) when bursts are disabled, so
+  /// existing fault plans are bit-identical.
+  [[nodiscard]] bool burst_erased(std::uint64_t slot) const noexcept;
+
+  /// The materialized burst channel (disabled when config.burst is off).
+  [[nodiscard]] const GilbertElliottChannel& burst_channel() const noexcept {
+    return burst_;
+  }
+
   /// Seconds the transmitter must wait at absolute time `t_s` before the
   /// PU vacates (0 when preemption is disabled or the channel is idle).
   /// Time wraps modulo the trace duration, keeping long runs replayable.
@@ -99,6 +116,7 @@ class FaultPlan {
   FaultConfig config_{};
   std::vector<NodeDeath> deaths_;
   std::vector<PuInterval> pu_trace_;
+  GilbertElliottChannel burst_{};
 };
 
 /// Generates plans.  Construction validates the config; `make_plan`

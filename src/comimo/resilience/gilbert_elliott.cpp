@@ -1,0 +1,72 @@
+#include "comimo/resilience/gilbert_elliott.h"
+
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/resilience/counter_draw.h"
+
+namespace comimo {
+
+namespace {
+
+// Distinct stream/tag constants so the burst draws never collide with
+// FaultPlan's erasure (0x51), dropout (0xD0) or any Rng stream in use.
+constexpr std::uint64_t kTraceStream = 0x6E11;
+constexpr std::uint64_t kLossTag = 0x6E22;
+
+}  // namespace
+
+void validate(const GilbertElliottConfig& config) {
+  COMIMO_CHECK(config.p_good_to_bad > 0.0 && config.p_good_to_bad <= 1.0,
+               "Gilbert-Elliott p_good_to_bad must be in (0, 1]");
+  COMIMO_CHECK(config.p_bad_to_good > 0.0 && config.p_bad_to_good <= 1.0,
+               "Gilbert-Elliott p_bad_to_good must be in (0, 1]");
+  COMIMO_CHECK(config.loss_good >= 0.0 && config.loss_good <= 1.0,
+               "Gilbert-Elliott loss_good must be in [0, 1]");
+  COMIMO_CHECK(config.loss_bad >= 0.0 && config.loss_bad <= 1.0,
+               "Gilbert-Elliott loss_bad must be in [0, 1]");
+  COMIMO_CHECK(config.trace_slots >= 1,
+               "Gilbert-Elliott trace must cover at least one slot");
+}
+
+GilbertElliottChannel::GilbertElliottChannel(GilbertElliottConfig config)
+    : config_(config) {
+  if (!config_.enabled) return;
+  validate(config_);
+  trace_.resize(config_.trace_slots);
+  Rng rng(config_.seed, kTraceStream);
+  // Start from the stationary distribution so short traces are not
+  // biased toward the Good state.
+  bool bad = rng.bernoulli(stationary_bad());
+  for (std::size_t s = 0; s < trace_.size(); ++s) {
+    trace_[s] = bad ? 1 : 0;
+    bad = bad ? !rng.bernoulli(config_.p_bad_to_good)
+              : rng.bernoulli(config_.p_good_to_bad);
+  }
+}
+
+bool GilbertElliottChannel::bad(std::uint64_t slot) const noexcept {
+  if (trace_.empty()) return false;
+  return trace_[slot % trace_.size()] != 0;
+}
+
+bool GilbertElliottChannel::erased(std::uint64_t slot) const noexcept {
+  if (!config_.enabled || trace_.empty()) return false;
+  const bool b = bad(slot);
+  const double p = b ? config_.loss_bad : config_.loss_good;
+  if (p <= 0.0) return false;
+  return detail::hashed_uniform(config_.seed, kLossTag, slot, b ? 1 : 0, 0) <
+         p;
+}
+
+double GilbertElliottChannel::stationary_bad() const noexcept {
+  const double denom = config_.p_good_to_bad + config_.p_bad_to_good;
+  if (denom <= 0.0) return 0.0;
+  return config_.p_good_to_bad / denom;
+}
+
+double GilbertElliottChannel::expected_loss() const noexcept {
+  const double pi_bad = stationary_bad();
+  return (1.0 - pi_bad) * config_.loss_good + pi_bad * config_.loss_bad;
+}
+
+}  // namespace comimo

@@ -1,0 +1,78 @@
+// Gilbert–Elliott two-state burst-loss channel.
+//
+// The FaultPlan's slot_erasure_prob models independent (Bernoulli)
+// losses, which flatters ARQ: every retransmission gets a fresh coin.
+// Real CR links lose packets in bursts — deep fades and PU bursts put
+// the channel in a "bad" dwell where consecutive attempts fail
+// together, exactly the regime where retransmission dialogues stall and
+// rateless coding earns its keep.  The classic Gilbert–Elliott model
+// captures this with a two-state Markov chain (Good/Bad) and a loss
+// probability per state.
+//
+// Determinism: the Markov state sequence is precomputed as a trace
+// (one byte per slot, like the PU busy/idle trace) from a seeded Rng,
+// and the per-slot loss coin is a counter-based hash of the slot
+// ordinal — so any traversal order, worker count, or transport choice
+// replays the identical loss pattern.  Composable with FaultPlan: the
+// i.i.d. erasure draw and the burst draw are independent streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace comimo {
+
+struct GilbertElliottConfig {
+  bool enabled = false;  ///< off: channel never erases anything
+
+  /// Markov transition probabilities per slot.  Mean bad-dwell length
+  /// is 1/p_bad_to_good slots; stationary bad-state occupancy is
+  /// p_good_to_bad / (p_good_to_bad + p_bad_to_good).
+  double p_good_to_bad = 0.02;
+  double p_bad_to_good = 0.25;
+
+  /// Per-slot loss probability inside each state.
+  double loss_good = 0.01;
+  double loss_bad = 0.75;
+
+  /// Precomputed state-trace length; slot ordinals wrap over it.
+  std::size_t trace_slots = 1u << 16;
+
+  std::uint64_t seed = 1;
+};
+
+/// Throws InvalidArgument on malformed knobs.
+void validate(const GilbertElliottConfig& config);
+
+/// Materialized channel: a seeded state trace plus counter-hashed loss
+/// coins.  Cheap to copy-construct into per-trial fault plans.
+class GilbertElliottChannel {
+ public:
+  GilbertElliottChannel() = default;  ///< disabled channel
+  explicit GilbertElliottChannel(GilbertElliottConfig config);
+
+  [[nodiscard]] const GilbertElliottConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+
+  /// Is the chain in the Bad state at slot ordinal `slot` (wrapped)?
+  [[nodiscard]] bool bad(std::uint64_t slot) const noexcept;
+
+  /// Counter-based draw: is the transmission occupying slot ordinal
+  /// `slot` erased?  Always false when disabled (and consumes nothing).
+  [[nodiscard]] bool erased(std::uint64_t slot) const noexcept;
+
+  /// Long-run fraction of slots spent in the Bad state.
+  [[nodiscard]] double stationary_bad() const noexcept;
+
+  /// Long-run marginal loss probability (mixes both states).
+  [[nodiscard]] double expected_loss() const noexcept;
+
+ private:
+  GilbertElliottConfig config_{};
+  std::vector<std::uint8_t> trace_;  ///< 1 = Bad, indexed by slot % size
+};
+
+}  // namespace comimo

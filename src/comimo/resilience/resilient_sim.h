@@ -23,6 +23,7 @@
 #include "comimo/numeric/stats.h"
 #include "comimo/resilience/arq.h"
 #include "comimo/resilience/fault_plan.h"
+#include "comimo/resilience/rlnc_transport.h"
 
 namespace comimo {
 
@@ -35,6 +36,11 @@ struct ResilienceConfig {
   std::uint64_t traffic_seed = 1;
   FaultConfig faults{};  ///< off by default: the zero-fault happy path
   ArqConfig arq{};
+
+  /// Rateless coded transport as a peer of ARQ.  Off by default; with
+  /// rlnc.enabled == false the ARQ path runs bit-identically to before
+  /// (no extra RNG consumption, no report-field drift).
+  RlncTransportConfig rlnc{};
 
   /// When > 0, the final operating point of every routed hop is also
   /// pushed through the waveform link kernel (measure_plan_ber) for
@@ -73,6 +79,22 @@ struct ResilienceReport {
   double energy_spent_j = 0.0;
   double retransmit_energy_j = 0.0;  ///< the recovery overhead share
 
+  /// Summed in-flight time of delivered packets (offer → delivery),
+  /// maintained by BOTH transports: mean delivery latency is
+  /// delivered_latency_s / packets_delivered.
+  double delivered_latency_s = 0.0;
+
+  // RLNC transport accounting — all zero when rlnc.enabled == false:
+  std::size_t rlnc_generations = 0;     ///< routes attempted under RLNC
+  std::size_t rlnc_packets_sent = 0;    ///< coded transmissions, all hops
+  std::size_t rlnc_overhead_packets = 0;///< beyond the initial k per hop
+  std::size_t rlnc_recoded_packets = 0; ///< relay-recoded transmissions
+  std::size_t rlnc_feedback_rounds = 0;
+  std::size_t rlnc_rank_deficit = 0;    ///< summed k - final_rank on failures
+  std::size_t rlnc_failures = 0;        ///< generations the sink lost
+  double rlnc_recode_energy_j = 0.0;    ///< GF recombination energy charged
+  double rlnc_partial_bits = 0.0;       ///< decodable bits of failed generations
+
   // Waveform probe aggregates — all zero unless waveform_blocks > 0:
   std::size_t waveform_hops = 0;  ///< hops probed (cache hits included)
   std::size_t waveform_bits = 0;
@@ -107,11 +129,15 @@ struct ResilienceEnsembleReport {
   RunningStats goodput_bps;
   RunningStats energy_spent_j;
   RunningStats retransmit_energy_j;
+  RunningStats latency_s;           ///< per-trial mean delivery latency
   std::size_t retransmissions = 0;  ///< summed over all trials
   std::size_t arq_failures = 0;
   std::size_t node_deaths = 0;
   std::size_t route_repairs = 0;
   std::size_t pu_preemptions = 0;
+  std::size_t rlnc_packets_sent = 0;
+  std::size_t rlnc_overhead_packets = 0;
+  std::size_t rlnc_failures = 0;
   std::size_t trials = 0;
   McRunInfo info;
 };

@@ -1,0 +1,84 @@
+// RLNC transport: rateless coded delivery over a multi-hop route.
+//
+// A peer of the ARQ protocol in the resilience layer.  Where ARQ
+// retransmits the SAME packet until it lands (one retry dialogue per
+// loss), the RLNC transport cuts the round's payload into a generation
+// of k packets, streams coded combinations across each hop, and lets
+// relays RECODE — forward fresh combinations of whatever innovation
+// they hold — without decoding.  Losses cost one extra coded packet
+// instead of a timeout + backoff dialogue, which is decisive under
+// bursty (Gilbert–Elliott) erasures where consecutive ARQ retries fail
+// together.
+//
+// The module is policy-free about physics: the caller supplies three
+// callbacks — `erased` (does transmission j on hop h get through?),
+// `charge_packet` (pay airtime/energy for one coded packet), and
+// `charge_feedback` (pay one receiver-feedback round trip) — so the
+// simulator keeps exclusive ownership of time, batteries, and fault
+// draws.  Everything here is deterministic in the caller's Rng.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "comimo/coding/rlnc.h"
+
+namespace comimo {
+
+class Rng;
+
+struct RlncTransportConfig {
+  bool enabled = false;  ///< off: the simulator keeps its ARQ path
+
+  coding::RlncConfig code{};  ///< generation shape and field
+
+  /// Extra coded packets a hop may spend beyond its initial burst
+  /// before the route gives up (the analogue of ARQ max_attempts).
+  std::size_t max_overhead_packets = 64;
+
+  /// Energy charged to a relay head per recoded packet (the GF
+  /// recombination work, on top of the radio cost the caller charges).
+  double recode_energy_j = 2e-5;
+};
+
+/// Throws InvalidArgument on malformed knobs.
+void validate(const RlncTransportConfig& config);
+
+struct RlncRouteResult {
+  bool delivered = false;       ///< sink reached full rank and verified
+  std::size_t packets_sent = 0; ///< every coded transmission, all hops
+  std::size_t overhead_packets = 0;  ///< beyond the initial k per hop
+  std::size_t recoded_packets = 0;   ///< relay-recoded transmissions
+  std::size_t feedback_rounds = 0;   ///< receiver rank-report dialogues
+  std::size_t final_rank = 0;        ///< sink decoder rank at the end
+  std::size_t decodable_packets = 0; ///< sink source packets recovered
+};
+
+/// Is transmission `tx_index` (0-based, per hop) on hop `hop` erased?
+using RlncErasureFn = std::function<bool(std::size_t hop,
+                                         std::size_t tx_index)>;
+/// Pay the airtime/energy for one coded packet on `hop`.  `recoded`
+/// marks relay-recombined packets (GF work on the relay head);
+/// `overhead` marks sends beyond the hop's initial burst (the recovery
+/// share, the analogue of an ARQ retransmission).
+using RlncPacketCostFn =
+    std::function<void(std::size_t hop, bool recoded, bool overhead)>;
+/// Pay one feedback round trip on `hop`.
+using RlncFeedbackCostFn = std::function<void(std::size_t hop)>;
+
+/// Runs one generation across `num_hops` sequential hops: hop 0 is the
+/// systematic source (payload bytes drawn from Rng(payload_seed)),
+/// hops 1..n-1 are store-and-recode relays, and the far end of the last
+/// hop decodes.  Each hop sends an initial burst equal to its sender's
+/// rank, then feedback rounds top up the receiver's rank deficit until
+/// it matches the sender's or the overhead budget runs dry.  Delivery
+/// additionally requires the decoded bytes to equal the source bytes
+/// (end-to-end verification through the GF kernels).
+[[nodiscard]] RlncRouteResult run_rlnc_route(
+    const RlncTransportConfig& config, std::size_t num_hops,
+    std::uint64_t payload_seed, Rng& coding_rng, const RlncErasureFn& erased,
+    const RlncPacketCostFn& charge_packet,
+    const RlncFeedbackCostFn& charge_feedback);
+
+}  // namespace comimo

@@ -1,10 +1,12 @@
 #include "comimo/testbed/coop_hop_sim.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <span>
 
 #include "comimo/channel/awgn.h"
+#include "comimo/coding/rlnc.h"
 #include "comimo/common/error.h"
 #include "comimo/common/parallel.h"
 #include "comimo/common/units.h"
@@ -30,6 +32,10 @@ struct HopObs {
       "coophop.retransmitted_blocks");
   obs::Counter lost =
       obs::MetricRegistry::global().counter("coophop.lost_blocks");
+  obs::Counter repairs =
+      obs::MetricRegistry::global().counter("coophop.repair_blocks");
+  obs::Counter recovered =
+      obs::MetricRegistry::global().counter("coophop.recovered_blocks");
   obs::Histogram hop_ber =
       obs::MetricRegistry::global().histogram("coophop.hop_ber");
   obs::Histogram hop_wall_s = obs::MetricRegistry::global().histogram(
@@ -194,6 +200,7 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
     BitVec decoded;
     std::size_t intra_errors = 0;
     std::size_t intra_bits = 0;
+    bool erased = false;  ///< RLNC mode: this block's one send was lost
     HopResilienceStats res;
   };
   std::vector<BlockOut> outs(num_blocks);
@@ -234,6 +241,15 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
     if (!faults.enabled) {
       long_haul(decoder_full, scratch, channel_rng, long_haul_noise,
                 local_noise);
+    } else if (faults.rlnc) {
+      // Coded repair mode: one send, one erasure draw, no retries — the
+      // serial per-generation repair pass below rebuilds erased blocks.
+      const bool degrade = blk >= faults.dropout_block && mt > 1;
+      if (degrade) ++slot.res.degraded_blocks;
+      ++slot.res.blocks;
+      long_haul(degrade ? *decoder_degraded : decoder_full, scratch,
+                channel_rng, long_haul_noise, local_noise);
+      slot.erased = fault_rng.bernoulli(faults.block_erasure_prob);
     } else {
       const bool degrade = blk >= faults.dropout_block && mt > 1;
       if (degrade) ++slot.res.degraded_blocks;
@@ -263,6 +279,67 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
 
   parallel_for(pool ? *pool : ThreadPool::shared(), num_blocks, run_block);
 
+  // RLNC repair pass (serial, post-merge-order, pool-size independent):
+  // each generation of consecutive blocks is a rank-tracking decoder —
+  // received blocks contribute systematic rows, and coded repair
+  // packets (dense GF(256) rows, themselves subject to erasure) top the
+  // rank up.  A completed generation rebuilds every erased block from
+  // the combinations; an incomplete one zeroes them as lost.
+  if (faults.enabled && faults.rlnc && num_blocks > 0) {
+    const std::size_t gen_size =
+        std::max<std::size_t>(std::size_t{1}, faults.rlnc_generation);
+    for (std::size_t g0 = 0, gen = 0; g0 < num_blocks;
+         g0 += gen_size, ++gen) {
+      const std::size_t n = std::min(gen_size, num_blocks - g0);
+      coding::RlncConfig code_cfg;
+      code_cfg.generation_size = n;
+      code_cfg.packet_bytes = 0;  // rank bookkeeping only
+      coding::RlncDecoder dec(code_cfg);
+      bool any_erased = false;
+      coding::CodedPacket pkt;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (outs[g0 + i].erased) {
+          any_erased = true;
+          continue;
+        }
+        pkt.coeffs.assign(n, 0);
+        pkt.coeffs[i] = 1;
+        pkt.payload.clear();
+        (void)dec.add(pkt);
+      }
+      if (!any_erased) continue;
+      Rng repair_rng(faults.seed, 0x4EC0DE + gen);
+      unsigned repairs = 0;
+      while (!dec.complete() && repairs < faults.rlnc_max_overhead) {
+        ++repairs;
+        // The repair packet rides the same channel as the data blocks.
+        if (repair_rng.bernoulli(faults.block_erasure_prob)) continue;
+        pkt.coeffs.assign(n, 0);
+        pkt.payload.clear();
+        bool any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          pkt.coeffs[i] =
+              coding::draw_coefficient(code_cfg.field, repair_rng);
+          any = any || pkt.coeffs[i] != 0;
+        }
+        if (!any) pkt.coeffs[0] = 1;
+        (void)dec.add(pkt);
+      }
+      result.resilience.repair_blocks += repairs;
+      for (std::size_t i = 0; i < n; ++i) {
+        BlockOut& slot = outs[g0 + i];
+        if (!slot.erased) continue;
+        if (dec.complete()) {
+          // Recovered: the block's decoded waveform bits stand.
+          ++result.resilience.recovered_blocks;
+        } else {
+          slot.decoded.assign(bits_per_block, 0);
+          ++slot.res.lost_blocks;
+        }
+      }
+    }
+  }
+
   BitVec out;
   out.reserve(padded.size());
   std::size_t intra_errors = 0;
@@ -291,6 +368,8 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
   o.blocks.add(num_blocks);
   o.retransmitted.add(result.resilience.retransmitted_blocks);
   o.lost.add(result.resilience.lost_blocks);
+  o.repairs.add(result.resilience.repair_blocks);
+  o.recovered.add(result.resilience.recovered_blocks);
   o.hop_ber.observe(result.ber);
   return out;
 }

@@ -40,6 +40,16 @@ struct HopFaultConfig {
   /// reusing the plan's ē_b (energy held, diversity lost).
   std::size_t dropout_block = ~std::size_t{0};
   std::uint64_t seed = 7;
+
+  /// RLNC block repair as a peer of the retransmission loop: every
+  /// block is sent ONCE (one erasure draw, no retries); erased blocks
+  /// are then recovered per generation of `rlnc_generation` consecutive
+  /// blocks by coded repair packets — each itself subject to the same
+  /// erasure process — up to `rlnc_max_overhead` repairs per
+  /// generation.  Off by default; the retransmission path is untouched.
+  bool rlnc = false;
+  std::size_t rlnc_generation = 8;
+  unsigned rlnc_max_overhead = 32;
 };
 
 /// What the fault machinery did to one hop.
@@ -48,6 +58,8 @@ struct HopResilienceStats {
   std::size_t retransmitted_blocks = 0;  ///< needed more than one attempt
   std::size_t degraded_blocks = 0;       ///< sent with a shrunken STBC
   std::size_t lost_blocks = 0;  ///< every attempt erased; payload zeroed
+  std::size_t repair_blocks = 0;     ///< coded repair packets sent (RLNC)
+  std::size_t recovered_blocks = 0;  ///< erased blocks rebuilt by RLNC
   friend bool operator==(const HopResilienceStats&,
                          const HopResilienceStats&) = default;
 };

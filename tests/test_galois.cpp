@@ -1,0 +1,245 @@
+// GF(256)/GF(2) arithmetic: field axioms as exhaustive property tests,
+// plus bitwise scalar-vs-SIMD equivalence for the region kernels at
+// every compiled tier (the coding layer's bit-identity contract).
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comimo/coding/galois.h"
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/numeric/simd/gf256_tables.h"
+#include "comimo/numeric/simd/simd.h"
+
+namespace comimo::coding {
+namespace {
+
+using simd::BatchKernels;
+using simd::Tier;
+
+std::vector<std::pair<Tier, const BatchKernels*>> compiled_tiers() {
+  std::vector<std::pair<Tier, const BatchKernels*>> out;
+  for (Tier t : {Tier::kScalar, Tier::kSse2, Tier::kAvx2, Tier::kNeon}) {
+    if (const BatchKernels* k = simd::kernels_for_tier(t)) {
+      out.emplace_back(t, k);
+    }
+  }
+  return out;
+}
+
+TEST(Galois, AddIsXorAndSelfInverse) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; b += 7) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(gf_add(ua, ub), ua ^ ub);
+      EXPECT_EQ(gf_add(gf_add(ua, ub), ub), ua);
+    }
+  }
+}
+
+TEST(Galois, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf_mul(ua, 1), ua);
+    EXPECT_EQ(gf_mul(1, ua), ua);
+    EXPECT_EQ(gf_mul(ua, 0), 0);
+    EXPECT_EQ(gf_mul(0, ua), 0);
+  }
+}
+
+TEST(Galois, MulCommutesAndAssociates) {
+  Rng rng(7, 0);
+  for (int n = 0; n < 20000; ++n) {
+    const auto a = static_cast<std::uint8_t>(rng.next() >> 56);
+    const auto b = static_cast<std::uint8_t>(rng.next() >> 56);
+    const auto c = static_cast<std::uint8_t>(rng.next() >> 56);
+    EXPECT_EQ(gf_mul(a, b), gf_mul(b, a));
+    EXPECT_EQ(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+  }
+}
+
+TEST(Galois, MulDistributesOverAdd) {
+  Rng rng(11, 0);
+  for (int n = 0; n < 20000; ++n) {
+    const auto a = static_cast<std::uint8_t>(rng.next() >> 56);
+    const auto b = static_cast<std::uint8_t>(rng.next() >> 56);
+    const auto c = static_cast<std::uint8_t>(rng.next() >> 56);
+    EXPECT_EQ(gf_mul(a, gf_add(b, c)), gf_add(gf_mul(a, b), gf_mul(a, c)));
+  }
+}
+
+TEST(Galois, EveryNonzeroElementHasAnInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    const std::uint8_t inv = gf_inv(ua);
+    EXPECT_EQ(gf_mul(ua, inv), 1) << "a = " << a;
+    EXPECT_EQ(gf_div(1, ua), inv);
+  }
+}
+
+TEST(Galois, DivIsMulByInverseExhaustive) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 1; b < 256; ++b) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      const std::uint8_t q = gf_div(ua, ub);
+      EXPECT_EQ(gf_mul(q, ub), ua);
+    }
+  }
+}
+
+TEST(Galois, DivAndInvByZeroThrow) {
+  EXPECT_THROW((void)gf_div(5, 0), InvalidArgument);
+  EXPECT_THROW((void)gf_inv(0), InvalidArgument);
+}
+
+TEST(Galois, LogExpRoundTrip) {
+  const auto& t = simd::kGf256;
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(t.exp[t.log[a]], a);
+  }
+  // The exponential table cycles with period 255 (α is primitive).
+  for (int e = 0; e < 255; ++e) {
+    EXPECT_EQ(t.exp[e], t.exp[e + 255]);
+  }
+}
+
+TEST(Galois, PowMatchesRepeatedMul) {
+  for (int a = 0; a < 256; a += 5) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    std::uint8_t acc = 1;
+    for (unsigned n = 0; n < 12; ++n) {
+      EXPECT_EQ(gf_pow(ua, n), acc) << "a = " << a << " n = " << n;
+      acc = gf_mul(acc, ua);
+    }
+  }
+}
+
+TEST(Galois, GeneratorIsPrimitive) {
+  // α = 2 must enumerate every nonzero element before returning to 1.
+  std::vector<bool> seen(256, false);
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+    x = gf_mul(x, 2);
+  }
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Galois, DrawCoefficientRespectsField) {
+  Rng rng(3, 0);
+  bool saw_large = false;
+  for (int n = 0; n < 1000; ++n) {
+    const std::uint8_t c2 = draw_coefficient(GfField::kGf2, rng);
+    EXPECT_LE(c2, 1);
+    const std::uint8_t c256 = draw_coefficient(GfField::kGf256, rng);
+    saw_large = saw_large || c256 > 1;
+  }
+  EXPECT_TRUE(saw_large);
+}
+
+// ---- per-tier SIMD equivalence ----------------------------------------
+
+TEST(GaloisSimd, MulAddRowMatchesScalarReferenceAtEveryTier) {
+  const BatchKernels* scalar = simd::kernels_for_tier(Tier::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  Rng rng(42, 0);
+  // Lengths straddle the vector widths and their remainders.
+  for (std::size_t len : {std::size_t{1}, std::size_t{15}, std::size_t{16},
+                          std::size_t{31}, std::size_t{32}, std::size_t{33},
+                          std::size_t{64}, std::size_t{257}}) {
+    std::vector<std::uint8_t> src(len), base(len);
+    for (auto& v : src) v = static_cast<std::uint8_t>(rng.next() >> 56);
+    for (auto& v : base) v = static_cast<std::uint8_t>(rng.next() >> 56);
+    for (int c = 0; c < 256; c += 17) {
+      std::vector<std::uint8_t> expect = base;
+      scalar->gf256_mul_add_row(expect.data(), src.data(),
+                                static_cast<std::uint8_t>(c), len);
+      // Cross-check against the scalar table arithmetic.
+      for (std::size_t i = 0; i < len; ++i) {
+        EXPECT_EQ(expect[i],
+                  base[i] ^ gf_mul(static_cast<std::uint8_t>(c), src[i]));
+      }
+      for (const auto& [tier, k] : compiled_tiers()) {
+        std::vector<std::uint8_t> got = base;
+        k->gf256_mul_add_row(got.data(), src.data(),
+                             static_cast<std::uint8_t>(c), len);
+        EXPECT_EQ(got, expect)
+            << "tier " << simd::tier_name(tier) << " c=" << c
+            << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(GaloisSimd, MulRegionMatchesScalarReferenceAtEveryTier) {
+  Rng rng(43, 0);
+  const BatchKernels* scalar = simd::kernels_for_tier(Tier::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  for (std::size_t len : {std::size_t{5}, std::size_t{32}, std::size_t{100},
+                          std::size_t{513}}) {
+    std::vector<std::uint8_t> base(len);
+    for (auto& v : base) v = static_cast<std::uint8_t>(rng.next() >> 56);
+    for (int c : {0, 1, 2, 29, 128, 255}) {
+      std::vector<std::uint8_t> expect = base;
+      scalar->gf256_mul_region(expect.data(), static_cast<std::uint8_t>(c),
+                               len);
+      for (const auto& [tier, k] : compiled_tiers()) {
+        std::vector<std::uint8_t> got = base;
+        k->gf256_mul_region(got.data(), static_cast<std::uint8_t>(c), len);
+        EXPECT_EQ(got, expect)
+            << "tier " << simd::tier_name(tier) << " c=" << c
+            << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(GaloisSimd, XorRowMatchesScalarReferenceAtEveryTier) {
+  Rng rng(44, 0);
+  const BatchKernels* scalar = simd::kernels_for_tier(Tier::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  for (std::size_t len : {std::size_t{3}, std::size_t{16}, std::size_t{47},
+                          std::size_t{256}, std::size_t{1000}}) {
+    std::vector<std::uint8_t> src(len), base(len);
+    for (auto& v : src) v = static_cast<std::uint8_t>(rng.next() >> 56);
+    for (auto& v : base) v = static_cast<std::uint8_t>(rng.next() >> 56);
+    std::vector<std::uint8_t> expect = base;
+    scalar->gf_region_xor(expect.data(), src.data(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(expect[i], base[i] ^ src[i]);
+    }
+    for (const auto& [tier, k] : compiled_tiers()) {
+      std::vector<std::uint8_t> got = base;
+      k->gf_region_xor(got.data(), src.data(), len);
+      EXPECT_EQ(got, expect) << "tier " << simd::tier_name(tier);
+    }
+  }
+}
+
+TEST(GaloisSimd, RegionOpsMatchScalarMathOnEdgeCoefficients) {
+  // c == 0 (no-op / zeroing) and c == 1 (pure XOR / copy) take special
+  // branches in every backend; pin their semantics.
+  std::vector<std::uint8_t> src{1, 2, 3, 4, 5};
+  std::vector<std::uint8_t> dst{9, 9, 9, 9, 9};
+  for (const auto& [tier, k] : compiled_tiers()) {
+    std::vector<std::uint8_t> d = dst;
+    k->gf256_mul_add_row(d.data(), src.data(), 0, d.size());
+    EXPECT_EQ(d, dst) << simd::tier_name(tier);  // += 0·src is a no-op
+    k->gf256_mul_add_row(d.data(), src.data(), 1, d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      EXPECT_EQ(d[i], dst[i] ^ src[i]);
+    }
+    std::vector<std::uint8_t> r = src;
+    k->gf256_mul_region(r.data(), 1, r.size());
+    EXPECT_EQ(r, src);
+    k->gf256_mul_region(r.data(), 0, r.size());
+    EXPECT_EQ(r, std::vector<std::uint8_t>(src.size(), 0));
+  }
+}
+
+}  // namespace
+}  // namespace comimo::coding

@@ -1,0 +1,363 @@
+// RLNC codec tests: encoder/decoder round trips at every field and
+// generation shape, relay recoding chains, rank accounting, and the
+// adversarial-input contract (malformed/duplicated/reordered/dependent
+// packets never crash and never fake full rank).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comimo/coding/rlnc.h"
+#include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
+
+namespace comimo::coding {
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> out(n);
+  Rng rng(seed, 0xDA7A);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next() >> 56);
+  return out;
+}
+
+void expect_roundtrip(RlncConfig cfg, std::uint64_t seed) {
+  const auto data =
+      random_payload(cfg.generation_size * cfg.packet_bytes, seed);
+  const RlncEncoder enc(cfg, data);
+  RlncDecoder dec(cfg);
+  Rng rng(seed, 1);
+  std::size_t seq = 0;
+  while (!dec.complete()) {
+    ASSERT_LT(seq, cfg.generation_size + 300) << "decoder failed to converge";
+    (void)dec.add(enc.packet(seq++, rng));
+  }
+  for (std::size_t i = 0; i < cfg.generation_size; ++i) {
+    EXPECT_TRUE(dec.source_decodable(i));
+    EXPECT_EQ(dec.source_packet(i), enc.source_row(i)) << "row " << i;
+  }
+  EXPECT_EQ(dec.decodable_now(), cfg.generation_size);
+}
+
+TEST(Rlnc, ValidateRejectsBadConfigs) {
+  RlncConfig cfg;
+  cfg.generation_size = 0;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg.generation_size = 300;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg.generation_size = 8;
+  cfg.band_width = 9;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg.band_width = 8;
+  EXPECT_NO_THROW(validate(cfg));
+}
+
+TEST(Rlnc, SystematicLosslessRoundTripUsesExactlyKPackets) {
+  RlncConfig cfg;
+  cfg.generation_size = 12;
+  cfg.packet_bytes = 33;
+  const auto data = random_payload(12 * 33, 5);
+  const RlncEncoder enc(cfg, data);
+  RlncDecoder dec(cfg);
+  Rng rng(5, 1);
+  for (std::size_t s = 0; s < 12; ++s) {
+    EXPECT_TRUE(dec.add(enc.packet(s, rng))) << "systematic row " << s;
+    EXPECT_EQ(dec.rank(), s + 1);
+    EXPECT_EQ(dec.decodable_now(), s + 1);  // systematic rows decode as-is
+  }
+  EXPECT_TRUE(dec.complete());
+}
+
+TEST(Rlnc, RoundTripGf256DenseUnderErasures) {
+  RlncConfig cfg;
+  cfg.generation_size = 16;
+  cfg.packet_bytes = 64;
+  const auto data = random_payload(16 * 64, 9);
+  const RlncEncoder enc(cfg, data);
+  RlncDecoder dec(cfg);
+  Rng rng(9, 1);
+  Rng loss(9, 2);
+  std::size_t seq = 0;
+  while (!dec.complete()) {
+    ASSERT_LT(seq, 400u);
+    const CodedPacket pkt = enc.packet(seq++, rng);
+    if (loss.bernoulli(0.4)) continue;  // 40% erasures
+    (void)dec.add(pkt);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(dec.source_packet(i), enc.source_row(i));
+  }
+}
+
+TEST(Rlnc, RoundTripGf2) {
+  RlncConfig cfg;
+  cfg.generation_size = 10;
+  cfg.packet_bytes = 16;
+  cfg.field = GfField::kGf2;
+  expect_roundtrip(cfg, 21);
+}
+
+TEST(Rlnc, RoundTripBandedGeneration) {
+  RlncConfig cfg;
+  cfg.generation_size = 24;
+  cfg.packet_bytes = 20;
+  cfg.band_width = 6;
+  expect_roundtrip(cfg, 33);
+  // Banded coefficients really are confined to the band.
+  const RlncEncoder enc(cfg, random_payload(24 * 20, 34));
+  Rng rng(34, 1);
+  for (int n = 0; n < 50; ++n) {
+    const CodedPacket pkt = enc.coded(rng);
+    std::size_t lo = cfg.generation_size, hi = 0;
+    for (std::size_t i = 0; i < pkt.coeffs.size(); ++i) {
+      if (pkt.coeffs[i] != 0) {
+        lo = std::min(lo, i);
+        hi = std::max(hi, i);
+      }
+    }
+    ASSERT_LT(lo, cfg.generation_size) << "all-zero coded packet escaped";
+    EXPECT_LT(hi - lo, cfg.band_width);
+  }
+}
+
+TEST(Rlnc, NonSystematicRoundTrip) {
+  RlncConfig cfg;
+  cfg.generation_size = 8;
+  cfg.packet_bytes = 12;
+  cfg.systematic = false;
+  expect_roundtrip(cfg, 44);
+}
+
+TEST(Rlnc, GenerationSizeOne) {
+  RlncConfig cfg;
+  cfg.generation_size = 1;
+  cfg.packet_bytes = 5;
+  expect_roundtrip(cfg, 55);
+}
+
+TEST(Rlnc, DecoderIsOrderInvariant) {
+  RlncConfig cfg;
+  cfg.generation_size = 8;
+  cfg.packet_bytes = 10;
+  const auto data = random_payload(8 * 10, 17);
+  const RlncEncoder enc(cfg, data);
+  Rng rng(17, 1);
+  std::vector<CodedPacket> packets;
+  for (std::size_t s = 0; s < 12; ++s) packets.push_back(enc.packet(s, rng));
+  std::reverse(packets.begin(), packets.end());
+  RlncDecoder dec(cfg);
+  for (const auto& p : packets) (void)dec.add(p);
+  ASSERT_TRUE(dec.complete());
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(dec.source_packet(i), enc.source_row(i));
+  }
+}
+
+TEST(Rlnc, CoefficientStreamsReplayFromSeed) {
+  RlncConfig cfg;
+  cfg.generation_size = 9;
+  cfg.packet_bytes = 7;
+  const auto data = random_payload(9 * 7, 3);
+  const RlncEncoder enc(cfg, data);
+  Rng a(12, 0), b(12, 0);
+  for (int n = 0; n < 30; ++n) {
+    const CodedPacket pa = enc.coded(a);
+    const CodedPacket pb = enc.coded(b);
+    EXPECT_EQ(pa.coeffs, pb.coeffs);
+    EXPECT_EQ(pa.payload, pb.payload);
+  }
+}
+
+// ------------------------------------------------------------- relays --
+
+TEST(Rlnc, RecoderChainDeliversWithoutDecoding) {
+  RlncConfig cfg;
+  cfg.generation_size = 12;
+  cfg.packet_bytes = 24;
+  const auto data = random_payload(12 * 24, 71);
+  const RlncEncoder enc(cfg, data);
+  RelayRecoder relay1(cfg), relay2(cfg);
+  RlncDecoder sink(cfg);
+  Rng rng(71, 1);
+  Rng loss(71, 2);
+  // Source → relay1 with losses.
+  for (std::size_t s = 0; s < 30 && relay1.rank() < 12; ++s) {
+    const CodedPacket pkt = enc.packet(s, rng);
+    if (!loss.bernoulli(0.25)) (void)relay1.add(pkt);
+  }
+  ASSERT_EQ(relay1.rank(), 12u);
+  // relay1 → relay2 → sink, recoding at each step, still lossy.
+  while (sink.rank() < 12) {
+    const CodedPacket a = relay1.recode(rng);
+    if (!loss.bernoulli(0.25)) (void)relay2.add(a);
+    if (relay2.rank() == 0) continue;
+    const CodedPacket b = relay2.recode(rng);
+    if (!loss.bernoulli(0.25)) (void)sink.add(b);
+  }
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(sink.source_packet(i), enc.source_row(i));
+  }
+}
+
+TEST(Rlnc, RecoderRankNeverExceedsWhatItHeard) {
+  RlncConfig cfg;
+  cfg.generation_size = 10;
+  cfg.packet_bytes = 8;
+  const auto data = random_payload(10 * 8, 81);
+  const RlncEncoder enc(cfg, data);
+  RelayRecoder relay(cfg);
+  Rng rng(81, 1);
+  // Only 4 of 10 systematic packets arrive.
+  for (std::size_t s = 0; s < 4; ++s) (void)relay.add(enc.packet(s, rng));
+  EXPECT_EQ(relay.rank(), 4u);
+  // A downstream decoder fed any number of recoded packets stalls at 4.
+  RlncDecoder sink(cfg);
+  for (int n = 0; n < 100; ++n) (void)sink.add(relay.recode(rng));
+  EXPECT_EQ(sink.rank(), 4u);
+  EXPECT_FALSE(sink.complete());
+  // The 4 received source rows are still individually decodable.
+  EXPECT_EQ(sink.decodable_now(), 4u);
+}
+
+TEST(Rlnc, PartialRankReportsDecodableSubset) {
+  RlncConfig cfg;
+  cfg.generation_size = 6;
+  cfg.packet_bytes = 4;
+  const auto data = random_payload(6 * 4, 91);
+  const RlncEncoder enc(cfg, data);
+  RlncDecoder dec(cfg);
+  Rng rng(91, 1);
+  // Rows 0 and 3 arrive systematically: both immediately decodable.
+  (void)dec.add(enc.packet(0, rng));
+  (void)dec.add(enc.packet(3, rng));
+  EXPECT_EQ(dec.rank(), 2u);
+  EXPECT_EQ(dec.decodable_now(), 2u);
+  EXPECT_TRUE(dec.source_decodable(0));
+  EXPECT_TRUE(dec.source_decodable(3));
+  EXPECT_FALSE(dec.source_decodable(1));
+  EXPECT_EQ(dec.source_packet(0), enc.source_row(0));
+  EXPECT_EQ(dec.source_packet(3), enc.source_row(3));
+  EXPECT_THROW((void)dec.source_packet(1), InvalidArgument);
+}
+
+// ------------------------------------------------- adversarial inputs --
+
+TEST(RlncFuzz, MalformedPacketsAreRejectedNotFatal) {
+  RlncConfig cfg;
+  cfg.generation_size = 8;
+  cfg.packet_bytes = 16;
+  RlncDecoder dec(cfg);
+  RelayRecoder relay(cfg);
+
+  CodedPacket truncated_coeffs;
+  truncated_coeffs.coeffs.assign(7, 1);  // one short
+  truncated_coeffs.payload.assign(16, 0);
+  CodedPacket oversized_coeffs;
+  oversized_coeffs.coeffs.assign(9, 1);
+  oversized_coeffs.payload.assign(16, 0);
+  CodedPacket truncated_payload;
+  truncated_payload.coeffs.assign(8, 1);
+  truncated_payload.payload.assign(15, 0);
+  CodedPacket oversized_payload;
+  oversized_payload.coeffs.assign(8, 1);
+  oversized_payload.payload.assign(17, 0);
+  CodedPacket empty;
+
+  for (const auto* pkt : {&truncated_coeffs, &oversized_coeffs,
+                          &truncated_payload, &oversized_payload, &empty}) {
+    EXPECT_FALSE(dec.add(*pkt));
+    EXPECT_FALSE(relay.add(*pkt));
+  }
+  EXPECT_EQ(dec.rank(), 0u);
+  EXPECT_EQ(dec.rejected(), 5u);
+  EXPECT_EQ(relay.rejected(), 5u);
+}
+
+TEST(RlncFuzz, DuplicatesAndDependentPacketsNeverFakeFullRank) {
+  RlncConfig cfg;
+  cfg.generation_size = 6;
+  cfg.packet_bytes = 8;
+  const auto data = random_payload(6 * 8, 13);
+  const RlncEncoder enc(cfg, data);
+  RlncDecoder dec(cfg);
+  Rng rng(13, 1);
+  const CodedPacket p0 = enc.packet(0, rng);
+  // The same packet 50 times is rank 1, not 50.
+  for (int n = 0; n < 50; ++n) (void)dec.add(p0);
+  EXPECT_EQ(dec.rank(), 1u);
+  // A scaled copy (2 ⊗ p0) is linearly dependent: still rank 1.
+  CodedPacket scaled = p0;
+  for (auto& c : scaled.coeffs) c = gf_mul(c, 2);
+  for (auto& b : scaled.payload) b = gf_mul(b, 2);
+  EXPECT_FALSE(dec.add(scaled));
+  EXPECT_EQ(dec.rank(), 1u);
+  EXPECT_FALSE(dec.complete());
+}
+
+TEST(RlncFuzz, AllZeroAndGarbagePacketsAreAbsorbed) {
+  RlncConfig cfg;
+  cfg.generation_size = 5;
+  cfg.packet_bytes = 4;
+  RlncDecoder dec(cfg);
+  CodedPacket zero;
+  zero.coeffs.assign(5, 0);
+  zero.payload.assign(4, 0);
+  EXPECT_FALSE(dec.add(zero));  // spans nothing
+  EXPECT_EQ(dec.rank(), 0u);
+  // Garbage payload under a zero coefficient row must not corrupt rank.
+  CodedPacket junk;
+  junk.coeffs.assign(5, 0);
+  junk.payload = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_FALSE(dec.add(junk));
+  EXPECT_EQ(dec.rank(), 0u);
+}
+
+TEST(RlncFuzz, RandomPacketStormNeverCrashesAndRankIsExact) {
+  RlncConfig cfg;
+  cfg.generation_size = 8;
+  cfg.packet_bytes = 8;
+  RlncDecoder dec(cfg);
+  RelayRecoder relay(cfg);
+  Rng rng(999, 0);
+  for (int n = 0; n < 2000; ++n) {
+    CodedPacket pkt;
+    const std::size_t nc = rng.uniform_int(12);  // often wrong length
+    const std::size_t np = rng.uniform_int(12);
+    pkt.coeffs.resize(nc);
+    pkt.payload.resize(np);
+    for (auto& c : pkt.coeffs) c = static_cast<std::uint8_t>(rng.next());
+    for (auto& b : pkt.payload) b = static_cast<std::uint8_t>(rng.next());
+    (void)dec.add(pkt);
+    (void)relay.add(pkt);
+    ASSERT_LE(dec.rank(), cfg.generation_size);
+    ASSERT_LE(dec.decodable_now(), dec.rank());
+  }
+  // Full rank may legitimately be reached via valid-length random rows,
+  // but only with genuinely independent ones; if reported complete, all
+  // sources must be decodable without throwing.
+  if (dec.complete()) {
+    for (std::size_t i = 0; i < cfg.generation_size; ++i) {
+      EXPECT_TRUE(dec.source_decodable(i));
+      (void)dec.source_packet(i);
+    }
+  }
+  if (relay.rank() > 0) {
+    Rng r2(1000, 0);
+    (void)relay.recode(r2);  // recoding a fuzzed basis must not crash
+  }
+}
+
+TEST(RlncFuzz, CombineRequiresRankAndEncoderChecksSize) {
+  RlncConfig cfg;
+  cfg.generation_size = 4;
+  cfg.packet_bytes = 4;
+  RlncDecoder dec(cfg);
+  Rng rng(1, 0);
+  EXPECT_THROW((void)dec.combine(rng), InvalidArgument);
+  EXPECT_THROW(RlncEncoder(cfg, std::vector<std::uint8_t>(17, 1)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace comimo::coding

@@ -1,0 +1,402 @@
+// Gilbert–Elliott burst channel and the RLNC transport path: burst
+// statistics and determinism, route-level coded delivery, and the
+// resilient-simulator integration contracts (off = bit-identical ARQ,
+// on = bit-identical replay at any worker count).
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comimo/common/error.h"
+#include "comimo/common/parallel.h"
+#include "comimo/net/lifetime.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/resilience/gilbert_elliott.h"
+#include "comimo/resilience/resilient_sim.h"
+#include "comimo/resilience/rlnc_transport.h"
+#include "comimo/testbed/coop_hop_sim.h"
+#include "comimo/underlay/cooperative_hop.h"
+
+namespace comimo {
+namespace {
+
+CoMimoNet make_field(std::uint64_t seed = 11) {
+  const auto nodes = clustered_field(14, 3, 6.0, 450.0, 450.0, seed,
+                                     /*battery_lo=*/150.0,
+                                     /*battery_hi=*/200.0);
+  CoMimoNetConfig cfg;
+  cfg.communication_range_m = 40.0;
+  cfg.cluster_diameter_m = 16.0;
+  cfg.link_range_m = 280.0;
+  return CoMimoNet(nodes, cfg);
+}
+
+// -------------------------------------------------- Gilbert–Elliott ----
+
+TEST(GilbertElliott, ValidateRejectsBadKnobs) {
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 0.0;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg.p_good_to_bad = 0.02;
+  cfg.loss_bad = 1.5;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg.loss_bad = 0.75;
+  cfg.trace_slots = 0;
+  EXPECT_THROW(validate(cfg), InvalidArgument);
+  cfg.trace_slots = 64;
+  EXPECT_NO_THROW(validate(cfg));
+}
+
+TEST(GilbertElliott, DisabledChannelNeverErases) {
+  GilbertElliottChannel off;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    EXPECT_FALSE(off.erased(s));
+    EXPECT_FALSE(off.bad(s));
+  }
+}
+
+TEST(GilbertElliott, StationaryOccupancyMatchesTheory) {
+  GilbertElliottConfig cfg;
+  cfg.enabled = true;
+  cfg.p_good_to_bad = 0.05;
+  cfg.p_bad_to_good = 0.20;
+  cfg.trace_slots = 1u << 16;
+  cfg.seed = 3;
+  const GilbertElliottChannel ch(cfg);
+  EXPECT_NEAR(ch.stationary_bad(), 0.05 / 0.25, 1e-12);
+  std::size_t bad = 0;
+  for (std::uint64_t s = 0; s < cfg.trace_slots; ++s) {
+    if (ch.bad(s)) ++bad;
+  }
+  const double frac = static_cast<double>(bad) / cfg.trace_slots;
+  EXPECT_NEAR(frac, ch.stationary_bad(), 0.02);
+}
+
+TEST(GilbertElliott, EmpiricalLossTracksExpectedLoss) {
+  GilbertElliottConfig cfg;
+  cfg.enabled = true;
+  cfg.loss_good = 0.02;
+  cfg.loss_bad = 0.8;
+  cfg.trace_slots = 1u << 15;
+  cfg.seed = 5;
+  const GilbertElliottChannel ch(cfg);
+  std::size_t losses = 0;
+  const std::uint64_t n = cfg.trace_slots;
+  for (std::uint64_t s = 0; s < n; ++s) {
+    if (ch.erased(s)) ++losses;
+  }
+  EXPECT_NEAR(static_cast<double>(losses) / static_cast<double>(n),
+              ch.expected_loss(), 0.03);
+}
+
+TEST(GilbertElliott, LossesAreBurstyRelativeToIid) {
+  // P(erased(s+1) | erased(s)) should far exceed the marginal loss rate
+  // when bad dwells are long — the whole point of the model.
+  GilbertElliottConfig cfg;
+  cfg.enabled = true;
+  cfg.p_good_to_bad = 0.01;
+  cfg.p_bad_to_good = 0.10;  // mean bad dwell: 10 slots
+  cfg.loss_good = 0.01;
+  cfg.loss_bad = 0.9;
+  cfg.trace_slots = 1u << 16;
+  cfg.seed = 7;
+  const GilbertElliottChannel ch(cfg);
+  std::size_t losses = 0, pairs = 0, joint = 0;
+  for (std::uint64_t s = 0; s + 1 < cfg.trace_slots; ++s) {
+    const bool a = ch.erased(s);
+    if (a) {
+      ++losses;
+      ++pairs;
+      if (ch.erased(s + 1)) ++joint;
+    }
+  }
+  ASSERT_GT(pairs, 100u);
+  const double marginal =
+      static_cast<double>(losses) / static_cast<double>(cfg.trace_slots);
+  const double conditional =
+      static_cast<double>(joint) / static_cast<double>(pairs);
+  EXPECT_GT(conditional, 3.0 * marginal);
+}
+
+TEST(GilbertElliott, DeterministicReplayAndSeedSensitivity) {
+  GilbertElliottConfig cfg;
+  cfg.enabled = true;
+  cfg.trace_slots = 4096;
+  cfg.seed = 11;
+  const GilbertElliottChannel a(cfg), b(cfg);
+  cfg.seed = 12;
+  const GilbertElliottChannel c(cfg);
+  bool differs = false;
+  for (std::uint64_t s = 0; s < 4096; ++s) {
+    EXPECT_EQ(a.erased(s), b.erased(s));
+    differs = differs || a.erased(s) != c.erased(s);
+  }
+  EXPECT_TRUE(differs);
+  // Slot ordinals wrap over the trace (states repeat; coins are keyed
+  // by the absolute ordinal, so only the STATE is periodic).
+  for (std::uint64_t s = 0; s < 128; ++s) {
+    EXPECT_EQ(a.bad(s), a.bad(s + cfg.trace_slots));
+  }
+}
+
+TEST(GilbertElliott, FaultPlanCompositionOffIsFree) {
+  // With bursts disabled the plan's burst_erased is identically false
+  // and the legacy draws are untouched.
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.slot_erasure_prob = 0.3;
+  fc.seed = 9;
+  const FaultInjector injector(fc);
+  const FaultPlan plan = injector.make_plan(make_field(), 50);
+  for (std::uint64_t s = 0; s < 500; ++s) {
+    EXPECT_FALSE(plan.burst_erased(s));
+  }
+  FaultConfig fc2 = fc;
+  fc2.burst.enabled = true;
+  fc2.burst.loss_bad = 0.9;
+  const FaultInjector injector2(fc2);
+  const FaultPlan plan2 = injector2.make_plan(make_field(), 50);
+  // Legacy i.i.d. draws are bit-identical with and without the burst
+  // channel riding along.
+  for (std::size_t round = 1; round <= 20; ++round) {
+    for (unsigned k = 0; k < 4; ++k) {
+      EXPECT_EQ(plan.slot_erased(round, 0, k), plan2.slot_erased(round, 0, k));
+    }
+  }
+  bool any = false;
+  for (std::uint64_t s = 0; s < 2000 && !any; ++s) {
+    any = plan2.burst_erased(s);
+  }
+  EXPECT_TRUE(any);
+}
+
+// ------------------------------------------------------ RLNC transport --
+
+RlncTransportConfig small_transport() {
+  RlncTransportConfig cfg;
+  cfg.enabled = true;
+  cfg.code.generation_size = 8;
+  cfg.code.packet_bytes = 16;
+  cfg.max_overhead_packets = 64;
+  return cfg;
+}
+
+TEST(RlncTransport, LosslessRouteDeliversWithZeroOverhead) {
+  const RlncTransportConfig cfg = small_transport();
+  Rng rng(1, 0);
+  const auto never = [](std::size_t, std::size_t) { return false; };
+  std::size_t charged = 0;
+  const RlncRouteResult r = run_rlnc_route(
+      cfg, 3, 42, rng, never,
+      [&](std::size_t, bool, bool) { ++charged; }, [](std::size_t) {});
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.final_rank, 8u);
+  EXPECT_EQ(r.overhead_packets, 0u);
+  EXPECT_EQ(r.feedback_rounds, 0u);
+  EXPECT_EQ(r.packets_sent, 3 * 8u);
+  EXPECT_EQ(charged, r.packets_sent);
+  // Hops 2 and 3 only ever forwarded recoded packets.
+  EXPECT_EQ(r.recoded_packets, 2 * 8u);
+}
+
+TEST(RlncTransport, RecoversFromErasuresWithOverhead) {
+  const RlncTransportConfig cfg = small_transport();
+  Rng rng(2, 0);
+  Rng loss(2, 1);
+  const auto coin = [&](std::size_t, std::size_t) {
+    return loss.bernoulli(0.3);
+  };
+  const RlncRouteResult r = run_rlnc_route(cfg, 2, 7, rng, coin,
+                                           [](std::size_t, bool, bool) {},
+                                           [](std::size_t) {});
+  EXPECT_TRUE(r.delivered);
+  EXPECT_GT(r.overhead_packets, 0u);
+  EXPECT_GT(r.feedback_rounds, 0u);
+}
+
+TEST(RlncTransport, BudgetExhaustionReportsPartialRank) {
+  RlncTransportConfig cfg = small_transport();
+  cfg.max_overhead_packets = 2;  // far too few against heavy loss
+  Rng rng(3, 0);
+  Rng loss(3, 1);
+  const auto coin = [&](std::size_t, std::size_t) {
+    return loss.bernoulli(0.7);
+  };
+  const RlncRouteResult r = run_rlnc_route(cfg, 2, 9, rng, coin,
+                                           [](std::size_t, bool, bool) {},
+                                           [](std::size_t) {});
+  EXPECT_FALSE(r.delivered);
+  EXPECT_LT(r.final_rank, 8u);
+  EXPECT_GE(r.decodable_packets, 0u);
+  EXPECT_LE(r.decodable_packets, r.final_rank);
+}
+
+TEST(RlncTransport, ReplaysBitIdenticallyFromSeeds) {
+  const RlncTransportConfig cfg = small_transport();
+  const auto run_once = [&]() {
+    Rng rng(5, 0);
+    Rng loss(5, 1);
+    std::vector<std::size_t> charges;
+    const RlncRouteResult r = run_rlnc_route(
+        cfg, 3, 13, rng,
+        [&](std::size_t, std::size_t) { return loss.bernoulli(0.2); },
+        [&](std::size_t h, bool, bool) { charges.push_back(h); },
+        [](std::size_t) {});
+    return std::make_tuple(r.delivered, r.packets_sent, r.overhead_packets,
+                           r.recoded_packets, r.feedback_rounds, r.final_rank,
+                           charges);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ------------------------------------------- resilient_sim integration --
+
+ResilienceConfig base_sim_config() {
+  ResilienceConfig cfg;
+  cfg.rounds = 40;
+  cfg.bits_per_packet = 4e4;
+  cfg.faults.enabled = true;
+  cfg.faults.slot_erasure_prob = 0.15;
+  cfg.faults.seed = 5;
+  cfg.traffic_seed = 3;
+  return cfg;
+}
+
+TEST(RlncSim, DisabledRlncLeavesArqReportBitIdentical) {
+  const CoMimoNet net = make_field();
+  const SystemParams params;
+  const ResilienceConfig cfg = base_sim_config();
+  ResilienceConfig with_knobs = cfg;
+  // Present-but-disabled RLNC (and a present-but-disabled burst model)
+  // must not shift any stream: reports compare equal field-for-field.
+  with_knobs.rlnc.code.generation_size = 32;
+  with_knobs.rlnc.max_overhead_packets = 7;
+  with_knobs.faults.burst.loss_bad = 0.99;
+  const ResilienceReport a = simulate_with_faults(net, params, cfg);
+  const ResilienceReport b = simulate_with_faults(net, params, with_knobs);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.rlnc_generations, 0u);
+  EXPECT_EQ(a.rlnc_packets_sent, 0u);
+}
+
+TEST(RlncSim, RlncPathReplaysBitIdentically) {
+  const CoMimoNet net = make_field();
+  const SystemParams params;
+  ResilienceConfig cfg = base_sim_config();
+  cfg.rlnc.enabled = true;
+  cfg.rlnc.code.generation_size = 8;
+  cfg.rlnc.code.packet_bytes = 32;
+  cfg.faults.burst.enabled = true;
+  const ResilienceReport a = simulate_with_faults(net, params, cfg);
+  const ResilienceReport b = simulate_with_faults(net, params, cfg);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.rlnc_generations, 0u);
+  EXPECT_GT(a.rlnc_packets_sent, 0u);
+  EXPECT_GT(a.rlnc_recoded_packets, 0u);
+  EXPECT_GT(a.packets_delivered, 0u);
+  EXPECT_GT(a.delivered_latency_s, 0.0);
+}
+
+TEST(RlncSim, EnsembleIsBitIdenticalAcrossWorkerCounts) {
+  const CoMimoNet net = make_field();
+  const SystemParams params;
+  ResilienceEnsembleConfig ens;
+  ens.base = base_sim_config();
+  ens.base.rounds = 15;
+  ens.base.rlnc.enabled = true;
+  ens.base.rlnc.code.generation_size = 4;
+  ens.base.rlnc.code.packet_bytes = 8;
+  ens.base.faults.burst.enabled = true;
+  ens.trials = 6;
+  ThreadPool one(1), four(4);
+  ens.pool = &one;
+  const ResilienceEnsembleReport a =
+      simulate_with_faults_ensemble(net, params, ens);
+  ens.pool = &four;
+  const ResilienceEnsembleReport b =
+      simulate_with_faults_ensemble(net, params, ens);
+  EXPECT_EQ(a.delivery_ratio.mean(), b.delivery_ratio.mean());
+  EXPECT_EQ(a.latency_s.mean(), b.latency_s.mean());
+  EXPECT_EQ(a.rlnc_packets_sent, b.rlnc_packets_sent);
+  EXPECT_EQ(a.rlnc_overhead_packets, b.rlnc_overhead_packets);
+  EXPECT_EQ(a.rlnc_failures, b.rlnc_failures);
+}
+
+TEST(RlncSim, BurstsHurtArqMoreThanRlnc) {
+  // The headline claim, in miniature: under heavy burst loss with a
+  // short ARQ retry budget, the coded transport delivers a higher
+  // fraction of offered packets.
+  const CoMimoNet net = make_field();
+  const SystemParams params;
+  ResilienceConfig cfg = base_sim_config();
+  cfg.rounds = 60;
+  cfg.arq.max_attempts = 3;
+  cfg.faults.slot_erasure_prob = 0.05;
+  cfg.faults.burst.enabled = true;
+  cfg.faults.burst.p_good_to_bad = 0.05;
+  cfg.faults.burst.p_bad_to_good = 0.08;  // long bad dwells
+  cfg.faults.burst.loss_bad = 0.85;
+  ResilienceConfig rlnc_cfg = cfg;
+  rlnc_cfg.rlnc.enabled = true;
+  rlnc_cfg.rlnc.code.generation_size = 8;
+  rlnc_cfg.rlnc.code.packet_bytes = 16;
+  rlnc_cfg.rlnc.max_overhead_packets = 48;
+  const ResilienceReport arq = simulate_with_faults(net, params, cfg);
+  const ResilienceReport rlnc = simulate_with_faults(net, params, rlnc_cfg);
+  EXPECT_GT(rlnc.delivery_ratio, arq.delivery_ratio);
+}
+
+// ------------------------------------------- coop_hop_sim repair mode --
+
+UnderlayHopPlan small_plan() {
+  const UnderlayCooperativeHop planner{SystemParams{}};
+  UnderlayHopConfig cfg;
+  cfg.mt = 2;
+  cfg.mr = 2;
+  cfg.hop_distance_m = 150.0;
+  cfg.ber = 1e-3;
+  return planner.plan(cfg);
+}
+
+TEST(RlncSim, HopBlockRepairRecoversErasedBlocks) {
+  CoopHopSimConfig cfg;
+  cfg.plan = small_plan();
+  cfg.bits = 12000;
+  cfg.faults.enabled = true;
+  cfg.faults.rlnc = true;
+  cfg.faults.block_erasure_prob = 0.25;
+  cfg.faults.rlnc_generation = 8;
+  cfg.faults.rlnc_max_overhead = 32;
+  const CoopHopSimResult r = simulate_cooperative_hop(cfg);
+  EXPECT_GT(r.resilience.blocks, 0u);
+  EXPECT_GT(r.resilience.repair_blocks, 0u);
+  EXPECT_GT(r.resilience.recovered_blocks, 0u);
+  EXPECT_EQ(r.resilience.retransmitted_blocks, 0u);  // no retries in RLNC mode
+  // With a generous repair budget nothing should stay lost, and the BER
+  // should stay near the plan target rather than ~0.5.
+  EXPECT_EQ(r.resilience.lost_blocks, 0u);
+  EXPECT_LT(r.ber, 0.1);
+}
+
+TEST(RlncSim, HopBlockRepairIsPoolSizeInvariant) {
+  CoopHopSimConfig cfg;
+  cfg.plan = small_plan();
+  cfg.bits = 6000;
+  cfg.faults.enabled = true;
+  cfg.faults.rlnc = true;
+  cfg.faults.block_erasure_prob = 0.3;
+  cfg.faults.rlnc_generation = 4;
+  cfg.faults.rlnc_max_overhead = 2;  // tight: some generations stay lost
+  ThreadPool one(1), four(4);
+  cfg.pool = &one;
+  const CoopHopSimResult a = simulate_cooperative_hop(cfg);
+  cfg.pool = &four;
+  const CoopHopSimResult b = simulate_cooperative_hop(cfg);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+  EXPECT_EQ(a.resilience, b.resilience);
+}
+
+}  // namespace
+}  // namespace comimo
