@@ -1,0 +1,140 @@
+// Million-node engine scaling: admits n SUs, d-clusters them through
+// the spatial grid index, derives the cooperative link graph and MST
+// backbone, routes sampled pairs, and drives one incremental kill wave
+// — reporting wall times, throughput and bytes/node at each n.
+//
+// The committed BENCH_net_scale.json is the PR's headline artifact: its
+// n = 10⁶ row shows the full admit→cluster→route pipeline completing
+// with bounded per-node memory (gated by scripts/check_bench_json.sh).
+// Geometry: groups of 4 SUs within 5 m, field width 150·sqrt(groups),
+// so group density — and with it links/backbone degree per node — stays
+// constant as n grows and the engine's O(n) behaviour is visible.
+//
+// `--trials <n>` replaces the size ladder with the single size n (CI
+// shrinkage); `--json <path>` emits comimo-bench-v1.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "comimo/common/bench_json.h"
+#include "comimo/common/table.h"
+#include "comimo/net/comimonet.h"
+#include "comimo/net/routing.h"
+#include "comimo/net/spanning_tree.h"
+#include "comimo/numeric/rng.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+
+  std::vector<std::size_t> sizes{10'000, 100'000, 1'000'000};
+  if (cli.trials) sizes = {cli.trials};
+
+  std::cout << "=== net_scale: grid-indexed CoMIMONet at field scale ===\n"
+            << "grouped geometry (4 SUs / 5 m group, width 150*sqrt(g)),"
+            << " index mode: grid\n\n";
+
+  BenchReporter reporter("net_scale");
+  TextTable t({"n", "clusters", "links", "build [s]", "nodes/s",
+               "routed", "kill [s]", "B/node"});
+
+  for (const std::size_t n : sizes) {
+    const std::size_t groups = std::max<std::size_t>(1, n / 4);
+    const double width = 150.0 * std::sqrt(static_cast<double>(groups));
+
+    const auto t_gen = std::chrono::steady_clock::now();
+    const auto nodes = clustered_field(groups, 4, 5.0, width, width, 42);
+    const double gen_s = seconds_since(t_gen);
+
+    CoMimoNetConfig cfg;
+    cfg.communication_range_m = 45.0;
+    cfg.cluster_diameter_m = 14.0;
+    cfg.link_range_m = 220.0;
+    cfg.index_mode = NetIndexMode::kGrid;
+
+    const auto t_build = std::chrono::steady_clock::now();
+    CoMimoNet net(nodes, cfg);
+    const double build_s = seconds_since(t_build);
+
+    const auto t_route = std::chrono::steady_clock::now();
+    const RoutingBackbone backbone(net);
+    const CooperativeRouter router(net, SystemParams{}, 1e-3, 40e3);
+    std::size_t routed_pairs = 0;
+    std::size_t route_hops = 0;
+    Rng pick(7, n);
+    const std::size_t samples = 64;
+    for (std::size_t s = 0; s < samples; ++s) {
+      const auto src = static_cast<NodeId>(pick.uniform_int(n));
+      const auto dst = static_cast<NodeId>(pick.uniform_int(n));
+      if (!backbone.connected(net.cluster_of(src), net.cluster_of(dst))) {
+        continue;
+      }
+      const RouteReport r = router.route(src, dst);
+      ++routed_pairs;
+      route_hops += r.hops.size();
+    }
+    const double route_s = seconds_since(t_route);
+
+    // Incremental kill wave: ~0.2% of the field dies, the engine
+    // re-clusters/re-links only around the holes.
+    std::vector<NodeId> kill;
+    for (NodeId id = 3; kill.size() < std::max<std::size_t>(8, n / 500);
+         id += 479) {
+      kill.push_back(id % static_cast<NodeId>(n));
+    }
+    const auto t_kill = std::chrono::steady_clock::now();
+    net.remove_nodes(kill);
+    const double kill_s = seconds_since(t_kill);
+
+    const std::size_t bytes_per_node = net.approx_bytes() / n;
+    const double nodes_per_s =
+        build_s > 0.0 ? static_cast<double>(n) / build_s : 0.0;
+
+    t.add_row({std::to_string(n), std::to_string(net.clusters().size()),
+               std::to_string(net.links().size()),
+               TextTable::fmt(build_s, 3), TextTable::fmt(nodes_per_s, 0),
+               std::to_string(routed_pairs), TextTable::fmt(kill_s, 4),
+               std::to_string(bytes_per_node)});
+
+    Json params = Json::object();
+    params.set("n", static_cast<std::uint64_t>(n));
+    params.set("groups", static_cast<std::uint64_t>(groups));
+    params.set("width_m", width);
+    params.set("index_mode", "grid");
+    params.set("seed", 42);
+    Json metrics = Json::object();
+    metrics.set("admitted", static_cast<std::uint64_t>(n));
+    metrics.set("clusters",
+                static_cast<std::uint64_t>(net.clusters().size()));
+    metrics.set("links", static_cast<std::uint64_t>(net.links().size()));
+    metrics.set("backbone_components",
+                static_cast<std::uint64_t>(backbone.num_components()));
+    metrics.set("routed_pairs", static_cast<std::uint64_t>(routed_pairs));
+    metrics.set("route_hops", static_cast<std::uint64_t>(route_hops));
+    metrics.set("gen_s", gen_s);
+    metrics.set("build_s", build_s);
+    metrics.set("route_sample_s", route_s);
+    metrics.set("incremental_kill_s", kill_s);
+    metrics.set("killed", static_cast<std::uint64_t>(kill.size()));
+    metrics.set("nodes_per_s", nodes_per_s);
+    metrics.set("bytes_per_node",
+                static_cast<std::uint64_t>(bytes_per_node));
+    reporter.add_record(std::move(params), std::move(metrics), n,
+                        nodes_per_s);
+  }
+
+  t.print(std::cout);
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
+  return 0;
+}

@@ -183,6 +183,58 @@ else
   echo "MISSING  perf_kernels"; fail=1
 fi
 
+# net_scale: schema-checked on a shrunk ladder (--trials) — the full
+# million-node run is the committed artifact, gated below.
+if [ -x "$BENCH_DIR/net_scale" ]; then
+  if "$BENCH_DIR/net_scale" --trials 20000 \
+      --json "$OUT_DIR/net_scale.json" > /dev/null 2>&1 \
+    && validate_v1 "$OUT_DIR/net_scale.json" \
+    && python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+for r in d["records"]:
+    m = r["metrics"]
+    assert m["admitted"] == r["params"]["n"], "admitted != n"
+    assert m["routed_pairs"] > 0, "no routed pairs"
+    bpn = m["bytes_per_node"]
+    assert bpn <= 512, f"bytes/node unbounded: {bpn}"' \
+      "$OUT_DIR/net_scale.json"
+  then
+    echo "OK       net_scale (schema + bounded bytes/node, shrunk ladder)"
+  else
+    echo "FAIL     net_scale"; fail=1
+  fi
+else
+  echo "MISSING  net_scale"; fail=1
+fi
+
+# The committed BENCH_net_scale.json is the million-node claim itself:
+# it must carry an n = 10⁶ row where every SU was admitted, sampled
+# pairs routed, and the engine held bounded per-node memory.
+if [ -f BENCH_net_scale.json ]; then
+  if validate_v1 BENCH_net_scale.json && python3 -c '
+import json
+d = json.load(open("BENCH_net_scale.json"))
+rows = {r["params"]["n"]: r["metrics"] for r in d["records"]}
+assert 1000000 in rows, f"no n=10^6 row (have {sorted(rows)})"
+m = rows[1000000]
+adm, bpn = m["admitted"], m["bytes_per_node"]
+assert adm == 1000000, f"admitted {adm} != 10^6"
+assert m["clusters"] > 0 and m["links"] > 0, "degenerate network"
+assert m["routed_pairs"] > 0, "no pairs routed at 10^6"
+assert bpn <= 512, f"bytes/node {bpn} above the 512 bound"
+assert m["incremental_kill_s"] < m["build_s"], \
+    "incremental kill wave not cheaper than a full build"
+'
+  then
+    echo "OK       BENCH_net_scale.json (n=10^6 row, bounded bytes/node)"
+  else
+    echo "FAIL     BENCH_net_scale.json"; fail=1
+  fi
+else
+  echo "MISSING  BENCH_net_scale.json (committed artifact)"; fail=1
+fi
+
 # The committed BENCH_rlnc_vs_arq.json carries the PR's headline claim:
 # under heavy burst loss the coded transport must not deliver less than
 # ARQ facing the identical fault streams.  Gate the artifact itself so a

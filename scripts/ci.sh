@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# The one-command gate: tier-1 build + tests, the bench JSON contract,
+# The one-command gate: tier-1 build + tests, the netscale large-n leg
+# (COMIMO_NETSCALE=1 ctest -L netscale), the bench JSON contract,
 # clang-tidy (bugprone-* + performance-*; skipped when the tool is not
 # installed), the obs kill-switch/overhead gate, the COMIMO_SIMD=OFF
 # scalar-pinned leg, the workspace + simd batch link-kernel tests under
@@ -18,6 +19,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 echo "== tier 1: tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== netscale: large-n grid engine (opt-in label) =="
+COMIMO_NETSCALE=1 ctest --test-dir "$BUILD_DIR" -L netscale \
+  --output-on-failure
 
 echo "== bench JSON contract =="
 scripts/check_bench_json.sh "$BUILD_DIR"
@@ -39,7 +44,7 @@ cmake --build "$NOSIMD_DIR" -j "$(nproc)"
 # layer must degenerate cleanly to width 1, and the workspace and
 # waveform paths must be untouched.
 ctest --test-dir "$NOSIMD_DIR" --output-on-failure \
-  -R 'Golden|Simd|AlignedAlloc|LinkWorkspace|Waveform|Galois|Rlnc' \
+  -R 'Golden|Simd|AlignedAlloc|LinkWorkspace|Waveform|Galois|Rlnc|SpatialIndex|SpatialGrid|NetworkFuzz' \
   -j "$(nproc)"
 
 echo "== workspace, simd batch + coding kernels under ASan + UBSan =="
@@ -53,8 +58,11 @@ cmake --build "$ASAN_DIR" -j "$(nproc)"
 # The Rlnc leg includes the adversarial decoder fuzz (truncated,
 # duplicated, reordered, linearly-dependent packets) — OOB or UB in the
 # Gaussian elimination shows up here, not in release runs.
+# SpatialIndex/SpatialGrid/NetworkFuzz exercise the grid walk, the
+# tombstone removal and the incremental re-clustering splice — the
+# pointer-heavy paths where OOB would hide.
 ctest --test-dir "$ASAN_DIR" --output-on-failure \
-  -R 'LinkWorkspace|SimdBatch|AlignedAlloc|Galois|Rlnc|GilbertElliott' \
+  -R 'LinkWorkspace|SimdBatch|AlignedAlloc|Galois|Rlnc|GilbertElliott|SpatialIndex|SpatialGrid|NetworkFuzz' \
   -j "$(nproc)"
 
 if [ "${CI_SANITIZE:-0}" = "1" ]; then

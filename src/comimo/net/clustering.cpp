@@ -1,8 +1,10 @@
 #include "comimo/net/clustering.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "comimo/common/error.h"
+#include "comimo/net/spatial_index.h"
 
 namespace comimo {
 
@@ -30,6 +32,41 @@ std::vector<Cluster> d_clustering(const std::vector<SuNode>& nodes,
   return clusters;
 }
 
+std::vector<Cluster> d_clustering(const std::vector<SuNode>& nodes, double d,
+                                  NetIndexMode mode) {
+  if (mode == NetIndexMode::kReference) return d_clustering(nodes, d);
+  COMIMO_CHECK(d > 0.0, "cluster diameter must be positive");
+  const std::size_t n = nodes.size();
+  std::vector<Vec2> positions(n);
+  for (std::size_t i = 0; i < n; ++i) positions[i] = nodes[i].position;
+  // Keys are node *indices*: the grid prefilters candidates, the exact
+  // `distance <= d/2` test inside for_each_within is the same predicate
+  // the reference absorb loop evaluates, and sorting the hits restores
+  // the reference's ascending-index traversal — hence bit-identity.
+  const SpatialGrid grid(positions, d / 2.0);
+  std::vector<bool> assigned(n, false);
+  std::vector<Cluster> clusters;
+  std::vector<std::uint32_t> hits;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (assigned[seed]) continue;
+    Cluster c;
+    c.id = static_cast<std::uint32_t>(clusters.size());
+    c.members.push_back(nodes[seed].id);
+    assigned[seed] = true;
+    hits.clear();
+    grid.query(positions[seed], d / 2.0, hits);
+    std::sort(hits.begin(), hits.end());
+    for (const std::uint32_t j : hits) {
+      if (j <= seed || assigned[j]) continue;
+      c.members.push_back(nodes[j].id);
+      assigned[j] = true;
+    }
+    clusters.push_back(std::move(c));
+  }
+  elect_heads(nodes, clusters);
+  return clusters;
+}
+
 namespace {
 std::size_t index_of(const std::vector<SuNode>& nodes, NodeId id) {
   for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -37,18 +74,45 @@ std::size_t index_of(const std::vector<SuNode>& nodes, NodeId id) {
   }
   throw InvalidArgument("unknown node id in cluster");
 }
+
+/// O(log n) id→index lookups for the whole-network passes (elect_heads
+/// ran index_of per member, which was a hidden O(n²) at scale).
+class NodeIdLookup {
+ public:
+  explicit NodeIdLookup(const std::vector<SuNode>& nodes) {
+    by_id_.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      by_id_.emplace_back(nodes[i].id, i);
+    }
+    std::sort(by_id_.begin(), by_id_.end());
+  }
+
+  [[nodiscard]] std::size_t index(NodeId id) const {
+    const auto it = std::lower_bound(
+        by_id_.begin(), by_id_.end(),
+        std::pair<NodeId, std::size_t>{id, 0});
+    if (it == by_id_.end() || it->first != id) {
+      throw InvalidArgument("unknown node id in cluster");
+    }
+    return it->second;
+  }
+
+ private:
+  std::vector<std::pair<NodeId, std::size_t>> by_id_;
+};
 }  // namespace
 
 bool validate_clustering(const std::vector<SuNode>& nodes,
                          const std::vector<Cluster>& clusters, double d) {
+  const NodeIdLookup lookup(nodes);
   std::vector<int> seen(nodes.size(), 0);
   for (const auto& c : clusters) {
     if (c.members.empty()) return false;
     for (std::size_t i = 0; i < c.members.size(); ++i) {
-      const std::size_t ni = index_of(nodes, c.members[i]);
+      const std::size_t ni = lookup.index(c.members[i]);
       ++seen[ni];
       for (std::size_t j = i + 1; j < c.members.size(); ++j) {
-        const std::size_t nj = index_of(nodes, c.members[j]);
+        const std::size_t nj = lookup.index(c.members[j]);
         if (distance(nodes[ni].position, nodes[nj].position) > d) {
           return false;
         }
@@ -62,12 +126,13 @@ bool validate_clustering(const std::vector<SuNode>& nodes,
 
 void elect_heads(const std::vector<SuNode>& nodes,
                  std::vector<Cluster>& clusters) {
+  const NodeIdLookup lookup(nodes);
   for (auto& c : clusters) {
     COMIMO_CHECK(!c.members.empty(), "empty cluster");
     NodeId best = c.members.front();
-    double best_battery = nodes[index_of(nodes, best)].battery_j;
+    double best_battery = nodes[lookup.index(best)].battery_j;
     for (const NodeId m : c.members) {
-      const double battery = nodes[index_of(nodes, m)].battery_j;
+      const double battery = nodes[lookup.index(m)].battery_j;
       if (battery > best_battery ||
           (battery == best_battery && m < best)) {
         best = m;

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "comimo/net/index_mode.h"
 #include "comimo/net/node.h"
 
 namespace comimo {
@@ -11,8 +12,18 @@ namespace comimo {
 /// Greedy seed-based d-clustering: repeatedly seeds a new cluster at the
 /// lowest-id unassigned node and absorbs unassigned nodes within d/2 of
 /// the seed (which bounds every pairwise distance by d).  Deterministic.
+/// This is the O(n²) reference implementation (NetIndexMode::kReference).
 [[nodiscard]] std::vector<Cluster> d_clustering(
     const std::vector<SuNode>& nodes, double d);
+
+/// Mode-dispatched d-clustering.  kGrid runs the same greedy algorithm
+/// on a SpatialGrid prefilter (O(1) expected work per node) and is
+/// bit-identical to the reference: candidates are screened by the exact
+/// same `distance <= d/2` predicate and absorbed in the same
+/// ascending-index order (tests/test_spatial_index.cpp holds the two
+/// paths to equality).
+[[nodiscard]] std::vector<Cluster> d_clustering(
+    const std::vector<SuNode>& nodes, double d, NetIndexMode mode);
 
 /// Verifies the d-clustering invariants: disjoint cover of all nodes,
 /// pairwise member distance ≤ d.

@@ -3,10 +3,13 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "comimo/net/clustering.h"
+#include "comimo/net/index_mode.h"
 #include "comimo/net/node.h"
+#include "comimo/net/spatial_index.h"
 
 namespace comimo {
 
@@ -16,6 +19,10 @@ struct CoMimoNetConfig {
   double communication_range_m = 60.0;  ///< r
   double cluster_diameter_m = 10.0;     ///< d (d ≤ r)
   double link_range_m = 250.0;          ///< max cooperative-link length D
+  /// Grid-indexed vs O(n²) reference construction; both produce
+  /// bit-identical clusters, heads, and links (the differential suite
+  /// enforces it).  Defaults to the process-wide mode (kGrid).
+  NetIndexMode index_mode = net_index_mode();
 };
 
 /// One cooperative link of G_MIMO.
@@ -71,17 +78,67 @@ class CoMimoNet {
   /// Returns the number of clusters whose head changed.
   std::size_t reelect_heads();
 
+  /// Largest pairwise member distance of cluster `c` — identical value
+  /// to cluster_diameter(nodes(), clusters()[c]) without its O(n)
+  /// id→index scans.
+  [[nodiscard]] double cluster_diameter_of(ClusterId c) const;
+
+  /// Removes the given nodes (deaths, PU preemption) and brings the
+  /// clustering, heads, links, and adjacency back to exactly the state
+  /// a from-scratch `CoMimoNet(survivors, config())` would produce —
+  /// the incremental re-clustering contract the fuzz suite pins.
+  ///
+  /// In kGrid mode this is incremental: clusters formed before the
+  /// first dead *seed* are kept (trimmed of their own dead members —
+  /// a dead non-seed member never changes any other absorb decision),
+  /// and only the suffix re-runs greedy absorption, fast-forwarding
+  /// back to verbatim cluster copies as soon as the free-agent pool
+  /// drains.  Links between untouched clusters keep their cached gap
+  /// values.  In kReference mode it simply rebuilds from scratch.
+  /// Ids not present are ignored; at least one node must survive.
+  void remove_nodes(const std::vector<NodeId>& ids);
+
+  /// Approximate heap footprint of the network representation in bytes
+  /// (nodes, clusters, links, adjacency, indexes) — the bench's
+  /// bytes/node accounting.
+  [[nodiscard]] std::size_t approx_bytes() const;
+
   /// True when every node pair within a cluster is inside communication
   /// range and every link respects link_range_m — the §2.1 invariants.
   [[nodiscard]] bool validate() const;
 
  private:
+  struct AdjEntry {
+    ClusterId neighbor = 0;
+    std::uint32_t link = 0;  ///< index into links_
+  };
+
+  void rebuild_node_index();
+  void rebuild_node_cluster();
+  void build_links_reference();
+  void build_links_grid();
+  /// Computes gaps for candidate (a, b) cluster pairs — in parallel
+  /// when the batch is large, always deterministically — and appends
+  /// the passing ones to `out` in pair order.
+  void links_from_pairs(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+      std::vector<CoopLink>& out) const;
+  void build_adjacency();
+  /// cluster_gap with O(1) id→index lookups; same reduction order, so
+  /// the same double comes out.
+  [[nodiscard]] double gap_between(const Cluster& a, const Cluster& b) const;
+
   std::vector<SuNode> nodes_;
   CoMimoNetConfig config_;
   std::vector<Cluster> clusters_;
   std::vector<CoopLink> links_;
   std::vector<ClusterId> node_cluster_;   // node index -> cluster id
   std::vector<std::size_t> node_index_;   // node id -> index in nodes_
+  // G_MIMO adjacency in CSR form, built by scanning links_ in order so
+  // neighbors() reproduces the reference scan's output order exactly.
+  std::vector<std::uint32_t> adj_start_;  // cluster id -> first AdjEntry
+  std::vector<AdjEntry> adj_;
+  SpatialGrid node_grid_;  // id-keyed; live only in kGrid mode
 };
 
 /// Generates `n` nodes uniformly in a w×h field with batteries uniform

@@ -1,0 +1,34 @@
+// Node-layer index selection: grid-accelerated vs O(n²) reference.
+//
+// Every spatial computation of the network layer (d-clustering, link
+// derivation, carrier sensing, interference checks) exists twice: the
+// original O(n²) pairwise-scan *reference* implementation and the
+// grid-indexed path that makes per-node work O(1).  The two are
+// bit-identical by construction — the grid only prunes candidates that
+// provably fail the exact predicate, and surviving candidates are
+// evaluated with the same expressions in the same order — and the
+// differential suite (tests/test_spatial_index.cpp) holds them to it.
+// The reference stays compiled in behind this switch so any regression
+// can always be cross-checked.
+#pragma once
+
+#include <string>
+
+namespace comimo {
+
+enum class NetIndexMode {
+  kGrid,       ///< spatial grid index; O(1) expected work per node
+  kReference,  ///< original O(n²) pairwise scans (the oracle)
+};
+
+/// Process-wide default consumed by config default-initializers
+/// (CoMimoNetConfig, SpatialCsmaConfig) and the d_clustering overload
+/// that does not take an explicit mode.  Starts as kGrid.
+[[nodiscard]] NetIndexMode net_index_mode() noexcept;
+void set_net_index_mode(NetIndexMode mode) noexcept;
+
+[[nodiscard]] const char* to_string(NetIndexMode mode) noexcept;
+/// Parses "grid" / "reference"; throws InvalidArgument otherwise.
+[[nodiscard]] NetIndexMode parse_net_index_mode(const std::string& name);
+
+}  // namespace comimo

@@ -10,10 +10,54 @@ namespace comimo {
 
 namespace {
 
+// Incremental battery bookkeeping shared by both lifetime paths.
+// Traffic only ever *lowers* batteries, so the network-wide minimum and
+// the dead count stay exact as long as every drained node is folded in
+// (apply_hop_drain reports them); the per-round O(n) rescans the
+// original code did are gone.
+struct BatteryTracker {
+  std::vector<std::uint8_t> battery_dead;  // by node id
+  std::size_t dead_in_world = 0;
+  double min_battery_j = std::numeric_limits<double>::infinity();
+
+  void reset_from(const CoMimoNet& world, NodeId max_id) {
+    battery_dead.assign(static_cast<std::size_t>(max_id) + 1, 0);
+    recount(world);
+  }
+
+  /// Full rescan of the survivors — needed on rounds with scheduled
+  /// deaths, which zero batteries (possibly *raising* a negative one)
+  /// and shrink the node set.  Also refreshes the dead flags so a later
+  /// incremental fold() cannot double-count a node.
+  void recount(const CoMimoNet& world) {
+    dead_in_world = 0;
+    min_battery_j = std::numeric_limits<double>::infinity();
+    for (const auto& n : world.nodes()) {
+      if (n.battery_j <= 0.0) {
+        ++dead_in_world;
+        battery_dead[n.id] = 1;
+      }
+      min_battery_j = std::min(min_battery_j, n.battery_j);
+    }
+  }
+
+  void fold(const CoMimoNet& world, const std::vector<NodeId>& touched) {
+    for (const NodeId id : touched) {
+      const double battery = world.node(id).battery_j;
+      min_battery_j = std::min(min_battery_j, battery);
+      if (battery <= 0.0 && battery_dead[id] == 0) {
+        battery_dead[id] = 1;
+        ++dead_in_world;
+      }
+    }
+  }
+};
+
 // The fault-injected variant: scheduled deaths cut nodes out of the
-// network (clusters and backbone rebuilt from the survivors) and slot
-// erasures charge ARQ retransmissions through the battery ledger.  Kept
-// separate so the happy path below stays bit-identical to the original.
+// network (incremental re-clustering in kGrid mode, bit-identical to
+// the full rebuild the original code did) and slot erasures charge ARQ
+// retransmissions through the battery ledger.  Kept separate so the
+// happy path below stays bit-identical to the original.
 LifetimeReport simulate_lifetime_faulted(const CoMimoNet& net,
                                          const SystemParams& params,
                                          const LifetimeConfig& config) {
@@ -39,6 +83,11 @@ LifetimeReport simulate_lifetime_faulted(const CoMimoNet& net,
   std::size_t next_death = 0;
   bool topology_dirty = false;
 
+  BatteryTracker tracker;
+  tracker.reset_from(world, max_id);
+  std::vector<NodeId> pending_removals;
+  std::vector<NodeId> touched;
+
   const auto finalize = [&res]() {
     res.delivery_ratio =
         res.packets_offered
@@ -48,6 +97,7 @@ LifetimeReport simulate_lifetime_faulted(const CoMimoNet& net,
   };
 
   for (std::size_t round = 1; round <= config.round_cap; ++round) {
+    bool deaths_this_round = false;
     while (next_death < plan.deaths().size() &&
            plan.deaths()[next_death].round <= round) {
       const NodeDeath& d = plan.deaths()[next_death++];
@@ -59,16 +109,20 @@ LifetimeReport simulate_lifetime_faulted(const CoMimoNet& net,
         if (world.clusters()[world.cluster_of(d.node)].head == d.node) {
           ++res.head_failovers;
         }
+        pending_removals.push_back(d.node);
         topology_dirty = true;
+        deaths_this_round = true;
       }
     }
     if (topology_dirty && alive_count > 0) {
-      world = surviving_subnet(world, alive);
+      world.remove_nodes(pending_removals);
+      pending_removals.clear();
       ++res.route_repairs;
       res.repair_time_s += config.faults.repair_time_s;
       topology_dirty = false;
     }
 
+    touched.clear();
     if (alive_count > 0) {
       const CooperativeRouter router(world, params, config.ber,
                                      config.bandwidth_hz, config.mode);
@@ -84,7 +138,7 @@ LifetimeReport simulate_lifetime_faulted(const CoMimoNet& net,
         for (std::size_t h = 0; h < route.hops.size(); ++h) {
           bool hop_ok = false;
           for (unsigned k = 0; k < config.arq.max_attempts; ++k) {
-            router.apply_hop_drain(world, route.hops[h], bits);
+            router.apply_hop_drain(world, route.hops[h], bits, &touched);
             res.energy_spent_j += route.hops[h].plan.total_energy() * bits;
             if (k > 0) {
               ++res.retransmissions;
@@ -115,14 +169,15 @@ LifetimeReport simulate_lifetime_faulted(const CoMimoNet& net,
       }
     }
 
-    std::size_t dead = total - world.nodes().size();
-    double min_battery = std::numeric_limits<double>::infinity();
-    for (const auto& n : world.nodes()) {
-      if (n.battery_j <= 0.0) ++dead;
-      min_battery = std::min(min_battery, n.battery_j);
+    if (deaths_this_round) {
+      tracker.recount(world);
+    } else {
+      tracker.fold(world, touched);
     }
+    const std::size_t dead =
+        (total - world.nodes().size()) + tracker.dead_in_world;
     report.dead_nodes = dead;
-    report.min_battery_j = min_battery;
+    report.min_battery_j = tracker.min_battery_j;
     if (dead >= 1 && report.rounds_to_first_death == 0) {
       report.rounds_to_first_death = round;
     }
@@ -157,6 +212,12 @@ LifetimeReport simulate_lifetime(const CoMimoNet& net,
   const std::size_t total = world.nodes().size();
   Rng traffic(config.traffic_seed, 0x7AFF1C);
 
+  NodeId max_id = 0;
+  for (const auto& n : world.nodes()) max_id = std::max(max_id, n.id);
+  BatteryTracker tracker;
+  tracker.reset_from(world, max_id);
+  std::vector<NodeId> touched;
+
   LifetimeReport report;
   for (std::size_t round = 1; round <= config.round_cap; ++round) {
     // The router re-plans against current heads each round.
@@ -164,21 +225,22 @@ LifetimeReport simulate_lifetime(const CoMimoNet& net,
                                    config.bandwidth_hz, config.mode);
     const NodeId src = static_cast<NodeId>(traffic.uniform_int(total));
     const NodeId dst = static_cast<NodeId>(traffic.uniform_int(total));
+    touched.clear();
     if (router.backbone().connected(world.cluster_of(src),
                                     world.cluster_of(dst))) {
       const RouteReport route = router.route(src, dst);
-      router.apply_battery_drain(world, route, config.bits_per_round);
+      // Same per-hop drain order as apply_battery_drain, with the
+      // drained ids captured for the incremental tracker.
+      for (const auto& hop : route.hops) {
+        router.apply_hop_drain(world, hop, config.bits_per_round, &touched);
+      }
       world.reelect_heads();
     }
 
-    std::size_t dead = 0;
-    double min_battery = std::numeric_limits<double>::infinity();
-    for (const auto& n : world.nodes()) {
-      if (n.battery_j <= 0.0) ++dead;
-      min_battery = std::min(min_battery, n.battery_j);
-    }
-    report.dead_nodes = dead;
-    report.min_battery_j = min_battery;
+    tracker.fold(world, touched);
+    report.dead_nodes = tracker.dead_in_world;
+    report.min_battery_j = tracker.min_battery_j;
+    const std::size_t dead = tracker.dead_in_world;
     if (dead >= 1 && report.rounds_to_first_death == 0) {
       report.rounds_to_first_death = round;
     }

@@ -40,8 +40,7 @@ RouteReport CooperativeRouter::route(NodeId source,
     }
     cfg.hop_distance_m = link->length_m;
     cfg.cluster_diameter_m = std::max(
-        {cluster_diameter(net_.nodes(), net_.clusters()[a]),
-         cluster_diameter(net_.nodes(), net_.clusters()[b]), 1.0});
+        {net_.cluster_diameter_of(a), net_.cluster_diameter_of(b), 1.0});
     cfg.ber = ber_;
     cfg.bandwidth_hz = bandwidth_hz_;
     RouteHop hop;
@@ -70,7 +69,8 @@ std::vector<NodeId> hop_participants(const Cluster& cluster, unsigned m) {
 }
 
 void CooperativeRouter::apply_hop_drain(CoMimoNet& net, const RouteHop& hop,
-                                        double bits) const {
+                                        double bits,
+                                        std::vector<NodeId>* touched) const {
   COMIMO_CHECK(bits >= 0.0, "negative bit count");
   const auto& plan = hop.plan;
   const std::vector<NodeId> tx =
@@ -87,6 +87,7 @@ void CooperativeRouter::apply_hop_drain(CoMimoNet& net, const RouteHop& hop,
                              : plan.local_rx;
     }
     net.mutable_node(m).battery_j -= e * bits;
+    if (touched != nullptr) touched->push_back(m);
   }
   // Receive side: every participant pays the long-haul reception;
   // non-head participants additionally forward to the head, which
@@ -99,6 +100,7 @@ void CooperativeRouter::apply_hop_drain(CoMimoNet& net, const RouteHop& hop,
                : plan.local_tx_pa + plan.local_tx_circuit;
     }
     net.mutable_node(m).battery_j -= e * bits;
+    if (touched != nullptr) touched->push_back(m);
   }
 }
 

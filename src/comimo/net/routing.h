@@ -53,9 +53,12 @@ class CooperativeRouter {
 
   /// Per-hop drain — the unit apply_battery_drain loops over, exposed so
   /// the resilience layer can charge each ARQ retransmission attempt
-  /// (possibly with a degraded plan) through the same ledger.
-  void apply_hop_drain(CoMimoNet& net, const RouteHop& hop,
-                       double bits) const;
+  /// (possibly with a degraded plan) through the same ledger.  When
+  /// `touched` is non-null the ids of every drained node are appended
+  /// (duplicates possible), letting callers track battery minima
+  /// incrementally instead of rescanning the whole network.
+  void apply_hop_drain(CoMimoNet& net, const RouteHop& hop, double bits,
+                       std::vector<NodeId>* touched = nullptr) const;
 
   [[nodiscard]] const RoutingBackbone& backbone() const noexcept {
     return backbone_;

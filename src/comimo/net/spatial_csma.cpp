@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "comimo/common/error.h"
+#include "comimo/net/spatial_index.h"
 #include "comimo/numeric/rng.h"
 
 namespace comimo {
@@ -58,6 +59,24 @@ SpatialCsmaStats SpatialCsmaSimulator::run(double duration_s) {
     state[s].cw = config_.cw_min;
   }
   Rng backoff_rng(config_.seed, 0xBACC0FFULL);
+
+  // Static station grid (positions never move): the per-slot scans
+  // become existence queries.  Cells sized to the dominant query radius.
+  const bool use_grid = config_.index_mode == NetIndexMode::kGrid;
+  SpatialGrid grid;
+  if (use_grid) {
+    std::vector<Vec2> positions(n);
+    for (std::size_t s = 0; s < n; ++s) positions[s] = stations_[s].position;
+    grid = SpatialGrid(positions,
+                       std::max(config_.carrier_sense_range_m,
+                                config_.interference_range_m));
+  }
+  const auto any_tx_within = [&](const Vec2& center, double range,
+                                 std::size_t self) {
+    return grid.any_within(center, range, [&](std::uint32_t o) {
+      return static_cast<std::size_t>(o) != self && state[o].transmitting;
+    });
+  };
 
   const auto frame_slots = [&](std::size_t s) {
     const double airtime =
@@ -116,12 +135,17 @@ SpatialCsmaStats SpatialCsmaSimulator::run(double duration_s) {
       // Carrier sense: any active transmitter within cs range freezes
       // the countdown.
       bool medium_busy = false;
-      for (std::size_t o = 0; o < n; ++o) {
-        if (o == s || !state[o].transmitting) continue;
-        if (distance(stations_[s].position, stations_[o].position) <=
-            config_.carrier_sense_range_m) {
-          medium_busy = true;
-          break;
+      if (use_grid) {
+        medium_busy = any_tx_within(stations_[s].position,
+                                    config_.carrier_sense_range_m, s);
+      } else {
+        for (std::size_t o = 0; o < n; ++o) {
+          if (o == s || !state[o].transmitting) continue;
+          if (distance(stations_[s].position, stations_[o].position) <=
+              config_.carrier_sense_range_m) {
+            medium_busy = true;
+            break;
+          }
         }
       }
       if (medium_busy) continue;
@@ -151,6 +175,13 @@ SpatialCsmaStats SpatialCsmaSimulator::run(double duration_s) {
       busy_slot_concurrency += active;
       for (std::size_t s = 0; s < n; ++s) {
         if (!state[s].transmitting || state[s].corrupted) continue;
+        if (use_grid) {
+          if (any_tx_within(stations_[s].destination,
+                            config_.interference_range_m, s)) {
+            state[s].corrupted = true;
+          }
+          continue;
+        }
         for (std::size_t o = 0; o < n; ++o) {
           if (o == s || !state[o].transmitting) continue;
           if (distance(stations_[s].destination,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comimo/common/geometry.h"
+#include "comimo/net/index_mode.h"
 #include "comimo/net/node.h"
 
 namespace comimo {
@@ -28,6 +29,11 @@ struct SpatialCsmaConfig {
   double carrier_sense_range_m = 100.0;
   double interference_range_m = 80.0;
   std::uint64_t seed = 1;
+  /// kGrid turns the per-slot carrier-sense and interference scans into
+  /// spatial-grid existence queries (O(1) per station instead of O(n));
+  /// both are pure "any transmitter within range" booleans over the
+  /// same exact distance predicate, so the stats are bit-identical.
+  NetIndexMode index_mode = net_index_mode();
 };
 
 struct SpatialStation {

@@ -1,0 +1,136 @@
+// Uniform spatial grid over 2-D positions — the index behind the
+// million-node network layer.
+//
+// The grid buckets items into square cells of roughly the query radius
+// (callers pass a hint tied to the d-clustering radius d/2 or the
+// carrier-sense range), so a radius query touches O(1) cells and O(1)
+// expected items at bounded density instead of scanning all n.
+//
+// Bit-identity contract: the cell walk is only a *conservative
+// prefilter* — the cell range is padded by one cell on every side, so
+// no item whose true distance is within the radius can be missed to
+// floating-point rounding — and membership is always decided by the
+// exact same `distance(center, item) <= radius` comparison the O(n²)
+// reference loops use.  Candidate order is up to the caller (query()
+// output is unordered; sort by your traversal order), which is how the
+// clustering code reproduces the reference's ascending-index absorb
+// order exactly.
+//
+// Items are keyed by a caller-chosen uint32 (node id, station index);
+// keys are stable under removal — remove() tombstones the slot without
+// moving survivors, so the index survives node deaths with O(cell)
+// work and no rebuild.  Positions never move (nodes are static).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "comimo/common/geometry.h"
+
+namespace comimo {
+
+class SpatialGrid {
+ public:
+  static constexpr std::uint32_t kTombstone = ~std::uint32_t{0};
+
+  SpatialGrid() = default;
+
+  /// Builds the index over items[i] = (keys[i], positions[i]).  Keys
+  /// must be unique and != kTombstone.  `cell_hint_m` is the intended
+  /// cell edge (typically the dominant query radius); it is enlarged
+  /// automatically when the bounding box would otherwise shatter into
+  /// more than ~2 cells per item, keeping memory O(n).
+  SpatialGrid(const std::vector<std::uint32_t>& keys,
+              const std::vector<Vec2>& positions, double cell_hint_m);
+
+  /// Convenience: keys 0..positions.size()-1.
+  SpatialGrid(const std::vector<Vec2>& positions, double cell_hint_m);
+
+  /// Calls f(key, position) for every live item with
+  /// distance(center, position) <= radius.  Unordered.  If f returns
+  /// bool and yields false the walk stops early (existence queries).
+  template <typename F>
+  void for_each_within(const Vec2& center, double radius, F&& f) const {
+    if (slots_.empty()) return;
+    std::uint32_t cx0 = 0, cx1 = 0, cy0 = 0, cy1 = 0;
+    cell_range(center, radius, cx0, cx1, cy0, cy1);
+    for (std::uint32_t cy = cy0; cy <= cy1; ++cy) {
+      for (std::uint32_t cx = cx0; cx <= cx1; ++cx) {
+        const std::size_t cell = static_cast<std::size_t>(cy) * nx_ + cx;
+        const std::uint32_t end = cell_start_[cell + 1];
+        for (std::uint32_t s = cell_start_[cell]; s < end; ++s) {
+          const Slot& slot = slots_[s];
+          if (slot.key == kTombstone) continue;
+          if (distance(center, slot.position) <= radius) {
+            if constexpr (std::is_invocable_r_v<bool, F, std::uint32_t,
+                                                const Vec2&>) {
+              if (!f(slot.key, slot.position)) return;
+            } else {
+              f(slot.key, slot.position);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Appends the keys of all live items within `radius` of `center`
+  /// (unordered; the caller sorts into its traversal order).
+  void query(const Vec2& center, double radius,
+             std::vector<std::uint32_t>& out) const;
+
+  /// True when any live item within `radius` of `center` satisfies
+  /// pred(key) — the carrier-sense / interference existence test.
+  template <typename Pred>
+  [[nodiscard]] bool any_within(const Vec2& center, double radius,
+                                Pred&& pred) const {
+    bool found = false;
+    for_each_within(center, radius,
+                    [&](std::uint32_t key, const Vec2&) -> bool {
+                      if (pred(key)) {
+                        found = true;
+                        return false;
+                      }
+                      return true;
+                    });
+    return found;
+  }
+
+  /// Tombstones the item with this key at this position (the position
+  /// locates the cell; it must be the position the item was built
+  /// with).  No-op when the key is absent (already removed).
+  void remove(std::uint32_t key, const Vec2& position);
+
+  [[nodiscard]] std::size_t live_items() const noexcept { return live_; }
+  [[nodiscard]] std::size_t num_cells() const noexcept {
+    return static_cast<std::size_t>(nx_) * ny_;
+  }
+  [[nodiscard]] double cell_size_m() const noexcept { return cell_m_; }
+
+  /// Heap footprint of the index (bytes) — the bench's bytes/node
+  /// accounting.
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
+ private:
+  struct Slot {
+    std::uint32_t key = kTombstone;
+    Vec2 position;
+  };
+
+  [[nodiscard]] std::size_t cell_of(const Vec2& p) const noexcept;
+  void cell_range(const Vec2& center, double radius, std::uint32_t& cx0,
+                  std::uint32_t& cx1, std::uint32_t& cy0,
+                  std::uint32_t& cy1) const noexcept;
+
+  double cell_m_ = 1.0;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  std::uint32_t nx_ = 0;
+  std::uint32_t ny_ = 0;
+  std::size_t live_ = 0;
+  std::vector<std::uint32_t> cell_start_;  ///< CSR offsets, size nx*ny+1
+  std::vector<Slot> slots_;                ///< cell-grouped items
+};
+
+}  // namespace comimo

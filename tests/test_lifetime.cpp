@@ -67,6 +67,55 @@ TEST(Lifetime, Validation) {
                InvalidArgument);
 }
 
+// Pinned regression: the incremental battery tracker (running min +
+// dead-flag folds instead of per-round O(n) rescans) and the
+// incremental remove_nodes() re-clustering must leave every lifetime
+// result bit-identical to the pre-index implementation.  The literals
+// below were produced by the original full-rescan/full-rebuild code.
+TEST(Lifetime, PinnedHappyPathUnchangedByIncrementalTracker) {
+  const CoMimoNet net = lifetime_net(3);
+  LifetimeConfig cfg;
+  cfg.round_cap = 2000;
+  const LifetimeReport r = simulate_lifetime(net, SystemParams{}, cfg);
+  EXPECT_EQ(r.rounds_to_first_death, 305u);
+  EXPECT_EQ(r.rounds_to_death_fraction, 597u);
+  EXPECT_FALSE(r.censored);
+  EXPECT_EQ(r.min_battery_j, -174.51635702345587);
+  EXPECT_EQ(r.dead_nodes, 8u);
+}
+
+TEST(Lifetime, PinnedFaultedPathUnchangedByIncrementalRecluster) {
+  const auto nodes =
+      clustered_field(12, 3, 6.0, 420.0, 420.0, 11, 120.0, 150.0);
+  CoMimoNetConfig net_cfg;
+  net_cfg.communication_range_m = 40.0;
+  net_cfg.cluster_diameter_m = 16.0;
+  net_cfg.link_range_m = 280.0;
+  const CoMimoNet net(nodes, net_cfg);
+  LifetimeConfig cfg;
+  cfg.round_cap = 1500;
+  cfg.faults.enabled = true;
+  cfg.faults.node_death_fraction = 0.15;
+  cfg.faults.death_window_lo = 0.02;
+  cfg.faults.death_window_hi = 0.15;
+  cfg.faults.slot_erasure_prob = 0.08;
+  cfg.faults.pu_preemption = false;
+  cfg.faults.seed = 77;
+  cfg.traffic_seed = 5;
+  const LifetimeReport r = simulate_lifetime(net, SystemParams{}, cfg);
+  EXPECT_EQ(r.rounds_to_first_death, 33u);
+  EXPECT_EQ(r.rounds_to_death_fraction, 316u);
+  EXPECT_FALSE(r.censored);
+  EXPECT_EQ(r.min_battery_j, -90.803951379992583);
+  EXPECT_EQ(r.dead_nodes, 9u);
+  EXPECT_EQ(r.resilience.node_deaths, 5u);
+  EXPECT_EQ(r.resilience.route_repairs, 5u);
+  EXPECT_EQ(r.resilience.retransmissions, 92u);
+  EXPECT_EQ(r.resilience.packets_offered, 266u);
+  EXPECT_EQ(r.resilience.packets_delivered, 266u);
+  EXPECT_EQ(r.resilience.energy_spent_j, 2580.3818850427742);
+}
+
 TEST(HopSchedule, GoodputAccountsForAllSteps) {
   const UnderlayCooperativeHop planner;
   UnderlayHopConfig siso_cfg;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "comimo/common/error.h"
+#include "comimo/numeric/rng.h"
 
 namespace comimo {
 namespace {
@@ -91,6 +92,38 @@ TEST(SpatialCsma, DeterministicInSeed) {
   const auto b = SpatialCsmaSimulator(cfg(5), st).run(10.0);
   EXPECT_EQ(a.delivered_frames, b.delivered_frames);
   EXPECT_EQ(a.lost_frames, b.lost_frames);
+}
+
+// The grid-indexed carrier-sense/interference queries must reproduce
+// the O(n²) scans exactly — every stat, bit for bit, over random
+// station fields of varying density.
+TEST(SpatialCsma, GridIndexBitIdenticalToReference) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed, 0xC5);
+    const std::size_t n = 3 + rng.uniform_int(40);
+    std::vector<SpatialStation> st;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 pos{rng.uniform(0.0, 600.0), rng.uniform(0.0, 600.0)};
+      const Vec2 dest{pos.x + rng.uniform(-60.0, 60.0),
+                      pos.y + rng.uniform(-60.0, 60.0)};
+      st.push_back(station(static_cast<NodeId>(i), pos, dest,
+                           rng.uniform(4.0, 12.0)));
+    }
+    SpatialCsmaConfig ref_cfg = cfg(seed);
+    ref_cfg.index_mode = NetIndexMode::kReference;
+    SpatialCsmaConfig grid_cfg = cfg(seed);
+    grid_cfg.index_mode = NetIndexMode::kGrid;
+    const auto ref = SpatialCsmaSimulator(ref_cfg, st).run(6.0);
+    const auto grid = SpatialCsmaSimulator(grid_cfg, st).run(6.0);
+    EXPECT_EQ(ref.offered_frames, grid.offered_frames) << "seed " << seed;
+    EXPECT_EQ(ref.delivered_frames, grid.delivered_frames)
+        << "seed " << seed;
+    EXPECT_EQ(ref.lost_frames, grid.lost_frames) << "seed " << seed;
+    EXPECT_EQ(ref.dropped_frames, grid.dropped_frames) << "seed " << seed;
+    EXPECT_EQ(ref.throughput_bps, grid.throughput_bps) << "seed " << seed;
+    EXPECT_EQ(ref.mean_concurrency, grid.mean_concurrency)
+        << "seed " << seed;
+  }
 }
 
 TEST(SpatialCsma, Validation) {
