@@ -8,7 +8,10 @@
 // single-core container the speedup column measures scheduling overhead
 // rather than parallel gain — see EXPERIMENTS.md.
 //
-// `--trials <n>` shrinks the run for CI; `--json <path>` emits
+// `--trials <n>` shrinks the run for CI; `--shards <n>` fans each run
+// across that many forked worker processes (mc/sharded.h) — the merged
+// envelope must stay bit-identical to --shards 1, which
+// scripts/check_bench_json.sh diffs; `--json <path>` emits
 // comimo-bench-v1.
 #include <cstdlib>
 #include <iostream>
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
   base.mr = 2;
   base.blocks = blocks;
   base.seed = 42;
+  base.shards = cli.shards;
 
   TextTable t({"threads", "bit errors", "bits", "BER", "wall [s]",
                "trials/s", "speedup vs 1T"});
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
                TextTable::fmt(speedup, 2) + "x"});
     Json params = Json::object();
     params.set("threads", threads);
+    params.set("shards", cli.shards);
     params.set("blocks", blocks);
     params.set("b", base.b);
     params.set("mt", base.mt);

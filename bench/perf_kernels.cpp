@@ -363,6 +363,108 @@ void run_link_kernel_bench(const BenchCli& cli) {
                      batch_speedup_vs_scalar),
         blocks, tps(batch_run));
   }
+
+  // Hop-batch comparison: the full three-step cooperative hop
+  // (DF broadcast, W-wide long-haul STBC, analog collection) grouped at
+  // the pinned lane width vs the same blocks through the lane-serial
+  // reference driver.  Both consume the (seed, block index) streams, so
+  // the decoded bits must match lane-bitwise; the bench aborts if not.
+  {
+    const std::size_t width = std::max<std::size_t>(1, simd::batch_width());
+    const std::size_t hop_target = cli.trials ? cli.trials / 10 : 2000;
+    const UnderlayCooperativeHop planner;
+    struct HopShape {
+      unsigned mt;
+      unsigned mr;
+    };
+    for (const HopShape shape :
+         {HopShape{2, 2}, HopShape{4, 2}, HopShape{4, 4}}) {
+      UnderlayHopConfig hop_cfg;
+      hop_cfg.mt = shape.mt;
+      hop_cfg.mr = shape.mr;
+      hop_cfg.hop_distance_m = 200.0;
+      hop_cfg.ber = 1e-2;
+      const UnderlayHopPlan plan =
+          planner.plan(hop_cfg, BSelectionRule::kMinTotalPa);
+      const CoopHopBlockKernel kernel(plan, 30.0);
+      const std::size_t bpb = kernel.bits_per_block();
+      // Whole groups only: the batch driver requires count == width, and
+      // an identical block set keeps the two passes comparable.
+      const std::size_t hop_blocks =
+          std::max<std::size_t>(width, hop_target / width * width);
+      const std::size_t hop_warmup = width * 8;
+      const BitVec payload =
+          random_bits((hop_warmup + hop_blocks) * bpb, seed ^ 0xB17);
+
+      HopBatchWorkspace ws;
+      kernel.prepare_batch(ws, width);
+      CoopHopBlockKernel::GroupStats
+          stats[CoopHopBlockKernel::kMaxLanes]{};
+      const auto run_span = [&](std::size_t first, std::size_t count_blocks,
+                                bool batched) {
+        std::size_t errors = 0;
+        for (std::size_t blk = first; blk < first + count_blocks;
+             blk += width) {
+          if (batched) {
+            kernel.run_group_batch(ws, payload.data(), blk, width, seed,
+                                   kernel.decoder_full(), stats);
+          } else {
+            kernel.run_group_serial(ws, payload.data(), blk, width, seed,
+                                    kernel.decoder_full(), stats);
+          }
+          for (std::size_t w = 0; w < width; ++w) {
+            const std::uint8_t* sent = payload.data() + (blk + w) * bpb;
+            const std::uint8_t* got = ws.decoded_lane(w);
+            for (std::size_t i = 0; i < bpb; ++i) {
+              errors += sent[i] != got[i] ? 1 : 0;
+            }
+          }
+        }
+        return errors;
+      };
+
+      (void)run_span(0, hop_warmup, /*batched=*/false);
+      const LinkKernelRun serial_run =
+          fold_reps(reps, hop_blocks, bpb, [&] {
+            return run_span(hop_warmup, hop_blocks, /*batched=*/false);
+          });
+      (void)run_span(0, hop_warmup, /*batched=*/true);
+      const LinkKernelRun batch_run =
+          fold_reps(reps, hop_blocks, bpb, [&] {
+            return run_span(hop_warmup, hop_blocks, /*batched=*/true);
+          });
+      COMIMO_CHECK(batch_run.bit_errors == serial_run.bit_errors,
+                   "hop batch path diverged from the lane-serial path");
+
+      const double hop_speedup =
+          batch_run.ns_per_block > 0.0
+              ? serial_run.ns_per_block / batch_run.ns_per_block
+              : 0.0;
+      const auto hop_params = [&](const char* path) {
+        Json params = Json::object();
+        params.set("kernel", "coop_hop");
+        params.set("path", path);
+        params.set("b", plan.b);
+        params.set("mt", shape.mt);
+        params.set("mr", shape.mr);
+        params.set("blocks", static_cast<std::uint64_t>(hop_blocks));
+        params.set("warmup", static_cast<std::uint64_t>(hop_warmup));
+        params.set("reps", static_cast<std::uint64_t>(reps));
+        params.set("simd", simd::tier_name(simd::active_tier()));
+        params.set("width", static_cast<std::uint64_t>(width));
+        return params;
+      };
+      const auto tps = [](const LinkKernelRun& r) {
+        return r.ns_per_block > 0.0 ? 1e9 / r.ns_per_block : 0.0;
+      };
+      reporter.add_record(hop_params("hop_serial"),
+                          link_metrics(serial_run, 0.0), hop_blocks,
+                          tps(serial_run));
+      reporter.add_record(hop_params("hop_batch"),
+                          link_metrics(batch_run, 0.0, hop_speedup),
+                          hop_blocks, tps(batch_run));
+    }
+  }
   reporter.write_file(cli.json_path);
 }
 

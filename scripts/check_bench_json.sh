@@ -147,10 +147,19 @@ for r in sb:
     assert r["metrics"]["allocs_per_block"] == 0, \
         f"simd batch path allocates: {r}"
     assert r["metrics"].get("speedup_vs_scalar", 0) >= 1.0, \
-        f"simd batch path slower than the scalar workspace path: {r}"' \
+        f"simd batch path slower than the scalar workspace path: {r}"
+hb = [r for r in d["records"] if r["params"].get("path") == "hop_batch"]
+assert len(hb) >= 3, f"expected >= 3 hop_batch shapes, got {len(hb)}"
+for r in hb:
+    assert r["params"].get("mt", 0) >= 1 and r["params"].get("mr", 0) >= 1, \
+        "hop_batch record without (mt, mr) shape"
+    assert r["metrics"]["allocs_per_block"] == 0, \
+        f"hop batch path allocates: {r}"
+    assert r["metrics"].get("speedup_vs_scalar", 0) >= 1.0, \
+        f"hop batch path slower than the lane-serial path: {r}"' \
       "$OUT_DIR/perf_kernels.json"
   then
-    echo "OK       perf_kernels (schema + zero-alloc + simd_batch speedup)"
+    echo "OK       perf_kernels (schema + zero-alloc + simd/hop batch speedup)"
   else
     echo "FAIL     perf_kernels"; fail=1
   fi
@@ -183,6 +192,43 @@ else
   echo "MISSING  perf_kernels"; fail=1
 fi
 
+# mc/ multi-process sharding: a --shards 4 run of the waveform sweep
+# must reproduce the --shards 1 envelope bit for bit (the sharded
+# driver transports per-chunk accumulators and folds them in global
+# chunk-ordinal order).  Only the deterministic record metrics are
+# compared — timing keys (speedup, trials/s) are runtime domain — and
+# --obs stays off because a forked child's obs registry does not flow
+# back to the parent envelope.  A --shards 2 run smoke-checks the
+# schema on the same binary.
+if [ -x "$BENCH_DIR/mc_engine_speedup" ]; then
+  if "$BENCH_DIR/mc_engine_speedup" --trials 4000 --shards 1 \
+      --json "$OUT_DIR/shards1.json" > /dev/null 2>&1 \
+    && "$BENCH_DIR/mc_engine_speedup" --trials 4000 --shards 4 \
+      --json "$OUT_DIR/shards4.json" > /dev/null 2>&1 \
+    && python3 -c '
+import json, sys
+KEYS = ("bit_errors", "bits", "ber", "analytic_ber")
+def rows(path):
+    d = json.load(open(path))
+    return [({k: v for k, v in r["params"].items() if k != "shards"},
+             {k: r["metrics"][k] for k in KEYS})
+            for r in d["records"]]
+a, b = rows(sys.argv[1]), rows(sys.argv[2])
+assert a, "no records in the sharded envelope"
+assert a == b, "--shards 1 vs --shards 4 envelopes diverge"' \
+      "$OUT_DIR/shards1.json" "$OUT_DIR/shards4.json" \
+    && "$BENCH_DIR/mc_engine_speedup" --trials 1000 --shards 2 \
+      --json "$OUT_DIR/shards2.json" > /dev/null 2>&1 \
+    && validate_v1 "$OUT_DIR/shards2.json"
+  then
+    echo "OK       mc_engine_speedup (--shards 4 bit-identical to --shards 1)"
+  else
+    echo "FAIL     mc_engine_speedup (--shards)"; fail=1
+  fi
+else
+  echo "MISSING  mc_engine_speedup"; fail=1
+fi
+
 # net_scale: schema-checked on a shrunk ladder (--trials) — the full
 # million-node run is the committed artifact, gated below.
 if [ -x "$BENCH_DIR/net_scale" ]; then
@@ -206,6 +252,31 @@ for r in d["records"]:
   fi
 else
   echo "MISSING  net_scale"; fail=1
+fi
+
+# The committed BENCH_link_kernel.json is the kernel-perf claim of
+# record: it must carry hop_batch rows for >= 3 (mt, mr) shapes, each
+# allocation-free and at least as fast as the lane-serial path.
+if [ -f BENCH_link_kernel.json ]; then
+  if validate_v1 BENCH_link_kernel.json && python3 -c '
+import json
+d = json.load(open("BENCH_link_kernel.json"))
+hb = [r for r in d["records"] if r["params"].get("path") == "hop_batch"]
+shapes = {(r["params"]["mt"], r["params"]["mr"]) for r in hb}
+assert len(shapes) >= 3, f"hop_batch shapes committed: {sorted(shapes)}"
+for r in hb:
+    assert r["metrics"]["allocs_per_block"] == 0, \
+        f"committed hop_batch row allocates: {r}"
+    assert r["metrics"]["speedup_vs_scalar"] >= 1.0, \
+        f"committed hop_batch row slower than lane-serial: {r}"
+'
+  then
+    echo "OK       BENCH_link_kernel.json (hop_batch rows: zero-alloc, speedup >= 1)"
+  else
+    echo "FAIL     BENCH_link_kernel.json"; fail=1
+  fi
+else
+  echo "MISSING  BENCH_link_kernel.json (committed artifact)"; fail=1
 fi
 
 # The committed BENCH_net_scale.json is the million-node claim itself:

@@ -44,7 +44,7 @@ cmake --build "$NOSIMD_DIR" -j "$(nproc)"
 # layer must degenerate cleanly to width 1, and the workspace and
 # waveform paths must be untouched.
 ctest --test-dir "$NOSIMD_DIR" --output-on-failure \
-  -R 'Golden|Simd|AlignedAlloc|LinkWorkspace|Waveform|Galois|Rlnc|SpatialIndex|SpatialGrid|NetworkFuzz' \
+  -R 'Golden|Simd|AlignedAlloc|LinkWorkspace|HopBatch|Waveform|Galois|Rlnc|SpatialIndex|SpatialGrid|NetworkFuzz' \
   -j "$(nproc)"
 
 echo "== workspace, simd batch + coding kernels under ASan + UBSan =="
@@ -62,7 +62,7 @@ cmake --build "$ASAN_DIR" -j "$(nproc)"
 # tombstone removal and the incremental re-clustering splice — the
 # pointer-heavy paths where OOB would hide.
 ctest --test-dir "$ASAN_DIR" --output-on-failure \
-  -R 'LinkWorkspace|SimdBatch|AlignedAlloc|Galois|Rlnc|GilbertElliott|SpatialIndex|SpatialGrid|NetworkFuzz' \
+  -R 'LinkWorkspace|SimdBatch|HopBatch|AlignedAlloc|Galois|Rlnc|GilbertElliott|SpatialIndex|SpatialGrid|NetworkFuzz' \
   -j "$(nproc)"
 
 if [ "${CI_SANITIZE:-0}" = "1" ]; then

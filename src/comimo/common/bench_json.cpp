@@ -277,6 +277,11 @@ BenchCli parse_bench_cli(int argc, char** argv) {
       if (const char* v = next()) {
         cli.trials = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
       }
+    } else if (arg == "--shards") {
+      if (const char* v = next()) {
+        cli.shards = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+        if (cli.shards == 0) cli.shards = 1;
+      }
     } else if (arg == "--obs") {
       cli.obs = true;
     } else if (arg == "--trace") {

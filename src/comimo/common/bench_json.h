@@ -111,13 +111,15 @@ class BenchReporter {
 /// The shared bench command line: `--json <path>` turns on structured
 /// output, `--threads <n>` runs the engine-backed sweeps on a private
 /// pool of that size (0 = the shared pool), `--trials <n>` lets scripts
-/// shrink trial-bound benches, `--obs` enables the observability layer
+/// shrink trial-bound benches, `--shards <n>` fans the engine-backed
+/// sweeps across that many worker processes (mc/sharded.h —
+/// bit-identical to 1), `--obs` enables the observability layer
 /// (metrics embed in the JSON envelope), `--trace <path>` additionally
 /// arms span tracing with an exit-time Perfetto-loadable dump, and
 /// `--simd <mode>` (or `--simd=<mode>`) pins the batch-kernel dispatch
-/// tier (auto|scalar|sse2|avx2|neon) before any kernel runs.  Unknown
-/// flags are ignored so wrappers can pass common options to every
-/// binary.
+/// tier (auto|scalar|sse2|avx2|avx512|neon) before any kernel runs.
+/// Unknown flags are ignored so wrappers can pass common options to
+/// every binary.
 struct BenchCli {
   std::string json_path;
   std::string trace_path;
@@ -125,6 +127,7 @@ struct BenchCli {
   bool obs = false;
   unsigned threads = 0;
   std::size_t trials = 0;
+  std::size_t shards = 1;
 
   /// The pool the bench should hand to engine configs: a private pool
   /// when --threads was given, otherwise nullptr (= shared pool).

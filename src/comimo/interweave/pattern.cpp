@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "comimo/common/error.h"
 #include "comimo/common/units.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/numeric/simd/simd.h"
 
 namespace comimo {
 
@@ -84,38 +86,62 @@ RadiationPattern measured_pattern(const NullSteeringPair& pair,
                "jitters must be >= 0");
   RadiationPattern p;
   p.angles_deg = angle_grid(step_deg);
-  p.amplitudes.reserve(p.angles_deg.size());
   const Vec2 center = pair.geometry().center();
   const Vec2 axis =
       (pair.geometry().st2 - pair.geometry().st1).normalized();
   const Vec2 perp{-axis.y, axis.x};
   const double k = 2.0 * kPi / pair.wavelength();
 
-  std::size_t angle_idx = 0;
-  for (const double a : p.angles_deg) {
-    // Deterministic per-angle stream keeps the pattern independent of
-    // the evaluation order.
-    Rng rng(seed, angle_idx++);
-    const double t = deg_to_rad(a);
-    const Vec2 x =
-        center + (axis * std::cos(t) + perp * std::sin(t)) * radius_m;
-    double sum = 0.0;
-    for (unsigned trial = 0; trial < trials; ++trial) {
-      // Each element's wave: nominal phase (imposed delay + propagation)
-      // plus a multipath perturbation of amplitude and phase.
-      const double phi1 = pair.delta() - k * distance(pair.geometry().st1, x);
-      const double phi2 = -k * distance(pair.geometry().st2, x);
-      const double g1 =
-          std::max(0.0, 1.0 + amplitude_jitter * rng.gaussian());
-      const double g2 =
-          std::max(0.0, 1.0 + amplitude_jitter * rng.gaussian());
-      const double p1 = phi1 + phase_jitter_rad * rng.gaussian();
-      const double p2 = phi2 + phase_jitter_rad * rng.gaussian();
-      const cplx field = cplx{g1 * std::cos(p1), g1 * std::sin(p1)} +
-                         cplx{g2 * std::cos(p2), g2 * std::sin(p2)};
-      sum += std::abs(field);
+  // The sweep runs angles in groups of the pinned SIMD lane width,
+  // mirroring the hop pipeline's lane grouping: every lane keeps its
+  // own deterministic per-angle stream — Rng(seed, angle index), so the
+  // pattern is independent of evaluation order and group width — and
+  // its scalar transcendentals (sin/cos/|·| have no bit-exact vector
+  // counterpart).  The trial loop advances all lanes of a group in
+  // lockstep; each lane's draw sequence and field-sum accumulation
+  // order match the historical per-angle loop exactly, so the result
+  // is bit-identical at every tier, including scalar (group width 1).
+  const std::size_t n_angles = p.angles_deg.size();
+  const std::size_t group =
+      std::max<std::size_t>(std::size_t{1}, simd::batch_width());
+  std::vector<Rng> rngs;
+  rngs.reserve(group);
+  std::vector<double> phi1(group), phi2(group), sum(group);
+  p.amplitudes.assign(n_angles, 0.0);
+  for (std::size_t a0 = 0; a0 < n_angles; a0 += group) {
+    const std::size_t count = std::min(group, n_angles - a0);
+    rngs.clear();
+    for (std::size_t w = 0; w < count; ++w) {
+      const std::size_t angle_idx = a0 + w;
+      rngs.emplace_back(seed, angle_idx);
+      const double t = deg_to_rad(p.angles_deg[angle_idx]);
+      const Vec2 x =
+          center + (axis * std::cos(t) + perp * std::sin(t)) * radius_m;
+      // Nominal per-element phases (imposed delay + propagation) are
+      // pure functions of the angle; the trial loop adds the multipath
+      // perturbations on top.
+      phi1[w] = pair.delta() - k * distance(pair.geometry().st1, x);
+      phi2[w] = -k * distance(pair.geometry().st2, x);
+      sum[w] = 0.0;
     }
-    p.amplitudes.push_back(sum / trials / kSisoReference);
+    for (unsigned trial = 0; trial < trials; ++trial) {
+      for (std::size_t w = 0; w < count; ++w) {
+        // Each element's wave: nominal phase plus a multipath
+        // perturbation of amplitude and phase.
+        const double g1 =
+            std::max(0.0, 1.0 + amplitude_jitter * rngs[w].gaussian());
+        const double g2 =
+            std::max(0.0, 1.0 + amplitude_jitter * rngs[w].gaussian());
+        const double p1 = phi1[w] + phase_jitter_rad * rngs[w].gaussian();
+        const double p2 = phi2[w] + phase_jitter_rad * rngs[w].gaussian();
+        const cplx field = cplx{g1 * std::cos(p1), g1 * std::sin(p1)} +
+                           cplx{g2 * std::cos(p2), g2 * std::sin(p2)};
+        sum[w] += std::abs(field);
+      }
+    }
+    for (std::size_t w = 0; w < count; ++w) {
+      p.amplitudes[a0 + w] = sum[w] / trials / kSisoReference;
+    }
   }
   return p;
 }

@@ -48,6 +48,15 @@ class McAccumulator {
   /// invariance tests.
   friend bool operator==(const McAccumulator&, const McAccumulator&) = default;
 
+  /// Appends a bit-exact wire image of this accumulator to `out`
+  /// (little-endian lengths/values, doubles as IEEE bit patterns) — the
+  /// transport the multi-process sharding driver ships per-chunk
+  /// accumulators over.  deserialize() advances `pos` past one image and
+  /// round-trips exactly: deserialize(serialize(a)) == a bitwise.
+  void serialize(std::vector<std::uint8_t>& out) const;
+  [[nodiscard]] static McAccumulator deserialize(
+      const std::vector<std::uint8_t>& in, std::size_t& pos);
+
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, RunningStats> stats_;

@@ -29,6 +29,29 @@ EngineObs& engine_obs() {
   return o;
 }
 
+/// The contiguous global-chunk range [lo, hi) this run executes, plus
+/// the trial count inside it.  shard_count == 1 degenerates to the full
+/// range, so the unsharded path is bit-for-bit the historical one.
+struct ShardRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::size_t executed_trials = 0;
+};
+
+ShardRange resolve_shard_range(const McConfig& config, std::size_t trials,
+                               std::size_t chunk, std::size_t chunks) {
+  COMIMO_CHECK(config.shard_count >= 1, "shard_count must be >= 1");
+  COMIMO_CHECK(config.shard_index < config.shard_count,
+               "shard_index must be < shard_count");
+  ShardRange r;
+  r.lo = chunks * config.shard_index / config.shard_count;
+  r.hi = chunks * (config.shard_index + 1) / config.shard_count;
+  if (r.hi > r.lo) {
+    r.executed_trials = std::min(trials, r.hi * chunk) - r.lo * chunk;
+  }
+  return r;
+}
+
 }  // namespace
 
 std::size_t resolve_chunk_size(std::size_t trials,
@@ -54,24 +77,28 @@ McResult run_trials(
   const std::size_t chunk = resolve_chunk_size(trials, config.chunk_size);
   const std::size_t chunks = (trials + chunk - 1) / chunk;
   result.info.chunks = chunks;
+  const ShardRange range = resolve_shard_range(config, trials, chunk, chunks);
+  const std::size_t n_exec = range.hi - range.lo;
 
   EngineObs& eobs = engine_obs();
   eobs.runs.add();
-  eobs.trials.add(trials);
-  eobs.chunks.add(chunks);
+  eobs.trials.add(range.executed_trials);
+  eobs.chunks.add(n_exec);
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<McAccumulator> shards(chunks);
-  parallel_for(pool, chunks, [&](std::size_t c) {
-    // Chunk-ordinal shard scope: deterministic metrics the trial code
-    // observes (per-hop BER, retries, backoff) merge in chunk order —
-    // the same discipline as the McAccumulator reduction below — so
-    // the exported aggregates are worker-count invariant.
+  std::vector<McAccumulator> shards(n_exec);
+  parallel_for(pool, n_exec, [&](std::size_t idx) {
+    // Chunk-ordinal shard scope (global ordinal, even under process
+    // sharding): deterministic metrics the trial code observes (per-hop
+    // BER, retries, backoff) merge in chunk order — the same discipline
+    // as the McAccumulator reduction below — so the exported aggregates
+    // are worker-count invariant.
+    const std::size_t c = range.lo + idx;
     const obs::ObsShard shard(c);
     const obs::SpanTimer span("mc.chunk", eobs.chunk_wall_s);
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(trials, begin + chunk);
-    McAccumulator& acc = shards[c];
+    McAccumulator& acc = shards[idx];
     for (std::size_t t = begin; t < end; ++t) {
       Rng rng(config.seed, t);
       trial(t, rng, acc);
@@ -79,15 +106,21 @@ McResult run_trials(
   });
   // Merge in ascending shard order — the reduction order is part of the
   // determinism contract.
-  for (std::size_t c = 0; c < chunks; ++c) {
-    result.acc.merge(shards[c]);
+  for (std::size_t idx = 0; idx < n_exec; ++idx) {
+    result.acc.merge(shards[idx]);
+  }
+  if (config.collect_chunk_accs) {
+    result.chunk_accs.reserve(n_exec);
+    for (std::size_t idx = 0; idx < n_exec; ++idx) {
+      result.chunk_accs.emplace_back(range.lo + idx, std::move(shards[idx]));
+    }
   }
   const auto t1 = std::chrono::steady_clock::now();
   result.info.wall_s =
       std::chrono::duration<double>(t1 - t0).count();
   result.info.trials_per_sec =
       result.info.wall_s > 0.0
-          ? static_cast<double>(trials) / result.info.wall_s
+          ? static_cast<double>(range.executed_trials) / result.info.wall_s
           : 0.0;
   eobs.trials_per_sec.set(result.info.trials_per_sec);
   return result;
@@ -109,20 +142,23 @@ McResult run_trial_batches(
   const std::size_t chunk = resolve_chunk_size(trials, config.chunk_size);
   const std::size_t chunks = (trials + chunk - 1) / chunk;
   result.info.chunks = chunks;
+  const ShardRange range = resolve_shard_range(config, trials, chunk, chunks);
+  const std::size_t n_exec = range.hi - range.lo;
 
   EngineObs& eobs = engine_obs();
   eobs.runs.add();
-  eobs.trials.add(trials);
-  eobs.chunks.add(chunks);
+  eobs.trials.add(range.executed_trials);
+  eobs.chunks.add(n_exec);
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<McAccumulator> shards(chunks);
-  parallel_for(pool, chunks, [&](std::size_t c) {
+  std::vector<McAccumulator> shards(n_exec);
+  parallel_for(pool, n_exec, [&](std::size_t idx) {
+    const std::size_t c = range.lo + idx;
     const obs::ObsShard shard(c);
     const obs::SpanTimer span("mc.chunk", eobs.chunk_wall_s);
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(trials, begin + chunk);
-    McAccumulator& acc = shards[c];
+    McAccumulator& acc = shards[idx];
     // One generator per trial, materialized per group; Rng has no
     // default constructor, so the group's streams live in a vector
     // whose capacity is reused across groups (one allocation per chunk,
@@ -138,14 +174,20 @@ McResult run_trial_batches(
       batch(t, count, rngs.data(), acc);
     }
   });
-  for (std::size_t c = 0; c < chunks; ++c) {
-    result.acc.merge(shards[c]);
+  for (std::size_t idx = 0; idx < n_exec; ++idx) {
+    result.acc.merge(shards[idx]);
+  }
+  if (config.collect_chunk_accs) {
+    result.chunk_accs.reserve(n_exec);
+    for (std::size_t idx = 0; idx < n_exec; ++idx) {
+      result.chunk_accs.emplace_back(range.lo + idx, std::move(shards[idx]));
+    }
   }
   const auto t1 = std::chrono::steady_clock::now();
   result.info.wall_s = std::chrono::duration<double>(t1 - t0).count();
   result.info.trials_per_sec =
       result.info.wall_s > 0.0
-          ? static_cast<double>(trials) / result.info.wall_s
+          ? static_cast<double>(range.executed_trials) / result.info.wall_s
           : 0.0;
   eobs.trials_per_sec.set(result.info.trials_per_sec);
   return result;

@@ -20,6 +20,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "comimo/common/parallel.h"
 #include "comimo/mc/accumulator.h"
@@ -36,6 +38,18 @@ struct McConfig {
   std::size_t chunk_size = 0;
   /// Pool to execute on; nullptr = ThreadPool::shared().
   ThreadPool* pool = nullptr;
+  /// Multi-process sharding (mc/sharded.h): this run executes only the
+  /// contiguous chunk range [chunks·i/n, chunks·(i+1)/n) for shard
+  /// i = shard_index of n = shard_count.  The chunk partition itself is
+  /// global — a pure function of (trials, chunk_size) — so the union of
+  /// every shard's per-chunk accumulators, folded in ascending global
+  /// chunk ordinal, is bit-identical to the unsharded run.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// When true, McResult::chunk_accs records every executed chunk's
+  /// pre-merge accumulator keyed by global chunk ordinal — the transport
+  /// the sharding driver folds across processes.
+  bool collect_chunk_accs = false;
 };
 
 struct McRunInfo {
@@ -49,6 +63,9 @@ struct McRunInfo {
 struct McResult {
   McAccumulator acc;
   McRunInfo info;
+  /// Executed (global chunk ordinal, accumulator) pairs in ascending
+  /// ordinal order; empty unless McConfig::collect_chunk_accs.
+  std::vector<std::pair<std::size_t, McAccumulator>> chunk_accs;
 };
 
 /// Runs `trial(trial_index, rng, acc)` for every index in [0, trials)

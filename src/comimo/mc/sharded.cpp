@@ -1,0 +1,238 @@
+#include "comimo/mc/sharded.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "comimo/common/error.h"
+#include "comimo/obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COMIMO_HAS_FORK 1
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define COMIMO_HAS_FORK 0
+#endif
+
+namespace comimo {
+
+namespace {
+
+// Pure function of the run configuration — deterministic domain, like
+// simd.active_tier.
+obs::Gauge& shard_count_gauge() {
+  static obs::Gauge g =
+      obs::MetricRegistry::global().gauge("mc.shard_count");
+  return g;
+}
+
+McConfig shard_config(const McConfig& config, std::size_t index,
+                      std::size_t shards) {
+  McConfig c = config;
+  c.shard_index = index;
+  c.shard_count = shards;
+  c.collect_chunk_accs = true;
+  return c;
+}
+
+#if COMIMO_HAS_FORK
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NumericError("shard worker: pipe write failed");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::uint8_t> read_until_eof(int fd) {
+  std::vector<std::uint8_t> buf;
+  std::uint8_t tmp[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, tmp, sizeof(tmp));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NumericError("shard driver: pipe read failed");
+    }
+    if (n == 0) break;
+    buf.insert(buf.end(), tmp, tmp + n);
+  }
+  return buf;
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  COMIMO_CHECK(pos + 8 <= in.size(), "truncated shard wire image");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+
+#endif  // COMIMO_HAS_FORK
+
+using RunFn = std::function<McResult(const McConfig&)>;
+
+/// The shared driver: runs shard s's chunk range via `run_one` (one
+/// worker process per shard when forking), gathers every executed
+/// (global chunk ordinal, accumulator) pair, and folds them in
+/// ascending ordinal — the exact reduction sequence of the unsharded
+/// engine, hence bit-identical output.
+McResult run_sharded(std::size_t trials, const McConfig& config,
+                     const ShardOptions& options, const RunFn& run_one) {
+  COMIMO_CHECK(options.shards >= 1, "need at least one shard");
+  shard_count_gauge().set(static_cast<double>(options.shards));
+  if (options.shards == 1) return run_one(config);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  McResult out;
+  out.info.trials = trials;
+  if (trials > 0) {
+    const std::size_t chunk = resolve_chunk_size(trials, config.chunk_size);
+    out.info.chunks = (trials + chunk - 1) / chunk;
+  }
+
+  // Contiguous shard ranges visited in shard order arrive already
+  // sorted by global chunk ordinal.
+  std::vector<std::pair<std::size_t, McAccumulator>> chunk_accs;
+
+  bool forked = false;
+#if COMIMO_HAS_FORK
+  if (options.fork) {
+    forked = true;
+    // The parent pool's worker threads do not survive fork, so each
+    // child builds a private pool of the same size.  Resolve the size
+    // up front (this may instantiate the shared pool — in the parent,
+    // before any fork).
+    const unsigned pool_threads =
+        config.pool ? config.pool->size() : ThreadPool::shared().size();
+    out.info.threads = pool_threads;
+
+    struct Worker {
+      pid_t pid = -1;
+      int read_fd = -1;
+    };
+    std::vector<Worker> workers;
+    workers.reserve(options.shards);
+    for (std::size_t s = 0; s < options.shards; ++s) {
+      int fds[2];
+      COMIMO_CHECK(::pipe(fds) == 0, "shard driver: pipe failed");
+      const pid_t pid = ::fork();
+      COMIMO_CHECK(pid >= 0, "shard driver: fork failed");
+      if (pid == 0) {
+        // Worker process: run this shard's chunk range on a private
+        // pool and ship the per-chunk accumulators back.  _exit skips
+        // static destructors — the parent owns the process state.
+        ::close(fds[0]);
+        int status = 0;
+        try {
+          McConfig child = shard_config(config, s, options.shards);
+          ThreadPool child_pool(pool_threads);
+          child.pool = &child_pool;
+          const McResult r = run_one(child);
+          std::vector<std::uint8_t> buf;
+          put_u64(buf, r.chunk_accs.size());
+          for (const auto& [ordinal, acc] : r.chunk_accs) {
+            put_u64(buf, ordinal);
+            acc.serialize(buf);
+          }
+          write_all(fds[1], buf.data(), buf.size());
+        } catch (...) {
+          status = 1;
+        }
+        ::close(fds[1]);
+        ::_exit(status);
+      }
+      ::close(fds[1]);
+      workers.push_back(Worker{pid, fds[0]});
+    }
+
+    for (const Worker& w : workers) {
+      const std::vector<std::uint8_t> buf = read_until_eof(w.read_fd);
+      ::close(w.read_fd);
+      int status = 0;
+      pid_t waited = -1;
+      do {
+        waited = ::waitpid(w.pid, &status, 0);
+      } while (waited < 0 && errno == EINTR);
+      COMIMO_CHECK(waited == w.pid && WIFEXITED(status) &&
+                       WEXITSTATUS(status) == 0,
+                   "shard worker exited abnormally");
+      std::size_t pos = 0;
+      const std::uint64_t n_chunks = get_u64(buf, pos);
+      for (std::uint64_t i = 0; i < n_chunks; ++i) {
+        const std::size_t ordinal =
+            static_cast<std::size_t>(get_u64(buf, pos));
+        chunk_accs.emplace_back(ordinal,
+                                McAccumulator::deserialize(buf, pos));
+      }
+      COMIMO_CHECK(pos == buf.size(), "trailing bytes in shard wire image");
+    }
+  }
+#endif  // COMIMO_HAS_FORK
+  if (!forked) {
+    // Portable fallback: the same shard ranges, sequentially in this
+    // process.  Same chunk partition, same fold order, same bits.
+    for (std::size_t s = 0; s < options.shards; ++s) {
+      McResult r = run_one(shard_config(config, s, options.shards));
+      out.info.threads = r.info.threads;
+      for (auto& entry : r.chunk_accs) {
+        chunk_accs.push_back(std::move(entry));
+      }
+    }
+  }
+
+  for (const auto& [ordinal, acc] : chunk_accs) {
+    (void)ordinal;
+    out.acc.merge(acc);
+  }
+  if (config.collect_chunk_accs) out.chunk_accs = std::move(chunk_accs);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  out.info.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.info.trials_per_sec =
+      out.info.wall_s > 0.0
+          ? static_cast<double>(trials) / out.info.wall_s
+          : 0.0;
+  return out;
+}
+
+}  // namespace
+
+McResult run_trials_sharded(
+    std::size_t trials, const McConfig& config, const ShardOptions& options,
+    const std::function<void(std::size_t, Rng&, McAccumulator&)>& trial) {
+  return run_sharded(trials, config, options,
+                     [&](const McConfig& c) {
+                       return run_trials(trials, c, trial);
+                     });
+}
+
+McResult run_trial_batches_sharded(
+    std::size_t trials, const McConfig& config, const ShardOptions& options,
+    std::size_t max_batch,
+    const std::function<void(std::size_t, std::size_t, Rng*, McAccumulator&)>&
+        batch) {
+  return run_sharded(trials, config, options,
+                     [&](const McConfig& c) {
+                       return run_trial_batches(trials, c, max_batch, batch);
+                     });
+}
+
+}  // namespace comimo

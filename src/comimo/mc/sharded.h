@@ -1,0 +1,53 @@
+// Multi-process sharding for the Monte-Carlo engine.
+//
+// run_trials already makes the reduction a pure function of the global
+// chunk partition: chunk accumulators fold in ascending chunk ordinal,
+// never in scheduling order.  This driver extends that algebra from
+// threads to processes.  Each worker process executes one contiguous
+// range of the *global* chunk partition (McConfig::shard_index /
+// shard_count — the partition itself never changes), ships its
+// per-chunk accumulators back over a pipe as bit-exact wire images
+// (mc/accumulator.h), and the parent folds every chunk in ascending
+// global ordinal.  Per-chunk transport matters: the Welford merge is
+// not associative bitwise, so folding pre-reduced per-shard partials
+// would drift by ulps — folding the original chunk sequence reproduces
+// the single-process reduction exactly, which is what makes a
+// `--shards K` bench envelope byte-identical to `--shards 1`.
+//
+// Fork workers are POSIX-only; `options.fork = false` (and non-POSIX
+// builds) run the shard ranges sequentially in-process — same chunk
+// algebra, same bits, no isolation.  Worker processes never touch the
+// parent's thread pool (its workers do not survive fork); each child
+// builds a private pool of the same size.
+#pragma once
+
+#include <cstddef>
+
+#include "comimo/mc/engine.h"
+
+namespace comimo {
+
+struct ShardOptions {
+  std::size_t shards = 1;
+  /// Fork one worker process per shard (POSIX).  false — or a platform
+  /// without fork — executes the shard ranges sequentially in-process;
+  /// the merged result is bit-identical either way.
+  bool fork = true;
+};
+
+/// run_trials across `options.shards` worker processes.  Bit-identical
+/// to run_trials(trials, config, trial) for every shard count; shard
+/// count 1 *is* that call.  The active shard count is exported as the
+/// obs gauge "mc.shard_count".
+[[nodiscard]] McResult run_trials_sharded(
+    std::size_t trials, const McConfig& config, const ShardOptions& options,
+    const std::function<void(std::size_t, Rng&, McAccumulator&)>& trial);
+
+/// run_trial_batches across worker processes; same contract.
+[[nodiscard]] McResult run_trial_batches_sharded(
+    std::size_t trials, const McConfig& config, const ShardOptions& options,
+    std::size_t max_batch,
+    const std::function<void(std::size_t, std::size_t, Rng*, McAccumulator&)>&
+        batch);
+
+}  // namespace comimo

@@ -138,6 +138,42 @@ void stbc_encode_batch(const cplx* a, const cplx* b, std::size_t t,
 }
 
 template <class V>
+void stbc_encode_multi_batch(const cplx* a, const cplx* b, std::size_t t,
+                             std::size_t mt, std::size_t k,
+                             double power_scale, const double* sym_re,
+                             const double* sym_im, double* out_re,
+                             double* out_im) {
+  constexpr std::size_t W = V::kWidth;
+  const V ps = V::broadcast(power_scale);
+  for (std::size_t tt = 0; tt < t; ++tt) {
+    for (std::size_t i = 0; i < mt; ++i) {
+      V v_re = V::zero();
+      V v_im = V::zero();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const std::size_t ci = (tt * mt + i) * k + kk;
+        const V ar = V::broadcast(a[ci].real());
+        const V aim = V::broadcast(a[ci].imag());
+        const V br = V::broadcast(b[ci].real());
+        const V bim = V::broadcast(b[ci].imag());
+        // The only difference from stbc_encode_batch: antenna i reads
+        // its own symbol plane (the hop's per-antenna beliefs).
+        const V sr = V::load(sym_re + (i * k + kk) * W);
+        const V si = V::load(sym_im + (i * k + kk) * W);
+        const V p1_re = ar * sr - aim * si;
+        const V p1_im = ar * si + aim * sr;
+        const V p2_re = br * sr + bim * si;
+        const V p2_im = bim * sr - br * si;
+        v_re = v_re + (p1_re + p2_re);
+        v_im = v_im + (p1_im + p2_im);
+      }
+      const std::size_t oi = (tt * mt + i) * W;
+      (v_re * ps).store(out_re + oi);
+      (v_im * ps).store(out_im + oi);
+    }
+  }
+}
+
+template <class V>
 void stbc_build_fy_batch(const cplx* a, const cplx* b, std::size_t t,
                          std::size_t mt, std::size_t k, std::size_t mr,
                          double power_scale, const double* h_re,
@@ -254,6 +290,7 @@ template <class V, class G>
   k.scale = &scale_batch<V>;
   k.divide = &divide_batch<V>;
   k.stbc_encode = &stbc_encode_batch<V>;
+  k.stbc_encode_multi = &stbc_encode_multi_batch<V>;
   k.stbc_build_fy = &stbc_build_fy_batch<V>;
   k.gram_rhs = &gram_rhs_batch<V>;
   k.qam_nearest = &qam_nearest_batch<V>;

@@ -1,0 +1,31 @@
+// AVX-512 (W = 8) backend.  Compiled with -mavx512f -ffp-contract=off
+// on x86-64; the Vec ops are explicit mul/add intrinsics (never an
+// FMA), so the no-contraction bit-identity contract holds at W = 8
+// exactly as it does for the narrower tiers.  -mavx512f implies AVX2,
+// so this TU pairs the wide double planes with the PSHUFB GF(256)
+// backend (GfAvx2) — byte kernels are exact at every tier anyway.
+#include "comimo/numeric/simd/simd.h"
+
+#if defined(__AVX512F__) && !defined(COMIMO_SIMD_DISABLED)
+
+#include "comimo/numeric/simd/batch_kernels_impl.h"
+
+namespace comimo::simd::detail {
+
+const BatchKernels* avx512_kernels() noexcept {
+  static const BatchKernels kTable =
+      make_kernels<VecAvx512, GfAvx2>(Tier::kAvx512);
+  return &kTable;
+}
+
+}  // namespace comimo::simd::detail
+
+#else
+
+namespace comimo::simd::detail {
+
+const BatchKernels* avx512_kernels() noexcept { return nullptr; }
+
+}  // namespace comimo::simd::detail
+
+#endif

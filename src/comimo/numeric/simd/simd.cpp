@@ -47,6 +47,8 @@ const char* tier_name(Tier tier) noexcept {
       return "sse2";
     case Tier::kAvx2:
       return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
     case Tier::kNeon:
       return "neon";
   }
@@ -55,6 +57,10 @@ const char* tier_name(Tier tier) noexcept {
 
 Tier detect_best_tier() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
+  if (detail::avx512_kernels() != nullptr &&
+      __builtin_cpu_supports("avx512f")) {
+    return Tier::kAvx512;
+  }
   if (detail::avx2_kernels() != nullptr && __builtin_cpu_supports("avx2")) {
     return Tier::kAvx2;
   }
@@ -87,6 +93,15 @@ const BatchKernels* kernels_for_tier(Tier tier) noexcept {
 #else
       return nullptr;
 #endif
+    case Tier::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      // __builtin_cpu_supports("avx512f") also verifies the OS has
+      // enabled the ZMM XSAVE state, not just the CPUID bit.
+      if (!__builtin_cpu_supports("avx512f")) return nullptr;
+      return detail::avx512_kernels();
+#else
+      return nullptr;
+#endif
     case Tier::kNeon:
       return detail::neon_kernels();
   }
@@ -104,11 +119,13 @@ void set_mode(std::string_view mode) {
     tier = Tier::kSse2;
   } else if (mode == "avx2") {
     tier = Tier::kAvx2;
+  } else if (mode == "avx512") {
+    tier = Tier::kAvx512;
   } else if (mode == "neon") {
     tier = Tier::kNeon;
   } else {
     throw InvalidArgument("unknown --simd mode: " + std::string(mode) +
-                          " (expected auto|scalar|sse2|avx2|neon)");
+                          " (expected auto|scalar|sse2|avx2|avx512|neon)");
   }
 
   DispatchState& state = dispatch_state();

@@ -20,8 +20,9 @@
 // golden-table net and the 1-vs-N-thread invariance checks pass
 // unchanged with batching on.
 //
-// Dispatch: the best tier the CPU supports (AVX2 W=4 > SSE2 W=2 on
-// x86-64; NEON W=2 on aarch64; scalar W=1 anywhere) is detected once
+// Dispatch: the best tier the CPU supports (AVX-512 W=8 > AVX2 W=4 >
+// SSE2 W=2 on x86-64; NEON W=2 on aarch64; scalar W=1 anywhere) is
+// detected once
 // and pinned for the process lifetime on first use.  `--simd=<mode>`
 // on the bench CLI (simd::set_mode) can force a tier before the pin;
 // after the pin a conflicting request throws.  Building with
@@ -43,11 +44,18 @@ namespace comimo::simd {
 
 using cplx = std::complex<double>;
 
-/// ISA tiers in dispatch-preference order (higher = wider/faster).
-enum class Tier : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+/// ISA tiers.  Enumerator values are stable identifiers, not the
+/// preference order — see detect_best_tier for that.
+enum class Tier : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+  kAvx512 = 4,
+};
 
-/// Stable lowercase name ("scalar", "sse2", "avx2", "neon") — the same
-/// tokens --simd= accepts and the bench JSON records.
+/// Stable lowercase name ("scalar", "sse2", "avx2", "avx512", "neon") —
+/// the same tokens --simd= accepts and the bench JSON records.
 [[nodiscard]] const char* tier_name(Tier tier) noexcept;
 
 /// The per-tier kernel table.  Every plane argument uses the SoA layout
@@ -87,6 +95,18 @@ struct BatchKernels {
                       std::size_t mt, std::size_t k, double power_scale,
                       const double* sym_re, const double* sym_im,
                       double* out_re, double* out_im);
+
+  /// Batched StbcCode::encode_into over *per-antenna* symbol planes —
+  /// the cooperative-hop step 2, where each virtual antenna transmits
+  /// its own (possibly broadcast-corrupted) belief of the payload.
+  /// `sym_re`/`sym_im` hold mt · k elements laid out [(i·k + ki)][lane];
+  /// antenna i contributes its own symbol vector instead of the single
+  /// shared one stbc_encode assumes.  Same accumulation tree per lane.
+  void (*stbc_encode_multi)(const cplx* a, const cplx* b, std::size_t t,
+                            std::size_t mt, std::size_t k,
+                            double power_scale, const double* sym_re,
+                            const double* sym_im, double* out_re,
+                            double* out_im);
 
   /// Batched real-expansion build of StbcDecoder::decode_into: fills the
   /// F plane (rows 2·t·mr × cols 2·k, layout [row·cols + col][lane]) and
@@ -143,7 +163,8 @@ struct BatchKernels {
 [[nodiscard]] const BatchKernels* kernels_for_tier(Tier tier) noexcept;
 
 /// Requests a dispatch mode: "auto" (default), "scalar", "sse2",
-/// "avx2", or "neon".  Must be called before the first active_kernels()
+/// "avx2", "avx512", or "neon".  Must be called before the first
+/// active_kernels()
 /// use; throws InvalidArgument for unknown/unavailable modes or when
 /// called after the pin with a conflicting tier.
 void set_mode(std::string_view mode);
@@ -183,6 +204,7 @@ namespace detail {
 [[nodiscard]] const BatchKernels* scalar_kernels() noexcept;
 [[nodiscard]] const BatchKernels* sse2_kernels() noexcept;
 [[nodiscard]] const BatchKernels* avx2_kernels() noexcept;
+[[nodiscard]] const BatchKernels* avx512_kernels() noexcept;
 [[nodiscard]] const BatchKernels* neon_kernels() noexcept;
 }  // namespace detail
 

@@ -12,7 +12,7 @@
 
 #include <cstddef>
 
-#if defined(__SSE2__) || defined(__AVX2__)
+#if defined(__SSE2__) || defined(__AVX2__) || defined(__AVX512F__)
 #include <immintrin.h>
 #endif
 #if defined(__ARM_NEON) && defined(__aarch64__)
@@ -120,6 +120,44 @@ struct VecAvx2 {
   }
 };
 #endif  // __AVX2__
+
+#if defined(__AVX512F__)
+/// W = 8.  The AVX-512 compare writes a mask register, so select is the
+/// mask-blend form; truth table identical to the scalar strict `<` on
+/// the finite data the kernels see.  As with AVX2, only explicit
+/// mul/add/sub/div intrinsics appear — never an FMA.
+struct VecAvx512 {
+  static constexpr std::size_t kWidth = 8;
+  __m512d v;
+
+  static VecAvx512 zero() noexcept { return {_mm512_setzero_pd()}; }
+  static VecAvx512 broadcast(double x) noexcept {
+    return {_mm512_set1_pd(x)};
+  }
+  static VecAvx512 load(const double* p) noexcept {
+    return {_mm512_load_pd(p)};
+  }
+  void store(double* p) const noexcept { _mm512_store_pd(p, v); }
+
+  friend VecAvx512 operator+(VecAvx512 a, VecAvx512 b) noexcept {
+    return {_mm512_add_pd(a.v, b.v)};
+  }
+  friend VecAvx512 operator-(VecAvx512 a, VecAvx512 b) noexcept {
+    return {_mm512_sub_pd(a.v, b.v)};
+  }
+  friend VecAvx512 operator*(VecAvx512 a, VecAvx512 b) noexcept {
+    return {_mm512_mul_pd(a.v, b.v)};
+  }
+  friend VecAvx512 operator/(VecAvx512 a, VecAvx512 b) noexcept {
+    return {_mm512_div_pd(a.v, b.v)};
+  }
+  static VecAvx512 select_lt(VecAvx512 a, VecAvx512 b, VecAvx512 x,
+                             VecAvx512 y) noexcept {
+    const __mmask8 mask = _mm512_cmp_pd_mask(a.v, b.v, _CMP_LT_OQ);
+    return {_mm512_mask_blend_pd(mask, y.v, x.v)};
+  }
+};
+#endif  // __AVX512F__
 
 #if defined(__ARM_NEON) && defined(__aarch64__)
 /// W = 2 on aarch64 (NEON is baseline there, no extra -m flag needed).

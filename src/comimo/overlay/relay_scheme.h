@@ -69,10 +69,12 @@ class OverlayRelayScheme {
   /// leg runs at γ_b = ē_b(p, b, mt, mr)/N0 with the constellations the
   /// plan chose.  Relay counts above the STBC design range fall back to
   /// the G4 code on the MISO leg.
+  /// `shards` > 1 splits each leg across worker processes via the
+  /// mc/sharded.h driver — bit-identical to the single-process run.
   [[nodiscard]] OverlayRelayWaveform measure_relay_waveform(
       const OverlayRelayConfig& config, const OverlayRelayEnergies& energies,
       std::size_t blocks = 4000, std::uint64_t seed = 1,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr, std::size_t shards = 1) const;
 
   [[nodiscard]] const MimoEnergyModel& energy_model() const noexcept {
     return mimo_;

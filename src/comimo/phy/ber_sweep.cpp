@@ -10,7 +10,9 @@
 #include "comimo/numeric/simd/simd.h"
 #include "comimo/obs/metrics.h"
 #include "comimo/phy/ber.h"
+#include "comimo/mc/sharded.h"
 #include "comimo/phy/detector.h"
+#include "comimo/phy/hop_batch.h"
 #include "comimo/phy/modulation.h"
 #include "comimo/phy/stbc.h"
 
@@ -163,8 +165,7 @@ std::size_t WaveformBerKernel::run_block_batch(LinkBatchWorkspace& ws,
     for (std::size_t w = 0; w < w_count; ++w) {
       std::uint8_t* dec_out = ws.decoded.data() + w * bits_per_block_;
       for (std::size_t s = 0; s < kk; ++s) {
-        dec_out[s] = ws.est_re[s * w_count + w] < 0.0 ? std::uint8_t{1}
-                                                      : std::uint8_t{0};
+        dec_out[s] = bpsk_hard_bit(ws.est_re[s * w_count + w]);
       }
     }
   } else {
@@ -194,6 +195,17 @@ std::size_t WaveformBerKernel::run_block_batch(LinkBatchWorkspace& ws,
   return errors;
 }
 
+void WaveformBerKernel::prepare_batch(HopBatchWorkspace& ws,
+                                      std::size_t width) const {
+  prepare_batch(ws.link, width);
+}
+
+std::size_t WaveformBerKernel::run_block_batch(HopBatchWorkspace& ws,
+                                               Rng* rngs,
+                                               std::size_t count) const {
+  return run_block_batch(ws.link, rngs, count);
+}
+
 WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
                                       double gamma_b_db) {
   COMIMO_CHECK(config.blocks >= 1, "need at least one block");
@@ -206,31 +218,35 @@ WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
   mc.seed = config.seed;
   mc.chunk_size = config.chunk_size;
   mc.pool = config.pool;
+  const ShardOptions shard_options{config.shards, /*fork=*/true};
 
   // With a vector tier pinned, W consecutive blocks of each chunk run
   // through the batch-SoA kernel; each lane is bit-identical to the
   // scalar run_block on the same (seed, trial) stream and the grouping
   // is worker-count invariant, so both paths produce the same counters
   // — the scalar branch is the W == 1 / kill-switch shape of the same
-  // measurement.
+  // measurement.  Sharding splits the global chunk range across worker
+  // processes and folds per-chunk accumulators in global chunk order,
+  // so the counters are also shard-count invariant (mc/sharded.h).
   const std::size_t width = simd::batch_width();
   const McResult run =
       width > 1
-          ? run_trial_batches(
-                config.blocks, mc, width,
+          ? run_trial_batches_sharded(
+                config.blocks, mc, shard_options, width,
                 [&](std::size_t, std::size_t count, Rng* rngs,
                     McAccumulator& acc) {
-                  // One batch workspace per worker thread, reused across
-                  // every group the thread runs (no allocation at steady
-                  // state).
-                  thread_local LinkBatchWorkspace ws;
+                  // One hop-batch workspace per worker thread, reused
+                  // across every group the thread runs (no allocation at
+                  // steady state).  The waveform probe only exercises
+                  // the long-haul planes (ws.link).
+                  thread_local HopBatchWorkspace ws;
                   kernel.prepare_batch(ws, width);
                   acc.count("bit_errors",
                             kernel.run_block_batch(ws, rngs, count));
                   acc.count("bits", bits_per_block * count);
                 })
-          : run_trials(
-                config.blocks, mc,
+          : run_trials_sharded(
+                config.blocks, mc, shard_options,
                 [&](std::size_t, Rng& rng, McAccumulator& acc) {
                   // One workspace per worker thread, reused across every
                   // block the thread runs; prepare() re-shapes it (no

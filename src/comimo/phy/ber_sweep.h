@@ -20,6 +20,8 @@
 
 namespace comimo {
 
+struct HopBatchWorkspace;
+
 struct WaveformBerConfig {
   int b = 2;            ///< bits per symbol (1..8)
   unsigned mt = 2;      ///< cooperative transmit antennas (1..4)
@@ -28,6 +30,10 @@ struct WaveformBerConfig {
   std::uint64_t seed = 1;
   std::size_t chunk_size = 0;  ///< engine shard size; 0 = auto
   ThreadPool* pool = nullptr;  ///< null = shared pool
+  /// Worker processes: > 1 runs the measurement through the
+  /// multi-process sharding driver (mc/sharded.h); bit-identical to the
+  /// single-process run at any count.
+  std::size_t shards = 1;
 };
 
 struct WaveformBerPoint {
@@ -72,6 +78,14 @@ class WaveformBerKernel {
   /// chunk) falls back to exactly that scalar loop.
   [[nodiscard]] std::size_t run_block_batch(LinkBatchWorkspace& ws,
                                             Rng* rngs,
+                                            std::size_t count) const;
+
+  /// Hop-workspace overloads: the link kernel runs on the embedded link
+  /// planes of a HopBatchWorkspace, so call sites that sometimes run a
+  /// full hop and sometimes a bare link (underlay/overlay/resilience
+  /// measurements) share one per-thread arena type.
+  void prepare_batch(HopBatchWorkspace& ws, std::size_t width) const;
+  [[nodiscard]] std::size_t run_block_batch(HopBatchWorkspace& ws, Rng* rngs,
                                             std::size_t count) const;
 
   [[nodiscard]] std::size_t bits_per_block() const noexcept {

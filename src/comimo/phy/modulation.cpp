@@ -31,7 +31,7 @@ void BpskModulator::demodulate_into(std::span<const cplx> symbols,
                                     BitVec& out) const {
   out.resize(symbols.size());
   for (std::size_t i = 0; i < symbols.size(); ++i) {
-    out[i] = symbols[i].real() < 0.0 ? std::uint8_t{1} : std::uint8_t{0};
+    out[i] = bpsk_hard_bit(symbols[i].real());
   }
 }
 

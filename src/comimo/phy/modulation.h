@@ -19,6 +19,15 @@ namespace comimo {
 /// helpers live in phy/detector.h.
 using BitVec = std::vector<std::uint8_t>;
 
+/// The BPSK hard-decision sign rule: negative real part → bit 1, with
+/// +0.0/−0.0 and the boundary both mapping to bit 0 (strict <).  Every
+/// BPSK decode — the scalar Modulator, the batch link kernel, and the
+/// hop batch — must share this helper so the tie semantics cannot
+/// drift between paths.
+[[nodiscard]] constexpr std::uint8_t bpsk_hard_bit(double re) noexcept {
+  return re < 0.0 ? std::uint8_t{1} : std::uint8_t{0};
+}
+
 class Modulator {
  public:
   virtual ~Modulator() = default;

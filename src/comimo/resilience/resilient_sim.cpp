@@ -111,8 +111,10 @@ ResilienceReport simulate_with_faults(const CoMimoNet& net,
   // degrades to serial when this simulation itself runs on a pool
   // worker, so nesting is safe.)  measure_plan_ber rides
   // measure_waveform_ber, so when a vector tier is pinned the probe's
-  // blocks run W lanes at a time through the SIMD batch path — per-lane
-  // bit-identical, so the cached measurements don't depend on the tier.
+  // blocks run W lanes at a time through the hop-batch workspace
+  // (phy/hop_batch.h) — per-lane bit-identical, so the cached
+  // measurements don't depend on the tier (or on the shard count, were
+  // the probe ever sharded; it runs single-process here).
   std::map<std::tuple<int, unsigned, unsigned, double>, PlanBerMeasurement>
       waveform_cache;
   const auto probe_waveform = [&](const UnderlayHopPlan& hop_plan) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <optional>
 #include <span>
+#include <type_traits>
 
 #include "comimo/channel/awgn.h"
 #include "comimo/coding/rlnc.h"
@@ -11,11 +13,10 @@
 #include "comimo/common/parallel.h"
 #include "comimo/common/units.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/numeric/simd/simd.h"
 #include "comimo/obs/trace.h"
 #include "comimo/phy/detector.h"
 #include "comimo/phy/link_workspace.h"
-#include "comimo/phy/modulation.h"
-#include "comimo/phy/stbc.h"
 
 namespace comimo {
 
@@ -47,20 +48,331 @@ HopObs& hop_obs() {
   return o;
 }
 
-/// Per-worker buffer arena for the hop simulation: the PHY-level
-/// LinkWorkspace plus the hop-level staging the cooperative protocol
-/// needs (per-antenna belief streams carry *different* symbols after
-/// noisy intra-cluster decoding, so the long haul encodes per antenna
-/// instead of through StbcCode::encode_into).  Every buffer is fully
-/// overwritten per block before being read.
-struct HopScratch {
-  LinkWorkspace link;
-  std::vector<std::vector<cplx>> antenna_syms;  ///< per-antenna symbols
-  std::vector<BitVec> antenna_bits;             ///< per-antenna beliefs
-  std::vector<cplx> local_syms;  ///< head-broadcast symbols
-  std::vector<cplx> rx;          ///< noisy local copy per co-transmitter
-  BitVec decoded_all;            ///< long-haul output of one attempt
+/// Per-lane counter-based streams for a group of consecutive blocks:
+/// three data streams keyed off `seed` — each a pure function of the
+/// block index, independent of scheduling — exactly the triple the
+/// historical per-block simulation constructed.  Rng and AwgnChannel
+/// have no default constructors, so the arrays live in raw stack
+/// storage, placement-constructed per group; both types are trivially
+/// destructible, so the group scope needs no cleanup.
+struct LaneStreams {
+  static_assert(std::is_trivially_destructible_v<Rng>);
+  static_assert(std::is_trivially_destructible_v<AwgnChannel>);
+
+  alignas(Rng) unsigned char channel_mem[sizeof(Rng) *
+                                         CoopHopBlockKernel::kMaxLanes];
+  alignas(AwgnChannel) unsigned char
+      long_mem[sizeof(AwgnChannel) * CoopHopBlockKernel::kMaxLanes];
+  alignas(AwgnChannel) unsigned char
+      local_mem[sizeof(AwgnChannel) * CoopHopBlockKernel::kMaxLanes];
+  Rng* channel;
+  AwgnChannel* long_haul;
+  AwgnChannel* local;
+
+  LaneStreams(std::uint64_t seed, double local_noise_var, std::size_t blk0,
+              std::size_t count) noexcept
+      : channel(reinterpret_cast<Rng*>(channel_mem)),
+        long_haul(reinterpret_cast<AwgnChannel*>(long_mem)),
+        local(reinterpret_cast<AwgnChannel*>(local_mem)) {
+    for (std::size_t w = 0; w < count; ++w) {
+      const std::size_t blk = blk0 + w;
+      ::new (static_cast<void*>(channel + w)) Rng(seed, 0x100 + blk * 3);
+      ::new (static_cast<void*>(long_haul + w))
+          AwgnChannel(1.0, Rng(seed, 0x100 + blk * 3 + 1));
+      ::new (static_cast<void*>(local + w))
+          AwgnChannel(local_noise_var, Rng(seed, 0x100 + blk * 3 + 2));
+    }
+  }
 };
+
+}  // namespace
+
+CoopHopBlockKernel::CoopHopBlockKernel(const UnderlayHopPlan& plan,
+                                       double local_snr_db)
+    : modem_(make_modulator(plan.b)),
+      decoder_full_(StbcCode::for_antennas(plan.config.mt)),
+      b_(plan.b),
+      mt_(plan.config.mt),
+      mr_(plan.config.mr),
+      ebar_(plan.ebar),
+      n0_(SystemParams{}.n0_w_per_hz),  // ē_b already encodes p, b, m
+      local_noise_var_(db_to_linear(-local_snr_db)) {
+  COMIMO_CHECK(plan.b >= 1 && plan.b <= 8,
+               "waveform simulation supports b in 1..8");
+  COMIMO_CHECK(mr_ >= 1, "need a receive antenna");
+  bits_per_block_ = decoder_full_.code().symbols_per_block() *
+                    static_cast<std::size_t>(b_);
+}
+
+void CoopHopBlockKernel::prepare_batch(HopBatchWorkspace& ws,
+                                       std::size_t width) const {
+  ws.configure_hop(decoder_full_.code(), mr_, width, bits_per_block_);
+}
+
+void CoopHopBlockKernel::broadcast_lane(HopBatchWorkspace& ws,
+                                        std::size_t lane,
+                                        std::span<const std::uint8_t> bits,
+                                        AwgnChannel& local_noise,
+                                        GroupStats& stats) const {
+  // --- Step 1: head broadcast; each co-transmitter decodes its own
+  // noisy copy (the head itself holds the true bits).
+  std::copy(bits.begin(), bits.end(), ws.belief(0, lane));
+  if (mt_ > 1) {
+    modem_->modulate_into(bits, ws.lane_syms);
+    for (unsigned i = 1; i < mt_; ++i) {
+      ws.lane_rx.assign(ws.lane_syms.begin(), ws.lane_syms.end());
+      local_noise.apply(ws.lane_rx);
+      modem_->demodulate_into(ws.lane_rx, ws.lane_decoded);
+      std::copy(ws.lane_decoded.begin(), ws.lane_decoded.end(),
+                ws.belief(i, lane));
+      stats.intra_errors += count_bit_errors(bits, ws.lane_decoded);
+      stats.intra_bits += bits.size();
+    }
+  }
+}
+
+// Long haul for the active design (the first mt_use belief streams; the
+// head is always antenna 0).  Symbol scaling: the solver's γ_b per unit
+// ‖H‖²_F is ē_b/(N0·mt); with unit noise variance and the code's 1/√mt
+// power split, scaling symbols by √(b·ē_b/N0) reproduces it exactly.
+// Rate-1/2 designs transmit each symbol twice; divide the
+// per-transmission energy by the symbol weight so the *per-bit*
+// received energy equals ē_b.  Degraded blocks chunk into the smaller
+// code's sub-blocks (K divides evenly down the whole G4 → G3 →
+// Alamouti → SISO ladder).
+void CoopHopBlockKernel::long_haul_lane(HopBatchWorkspace& ws,
+                                        std::size_t lane,
+                                        const StbcDecoder& decoder_use,
+                                        Rng& channel_rng,
+                                        AwgnChannel& long_haul_noise,
+                                        AwgnChannel& local_noise) const {
+  const StbcCode& code_use = decoder_use.code();
+  const auto mt_use = static_cast<unsigned>(code_use.num_tx());
+  const std::size_t k_use = code_use.symbols_per_block();
+  const std::size_t t_use = code_use.block_length();
+  const std::size_t sub_bits = k_use * static_cast<std::size_t>(b_);
+  const double sym_scale = std::sqrt(static_cast<double>(b_) * ebar_ / n0_ /
+                                     code_use.symbol_weight());
+  LinkWorkspace& lw = ws.link.lane_ws;
+  lw.configure(code_use, mr_);
+  if (ws.lane_ant_syms.size() < mt_use) ws.lane_ant_syms.resize(mt_use);
+  std::uint8_t* decoded_out = ws.decoded_lane(lane);
+  for (std::size_t sub = 0; sub < bits_per_block_; sub += sub_bits) {
+    // --- Step 2: every antenna encodes its own belief; the receive
+    // cluster observes the superposition through H plus unit noise.
+    for (unsigned i = 0; i < mt_use; ++i) {
+      std::vector<cplx>& syms = ws.lane_ant_syms[i];
+      modem_->modulate_into({ws.belief(i, lane) + sub, sub_bits}, syms);
+      for (auto& v : syms) v *= sym_scale;
+    }
+    random_gaussian_into(lw.h, channel_rng);
+    // Every antenna column carries its own (possibly mis-decoded)
+    // belief, so the block is assembled per antenna instead of via
+    // encode_into; products associate exactly as the batched
+    // stbc_encode_multi kernel, so sums round identically.
+    for (std::size_t t = 0; t < t_use; ++t) {
+      for (unsigned i = 0; i < mt_use; ++i) {
+        cplx c_ti{0.0, 0.0};
+        for (std::size_t k = 0; k < k_use; ++k) {
+          c_ti += code_use.coeff_a(t, i, k) * ws.lane_ant_syms[i][k] +
+                  code_use.coeff_b(t, i, k) *
+                      std::conj(ws.lane_ant_syms[i][k]);
+        }
+        lw.encoded(t, i) = c_ti * code_use.power_scale();
+      }
+    }
+    multiply_transposed_into(lw.encoded, lw.h, lw.received);
+    for (std::size_t t = 0; t < t_use; ++t) {
+      for (unsigned j = 0; j < mr_; ++j) {
+        lw.received(t, j) += long_haul_noise.sample();
+      }
+    }
+
+    // --- Step 3: non-head receivers forward raw samples to the head
+    // over local links (analog forwarding adds local noise); the head
+    // then joint-decodes in place.
+    for (unsigned j = 1; j < mr_; ++j) {
+      for (std::size_t t = 0; t < t_use; ++t) {
+        lw.received(t, j) += local_noise.sample() * sym_scale;
+      }
+    }
+
+    decoder_use.decode_into(lw.h, lw.received, lw.estimates,
+                            lw.decode_scratch);
+    for (auto& v : lw.estimates) v /= sym_scale;
+    modem_->demodulate_into(lw.estimates, lw.decoded);
+    std::copy(lw.decoded.begin(), lw.decoded.end(), decoded_out + sub);
+  }
+}
+
+void CoopHopBlockKernel::long_haul_batch(
+    HopBatchWorkspace& ws, std::size_t count, const StbcDecoder& decoder_use,
+    Rng* channel_rngs, AwgnChannel* long_haul_noises,
+    AwgnChannel* local_noises, const simd::BatchKernels* kernels) const {
+  const simd::BatchKernels& k =
+      kernels ? *kernels : simd::active_kernels();
+  const std::size_t W = count;
+  COMIMO_CHECK(W == k.width && W >= 1 && W <= kMaxLanes,
+               "count must equal the kernel table's lane width");
+  COMIMO_CHECK(ws.width == W,
+               "workspace width must match the kernel lane width");
+  const StbcCode& code_use = decoder_use.code();
+  const std::size_t mt_use = code_use.num_tx();
+  const std::size_t k_use = code_use.symbols_per_block();
+  const std::size_t t_use = code_use.block_length();
+  const std::size_t sub_bits = k_use * static_cast<std::size_t>(b_);
+  const double sym_scale = std::sqrt(static_cast<double>(b_) * ebar_ / n0_ /
+                                     code_use.symbol_weight());
+  ws.configure_long_haul(code_use, mr_, W, sub_bits);
+  LinkBatchWorkspace& lb = ws.link;
+  const cplx* coeff_a = code_use.coeff_a_flat().data();
+  const cplx* coeff_b = code_use.coeff_b_flat().data();
+  const std::size_t rows = 2 * t_use * mr_;
+  const std::size_t cols = 2 * k_use;
+  const int b = modem_->bits_per_symbol();
+
+  for (std::size_t sub = 0; sub < bits_per_block_; sub += sub_bits) {
+    // --- Step 2, W lanes wide.  Modulation stays scalar per lane (a
+    // table lookup); unscaled symbols scatter into the per-antenna SoA
+    // planes, then every arithmetic stage runs as vector ops whose
+    // lanes round exactly like the scalar path above.
+    for (std::size_t i = 0; i < mt_use; ++i) {
+      for (std::size_t w = 0; w < W; ++w) {
+        modem_->modulate_into({ws.belief(i, w) + sub, sub_bits},
+                              lb.lane_ws.symbols);
+        for (std::size_t s = 0; s < k_use; ++s) {
+          ws.ant_sym_re[(i * k_use + s) * W + w] =
+              lb.lane_ws.symbols[s].real();
+          ws.ant_sym_im[(i * k_use + s) * W + w] =
+              lb.lane_ws.symbols[s].imag();
+        }
+      }
+    }
+    k.scale(ws.ant_sym_re.data(), ws.ant_sym_im.data(), mt_use * k_use,
+            sym_scale);
+    simd::random_gaussian_fill_batch(lb.h_re.data(), lb.h_im.data(),
+                                     mr_ * mt_use, W, channel_rngs, 1.0);
+    k.stbc_encode_multi(coeff_a, coeff_b, t_use, mt_use, k_use,
+                        code_use.power_scale(), ws.ant_sym_re.data(),
+                        ws.ant_sym_im.data(), lb.enc_re.data(),
+                        lb.enc_im.data());
+    k.multiply_transposed(lb.enc_re.data(), lb.enc_im.data(), lb.h_re.data(),
+                          lb.h_im.data(), lb.rx_re.data(), lb.rx_im.data(),
+                          t_use, mt_use, mr_);
+    // Noise stays scalar per lane: each lane's AwgnChannel must advance
+    // exactly as in the scalar block, in the scalar element order —
+    // row-major over (t, j) for the long haul…
+    for (std::size_t w = 0; w < W; ++w) {
+      for (std::size_t e = 0; e < t_use * mr_; ++e) {
+        const cplx z = long_haul_noises[w].sample();
+        lb.rx_re[e * W + w] += z.real();
+        lb.rx_im[e * W + w] += z.imag();
+      }
+    }
+    // …and column-major over (j, t) for the step-3 collection links
+    // (the complex·double scale is componentwise, so adding the scaled
+    // components reproduces `received += sample() * sym_scale` exactly).
+    for (std::size_t w = 0; w < W; ++w) {
+      for (unsigned j = 1; j < mr_; ++j) {
+        for (std::size_t t = 0; t < t_use; ++t) {
+          const cplx z = local_noises[w].sample();
+          lb.rx_re[(t * mr_ + j) * W + w] += z.real() * sym_scale;
+          lb.rx_im[(t * mr_ + j) * W + w] += z.imag() * sym_scale;
+        }
+      }
+    }
+
+    // ML decode: the F/y build and the normal-equation dot products are
+    // vectorized; the pivoted solve is data-dependent per lane, so each
+    // lane's gram/rhs is extracted and solved with the scalar
+    // eliminator — the exact code path (and bits) of
+    // StbcDecoder::decode_into.
+    k.stbc_build_fy(coeff_a, coeff_b, t_use, mt_use, k_use, mr_,
+                    code_use.power_scale(), lb.h_re.data(), lb.h_im.data(),
+                    lb.rx_re.data(), lb.rx_im.data(), lb.f.data(),
+                    lb.y.data());
+    k.gram_rhs(lb.f.data(), lb.y.data(), rows, cols, lb.gram.data(),
+               lb.rhs.data());
+    StbcDecodeScratch& sc = lb.solve_scratch;
+    for (std::size_t w = 0; w < W; ++w) {
+      sc.gram.resize(cols, cols);
+      sc.rhs.assign(cols, cplx{0.0, 0.0});
+      for (std::size_t c1 = 0; c1 < cols; ++c1) {
+        for (std::size_t c2 = 0; c2 < cols; ++c2) {
+          sc.gram(c1, c2) = cplx{lb.gram[(c1 * cols + c2) * W + w], 0.0};
+        }
+        sc.rhs[c1] = cplx{lb.rhs[c1 * W + w], 0.0};
+      }
+      sc.gram.solve_into(sc.rhs, sc.x, sc.solve_work);
+      for (std::size_t s = 0; s < k_use; ++s) {
+        lb.est_re[s * W + w] = sc.x[2 * s].real();
+        lb.est_im[s * W + w] = sc.x[2 * s + 1].real();
+      }
+    }
+    k.divide(lb.est_re.data(), lb.est_im.data(), k_use, sym_scale);
+
+    // Hard demapping: BPSK keeps its sign rule, QAM runs the vector
+    // distance argmin and unpacks labels MSB-first like demodulate_into.
+    if (b == 1) {
+      for (std::size_t w = 0; w < W; ++w) {
+        std::uint8_t* dec_out = ws.decoded_lane(w) + sub;
+        for (std::size_t s = 0; s < k_use; ++s) {
+          dec_out[s] = bpsk_hard_bit(lb.est_re[s * W + w]);
+        }
+      }
+    } else {
+      const std::vector<cplx>& points = modem_->constellation();
+      k.qam_nearest(lb.est_re.data(), lb.est_im.data(), k_use, points.data(),
+                    points.size(), lb.labels.data());
+      for (std::size_t w = 0; w < W; ++w) {
+        std::uint8_t* dec_out = ws.decoded_lane(w) + sub;
+        std::size_t pos = 0;
+        for (std::size_t s = 0; s < k_use; ++s) {
+          const std::uint32_t label = lb.labels[s * W + w];
+          for (int bit = b - 1; bit >= 0; --bit) {
+            dec_out[pos++] = static_cast<std::uint8_t>((label >> bit) & 1u);
+          }
+        }
+      }
+    }
+  }
+}
+
+void CoopHopBlockKernel::run_group_serial(HopBatchWorkspace& ws,
+                                          const std::uint8_t* payload,
+                                          std::size_t blk0, std::size_t count,
+                                          std::uint64_t seed,
+                                          const StbcDecoder& decoder_use,
+                                          GroupStats* lane_stats) const {
+  COMIMO_CHECK(count >= 1 && count <= kMaxLanes && count <= ws.width,
+               "group must fit the configured lane width");
+  LaneStreams streams(seed, local_noise_var_, blk0, count);
+  for (std::size_t w = 0; w < count; ++w) {
+    broadcast_lane(ws, w,
+                   {payload + (blk0 + w) * bits_per_block_, bits_per_block_},
+                   streams.local[w], lane_stats[w]);
+    long_haul_lane(ws, w, decoder_use, streams.channel[w],
+                   streams.long_haul[w], streams.local[w]);
+  }
+}
+
+void CoopHopBlockKernel::run_group_batch(
+    HopBatchWorkspace& ws, const std::uint8_t* payload, std::size_t blk0,
+    std::size_t count, std::uint64_t seed, const StbcDecoder& decoder_use,
+    GroupStats* lane_stats, const simd::BatchKernels* kernels) const {
+  COMIMO_CHECK(count >= 1 && count <= kMaxLanes && count <= ws.width,
+               "group must fit the configured lane width");
+  LaneStreams streams(seed, local_noise_var_, blk0, count);
+  for (std::size_t w = 0; w < count; ++w) {
+    broadcast_lane(ws, w,
+                   {payload + (blk0 + w) * bits_per_block_, bits_per_block_},
+                   streams.local[w], lane_stats[w]);
+  }
+  long_haul_batch(ws, count, decoder_use, streams.channel, streams.long_haul,
+                  streams.local, kernels);
+}
+
+namespace {
 
 /// Pushes `payload` through one hop; returns the bits the receiving
 /// head decodes and fills the result's error statistics relative to
@@ -69,10 +381,13 @@ struct HopScratch {
 /// co-transmitter can drop out mid-transfer (→ the remaining antennas
 /// fall one STBC ladder step, reusing the plan's ē_b).
 ///
-/// Blocks run in parallel across `pool`: every block derives all of its
-/// randomness from counter-based streams keyed by (seed, block index),
-/// and per-block outputs merge in block order, so the hop result is
-/// bit-identical on 1 or N workers.
+/// Blocks run in groups of the pinned SIMD lane width, groups in
+/// parallel across `pool`: every block derives all of its randomness
+/// from counter-based streams keyed by (seed, block index), and
+/// per-block outputs merge in block order, so the hop result is
+/// bit-identical on 1 or N workers — and, because each batch lane
+/// reproduces the scalar block's bits exactly, identical at every SIMD
+/// tier and group width too.
 BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
                double local_snr_db, std::uint64_t seed,
                const HopFaultConfig& faults, CoopHopSimResult& result,
@@ -87,110 +402,18 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
     COMIMO_CHECK(faults.max_attempts >= 1, "need at least one attempt");
   }
   const unsigned mt = plan.config.mt;
-  const unsigned mr = plan.config.mr;
   const obs::SpanTimer hop_span("coophop.hop", hop_obs().hop_wall_s);
 
-  const auto modem = make_modulator(plan.b);
-  const StbcCode code = StbcCode::for_antennas(mt);
-  const std::size_t kk = code.symbols_per_block();
-  const std::size_t bits_per_block = kk * static_cast<std::size_t>(plan.b);
-
+  const CoopHopBlockKernel kernel(plan, local_snr_db);
+  const std::size_t bits_per_block = kernel.bits_per_block();
+  const StbcDecoder& decoder_full = kernel.decoder_full();
   // Decoders are immutable and shared across blocks; build them once per
   // hop instead of once per block.  The fault path can drop one
   // co-transmitter, so the degraded design is prebuilt as well.
-  const StbcDecoder decoder_full{code};
   std::optional<StbcDecoder> decoder_degraded;
   if (faults.enabled && mt > 1) {
     decoder_degraded.emplace(StbcCode::for_antennas(mt - 1));
   }
-
-  const SystemParams params{};  // the plan's ē_b already encodes p, b, m
-  const double local_noise_var = db_to_linear(-local_snr_db);
-
-  // Long haul for `mt_use` active antennas (the first mt_use belief
-  // streams; the head is always antenna 0).  Symbol scaling: the
-  // solver's γ_b per unit ‖H‖²_F is ē_b/(N0·mt); with unit noise
-  // variance and the code's 1/√mt power split, scaling symbols by
-  // √(b·ē_b/N0) reproduces it exactly.  Rate-1/2 designs transmit each
-  // symbol twice; divide the per-transmission energy by the symbol
-  // weight so the *per-bit* received energy equals ē_b.  Degraded
-  // blocks chunk into the smaller code's sub-blocks (K divides evenly
-  // down the whole G4 → G3 → Alamouti → SISO ladder).
-  const auto long_haul = [&](const StbcDecoder& decoder_use,
-                             HopScratch& scratch, Rng& channel_rng,
-                             AwgnChannel& long_haul_noise,
-                             AwgnChannel& local_noise) {
-    const StbcCode& code_use = decoder_use.code();
-    const auto mt_use = static_cast<unsigned>(code_use.num_tx());
-    const std::size_t k_use = code_use.symbols_per_block();
-    const std::size_t t_use = code_use.block_length();
-    const std::size_t sub_bits = k_use * static_cast<std::size_t>(plan.b);
-    const double sym_scale =
-        std::sqrt(static_cast<double>(plan.b) * plan.ebar /
-                  params.n0_w_per_hz / code_use.symbol_weight());
-    LinkWorkspace& ws = scratch.link;
-    ws.configure(code_use, mr);
-    if (scratch.antenna_syms.size() < mt_use) {
-      scratch.antenna_syms.resize(mt_use);
-    }
-    const std::vector<BitVec>& antenna_bits = scratch.antenna_bits;
-    BitVec& decoded_all = scratch.decoded_all;
-    decoded_all.clear();
-    for (std::size_t sub = 0; sub < antenna_bits[0].size(); sub += sub_bits) {
-      // --- Step 2: every antenna encodes its own belief; the receive
-      // cluster observes the superposition through H plus unit noise.
-      for (unsigned i = 0; i < mt_use; ++i) {
-        std::vector<cplx>& syms = scratch.antenna_syms[i];
-        modem->modulate_into(std::span<const std::uint8_t>(antenna_bits[i])
-                                 .subspan(sub, sub_bits),
-                             syms);
-        for (auto& v : syms) v *= sym_scale;
-      }
-      random_gaussian_into(ws.h, channel_rng);
-      // Every antenna column carries its own (possibly mis-decoded)
-      // belief, so the block is assembled per antenna instead of via
-      // encode_into; products associate exactly as the historical
-      // inline loop, so sums round identically.
-      for (std::size_t t = 0; t < t_use; ++t) {
-        for (unsigned i = 0; i < mt_use; ++i) {
-          cplx c_ti{0.0, 0.0};
-          for (std::size_t k = 0; k < k_use; ++k) {
-            c_ti += code_use.coeff_a(t, i, k) * scratch.antenna_syms[i][k] +
-                    code_use.coeff_b(t, i, k) *
-                        std::conj(scratch.antenna_syms[i][k]);
-          }
-          ws.encoded(t, i) = c_ti * code_use.power_scale();
-        }
-      }
-      multiply_transposed_into(ws.encoded, ws.h, ws.received);
-      for (std::size_t t = 0; t < t_use; ++t) {
-        for (unsigned j = 0; j < mr; ++j) {
-          ws.received(t, j) += long_haul_noise.sample();
-        }
-      }
-
-      // --- Step 3: non-head receivers forward raw samples to the head
-      // over local links (analog forwarding adds local noise); the head
-      // then joint-decodes in place.
-      for (unsigned j = 1; j < mr; ++j) {
-        for (std::size_t t = 0; t < t_use; ++t) {
-          ws.received(t, j) += local_noise.sample() * sym_scale;
-        }
-      }
-
-      decoder_use.decode_into(ws.h, ws.received, ws.estimates,
-                              ws.decode_scratch);
-      for (auto& v : ws.estimates) v /= sym_scale;
-      // Blocks here cannot batch across lanes (the AwgnChannel streams
-      // are sequential per block and ARQ retransmissions diverge per
-      // lane), but the demod distance argmin below vectorizes across
-      // the symbols of this block via the pinned SIMD tier —
-      // bit-identical labels, see QamModulator::demodulate_into.
-      modem->demodulate_into(ws.estimates, ws.decoded);
-      decoded_all.insert(decoded_all.end(), ws.decoded.begin(),
-                         ws.decoded.end());
-    }
-  };
 
   const BitVec padded = pad_to_multiple(payload, bits_per_block);
   const std::size_t num_blocks = padded.size() / bits_per_block;
@@ -205,79 +428,126 @@ BitVec run_hop(const UnderlayHopPlan& plan, const BitVec& payload,
   };
   std::vector<BlockOut> outs(num_blocks);
 
-  const auto run_block = [&](std::size_t blk) {
-    BlockOut& slot = outs[blk];
-    // One arena per worker thread, reused for every block the thread
-    // executes; each block fully overwrites what it reads.
-    thread_local HopScratch scratch;
-    // Counter-based per-block streams: three data streams keyed off
-    // `seed` plus a fault stream keyed off `faults.seed` — each a pure
-    // function of the block index, independent of scheduling.
-    Rng channel_rng(seed, 0x100 + blk * 3);
-    AwgnChannel long_haul_noise(1.0, Rng(seed, 0x100 + blk * 3 + 1));
-    AwgnChannel local_noise(local_noise_var, Rng(seed, 0x100 + blk * 3 + 2));
-    Rng fault_rng(faults.seed, 0xFA000 + blk);
+  // Blocks travel in groups of the pinned SIMD lane width.  A group
+  // whose lanes share one control flow — no faults, or RLNC mode with a
+  // uniform degrade state (the dropout predicate is monotone in the
+  // block index, so only the group straddling dropout_block mixes) —
+  // runs the W-wide long haul; everything else (ARQ retransmission
+  // divergence, ragged tails, the mixed group) takes the bit-identical
+  // lane-serial path.
+  const std::size_t group =
+      std::max<std::size_t>(std::size_t{1}, simd::batch_width());
+  const std::size_t num_groups = (num_blocks + group - 1) / group;
 
-    const std::size_t off = blk * bits_per_block;
-    const std::span<const std::uint8_t> bits(padded.data() + off,
-                                             bits_per_block);
+  const auto run_group = [&](std::size_t g) {
+    const std::size_t blk0 = g * group;
+    const std::size_t count = std::min(group, num_blocks - blk0);
+    // One arena per worker thread, reused for every group the thread
+    // executes; each group fully overwrites what it reads.
+    thread_local HopBatchWorkspace ws;
+    kernel.prepare_batch(ws, group);
 
-    // --- Step 1: head broadcast; each co-transmitter decodes its own
-    // noisy copy (the head itself holds the true bits).
-    if (scratch.antenna_bits.size() < mt) scratch.antenna_bits.resize(mt);
-    scratch.antenna_bits[0].assign(bits.begin(), bits.end());
-    if (mt > 1) {
-      modem->modulate_into(bits, scratch.local_syms);
-      for (unsigned i = 1; i < mt; ++i) {
-        scratch.rx.assign(scratch.local_syms.begin(),
-                          scratch.local_syms.end());
-        local_noise.apply(scratch.rx);
-        modem->demodulate_into(scratch.rx, scratch.antenna_bits[i]);
-        slot.intra_errors += count_bit_errors(bits, scratch.antenna_bits[i]);
-        slot.intra_bits += bits.size();
+    bool batchable = count == group && group > 1;
+    bool degrade_all = false;
+    if (batchable && faults.enabled) {
+      if (!faults.rlnc) {
+        batchable = false;  // ARQ attempt counts diverge per lane
+      } else {
+        const bool first = blk0 >= faults.dropout_block && mt > 1;
+        const bool last = blk0 + count - 1 >= faults.dropout_block && mt > 1;
+        batchable = first == last;
+        degrade_all = first;
       }
     }
 
-    if (!faults.enabled) {
-      long_haul(decoder_full, scratch, channel_rng, long_haul_noise,
-                local_noise);
-    } else if (faults.rlnc) {
-      // Coded repair mode: one send, one erasure draw, no retries — the
-      // serial per-generation repair pass below rebuilds erased blocks.
-      const bool degrade = blk >= faults.dropout_block && mt > 1;
-      if (degrade) ++slot.res.degraded_blocks;
-      ++slot.res.blocks;
-      long_haul(degrade ? *decoder_degraded : decoder_full, scratch,
-                channel_rng, long_haul_noise, local_noise);
-      slot.erased = fault_rng.bernoulli(faults.block_erasure_prob);
-    } else {
-      const bool degrade = blk >= faults.dropout_block && mt > 1;
-      if (degrade) ++slot.res.degraded_blocks;
-      ++slot.res.blocks;
-      const StbcDecoder& decoder_use =
-          degrade ? *decoder_degraded : decoder_full;
-      bool got_through = false;
-      unsigned attempts = 0;
-      while (attempts < faults.max_attempts) {
-        long_haul(decoder_use, scratch, channel_rng, long_haul_noise,
-                  local_noise);
-        ++attempts;
-        if (!fault_rng.bernoulli(faults.block_erasure_prob)) {
-          got_through = true;
-          break;
+    if (batchable) {
+      CoopHopBlockKernel::GroupStats
+          lane_stats[CoopHopBlockKernel::kMaxLanes]{};
+      kernel.run_group_batch(ws, padded.data(), blk0, count, seed,
+                             degrade_all ? *decoder_degraded : decoder_full,
+                             lane_stats);
+      for (std::size_t w = 0; w < count; ++w) {
+        const std::size_t blk = blk0 + w;
+        BlockOut& slot = outs[blk];
+        slot.intra_errors = lane_stats[w].intra_errors;
+        slot.intra_bits = lane_stats[w].intra_bits;
+        const std::uint8_t* dec = ws.decoded_lane(w);
+        slot.decoded.assign(dec, dec + bits_per_block);
+        if (faults.enabled) {  // RLNC mode here by construction
+          if (degrade_all) ++slot.res.degraded_blocks;
+          ++slot.res.blocks;
+          Rng fault_rng(faults.seed, 0xFA000 + blk);
+          slot.erased = fault_rng.bernoulli(faults.block_erasure_prob);
         }
       }
-      if (attempts > 1) ++slot.res.retransmitted_blocks;
-      if (!got_through) {
-        scratch.decoded_all.assign(bits_per_block, 0);  // never arrived
-        ++slot.res.lost_blocks;
+      return;
+    }
+
+    // Lane-serial path: the historical per-block flow, one lane per
+    // block (each block owns its streams, so running the group's
+    // blocks sequentially is the original schedule).
+    LaneStreams streams(seed, kernel.local_noise_var(), blk0, count);
+    for (std::size_t w = 0; w < count; ++w) {
+      const std::size_t blk = blk0 + w;
+      BlockOut& slot = outs[blk];
+      Rng fault_rng(faults.seed, 0xFA000 + blk);
+
+      CoopHopBlockKernel::GroupStats st;
+      kernel.broadcast_lane(
+          ws, w, {padded.data() + blk * bits_per_block, bits_per_block},
+          streams.local[w], st);
+      slot.intra_errors = st.intra_errors;
+      slot.intra_bits = st.intra_bits;
+
+      if (!faults.enabled) {
+        kernel.long_haul_lane(ws, w, decoder_full, streams.channel[w],
+                              streams.long_haul[w], streams.local[w]);
+        const std::uint8_t* dec = ws.decoded_lane(w);
+        slot.decoded.assign(dec, dec + bits_per_block);
+      } else if (faults.rlnc) {
+        // Coded repair mode: one send, one erasure draw, no retries —
+        // the serial per-generation repair pass below rebuilds erased
+        // blocks.
+        const bool degrade = blk >= faults.dropout_block && mt > 1;
+        if (degrade) ++slot.res.degraded_blocks;
+        ++slot.res.blocks;
+        kernel.long_haul_lane(ws, w,
+                              degrade ? *decoder_degraded : decoder_full,
+                              streams.channel[w], streams.long_haul[w],
+                              streams.local[w]);
+        slot.erased = fault_rng.bernoulli(faults.block_erasure_prob);
+        const std::uint8_t* dec = ws.decoded_lane(w);
+        slot.decoded.assign(dec, dec + bits_per_block);
+      } else {
+        const bool degrade = blk >= faults.dropout_block && mt > 1;
+        if (degrade) ++slot.res.degraded_blocks;
+        ++slot.res.blocks;
+        const StbcDecoder& decoder_use =
+            degrade ? *decoder_degraded : decoder_full;
+        bool got_through = false;
+        unsigned attempts = 0;
+        while (attempts < faults.max_attempts) {
+          kernel.long_haul_lane(ws, w, decoder_use, streams.channel[w],
+                                streams.long_haul[w], streams.local[w]);
+          ++attempts;
+          if (!fault_rng.bernoulli(faults.block_erasure_prob)) {
+            got_through = true;
+            break;
+          }
+        }
+        if (attempts > 1) ++slot.res.retransmitted_blocks;
+        if (got_through) {
+          const std::uint8_t* dec = ws.decoded_lane(w);
+          slot.decoded.assign(dec, dec + bits_per_block);
+        } else {
+          slot.decoded.assign(bits_per_block, 0);  // never arrived
+          ++slot.res.lost_blocks;
+        }
       }
     }
-    slot.decoded.assign(scratch.decoded_all.begin(),
-                        scratch.decoded_all.end());
   };
 
-  parallel_for(pool ? *pool : ThreadPool::shared(), num_blocks, run_block);
+  parallel_for(pool ? *pool : ThreadPool::shared(), num_groups, run_group);
 
   // RLNC repair pass (serial, post-merge-order, pool-size independent):
   // each generation of consecutive blocks is a rank-tracking decoder —

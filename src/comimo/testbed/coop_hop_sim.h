@@ -18,13 +18,24 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "comimo/phy/hop_batch.h"
+#include "comimo/phy/modulation.h"
+#include "comimo/phy/stbc.h"
 #include "comimo/underlay/cooperative_hop.h"
 
 namespace comimo {
 
+class AwgnChannel;
+class Rng;
 class ThreadPool;
+
+namespace simd {
+struct BatchKernels;
+}  // namespace simd
 
 /// Waveform-level fault injection, off by default (the zero-fault path
 /// is bit-identical to the original simulation — no extra RNG draws).
@@ -85,6 +96,105 @@ struct CoopHopSimResult {
   /// mis-decoded (step-1 DF impairment).
   double intra_error_rate = 0.0;
   HopResilienceStats resilience{};  ///< zeros when faults are off
+};
+
+/// The per-block hop pipeline packaged as a reusable kernel, lane-wide:
+/// construction fixes the plan (modem, full STBC design, energies) and
+/// the intra-cluster SNR; the methods then execute the three-step hop —
+/// head broadcast, per-antenna long-haul STBC, analog collection — for
+/// W independent blocks on a caller-owned HopBatchWorkspace.
+///
+/// Two equivalent group drivers:
+///   * run_group_serial — every lane through the historical scalar
+///     per-block path (the reference, and the ragged-tail fallback);
+///   * run_group_batch  — lane-serial broadcast (sequential AwgnChannel
+///     streams), then the W-wide SoA long haul on the batch kernels.
+/// Both derive each lane's randomness from the same counter-based
+/// (seed, block-index) streams as the historical simulation, and the
+/// batch long haul preserves every rounding of the scalar one (the
+/// simd/ bit-identity contract), so lane w of either driver is
+/// bit-identical to the original run_block on block blk0 + w —
+/// asserted lane-bitwise by tests/test_hop_batch.cpp at every tier.
+class CoopHopBlockKernel {
+ public:
+  /// The widest group the stack-allocated per-lane stream arrays carry
+  /// (= the widest SIMD tier, AVX-512's W = 8).
+  static constexpr std::size_t kMaxLanes = 8;
+
+  CoopHopBlockKernel(const UnderlayHopPlan& plan, double local_snr_db);
+
+  /// Per-lane step-1 statistics (summed over a lane's co-transmitters).
+  struct GroupStats {
+    std::size_t intra_errors = 0;
+    std::size_t intra_bits = 0;
+  };
+
+  /// Shapes `ws` for this kernel's full design at `width` lanes.
+  void prepare_batch(HopBatchWorkspace& ws, std::size_t width) const;
+
+  /// Step 1 for one lane: the head's true bits become belief 0; each
+  /// co-transmitter hard-decides its noisy broadcast copy into beliefs
+  /// 1..mt−1, consuming `local_noise` exactly like the historical block.
+  void broadcast_lane(HopBatchWorkspace& ws, std::size_t lane,
+                      std::span<const std::uint8_t> bits,
+                      AwgnChannel& local_noise, GroupStats& stats) const;
+
+  /// Steps 2–3 for one lane through the scalar path (LinkWorkspace
+  /// math), writing the head's decode into ws.decoded_lane(lane).
+  /// `decoder_use` may be a ladder-degraded design; sub-blocks then
+  /// chunk accordingly.  Safe to call repeatedly on one lane (ARQ
+  /// retransmission attempts — fresh channel/noise from the streams).
+  void long_haul_lane(HopBatchWorkspace& ws, std::size_t lane,
+                      const StbcDecoder& decoder_use, Rng& channel_rng,
+                      AwgnChannel& long_haul_noise,
+                      AwgnChannel& local_noise) const;
+
+  /// Steps 2–3 for `count` lanes at once on the batch kernels (`count`
+  /// must equal the kernel table's lane width).  One stream triple per
+  /// lane, consumed in the scalar draw order.  `kernels` defaults to
+  /// the pinned simd::active_kernels(); tests pass explicit tiers.
+  void long_haul_batch(HopBatchWorkspace& ws, std::size_t count,
+                       const StbcDecoder& decoder_use, Rng* channel_rngs,
+                       AwgnChannel* long_haul_noises,
+                       AwgnChannel* local_noises,
+                       const simd::BatchKernels* kernels = nullptr) const;
+
+  /// `count` consecutive blocks (blk0, blk0+1, …) of `payload` through
+  /// the scalar per-lane path, streams constructed internally from
+  /// (seed, block index).  lane_stats receives `count` entries.
+  void run_group_serial(HopBatchWorkspace& ws, const std::uint8_t* payload,
+                        std::size_t blk0, std::size_t count,
+                        std::uint64_t seed, const StbcDecoder& decoder_use,
+                        GroupStats* lane_stats) const;
+
+  /// The batched equivalent of run_group_serial — bit-identical per
+  /// lane; `count` must equal the kernel table's lane width.
+  void run_group_batch(HopBatchWorkspace& ws, const std::uint8_t* payload,
+                       std::size_t blk0, std::size_t count,
+                       std::uint64_t seed, const StbcDecoder& decoder_use,
+                       GroupStats* lane_stats,
+                       const simd::BatchKernels* kernels = nullptr) const;
+
+  [[nodiscard]] std::size_t bits_per_block() const noexcept {
+    return bits_per_block_;
+  }
+  [[nodiscard]] const StbcDecoder& decoder_full() const noexcept {
+    return decoder_full_;
+  }
+  [[nodiscard]] double local_noise_var() const noexcept {
+    return local_noise_var_;
+  }
+
+ private:
+  std::unique_ptr<Modulator> modem_;
+  StbcDecoder decoder_full_;
+  int b_ = 1;
+  unsigned mt_ = 1;
+  unsigned mr_ = 1;
+  double ebar_ = 0.0;
+  double n0_ = 0.0;
+  double local_noise_var_ = 0.0;
+  std::size_t bits_per_block_ = 0;
 };
 
 /// Runs the hop.  Requires plan.b ≤ 8 (the waveform modulators' range);

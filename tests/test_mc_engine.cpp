@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "comimo/mc/accumulator.h"
+#include "comimo/mc/sharded.h"
 #include "comimo/net/comimonet.h"
 #include "comimo/net/lifetime.h"
 #include "comimo/phy/ber_sweep.h"
@@ -228,6 +229,137 @@ TEST(McEngine, NestedRunTrialsDegradesToSerial) {
         acc.observe("inner_mean", in.acc.stat("x").mean());
       });
   EXPECT_TRUE(nested.acc == serial.acc);
+}
+
+// ---------------------------------------------------------------------
+// Multi-process sharding: chunk-range split + ordinal-ordered fold.
+// ---------------------------------------------------------------------
+
+TEST(McEngineShards, ManualShardFoldIsBitwiseEqualToUnsharded) {
+  // Shard i executes the chunk range [chunks·i/n, chunks·(i+1)/n); the
+  // ranges are contiguous and ascending, so concatenating each shard's
+  // per-chunk accumulators in shard order IS the global chunk order,
+  // and the fold must reproduce the unsharded Welford merge bitwise.
+  McConfig base;
+  base.seed = 21;
+  base.chunk_size = 16;
+  const McResult want = run_trials(300, base, mixed_trial);
+  const std::size_t chunks = (300 + base.chunk_size - 1) / base.chunk_size;
+  for (const std::size_t shards : {2u, 3u, 7u}) {
+    McAccumulator fold;
+    std::vector<std::size_t> ordinals;
+    for (std::size_t i = 0; i < shards; ++i) {
+      McConfig cfg = base;
+      cfg.shard_index = i;
+      cfg.shard_count = shards;
+      cfg.collect_chunk_accs = true;
+      const McResult part = run_trials(300, cfg, mixed_trial);
+      for (const auto& [ordinal, acc] : part.chunk_accs) {
+        ordinals.push_back(ordinal);
+        fold.merge(acc);
+      }
+    }
+    EXPECT_TRUE(fold == want.acc) << shards << " shards";
+    // Concatenated in shard order, the ordinals must be exactly
+    // 0..chunks-1 ascending: a partition with no gap and no overlap.
+    ASSERT_EQ(ordinals.size(), chunks) << shards << " shards";
+    for (std::size_t c = 0; c < chunks; ++c) {
+      EXPECT_EQ(ordinals[c], c) << shards << " shards";
+    }
+  }
+}
+
+TEST(McEngineShards, RunTrialsShardedMatchesPlainRun) {
+  // Both transports — in-process sequential and fork + pipe — must
+  // return the plain run's accumulator bit for bit.
+  McConfig cfg;
+  cfg.seed = 31;
+  const McResult want = run_trials(500, cfg, mixed_trial);
+  for (const bool fork : {false, true}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{5}}) {
+      ShardOptions opt;
+      opt.shards = shards;
+      opt.fork = fork;
+      const McResult got = run_trials_sharded(500, cfg, opt, mixed_trial);
+      EXPECT_TRUE(got.acc == want.acc)
+          << shards << " shards, fork=" << fork;
+      EXPECT_EQ(got.info.trials, want.info.trials);
+    }
+  }
+}
+
+TEST(McEngineShards, ShardsAndThreadsComposeBitwise) {
+  // threads × shards: each forked worker rebuilds a private pool of the
+  // parent's size, and chunk ordinals stay global — the composition
+  // must equal the plain serial run exactly.
+  McConfig serial;
+  serial.seed = 47;
+  const McResult want = run_trials(400, serial, mixed_trial);
+  ThreadPool pool(3);
+  McConfig cfg = serial;
+  cfg.pool = &pool;
+  ShardOptions opt;
+  opt.shards = 2;
+  const McResult got = run_trials_sharded(400, cfg, opt, mixed_trial);
+  EXPECT_TRUE(got.acc == want.acc);
+  EXPECT_EQ(got.info.threads, 3u);
+}
+
+TEST(McEngineShards, RunTrialBatchesShardedMatchesUnsharded) {
+  const auto batch_trial = [](std::size_t, std::size_t count, Rng* rngs,
+                              McAccumulator& acc) {
+    for (std::size_t i = 0; i < count; ++i) {
+      acc.count("heads", rngs[i].bernoulli(0.5) ? 1 : 0);
+      acc.observe("g", rngs[i].complex_gaussian().real());
+    }
+    acc.count("trials", count);
+  };
+  McConfig cfg;
+  cfg.seed = 53;
+  const McResult want = run_trial_batches(333, cfg, 4, batch_trial);
+  for (const std::size_t shards : {2u, 4u}) {
+    ShardOptions opt;
+    opt.shards = shards;
+    const McResult got =
+        run_trial_batches_sharded(333, cfg, opt, 4, batch_trial);
+    EXPECT_TRUE(got.acc == want.acc) << shards << " shards";
+    EXPECT_EQ(got.acc.counter("trials"), 333u);
+  }
+}
+
+TEST(McEngineShards, MoreShardsThanChunksStillCovers) {
+  // Surplus shards receive empty chunk ranges and contribute nothing;
+  // coverage and bit-identity must survive.
+  McConfig cfg;
+  cfg.seed = 61;
+  cfg.chunk_size = 50;  // 2 chunks for 100 trials, 8 shards
+  const McResult want = run_trials(100, cfg, mixed_trial);
+  ShardOptions opt;
+  opt.shards = 8;
+  const McResult got = run_trials_sharded(100, cfg, opt, mixed_trial);
+  EXPECT_TRUE(got.acc == want.acc);
+  EXPECT_EQ(got.acc.counter("trials"), 100u);
+}
+
+TEST(McEngineShards, ShardedWaveformSweepIsShardCountInvariant) {
+  // The production call site: measure_waveform_ber with shards > 1 must
+  // return the single-process integers exactly.
+  WaveformBerConfig cfg;
+  cfg.b = 2;
+  cfg.mt = 2;
+  cfg.mr = 2;
+  cfg.blocks = 400;
+  cfg.seed = 71;
+  const WaveformBerPoint want = measure_waveform_ber(cfg, 6.0);
+  for (const std::size_t shards : {2u, 3u}) {
+    WaveformBerConfig sharded_cfg = cfg;
+    sharded_cfg.shards = shards;
+    const WaveformBerPoint got = measure_waveform_ber(sharded_cfg, 6.0);
+    EXPECT_EQ(got.bit_errors, want.bit_errors) << shards << " shards";
+    EXPECT_EQ(got.bits, want.bits) << shards << " shards";
+    EXPECT_DOUBLE_EQ(got.ber, want.ber) << shards << " shards";
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -35,7 +35,8 @@ using simd::Tier;
 // COMIMO_SIMD=OFF or on a CPU without any compiled backend.
 std::vector<const BatchKernels*> vector_tiers() {
   std::vector<const BatchKernels*> out;
-  for (const Tier t : {Tier::kSse2, Tier::kAvx2, Tier::kNeon}) {
+  for (const Tier t :
+       {Tier::kSse2, Tier::kAvx2, Tier::kAvx512, Tier::kNeon}) {
     if (const BatchKernels* k = simd::kernels_for_tier(t)) out.push_back(k);
   }
   return out;
@@ -77,7 +78,12 @@ TEST(SimdBatch, ScalarTierIsAlwaysAvailable) {
   EXPECT_STREQ(simd::tier_name(Tier::kScalar), "scalar");
   EXPECT_STREQ(simd::tier_name(Tier::kSse2), "sse2");
   EXPECT_STREQ(simd::tier_name(Tier::kAvx2), "avx2");
+  EXPECT_STREQ(simd::tier_name(Tier::kAvx512), "avx512");
   EXPECT_STREQ(simd::tier_name(Tier::kNeon), "neon");
+  // The AVX-512 table, when compiled in and runnable, carries 8 lanes.
+  if (const BatchKernels* k = simd::kernels_for_tier(Tier::kAvx512)) {
+    EXPECT_EQ(k->width, 8u);
+  }
   // Whatever detection picks must actually be runnable here.
   EXPECT_NE(simd::kernels_for_tier(simd::detect_best_tier()), nullptr);
 }
