@@ -1,0 +1,322 @@
+// Load generator for the long-lived simulation service (service/).
+//
+// Three phases, each against a fresh in-process daemon on its own
+// AF_UNIX socket:
+//
+//   load         -- N client sessions pipeline a mixed job stream
+//                   (waveform_ber / ebbar_min / ping) and drain the
+//                   replies; reports throughput and the daemon's
+//                   p50/p99 job latency.
+//   backpressure -- a 1-worker, 2-slot daemon is flooded with stall
+//                   jobs; the rejected count must be positive and the
+//                   accounting identity submitted == accepted +
+//                   rejected must hold (the check_bench_json.sh gate).
+//   replay       -- the same session seed and request sequence runs
+//                   twice (fresh connection each time) on a 4-worker
+//                   daemon; replay_identical = 1 iff every kResult
+//                   payload matched byte for byte.
+//
+// Flags: the shared bench CLI (--json, --threads => service workers,
+// --trials => jobs per client, --obs) plus --clients <n> and
+// --queue <n>.  The committed BENCH_service_load.json is written by
+// scripts/reproduce.sh from this binary.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comimo/common/bench_json.h"
+#include "comimo/common/table.h"
+#include "comimo/service/client.h"
+#include "comimo/service/daemon.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace comimo;
+using namespace comimo::service;
+
+namespace {
+
+std::string socket_path(const char* phase) {
+#if defined(__unix__) || defined(__APPLE__)
+  return "/tmp/comimo_svc_load_" + std::to_string(::getpid()) + "_" + phase +
+         ".sock";
+#else
+  return std::string("comimo_svc_load_") + phase + ".sock";
+#endif
+}
+
+EbBarTable::Spec small_ebbar_spec() {
+  EbBarTable::Spec spec;
+  spec.ber_targets = {1e-2, 1e-3};
+  spec.b_min = 1;
+  spec.b_max = 4;
+  spec.m_max = 2;
+  return spec;
+}
+
+JobSpec mixed_job(std::size_t i) {
+  switch (i % 4) {
+    case 0: {
+      JobSpec spec;
+      spec.kind = "waveform_ber";
+      spec.params = {{"b", "2"},
+                     {"mt", "2"},
+                     {"mr", "2"},
+                     {"blocks", "300"},
+                     {"gamma_b_db", "6"},
+                     {"seed", std::to_string(i)}};
+      return spec;
+    }
+    case 1: {
+      JobSpec spec;
+      spec.kind = "ebbar_min";
+      spec.params = {{"p", "1e-3"}, {"mt", "2"}, {"mr", "2"}};
+      return spec;
+    }
+    case 2: {
+      JobSpec spec;
+      spec.kind = "net_churn";
+      spec.params = {{"nodes", "150"},
+                     {"rounds", "3"},
+                     {"kill_per_round", "6"},
+                     {"seed", std::to_string(i)}};
+      return spec;
+    }
+    default:
+      return JobSpec{"ping", {}};
+  }
+}
+
+Json stats_metrics(const ServiceDaemon::Stats& stats, double wall_s,
+                   std::size_t ok, std::size_t errors) {
+  Json metrics = Json::object();
+  metrics.set("jobs_submitted", stats.jobs_submitted);
+  metrics.set("jobs_accepted", stats.jobs_accepted);
+  metrics.set("jobs_rejected", stats.jobs_rejected);
+  metrics.set("jobs_completed", stats.jobs_completed);
+  metrics.set("jobs_failed", stats.jobs_failed);
+  metrics.set("replies_ok", static_cast<std::uint64_t>(ok));
+  metrics.set("replies_error", static_cast<std::uint64_t>(errors));
+  metrics.set("latency_p50_ms", stats.latency_p50_ms);
+  metrics.set("latency_p99_ms", stats.latency_p99_ms);
+  metrics.set("throughput_jobs_per_s",
+              wall_s > 0.0
+                  ? static_cast<double>(stats.jobs_completed) / wall_s
+                  : 0.0);
+  return metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!sockets_available()) {
+    std::cout << "service_load: no AF_UNIX sockets on this platform\n";
+    return 0;
+  }
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  std::size_t clients = 4;
+  std::size_t queue = 32;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0) {
+      clients = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      queue = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  clients = std::max<std::size_t>(1, clients);
+  const std::size_t jobs_per_client = cli.trials ? cli.trials : 40;
+  const unsigned workers = cli.threads ? cli.threads : 2;
+
+  BenchReporter reporter("service_load");
+  reporter.set_threads(workers);
+  TextTable table({"phase", "submitted", "accepted", "rejected", "p50 [ms]",
+                   "p99 [ms]", "jobs/s"});
+
+  // ---- phase 1: mixed load ------------------------------------------
+  {
+    ServiceConfig cfg;
+    cfg.socket_path = socket_path("load");
+    cfg.service_workers = workers;
+    cfg.mc_threads = 1;
+    cfg.queue_capacity = std::max<std::size_t>(1, queue);
+    cfg.ebbar_spec = small_ebbar_spec();
+    ServiceDaemon daemon(cfg);
+
+    std::atomic<std::size_t> ok{0};
+    std::atomic<std::size_t> errors{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ServiceClient client(cfg.socket_path, 1000 + c);
+        // Pipeline in windows so the bounded queue rejects little
+        // under normal load but the socket stays busy.
+        const std::size_t window = 4;
+        std::size_t sent = 0;
+        std::size_t drained = 0;
+        while (drained < jobs_per_client) {
+          while (sent < jobs_per_client && sent - drained < window) {
+            (void)client.submit(mixed_job(sent));
+            ++sent;
+          }
+          const auto reply = client.next_reply();
+          ++drained;
+          if (reply.type == FrameType::kResult) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } else if (reply.type == FrameType::kReject) {
+            // Honor the hint, then resubmit the job we lost.
+            const auto kv = parse_kv_text(reply.body);
+            const auto it = kv.find("retry_after_ms");
+            const unsigned long wait_ms =
+                it == kv.end() ? 10UL
+                               : std::strtoul(it->second.c_str(), nullptr, 10);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(std::min(wait_ms, 100UL)));
+            --sent;  // account: one fewer in flight
+            (void)client.submit(mixed_job(sent));
+            ++sent;
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    const auto stats = daemon.stats();
+    daemon.stop();
+
+    table.add_row({"load", std::to_string(stats.jobs_submitted),
+               std::to_string(stats.jobs_accepted),
+               std::to_string(stats.jobs_rejected),
+               std::to_string(stats.latency_p50_ms),
+               std::to_string(stats.latency_p99_ms),
+               std::to_string(static_cast<double>(stats.jobs_completed) /
+                              std::max(wall_s, 1e-9))});
+    Json params = Json::object();
+    params.set("phase", "load");
+    params.set("clients", static_cast<std::uint64_t>(clients));
+    params.set("jobs_per_client",
+               static_cast<std::uint64_t>(jobs_per_client));
+    params.set("service_workers", workers);
+    params.set("queue_capacity", static_cast<std::uint64_t>(queue));
+    reporter.add_record(std::move(params),
+                        stats_metrics(stats, wall_s, ok.load(), errors.load()),
+                        stats.jobs_completed,
+                        static_cast<double>(stats.jobs_completed) /
+                            std::max(wall_s, 1e-9));
+  }
+
+  // ---- phase 2: backpressure ----------------------------------------
+  {
+    ServiceConfig cfg;
+    cfg.socket_path = socket_path("bp");
+    cfg.service_workers = 1;
+    cfg.mc_threads = 1;
+    cfg.queue_capacity = 2;
+    cfg.retry_after_ms = 20;
+    cfg.ebbar_spec = small_ebbar_spec();
+    ServiceDaemon daemon(cfg);
+
+    std::atomic<std::size_t> rejected_seen{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    const std::size_t flood_clients = std::max<std::size_t>(2, clients / 2);
+    for (std::size_t c = 0; c < flood_clients; ++c) {
+      threads.emplace_back([&, c] {
+        ServiceClient client(cfg.socket_path, 2000 + c);
+        JobSpec stall;
+        stall.kind = "stall_ms";
+        stall.params["ms"] = "40";
+        const std::size_t burst = 12;
+        for (std::size_t i = 0; i < burst; ++i) (void)client.submit(stall);
+        for (std::size_t i = 0; i < burst; ++i) {
+          if (client.next_reply().type == FrameType::kReject) {
+            rejected_seen.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    const auto stats = daemon.stats();
+    daemon.stop();
+
+    table.add_row({"backpressure", std::to_string(stats.jobs_submitted),
+               std::to_string(stats.jobs_accepted),
+               std::to_string(stats.jobs_rejected),
+               std::to_string(stats.latency_p50_ms),
+               std::to_string(stats.latency_p99_ms), "-"});
+    Json params = Json::object();
+    params.set("phase", "backpressure");
+    params.set("clients", static_cast<std::uint64_t>(flood_clients));
+    params.set("queue_capacity", 2);
+    params.set("service_workers", 1);
+    Json metrics = stats_metrics(stats, wall_s, 0, 0);
+    metrics.set("rejects_observed_by_clients",
+                static_cast<std::uint64_t>(rejected_seen.load()));
+    reporter.add_record(std::move(params), std::move(metrics));
+  }
+
+  // ---- phase 3: replay ----------------------------------------------
+  {
+    ServiceConfig cfg;
+    cfg.socket_path = socket_path("replay");
+    cfg.service_workers = 4;
+    cfg.mc_threads = 1;
+    cfg.queue_capacity = 16;
+    cfg.ebbar_spec = small_ebbar_spec();
+    ServiceDaemon daemon(cfg);
+
+    const auto run_once = [&cfg] {
+      ServiceClient client(cfg.socket_path, 777);
+      std::vector<std::string> out;
+      for (std::size_t i = 0; i < 12; ++i) {
+        out.push_back(client.call(mixed_job(i)).body);
+      }
+      return out;
+    };
+    const auto first = run_once();
+    const auto second = run_once();  // fresh session, same seed
+    const bool identical = first == second;
+    const auto stats = daemon.stats();
+    daemon.stop();
+
+    table.add_row({"replay", std::to_string(stats.jobs_submitted),
+               std::to_string(stats.jobs_accepted),
+               std::to_string(stats.jobs_rejected),
+               std::to_string(stats.latency_p50_ms),
+               std::to_string(stats.latency_p99_ms),
+               identical ? "identical" : "DIVERGED"});
+    Json params = Json::object();
+    params.set("phase", "replay");
+    params.set("service_workers", 4);
+    params.set("session_seed", std::uint64_t{777});
+    Json metrics = stats_metrics(stats, 0.0, 0, 0);
+    metrics.set("replay_identical", identical ? 1 : 0);
+    reporter.add_record(std::move(params), std::move(metrics));
+    if (!identical) {
+      std::cerr << "service_load: replay DIVERGED\n";
+      return 1;
+    }
+  }
+
+  table.print(std::cout);
+  if (!cli.json_path.empty()) {
+    reporter.write_file(cli.json_path);
+    std::cout << "wrote " << cli.json_path << "\n";
+  }
+  return 0;
+}

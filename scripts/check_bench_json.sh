@@ -342,6 +342,57 @@ else
   echo "MISSING  BENCH_rlnc_vs_arq.json (committed artifact)"; fail=1
 fi
 
+# service_load: the daemon's admission accounting must balance in every
+# phase (submitted == accepted + rejected — a lost job would break the
+# identity), the latency reservoir must produce a p99, and the replay
+# phase must report byte-identical result streams.  Run shrunk here;
+# the committed artifact is gated below.
+service_load_gate() {
+  python3 - "$1" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+phases = {r["params"]["phase"]: r["metrics"] for r in d["records"]}
+for need in ("load", "backpressure", "replay"):
+    assert need in phases, f"missing phase record: {need}"
+for phase, m in phases.items():
+    assert m["jobs_submitted"] == m["jobs_accepted"] + m["jobs_rejected"], \
+        f"{phase}: submitted != accepted + rejected: {m}"
+    assert "latency_p99_ms" in m and m["latency_p99_ms"] >= m["latency_p50_ms"] >= 0, \
+        f"{phase}: latency percentiles missing or inverted: {m}"
+bp = phases["backpressure"]
+assert bp["jobs_rejected"] > 0, f"backpressure phase never rejected: {bp}"
+assert phases["replay"]["replay_identical"] == 1, "replay diverged"
+EOF
+}
+
+if [ -x "$BENCH_DIR/service_load" ]; then
+  if "$BENCH_DIR/service_load" --trials 8 \
+      --json "$OUT_DIR/service_load.json" > /dev/null 2>&1 \
+    && validate_v1 "$OUT_DIR/service_load.json" \
+    && service_load_gate "$OUT_DIR/service_load.json"
+  then
+    echo "OK       service_load (schema + admission accounting + replay)"
+  else
+    echo "FAIL     service_load"; fail=1
+  fi
+else
+  echo "MISSING  service_load"; fail=1
+fi
+
+# The committed BENCH_service_load.json is the daemon-robustness claim
+# of record: same gates as the live run.
+if [ -f BENCH_service_load.json ]; then
+  if validate_v1 BENCH_service_load.json \
+    && service_load_gate BENCH_service_load.json
+  then
+    echo "OK       BENCH_service_load.json (accounting identity + p99 + replay)"
+  else
+    echo "FAIL     BENCH_service_load.json"; fail=1
+  fi
+else
+  echo "MISSING  BENCH_service_load.json (committed artifact)"; fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "bench JSON contract: FAILED" >&2
   exit 1

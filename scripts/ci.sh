@@ -27,6 +27,14 @@ COMIMO_NETSCALE=1 ctest --test-dir "$BUILD_DIR" -L netscale \
 echo "== bench JSON contract =="
 scripts/check_bench_json.sh "$BUILD_DIR"
 
+echo "== service smoke: daemon up, load generator, clean shutdown =="
+# The example runs a full demo session (hello, cached ebbar lookup, a
+# forked sharded job, churn) against an in-process daemon and must shut
+# down cleanly; the load generator then drives the three bench phases
+# (mixed load, backpressure rejections, byte-identical replay) shrunk.
+"$BUILD_DIR/examples/example_service_daemon" > /dev/null
+"$BUILD_DIR/bench/service_load" --trials 6 > /dev/null
+
 echo "== clang-tidy (bugprone-* + performance-*) =="
 scripts/check_clang_tidy.sh
 
@@ -60,9 +68,12 @@ cmake --build "$ASAN_DIR" -j "$(nproc)"
 # Gaussian elimination shows up here, not in release runs.
 # SpatialIndex/SpatialGrid/NetworkFuzz exercise the grid walk, the
 # tombstone removal and the incremental re-clustering splice — the
-# pointer-heavy paths where OOB would hide.
+# pointer-heavy paths where OOB would hide.  Service/ServiceWire drive
+# the daemon (sessions, backpressure, vanished clients) and ForkSafety
+# the quiesce-and-fork shard driver — the lifetime bugs this sweep
+# exists for surface as ASan/UBSan reports here.
 ctest --test-dir "$ASAN_DIR" --output-on-failure \
-  -R 'LinkWorkspace|SimdBatch|HopBatch|AlignedAlloc|Galois|Rlnc|GilbertElliott|SpatialIndex|SpatialGrid|NetworkFuzz' \
+  -R 'LinkWorkspace|SimdBatch|HopBatch|AlignedAlloc|Galois|Rlnc|GilbertElliott|SpatialIndex|SpatialGrid|NetworkFuzz|Service|ServiceWire|ForkSafety' \
   -j "$(nproc)"
 
 if [ "${CI_SANITIZE:-0}" = "1" ]; then

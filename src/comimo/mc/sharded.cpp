@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define COMIMO_HAS_FORK 1
+#include <csignal>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -46,6 +48,9 @@ void write_all(int fd, const std::uint8_t* data, std::size_t len) {
     const ssize_t n = ::write(fd, data, len);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // EPIPE (parent died mid-read, SIGPIPE ignored in workers) and
+      // every other write failure surface as an exception the worker's
+      // catch-all turns into a clean _exit(1) — never a signal death.
       throw NumericError("shard worker: pipe write failed");
     }
     data += n;
@@ -116,12 +121,13 @@ McResult run_sharded(std::size_t trials, const McConfig& config,
 #if COMIMO_HAS_FORK
   if (options.fork) {
     forked = true;
-    // The parent pool's worker threads do not survive fork, so each
-    // child builds a private pool of the same size.  Resolve the size
-    // up front (this may instantiate the shared pool — in the parent,
-    // before any fork).
-    const unsigned pool_threads =
-        config.pool ? config.pool->size() : ThreadPool::shared().size();
+    // The parent pool's worker threads do not survive fork; children
+    // run their chunk range inline (see below).  Resolve the parent
+    // size up front for the report envelope (this may instantiate the
+    // shared pool — in the parent, before any fork).
+    ThreadPool& parent_pool =
+        config.pool ? *config.pool : ThreadPool::shared();
+    const unsigned pool_threads = parent_pool.size();
     out.info.threads = pool_threads;
 
     struct Worker {
@@ -130,60 +136,155 @@ McResult run_sharded(std::size_t trials, const McConfig& config,
     };
     std::vector<Worker> workers;
     workers.reserve(options.shards);
-    for (std::size_t s = 0; s < options.shards; ++s) {
-      int fds[2];
-      COMIMO_CHECK(::pipe(fds) == 0, "shard driver: pipe failed");
-      const pid_t pid = ::fork();
-      COMIMO_CHECK(pid >= 0, "shard driver: fork failed");
-      if (pid == 0) {
-        // Worker process: run this shard's chunk range on a private
-        // pool and ship the per-chunk accumulators back.  _exit skips
-        // static destructors — the parent owns the process state.
-        ::close(fds[0]);
-        int status = 0;
-        try {
-          McConfig child = shard_config(config, s, options.shards);
-          ThreadPool child_pool(pool_threads);
-          child.pool = &child_pool;
-          const McResult r = run_one(child);
-          std::vector<std::uint8_t> buf;
-          put_u64(buf, r.chunk_accs.size());
-          for (const auto& [ordinal, acc] : r.chunk_accs) {
-            put_u64(buf, ordinal);
-            acc.serialize(buf);
+
+    // Reap-everything cleanup for a failed spawn loop: no zombies, no
+    // leaked pipe fds, regardless of where pipe()/fork() failed.
+    const auto kill_and_reap_all = [&workers]() noexcept {
+      for (const Worker& w : workers) {
+        if (w.read_fd >= 0) ::close(w.read_fd);
+        if (w.pid > 0) {
+          ::kill(w.pid, SIGKILL);
+          int status = 0;
+          pid_t waited = -1;
+          do {
+            waited = ::waitpid(w.pid, &status, 0);
+          } while (waited < 0 && errno == EINTR);
+        }
+      }
+      workers.clear();
+    };
+
+    {
+      // Hold-and-fork: quiesce the parent's pool and serialize the obs
+      // registry (registry mutex + every gauge cell) across the whole
+      // fork loop.  Any of those mutexes held by a *live parent thread*
+      // at fork() would be locked forever in the child — the child's
+      // first obs gauge set or histogram fold in run_one would
+      // deadlock.  Holding them ourselves puts them in a known state
+      // the child releases explicitly below.
+      std::unique_lock<std::mutex> pool_lock =
+          parent_pool.quiesce_for_fork();
+      obs::MetricRegistry::ForkGuard obs_guard(
+          obs::MetricRegistry::global());
+      for (std::size_t s = 0; s < options.shards; ++s) {
+        int fds[2];
+        if (::pipe(fds) != 0) {
+          kill_and_reap_all();
+          throw NumericError("shard driver: pipe failed");
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+          ::close(fds[0]);
+          ::close(fds[1]);
+          kill_and_reap_all();
+          throw NumericError("shard driver: fork failed");
+        }
+        if (pid == 0) {
+          // Worker process: a single-threaded copy of the forking
+          // thread.  Release the inherited hold-and-fork locks (legal:
+          // this thread is the one that took them), then ignore
+          // SIGPIPE so a dead parent turns pipe writes into EPIPE —
+          // handled as a clean _exit(1), never a signal death the
+          // parent would have to treat as a crash.
+          pool_lock.unlock();
+          obs_guard.unlock_in_child();
+          ::signal(SIGPIPE, SIG_IGN);
+          // Run this shard's chunk range and ship the per-chunk
+          // accumulators back.  _exit skips static destructors — the
+          // parent owns the process state.
+          ::close(fds[0]);
+          int status = 0;
+          try {
+            McConfig child = shard_config(config, s, options.shards);
+            // Never create threads after fork(): a parent thread can
+            // hold a runtime-internal lock (allocator, sanitizer thread
+            // registry) at the fork instant, and a child pthread_create
+            // deadlocks on the inherited copy.  The inline pool runs
+            // the shard's chunks serially on this (only) thread — the
+            // chunk partition and fold order are pool-size invariant,
+            // so the bits cannot change.
+            ThreadPool child_pool{ThreadPool::Inline{}};
+            child.pool = &child_pool;
+            const McResult r = run_one(child);
+            std::vector<std::uint8_t> buf;
+            put_u64(buf, r.chunk_accs.size());
+            for (const auto& [ordinal, acc] : r.chunk_accs) {
+              put_u64(buf, ordinal);
+              acc.serialize(buf);
+            }
+            write_all(fds[1], buf.data(), buf.size());
+          } catch (...) {
+            status = 1;
           }
-          write_all(fds[1], buf.data(), buf.size());
-        } catch (...) {
-          status = 1;
+          ::close(fds[1]);
+          ::_exit(status);
         }
         ::close(fds[1]);
-        ::_exit(status);
+        workers.push_back(Worker{pid, fds[0]});
       }
-      ::close(fds[1]);
-      workers.push_back(Worker{pid, fds[0]});
-    }
+    }  // parent releases the pool lock + obs guard; children run free
 
-    for (const Worker& w : workers) {
-      const std::vector<std::uint8_t> buf = read_until_eof(w.read_fd);
-      ::close(w.read_fd);
+    // Drain and reap EVERY worker before judging any of them: a failed
+    // worker must not leave zombies or open pipes behind the exception.
+    std::vector<std::vector<std::uint8_t>> bufs(workers.size());
+    std::vector<bool> read_ok(workers.size(), true);
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      try {
+        bufs[i] = read_until_eof(workers[i].read_fd);
+      } catch (...) {
+        read_ok[i] = false;
+      }
+      ::close(workers[i].read_fd);
+    }
+    std::string failure;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
       int status = 0;
       pid_t waited = -1;
       do {
-        waited = ::waitpid(w.pid, &status, 0);
+        waited = ::waitpid(workers[i].pid, &status, 0);
       } while (waited < 0 && errno == EINTR);
-      COMIMO_CHECK(waited == w.pid && WIFEXITED(status) &&
-                       WEXITSTATUS(status) == 0,
-                   "shard worker exited abnormally");
-      std::size_t pos = 0;
-      const std::uint64_t n_chunks = get_u64(buf, pos);
-      for (std::uint64_t i = 0; i < n_chunks; ++i) {
-        const std::size_t ordinal =
-            static_cast<std::size_t>(get_u64(buf, pos));
-        chunk_accs.emplace_back(ordinal,
-                                McAccumulator::deserialize(buf, pos));
+      std::string worker_failure;
+      if (waited != workers[i].pid) {
+        worker_failure = "waitpid failed";
+      } else if (WIFSIGNALED(status)) {
+        worker_failure =
+            "killed by signal " + std::to_string(WTERMSIG(status));
+      } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        worker_failure =
+            "exited with status " +
+            std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+      } else if (!read_ok[i]) {
+        worker_failure = "pipe read failed";
+      } else {
+        try {
+          std::size_t pos = 0;
+          const std::uint64_t n_chunks = get_u64(bufs[i], pos);
+          std::vector<std::pair<std::size_t, McAccumulator>> parsed;
+          for (std::uint64_t c = 0; c < n_chunks; ++c) {
+            const std::size_t ordinal =
+                static_cast<std::size_t>(get_u64(bufs[i], pos));
+            parsed.emplace_back(ordinal,
+                                McAccumulator::deserialize(bufs[i], pos));
+          }
+          COMIMO_CHECK(pos == bufs[i].size(),
+                       "trailing bytes in shard wire image");
+          for (auto& entry : parsed) {
+            chunk_accs.push_back(std::move(entry));
+          }
+        } catch (const std::exception& e) {
+          // A worker that died mid-write (or wrote garbage) produces a
+          // truncated image; that is a worker failure, not a
+          // process-fatal contract violation.
+          worker_failure = std::string("malformed wire image (") +
+                           e.what() + ")";
+        }
       }
-      COMIMO_CHECK(pos == buf.size(), "trailing bytes in shard wire image");
+      if (!worker_failure.empty() && failure.empty()) {
+        failure =
+            "shard worker " + std::to_string(i) + ": " + worker_failure;
+      }
     }
+    if (!failure.empty()) throw ShardWorkerError(failure);
   }
 #endif  // COMIMO_HAS_FORK
   if (!forked) {

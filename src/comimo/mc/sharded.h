@@ -19,13 +19,38 @@
 // algebra, same bits, no isolation.  Worker processes never touch the
 // parent's thread pool (its workers do not survive fork); each child
 // builds a private pool of the same size.
+//
+// Process-lifetime discipline (the daemon-grade contract):
+//   * forks are serialized against live threads: the parent quiesces
+//     its pool (ThreadPool::quiesce_for_fork) and holds the obs
+//     registry's fork guard across every fork(), so a child can never
+//     inherit one of those mutexes locked by a thread that does not
+//     exist in the child — the classic fork/threads deadlock;
+//   * workers ignore SIGPIPE: a parent that dies mid-read turns the
+//     worker's pipe writes into EPIPE, which exits the worker with
+//     _exit(1) instead of a process-killing signal;
+//   * worker failure is recoverable: every worker is read, reaped, and
+//     closed before the driver throws ShardWorkerError — never a
+//     COMIMO_CHECK abort — so a long-lived caller survives a bad job.
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 
 #include "comimo/mc/engine.h"
 
 namespace comimo {
+
+/// A shard worker process failed (non-zero exit, killed by a signal, or
+/// a malformed wire image from a worker that died mid-write).  This is
+/// a *recoverable* per-run error, not a process-fatal contract
+/// violation: every worker is reaped and every pipe closed before it is
+/// thrown, so a long-lived caller (the service daemon) can fail the one
+/// job and keep serving.
+class ShardWorkerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct ShardOptions {
   std::size_t shards = 1;

@@ -40,6 +40,7 @@ SpatialGrid::SpatialGrid(const std::vector<std::uint32_t>& keys,
   COMIMO_CHECK(cell_hint_m > 0.0, "spatial grid: cell size must be positive");
   const std::size_t n = positions.size();
   live_ = n;
+  cell_hint_m_ = cell_hint_m;
   if (n == 0) {
     nx_ = ny_ = 1;
     cell_m_ = cell_hint_m;
@@ -151,9 +152,35 @@ void SpatialGrid::remove(std::uint32_t key, const Vec2& position) {
     if (slots_[s].key == key) {
       slots_[s].key = kTombstone;
       --live_;
+      ++dead_;
+      // Threshold-triggered compaction: once the dead outnumber the
+      // living (past a small floor that keeps tiny indexes free of
+      // rebuild churn), the amortized cost is O(1) per removal while
+      // scans and memory stay proportional to the live population.
+      if (dead_ > live_ && dead_ >= 64) compact();
       return;
     }
   }
+}
+
+void SpatialGrid::compact() {
+  if (dead_ == 0) return;
+  // Gather survivors in slot (cell-major) order and rebuild through the
+  // constructor: fresh bounding box, fresh cell geometry from the
+  // original hint, fresh CSR — the exact state a from-scratch build
+  // over the live set would produce, which is what keeps the
+  // cells/live-item cap and the incremental-vs-rebuild differential
+  // tests honest.
+  std::vector<std::uint32_t> keys;
+  std::vector<Vec2> positions;
+  keys.reserve(live_);
+  positions.reserve(live_);
+  for (const Slot& slot : slots_) {
+    if (slot.key == kTombstone) continue;
+    keys.push_back(slot.key);
+    positions.push_back(slot.position);
+  }
+  *this = SpatialGrid(keys, positions, cell_hint_m_);
 }
 
 std::size_t SpatialGrid::bytes() const noexcept {

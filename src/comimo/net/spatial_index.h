@@ -20,6 +20,19 @@
 // keys are stable under removal — remove() tombstones the slot without
 // moving survivors, so the index survives node deaths with O(cell)
 // work and no rebuild.  Positions never move (nodes are static).
+//
+// Long-lived churn: tombstones alone would let continuous kill waves
+// degrade the CSR scans (every query keeps stepping over dead slots)
+// and grow the memory footprint unboundedly *relative to the live
+// population* — a daemon running churn jobs for hours would drift past
+// the ~2-cells/item cap measured against live items.  remove()
+// therefore triggers compact() once dead slots outnumber live ones
+// (beyond a small floor): the index rebuilds itself from the surviving
+// items with the original cell hint, restoring both the slot density
+// and the cells/live-item cap.  Compaction preserves every key and the
+// exact-membership query contract, so query results are unchanged
+// (queries are unordered by contract; membership is always the exact
+// `distance <= radius` comparison).
 #pragma once
 
 #include <cstdint>
@@ -99,10 +112,22 @@ class SpatialGrid {
 
   /// Tombstones the item with this key at this position (the position
   /// locates the cell; it must be the position the item was built
-  /// with).  No-op when the key is absent (already removed).
+  /// with).  No-op when the key is absent (already removed).  May
+  /// trigger compact() once tombstones outnumber live items (see the
+  /// file comment); keys and query results are preserved either way.
   void remove(std::uint32_t key, const Vec2& position);
 
+  /// Rebuilds the index from the live items only, dropping every
+  /// tombstone and re-deriving the cell geometry from the surviving
+  /// bounding box with the original cell hint.  Keys are preserved;
+  /// query results are set-identical (exact-membership contract).
+  /// Called automatically by remove() past the tombstone threshold;
+  /// public so churn-heavy owners can compact at a quiescent point.
+  void compact();
+
   [[nodiscard]] std::size_t live_items() const noexcept { return live_; }
+  /// Tombstoned slots currently retained (0 right after compaction).
+  [[nodiscard]] std::size_t dead_items() const noexcept { return dead_; }
   [[nodiscard]] std::size_t num_cells() const noexcept {
     return static_cast<std::size_t>(nx_) * ny_;
   }
@@ -124,11 +149,13 @@ class SpatialGrid {
                   std::uint32_t& cy1) const noexcept;
 
   double cell_m_ = 1.0;
+  double cell_hint_m_ = 1.0;  ///< caller's hint, reused by compact()
   double min_x_ = 0.0;
   double min_y_ = 0.0;
   std::uint32_t nx_ = 0;
   std::uint32_t ny_ = 0;
   std::size_t live_ = 0;
+  std::size_t dead_ = 0;
   std::vector<std::uint32_t> cell_start_;  ///< CSR offsets, size nx*ny+1
   std::vector<Slot> slots_;                ///< cell-grouped items
 };

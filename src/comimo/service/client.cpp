@@ -1,0 +1,110 @@
+#include "comimo/service/client.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "comimo/common/error.h"
+
+namespace comimo::service {
+
+namespace {
+
+/// Splits "id=<n>\n<rest>" into (id, rest).  Payloads without an id
+/// line (metrics dumps) come back as (0, whole payload).
+std::pair<std::uint64_t, std::string> split_id_line(
+    const std::string& payload) {
+  if (payload.rfind("id=", 0) != 0) return {0, payload};
+  const std::size_t eol = payload.find('\n');
+  const std::string id_text =
+      payload.substr(3, (eol == std::string::npos ? payload.size() : eol) - 3);
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(id_text.c_str(), &end, 10);
+  if (end == id_text.c_str() || *end != '\0') return {0, payload};
+  return {static_cast<std::uint64_t>(id),
+          eol == std::string::npos ? std::string() : payload.substr(eol + 1)};
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(std::string socket_path,
+                             std::uint64_t session_seed,
+                             unsigned connect_timeout_ms)
+    : session_seed_(session_seed) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(connect_timeout_ms);
+  for (;;) {
+    fd_ = connect_unix(socket_path);
+    if (fd_ >= 0) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw ConcurrencyError("service client: cannot connect to " +
+                             socket_path);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  std::string hello = std::string("proto=") + kProtocolName;
+  hello += "\nsession_seed=" + std::to_string(session_seed_);
+  Frame ack;
+  if (!send_frame(fd_, FrameType::kHello, hello) || !recv_frame(fd_, ack) ||
+      ack.type != FrameType::kHelloAck) {
+    abort_connection();
+    throw ConcurrencyError("service client: handshake failed");
+  }
+  hello_ack_ = parse_kv_text(ack.payload);
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) {
+    (void)send_frame(fd_, FrameType::kBye, {});
+    abort_connection();
+  }
+}
+
+std::uint64_t ServiceClient::submit(const JobSpec& spec) {
+  const std::uint64_t id = next_id_++;
+  const std::string payload =
+      "id=" + std::to_string(id) + "\n" + spec.serialize();
+  if (!send_frame(fd_, FrameType::kRequest, payload)) {
+    throw ConcurrencyError("service client: send failed (daemon gone?)");
+  }
+  return id;
+}
+
+ServiceClient::Reply ServiceClient::next_reply() {
+  Frame frame;
+  if (!recv_frame(fd_, frame)) {
+    throw ConcurrencyError("service client: connection closed by daemon");
+  }
+  Reply reply;
+  reply.type = frame.type;
+  auto [id, body] = split_id_line(frame.payload);
+  reply.id = id;
+  reply.body = std::move(body);
+  return reply;
+}
+
+ServiceClient::Reply ServiceClient::call(const JobSpec& spec) {
+  (void)submit(spec);
+  return next_reply();
+}
+
+std::string ServiceClient::metrics_dump() {
+  if (!send_frame(fd_, FrameType::kMetricsReq, {})) {
+    throw ConcurrencyError("service client: send failed (daemon gone?)");
+  }
+  Frame frame;
+  if (!recv_frame(fd_, frame) || frame.type != FrameType::kMetricsDump) {
+    throw ConcurrencyError("service client: metrics dump failed");
+  }
+  return frame.payload;
+}
+
+void ServiceClient::abort_connection() noexcept {
+  close_fd(fd_);
+  fd_ = -1;
+}
+
+}  // namespace comimo::service

@@ -1,0 +1,79 @@
+// Synchronous client for the simulation daemon.
+//
+// One ServiceClient is one session: it connects (polling briefly while
+// the daemon is still binding), performs the kHello handshake with its
+// session seed, and then exchanges frames strictly in order — submit()
+// sends a request, next_reply() reads the daemon's next in-order reply,
+// call() does both.  The replay contract is the session seed's: two
+// clients with the same seed sending the same request sequence read
+// byte-identical kResult payloads, whatever the daemon's worker count
+// or what other sessions are doing.
+//
+// The destructor sends kBye best-effort; abort_connection() closes the
+// socket abruptly instead — the disconnect-mid-stream robustness tests
+// use it to model a client that vanishes while results are in flight.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "comimo/service/job.h"
+#include "comimo/service/wire.h"
+
+namespace comimo::service {
+
+class ServiceClient {
+ public:
+  /// Connects + handshakes.  Retries the connect every few milliseconds
+  /// up to `connect_timeout_ms` (the daemon may still be binding), then
+  /// throws ConcurrencyError; throws on a handshake failure too.
+  ServiceClient(std::string socket_path, std::uint64_t session_seed,
+                unsigned connect_timeout_ms = 2000);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  struct Reply {
+    FrameType type = FrameType::kError;
+    std::uint64_t id = 0;    ///< echoed job id (0 for metrics dumps)
+    std::string body;        ///< payload minus the leading id line
+  };
+
+  /// Sends one job request; returns the auto-assigned id.  Does not
+  /// wait — replies stream back in submission order via next_reply().
+  std::uint64_t submit(const JobSpec& spec);
+
+  /// Blocks for the next in-order reply.  Throws ConcurrencyError when
+  /// the daemon closed the connection.
+  [[nodiscard]] Reply next_reply();
+
+  /// submit() + next_reply() for the common one-at-a-time pattern.
+  /// Only valid when no other replies are outstanding.
+  [[nodiscard]] Reply call(const JobSpec& spec);
+
+  /// Requests the daemon's obs metrics dump (JSON text).  Only valid
+  /// when no other replies are outstanding.
+  [[nodiscard]] std::string metrics_dump();
+
+  /// Hard-closes the socket without kBye — the vanished-client model.
+  void abort_connection() noexcept;
+
+  [[nodiscard]] std::uint64_t session_seed() const noexcept {
+    return session_seed_;
+  }
+  /// Fields of the daemon's kHelloAck (mc_threads, workers, ...).
+  [[nodiscard]] const std::map<std::string, std::string>& hello_ack()
+      const noexcept {
+    return hello_ack_;
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t session_seed_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::map<std::string, std::string> hello_ack_;
+};
+
+}  // namespace comimo::service

@@ -1,0 +1,241 @@
+#include "comimo/service/job.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "comimo/common/error.h"
+#include "comimo/common/parallel.h"
+#include "comimo/energy/ebbar.h"
+#include "comimo/net/comimonet.h"
+#include "comimo/numeric/rng.h"
+#include "comimo/phy/ber_sweep.h"
+
+namespace comimo::service {
+
+std::map<std::string, std::string> parse_kv_text(std::string_view text) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw InvalidArgument("service: malformed key=value line: " +
+                            std::string(line));
+    }
+    const auto [it, inserted] = out.emplace(line.substr(0, eq),
+                                            line.substr(eq + 1));
+    if (!inserted) {
+      throw InvalidArgument("service: duplicate key: " + it->first);
+    }
+  }
+  return out;
+}
+
+std::uint64_t mix_seed(std::uint64_t session_seed,
+                       std::uint64_t job_seed) noexcept {
+  // Two SplitMix64 outputs over the combined state: the standard
+  // seed-expansion trick (numeric/rng.h uses the same generator), so
+  // nearby (session, job) pairs land far apart.
+  std::uint64_t state =
+      session_seed ^ (job_seed + 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+JobSpec JobSpec::parse(std::string_view text) {
+  auto kv = parse_kv_text(text);
+  const auto it = kv.find("kind");
+  if (it == kv.end() || it->second.empty()) {
+    throw InvalidArgument("service: request without kind=");
+  }
+  JobSpec spec;
+  spec.kind = it->second;
+  kv.erase(it);
+  spec.params = std::move(kv);
+  return spec;
+}
+
+std::string JobSpec::serialize() const {
+  std::string out = "kind=" + kind;
+  for (const auto& [k, v] : params) {
+    out += '\n';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+JobRuntime::JobRuntime(EbBarTable::Spec ebbar_spec)
+    : spec_(std::move(ebbar_spec)) {}
+
+const EbBarTable& JobRuntime::ebbar_table() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!table_) {
+    table_ = std::make_shared<const EbBarTable>(
+        EbBarTable::build(EbBarSolver{}, spec_));
+  }
+  return *table_;
+}
+
+namespace {
+
+std::uint64_t get_u64(const JobSpec& spec, const std::string& key,
+                      std::uint64_t fallback) {
+  const auto it = spec.params.find(key);
+  if (it == spec.params.end()) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw InvalidArgument("service: param " + key +
+                          " is not an integer: " + it->second);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double get_double(const JobSpec& spec, const std::string& key,
+                  double fallback, bool required = false) {
+  const auto it = spec.params.find(key);
+  if (it == spec.params.end()) {
+    if (required) {
+      throw InvalidArgument("service: missing required param " + key);
+    }
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw InvalidArgument("service: param " + key +
+                          " is not a number: " + it->second);
+  }
+  return v;
+}
+
+/// comimo-bench-v1 minus the clock fields (see the header comment).
+Json make_envelope(const JobSpec& spec, unsigned threads, Json metrics,
+                   std::size_t trials) {
+  Json params = Json::object();
+  params.set("kind", spec.kind);
+  for (const auto& [k, v] : spec.params) params.set(k, v);
+  Json record = Json::object();
+  record.set("params", std::move(params));
+  record.set("metrics", std::move(metrics));
+  if (trials > 0) {
+    record.set("trials", static_cast<std::uint64_t>(trials));
+  }
+  Json env = Json::object();
+  env.set("schema", "comimo-bench-v1");
+  env.set("bench", "service");
+  env.set("threads", threads);
+  Json records = Json::array();
+  records.push(std::move(record));
+  env.set("records", std::move(records));
+  return env;
+}
+
+Json run_ping(const JobSpec& spec, unsigned threads) {
+  Json metrics = Json::object();
+  metrics.set("ok", 1);
+  return make_envelope(spec, threads, std::move(metrics), 0);
+}
+
+Json run_ebbar_min(const JobSpec& spec, JobRuntime& rt, unsigned threads) {
+  const double p = get_double(spec, "p", 0.0, /*required=*/true);
+  const auto mt = static_cast<unsigned>(get_u64(spec, "mt", 2));
+  const auto mr = static_cast<unsigned>(get_u64(spec, "mr", 2));
+  const EbBarEntry entry = rt.ebbar_table().min_ebar_constellation(p, mt, mr);
+  Json metrics = Json::object();
+  metrics.set("b", entry.b);
+  metrics.set("ebar_j", entry.ebar);
+  metrics.set("p_grid", entry.p);
+  return make_envelope(spec, threads, std::move(metrics), 0);
+}
+
+Json run_waveform_ber(const JobSpec& spec, std::uint64_t session_seed,
+                      ThreadPool& pool) {
+  WaveformBerConfig cfg;
+  cfg.b = static_cast<int>(get_u64(spec, "b", 2));
+  cfg.mt = static_cast<unsigned>(get_u64(spec, "mt", 2));
+  cfg.mr = static_cast<unsigned>(get_u64(spec, "mr", 2));
+  cfg.blocks = static_cast<std::size_t>(get_u64(spec, "blocks", 2000));
+  cfg.seed = mix_seed(session_seed, get_u64(spec, "seed", 1));
+  cfg.shards = static_cast<std::size_t>(get_u64(spec, "shards", 1));
+  cfg.pool = &pool;
+  const double gamma_b_db = get_double(spec, "gamma_b_db", 8.0);
+  const WaveformBerPoint pt = measure_waveform_ber(cfg, gamma_b_db);
+  Json metrics = Json::object();
+  metrics.set("bits", static_cast<std::uint64_t>(pt.bits));
+  metrics.set("bit_errors", static_cast<std::uint64_t>(pt.bit_errors));
+  metrics.set("ber", pt.ber);
+  metrics.set("analytic_ber", pt.analytic);
+  return make_envelope(spec, pool.size(), std::move(metrics), cfg.blocks);
+}
+
+Json run_net_churn(const JobSpec& spec, std::uint64_t session_seed,
+                   ThreadPool& pool) {
+  (void)pool;  // the net layer uses the shared pool deterministically
+  const auto n = static_cast<std::size_t>(get_u64(spec, "nodes", 400));
+  const auto rounds = static_cast<std::size_t>(get_u64(spec, "rounds", 10));
+  const auto kill_per_round =
+      static_cast<std::size_t>(get_u64(spec, "kill_per_round", 10));
+  const std::uint64_t seed = mix_seed(session_seed, get_u64(spec, "seed", 1));
+  COMIMO_CHECK(n >= 2 && n <= 200000, "net_churn: nodes out of range");
+
+  CoMimoNet net(random_field(n, 500.0, 500.0, seed), CoMimoNetConfig{});
+  std::size_t killed = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    Rng rng(seed, 1000 + round);
+    const std::vector<SuNode>& nodes = net.nodes();
+    if (nodes.size() <= 1) break;
+    std::vector<NodeId> victims;
+    const std::size_t want =
+        std::min(kill_per_round, nodes.size() - 1);
+    for (std::size_t k = 0; k < want; ++k) {
+      victims.push_back(nodes[rng.uniform_int(nodes.size())].id);
+    }
+    net.remove_nodes(victims);  // duplicate picks are ignored by contract
+    killed += want;
+  }
+  Json metrics = Json::object();
+  metrics.set("survivors", static_cast<std::uint64_t>(net.nodes().size()));
+  metrics.set("clusters", static_cast<std::uint64_t>(net.clusters().size()));
+  metrics.set("links", static_cast<std::uint64_t>(net.links().size()));
+  metrics.set("valid", net.validate() ? 1 : 0);
+  return make_envelope(spec, pool.size(), std::move(metrics), rounds);
+}
+
+Json run_stall(const JobSpec& spec, unsigned threads) {
+  const std::uint64_t ms = std::min<std::uint64_t>(
+      get_u64(spec, "ms", 50), 10000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  Json metrics = Json::object();
+  metrics.set("stalled_ms", ms);
+  return make_envelope(spec, threads, std::move(metrics), 0);
+}
+
+}  // namespace
+
+Json run_job(const JobSpec& spec, std::uint64_t session_seed,
+             JobRuntime& runtime, ThreadPool& pool) {
+  if (spec.kind == "ping") return run_ping(spec, pool.size());
+  if (spec.kind == "ebbar_min") {
+    return run_ebbar_min(spec, runtime, pool.size());
+  }
+  if (spec.kind == "waveform_ber") {
+    return run_waveform_ber(spec, session_seed, pool);
+  }
+  if (spec.kind == "net_churn") {
+    return run_net_churn(spec, session_seed, pool);
+  }
+  if (spec.kind == "stall_ms") return run_stall(spec, pool.size());
+  throw InvalidArgument("service: unknown job kind: " + spec.kind);
+}
+
+}  // namespace comimo::service

@@ -1,0 +1,92 @@
+// Bounded MPMC job queue — the admission-control point of the daemon.
+//
+// Session readers push, service workers pop.  The queue is the *only*
+// cross-session contention point and the mutex is held just long
+// enough to move one Job in or out; job execution, result
+// serialization, and socket IO all happen outside it.
+//
+// Admission control is reject-not-block: try_push() on a full queue
+// returns false immediately and the session replies kReject with a
+// retry_after_ms hint — a slow consumer can never wedge every other
+// session behind a blocking push.  That also makes backpressure
+// deterministic to test: fill the queue with stall jobs and the
+// (capacity + workers + 1)-th concurrent submission must bounce.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "comimo/service/job.h"
+#include "comimo/service/wire.h"
+
+namespace comimo::service {
+
+/// What a worker hands back for one job: the reply frame, ready to send.
+struct JobOutcome {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+struct Job {
+  std::uint64_t id = 0;            ///< client-chosen, echoed in the reply
+  std::uint64_t session_seed = 0;
+  JobSpec spec;
+  std::promise<JobOutcome> done;   ///< fulfilled by the executing worker
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is full or closed (the admission decision).
+  [[nodiscard]] bool try_push(Job&& job) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || q_.size() >= capacity_) return false;
+      q_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next job.  False only when the queue is closed and
+  /// fully drained — close() lets workers finish queued work first, so
+  /// no accepted job's promise is ever abandoned.
+  [[nodiscard]] bool pop(Job& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace comimo::service

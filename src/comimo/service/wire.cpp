@@ -1,0 +1,179 @@
+#include "comimo/service/wire.h"
+
+#include <cstring>
+
+#include "comimo/common/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COMIMO_HAS_SOCKETS 1
+#include <cerrno>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define COMIMO_HAS_SOCKETS 0
+#endif
+
+namespace comimo::service {
+
+const char* frame_type_name(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello_ack";
+    case FrameType::kRequest: return "request";
+    case FrameType::kResult: return "result";
+    case FrameType::kReject: return "reject";
+    case FrameType::kError: return "error";
+    case FrameType::kMetricsReq: return "metrics_req";
+    case FrameType::kMetricsDump: return "metrics_dump";
+    case FrameType::kBye: return "bye";
+  }
+  return "unknown";
+}
+
+bool sockets_available() noexcept { return COMIMO_HAS_SOCKETS != 0; }
+
+#if COMIMO_HAS_SOCKETS
+
+namespace {
+
+// MSG_NOSIGNAL keeps a write to a dead peer from killing the process
+// with SIGPIPE; platforms without it (macOS) get the per-socket
+// SO_NOSIGPIPE equivalent at creation time.
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+void set_nosigpipe(int fd) noexcept {
+#ifdef SO_NOSIGPIPE
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+bool fill_addr(const std::string& path, sockaddr_un& addr) noexcept {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool write_exact(int fd, const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE, ECONNRESET, ... — peer is gone
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* data, std::size_t len) noexcept {
+  auto* p = static_cast<unsigned char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  if (!fill_addr(path, addr)) {
+    throw InvalidArgument("service: socket path empty or too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw NumericError("service: socket() failed");
+  set_nosigpipe(fd);
+  ::unlink(path.c_str());  // stale socket from a previous daemon run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw NumericError("service: bind failed on " + path);
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw NumericError("service: listen failed on " + path);
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr;
+  if (!fill_addr(path, addr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  set_nosigpipe(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+bool send_frame(int fd, FrameType type, std::string_view payload) noexcept {
+  if (fd < 0 || payload.size() > kMaxFramePayload) return false;
+  unsigned char header[5];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<unsigned char>(len);
+  header[1] = static_cast<unsigned char>(len >> 8);
+  header[2] = static_cast<unsigned char>(len >> 16);
+  header[3] = static_cast<unsigned char>(len >> 24);
+  header[4] = static_cast<unsigned char>(type);
+  if (!write_exact(fd, header, sizeof(header))) return false;
+  if (payload.empty()) return true;
+  return write_exact(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, Frame& out) {
+  if (fd < 0) return false;
+  unsigned char header[5];
+  if (!read_exact(fd, header, sizeof(header))) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFramePayload) return false;
+  out.type = static_cast<FrameType>(header[4]);
+  out.payload.resize(len);
+  if (len == 0) return true;
+  return read_exact(fd, out.payload.data(), len);
+}
+
+#else  // !COMIMO_HAS_SOCKETS
+
+int listen_unix(const std::string&, int) {
+  throw NumericError("service: AF_UNIX sockets unavailable on this platform");
+}
+int connect_unix(const std::string&) { return -1; }
+void close_fd(int) noexcept {}
+bool send_frame(int, FrameType, std::string_view) noexcept { return false; }
+bool recv_frame(int, Frame&) { return false; }
+
+#endif  // COMIMO_HAS_SOCKETS
+
+}  // namespace comimo::service

@@ -1,0 +1,78 @@
+// Wire protocol of the simulation service: length-prefixed frames over
+// an AF_UNIX stream socket.
+//
+// Frame layout (little-endian, fixed 5-byte header):
+//
+//   u32 payload_length | u8 frame_type | payload bytes
+//
+// The conversation is strictly client-driven and per-session ordered:
+// the client opens with kHello (proto + session seed), the daemon
+// answers kHelloAck, and from then on every client frame produces
+// exactly one daemon frame, delivered in request order — kRequest maps
+// to kResult, kReject (queue full; carries retry_after_ms) or kError
+// (the job failed; the daemon survives), kMetricsReq maps to
+// kMetricsDump, and kBye ends the session.  Request/reply payloads are
+// newline-separated key=value text except kResult, whose body after the
+// "id=<n>" line is a comimo-bench-v1 envelope (see service/job.h for
+// the replayability deviation).
+//
+// Robustness contract: send_frame()/recv_frame() never raise SIGPIPE
+// (MSG_NOSIGNAL / SO_NOSIGPIPE) and never throw — a dead peer surfaces
+// as `false`, which session code treats as a disconnect, not an error.
+// Payloads are capped at kMaxFramePayload so a corrupt length prefix
+// cannot drive an unbounded allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace comimo::service {
+
+inline constexpr char kProtocolName[] = "comimo-svc-1";
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kRequest = 3,
+  kResult = 4,
+  kReject = 5,
+  kError = 6,
+  kMetricsReq = 7,
+  kMetricsDump = 8,
+  kBye = 9,
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType type) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// True when this build has AF_UNIX sockets (POSIX).  The daemon and
+/// client constructors throw on platforms without them.
+[[nodiscard]] bool sockets_available() noexcept;
+
+/// Binds + listens on an AF_UNIX socket at `path` (an existing socket
+/// file is unlinked first).  Throws InvalidArgument on an over-long
+/// path, NumericError on any socket failure.
+[[nodiscard]] int listen_unix(const std::string& path, int backlog = 16);
+
+/// Connects to the daemon's socket.  Returns -1 on failure (errno is
+/// preserved) so callers can poll while the daemon is still binding.
+[[nodiscard]] int connect_unix(const std::string& path);
+
+void close_fd(int fd) noexcept;
+
+/// Writes one frame.  False on any failure (peer gone, EPIPE, short
+/// write that cannot be completed); never raises SIGPIPE, never throws.
+[[nodiscard]] bool send_frame(int fd, FrameType type,
+                              std::string_view payload) noexcept;
+
+/// Reads one frame.  False on clean EOF, any read error, or a length
+/// prefix above kMaxFramePayload.
+[[nodiscard]] bool recv_frame(int fd, Frame& out);
+
+}  // namespace comimo::service

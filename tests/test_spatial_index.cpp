@@ -137,6 +137,99 @@ TEST(SpatialGrid, RemoveTombstonesWithoutDisturbingOthers) {
   EXPECT_EQ(got, want);
 }
 
+// Daemon-grade churn: kill waves far past the tombstone threshold must
+// trigger compaction — dead slots can never outnumber live ones (past
+// the small floor), queries stay exactly brute-force-equal over the
+// survivors, and the footprint stays proportional to the live
+// population instead of the all-time insert count.
+TEST(SpatialGrid, ChurnCompactionBoundsDeadSlotsAndPreservesQueries) {
+  Rng rng(17, 23);
+  const std::size_t n = 4000;
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) {
+    p = Vec2{rng.uniform(0.0, 400.0), rng.uniform(0.0, 400.0)};
+  }
+  SpatialGrid grid(pts, 10.0);
+  std::vector<bool> removed(n, false);
+  std::size_t live = n;
+
+  for (int wave = 0; wave < 12; ++wave) {
+    // Kill ~30% of the remaining population each wave.
+    for (std::uint32_t k = 0; k < n && live > 32; ++k) {
+      const std::uint32_t victim = rng.uniform_int(n);
+      if (removed[victim]) continue;
+      if (!rng.bernoulli(0.3)) continue;
+      grid.remove(victim, pts[victim]);
+      removed[victim] = true;
+      --live;
+    }
+    ASSERT_EQ(grid.live_items(), live) << "wave " << wave;
+    // The compaction invariant: tombstones never exceed the live
+    // population once past the threshold floor.
+    EXPECT_LE(grid.dead_items(), std::max<std::size_t>(grid.live_items(), 64))
+        << "wave " << wave;
+    // Exact-membership queries over the survivors, vs brute force.
+    for (int q = 0; q < 20; ++q) {
+      const Vec2 center{rng.uniform(0.0, 400.0), rng.uniform(0.0, 400.0)};
+      const double radius = rng.uniform(1.0, 60.0);
+      std::vector<std::uint32_t> got;
+      grid.query(center, radius, got);
+      std::sort(got.begin(), got.end());
+      std::vector<std::uint32_t> want;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!removed[i] && distance(center, pts[i]) <= radius) {
+          want.push_back(i);
+        }
+      }
+      ASSERT_EQ(got, want) << "wave " << wave << " query " << q;
+    }
+  }
+
+  // After 12 waves of ~30% kills only a sliver survives; the footprint
+  // must track the survivors (slots + CSR offsets), not the original n.
+  ASSERT_LT(grid.live_items(), n / 8);
+  const std::size_t slot_bytes = 24;  // key + padded Vec2
+  const std::size_t bound =
+      (grid.live_items() + grid.dead_items()) * slot_bytes * 2 +
+      (grid.num_cells() + 1) * sizeof(std::uint32_t) * 2 + 4096;
+  EXPECT_LE(grid.bytes(), bound);
+  // The ~2-cells/item cap holds against the population at the last
+  // rebuild, which is exactly live + dead now — and dead <= live by the
+  // compaction invariant, so cells stay O(live).
+  EXPECT_LE(grid.num_cells(),
+            2 * std::max<std::size_t>(
+                    grid.live_items() + grid.dead_items(), 16) +
+                2);
+}
+
+// An explicit compact() at a quiescent point is the same rebuild the
+// threshold path runs: zero tombstones after, identical query sets.
+TEST(SpatialGrid, ExplicitCompactDropsAllTombstones) {
+  Rng rng(5, 31);
+  std::vector<Vec2> pts(300);
+  for (auto& p : pts) {
+    p = Vec2{rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)};
+  }
+  SpatialGrid grid(pts, 6.0);
+  std::vector<bool> removed(pts.size(), false);
+  for (std::uint32_t i = 0; i < 40; ++i) {  // below the auto threshold
+    grid.remove(i, pts[i]);
+    removed[i] = true;
+  }
+  EXPECT_EQ(grid.dead_items(), 40u);
+  grid.compact();
+  EXPECT_EQ(grid.dead_items(), 0u);
+  EXPECT_EQ(grid.live_items(), pts.size() - 40);
+  std::vector<std::uint32_t> got;
+  grid.query(Vec2{25.0, 25.0}, 1000.0, got);
+  std::sort(got.begin(), got.end());
+  std::vector<std::uint32_t> want;
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    if (!removed[i]) want.push_back(i);
+  }
+  EXPECT_EQ(got, want);
+}
+
 TEST(SpatialGrid, AnyWithinShortCircuits) {
   const std::vector<Vec2> pts{{0.0, 0.0}, {5.0, 0.0}, {100.0, 100.0}};
   const SpatialGrid grid(pts, 10.0);
