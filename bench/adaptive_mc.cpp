@@ -1,0 +1,188 @@
+// Precision-targeted Monte-Carlo vs the fixed-trial baseline.
+//
+// For each γ_b point of the 2×2 QPSK waterfall this bench runs the
+// waveform BER measurement twice against the same trial budget:
+//
+//   adaptive     — checkpoint-stopping only (mc/adaptive.h): stop at
+//                  the first checkpoint whose BER CI half-width is
+//                  within target_rel_ci of the estimate.  This IS the
+//                  equal-CI cost of naive sampling, measured: the
+//                  executed trial count is exactly what a fixed run
+//                  needs for that precision.
+//   adaptive_is  — checkpoint stopping + scaled-variance importance
+//                  sampling with per-block likelihood weights.  The
+//                  tilt is on the FADING (channel ~ CN(0, 1/λ)): in a
+//                  diversity link the deep-waterfall errors come from
+//                  deep fades, not noise bursts, so over-sampling fades
+//                  makes errors arrive ~p_tilted/p times faster while
+//                  the weights on error blocks stay nearly constant.
+//                  (A noise-only tilt ν > 1 samples the wrong rare
+//                  event here and measures ~1× — see EXPERIMENTS.md.)
+//
+// equal_ci_reduction_x on each adaptive_is row is the measured
+// naive-trials / IS-trials ratio at equal precision (naive trials taken
+// from the adaptive row when it met the target, else projected from the
+// binomial CI formula — flagged by naive_measured).  The committed
+// BENCH_adaptive_mc.json must show >= 10x at the lowest-BER point
+// (scripts/check_bench_json.sh gates it) plus a healthy weight ESS.
+//
+// `--trials <n>` shrinks the per-point budget for CI; `--adaptive <r>`
+// overrides the CI target (default 0.2); `--threads/--shards/--json`
+// as everywhere.  Every reported metric except wall_s is a pure
+// function of (seed, config) — thread- and shard-count invariant.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "comimo/common/bench_json.h"
+#include "comimo/common/table.h"
+#include "comimo/mc/adaptive.h"
+#include "comimo/phy/ber_sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace comimo;
+  const BenchCli cli = parse_bench_cli(argc, argv);
+  const std::size_t budget = cli.trials ? cli.trials : 40000000;
+  const double target = cli.adaptive > 0.0 ? cli.adaptive : 0.2;
+  const double confidence = 0.95;
+
+  std::cout << "=== adaptive precision-targeted MC: 2x2 QPSK waterfall ===\n"
+            << "budget " << budget << " blocks/point, target rel CI "
+            << target << " @ " << confidence * 100 << "%\n\n";
+
+  BenchReporter reporter("adaptive_mc");
+
+  struct SweepPoint {
+    double gamma_b_db;
+    double lambda;  // IS fade tilt (channel ~ CN(0, 1/λ)) for this depth
+  };
+  const SweepPoint points[] = {{6.0, 1.3}, {10.0, 2.0}, {14.0, 3.0}};
+
+  TextTable t({"gamma_b", "mode", "trials", "of budget", "BER", "rel CI",
+               "met", "ESS", "reduction", "wall [s]"});
+
+  std::size_t index = 0;
+  for (const SweepPoint& sp : points) {
+    WaveformBerConfig base;
+    base.b = 2;
+    base.mt = 2;
+    base.mr = 2;
+    base.blocks = budget;
+    // Per-point stream family, the waveform_ber_curve convention.
+    base.seed = 42 + 0x9E3779B97F4A7C15ULL * (index + 1);
+    base.pool = cli.pool();
+    base.shards = cli.shards;
+    base.adaptive.target_rel_ci = target;
+    base.adaptive.confidence = confidence;
+    // Finer rounds than the auto schedule (chunks/32): the measured
+    // equal-CI trial count then tracks the true stopping point instead
+    // of overshooting by most of a coarse round.  Still a pure function
+    // of the config — identical across modes, threads and shards.
+    base.adaptive.checkpoint_every = 2;
+    ++index;
+
+    // Naive-sampling adaptive run: measures the equal-CI cost of the
+    // fixed-trial estimator at this point.
+    const WaveformBerPoint pa = measure_waveform_ber(base, sp.gamma_b_db);
+
+    WaveformBerConfig is_cfg = base;
+    is_cfg.adaptive.is_mode = IsMode::kScaledNoise;
+    is_cfg.adaptive.is_noise_scale = 1.0;  // fade tilt only
+    is_cfg.adaptive.is_channel_scale = sp.lambda;
+    const WaveformBerPoint pi = measure_waveform_ber(is_cfg, sp.gamma_b_db);
+
+    // Equal-CI naive cost: measured when the naive run got there,
+    // otherwise projected from the binomial CI (trials ≈
+    // z²(1−p)/(ρ²·p·bits_per_block), p from the unbiased IS estimate).
+    const std::size_t bits_per_block =
+        pa.trials_executed ? pa.bits / pa.trials_executed : 4;
+    const bool naive_measured = pa.target_met;
+    double naive_trials = static_cast<double>(pa.trials_executed);
+    if (!naive_measured && pi.ber > 0.0) {
+      const double z = confidence_z(confidence);
+      naive_trials = z * z * (1.0 - pi.ber) /
+                     (target * target * pi.ber *
+                      static_cast<double>(bits_per_block));
+    }
+    const double reduction =
+        pi.trials_executed > 0
+            ? naive_trials / static_cast<double>(pi.trials_executed)
+            : 0.0;
+    // ESS is over the error-block weights (the estimator's nonzero
+    // terms); its fraction of the error-block count is the tilt-quality
+    // number — near 1 means no handful of huge-weight errors dominates.
+    const double ess_frac =
+        pi.err_blocks > 0 ? pi.ess / static_cast<double>(pi.err_blocks)
+                          : 0.0;
+
+    const auto add_row = [&](const char* mode, const WaveformBerPoint& p) {
+      t.add_row({TextTable::fmt(sp.gamma_b_db, 0) + " dB", mode,
+                 std::to_string(p.trials_executed),
+                 TextTable::fmt(100.0 * static_cast<double>(p.trials_executed) /
+                                    static_cast<double>(budget),
+                                1) +
+                     "%",
+                 TextTable::sci(p.ber), TextTable::fmt(p.rel_ci, 3),
+                 p.target_met ? "yes" : "no",
+                 p.ess > 0.0 ? TextTable::fmt(p.ess, 0) : "-",
+                 p.ess > 0.0 ? TextTable::fmt(reduction, 1) + "x" : "-",
+                 TextTable::fmt(p.info.wall_s, 3)});
+    };
+    add_row("adaptive", pa);
+    add_row("adaptive_is", pi);
+
+    const auto make_record = [&](const char* mode,
+                                 const WaveformBerPoint& p) {
+      Json params = Json::object();
+      params.set("mode", mode);
+      params.set("gamma_b_db", sp.gamma_b_db);
+      params.set("b", base.b);
+      params.set("mt", base.mt);
+      params.set("mr", base.mr);
+      params.set("budget", budget);
+      params.set("target_rel_ci", target);
+      params.set("confidence", confidence);
+      params.set("shards", cli.shards);
+      Json metrics = Json::object();
+      metrics.set("trials_executed", p.trials_executed);
+      metrics.set("trials_saved", budget - p.trials_executed);
+      metrics.set("checkpoints", p.checkpoints);
+      metrics.set("target_met", p.target_met ? 1 : 0);
+      metrics.set("bits", p.bits);
+      metrics.set("bit_errors", p.bit_errors);
+      metrics.set("ber", p.ber);
+      metrics.set("analytic_ber", p.analytic);
+      metrics.set("rel_ci", p.rel_ci);
+      return std::pair<Json, Json>(std::move(params), std::move(metrics));
+    };
+
+    {
+      auto [params, metrics] = make_record("adaptive", pa);
+      reporter.add_record(std::move(params), std::move(metrics),
+                          pa.trials_executed, pa.info.trials_per_sec);
+    }
+    {
+      auto [params, metrics] = make_record("adaptive_is", pi);
+      params.set("is_noise_scale", 1.0);
+      params.set("is_channel_scale", sp.lambda);
+      metrics.set("ess", pi.ess);
+      metrics.set("err_blocks", pi.err_blocks);
+      metrics.set("ess_frac", ess_frac);
+      metrics.set("naive_equal_ci_trials", naive_trials);
+      metrics.set("naive_measured", naive_measured ? 1 : 0);
+      metrics.set("equal_ci_reduction_x", reduction);
+      reporter.add_record(std::move(params), std::move(metrics),
+                          pi.trials_executed, pi.info.trials_per_sec);
+    }
+  }
+
+  t.print(std::cout);
+  std::cout << "\n(equal-CI reduction = naive trials at the same CI target"
+               " / IS trials; naive cost measured when the plain adaptive"
+               " run met the target, else projected from the binomial CI"
+               " formula)\n";
+
+  if (!cli.json_path.empty()) reporter.write_file(cli.json_path);
+  return 0;
+}

@@ -37,6 +37,10 @@ int main(int argc, char** argv) {
   base.blocks = blocks;
   base.seed = 42;
   base.shards = cli.shards;
+  // --adaptive turns the fixed sweep into a precision-targeted one; the
+  // stopping decision is checkpoint-deterministic, so the bit-identity
+  // assertion below must keep holding across pool sizes.
+  base.adaptive.target_rel_ci = cli.adaptive;
 
   TextTable t({"threads", "bit errors", "bits", "BER", "wall [s]",
                "trials/s", "speedup vs 1T"});
@@ -71,12 +75,18 @@ int main(int argc, char** argv) {
     params.set("mt", base.mt);
     params.set("mr", base.mr);
     params.set("gamma_b_db", 6.0);
+    if (cli.adaptive > 0.0) params.set("target_rel_ci", cli.adaptive);
     Json metrics = Json::object();
     metrics.set("bit_errors", p.bit_errors);
     metrics.set("bits", p.bits);
     metrics.set("ber", p.ber);
     metrics.set("analytic_ber", p.analytic);
     metrics.set("speedup_vs_1t", speedup);
+    if (cli.adaptive > 0.0) {
+      metrics.set("trials_executed", p.trials_executed);
+      metrics.set("target_met", p.target_met ? 1 : 0);
+      metrics.set("rel_ci", p.rel_ci);
+    }
     reporter.add_record(std::move(params), std::move(metrics), blocks,
                         p.info.trials_per_sec);
   }

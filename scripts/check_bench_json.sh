@@ -229,6 +229,51 @@ else
   echo "MISSING  mc_engine_speedup"; fail=1
 fi
 
+# mc/adaptive: the precision-targeted driver must actually stop early
+# (and save trials) at the shallow waterfall point, the IS tier must
+# carry a healthy weight ESS, and — the checkpoint-determinism
+# contract — every deterministic record metric must be identical
+# between --threads 1 and --threads 4 (the stop decision is evaluated
+# only at global chunk-ordinal checkpoints, so the executed trial set
+# is a pure function of the config).  Timing keys are runtime domain
+# and excluded, exactly like the mc_engine --shards diff.
+if [ -x "$BENCH_DIR/adaptive_mc" ]; then
+  if "$BENCH_DIR/adaptive_mc" --trials 20000 --threads 1 \
+      --json "$OUT_DIR/adaptive1.json" > /dev/null 2>&1 \
+    && "$BENCH_DIR/adaptive_mc" --trials 20000 --threads 4 \
+      --json "$OUT_DIR/adaptive4.json" > /dev/null 2>&1 \
+    && validate_v1 "$OUT_DIR/adaptive1.json" \
+    && python3 -c '
+import json, sys
+KEYS = ("trials_executed", "trials_saved", "checkpoints", "target_met",
+        "bits", "bit_errors", "ber", "analytic_ber", "rel_ci", "ess",
+        "err_blocks")
+def rows(path):
+    d = json.load(open(path))
+    return [(r["params"]["mode"], r["params"]["gamma_b_db"],
+             {k: r["metrics"][k] for k in KEYS if k in r["metrics"]})
+            for r in d["records"]]
+a, b = rows(sys.argv[1]), rows(sys.argv[2])
+assert a, "no adaptive_mc records"
+assert a == b, "--threads 1 vs --threads 4 adaptive envelopes diverge"
+shallow = {mode: m for mode, g, m in a if g == 6.0}
+for mode in ("adaptive", "adaptive_is"):
+    assert mode in shallow, f"missing 6 dB record: {mode}"
+    m = shallow[mode]
+    assert m["target_met"] == 1, f"{mode} @ 6 dB missed the CI target: {m}"
+    assert m["trials_saved"] > 0, f"{mode} @ 6 dB saved no trials: {m}"
+ess = shallow["adaptive_is"]["ess"]
+assert ess > 50, f"IS error-block weight ESS degenerate at 6 dB: {ess}"' \
+      "$OUT_DIR/adaptive1.json" "$OUT_DIR/adaptive4.json"
+  then
+    echo "OK       adaptive_mc (thread-count invariance + early stop + IS ESS)"
+  else
+    echo "FAIL     adaptive_mc"; fail=1
+  fi
+else
+  echo "MISSING  adaptive_mc"; fail=1
+fi
+
 # net_scale: schema-checked on a shrunk ladder (--trials) — the full
 # million-node run is the committed artifact, gated below.
 if [ -x "$BENCH_DIR/net_scale" ]; then
@@ -340,6 +385,81 @@ assert (r["time_per_delivered_packet_s"]
   fi
 else
   echo "MISSING  BENCH_rlnc_vs_arq.json (committed artifact)"; fail=1
+fi
+
+# The committed BENCH_adaptive_mc.json carries the PR's headline perf
+# claim: every row must have met its CI target inside the budget with
+# trials to spare, the IS rows must keep a non-degenerate error-block
+# weight ESS (ess >= 50 and ess_frac >= 0.2 of the error blocks — a
+# mis-tilt shows up as a few huge-weight errors dominating), and at the
+# lowest-BER (highest γ_b) point the importance-sampled run must beat
+# the MEASURED equal-CI naive cost by at least 10x.
+if [ -f BENCH_adaptive_mc.json ]; then
+  if validate_v1 BENCH_adaptive_mc.json && python3 -c '
+import json
+d = json.load(open("BENCH_adaptive_mc.json"))
+rows = {(r["params"]["gamma_b_db"], r["params"]["mode"]): r["metrics"]
+        for r in d["records"]}
+assert rows, "no records"
+for (g, mode), m in rows.items():
+    assert m["target_met"] == 1, f"{mode} @ {g} dB missed the target: {m}"
+    assert m["trials_saved"] > 0, f"{mode} @ {g} dB saved no trials: {m}"
+is_rows = {g: m for (g, mode), m in rows.items() if mode == "adaptive_is"}
+assert is_rows, "no adaptive_is records"
+for g, m in is_rows.items():
+    assert m["ess"] >= 50 and m["ess_frac"] >= 0.2, \
+        f"IS error-block weight ESS degenerate @ {g} dB: {m}"
+deep = is_rows[max(is_rows)]
+assert deep["naive_measured"] == 1, \
+    "equal-CI naive cost at the deepest point is projected, not measured"
+red = deep["equal_ci_reduction_x"]
+assert red >= 10.0, \
+    f"IS equal-CI reduction {red}x below the 10x floor at the deepest point"
+'
+  then
+    echo "OK       BENCH_adaptive_mc.json (targets met, ESS floor, >=10x at deepest point)"
+  else
+    echo "FAIL     BENCH_adaptive_mc.json"; fail=1
+  fi
+else
+  echo "MISSING  BENCH_adaptive_mc.json (committed artifact)"; fail=1
+fi
+
+# The committed BENCH_mc_engine.json must (a) stay bit-identical across
+# pool sizes, (b) agree with the analytic reference — the γ_b/m_t
+# total-power normalization regression rode in behind exactly this
+# artifact once — and (c) record the host core count so the parallel
+# speedup is only gated when the recording machine could express it.
+if [ -f BENCH_mc_engine.json ]; then
+  if validate_v1 BENCH_mc_engine.json && python3 -c '
+import json
+d = json.load(open("BENCH_mc_engine.json"))
+hc = d.get("hardware_concurrency")
+assert isinstance(hc, int) and hc >= 1, \
+    f"hardware_concurrency missing from the envelope: {hc!r}"
+rows = {r["params"]["threads"]: r["metrics"] for r in d["records"]}
+assert {1, 2, 4, 8} <= set(rows), f"pool sizes committed: {sorted(rows)}"
+ref = rows[1]
+for t, m in rows.items():
+    assert (m["bit_errors"], m["bits"]) == (ref["bit_errors"], ref["bits"]), \
+        f"{t}-thread row not bit-identical to serial: {m}"
+    ber, ana = m["ber"], m["analytic_ber"]
+    assert ana > 0, "analytic reference missing"
+    rel = abs(ber - ana) / ana
+    assert rel <= 0.15, (
+        f"empirical BER {ber} vs analytic {ana} disagree by {rel:.1%} "
+        "(check the per-branch power normalization)")
+if hc >= 4:
+    sp = rows[4]["speedup_vs_1t"]
+    assert sp >= 1.5, f"4-thread speedup {sp}x on a {hc}-core host"
+'
+  then
+    echo "OK       BENCH_mc_engine.json (bit-identity, analytic agreement, core-aware speedup)"
+  else
+    echo "FAIL     BENCH_mc_engine.json"; fail=1
+  fi
+else
+  echo "MISSING  BENCH_mc_engine.json (committed artifact)"; fail=1
 fi
 
 # service_load: the daemon's admission accounting must balance in every

@@ -52,7 +52,7 @@ cmake --build "$NOSIMD_DIR" -j "$(nproc)"
 # layer must degenerate cleanly to width 1, and the workspace and
 # waveform paths must be untouched.
 ctest --test-dir "$NOSIMD_DIR" --output-on-failure \
-  -R 'Golden|Simd|AlignedAlloc|LinkWorkspace|HopBatch|Waveform|Galois|Rlnc|SpatialIndex|SpatialGrid|NetworkFuzz' \
+  -R 'Golden|Simd|AlignedAlloc|LinkWorkspace|HopBatch|Waveform|Galois|Rlnc|SpatialIndex|SpatialGrid|NetworkFuzz|AdaptiveMc|ImportanceSampling' \
   -j "$(nproc)"
 
 echo "== workspace, simd batch + coding kernels under ASan + UBSan =="
@@ -71,9 +71,11 @@ cmake --build "$ASAN_DIR" -j "$(nproc)"
 # pointer-heavy paths where OOB would hide.  Service/ServiceWire drive
 # the daemon (sessions, backpressure, vanished clients) and ForkSafety
 # the quiesce-and-fork shard driver — the lifetime bugs this sweep
-# exists for surface as ASan/UBSan reports here.
+# exists for surface as ASan/UBSan reports here.  AdaptiveMc and
+# ImportanceSampling cover the checkpoint driver's accumulator folding
+# and the tilted-noise weight path.
 ctest --test-dir "$ASAN_DIR" --output-on-failure \
-  -R 'LinkWorkspace|SimdBatch|HopBatch|AlignedAlloc|Galois|Rlnc|GilbertElliott|SpatialIndex|SpatialGrid|NetworkFuzz|Service|ServiceWire|ForkSafety' \
+  -R 'LinkWorkspace|SimdBatch|HopBatch|AlignedAlloc|Galois|Rlnc|GilbertElliott|SpatialIndex|SpatialGrid|NetworkFuzz|Service|ServiceWire|ForkSafety|AdaptiveMc|ImportanceSampling' \
   -j "$(nproc)"
 
 if [ "${CI_SANITIZE:-0}" = "1" ]; then

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "comimo/common/error.h"
 #include "comimo/common/parallel.h"
@@ -233,6 +234,7 @@ void BenchReporter::write(std::ostream& os) const {
   root.set("schema", "comimo-bench-v1");
   root.set("bench", bench_name_);
   root.set("threads", threads_);
+  root.set("hardware_concurrency", std::thread::hardware_concurrency());
   root.set("timestamp_unix_s", timestamp_unix_s());
   root.set("wall_s", monotonic_s() - start_monotonic_s_);
   Json records = Json::array();
@@ -282,6 +284,10 @@ BenchCli parse_bench_cli(int argc, char** argv) {
         cli.shards = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
         if (cli.shards == 0) cli.shards = 1;
       }
+    } else if (arg == "--adaptive") {
+      if (const char* v = next()) cli.adaptive = std::strtod(v, nullptr);
+    } else if (arg.rfind("--adaptive=", 0) == 0) {
+      cli.adaptive = std::strtod(arg.c_str() + 11, nullptr);
     } else if (arg == "--obs") {
       cli.obs = true;
     } else if (arg == "--trace") {

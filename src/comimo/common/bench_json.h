@@ -8,6 +8,10 @@
 //     "schema": "comimo-bench-v1",
 //     "bench": "<binary name>",
 //     "threads": <worker count used>,
+//     "hardware_concurrency": <std::thread::hardware_concurrency() of
+//                              the host — lets artifact gates skip
+//                              multi-core speedup assertions on 1-core
+//                              containers>,
 //     "timestamp_unix_s": <system_clock seconds at write — dates a
 //                          committed BENCH_*.json run; wall_s cannot,
 //                          it is steady_clock with a boot epoch>,
@@ -118,6 +122,9 @@ class BenchReporter {
 /// arms span tracing with an exit-time Perfetto-loadable dump, and
 /// `--simd <mode>` (or `--simd=<mode>`) pins the batch-kernel dispatch
 /// tier (auto|scalar|sse2|avx2|avx512|neon) before any kernel runs.
+/// `--adaptive <rel_ci>` asks engine-backed sweeps to stop early once
+/// the watched statistic's relative CI half-width reaches rel_ci
+/// (mc/adaptive.h; benches that have no adaptive surface ignore it).
 /// Unknown flags are ignored so wrappers can pass common options to
 /// every binary.
 struct BenchCli {
@@ -128,6 +135,9 @@ struct BenchCli {
   unsigned threads = 0;
   std::size_t trials = 0;
   std::size_t shards = 1;
+  /// Adaptive stopping target (relative CI half-width); 0 = fixed
+  /// trials.  Consumed by the engine-backed sweep benches.
+  double adaptive = 0.0;
 
   /// The pool the bench should hand to engine configs: a private pool
   /// when --threads was given, otherwise nullptr (= shared pool).

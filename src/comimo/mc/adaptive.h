@@ -1,0 +1,166 @@
+// Precision-targeted Monte-Carlo: deterministic early stopping.
+//
+// A fixed-trial sweep spends the same budget at every operating point,
+// so deep-waterfall points (BER ≲ 1e-5) burn millions of trials to
+// resolve a handful of bit errors while high-BER points finish in
+// milliseconds.  The adaptive driver instead runs the engine in
+// checkpoint rounds over the *global* chunk partition and stops as soon
+// as a named statistic's confidence interval hits a relative-width
+// target.
+//
+// The determinism contract extends run_trials' verbatim:
+//
+//   * the chunk partition is the one the full `max_trials` run would
+//     use — a pure function of (max_trials, chunk_size) — and each
+//     round executes a contiguous chunk-ordinal window of it
+//     (McConfig::chunk_window_begin/end), so every executed trial draws
+//     from the exact Rng(seed, trial) stream the fixed run would have
+//     used;
+//   * the stopping rule is evaluated ONLY at checkpoint boundaries —
+//     every `checkpoint_every` chunks, itself a pure function of the
+//     chunk count — on the fold of all chunks executed so far in
+//     ascending global ordinal.  The folded state at a boundary is
+//     thread-count and shard-count invariant (same algebra as the
+//     McAccumulator merge contract), hence so is the stop/continue
+//     decision, hence so is the executed chunk set;
+//   * the driver folds per-chunk accumulators (never pre-reduced round
+//     partials — the Welford merge is not associative bitwise) in
+//     ascending ordinal starting from an empty accumulator: the same
+//     reduction sequence as the fixed run.  A run that exhausts
+//     max_trials without meeting the target is therefore bit-identical
+//     to run_trials(max_trials, ...), and every run is bit-identical at
+//     any thread count and across fork sharding.
+//
+// Rare-event tier: phy/ber_sweep.h layers importance sampling (scaled-
+// variance noise with per-trial likelihood weights) on top of this
+// driver; see WaveformBerConfig::adaptive and DESIGN.md §9.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "comimo/mc/sharded.h"
+
+namespace comimo {
+
+/// Importance-sampling mode for the rare-event BER tier (consumed by
+/// phy/ber_sweep.h; the engine-level driver itself is estimator
+/// agnostic).
+enum class IsMode {
+  kOff = 0,
+  /// Scaled-variance tilting with per-trial likelihood weights: AWGN is
+  /// drawn from CN(0, ν) instead of CN(0, 1) (ν = is_noise_scale ≥ 1)
+  /// and the Rayleigh channel from CN(0, 1/λ) (λ = is_channel_scale ≥
+  /// 1), weighting each block by the exact density ratio
+  ///   w = ν^N·exp(−(1 − 1/ν)·Σ|n|²) · λ^(−Nh)·exp((λ − 1)·Σ|h|²)
+  /// so errors occur ~p_tilted/p as often while the weighted estimator
+  /// stays unbiased.  In a diversity link the high-SNR errors are
+  /// FADE-dominated, not noise-dominated: tilt the channel (λ > 1,
+  /// over-sampling deep fades) for the large rare-event gains; a pure
+  /// noise tilt samples the wrong rare event and buys little there
+  /// (measured in BENCH_adaptive_mc.json's history — see
+  /// EXPERIMENTS.md).  Either scale at 1 disables that half of the
+  /// tilt; both at 1 reproduces the plain path bit for bit.
+  kScaledNoise = 1,
+};
+
+struct AdaptiveConfig {
+  /// Stop when the stopping statistic's CI half-width divided by its
+  /// point estimate is ≤ this.  <= 0 disables adaptive stopping (callers
+  /// fall back to the fixed-trial path).
+  double target_rel_ci = 0.0;
+  /// Two-sided confidence level for the CI (z = q_inverse((1-c)/2)).
+  double confidence = 0.95;
+  /// Never stop before this many trials have executed (0 = no floor).
+  std::size_t min_trials = 0;
+  /// Trial budget; 0 uses the sweep's own trial count.  The chunk
+  /// partition — and therefore every Rng stream — is derived from this
+  /// resolved budget, exactly as a fixed run of the same size would.
+  std::size_t max_trials = 0;
+  /// A counter-rate stopping rule is not trusted below this many
+  /// numerator events regardless of the CI formula (the normal
+  /// approximation is garbage at a handful of events).
+  std::size_t min_events = 16;
+  /// Chunks per checkpoint round; 0 picks max(1, chunks / 32) — a pure
+  /// function of the chunk count, never of the worker count.
+  std::size_t checkpoint_every = 0;
+  /// Rare-event importance sampling (phy/ber_sweep.h).
+  IsMode is_mode = IsMode::kOff;
+  /// Noise-variance scale ν ≥ 1 for IsMode::kScaledNoise (1 = noise
+  /// untilted).
+  double is_noise_scale = 2.0;
+  /// Fade tilt λ ≥ 1 for IsMode::kScaledNoise: the channel is drawn
+  /// from CN(0, 1/λ), over-sampling the deep fades that dominate
+  /// high-SNR errors in a diversity link (1 = channel untilted).
+  double is_channel_scale = 1.0;
+};
+
+/// What the stopping rule watches.  With a non-empty `denominator` the
+/// rule is the counter rate stat/denominator (CI half-width
+/// z·sqrt((1−p)/(p·den)) relative to p — the BER shape); otherwise
+/// `stat` names a RunningStats and the rule is z·std_error/|mean| (the
+/// weighted-estimator shape the IS tier uses).
+struct StopRule {
+  std::string stat;
+  std::string denominator;
+};
+
+struct AdaptiveResult {
+  /// Folded accumulator + aggregate run info.  info.trials/chunks are
+  /// the *executed* totals; wall_s sums the rounds.
+  McResult mc;
+  /// Trials the fixed run would have executed (the resolved budget).
+  std::size_t trials_budget = 0;
+  /// Trials actually executed (== trials_budget when the target was
+  /// never met).
+  std::size_t trials_executed = 0;
+  /// Checkpoint evaluations performed.
+  std::size_t checkpoints = 0;
+  /// True when the CI target stopped the run before the budget ran out.
+  bool target_met = false;
+  /// Relative CI half-width of the stopping statistic at the final
+  /// checkpoint (+inf while the statistic is not yet estimable).
+  double rel_ci = 0.0;
+};
+
+/// z-value of the two-sided interval at the given confidence (0.95 →
+/// 1.9599...).
+[[nodiscard]] double confidence_z(double confidence);
+
+/// The checkpoint schedule: chunks per round for a partition of `chunks`
+/// chunks.  Pure function of its arguments.
+[[nodiscard]] std::size_t resolve_checkpoint_every(std::size_t chunks,
+                                                   std::size_t requested);
+
+/// Relative CI half-width z·sqrt((1−p)/(num)) of a counter rate
+/// num/den; +inf when not estimable (zero counts, p >= 1).
+[[nodiscard]] double rate_rel_ci(std::uint64_t num, std::uint64_t den,
+                                 double z);
+
+/// The stopping rule evaluated on a folded accumulator; +inf while not
+/// estimable (fewer than min_events numerator events for a rate rule,
+/// fewer than 2 observations or a zero mean for a stat rule).
+[[nodiscard]] double stop_rel_ci(const McAccumulator& acc,
+                                 const StopRule& rule, double z,
+                                 std::size_t min_events);
+
+/// run_trials in checkpoint rounds with deterministic early stopping.
+/// `trials` is the budget unless config overrides it via max_trials.
+/// shard_options.shards > 1 forks each round across worker processes
+/// (mc/sharded.h) — the result is bit-identical for every shard count
+/// and thread count.  Requires adaptive.target_rel_ci > 0.
+[[nodiscard]] AdaptiveResult run_trials_adaptive(
+    std::size_t trials, const McConfig& config,
+    const AdaptiveConfig& adaptive, const StopRule& rule,
+    const ShardOptions& shard_options,
+    const std::function<void(std::size_t, Rng&, McAccumulator&)>& trial);
+
+/// run_trial_batches in checkpoint rounds; same contract.
+[[nodiscard]] AdaptiveResult run_trial_batches_adaptive(
+    std::size_t trials, const McConfig& config,
+    const AdaptiveConfig& adaptive, const StopRule& rule,
+    const ShardOptions& shard_options, std::size_t max_batch,
+    const std::function<void(std::size_t, std::size_t, Rng*, McAccumulator&)>&
+        batch);
+
+}  // namespace comimo

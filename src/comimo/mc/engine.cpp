@@ -43,9 +43,17 @@ ShardRange resolve_shard_range(const McConfig& config, std::size_t trials,
   COMIMO_CHECK(config.shard_count >= 1, "shard_count must be >= 1");
   COMIMO_CHECK(config.shard_index < config.shard_count,
                "shard_index must be < shard_count");
+  COMIMO_CHECK(config.chunk_window_begin <= config.chunk_window_end,
+               "chunk window must be a valid range");
+  // The execution window over the global partition (default: all of
+  // it), then this shard's slice of the window.  Both are pure
+  // functions of the config — never of the executing pool.
+  const std::size_t win_lo = std::min(config.chunk_window_begin, chunks);
+  const std::size_t win_hi = std::min(config.chunk_window_end, chunks);
+  const std::size_t win_n = win_hi - win_lo;
   ShardRange r;
-  r.lo = chunks * config.shard_index / config.shard_count;
-  r.hi = chunks * (config.shard_index + 1) / config.shard_count;
+  r.lo = win_lo + win_n * config.shard_index / config.shard_count;
+  r.hi = win_lo + win_n * (config.shard_index + 1) / config.shard_count;
   if (r.hi > r.lo) {
     r.executed_trials = std::min(trials, r.hi * chunk) - r.lo * chunk;
   }

@@ -46,10 +46,23 @@ struct McConfig {
   /// chunk ordinal, is bit-identical to the unsharded run.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  /// Chunk-ordinal execution window [chunk_window_begin,
+  /// chunk_window_end) over the *global* chunk partition (clamped to
+  /// [0, chunks]).  The partition itself never moves — a windowed run
+  /// executes exactly the chunks the full run would have executed at
+  /// those ordinals, with the same Rng(seed, trial) streams, so folding
+  /// consecutive windows in ascending ordinal reproduces the full run
+  /// bit for bit.  This is the primitive mc/adaptive.h builds its
+  /// checkpoint rounds on.  Sharding splits the window, not the full
+  /// range: shard i of n executes [lo + n_win·i/n, lo + n_win·(i+1)/n).
+  std::size_t chunk_window_begin = 0;
+  std::size_t chunk_window_end = kAllChunks;
   /// When true, McResult::chunk_accs records every executed chunk's
   /// pre-merge accumulator keyed by global chunk ordinal — the transport
   /// the sharding driver folds across processes.
   bool collect_chunk_accs = false;
+
+  static constexpr std::size_t kAllChunks = ~static_cast<std::size_t>(0);
 };
 
 struct McRunInfo {

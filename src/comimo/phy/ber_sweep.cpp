@@ -1,7 +1,9 @@
 #include "comimo/phy/ber_sweep.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "comimo/common/error.h"
 #include "comimo/common/units.h"
@@ -26,6 +28,17 @@ obs::Counter& batch_link_blocks_counter() {
   static obs::Counter c =
       obs::MetricRegistry::global().counter("phy.link_blocks");
   return c;
+}
+
+// Effective sample size (Σw)²/Σw² recovered from the weight stream's
+// Welford state: Σw = n·mean, Σw² = m2 + n·mean².
+double ess_from_weights(const RunningStats& w) {
+  if (w.count() == 0) return 0.0;
+  const RunningStats::Raw r = w.raw();
+  const double n = static_cast<double>(r.n);
+  const double sum_w = n * r.mean;
+  const double sum_w2 = r.m2 + n * r.mean * r.mean;
+  return sum_w2 > 0.0 ? sum_w * sum_w / sum_w2 : 0.0;
 }
 }  // namespace
 
@@ -56,6 +69,36 @@ std::size_t WaveformBerKernel::run_block(LinkWorkspace& ws, Rng& rng) const {
   for (auto& v : ws.estimates) v /= sym_scale_;
   modem_->demodulate_into(ws.estimates, ws.decoded);
   return count_bit_errors(ws.bits, ws.decoded);
+}
+
+WaveformBerKernel::IsBlock WaveformBerKernel::run_block_is(
+    LinkWorkspace& ws, Rng& rng, double noise_scale,
+    double channel_scale) const {
+  COMIMO_DCHECK(noise_scale >= 1.0, "IS noise scale must be >= 1");
+  COMIMO_DCHECK(channel_scale >= 1.0, "IS channel scale must be >= 1");
+  ws.bits.resize(bits_per_block_);
+  for (auto& bit : ws.bits) bit = rng.bernoulli(0.5) ? 1 : 0;
+  modem_->modulate_into(ws.bits, ws.symbols);
+  for (auto& s : ws.symbols) s *= sym_scale_;
+  const TiltedBlockEnergy energy = simulate_block_tilted(
+      decoder_, ws, rng, noise_scale, 1.0 / channel_scale);
+  for (auto& v : ws.estimates) v /= sym_scale_;
+  modem_->demodulate_into(ws.estimates, ws.decoded);
+  IsBlock out;
+  out.bit_errors = count_bit_errors(ws.bits, ws.decoded);
+  // Likelihood ratio of the block's draws under the nominal CN(0,1)
+  // densities f versus the proposals g — noise CN(0,ν), channel
+  // CN(0,1/λ) — in log space for stability:
+  //   log w = N·log ν − (1 − 1/ν)·Σ|n|²  −  Nh·log λ + (λ − 1)·Σ|h|².
+  const double n_samples = static_cast<double>(decoder_.code().block_length() *
+                                               static_cast<std::size_t>(mr_));
+  const double nh = static_cast<double>(decoder_.code().num_tx() *
+                                        static_cast<std::size_t>(mr_));
+  out.weight = std::exp(n_samples * std::log(noise_scale) -
+                        (1.0 - 1.0 / noise_scale) * energy.noise_sq -
+                        nh * std::log(channel_scale) +
+                        (channel_scale - 1.0) * energy.channel_sq);
+  return out;
 }
 
 void WaveformBerKernel::prepare_batch(LinkBatchWorkspace& ws,
@@ -229,46 +272,126 @@ WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
   // processes and folds per-chunk accumulators in global chunk order,
   // so the counters are also shard-count invariant (mc/sharded.h).
   const std::size_t width = simd::batch_width();
-  const McResult run =
-      width > 1
-          ? run_trial_batches_sharded(
-                config.blocks, mc, shard_options, width,
-                [&](std::size_t, std::size_t count, Rng* rngs,
-                    McAccumulator& acc) {
-                  // One hop-batch workspace per worker thread, reused
-                  // across every group the thread runs (no allocation at
-                  // steady state).  The waveform probe only exercises
-                  // the long-haul planes (ws.link).
-                  thread_local HopBatchWorkspace ws;
-                  kernel.prepare_batch(ws, width);
-                  acc.count("bit_errors",
-                            kernel.run_block_batch(ws, rngs, count));
-                  acc.count("bits", bits_per_block * count);
-                })
-          : run_trials_sharded(
-                config.blocks, mc, shard_options,
-                [&](std::size_t, Rng& rng, McAccumulator& acc) {
-                  // One workspace per worker thread, reused across every
-                  // block the thread runs; prepare() re-shapes it (no
-                  // allocation at steady state) in case the thread last
-                  // served a different kernel.
-                  thread_local LinkWorkspace ws;
-                  kernel.prepare(ws);
-                  acc.count("bit_errors", kernel.run_block(ws, rng));
-                  acc.count("bits", bits_per_block);
-                });
+  const bool adaptive_on = config.adaptive.target_rel_ci > 0.0;
+  const bool is_on =
+      adaptive_on && config.adaptive.is_mode == IsMode::kScaledNoise;
+  const double nu = config.adaptive.is_noise_scale;
+  const double lambda = config.adaptive.is_channel_scale;
+
+  const auto scalar_trial = [&](std::size_t, Rng& rng, McAccumulator& acc) {
+    // One workspace per worker thread, reused across every block the
+    // thread runs; prepare() re-shapes it (no allocation at steady
+    // state) in case the thread last served a different kernel.
+    thread_local LinkWorkspace ws;
+    kernel.prepare(ws);
+    acc.count("bit_errors", kernel.run_block(ws, rng));
+    acc.count("bits", bits_per_block);
+  };
+  const auto batch_trial = [&](std::size_t, std::size_t count, Rng* rngs,
+                               McAccumulator& acc) {
+    // One hop-batch workspace per worker thread, reused across every
+    // group the thread runs (no allocation at steady state).  The
+    // waveform probe only exercises the long-haul planes (ws.link).
+    thread_local HopBatchWorkspace ws;
+    kernel.prepare_batch(ws, width);
+    acc.count("bit_errors", kernel.run_block_batch(ws, rngs, count));
+    acc.count("bits", bits_per_block * count);
+  };
+  // The IS trial runs the scalar kernel only: the tilted link has no
+  // SIMD batch variant (rare-event points need few blocks by
+  // construction, so the batch win is small there).
+  const auto is_trial = [&](std::size_t, Rng& rng, McAccumulator& acc) {
+    thread_local LinkWorkspace ws;
+    kernel.prepare(ws);
+    const WaveformBerKernel::IsBlock blk =
+        kernel.run_block_is(ws, rng, nu, lambda);
+    acc.count("bit_errors", blk.bit_errors);
+    acc.count("bits", bits_per_block);
+    acc.observe("is_ber", blk.weight * static_cast<double>(blk.bit_errors) /
+                              static_cast<double>(bits_per_block));
+    acc.observe("is_weight", blk.weight);
+    // Error blocks are the only nonzero terms of the estimator: their
+    // weight stream is what ESS must watch (a mis-tilt shows up as a
+    // few huge-weight errors dominating it, which raw-weight ESS hides
+    // behind the harmless weight spread of the error-free majority).
+    if (blk.bit_errors > 0) acc.observe("is_err_weight", blk.weight);
+  };
 
   WaveformBerPoint point;
   point.gamma_b_db = gamma_b_db;
+  McResult run;
+  if (adaptive_on) {
+    // Stopping rule: the raw bit-error rate for plain adaptive, the
+    // weighted per-block BER stat under IS (the raw counters are tilted
+    // there and only serve as diagnostics).
+    const StopRule rule = is_on ? StopRule{"is_ber", ""}
+                                : StopRule{"bit_errors", "bits"};
+    AdaptiveResult ar;
+    if (is_on) {
+      ar = run_trials_adaptive(config.blocks, mc, config.adaptive, rule,
+                               shard_options, is_trial);
+    } else if (width > 1) {
+      ar = run_trial_batches_adaptive(config.blocks, mc, config.adaptive,
+                                      rule, shard_options, width,
+                                      batch_trial);
+    } else {
+      ar = run_trials_adaptive(config.blocks, mc, config.adaptive, rule,
+                               shard_options, scalar_trial);
+    }
+    run = std::move(ar.mc);
+    point.trials_budget = ar.trials_budget;
+    point.trials_executed = ar.trials_executed;
+    point.checkpoints = ar.checkpoints;
+    point.target_met = ar.target_met;
+    point.rel_ci = std::isfinite(ar.rel_ci) ? ar.rel_ci : 0.0;
+  } else {
+    run = width > 1 ? run_trial_batches_sharded(config.blocks, mc,
+                                                shard_options, width,
+                                                batch_trial)
+                    : run_trials_sharded(config.blocks, mc, shard_options,
+                                         scalar_trial);
+    point.trials_budget = config.blocks;
+    point.trials_executed = config.blocks;
+  }
+
   point.bits = run.acc.counter("bits");
   point.bit_errors = run.acc.counter("bit_errors");
-  point.ber = point.bits
-                  ? static_cast<double>(point.bit_errors) /
-                        static_cast<double>(point.bits)
-                  : 0.0;
   point.estimate = run.acc.rate("bit_errors", "bits");
+  if (is_on) {
+    // Unbiased weighted estimator; the Wilson shape does not apply, so
+    // the interval is the normal one around the weighted mean.
+    const RunningStats& isb = run.acc.stat("is_ber");
+    point.ber = isb.count() > 0 ? isb.mean() : 0.0;
+    const double half =
+        isb.count() >= 2
+            ? confidence_z(config.adaptive.confidence) * isb.std_error()
+            : 0.0;
+    point.estimate.rate = point.ber;
+    point.estimate.wilson_lo = std::max(0.0, point.ber - half);
+    point.estimate.wilson_hi = point.ber + half;
+    const RunningStats& errw = run.acc.stat("is_err_weight");
+    point.ess = ess_from_weights(errw);
+    point.err_blocks = errw.count();
+    // ESS is a pure function of (seed, config) — deterministic domain.
+    obs::MetricRegistry::global().gauge("mc.adaptive.is_ess").set(point.ess);
+  } else {
+    point.ber = point.bits
+                    ? static_cast<double>(point.bit_errors) /
+                          static_cast<double>(point.bits)
+                    : 0.0;
+    if (!adaptive_on) {
+      const double rel =
+          rate_rel_ci(point.bit_errors, point.bits, confidence_z(0.95));
+      point.rel_ci = std::isfinite(rel) ? rel : 0.0;
+    }
+  }
+  // The closed form averages Q over the per-branch SNR of the
+  // total-power-normalized code (StbcCode scales by 1/√mt), so the
+  // per-branch per-bit SNR it sees is γ_b/mt — the same convention
+  // tests/test_stbc.cpp pins against the 2×1 Alamouti curve.
   point.analytic =
-      ber_mqam_rayleigh_mimo(config.b, gamma_b, config.mt, config.mr);
+      ber_mqam_rayleigh_mimo(config.b, gamma_b / config.mt, config.mt,
+                             config.mr);
   point.info = run.info;
   if (obs::enabled() && run.info.wall_s > 0.0) {
     // Per-shape kernel throughput.  Registration here is cold (once per
@@ -279,7 +402,7 @@ WaveformBerPoint measure_waveform_ber(const WaveformBerConfig& config,
                              std::to_string(config.b);
     obs::MetricRegistry::global()
         .gauge(name, obs::Domain::kRuntime)
-        .set(static_cast<double>(config.blocks) / run.info.wall_s);
+        .set(static_cast<double>(point.trials_executed) / run.info.wall_s);
   }
   return point;
 }

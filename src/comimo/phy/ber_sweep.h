@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "comimo/mc/adaptive.h"
 #include "comimo/mc/engine.h"
 #include "comimo/numeric/stats.h"
 #include "comimo/phy/link_batch.h"
@@ -34,6 +35,16 @@ struct WaveformBerConfig {
   /// multi-process sharding driver (mc/sharded.h); bit-identical to the
   /// single-process run at any count.
   std::size_t shards = 1;
+  /// Precision-targeted stopping (mc/adaptive.h).  target_rel_ci > 0
+  /// runs the measurement in checkpoint rounds against `blocks` as the
+  /// trial budget, stopping once the BER's relative CI half-width hits
+  /// the target; is_mode == IsMode::kScaledNoise additionally tilts the
+  /// noise (CN(0, ν)) and/or the fading (CN(0, 1/λ)) with per-block
+  /// likelihood weights, so deep-waterfall points resolve with orders
+  /// of magnitude fewer blocks (tilt the CHANNEL for high-SNR diversity
+  /// links — see IsMode).  Results stay bit-identical at any thread
+  /// count and across `shards` for a fixed checkpoint schedule.
+  AdaptiveConfig adaptive;
 };
 
 struct WaveformBerPoint {
@@ -44,6 +55,25 @@ struct WaveformBerPoint {
   RateEstimate estimate;  ///< Wilson 95% interval
   double analytic = 0.0;  ///< ber_mqam_rayleigh_mimo at the same point
   McRunInfo info;
+  /// Adaptive-stopping record (trials_executed == blocks and
+  /// target_met == false on the fixed-trial path).
+  std::size_t trials_budget = 0;
+  std::size_t trials_executed = 0;
+  std::size_t checkpoints = 0;
+  bool target_met = false;
+  /// Relative CI half-width of the stopping statistic at the end of the
+  /// run (also filled on the fixed path, from the rate interval).
+  double rel_ci = 0.0;
+  /// Importance-sampling effective sample size (Σw)²/Σw² over the
+  /// weights of ERROR-carrying blocks; 0 without IS.  Error blocks are
+  /// the only terms of the estimator, so this is the quantity that
+  /// collapses when a mis-tilt lets a few huge-weight errors dominate —
+  /// raw-weight ESS is meaningless under a proposal that deliberately
+  /// inflates a rare region.
+  double ess = 0.0;
+  /// Number of error-carrying blocks (the denominator ess is relative
+  /// to); 0 without IS.
+  std::size_t err_blocks = 0;
 };
 
 /// The per-block waveform BER trial packaged as a reusable kernel.
@@ -65,6 +95,22 @@ class WaveformBerKernel {
   /// One block: draw source bits, modulate, simulate the link, decode,
   /// count errors.  The source/decoded bits stay in ws.bits/ws.decoded.
   [[nodiscard]] std::size_t run_block(LinkWorkspace& ws, Rng& rng) const;
+
+  /// Importance-sampled block: identical to run_block except the AWGN
+  /// is drawn from CN(0, noise_scale) and the channel from
+  /// CN(0, 1/channel_scale).  Returns the raw (tilted) bit-error count
+  /// plus the block's likelihood weight w = f/g =
+  ///   ν^N·exp(−(1 − 1/ν)·Σ|n|²) · λ^(−Nh)·exp((λ − 1)·Σ|h|²)
+  /// over the N = T·mr noise samples and Nh = mt·mr channel entries;
+  /// the unbiased BER estimator is the mean of w·errors/bits_per_block
+  /// across blocks.  Both scales at 1 give w == 1 and run_block's bits.
+  struct IsBlock {
+    std::size_t bit_errors = 0;
+    double weight = 1.0;
+  };
+  [[nodiscard]] IsBlock run_block_is(LinkWorkspace& ws, Rng& rng,
+                                     double noise_scale,
+                                     double channel_scale) const;
 
   /// Shapes `ws` for this kernel at `width` lanes (normally
   /// simd::batch_width()); the batch analogue of prepare().

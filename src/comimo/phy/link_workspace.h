@@ -55,4 +55,27 @@ struct LinkWorkspace {
 /// historical allocating path.
 void simulate_block(const StbcDecoder& decoder, LinkWorkspace& ws, Rng& rng);
 
+/// Sample-energy side channel of one tilted block draw: what the
+/// importance-sampling caller needs to form the likelihood ratio.
+struct TiltedBlockEnergy {
+  double channel_sq = 0.0;  ///< Σ|h|² over the drawn channel entries
+  double noise_sq = 0.0;    ///< Σ|n|² over the drawn noise samples
+};
+
+/// simulate_block with the Rayleigh stage drawn from
+/// CN(0, channel_variance) and the AWGN stage from CN(0, noise_variance)
+/// instead of CN(0, 1) — the importance-sampling proposals of the
+/// adaptive rare-event tier (mc/adaptive.h).  channel_variance < 1
+/// over-samples deep fades (the event that dominates high-SNR errors in
+/// a diversity link); noise_variance > 1 over-samples noise bursts.
+/// Returns the per-block sample energies the caller needs for the
+/// likelihood ratio f/g.  Consumes exactly the same RNG draws in the
+/// same order as simulate_block (the counter-based streams make the raw
+/// draws identical; only the scaling differs), and unit variances
+/// reproduce its bits exactly.
+TiltedBlockEnergy simulate_block_tilted(const StbcDecoder& decoder,
+                                        LinkWorkspace& ws, Rng& rng,
+                                        double noise_variance,
+                                        double channel_variance);
+
 }  // namespace comimo

@@ -164,7 +164,7 @@ struct ServiceDaemon::Session {
 ServiceDaemon::ServiceDaemon(ServiceConfig config)
     : config_(std::move(config)),
       queue_(std::max<std::size_t>(1, config_.queue_capacity)),
-      runtime_(config_.ebbar_spec) {
+      runtime_(config_.ebbar_spec, config_.table_cache_dir) {
   if (config_.socket_path.empty()) {
     throw InvalidArgument("service: socket_path must be set");
   }

@@ -65,6 +65,11 @@ struct ServiceConfig {
   /// ē_b grid for the cached table; tests shrink it, the default is
   /// the paper's full sweep.
   EbBarTable::Spec ebbar_spec{};
+  /// Warm-start directory for the serialized ē_b table (see
+  /// JobRuntime): non-empty lets a daemon restart load the table from
+  /// <dir>/ebbar-<spec hash>.table instead of rebuilding it.  Empty
+  /// disables the disk cache.
+  std::string table_cache_dir;
 };
 
 class ServiceDaemon {

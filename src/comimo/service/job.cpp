@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -11,6 +14,7 @@
 #include "comimo/energy/ebbar.h"
 #include "comimo/net/comimonet.h"
 #include "comimo/numeric/rng.h"
+#include "comimo/obs/metrics.h"
 #include "comimo/phy/ber_sweep.h"
 
 namespace comimo::service {
@@ -73,14 +77,88 @@ std::string JobSpec::serialize() const {
   return out;
 }
 
-JobRuntime::JobRuntime(EbBarTable::Spec ebbar_spec)
-    : spec_(std::move(ebbar_spec)) {}
+namespace {
+
+// Cache hit/miss depend on prior disk state — runtime domain, like the
+// other service liveness counters.
+struct TableCacheObs {
+  obs::Counter hit = obs::MetricRegistry::global().counter(
+      "service.table_cache.hit", obs::Domain::kRuntime);
+  obs::Counter miss = obs::MetricRegistry::global().counter(
+      "service.table_cache.miss", obs::Domain::kRuntime);
+};
+
+TableCacheObs& table_cache_obs() {
+  static TableCacheObs o;
+  return o;
+}
+
+// FNV-1a over a canonical full-precision rendering of every Spec field:
+// any spec change moves the cache file, so a restart with a new grid
+// can never pick up the old table.
+std::uint64_t ebbar_spec_hash(const EbBarTable::Spec& spec) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << spec.b_min << '|' << spec.b_max << '|' << spec.m_max;
+  for (const double p : spec.ber_targets) os << '|' << p;
+  const std::string s = os.str();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool specs_equal(const EbBarTable::Spec& a, const EbBarTable::Spec& b) {
+  return a.b_min == b.b_min && a.b_max == b.b_max && a.m_max == b.m_max &&
+         a.ber_targets == b.ber_targets;
+}
+
+}  // namespace
+
+JobRuntime::JobRuntime(EbBarTable::Spec ebbar_spec, std::string cache_dir)
+    : spec_(std::move(ebbar_spec)), cache_dir_(std::move(cache_dir)) {}
+
+std::string JobRuntime::table_cache_path() const {
+  if (cache_dir_.empty()) return {};
+  std::ostringstream os;
+  os << cache_dir_ << "/ebbar-" << std::hex << ebbar_spec_hash(spec_)
+     << ".table";
+  return os.str();
+}
 
 const EbBarTable& JobRuntime::ebbar_table() {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (!table_) {
-    table_ = std::make_shared<const EbBarTable>(
-        EbBarTable::build(EbBarSolver{}, spec_));
+  if (table_) return *table_;
+  const std::string path = table_cache_path();
+  if (!path.empty()) {
+    std::ifstream is(path);
+    if (is.good()) {
+      try {
+        EbBarTable loaded = EbBarTable::load(is);
+        // The hash keys the filename, but the file content is what we
+        // trust — a hand-copied or collided file must still carry
+        // exactly the requested grid.
+        if (specs_equal(loaded.spec(), spec_)) {
+          table_cache_obs().hit.add();
+          table_ = std::make_shared<const EbBarTable>(std::move(loaded));
+          return *table_;
+        }
+      } catch (const std::exception&) {
+        // Corrupt or truncated cache file: fall through to a rebuild
+        // (which rewrites it).
+      }
+    }
+  }
+  table_cache_obs().miss.add();
+  table_ = std::make_shared<const EbBarTable>(
+      EbBarTable::build(EbBarSolver{}, spec_));
+  if (!path.empty()) {
+    // Best-effort write-through: a read-only cache dir loses the warm
+    // start, never the job.
+    std::ofstream os(path);
+    if (os.good()) table_->save(os);
   }
   return *table_;
 }
@@ -168,6 +246,21 @@ Json run_waveform_ber(const JobSpec& spec, std::uint64_t session_seed,
   cfg.seed = mix_seed(session_seed, get_u64(spec, "seed", 1));
   cfg.shards = static_cast<std::size_t>(get_u64(spec, "shards", 1));
   cfg.pool = &pool;
+  // target_ci > 0 turns the fixed-blocks point into a precision-
+  // targeted one (mc/adaptive.h): blocks becomes the trial budget and
+  // the sweep stops at the first checkpoint whose BER CI meets the
+  // target.  The stopping decision is checkpoint-deterministic, so the
+  // replay contract (byte-identical kResult for a fixed session seed
+  // and spec) is preserved.  is=1 adds the scaled-variance importance
+  // sampler for rare-event points (is_scale overrides the noise tilt ν,
+  // is_chan the fade tilt λ — tilt the channel for high-SNR diversity
+  // links, see IsMode).
+  cfg.adaptive.target_rel_ci = get_double(spec, "target_ci", 0.0);
+  if (get_u64(spec, "is", 0) != 0) {
+    cfg.adaptive.is_mode = IsMode::kScaledNoise;
+    cfg.adaptive.is_noise_scale = get_double(spec, "is_scale", 2.0);
+    cfg.adaptive.is_channel_scale = get_double(spec, "is_chan", 1.0);
+  }
   const double gamma_b_db = get_double(spec, "gamma_b_db", 8.0);
   const WaveformBerPoint pt = measure_waveform_ber(cfg, gamma_b_db);
   Json metrics = Json::object();
@@ -175,6 +268,14 @@ Json run_waveform_ber(const JobSpec& spec, std::uint64_t session_seed,
   metrics.set("bit_errors", static_cast<std::uint64_t>(pt.bit_errors));
   metrics.set("ber", pt.ber);
   metrics.set("analytic_ber", pt.analytic);
+  if (cfg.adaptive.target_rel_ci > 0.0) {
+    metrics.set("trials_executed",
+                static_cast<std::uint64_t>(pt.trials_executed));
+    metrics.set("checkpoints", static_cast<std::uint64_t>(pt.checkpoints));
+    metrics.set("target_met", pt.target_met ? 1 : 0);
+    metrics.set("rel_ci", pt.rel_ci);
+    if (pt.ess > 0.0) metrics.set("is_ess", pt.ess);
+  }
   return make_envelope(spec, pool.size(), std::move(metrics), cfg.blocks);
 }
 

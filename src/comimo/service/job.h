@@ -82,17 +82,31 @@ struct JobSpec {
 /// across jobs for free.
 class JobRuntime {
  public:
-  explicit JobRuntime(EbBarTable::Spec ebbar_spec);
+  /// `cache_dir` non-empty enables the warm-start disk cache: the built
+  /// table is serialized to <cache_dir>/ebbar-<spec hash>.table and a
+  /// daemon restart with the same spec loads it instead of rebuilding
+  /// (the expensive step, minutes at production grid sizes).  The file
+  /// is keyed by a hash of every Spec field and its content is
+  /// re-validated against the spec after load, so a stale or truncated
+  /// file degrades to a rebuild, never to wrong answers.  Hits and
+  /// misses are counted as service.table_cache.{hit,miss}.
+  explicit JobRuntime(EbBarTable::Spec ebbar_spec,
+                      std::string cache_dir = {});
 
-  /// The cached table; first caller pays the build.
+  /// The cached table; first caller pays the build (or the disk load).
   [[nodiscard]] const EbBarTable& ebbar_table();
 
   [[nodiscard]] const EbBarTable::Spec& ebbar_spec() const noexcept {
     return spec_;
   }
 
+  /// The warm-start file this runtime reads/writes; empty when the disk
+  /// cache is disabled.  Exposed for tests and ops tooling.
+  [[nodiscard]] std::string table_cache_path() const;
+
  private:
   EbBarTable::Spec spec_;
+  std::string cache_dir_;
   std::mutex mu_;
   std::shared_ptr<const EbBarTable> table_;
 };

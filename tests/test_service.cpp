@@ -14,11 +14,14 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "comimo/common/error.h"
+#include "comimo/common/parallel.h"
 #include "comimo/service/client.h"
 #include "comimo/service/daemon.h"
 #include "comimo/service/job.h"
@@ -321,6 +324,68 @@ TEST(Service, MetricsDumpAndChurnRounds) {
   const auto stats = daemon.stats();
   EXPECT_GE(stats.jobs_completed, 1u);
   EXPECT_GE(stats.latency_p99_ms, stats.latency_p50_ms);
+}
+
+TEST(Service, EbBarTableWarmStartsFromDiskCache) {
+  const std::string dir = std::filesystem::temp_directory_path() /
+                          ("comimo_tbl_cache_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const EbBarTable::Spec spec = tiny_ebbar_spec();
+
+  // Cold start: builds and writes the cache file.
+  JobRuntime cold(spec, dir);
+  const std::string path = cold.table_cache_path();
+  ASSERT_FALSE(path.empty());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  const EbBarTable& built = cold.ebbar_table();
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Warm start: a fresh runtime with the same spec + dir loads the file
+  // and serves identical entries.
+  JobRuntime warm(spec, dir);
+  const EbBarTable& loaded = warm.ebbar_table();
+  ASSERT_EQ(loaded.entries().size(), built.entries().size());
+  for (std::size_t i = 0; i < built.entries().size(); ++i) {
+    EXPECT_EQ(loaded.entries()[i].ebar, built.entries()[i].ebar) << i;
+  }
+
+  // A different spec must key a different file — never a false hit.
+  EbBarTable::Spec other = spec;
+  other.b_max = 2;
+  JobRuntime other_rt(other, dir);
+  EXPECT_NE(other_rt.table_cache_path(), path);
+
+  // A corrupt cache file degrades to a rebuild (and a rewrite), never
+  // to an error or a wrong table.
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << "garbage\n";
+  }
+  JobRuntime corrupt(spec, dir);
+  const EbBarTable& rebuilt = corrupt.ebbar_table();
+  EXPECT_EQ(rebuilt.entries().size(), built.entries().size());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Service, WaveformBerJobHonorsTargetCi) {
+  // Through run_job directly — no sockets needed.  target_ci turns
+  // blocks into a budget; the reply must record the early stop.
+  JobRuntime rt(tiny_ebbar_spec());
+  ThreadPool pool(2);
+  JobSpec spec;
+  spec.kind = "waveform_ber";
+  spec.params = {{"b", "2"},       {"mt", "2"},         {"mr", "2"},
+                 {"blocks", "60000"}, {"gamma_b_db", "6"}, {"seed", "4"},
+                 {"target_ci", "0.25"}};
+  const Json reply = run_job(spec, /*session_seed=*/9, rt, pool);
+  const std::string body = reply.dump_string();
+  EXPECT_NE(body.find("\"target_met\": 1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"trials_executed\""), std::string::npos);
+  // Replay contract: the adaptive stop is deterministic, so the whole
+  // envelope replays byte-identically.
+  const Json again = run_job(spec, /*session_seed=*/9, rt, pool);
+  EXPECT_EQ(body, again.dump_string());
 }
 
 }  // namespace
